@@ -1,0 +1,85 @@
+/// Structural parameters of the modelled accelerator.
+///
+/// Defaults reproduce the paper's instance: a 16×16 tile at 250 MHz with
+/// buffer depths chosen during model calibration (see `qnn-hw::tech65`)
+/// such that the published Table III area/power rows come out.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AcceleratorConfig {
+    /// Parallel neuron units (Tn).
+    pub neurons: usize,
+    /// Synapses per neuron per cycle (Ti).
+    pub synapses: usize,
+    /// Weight buffer (SB) depth, in rows of `neurons × synapses` values.
+    pub sb_entries: usize,
+    /// Input buffer (Bin) depth, in rows of `synapses` values.
+    pub bin_entries: usize,
+    /// Output buffer (Bout) depth, in rows of `neurons` values.
+    pub bout_entries: usize,
+    /// DMA throughput in *values* per cycle (value-indexed engine, so the
+    /// per-image runtime is precision-independent, as the paper observes).
+    pub dma_values_per_cycle: usize,
+    /// Clock frequency in Hz.
+    pub clock_hz: f64,
+}
+
+impl Default for AcceleratorConfig {
+    fn default() -> Self {
+        AcceleratorConfig {
+            neurons: 16,
+            synapses: 16,
+            sb_entries: 1024,
+            bin_entries: 1024,
+            bout_entries: 1024,
+            dma_values_per_cycle: 128,
+            clock_hz: 250.0e6,
+        }
+    }
+}
+
+impl AcceleratorConfig {
+    /// MACs the NFU retires per cycle (`Tn × Ti`).
+    pub fn macs_per_cycle(&self) -> usize {
+        self.neurons * self.synapses
+    }
+
+    /// Validates structural sanity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero or the clock is non-positive — a
+    /// degenerate accelerator is always a caller bug.
+    pub fn validate(&self) {
+        assert!(self.neurons > 0 && self.synapses > 0, "empty NFU");
+        assert!(
+            self.sb_entries > 0 && self.bin_entries > 0 && self.bout_entries > 0,
+            "empty buffers"
+        );
+        assert!(self.dma_values_per_cycle > 0, "zero DMA throughput");
+        assert!(self.clock_hz > 0.0, "non-positive clock");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper_instance() {
+        let c = AcceleratorConfig::default();
+        assert_eq!(c.neurons, 16);
+        assert_eq!(c.synapses, 16);
+        assert_eq!(c.macs_per_cycle(), 256);
+        assert_eq!(c.clock_hz, 250.0e6);
+        c.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "empty NFU")]
+    fn rejects_zero_neurons() {
+        AcceleratorConfig {
+            neurons: 0,
+            ..AcceleratorConfig::default()
+        }
+        .validate();
+    }
+}

@@ -1,0 +1,273 @@
+use qnn_hw::{tech65, Category, DesignReport};
+use qnn_quant::{Precision, Scheme};
+
+use crate::config::AcceleratorConfig;
+
+/// The per-precision variant of the NFU's first pipeline stage
+/// (Figure 2a/b/c of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WeightBlock {
+    /// Fixed-point array multiplier, `w × i` bits.
+    FixedMultiplier,
+    /// IEEE-754 binary32 multiplier.
+    FloatMultiplier,
+    /// Barrel shifter (power-of-two weights are shift amounts).
+    BarrelShifter,
+    /// Sign-controlled negate (binary weights); merges WB into the adder
+    /// tree stage, shortening the pipeline to two stages.
+    SignNegate,
+}
+
+/// Aggregate design metrics for one precision — one row of Table III.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DesignMetrics {
+    /// Total cell area, mm².
+    pub area_mm2: f64,
+    /// Total power at 250 MHz, mW.
+    pub power_mw: f64,
+    /// Area saving vs. the float32 design, percent.
+    pub area_saving_pct: f64,
+    /// Power saving vs. the float32 design, percent.
+    pub power_saving_pct: f64,
+}
+
+/// A fully-specified accelerator instance: config × precision.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AcceleratorDesign {
+    config: AcceleratorConfig,
+    precision: Precision,
+}
+
+impl AcceleratorDesign {
+    /// An accelerator at the paper's default configuration.
+    pub fn new(precision: Precision) -> Self {
+        Self::with_config(precision, AcceleratorConfig::default())
+    }
+
+    /// An accelerator with an explicit configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is degenerate (see
+    /// [`AcceleratorConfig::validate`]).
+    pub fn with_config(precision: Precision, config: AcceleratorConfig) -> Self {
+        config.validate();
+        AcceleratorDesign { config, precision }
+    }
+
+    /// The structural configuration.
+    pub fn config(&self) -> &AcceleratorConfig {
+        &self.config
+    }
+
+    /// The numeric precision this instance is synthesized for.
+    pub fn precision(&self) -> Precision {
+        self.precision
+    }
+
+    /// Which weight-block variant the precision selects.
+    pub fn weight_block(&self) -> WeightBlock {
+        match self.precision.weights() {
+            Scheme::Float32 | Scheme::Minifloat { .. } => WeightBlock::FloatMultiplier,
+            Scheme::Fixed { .. } => WeightBlock::FixedMultiplier,
+            Scheme::PowerOfTwo { .. } => WeightBlock::BarrelShifter,
+            Scheme::Binary => WeightBlock::SignNegate,
+        }
+    }
+
+    /// NFU pipeline depth: three stages (WB, adder tree, nonlinearity),
+    /// except binary where WB merges into the adder tree (paper §IV-A).
+    pub fn pipeline_stages(&self) -> usize {
+        match self.weight_block() {
+            WeightBlock::SignNegate => 2,
+            _ => 3,
+        }
+    }
+
+    /// Accumulator width: full product width plus `log2(Tn·Ti)` guard bits
+    /// so the adder tree never overflows (the wide accumulation that lets
+    /// biases stay unquantized).
+    pub fn accumulator_bits(&self) -> u32 {
+        let w = self.precision.weight_bits();
+        let i = self.precision.input_bits();
+        w + i + (self.config.macs_per_cycle() as f64).log2().ceil() as u32
+    }
+
+    /// Synthesizes the component list — the moral equivalent of running
+    /// the paper's Design Compiler flow on this configuration.
+    pub fn synthesize(&self) -> DesignReport {
+        let c = &self.config;
+        let w = self.precision.weight_bits() as u64;
+        let i = self.precision.input_bits() as u64;
+        let n_mult = c.macs_per_cycle();
+        let acc = self.accumulator_bits();
+        let mut d = DesignReport::new(self.precision.label());
+
+        // Buffer subsystems: SB (weights), Bin (inputs), Bout (outputs).
+        let sb_row = (c.neurons * c.synapses) as u64 * w;
+        d.push(tech65::sram(
+            "SB",
+            c.sb_entries as u64 * sb_row,
+            sb_row,
+            w as u32,
+        ));
+        let bin_row = c.synapses as u64 * i;
+        d.push(tech65::sram(
+            "Bin",
+            c.bin_entries as u64 * bin_row,
+            bin_row,
+            i as u32,
+        ));
+        let bout_row = c.neurons as u64 * i;
+        d.push(tech65::sram(
+            "Bout",
+            c.bout_entries as u64 * bout_row,
+            bout_row,
+            i as u32,
+        ));
+
+        // NFU stage 1: weight blocks.
+        match self.weight_block() {
+            WeightBlock::FixedMultiplier => {
+                d.push_array(tech65::fixed_multiplier(w as u32, i as u32), n_mult);
+            }
+            WeightBlock::FloatMultiplier => match self.precision.weights() {
+                Scheme::Minifloat { exp_bits, man_bits } => {
+                    d.push_array(tech65::minifloat_multiplier(exp_bits, man_bits), n_mult);
+                }
+                _ => d.push_array(tech65::float_multiplier(), n_mult),
+            },
+            WeightBlock::BarrelShifter => {
+                // Shift levels cover the exponent window (2^(w-1)-1 codes).
+                let levels = (self.precision.weight_bits() - 1).max(1);
+                d.push_array(tech65::barrel_shifter(i as u32, levels), n_mult);
+            }
+            WeightBlock::SignNegate => {
+                d.push_array(tech65::sign_negate(i as u32), n_mult);
+            }
+        }
+
+        // NFU stage 2: adder trees (Tn trees of Ti-1 adders).
+        let n_adders = c.neurons * (c.synapses - 1);
+        match self.precision.weights() {
+            Scheme::Float32 => {
+                d.push_array(tech65::float_adder(), n_adders);
+            }
+            Scheme::Minifloat { exp_bits, man_bits } => {
+                d.push_array(tech65::minifloat_adder(exp_bits, man_bits), n_adders);
+            }
+            _ => {
+                d.push_array(tech65::fixed_adder(acc), n_adders);
+            }
+        }
+
+        // NFU stage 3: nonlinearity units.
+        d.push_array(tech65::nonlinearity(i as u32), c.neurons);
+
+        // Pipeline registers: operand latches for every multiplier plus
+        // per-stage accumulator registers.
+        let operand_regs = n_mult as u64 * (w + i);
+        let acc_regs = (self.pipeline_stages() * c.neurons) as u64 * acc as u64;
+        let reg_bits = operand_regs + acc_regs;
+        d.push(tech65::register_bank("pipeline-regs", reg_bits));
+
+        // Control/DMA and the clock tree over all sequential state.
+        d.push(tech65::control());
+        d.push(tech65::clock_tree(reg_bits));
+        d
+    }
+
+    /// Table III row for this design: totals plus savings vs. float32 at
+    /// the same configuration.
+    pub fn report(&self) -> DesignMetrics {
+        let this = self.synthesize();
+        let base = AcceleratorDesign::with_config(Precision::float32(), self.config).synthesize();
+        let area = this.area_mm2();
+        let power = this.power_mw();
+        DesignMetrics {
+            area_mm2: area,
+            power_mw: power,
+            area_saving_pct: (1.0 - area / base.area_mm2()) * 100.0,
+            power_saving_pct: (1.0 - power / base.power_mw()) * 100.0,
+        }
+    }
+
+    /// Fraction of power consumed by the buffer subsystems (SRAM macros) —
+    /// the paper's "75–93 %" observation.
+    pub fn buffer_power_fraction(&self) -> f64 {
+        self.synthesize().power_fraction(Category::Memory)
+    }
+
+    /// Fraction of area in the buffer subsystems — the paper's "76–96 %".
+    pub fn buffer_area_fraction(&self) -> f64 {
+        self.synthesize().area_fraction(Category::Memory)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weight_block_variants() {
+        let wb = |p: Precision| AcceleratorDesign::new(p).weight_block();
+        assert_eq!(wb(Precision::float32()), WeightBlock::FloatMultiplier);
+        assert_eq!(wb(Precision::fixed(8, 8)), WeightBlock::FixedMultiplier);
+        assert_eq!(wb(Precision::power_of_two()), WeightBlock::BarrelShifter);
+        assert_eq!(wb(Precision::binary()), WeightBlock::SignNegate);
+    }
+
+    #[test]
+    fn binary_merges_pipeline() {
+        assert_eq!(
+            AcceleratorDesign::new(Precision::binary()).pipeline_stages(),
+            2
+        );
+        assert_eq!(
+            AcceleratorDesign::new(Precision::fixed(8, 8)).pipeline_stages(),
+            3
+        );
+    }
+
+    #[test]
+    fn accumulator_is_wider_than_product() {
+        let d = AcceleratorDesign::new(Precision::fixed(16, 16));
+        assert_eq!(d.accumulator_bits(), 16 + 16 + 8);
+    }
+
+    #[test]
+    fn area_orders_by_precision() {
+        let area = |p: Precision| AcceleratorDesign::new(p).report().area_mm2;
+        let fp = area(Precision::float32());
+        let f32b = area(Precision::fixed(32, 32));
+        let f16 = area(Precision::fixed(16, 16));
+        let f8 = area(Precision::fixed(8, 8));
+        let f4 = area(Precision::fixed(4, 4));
+        let p2 = area(Precision::power_of_two());
+        let bin = area(Precision::binary());
+        assert!(fp > f32b && f32b > f16 && f16 > f8 && f8 > f4);
+        assert!(f8 > p2 && p2 > f4 && f4 > bin, "{f8} {p2} {f4} {bin}");
+    }
+
+    #[test]
+    fn float_baseline_has_zero_savings() {
+        let r = AcceleratorDesign::new(Precision::float32()).report();
+        assert!(r.area_saving_pct.abs() < 1e-9);
+        assert!(r.power_saving_pct.abs() < 1e-9);
+    }
+
+    #[test]
+    fn buffers_dominate() {
+        for p in Precision::paper_sweep() {
+            let d = AcceleratorDesign::new(p);
+            let fa = d.buffer_area_fraction();
+            let fp = d.buffer_power_fraction();
+            assert!((0.75..=0.97).contains(&fa), "{}: area frac {fa}", p.label());
+            assert!(
+                (0.55..=0.95).contains(&fp),
+                "{}: power frac {fp}",
+                p.label()
+            );
+        }
+    }
+}

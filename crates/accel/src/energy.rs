@@ -1,0 +1,101 @@
+use qnn_nn::workload::Workload;
+
+use crate::cycles::{workload_cycles, CyclesBreakdown};
+use crate::design::AcceleratorDesign;
+
+/// Per-image energy of one network on one accelerator instance — the
+/// quantity Tables IV and V report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EnergyBreakdown {
+    /// Cycle accounting the energy derives from.
+    pub cycles: CyclesBreakdown,
+    /// Total accelerator power, mW.
+    pub power_mw: f64,
+    /// Clock frequency, Hz.
+    pub clock_hz: f64,
+}
+
+impl EnergyBreakdown {
+    /// Runtime per image in microseconds.
+    pub fn runtime_us(&self) -> f64 {
+        self.cycles.total() as f64 / self.clock_hz * 1e6
+    }
+
+    /// Energy per image in microjoules (`power × runtime`).
+    pub fn total_uj(&self) -> f64 {
+        // mW × µs = nJ; /1000 → µJ.
+        self.power_mw * self.runtime_us() / 1e3
+    }
+
+    /// Energy saving relative to another (baseline) breakdown, percent.
+    pub fn saving_vs(&self, baseline: &EnergyBreakdown) -> f64 {
+        (1.0 - self.total_uj() / baseline.total_uj()) * 100.0
+    }
+}
+
+impl AcceleratorDesign {
+    /// Energy to infer one image of `workload` on this design.
+    pub fn energy_per_image(&self, workload: &Workload) -> EnergyBreakdown {
+        let cycles = workload_cycles(workload, self.config(), self.pipeline_stages());
+        EnergyBreakdown {
+            cycles,
+            power_mw: self.synthesize().power_mw(),
+            clock_hz: self.config().clock_hz,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qnn_nn::zoo;
+    use qnn_quant::Precision;
+
+    #[test]
+    fn energy_is_power_times_time() {
+        let d = AcceleratorDesign::new(Precision::fixed(16, 16));
+        let wl = zoo::lenet().workload().unwrap();
+        let e = d.energy_per_image(&wl);
+        let expect = e.power_mw * (e.cycles.total() as f64 / 250.0e6) * 1e3; // mW·s → µJ
+        assert!((e.total_uj() - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn runtime_nearly_constant_across_precisions() {
+        // Paper: "the processing time per image changes very marginally
+        // among different precisions".
+        let wl = zoo::alex().workload().unwrap();
+        let runtimes: Vec<f64> = Precision::paper_sweep()
+            .into_iter()
+            .map(|p| AcceleratorDesign::new(p).energy_per_image(&wl).runtime_us())
+            .collect();
+        let min = runtimes.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = runtimes.iter().cloned().fold(0.0, f64::max);
+        assert!(
+            (max - min) / max < 0.01,
+            "runtimes vary too much: {runtimes:?}"
+        );
+    }
+
+    #[test]
+    fn energy_savings_track_power_savings() {
+        let wl = zoo::convnet().workload().unwrap();
+        let base = AcceleratorDesign::new(Precision::float32());
+        let e_base = base.energy_per_image(&wl);
+        for p in [
+            Precision::fixed(16, 16),
+            Precision::fixed(8, 8),
+            Precision::binary(),
+        ] {
+            let d = AcceleratorDesign::new(p);
+            let e = d.energy_per_image(&wl);
+            let e_saving = e.saving_vs(&e_base);
+            let p_saving = d.report().power_saving_pct;
+            assert!(
+                (e_saving - p_saving).abs() < 2.0,
+                "{}: energy {e_saving:.1}% vs power {p_saving:.1}%",
+                p.label()
+            );
+        }
+    }
+}

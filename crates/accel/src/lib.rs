@@ -1,0 +1,55 @@
+#![warn(missing_docs)]
+
+//! # qnn-accel — the DianNao-style tile accelerator model
+//!
+//! The paper (§IV-A, Figure 2) adopts a tile-based accelerator "similar to
+//! DianNao": 16 neuron processing units of 16 synapses each (an NFU
+//! computing 256 multiply-accumulates per cycle in three pipeline stages —
+//! weight blocks, adder trees, nonlinearity), fed by three SRAM buffer
+//! subsystems (input buffer `Bin`, weight buffer `SB`, output buffer
+//! `Bout`) with DMA and control. The **weight block** is the only stage
+//! that changes with precision:
+//!
+//! * floating point / fixed point → multipliers (Figure 2a),
+//! * powers of two → barrel shifters (Figure 2b),
+//! * binary → sign-controlled negate, and the WB + adder-tree stages merge
+//!   into a two-stage NFU (Figure 2c).
+//!
+//! [`AcceleratorDesign`] assembles the component list from `qnn-hw` for a
+//! given [`Precision`](qnn_quant::Precision) and reports area/power
+//! ([`DesignMetrics`], reproducing Table III and Figure 3), and combines a
+//! cycle-approximate schedule of a [`Workload`](qnn_nn::workload::Workload)
+//! with that power to produce per-image energy ([`EnergyBreakdown`],
+//! feeding Tables IV/V and Figure 4).
+//!
+//! ## Example
+//!
+//! ```
+//! use qnn_accel::AcceleratorDesign;
+//! use qnn_quant::Precision;
+//! use qnn_nn::zoo;
+//!
+//! let fp = AcceleratorDesign::new(Precision::float32());
+//! let q8 = AcceleratorDesign::new(Precision::fixed(8, 8));
+//! assert!(q8.report().area_mm2 < fp.report().area_mm2 / 3.0);
+//!
+//! let wl = zoo::lenet().workload()?;
+//! let e_fp = fp.energy_per_image(&wl).total_uj();
+//! let e_q8 = q8.energy_per_image(&wl).total_uj();
+//! assert!(e_q8 < e_fp / 4.0); // Table IV: 85.4 % saving at (8,8)
+//! # Ok::<(), qnn_nn::NnError>(())
+//! ```
+
+mod config;
+mod cycles;
+mod design;
+mod energy;
+
+pub mod nfu;
+pub mod paper;
+pub mod sim;
+
+pub use config::AcceleratorConfig;
+pub use cycles::{layer_cycles, workload_cycles, CyclesBreakdown, LayerCycles};
+pub use design::{AcceleratorDesign, DesignMetrics, WeightBlock};
+pub use energy::EnergyBreakdown;

@@ -1,0 +1,214 @@
+//! Bit-accurate functional simulation of the NFU datapath.
+//!
+//! The rest of the workspace simulates quantization Ristretto-style: values
+//! are snapped onto the format's grid but arithmetic stays in f32. This
+//! module is the check that that shortcut is sound — it executes one
+//! neuron's weighted sum exactly as the hardware would:
+//!
+//! * **fixed point**: operands as two's-complement integers, integer
+//!   multiplies, accumulation in a wide integer register (the adder tree's
+//!   guard bits), then requantization of the result;
+//! * **power of two**: weights as (sign, exponent-code), multiplies as
+//!   arithmetic shifts of the input's raw integer;
+//! * **binary**: sign-controlled negation.
+//!
+//! `paper §V-A: "We confirm the functionality of our hardware
+//! implementation with extensive simulations."` — these are those
+//! simulations, plus property tests pinning the integer and f32 paths to
+//! each other.
+
+use qnn_quant::{Binary, Fixed, PowerOfTwo};
+
+/// Exact fixed-point dot product: inputs and weights are encoded to their
+/// raw integers, multiplied and accumulated at full integer width, and the
+/// result is returned as the real value the accumulator holds.
+///
+/// The accumulator never rounds: a `w×i`-bit product stream of 256 terms
+/// fits comfortably in `i128` for every supported format, mirroring the
+/// guard-bit-wide adder tree of the modelled NFU.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length (a hardware impossibility: the
+/// NFU processes matched operand vectors).
+pub fn fixed_dot_exact(inputs: &[f32], weights: &[f32], in_fmt: Fixed, w_fmt: Fixed) -> f64 {
+    assert_eq!(
+        inputs.len(),
+        weights.len(),
+        "operand vectors must be the same length"
+    );
+    let mut acc: i128 = 0;
+    for (&x, &w) in inputs.iter().zip(weights) {
+        let xi = in_fmt.encode(x) as i128;
+        let wi = w_fmt.encode(w) as i128;
+        acc += xi * wi;
+    }
+    // The accumulator's LSB weight is the product of the two steps.
+    let scale = (in_fmt.step() as f64) * (w_fmt.step() as f64);
+    acc as f64 * scale
+}
+
+/// Exact power-of-two dot product: each weight is a shift of the input's
+/// raw fixed-point integer. Left shifts occur for positive exponents,
+/// arithmetic right shifts (toward −∞, as hardware shifters do) for
+/// negative ones — so the result can differ from the f32 reference by the
+/// truncation the right shift performs; [`pow2_dot_exact`] therefore
+/// accumulates in fractional LSBs to stay exact.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+pub fn pow2_dot_exact(inputs: &[f32], weights: &[f32], in_fmt: Fixed, w_fmt: PowerOfTwo) -> f64 {
+    assert_eq!(
+        inputs.len(),
+        weights.len(),
+        "operand vectors must be the same length"
+    );
+    // Accumulate at a resolution fine enough for the most negative shift:
+    // LSB = input step × 2^min_exp.
+    let min_exp = w_fmt.min_exp();
+    let mut acc: i128 = 0;
+    for (&x, &w) in inputs.iter().zip(weights) {
+        let xi = in_fmt.encode(x) as i128;
+        let (sign, code) = w_fmt.encode(w);
+        if code == 0 {
+            continue;
+        }
+        let e = min_exp + code as i32 - 1;
+        // Shift relative to the finest exponent: always a left shift in
+        // the accumulator's fractional domain, hence exact.
+        let shifted = xi << (e - min_exp);
+        acc += if sign { -shifted } else { shifted };
+    }
+    acc as f64 * in_fmt.step() as f64 * (min_exp as f64).exp2()
+}
+
+/// Exact binary dot product: sign-controlled add/subtract of the input's
+/// raw integers, scaled once at the end (the hardware folds the scale into
+/// the nonlinearity stage).
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+pub fn binary_dot_exact(inputs: &[f32], weights: &[f32], in_fmt: Fixed, w_fmt: Binary) -> f64 {
+    assert_eq!(
+        inputs.len(),
+        weights.len(),
+        "operand vectors must be the same length"
+    );
+    let mut acc: i128 = 0;
+    for (&x, &w) in inputs.iter().zip(weights) {
+        let xi = in_fmt.encode(x) as i128;
+        acc += if w_fmt.encode(w) { -xi } else { xi };
+    }
+    acc as f64 * in_fmt.step() as f64 * w_fmt.scale() as f64
+}
+
+/// The f32 reference both the training stack and the exact datapaths must
+/// agree with: quantize operands onto their grids, multiply-accumulate in
+/// f64 (standing in for the never-rounding wide accumulator).
+pub fn reference_dot(
+    inputs: &[f32],
+    weights: &[f32],
+    quantize_in: impl Fn(f32) -> f32,
+    quantize_w: impl Fn(f32) -> f32,
+) -> f64 {
+    inputs
+        .iter()
+        .zip(weights)
+        .map(|(&x, &w)| quantize_in(x) as f64 * quantize_w(w) as f64)
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qnn_quant::Quantizer;
+
+    fn vecs(n: usize, seed: u64) -> (Vec<f32>, Vec<f32>) {
+        let mut state = seed;
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((state >> 33) as f32 / (1u64 << 31) as f32) - 1.0
+        };
+        let xs = (0..n).map(|_| next() * 2.0).collect();
+        let ws = (0..n).map(|_| next()).collect();
+        (xs, ws)
+    }
+
+    #[test]
+    fn fixed_datapath_matches_f32_reference_exactly() {
+        let in_fmt = Fixed::new(16, 10).unwrap();
+        let w_fmt = Fixed::new(8, 6).unwrap();
+        let (xs, ws) = vecs(256, 42);
+        let exact = fixed_dot_exact(&xs, &ws, in_fmt, w_fmt);
+        let reference = reference_dot(
+            &xs,
+            &ws,
+            |x| in_fmt.quantize_value(x),
+            |w| w_fmt.quantize_value(w),
+        );
+        // Both paths are exact in their domains; they must agree to f64
+        // rounding noise.
+        assert!(
+            (exact - reference).abs() < 1e-6,
+            "exact {exact} vs reference {reference}"
+        );
+    }
+
+    #[test]
+    fn pow2_datapath_matches_f32_reference() {
+        let in_fmt = Fixed::new(16, 10).unwrap();
+        let w_fmt = PowerOfTwo::new(6, 0).unwrap();
+        let (xs, ws) = vecs(256, 7);
+        let exact = pow2_dot_exact(&xs, &ws, in_fmt, w_fmt);
+        let reference = reference_dot(
+            &xs,
+            &ws,
+            |x| in_fmt.quantize_value(x),
+            |w| w_fmt.quantize_value(w),
+        );
+        assert!(
+            (exact - reference).abs() < 1e-4,
+            "exact {exact} vs reference {reference}"
+        );
+    }
+
+    #[test]
+    fn binary_datapath_matches_f32_reference() {
+        let in_fmt = Fixed::new(16, 12).unwrap();
+        let w_fmt = Binary::with_scale(0.25).unwrap();
+        let (xs, ws) = vecs(256, 3);
+        let exact = binary_dot_exact(&xs, &ws, in_fmt, w_fmt);
+        let reference = reference_dot(
+            &xs,
+            &ws,
+            |x| in_fmt.quantize_value(x),
+            |w| w_fmt.quantize_value(w),
+        );
+        assert!(
+            (exact - reference).abs() < 1e-5,
+            "exact {exact} vs reference {reference}"
+        );
+    }
+
+    #[test]
+    fn accumulator_cannot_overflow_at_nfu_width() {
+        // Worst case: 256 products of saturated 32×32-bit operands.
+        let in_fmt = Fixed::new(32, 0).unwrap();
+        let w_fmt = Fixed::new(32, 0).unwrap();
+        let xs = vec![2.0e9f32; 256]; // saturates to i32::MAX-ish raw codes
+        let ws = vec![-2.0e9f32; 256];
+        let exact = fixed_dot_exact(&xs, &ws, in_fmt, w_fmt);
+        assert!(exact.is_finite());
+        // |sum| = 256 × (2^31-1) × 2^31 < 2^71 « i128::MAX.
+        assert!(exact < 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "same length")]
+    fn mismatched_operands_panic() {
+        let f = Fixed::new(8, 4).unwrap();
+        fixed_dot_exact(&[1.0], &[1.0, 2.0], f, f);
+    }
+}

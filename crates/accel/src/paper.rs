@@ -1,0 +1,199 @@
+//! The paper's published hardware numbers (Table III and the Table IV/V
+//! energy columns), kept as reference data so tests and benches can print
+//! paper-vs-model side by side.
+
+use qnn_quant::Precision;
+
+/// One row of Table III: design metrics per precision.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Table3Row {
+    /// The precision the row describes.
+    pub precision: Precision,
+    /// Published design area, mm².
+    pub area_mm2: f64,
+    /// Published power, mW.
+    pub power_mw: f64,
+    /// Published area saving vs. float, percent.
+    pub area_saving_pct: f64,
+    /// Published power saving vs. float, percent.
+    pub power_saving_pct: f64,
+}
+
+/// Table III, verbatim.
+pub fn table3() -> Vec<Table3Row> {
+    vec![
+        Table3Row {
+            precision: Precision::float32(),
+            area_mm2: 16.74,
+            power_mw: 1379.60,
+            area_saving_pct: 0.0,
+            power_saving_pct: 0.0,
+        },
+        Table3Row {
+            precision: Precision::fixed(32, 32),
+            area_mm2: 14.13,
+            power_mw: 1213.40,
+            area_saving_pct: 15.56,
+            power_saving_pct: 12.05,
+        },
+        Table3Row {
+            precision: Precision::fixed(16, 16),
+            area_mm2: 6.88,
+            power_mw: 574.75,
+            area_saving_pct: 58.92,
+            power_saving_pct: 58.34,
+        },
+        Table3Row {
+            precision: Precision::fixed(8, 8),
+            area_mm2: 3.36,
+            power_mw: 219.87,
+            area_saving_pct: 79.94,
+            power_saving_pct: 84.06,
+        },
+        Table3Row {
+            precision: Precision::fixed(4, 4),
+            area_mm2: 1.66,
+            power_mw: 111.17,
+            area_saving_pct: 90.07,
+            power_saving_pct: 91.94,
+        },
+        Table3Row {
+            precision: Precision::power_of_two(),
+            area_mm2: 3.05,
+            power_mw: 209.91,
+            area_saving_pct: 81.78,
+            power_saving_pct: 84.78,
+        },
+        Table3Row {
+            precision: Precision::binary(),
+            area_mm2: 1.21,
+            power_mw: 95.36,
+            area_saving_pct: 92.73,
+            power_saving_pct: 93.08,
+        },
+    ]
+}
+
+/// Published per-image energies (µJ) from Table IV, `(precision label,
+/// MNIST/LeNet, SVHN/ConvNet)`; `None` marks the paper's NA
+/// (failed-to-converge) cells.
+pub fn table4_energies() -> Vec<(Precision, Option<f64>, Option<f64>)> {
+    vec![
+        (Precision::float32(), Some(60.74), Some(754.18)),
+        (Precision::fixed(32, 32), Some(52.93), Some(663.01)),
+        (Precision::fixed(16, 16), Some(24.60), Some(314.05)),
+        (Precision::fixed(8, 8), Some(8.86), Some(120.14)),
+        (Precision::fixed(4, 4), Some(4.31), None),
+        (Precision::power_of_two(), Some(8.42), Some(114.70)),
+        (Precision::binary(), Some(3.56), Some(52.11)),
+    ]
+}
+
+/// Published CIFAR-10 energies (µJ) from Table V for the base ALEX
+/// network.
+pub fn table5_alex_energies() -> Vec<(Precision, f64)> {
+    vec![
+        (Precision::float32(), 335.68),
+        (Precision::fixed(32, 32), 293.90),
+        (Precision::fixed(16, 16), 136.61),
+        (Precision::fixed(8, 8), 49.22),
+        (Precision::power_of_two(), 46.77),
+        (Precision::binary(), 19.79),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::design::AcceleratorDesign;
+
+    /// The headline calibration test: the component model must reproduce
+    /// every published Table III row within tolerance.
+    #[test]
+    fn model_matches_table3() {
+        for row in table3() {
+            let m = AcceleratorDesign::new(row.precision).report();
+            let area_err = (m.area_mm2 - row.area_mm2).abs() / row.area_mm2;
+            let power_err = (m.power_mw - row.power_mw).abs() / row.power_mw;
+            assert!(
+                area_err < 0.08,
+                "{}: area {:.2} vs paper {:.2} ({:.1}% off)",
+                row.precision.label(),
+                m.area_mm2,
+                row.area_mm2,
+                area_err * 100.0
+            );
+            assert!(
+                power_err < 0.13,
+                "{}: power {:.1} vs paper {:.1} ({:.1}% off)",
+                row.precision.label(),
+                m.power_mw,
+                row.power_mw,
+                power_err * 100.0
+            );
+        }
+    }
+
+    /// Savings percentages (the paper's actual claim) must track closely —
+    /// they are ratios, so model bias largely cancels.
+    #[test]
+    fn savings_match_table3() {
+        for row in table3() {
+            let m = AcceleratorDesign::new(row.precision).report();
+            assert!(
+                (m.power_saving_pct - row.power_saving_pct).abs() < 6.0,
+                "{}: power saving {:.1}% vs paper {:.1}%",
+                row.precision.label(),
+                m.power_saving_pct,
+                row.power_saving_pct
+            );
+            assert!(
+                (m.area_saving_pct - row.area_saving_pct).abs() < 6.0,
+                "{}: area saving {:.1}% vs paper {:.1}%",
+                row.precision.label(),
+                m.area_saving_pct,
+                row.area_saving_pct
+            );
+        }
+    }
+
+    /// Per-image energies of Table IV/V, within a coarser band (the cycle
+    /// model is first-order).
+    #[test]
+    fn energies_match_tables_4_and_5() {
+        use qnn_nn::zoo;
+        let cases: Vec<(qnn_nn::arch::NetworkSpec, Vec<(Precision, f64)>)> = vec![
+            (
+                zoo::lenet(),
+                table4_energies()
+                    .into_iter()
+                    .filter_map(|(p, m, _)| m.map(|e| (p, e)))
+                    .collect(),
+            ),
+            (
+                zoo::convnet(),
+                table4_energies()
+                    .into_iter()
+                    .filter_map(|(p, _, s)| s.map(|e| (p, e)))
+                    .collect(),
+            ),
+            (zoo::alex(), table5_alex_energies()),
+        ];
+        for (spec, rows) in cases {
+            let wl = spec.workload().unwrap();
+            for (p, paper_uj) in rows {
+                let e = AcceleratorDesign::new(p).energy_per_image(&wl).total_uj();
+                let err = (e - paper_uj).abs() / paper_uj;
+                assert!(
+                    err < 0.35,
+                    "{} on {}: {:.1} µJ vs paper {:.1} µJ ({:.0}% off)",
+                    p.label(),
+                    spec.name(),
+                    e,
+                    paper_uj,
+                    err * 100.0
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,576 @@
+//! Cycle-by-cycle functional simulation of the tile.
+//!
+//! [`nfu`](crate::nfu) verifies single dot products bit-accurately; this
+//! module runs *whole layers* through a faithful model of the machine —
+//! SRAM buffers holding raw integer codes, a controller walking the
+//! neuron/synapse tiling, and the NFU pipeline executing integer
+//! multiply/shift/negate-accumulate — while counting every cycle and
+//! buffer access. Two properties are established by the tests:
+//!
+//! 1. **Functional equivalence**: the simulated outputs equal the
+//!    Ristretto-style fake-quantized f32 computation used for training.
+//! 2. **Cycle-model soundness**: the simulated cycle count matches the
+//!    analytical schedule of [`layer_cycles`](crate::layer_cycles) when
+//!    output channels fill the tile, and never beats it otherwise.
+
+use qnn_quant::{Binary, Fixed, PowerOfTwo, Quantizer};
+
+use crate::config::AcceleratorConfig;
+
+/// The operand formats a simulation runs under — one variant per weight
+/// block of Figure 2.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SimPrecision {
+    /// Fixed-point weights and inputs (Figure 2a).
+    Fixed {
+        /// Weight format.
+        weights: Fixed,
+        /// Input/feature-map format.
+        inputs: Fixed,
+    },
+    /// Power-of-two weights over fixed-point inputs (Figure 2b).
+    PowerOfTwo {
+        /// Weight format.
+        weights: PowerOfTwo,
+        /// Input/feature-map format.
+        inputs: Fixed,
+    },
+    /// Binary weights over fixed-point inputs (Figure 2c).
+    Binary {
+        /// Weight format.
+        weights: Binary,
+        /// Input/feature-map format.
+        inputs: Fixed,
+    },
+}
+
+impl SimPrecision {
+    /// The input format common to all variants.
+    pub fn input_format(&self) -> Fixed {
+        match *self {
+            SimPrecision::Fixed { inputs, .. }
+            | SimPrecision::PowerOfTwo { inputs, .. }
+            | SimPrecision::Binary { inputs, .. } => inputs,
+        }
+    }
+}
+
+/// Result of a simulated layer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimOutput {
+    /// Layer outputs, decoded to real values (post-ReLU if requested,
+    /// re-quantized to the input format as they would be written to Bout).
+    pub outputs: Vec<f32>,
+    /// NFU compute cycles consumed.
+    pub cycles: u64,
+    /// Weight-buffer row reads.
+    pub sb_reads: u64,
+    /// Input-buffer row reads.
+    pub bin_reads: u64,
+    /// Output-buffer row writes.
+    pub bout_writes: u64,
+}
+
+/// One weight's stored form, as the SB would hold it.
+#[derive(Debug, Clone, Copy)]
+enum StoredWeight {
+    Fixed(i64),
+    Pow2 { sign: bool, code: u32 },
+    Sign(bool),
+}
+
+/// The simulated machine.
+#[derive(Debug)]
+pub struct TileSimulator {
+    config: AcceleratorConfig,
+    precision: SimPrecision,
+}
+
+impl TileSimulator {
+    /// Creates a simulator for the given tile and formats.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a degenerate configuration (see
+    /// [`AcceleratorConfig::validate`]).
+    pub fn new(config: AcceleratorConfig, precision: SimPrecision) -> Self {
+        config.validate();
+        TileSimulator { config, precision }
+    }
+
+    /// Simulator with the paper's default 16×16 tile.
+    pub fn with_default_tile(precision: SimPrecision) -> Self {
+        TileSimulator::new(AcceleratorConfig::default(), precision)
+    }
+
+    fn store_weight(&self, w: f32) -> StoredWeight {
+        match self.precision {
+            SimPrecision::Fixed { weights, .. } => StoredWeight::Fixed(weights.encode(w)),
+            SimPrecision::PowerOfTwo { weights, .. } => {
+                let (sign, code) = weights.encode(w);
+                StoredWeight::Pow2 { sign, code }
+            }
+            SimPrecision::Binary { weights, .. } => StoredWeight::Sign(weights.encode(w)),
+        }
+    }
+
+    /// One weight block's product, in accumulator LSBs of
+    /// `in_step × lsb_scale` (see `acc_scale`).
+    fn multiply(&self, w: StoredWeight, x_raw: i64) -> i128 {
+        match (self.precision, w) {
+            (SimPrecision::Fixed { .. }, StoredWeight::Fixed(wi)) => wi as i128 * x_raw as i128,
+            (SimPrecision::PowerOfTwo { weights, .. }, StoredWeight::Pow2 { sign, code }) => {
+                if code == 0 {
+                    return 0;
+                }
+                // Shift relative to the window's minimum exponent so the
+                // accumulator LSB stays constant and shifts are all left.
+                let e = weights.min_exp() + code as i32 - 1;
+                let shifted = (x_raw as i128) << (e - weights.min_exp());
+                if sign {
+                    -shifted
+                } else {
+                    shifted
+                }
+            }
+            (SimPrecision::Binary { .. }, StoredWeight::Sign(s)) => {
+                if s {
+                    -(x_raw as i128)
+                } else {
+                    x_raw as i128
+                }
+            }
+            _ => unreachable!("stored weight kind always matches precision"),
+        }
+    }
+
+    /// Real value of one accumulator LSB.
+    fn acc_scale(&self) -> f64 {
+        let in_step = self.precision.input_format().step() as f64;
+        match self.precision {
+            SimPrecision::Fixed { weights, .. } => in_step * weights.step() as f64,
+            SimPrecision::PowerOfTwo { weights, .. } => in_step * (weights.min_exp() as f64).exp2(),
+            SimPrecision::Binary { weights, .. } => in_step * weights.scale() as f64,
+        }
+    }
+
+    /// Simulates a fully-connected layer: `neurons × fan_in` weights
+    /// (row-major per neuron), one bias per neuron.
+    ///
+    /// The controller walks output neurons in tiles of `Tn` and the fan-in
+    /// in chunks of `Ti`; each (tile, chunk) step costs one cycle, reads
+    /// one SB row and one Bin row, exactly as the modelled pipeline does.
+    /// Biases join at accumulator precision; ReLU is applied in the third
+    /// pipeline stage; results are re-quantized to the input format on
+    /// their way into Bout.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights.len() != neurons × inputs.len()` or
+    /// `bias.len() != neurons`.
+    pub fn run_dense(
+        &self,
+        inputs: &[f32],
+        weights: &[f32],
+        bias: &[f32],
+        relu: bool,
+    ) -> SimOutput {
+        let fan_in = inputs.len();
+        let neurons = bias.len();
+        assert_eq!(
+            weights.len(),
+            neurons * fan_in,
+            "weight matrix must be neurons × fan_in"
+        );
+        let tn = self.config.neurons;
+        let ti = self.config.synapses;
+        let in_fmt = self.precision.input_format();
+
+        // Fill the buffers with raw codes (the DMA's job).
+        let bin: Vec<i64> = inputs.iter().map(|&x| in_fmt.encode(x)).collect();
+        let sb: Vec<StoredWeight> = weights.iter().map(|&w| self.store_weight(w)).collect();
+
+        let scale = self.acc_scale();
+        let mut outputs = vec![0.0f32; neurons];
+        let mut cycles = 0u64;
+        let mut sb_reads = 0u64;
+        let mut bin_reads = 0u64;
+        let mut bout_writes = 0u64;
+
+        for tile_base in (0..neurons).step_by(tn) {
+            let tile_n = tn.min(neurons - tile_base);
+            let mut acc = vec![0i128; tile_n];
+            for chunk_base in (0..fan_in).step_by(ti) {
+                let chunk_n = ti.min(fan_in - chunk_base);
+                // One cycle: read one Bin row and one SB row, fire the
+                // multiplier array, fold the adder trees.
+                cycles += 1;
+                bin_reads += 1;
+                sb_reads += 1;
+                for (n, a) in acc.iter_mut().enumerate() {
+                    let row = (tile_base + n) * fan_in;
+                    for k in 0..chunk_n {
+                        let x = bin[chunk_base + k];
+                        let w = sb[row + chunk_base + k];
+                        *a += self.multiply(w, x);
+                    }
+                }
+            }
+            // NFU-3: bias add (accumulator precision), nonlinearity,
+            // requantize to the feature-map format, write Bout.
+            bout_writes += 1;
+            for (n, a) in acc.iter().enumerate() {
+                let mut y = *a as f64 * scale + bias[tile_base + n] as f64;
+                if relu && y < 0.0 {
+                    y = 0.0;
+                }
+                outputs[tile_base + n] = in_fmt.quantize_value(y as f32);
+            }
+        }
+        SimOutput {
+            outputs,
+            cycles,
+            sb_reads,
+            bin_reads,
+            bout_writes,
+        }
+    }
+
+    /// Simulates a convolution layer on one `(C, H, W)` image: per output
+    /// pixel, the controller gathers the receptive field into a Bin-shaped
+    /// vector and runs the output channels through the tile exactly as
+    /// [`run_dense`](TileSimulator::run_dense) does.
+    ///
+    /// Returns outputs in `(O, OH, OW)` row-major order. The cycle count is
+    /// `oh·ow · ⌈o/Tn⌉ · ⌈fan_in/Ti⌉` — it equals the analytical schedule
+    /// whenever `o·oh·ow` is a multiple of `Tn`, and can only exceed it
+    /// otherwise (partial neuron tiles cannot be shared across pixels in
+    /// this controller).
+    ///
+    /// # Panics
+    ///
+    /// Panics on inconsistent operand sizes or impossible geometry.
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_conv(
+        &self,
+        image: &[f32],
+        (c, h, w): (usize, usize, usize),
+        weights: &[f32],
+        out_channels: usize,
+        kernel: usize,
+        stride: usize,
+        pad: usize,
+        bias: &[f32],
+        relu: bool,
+    ) -> SimOutput {
+        assert_eq!(image.len(), c * h * w, "image size mismatch");
+        let fan_in = c * kernel * kernel;
+        assert_eq!(weights.len(), out_channels * fan_in, "weight size mismatch");
+        assert_eq!(bias.len(), out_channels, "bias size mismatch");
+        let ph = h + 2 * pad;
+        assert!(ph >= kernel && w + 2 * pad >= kernel, "kernel too large");
+        let oh = (ph - kernel) / stride + 1;
+        let ow = (w + 2 * pad - kernel) / stride + 1;
+        let mut outputs = vec![0.0f32; out_channels * oh * ow];
+        let mut cycles = 0u64;
+        let mut sb_reads = 0u64;
+        let mut bin_reads = 0u64;
+        let mut bout_writes = 0u64;
+        let mut patch = vec![0.0f32; fan_in];
+        for oi in 0..oh {
+            for oj in 0..ow {
+                // Gather the receptive field (zero padding outside).
+                for ci in 0..c {
+                    for ki in 0..kernel {
+                        for kj in 0..kernel {
+                            let ii = (oi * stride + ki) as isize - pad as isize;
+                            let jj = (oj * stride + kj) as isize - pad as isize;
+                            let v = if ii < 0 || jj < 0 || ii as usize >= h || jj as usize >= w {
+                                0.0
+                            } else {
+                                image[(ci * h + ii as usize) * w + jj as usize]
+                            };
+                            patch[(ci * kernel + ki) * kernel + kj] = v;
+                        }
+                    }
+                }
+                let px = self.run_dense(&patch, weights, bias, relu);
+                cycles += px.cycles;
+                sb_reads += px.sb_reads;
+                bin_reads += px.bin_reads;
+                bout_writes += px.bout_writes;
+                for (och, &v) in px.outputs.iter().enumerate() {
+                    outputs[(och * oh + oi) * ow + oj] = v;
+                }
+            }
+        }
+        SimOutput {
+            outputs,
+            cycles,
+            sb_reads,
+            bin_reads,
+            bout_writes,
+        }
+    }
+
+    /// Simulates max pooling in the NFU's third stage: values stream out
+    /// of Bout as raw integer codes and the pooler keeps per-window
+    /// maxima with integer comparisons (valid because the fixed-point
+    /// encode is monotone). `Tn` values pass per cycle.
+    ///
+    /// Input/outputs are `(C, H, W)` row-major; floor-mode output sizing
+    /// with no padding, like every pool in the paper's networks.
+    ///
+    /// # Panics
+    ///
+    /// Panics on inconsistent sizes or a kernel larger than the input.
+    pub fn run_max_pool(
+        &self,
+        input: &[f32],
+        (c, h, w): (usize, usize, usize),
+        kernel: usize,
+        stride: usize,
+    ) -> SimOutput {
+        assert_eq!(input.len(), c * h * w, "input size mismatch");
+        assert!(h >= kernel && w >= kernel, "kernel larger than input");
+        let in_fmt = self.precision.input_format();
+        let raw: Vec<i64> = input.iter().map(|&x| in_fmt.encode(x)).collect();
+        let oh = (h - kernel) / stride + 1;
+        let ow = (w - kernel) / stride + 1;
+        let mut outputs = vec![0.0f32; c * oh * ow];
+        for ci in 0..c {
+            for oi in 0..oh {
+                for oj in 0..ow {
+                    let mut best = i64::MIN;
+                    for ki in 0..kernel {
+                        for kj in 0..kernel {
+                            let idx = (ci * h + oi * stride + ki) * w + oj * stride + kj;
+                            best = best.max(raw[idx]);
+                        }
+                    }
+                    outputs[(ci * oh + oi) * ow + oj] = in_fmt.decode(best);
+                }
+            }
+        }
+        let n_out = (c * oh * ow) as u64;
+        let tn = self.config.neurons as u64;
+        SimOutput {
+            outputs,
+            cycles: n_out.div_ceil(tn),
+            sb_reads: 0,
+            bin_reads: (raw.len() as u64).div_ceil(tn),
+            bout_writes: n_out.div_ceil(tn),
+        }
+    }
+
+    /// The f32 reference the simulation must reproduce: fake-quantize
+    /// operands, accumulate in f64, add bias, ReLU, re-quantize — the
+    /// computation `qnn-nn` performs under QAT.
+    pub fn reference_dense(
+        &self,
+        inputs: &[f32],
+        weights: &[f32],
+        bias: &[f32],
+        relu: bool,
+    ) -> Vec<f32> {
+        let fan_in = inputs.len();
+        let neurons = bias.len();
+        let in_fmt = self.precision.input_format();
+        let qx: Vec<f64> = inputs
+            .iter()
+            .map(|&x| in_fmt.quantize_value(x) as f64)
+            .collect();
+        let qw: Vec<f64> = weights
+            .iter()
+            .map(|&w| match self.precision {
+                SimPrecision::Fixed { weights, .. } => weights.quantize_value(w) as f64,
+                SimPrecision::PowerOfTwo { weights, .. } => weights.quantize_value(w) as f64,
+                SimPrecision::Binary { weights, .. } => weights.quantize_value(w) as f64,
+            })
+            .collect();
+        (0..neurons)
+            .map(|n| {
+                let mut y: f64 = (0..fan_in).map(|k| qx[k] * qw[n * fan_in + k]).sum();
+                y += bias[n] as f64;
+                if relu && y < 0.0 {
+                    y = 0.0;
+                }
+                in_fmt.quantize_value(y as f32)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cycles::layer_cycles;
+    use qnn_nn::workload::{LayerWork, WorkKind};
+
+    fn data(n: usize, seed: u64) -> Vec<f32> {
+        let mut state = seed;
+        (0..n)
+            .map(|_| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                ((state >> 33) as f32 / (1u64 << 31) as f32) - 1.0
+            })
+            .collect()
+    }
+
+    fn fixed_sim() -> TileSimulator {
+        TileSimulator::with_default_tile(SimPrecision::Fixed {
+            weights: Fixed::new(8, 6).unwrap(),
+            inputs: Fixed::new(16, 10).unwrap(),
+        })
+    }
+
+    #[test]
+    fn fixed_layer_matches_reference() {
+        let sim = fixed_sim();
+        let inputs = data(100, 1);
+        let weights = data(100 * 37, 2);
+        let bias = data(37, 3);
+        let out = sim.run_dense(&inputs, &weights, &bias, true);
+        let want = sim.reference_dense(&inputs, &weights, &bias, true);
+        for (i, (a, b)) in out.outputs.iter().zip(&want).enumerate() {
+            assert!(
+                (a - b).abs() <= 1.0 / 1024.0 + 1e-6,
+                "neuron {i}: sim {a} vs reference {b}"
+            );
+        }
+    }
+
+    #[test]
+    fn pow2_layer_matches_reference() {
+        let sim = TileSimulator::with_default_tile(SimPrecision::PowerOfTwo {
+            weights: PowerOfTwo::new(6, 0).unwrap(),
+            inputs: Fixed::new(16, 10).unwrap(),
+        });
+        let inputs = data(64, 4);
+        let weights = data(64 * 20, 5);
+        let bias = data(20, 6);
+        let out = sim.run_dense(&inputs, &weights, &bias, false);
+        let want = sim.reference_dense(&inputs, &weights, &bias, false);
+        for (a, b) in out.outputs.iter().zip(&want) {
+            assert!((a - b).abs() <= 2.0 / 1024.0, "sim {a} vs reference {b}");
+        }
+    }
+
+    #[test]
+    fn binary_layer_matches_reference() {
+        let sim = TileSimulator::with_default_tile(SimPrecision::Binary {
+            weights: Binary::with_scale(0.5).unwrap(),
+            inputs: Fixed::new(16, 12).unwrap(),
+        });
+        let inputs = data(48, 7);
+        let weights = data(48 * 16, 8);
+        let bias = data(16, 9);
+        let out = sim.run_dense(&inputs, &weights, &bias, true);
+        let want = sim.reference_dense(&inputs, &weights, &bias, true);
+        for (a, b) in out.outputs.iter().zip(&want) {
+            assert!((a - b).abs() <= 1.0 / 2048.0, "sim {a} vs reference {b}");
+        }
+    }
+
+    #[test]
+    fn simulated_cycles_match_analytical_model_on_full_tiles() {
+        // 32 neurons (2 full tiles), fan-in 800 (50 full chunks).
+        let sim = fixed_sim();
+        let inputs = data(800, 10);
+        let weights = data(800 * 32, 11);
+        let bias = data(32, 12);
+        let out = sim.run_dense(&inputs, &weights, &bias, false);
+        let analytic = layer_cycles(
+            &LayerWork {
+                name: "fc".into(),
+                kind: WorkKind::Dense,
+                macs: 800 * 32,
+                neurons: 32,
+                synapses_per_neuron: 800,
+                inputs: 800,
+                weights: 800 * 32,
+                outputs: 32,
+            },
+            &AcceleratorConfig::default(),
+            3,
+        );
+        assert_eq!(out.cycles, analytic.compute);
+        // Buffer traffic: one SB and Bin row per cycle, one Bout row per tile.
+        assert_eq!(out.sb_reads, out.cycles);
+        assert_eq!(out.bin_reads, out.cycles);
+        assert_eq!(out.bout_writes, 2);
+    }
+
+    #[test]
+    fn partial_tiles_cost_full_cycles() {
+        // 17 neurons → 2 tiles; fan-in 17 → 2 chunks; 4 cycles, not 2.
+        let sim = fixed_sim();
+        let inputs = data(17, 13);
+        let weights = data(17 * 17, 14);
+        let bias = data(17, 15);
+        let out = sim.run_dense(&inputs, &weights, &bias, false);
+        assert_eq!(out.cycles, 4);
+    }
+
+    #[test]
+    fn relu_clamps_in_the_pipeline() {
+        let sim = fixed_sim();
+        let inputs = vec![1.0f32; 4];
+        let weights = vec![-1.0f32; 4]; // strongly negative pre-activation
+        let bias = vec![0.0f32];
+        let out = sim.run_dense(&inputs, &weights, &bias, true);
+        assert_eq!(out.outputs, vec![0.0]);
+        let out = sim.run_dense(&inputs, &weights, &bias, false);
+        assert!(out.outputs[0] < 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "neurons × fan_in")]
+    fn shape_mismatch_panics() {
+        fixed_sim().run_dense(&[1.0; 4], &[1.0; 7], &[0.0; 2], false);
+    }
+
+    #[test]
+    fn conv_layer_matches_tensor_conv_on_quantized_operands() {
+        use qnn_tensor::conv::{conv2d, Geometry};
+        use qnn_tensor::{Shape, Tensor};
+        let sim = fixed_sim();
+        let in_fmt = sim.precision.input_format();
+        let w_fmt = match sim.precision {
+            SimPrecision::Fixed { weights, .. } => weights,
+            _ => unreachable!(),
+        };
+        let (c, h, w, o, k) = (2usize, 6usize, 6usize, 3usize, 3usize);
+        let image = data(c * h * w, 20);
+        let weights = data(o * c * k * k, 21);
+        let bias = data(o, 22);
+        let out = sim.run_conv(&image, (c, h, w), &weights, o, k, 1, 1, &bias, true);
+        // Reference: fake-quantize operands, run the f32 conv, ReLU,
+        // re-quantize — the QAT forward path.
+        let qx = Tensor::from_vec(
+            Shape::d4(1, c, h, w),
+            image.iter().map(|&x| in_fmt.quantize_value(x)).collect(),
+        )
+        .unwrap();
+        let qw = Tensor::from_vec(
+            Shape::d4(o, c, k, k),
+            weights.iter().map(|&x| w_fmt.quantize_value(x)).collect(),
+        )
+        .unwrap();
+        let qb = Tensor::from_vec(Shape::d1(o), bias.clone()).unwrap();
+        let want = conv2d(&qx, &qw, &qb, Geometry::square(k, 1, 1))
+            .unwrap()
+            .map(|v| in_fmt.quantize_value(v.max(0.0)));
+        assert_eq!(out.outputs.len(), want.len());
+        for (i, (a, b)) in out.outputs.iter().zip(want.as_slice()).enumerate() {
+            assert!(
+                (a - b).abs() <= 2.0 / 1024.0 + 1e-6,
+                "pixel {i}: sim {a} vs tensor-conv {b}"
+            );
+        }
+        // Cycle accounting: 36 pixels × ⌈3/16⌉ × ⌈18/16⌉ = 36 × 1 × 2.
+        assert_eq!(out.cycles, 72);
+    }
+}

@@ -1,0 +1,125 @@
+//! End-to-end multi-layer simulation: a small CNN
+//! (conv → ReLU → maxpool → dense) executed layer by layer on the
+//! cycle-accurate tile simulator with integer arithmetic throughout, and
+//! compared against the fake-quantized f32 pipeline built from
+//! `qnn-tensor` primitives — the whole-network version of the paper's
+//! "extensive simulations".
+
+use qnn_accel::sim::{SimPrecision, TileSimulator};
+use qnn_quant::{Fixed, Quantizer};
+use qnn_tensor::conv::{conv2d, Geometry};
+use qnn_tensor::pool::max_pool2d;
+use qnn_tensor::{rng, Shape, Tensor};
+use rand::Rng;
+
+struct TinyCnn {
+    conv_w: Vec<f32>,
+    conv_b: Vec<f32>,
+    fc_w: Vec<f32>,
+    fc_b: Vec<f32>,
+}
+
+fn tiny_cnn(seed: u64) -> TinyCnn {
+    let mut r = rng::seeded(seed);
+    let mut v = |n: usize, s: f32| -> Vec<f32> { (0..n).map(|_| r.gen_range(-s..s)).collect() };
+    TinyCnn {
+        conv_w: v(4 * 2 * 3 * 3, 0.5), // 4 out channels, 2 in, 3×3
+        conv_b: v(4, 0.2),
+        fc_w: v(10 * 4 * 4 * 4, 0.3), // 10 classes from 4×4×4
+        fc_b: v(10, 0.2),
+    }
+}
+
+#[test]
+fn whole_network_integer_simulation_matches_f32_pipeline() {
+    let in_fmt = Fixed::new(16, 10).unwrap();
+    let w_fmt = Fixed::new(8, 6).unwrap();
+    let sim = TileSimulator::with_default_tile(SimPrecision::Fixed {
+        weights: w_fmt,
+        inputs: in_fmt,
+    });
+    let net = tiny_cnn(99);
+    let mut r = rng::seeded(7);
+    let image: Vec<f32> = (0..2 * 8 * 8).map(|_| r.gen_range(0.0..1.0)).collect();
+
+    // --- Simulated path: integer datapath, layer by layer. -----------------
+    // conv 3×3 pad 1 (8×8 → 8×8), ReLU fused in the pipeline.
+    let conv_out = sim.run_conv(
+        &image,
+        (2, 8, 8),
+        &net.conv_w,
+        4,
+        3,
+        1,
+        1,
+        &net.conv_b,
+        true,
+    );
+    // maxpool 2×2 (8×8 → 4×4).
+    let pool_out = sim.run_max_pool(&conv_out.outputs, (4, 8, 8), 2, 2);
+    // dense 10.
+    let fc_out = sim.run_dense(&pool_out.outputs, &net.fc_w, &net.fc_b, false);
+
+    // --- Reference path: fake-quantized f32 via tensor primitives. ---------
+    let q = |v: &[f32], f: Fixed| -> Vec<f32> { v.iter().map(|&x| f.quantize_value(x)).collect() };
+    let x = Tensor::from_vec(Shape::d4(1, 2, 8, 8), q(&image, in_fmt)).unwrap();
+    let cw = Tensor::from_vec(Shape::d4(4, 2, 3, 3), q(&net.conv_w, w_fmt)).unwrap();
+    let cb = Tensor::from_vec(Shape::d1(4), net.conv_b.clone()).unwrap();
+    let y = conv2d(&x, &cw, &cb, Geometry::square(3, 1, 1))
+        .unwrap()
+        .map(|v| in_fmt.quantize_value(v.max(0.0)));
+    let p = max_pool2d(&y, Geometry::square(2, 2, 0)).unwrap().output;
+    let flat = p.as_slice();
+    let fw = q(&net.fc_w, w_fmt);
+    let logits: Vec<f32> = (0..10)
+        .map(|n| {
+            let s: f64 = flat
+                .iter()
+                .enumerate()
+                .map(|(k, &v)| v as f64 * fw[n * flat.len() + k] as f64)
+                .sum();
+            in_fmt.quantize_value((s + net.fc_b[n] as f64) as f32)
+        })
+        .collect();
+
+    // --- Agreement. ---------------------------------------------------------
+    assert_eq!(fc_out.outputs.len(), logits.len());
+    for (i, (a, b)) in fc_out.outputs.iter().zip(&logits).enumerate() {
+        assert!(
+            (a - b).abs() <= 2.0 * in_fmt.step(),
+            "logit {i}: sim {a} vs reference {b}"
+        );
+    }
+    // And the class decision is identical.
+    let argmax = |v: &[f32]| {
+        v.iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0
+    };
+    assert_eq!(argmax(&fc_out.outputs), argmax(&logits));
+
+    // Cycle accounting is additive and non-trivial at every stage.
+    assert!(conv_out.cycles > 0 && pool_out.cycles > 0 && fc_out.cycles > 0);
+}
+
+#[test]
+fn pooling_preserves_order_across_quantization() {
+    // Integer-domain max == f32-domain max after monotone encoding.
+    let sim = TileSimulator::with_default_tile(SimPrecision::Fixed {
+        weights: Fixed::new(8, 6).unwrap(),
+        inputs: Fixed::new(8, 4).unwrap(),
+    });
+    let in_fmt = Fixed::new(8, 4).unwrap();
+    let mut r = rng::seeded(3);
+    let x: Vec<f32> = (0..1 * 6 * 6).map(|_| r.gen_range(-4.0..4.0)).collect();
+    let out = sim.run_max_pool(&x, (1, 6, 6), 3, 3);
+    let xq = Tensor::from_vec(
+        Shape::d4(1, 1, 6, 6),
+        x.iter().map(|&v| in_fmt.quantize_value(v)).collect(),
+    )
+    .unwrap();
+    let want = max_pool2d(&xq, Geometry::square(3, 3, 0)).unwrap().output;
+    assert_eq!(out.outputs.as_slice(), want.as_slice());
+}

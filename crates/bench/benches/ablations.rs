@@ -1,0 +1,173 @@
+//! Ablations over the design choices DESIGN.md calls out:
+//!
+//! 1. **QAT vs. post-training quantization** — is the retraining phase
+//!    (the paper's §IV-A techniques) actually earning its keep?
+//! 2. **STE clipping on/off** — BinaryConnect's clipped estimator vs. the
+//!    plain pass-through.
+//! 3. **Calibration rule** — max-abs vs. 99th-percentile range fitting.
+//! 4. **Binary scale** — plain ±1 vs. the XNOR mean-|w| refinement.
+//! 5. **Activation radix** — per-layer (Ristretto) vs. one global radix
+//!    (single-radix hardware; the paper's future-work motivation).
+//!
+//! Each ablation trains at smoke scale and prints a comparison, then the
+//! quantization kernels are benchmarked.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use qnn_data::{standard_splits, DatasetKind, Splits};
+use qnn_nn::{zoo, ActivationCalibration, Network, QatConfig, Trainer, TrainerConfig};
+use qnn_quant::calibrate::Method;
+use qnn_quant::{Binary, Fixed, PowerOfTwo, Precision, Quantizer};
+use qnn_tensor::{Shape, Tensor};
+use std::hint::black_box;
+
+fn trainer(ste_clip: bool) -> Trainer {
+    Trainer::new(TrainerConfig {
+        epochs: 4,
+        batch_size: 32,
+        lr: 0.05,
+        ste_clip,
+        ..TrainerConfig::default()
+    })
+}
+
+/// Returns (fp_accuracy, pretrained state) on the glyphs benchmark.
+fn pretrain(splits: &Splits) -> (f32, Network, Trainer) {
+    let t = trainer(true);
+    let mut net = Network::build(&zoo::lenet_small(), 5).unwrap();
+    t.train(&mut net, splits.train.images(), splits.train.labels())
+        .unwrap();
+    let acc = t
+        .evaluate(&mut net, splits.test.images(), splits.test.labels())
+        .unwrap();
+    (acc * 100.0, net, t)
+}
+
+fn qat_accuracy(splits: &Splits, state: &[Tensor], qat: &QatConfig, t: &Trainer) -> f32 {
+    let mut net = Network::build(&zoo::lenet_small(), 5).unwrap();
+    net.load_state(state).unwrap();
+    t.train_qat(
+        &mut net,
+        qat,
+        splits.train.images(),
+        splits.train.labels(),
+        64,
+    )
+    .unwrap();
+    t.evaluate(&mut net, splits.test.images(), splits.test.labels())
+        .unwrap()
+        * 100.0
+}
+
+fn ptq_accuracy(splits: &Splits, state: &[Tensor], precision: Precision, t: &Trainer) -> f32 {
+    let mut net = Network::build(&zoo::lenet_small(), 5).unwrap();
+    net.load_state(state).unwrap();
+    let calib = splits.train.take(&(0..64).collect::<Vec<_>>());
+    net.set_precision(
+        precision,
+        Method::MaxAbs,
+        calib.images(),
+        ActivationCalibration::PerLayer,
+    )
+    .unwrap();
+    t.evaluate(&mut net, splits.test.images(), splits.test.labels())
+        .unwrap()
+        * 100.0
+}
+
+fn run_ablations() {
+    println!("\n=== Ablations (glyphs28 @ smoke scale, lenet-small) ===\n");
+    let splits = standard_splits(DatasetKind::Glyphs28, 400, 300, 77);
+    let (fp, fp_net, t) = pretrain(&splits);
+    let state = fp_net.state_dict();
+    println!("full-precision baseline: {fp:.1}%\n");
+
+    // 1. QAT vs PTQ at aggressive precisions.
+    for p in [Precision::fixed(4, 4), Precision::binary()] {
+        let ptq = ptq_accuracy(&splits, &state, p, &t);
+        let qat = qat_accuracy(&splits, &state, &QatConfig::new(p), &t);
+        println!(
+            "[qat-vs-ptq]    {:24} PTQ {ptq:5.1}%  QAT {qat:5.1}%  (QAT gain {:+.1})",
+            p.label(),
+            qat - ptq
+        );
+    }
+
+    // 2. STE clip on/off for binary.
+    let t_noclip = trainer(false);
+    let clip = qat_accuracy(&splits, &state, &QatConfig::new(Precision::binary()), &t);
+    let noclip = qat_accuracy(
+        &splits,
+        &state,
+        &QatConfig::new(Precision::binary()),
+        &t_noclip,
+    );
+    println!("\n[ste-clip]      binary: clipped {clip:.1}%  unclipped {noclip:.1}%");
+
+    // 3. Calibration rule at 4 bits.
+    let maxabs = qat_accuracy(&splits, &state, &QatConfig::new(Precision::fixed(4, 4)), &t);
+    let pct = qat_accuracy(
+        &splits,
+        &state,
+        &QatConfig {
+            method: Method::Percentile(0.99),
+            ..QatConfig::new(Precision::fixed(4, 4))
+        },
+        &t,
+    );
+    println!("\n[calibration]   fixed(4,4): max-abs {maxabs:.1}%  p99 {pct:.1}%");
+
+    // 5. Per-layer vs global activation radix at 8 bits.
+    let per_layer = qat_accuracy(&splits, &state, &QatConfig::new(Precision::fixed(8, 8)), &t);
+    let global = qat_accuracy(
+        &splits,
+        &state,
+        &QatConfig {
+            activation_calibration: ActivationCalibration::Global,
+            ..QatConfig::new(Precision::fixed(8, 8))
+        },
+        &t,
+    );
+    println!("\n[act-radix]     fixed(8,8): per-layer {per_layer:.1}%  global {global:.1}%");
+    println!("                (per-layer radix is the multi-radix hardware the paper names as future work)");
+
+    // Extension sweeps enabled by the model (dimensions the paper scoped out).
+    println!("\n[minifloat]     custom float geometries (future work):");
+    match qnn_core::experiments::minifloat_sweep(
+        false,
+        qnn_core::experiments::ExperimentScale::Smoke,
+        1,
+    ) {
+        Ok(rows) => println!("{}", qnn_core::experiments::MinifloatRow::render(&rows)),
+        Err(e) => println!("  failed: {e}"),
+    }
+    println!("[tile-scaling]  accelerator size at fixed(16,16) (dimension the paper scoped out):");
+    match qnn_core::experiments::tile_scaling(Precision::fixed(16, 16)) {
+        Ok(rows) => println!("{}", qnn_core::experiments::TileRow::render(&rows)),
+        Err(e) => println!("  failed: {e}"),
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    run_ablations();
+    // Quantization kernel costs (the inner loops of everything above).
+    let data = Tensor::from_vec(
+        Shape::d1(4096),
+        (0..4096).map(|i| ((i as f32) * 0.37).sin() * 4.0).collect(),
+    )
+    .unwrap();
+    let fixed = Fixed::new(8, 5).unwrap();
+    let pow2 = PowerOfTwo::new(6, 1).unwrap();
+    let binary = Binary::new();
+    let mut g = c.benchmark_group("quantize_4096");
+    g.bench_function("fixed8", |b| b.iter(|| black_box(fixed.quantize(&data))));
+    g.bench_function("pow2", |b| b.iter(|| black_box(pow2.quantize(&data))));
+    g.bench_function("binary", |b| b.iter(|| black_box(binary.quantize(&data))));
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Figure 3 — area and power breakdown by synthesis category.
+//!
+//! Prints the stacked-bar dataset (Memory / Registers / Combinational /
+//! Buf-Inv per precision) plus the buffer-dominance fractions, then
+//! benchmarks the breakdown computation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use qnn_accel::AcceleratorDesign;
+use qnn_core::experiments::{breakdown, BreakdownRow};
+use qnn_quant::Precision;
+use std::hint::black_box;
+
+fn print_figure() {
+    println!("\n=== Figure 3 — area & power breakdown by category ===\n");
+    let bars = breakdown();
+    println!("{}", BreakdownRow::render(&bars));
+    println!("Buffer dominance (paper: 75-93% power, 76-96% area):");
+    for p in Precision::paper_sweep() {
+        let d = AcceleratorDesign::new(p);
+        println!(
+            "  {:26} {:5.1}% power, {:5.1}% area",
+            p.label(),
+            d.buffer_power_fraction() * 100.0,
+            d.buffer_area_fraction() * 100.0
+        );
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    print_figure();
+    c.bench_function("fig3/breakdown_all_precisions", |b| {
+        b.iter(|| black_box(breakdown()))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

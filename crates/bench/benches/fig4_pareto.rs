@@ -1,0 +1,84 @@
+//! Figure 4 — the accuracy-vs-energy Pareto frontier on the CIFAR-class
+//! benchmark.
+//!
+//! Prints two frontiers: one over the paper's own published Table V points
+//! (exact reproduction of the figure's geometry) and one over points
+//! regenerated at smoke scale, then benchmarks the frontier extraction.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use qnn_core::experiments::{table5, ExperimentScale, Table5Row};
+use qnn_core::pareto::{pareto_frontier, DesignPoint};
+use std::hint::black_box;
+
+fn published_points() -> Vec<DesignPoint> {
+    qnn_core::paper::table5()
+        .into_iter()
+        .map(|(net, p, acc, e)| {
+            let suffix = match net {
+                "alex+" => "+",
+                "alex++" => "++",
+                _ => "",
+            };
+            DesignPoint::new(format!("{}{}", p.label(), suffix), acc, e)
+        })
+        .collect()
+}
+
+fn print_figure() {
+    println!("\n=== Figure 4 — Pareto frontier over the paper's published points ===\n");
+    let points = published_points();
+    let frontier = pareto_frontier(&points);
+    for p in &points {
+        let on = frontier.iter().any(|f| f == p);
+        println!(
+            "{} {:28} {:9.2} uJ  {:5.2}%",
+            if on { "*" } else { " " },
+            p.label,
+            p.energy_uj,
+            p.accuracy_pct
+        );
+    }
+    println!("\n=== Figure 4 — regenerated at smoke scale ===\n");
+    match table5(ExperimentScale::Smoke, 42) {
+        Ok(rows) => {
+            let pts = Table5Row::to_design_points(&rows);
+            let front = pareto_frontier(&pts);
+            for p in &front {
+                println!(
+                    "* {:32} {:9.2} uJ  {:5.1}%",
+                    p.label, p.energy_uj, p.accuracy_pct
+                );
+            }
+        }
+        Err(e) => println!("regeneration failed: {e}"),
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    print_figure();
+    let points = published_points();
+    c.bench_function("fig4/pareto_frontier_published_points", |b| {
+        b.iter(|| black_box(pareto_frontier(black_box(&points))))
+    });
+    // Scaling behaviour on larger synthetic point clouds.
+    let big: Vec<DesignPoint> = (0..1000)
+        .map(|i| {
+            let x = i as f32;
+            DesignPoint::new(
+                format!("p{i}"),
+                50.0 + (x * 0.37).sin() * 25.0,
+                (100.0 + x * 3.0) as f64,
+            )
+        })
+        .collect();
+    c.bench_function("fig4/pareto_frontier_1000_points", |b| {
+        b.iter(|| black_box(pareto_frontier(black_box(&big))))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench
+}
+criterion_main!(benches);

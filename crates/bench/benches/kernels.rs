@@ -1,0 +1,60 @@
+//! Microbenchmarks of the computational substrate: matmul, im2col
+//! convolution (forward and backward), pooling, and a full LeNet-small
+//! forward pass — the kernels every experiment above spends its time in.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use qnn_nn::{zoo, Mode, Network};
+use qnn_tensor::conv::{conv2d, conv2d_backward, Geometry};
+use qnn_tensor::pool::max_pool2d;
+use qnn_tensor::{rng, Shape, Tensor};
+use rand::Rng;
+use std::hint::black_box;
+
+fn random(shape: Shape, seed: u64) -> Tensor {
+    let mut r = rng::seeded(seed);
+    let n = shape.len();
+    Tensor::from_vec(shape, (0..n).map(|_| r.gen_range(-1.0..1.0)).collect()).unwrap()
+}
+
+fn bench(c: &mut Criterion) {
+    // Matmul at the FC-layer sizes of LeNet.
+    let a = random(Shape::d2(64, 800), 1);
+    let b = random(Shape::d2(800, 500), 2);
+    c.bench_function("kernels/matmul_64x800x500", |bch| {
+        bch.iter(|| black_box(a.matmul(black_box(&b)).unwrap()))
+    });
+
+    // Convolution at LeNet conv2 size: 50×(20,5,5) over (20,12,12).
+    let x = random(Shape::d4(4, 20, 12, 12), 3);
+    let w = random(Shape::d4(50, 20, 5, 5), 4);
+    let bias = Tensor::zeros(Shape::d1(50));
+    let geom = Geometry::square(5, 1, 0);
+    c.bench_function("kernels/conv2d_lenet_conv2_batch4", |bch| {
+        bch.iter(|| black_box(conv2d(black_box(&x), &w, &bias, geom).unwrap()))
+    });
+    let y = conv2d(&x, &w, &bias, geom).unwrap();
+    let gout = Tensor::ones(y.shape().clone());
+    c.bench_function("kernels/conv2d_backward_lenet_conv2_batch4", |bch| {
+        bch.iter(|| black_box(conv2d_backward(black_box(&x), &w, &gout, geom).unwrap()))
+    });
+
+    // Pooling over a large feature map.
+    let p = random(Shape::d4(4, 32, 32, 32), 5);
+    c.bench_function("kernels/maxpool_3x3s2_batch4", |bch| {
+        bch.iter(|| black_box(max_pool2d(black_box(&p), Geometry::square(3, 2, 0)).unwrap()))
+    });
+
+    // Whole-network forward at batch 8.
+    let mut net = Network::build(&zoo::lenet_small(), 7).unwrap();
+    let batch = random(Shape::d4(8, 1, 28, 28), 6);
+    c.bench_function("kernels/forward_lenet_small_batch8", |bch| {
+        bch.iter(|| black_box(net.forward(black_box(&batch), Mode::Eval).unwrap()))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! §V-B memory footprints — parameter memory per network per precision
+//! and the 2–32× reduction claim.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use qnn_core::experiments::{memory_report, MemoryRow};
+use qnn_nn::{memory, zoo};
+use qnn_quant::Precision;
+use std::hint::black_box;
+
+fn print_report() {
+    println!("\n=== §V-B — parameter memory (paper: ~1650/2150/350/1250/9400 KB at FP32) ===\n");
+    match memory_report() {
+        Ok(rows) => println!("{}", MemoryRow::render(&rows)),
+        Err(e) => println!("memory report failed: {e}"),
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    print_report();
+    let specs = zoo::all_paper_networks();
+    c.bench_function("memory/footprint_all_networks_all_precisions", |b| {
+        b.iter(|| {
+            for spec in &specs {
+                for p in Precision::paper_sweep() {
+                    black_box(memory::footprint(spec, p).unwrap());
+                }
+            }
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

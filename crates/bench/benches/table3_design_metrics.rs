@@ -1,0 +1,34 @@
+//! Table III — design metrics of the evaluated precisions.
+//!
+//! Prints the regenerated table (model vs. paper) once, then benchmarks
+//! the synthesis-estimation kernel that produces each row.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use qnn_accel::AcceleratorDesign;
+use qnn_core::experiments::{design_metrics, DesignRow};
+use qnn_quant::Precision;
+use std::hint::black_box;
+
+fn print_table() {
+    println!("\n=== Table III — design metrics per precision (model vs paper) ===\n");
+    println!("{}", DesignRow::render(&design_metrics()));
+}
+
+fn bench(c: &mut Criterion) {
+    print_table();
+    let mut g = c.benchmark_group("table3");
+    for p in [
+        Precision::float32(),
+        Precision::fixed(8, 8),
+        Precision::binary(),
+    ] {
+        g.bench_function(format!("synthesize/{}", p.label()), |b| {
+            b.iter(|| black_box(AcceleratorDesign::new(black_box(p)).synthesize().power_mw()))
+        });
+    }
+    g.bench_function("full_table", |b| b.iter(|| black_box(design_metrics())));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

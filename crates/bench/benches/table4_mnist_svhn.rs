@@ -1,0 +1,63 @@
+//! Table IV — accuracy, per-image energy and savings on the MNIST- and
+//! SVHN-class benchmarks.
+//!
+//! Regenerates the table once at `QNN_BENCH_SCALE` (default `reduced`:
+//! width-reduced networks, a few thousand synthetic samples — several
+//! minutes of QAT training) and prints it with the paper's accuracies
+//! alongside, then benchmarks the per-image energy evaluation and a
+//! quantized forward pass.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use qnn_accel::AcceleratorDesign;
+use qnn_bench::bench_scale;
+use qnn_core::experiments::table4;
+use qnn_nn::{zoo, Mode, Network};
+use qnn_quant::Precision;
+use qnn_tensor::{Shape, Tensor};
+use std::hint::black_box;
+
+fn regenerate() {
+    let scale = bench_scale();
+    println!("\n=== Table IV (accuracy at {scale:?} scale; energy from full Table I nets) ===\n");
+    match table4(scale, 42) {
+        Ok(t) => println!("{}", t.render()),
+        Err(e) => println!("table4 failed: {e}"),
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    regenerate();
+    let lenet_wl = zoo::lenet().workload().unwrap();
+    c.bench_function("table4/energy_eval_lenet_all_precisions", |b| {
+        b.iter(|| {
+            for p in Precision::paper_sweep() {
+                black_box(
+                    AcceleratorDesign::new(p)
+                        .energy_per_image(black_box(&lenet_wl))
+                        .total_uj(),
+                );
+            }
+        })
+    });
+    // A single quantized LeNet-small forward pass (the accuracy side's
+    // inner kernel).
+    let mut net = Network::build(&zoo::lenet_small(), 1).unwrap();
+    let x = Tensor::zeros(Shape::d4(1, 1, 28, 28));
+    net.set_precision(
+        Precision::fixed(8, 8),
+        qnn_quant::calibrate::Method::MaxAbs,
+        &x,
+        qnn_nn::ActivationCalibration::PerLayer,
+    )
+    .unwrap();
+    c.bench_function("table4/quantized_forward_lenet_small", |b| {
+        b.iter(|| black_box(net.forward(black_box(&x), Mode::Eval).unwrap()))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench
+}
+criterion_main!(benches);

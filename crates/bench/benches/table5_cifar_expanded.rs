@@ -1,0 +1,48 @@
+//! Table V — CIFAR-class accuracy/energy for ALEX, ALEX+ and ALEX++.
+//!
+//! Regenerates the table once at `QNN_BENCH_SCALE` (default `reduced`)
+//! and prints it with the paper's `n.n× More` notation for rows costlier
+//! than the FP32 baseline, then benchmarks the energy evaluation across
+//! the three network sizes.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use qnn_accel::AcceleratorDesign;
+use qnn_bench::bench_scale;
+use qnn_core::experiments::{table5, Table5Row};
+use qnn_nn::zoo;
+use qnn_quant::Precision;
+use std::hint::black_box;
+
+fn regenerate() {
+    let scale = bench_scale();
+    println!("\n=== Table V (accuracy at {scale:?} scale; energy from full Table I/II nets) ===\n");
+    match table5(scale, 42) {
+        Ok(rows) => println!("{}", Table5Row::render(&rows)),
+        Err(e) => println!("table5 failed: {e}"),
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    regenerate();
+    let workloads = [
+        zoo::alex().workload().unwrap(),
+        zoo::alex_plus().workload().unwrap(),
+        zoo::alex_plus_plus().workload().unwrap(),
+    ];
+    c.bench_function("table5/energy_eval_three_networks", |b| {
+        b.iter(|| {
+            for wl in &workloads {
+                for p in [Precision::fixed(8, 8), Precision::binary()] {
+                    black_box(AcceleratorDesign::new(p).energy_per_image(wl).total_uj());
+                }
+            }
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+#![warn(missing_docs)]
+
+//! # qnn-bench — benchmark harness
+//!
+//! This crate exists for its `benches/` directory: one Criterion target
+//! per table/figure of the paper (see DESIGN.md §5 for the index). Each
+//! bench regenerates its artifact's dataset, prints it paper-vs-measured,
+//! and times the representative computational kernels.
+//!
+//! Run everything with `cargo bench --workspace`, or one artifact with
+//! e.g. `cargo bench -p qnn-bench --bench table3_design_metrics`.
+
+/// Scale selector shared by the heavy (training-based) benches: set
+/// `QNN_BENCH_SCALE=smoke|reduced|full` (default `reduced`).
+pub fn bench_scale() -> qnn_core::experiments::ExperimentScale {
+    match std::env::var("QNN_BENCH_SCALE").as_deref() {
+        Ok("smoke") => qnn_core::experiments::ExperimentScale::Smoke,
+        Ok("full") => qnn_core::experiments::ExperimentScale::Full,
+        _ => qnn_core::experiments::ExperimentScale::Reduced,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn default_scale_is_reduced() {
+        // Only meaningful when the env var is unset, which is the CI case.
+        if std::env::var("QNN_BENCH_SCALE").is_err() {
+            assert_eq!(
+                super::bench_scale(),
+                qnn_core::experiments::ExperimentScale::Reduced
+            );
+        }
+    }
+}

@@ -1,0 +1,115 @@
+//! Figure 3 — area and power breakdowns by synthesis category.
+
+use qnn_accel::AcceleratorDesign;
+use qnn_hw::Category;
+use qnn_quant::Precision;
+
+use crate::report;
+
+/// One stacked bar of Figure 3: a precision's per-category totals.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BreakdownRow {
+    /// The precision the bar describes.
+    pub precision: Precision,
+    /// `(category label, area mm², power mW)` in legend order.
+    pub categories: Vec<(&'static str, f64, f64)>,
+}
+
+impl BreakdownRow {
+    /// Total bar height (area).
+    pub fn total_area_mm2(&self) -> f64 {
+        self.categories.iter().map(|c| c.1).sum()
+    }
+
+    /// Total bar height (power).
+    pub fn total_power_mw(&self) -> f64 {
+        self.categories.iter().map(|c| c.2).sum()
+    }
+
+    /// Renders both stacked-bar datasets as markdown.
+    pub fn render(rows: &[BreakdownRow]) -> String {
+        let mut body = Vec::new();
+        for r in rows {
+            for (label, area, power) in &r.categories {
+                body.push(vec![
+                    r.precision.label(),
+                    (*label).to_string(),
+                    format!("{:.3}", area),
+                    format!("{:.1}", power),
+                ]);
+            }
+        }
+        report::markdown_table(
+            &["Precision (w,in)", "Category", "Area mm²", "Power mW"],
+            &body,
+        )
+    }
+}
+
+/// Generates the Figure 3 dataset over the paper's seven precisions.
+pub fn breakdown() -> Vec<BreakdownRow> {
+    Precision::paper_sweep()
+        .into_iter()
+        .map(|p| {
+            let design = AcceleratorDesign::new(p).synthesize();
+            let map = design.breakdown();
+            let categories = Category::ALL
+                .iter()
+                .map(|c| {
+                    let b = map[c.label()];
+                    (c.label(), b.area_mm2, b.power_mw)
+                })
+                .collect();
+            BreakdownRow {
+                precision: p,
+                categories,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bars_match_design_totals() {
+        for row in breakdown() {
+            let m = AcceleratorDesign::new(row.precision).report();
+            assert!((row.total_area_mm2() - m.area_mm2).abs() < 1e-9);
+            assert!((row.total_power_mw() - m.power_mw).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn memory_is_the_tallest_segment_everywhere() {
+        for row in breakdown() {
+            let mem = row.categories.iter().find(|c| c.0 == "Memory").unwrap();
+            for other in row.categories.iter().filter(|c| c.0 != "Memory") {
+                assert!(mem.1 > other.1, "{}: area", row.precision.label());
+                assert!(mem.2 > other.2, "{}: power", row.precision.label());
+            }
+        }
+    }
+
+    #[test]
+    fn buffer_dominance_ranges() {
+        // §V-B: buffers take 75–93 % of power and 76–96 % of area. Our
+        // model's ranges (printed in EXPERIMENTS.md) must overlap squarely.
+        for row in breakdown() {
+            let mem = row.categories.iter().find(|c| c.0 == "Memory").unwrap();
+            let fa = mem.1 / row.total_area_mm2();
+            let fp = mem.2 / row.total_power_mw();
+            assert!(
+                (0.70..=0.97).contains(&fa),
+                "{}: {fa}",
+                row.precision.label()
+            );
+            assert!(
+                (0.55..=0.95).contains(&fp),
+                "{}: {fp}",
+                row.precision.label()
+            );
+        }
+    }
+}

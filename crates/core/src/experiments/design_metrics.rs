@@ -1,0 +1,108 @@
+//! Table III — design metrics of the evaluated precisions.
+
+use qnn_accel::{paper, AcceleratorDesign};
+use qnn_quant::Precision;
+
+use crate::report;
+
+/// One generated Table III row, with the paper's value alongside.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DesignRow {
+    /// The precision this row describes.
+    pub precision: Precision,
+    /// Model area, mm².
+    pub area_mm2: f64,
+    /// Model power, mW.
+    pub power_mw: f64,
+    /// Model area saving vs. float32, percent.
+    pub area_saving_pct: f64,
+    /// Model power saving vs. float32, percent.
+    pub power_saving_pct: f64,
+    /// Published area, mm².
+    pub paper_area_mm2: f64,
+    /// Published power, mW.
+    pub paper_power_mw: f64,
+}
+
+/// Generates Table III from the calibrated hardware model, paired with the
+/// paper's published values.
+pub fn design_metrics() -> Vec<DesignRow> {
+    paper::table3()
+        .into_iter()
+        .map(|row| {
+            let m = AcceleratorDesign::new(row.precision).report();
+            DesignRow {
+                precision: row.precision,
+                area_mm2: m.area_mm2,
+                power_mw: m.power_mw,
+                area_saving_pct: m.area_saving_pct,
+                power_saving_pct: m.power_saving_pct,
+                paper_area_mm2: row.area_mm2,
+                paper_power_mw: row.power_mw,
+            }
+        })
+        .collect()
+}
+
+impl DesignRow {
+    /// Renders the full table as markdown.
+    pub fn render(rows: &[DesignRow]) -> String {
+        let body: Vec<Vec<String>> = rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.precision.label(),
+                    format!("{:.2}", r.area_mm2),
+                    format!("{:.2}", r.paper_area_mm2),
+                    format!("{:.1}", r.power_mw),
+                    format!("{:.1}", r.paper_power_mw),
+                    format!("{:.2}", r.area_saving_pct),
+                    format!("{:.2}", r.power_saving_pct),
+                ]
+            })
+            .collect();
+        report::markdown_table(
+            &[
+                "Precision (w,in)",
+                "Area mm² (model)",
+                "Area mm² (paper)",
+                "Power mW (model)",
+                "Power mW (paper)",
+                "Area sav. %",
+                "Power sav. %",
+            ],
+            &body,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seven_rows_in_table_order() {
+        let rows = design_metrics();
+        assert_eq!(rows.len(), 7);
+        assert_eq!(rows[0].precision, Precision::float32());
+        assert_eq!(rows[6].precision, Precision::binary());
+    }
+
+    #[test]
+    fn savings_increase_down_the_fixed_column() {
+        let rows = design_metrics();
+        // fixed 32 → 16 → 8 → 4 rows are indices 1..=4.
+        for w in 1..4 {
+            assert!(rows[w + 1].power_saving_pct > rows[w].power_saving_pct);
+            assert!(rows[w + 1].area_saving_pct > rows[w].area_saving_pct);
+        }
+    }
+
+    #[test]
+    fn render_contains_every_precision() {
+        let md = DesignRow::render(&design_metrics());
+        for p in Precision::paper_sweep() {
+            assert!(md.contains(&p.label()), "missing {}", p.label());
+        }
+    }
+}

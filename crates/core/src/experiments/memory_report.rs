@@ -1,0 +1,113 @@
+//! §V-B memory footprints: parameter memory per network per precision and
+//! the 2–32× reduction claim.
+
+use qnn_nn::{memory, zoo, NnError};
+use qnn_quant::Precision;
+
+use crate::report;
+
+/// Parameter memory of one network across the precision sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MemoryRow {
+    /// Network name.
+    pub network: String,
+    /// Float32 parameter memory in KiB (the paper quotes ≈1650 / 2150 /
+    /// 350 / 1250 / 9400 for its five networks).
+    pub float32_kib: f64,
+    /// `(precision, parameter KiB, reduction × vs float32)`.
+    pub per_precision: Vec<(Precision, f64, f64)>,
+}
+
+/// Computes the memory report over all five paper networks and the seven
+/// paper precisions.
+///
+/// # Errors
+///
+/// Propagates spec validation errors.
+pub fn memory_report() -> Result<Vec<MemoryRow>, NnError> {
+    let mut rows = Vec::new();
+    for spec in zoo::all_paper_networks() {
+        let fp = memory::footprint(&spec, Precision::float32())?;
+        let mut per_precision = Vec::new();
+        for p in Precision::paper_sweep() {
+            let f = memory::footprint(&spec, p)?;
+            per_precision.push((
+                p,
+                f.parameter_kib(),
+                fp.parameter_bytes as f64 / f.parameter_bytes as f64,
+            ));
+        }
+        rows.push(MemoryRow {
+            network: spec.name().to_string(),
+            float32_kib: fp.parameter_kib(),
+            per_precision,
+        });
+    }
+    Ok(rows)
+}
+
+impl MemoryRow {
+    /// Renders the report as markdown.
+    pub fn render(rows: &[MemoryRow]) -> String {
+        let mut body = Vec::new();
+        for r in rows {
+            for (p, kib, reduction) in &r.per_precision {
+                body.push(vec![
+                    r.network.clone(),
+                    p.label(),
+                    format!("{:.0}", kib),
+                    format!("{:.1}x", reduction),
+                ]);
+            }
+        }
+        report::markdown_table(
+            &["Network", "Precision (w,in)", "Params KiB", "Reduction"],
+            &body,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn float32_footprints_match_paper_quotes() {
+        let rows = memory_report().unwrap();
+        let find = |n: &str| rows.iter().find(|r| r.network == n).unwrap().float32_kib;
+        let close = |got: f64, want: f64| (got - want).abs() / want < 0.12;
+        assert!(close(find("lenet"), 1650.0), "{}", find("lenet"));
+        assert!(close(find("convnet"), 2150.0), "{}", find("convnet"));
+        assert!(close(find("alex"), 350.0), "{}", find("alex"));
+        assert!(close(find("alex+"), 1250.0), "{}", find("alex+"));
+        assert!(close(find("alex++"), 9400.0), "{}", find("alex++"));
+    }
+
+    #[test]
+    fn reductions_span_two_to_thirtytwo() {
+        // §V-B: "the memory footprint of each network reduces from 2× to
+        // 32×" (ideal bounds; biases staying at 32 bits shave the top end).
+        for r in memory_report().unwrap() {
+            // Fixed (32,32) stores weights at float width (1× reduction);
+            // the paper's 2–32× claim is about the narrower formats.
+            let reductions: Vec<f64> = r
+                .per_precision
+                .iter()
+                .filter(|(p, _, _)| p.is_quantized() && p.weight_bits() < 32)
+                .map(|&(_, _, red)| red)
+                .collect();
+            let min = reductions.iter().cloned().fold(f64::INFINITY, f64::min);
+            let max = reductions.iter().cloned().fold(0.0, f64::max);
+            assert!((1.9..=2.05).contains(&min), "{}: min {min}", r.network);
+            assert!(max > 15.0 && max <= 32.0, "{}: max {max}", r.network);
+        }
+    }
+
+    #[test]
+    fn render_has_all_networks() {
+        let md = MemoryRow::render(&memory_report().unwrap());
+        for n in ["lenet", "convnet", "alex", "alex+", "alex++"] {
+            assert!(md.contains(n));
+        }
+    }
+}

@@ -1,0 +1,153 @@
+//! Minifloat design-space sweep — the paper's named future work
+//! ("analytically investigating ... effectively predicting the lower
+//! precision accuracy and hardware metrics" for further formats).
+//!
+//! Sweeps custom float geometries `(exp, man)` through the same hardware
+//! model and (optionally) the same QAT pipeline as the main study, so the
+//! new points drop straight onto the Figure 4 axes.
+
+use qnn_accel::AcceleratorDesign;
+use qnn_data::{standard_splits, DatasetKind};
+use qnn_nn::{zoo, NnError};
+use qnn_quant::Precision;
+
+use super::{accuracy_sweep, ExperimentScale};
+use crate::report;
+
+/// One minifloat sweep row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MinifloatRow {
+    /// The geometry, as a precision.
+    pub precision: Precision,
+    /// Exponent/mantissa widths.
+    pub geometry: (u32, u32),
+    /// Design area, mm².
+    pub area_mm2: f64,
+    /// Design power, mW.
+    pub power_mw: f64,
+    /// Per-image LeNet energy, µJ.
+    pub lenet_energy_uj: f64,
+    /// Glyphs28 QAT accuracy (only populated when `train` was requested).
+    pub accuracy_pct: Option<f32>,
+}
+
+/// The geometries swept: IEEE binary32 (the baseline, recovering the
+/// Table III float row), binary16, bfloat16-like, and two 8-bit floats
+/// (E4M3/E5M2, the formats later standardized for deep learning).
+pub fn standard_geometries() -> Vec<(u32, u32)> {
+    vec![(8, 23), (5, 10), (8, 7), (4, 3), (5, 2)]
+}
+
+/// Runs the sweep. With `train = true`, each geometry is also trained
+/// (QAT) on the MNIST-class benchmark at `scale`.
+///
+/// # Errors
+///
+/// Propagates hardware-model and training errors.
+pub fn minifloat_sweep(
+    train: bool,
+    scale: ExperimentScale,
+    seed: u64,
+) -> Result<Vec<MinifloatRow>, NnError> {
+    let lenet_wl = zoo::lenet().workload()?;
+    let mut rows = Vec::new();
+    let precisions: Vec<Precision> = standard_geometries()
+        .into_iter()
+        .map(|(e, m)| Precision::minifloat(e, m))
+        .collect();
+    let accuracies: Vec<Option<f32>> = if train {
+        let (n_train, n_test) = scale.samples();
+        let splits = standard_splits(DatasetKind::Glyphs28, n_train, n_test, seed);
+        let spec = match scale {
+            ExperimentScale::Full => zoo::lenet(),
+            _ => zoo::lenet_small(),
+        };
+        accuracy_sweep(&spec, &splits, &precisions, scale, seed)?
+            .into_iter()
+            .map(|p| p.accuracy_pct)
+            .collect()
+    } else {
+        vec![None; precisions.len()]
+    };
+    for (p, acc) in precisions.into_iter().zip(accuracies) {
+        let geometry = match p.weights() {
+            qnn_quant::Scheme::Minifloat { exp_bits, man_bits } => (exp_bits, man_bits),
+            _ => unreachable!("sweep builds only minifloat precisions"),
+        };
+        let design = AcceleratorDesign::new(p);
+        let m = design.report();
+        rows.push(MinifloatRow {
+            precision: p,
+            geometry,
+            area_mm2: m.area_mm2,
+            power_mw: m.power_mw,
+            lenet_energy_uj: design.energy_per_image(&lenet_wl).total_uj(),
+            accuracy_pct: acc,
+        });
+    }
+    Ok(rows)
+}
+
+impl MinifloatRow {
+    /// Renders the sweep as markdown.
+    pub fn render(rows: &[MinifloatRow]) -> String {
+        let body: Vec<Vec<String>> = rows
+            .iter()
+            .map(|r| {
+                vec![
+                    format!("float {}e{}m", r.geometry.0, r.geometry.1),
+                    format!("{}", 1 + r.geometry.0 + r.geometry.1),
+                    format!("{:.2}", r.area_mm2),
+                    format!("{:.1}", r.power_mw),
+                    format!("{:.2}", r.lenet_energy_uj),
+                    report::pct_or_na(r.accuracy_pct),
+                ]
+            })
+            .collect();
+        report::markdown_table(
+            &[
+                "Geometry",
+                "Bits",
+                "Area mm²",
+                "Power mW",
+                "LeNet µJ",
+                "Acc. %",
+            ],
+            &body,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fp32_geometry_recovers_table3_float_row() {
+        let rows = minifloat_sweep(false, ExperimentScale::Smoke, 1).unwrap();
+        let fp32 = &rows[0];
+        assert_eq!(fp32.geometry, (8, 23));
+        let table3_float = AcceleratorDesign::new(Precision::float32()).report();
+        assert!((fp32.area_mm2 - table3_float.area_mm2).abs() / table3_float.area_mm2 < 0.01);
+        assert!((fp32.power_mw - table3_float.power_mw).abs() / table3_float.power_mw < 0.01);
+    }
+
+    #[test]
+    fn narrower_floats_cost_less() {
+        let rows = minifloat_sweep(false, ExperimentScale::Smoke, 1).unwrap();
+        // Sorted by total bits descending within the standard list:
+        // 32 > 16 = 16 > 8 = 8.
+        assert!(rows[0].area_mm2 > rows[1].area_mm2);
+        assert!(rows[1].area_mm2 > rows[3].area_mm2);
+        assert!(rows[0].power_mw > rows[3].power_mw);
+        assert!(rows[0].lenet_energy_uj > rows[3].lenet_energy_uj);
+    }
+
+    #[test]
+    fn eight_bit_float_beats_sixteen_bit_fixed_in_area() {
+        let rows = minifloat_sweep(false, ExperimentScale::Smoke, 1).unwrap();
+        let f8 = rows.iter().find(|r| r.geometry == (4, 3)).unwrap();
+        let fix16 = AcceleratorDesign::new(Precision::fixed(16, 16)).report();
+        assert!(f8.area_mm2 < fix16.area_mm2);
+    }
+}

@@ -1,0 +1,184 @@
+//! Table IV — accuracy, per-image energy and energy savings on the
+//! MNIST- and SVHN-class benchmarks.
+
+use qnn_accel::AcceleratorDesign;
+use qnn_data::{standard_splits, DatasetKind};
+use qnn_nn::arch::NetworkSpec;
+use qnn_nn::{zoo, NnError};
+use qnn_quant::Precision;
+
+use super::{accuracy_sweep, ExperimentScale};
+use crate::report;
+
+/// One generated Table IV row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table4Row {
+    /// The precision this row describes.
+    pub precision: Precision,
+    /// Measured test accuracy, percent (`None` = failed to converge, the
+    /// paper's NA).
+    pub accuracy_pct: Option<f32>,
+    /// Paper's accuracy for the corresponding dataset, for side-by-side
+    /// printing.
+    pub paper_accuracy_pct: Option<f32>,
+    /// Per-image energy on the full Table I architecture, µJ.
+    pub energy_uj: f64,
+    /// Energy saving vs. the float32 row, percent.
+    pub energy_saving_pct: f64,
+}
+
+/// The generated table: one row list per benchmark.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table4 {
+    /// MNIST-class benchmark (LeNet on Glyphs28).
+    pub mnist: Vec<Table4Row>,
+    /// SVHN-class benchmark (ConvNet on HouseDigits32).
+    pub svhn: Vec<Table4Row>,
+}
+
+fn energy_column(spec: &NetworkSpec, precisions: &[Precision]) -> Result<Vec<(f64, f64)>, NnError> {
+    let wl = spec.workload()?;
+    let base = AcceleratorDesign::new(Precision::float32())
+        .energy_per_image(&wl)
+        .total_uj();
+    Ok(precisions
+        .iter()
+        .map(|&p| {
+            let e = AcceleratorDesign::new(p).energy_per_image(&wl).total_uj();
+            (e, (1.0 - e / base) * 100.0)
+        })
+        .collect())
+}
+
+fn build_rows(
+    sweep: Vec<super::SweepPoint>,
+    energies: Vec<(f64, f64)>,
+    paper_acc: Vec<Option<f32>>,
+) -> Vec<Table4Row> {
+    sweep
+        .into_iter()
+        .zip(energies)
+        .zip(paper_acc)
+        .map(|((pt, (e, s)), pa)| Table4Row {
+            precision: pt.precision,
+            accuracy_pct: pt.accuracy_pct,
+            paper_accuracy_pct: pa,
+            energy_uj: e,
+            energy_saving_pct: s,
+        })
+        .collect()
+}
+
+/// Regenerates Table IV.
+///
+/// Accuracy comes from QAT sweeps on the synthetic stand-ins at `scale`
+/// (width-reduced networks below [`ExperimentScale::Full`]); energy always
+/// comes from the full LeNet/ConvNet workloads on the accelerator model.
+///
+/// # Errors
+///
+/// Propagates training and workload errors.
+pub fn table4(scale: ExperimentScale, seed: u64) -> Result<Table4, NnError> {
+    let precisions = Precision::paper_sweep();
+    let (n_train, n_test) = scale.samples();
+    let paper_rows = crate::paper::table4_accuracies();
+
+    // MNIST-class.
+    let glyph_splits = standard_splits(DatasetKind::Glyphs28, n_train, n_test, seed);
+    let mnist_spec = match scale {
+        ExperimentScale::Full => zoo::lenet(),
+        _ => zoo::lenet_small(),
+    };
+    let mnist_sweep = accuracy_sweep(&mnist_spec, &glyph_splits, &precisions, scale, seed)?;
+    let mnist_energy = energy_column(&zoo::lenet(), &precisions)?;
+    let mnist = build_rows(
+        mnist_sweep,
+        mnist_energy,
+        paper_rows.iter().map(|r| r.1).collect(),
+    );
+
+    // SVHN-class.
+    let house_splits = standard_splits(DatasetKind::HouseDigits32, n_train, n_test, seed + 1);
+    let svhn_spec = match scale {
+        ExperimentScale::Full => zoo::convnet(),
+        _ => zoo::convnet_small(),
+    };
+    let svhn_sweep = accuracy_sweep(&svhn_spec, &house_splits, &precisions, scale, seed + 1)?;
+    let svhn_energy = energy_column(&zoo::convnet(), &precisions)?;
+    let svhn = build_rows(
+        svhn_sweep,
+        svhn_energy,
+        paper_rows.iter().map(|r| r.2).collect(),
+    );
+
+    Ok(Table4 { mnist, svhn })
+}
+
+impl Table4 {
+    /// Renders both halves as markdown.
+    pub fn render(&self) -> String {
+        let mut out = String::from("### Table IV — MNIST-class (LeNet / Glyphs28)\n\n");
+        out.push_str(&render_half(&self.mnist));
+        out.push_str("\n### Table IV — SVHN-class (ConvNet / HouseDigits32)\n\n");
+        out.push_str(&render_half(&self.svhn));
+        out
+    }
+}
+
+fn render_half(rows: &[Table4Row]) -> String {
+    let body: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.precision.label(),
+                report::pct_or_na(r.accuracy_pct),
+                report::pct_or_na(r.paper_accuracy_pct),
+                format!("{:.2}", r.energy_uj),
+                format!("{:.2}", r.energy_saving_pct),
+            ]
+        })
+        .collect();
+    report::markdown_table(
+        &[
+            "Precision (w,in)",
+            "Acc. % (ours)",
+            "Acc. % (paper)",
+            "Energy µJ",
+            "Energy sav. %",
+        ],
+        &body,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_table_has_all_rows_and_monotone_savings() {
+        let t = table4(ExperimentScale::Smoke, 11).unwrap();
+        assert_eq!(t.mnist.len(), 7);
+        assert_eq!(t.svhn.len(), 7);
+        // Energy savings grow monotonically down the fixed-point rows.
+        for half in [&t.mnist, &t.svhn] {
+            assert!(half[0].energy_saving_pct.abs() < 1e-9);
+            for i in 1..4 {
+                assert!(half[i + 1].energy_saving_pct > half[i].energy_saving_pct);
+            }
+            // Binary saves the most.
+            assert!(half[6].energy_saving_pct > 90.0);
+        }
+        // The easy benchmark converges at float precision even at smoke
+        // scale.
+        assert!(t.mnist[0].accuracy_pct.unwrap_or(0.0) > 30.0);
+    }
+
+    #[test]
+    fn render_mentions_both_benchmarks() {
+        let t = table4(ExperimentScale::Smoke, 13).unwrap();
+        let md = t.render();
+        assert!(md.contains("MNIST-class"));
+        assert!(md.contains("SVHN-class"));
+        assert!(md.contains("Binary Net (1,16)"));
+    }
+}

@@ -1,0 +1,123 @@
+//! Tile-size design-space extension.
+//!
+//! The paper fixes the accelerator at 16 neurons × 16 synapses and notes
+//! that "changing ... the accelerator parameters (other than precision)
+//! adds another dimension to the design space exploration which is out of
+//! the scope of our work". The model makes that dimension free to explore:
+//! this experiment sweeps the tile size at fixed precision and reports
+//! area, power, LeNet runtime and energy — showing the throughput/area
+//! trade the paper deliberately left on the table.
+
+use qnn_accel::{AcceleratorConfig, AcceleratorDesign};
+use qnn_nn::{zoo, NnError};
+use qnn_quant::Precision;
+
+use crate::report;
+
+/// One tile-size point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TileRow {
+    /// Neurons × synapses.
+    pub tile: (usize, usize),
+    /// Design area, mm².
+    pub area_mm2: f64,
+    /// Design power, mW.
+    pub power_mw: f64,
+    /// LeNet runtime per image, µs.
+    pub lenet_runtime_us: f64,
+    /// LeNet energy per image, µJ.
+    pub lenet_energy_uj: f64,
+}
+
+/// Sweeps square tiles `4×4 … 32×32` at the given precision.
+///
+/// Buffer rows scale with the tile (a `Tn×Ti` weight row per cycle), so
+/// larger tiles pay superlinear buffer power for sublinear runtime gains
+/// once layers stop filling the tile — the classic utilization wall.
+///
+/// # Errors
+///
+/// Propagates workload derivation errors.
+pub fn tile_scaling(precision: Precision) -> Result<Vec<TileRow>, NnError> {
+    let wl = zoo::lenet().workload()?;
+    let mut rows = Vec::new();
+    for shift in 2..=5u32 {
+        let t = 1usize << shift;
+        let config = AcceleratorConfig {
+            neurons: t,
+            synapses: t,
+            ..AcceleratorConfig::default()
+        };
+        let design = AcceleratorDesign::with_config(precision, config);
+        let m = design.report();
+        let e = design.energy_per_image(&wl);
+        rows.push(TileRow {
+            tile: (t, t),
+            area_mm2: m.area_mm2,
+            power_mw: m.power_mw,
+            lenet_runtime_us: e.runtime_us(),
+            lenet_energy_uj: e.total_uj(),
+        });
+    }
+    Ok(rows)
+}
+
+impl TileRow {
+    /// Renders the sweep as markdown.
+    pub fn render(rows: &[TileRow]) -> String {
+        let body: Vec<Vec<String>> = rows
+            .iter()
+            .map(|r| {
+                vec![
+                    format!("{}x{}", r.tile.0, r.tile.1),
+                    format!("{:.2}", r.area_mm2),
+                    format!("{:.1}", r.power_mw),
+                    format!("{:.1}", r.lenet_runtime_us),
+                    format!("{:.2}", r.lenet_energy_uj),
+                ]
+            })
+            .collect();
+        report::markdown_table(
+            &["Tile", "Area mm²", "Power mW", "LeNet µs", "LeNet µJ"],
+            &body,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bigger_tiles_cost_more_run_faster() {
+        let rows = tile_scaling(Precision::fixed(16, 16)).unwrap();
+        assert_eq!(rows.len(), 4);
+        for w in rows.windows(2) {
+            assert!(w[1].area_mm2 > w[0].area_mm2);
+            assert!(w[1].power_mw > w[0].power_mw);
+            assert!(w[1].lenet_runtime_us < w[0].lenet_runtime_us);
+        }
+    }
+
+    #[test]
+    fn utilization_wall_shows_in_energy() {
+        // Energy = power × runtime: doubling the tile less than halves the
+        // runtime on LeNet's odd-sized layers, so energy eventually rises.
+        let rows = tile_scaling(Precision::fixed(16, 16)).unwrap();
+        let e4 = rows[0].lenet_energy_uj;
+        let e32 = rows[3].lenet_energy_uj;
+        assert!(
+            e32 > e4 * 0.8,
+            "32×32 should show diminished efficiency: {e32} vs {e4}"
+        );
+    }
+
+    #[test]
+    fn default_tile_matches_main_model() {
+        let rows = tile_scaling(Precision::float32()).unwrap();
+        let r16 = rows.iter().find(|r| r.tile == (16, 16)).unwrap();
+        let main = AcceleratorDesign::new(Precision::float32()).report();
+        assert!((r16.area_mm2 - main.area_mm2).abs() < 1e-9);
+        assert!((r16.power_mw - main.power_mw).abs() < 1e-9);
+    }
+}

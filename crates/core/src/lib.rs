@@ -1,0 +1,33 @@
+#![warn(missing_docs)]
+
+//! # qnn-core — the experiment harness
+//!
+//! Regenerates every table and figure of the paper's evaluation section:
+//!
+//! | Artifact | Entry point |
+//! |---|---|
+//! | Table III (design metrics per precision) | [`experiments::design_metrics`] |
+//! | Table IV (MNIST & SVHN accuracy/energy) | [`experiments::table4`] |
+//! | Table V (CIFAR-10 with ALEX/ALEX+/ALEX++) | [`experiments::table5`] |
+//! | Figure 3 (area & power breakdowns) | [`experiments::breakdown`] |
+//! | Figure 4 (accuracy-vs-energy Pareto frontier) | [`pareto`] |
+//! | §V-B memory footprints | [`experiments::memory_report`] |
+//!
+//! Accuracy experiments train on the synthetic dataset families of
+//! `qnn-data` (MNIST/SVHN/CIFAR stand-ins — see DESIGN.md). Because full
+//! Table I/II networks at paper-scale sample counts take GPU-hours on a
+//! CPU, experiments take an [`ExperimentScale`](experiments::ExperimentScale):
+//! `Smoke` for tests, `Reduced` (default for benches) which trains
+//! width-reduced networks on a few thousand images, and `Full` which uses
+//! the exact Table I/II architectures. Hardware-side numbers (area, power,
+//! energy, memory) always use the **full** architectures — they come from
+//! the workload model, not from training.
+//!
+//! The published values are bundled in [`paper`] so every generated table
+//! prints *paper vs. measured* side by side, and [`report`] renders
+//! aligned markdown/CSV.
+
+pub mod experiments;
+pub mod paper;
+pub mod pareto;
+pub mod report;

@@ -1,0 +1,117 @@
+//! Accuracy-vs-energy design points and Pareto frontier (Figure 4).
+
+/// One point of Figure 4: a (network, precision) combination.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DesignPoint {
+    /// Display label, e.g. `"Powers of Two++ (6,16)"`.
+    pub label: String,
+    /// Classification accuracy, percent.
+    pub accuracy_pct: f32,
+    /// Per-image energy, µJ.
+    pub energy_uj: f64,
+}
+
+impl DesignPoint {
+    /// Creates a point.
+    pub fn new(label: impl Into<String>, accuracy_pct: f32, energy_uj: f64) -> Self {
+        DesignPoint {
+            label: label.into(),
+            accuracy_pct,
+            energy_uj,
+        }
+    }
+
+    /// Whether `self` dominates `other` (no worse on both axes, strictly
+    /// better on at least one; lower energy and higher accuracy are
+    /// better).
+    pub fn dominates(&self, other: &DesignPoint) -> bool {
+        let no_worse = self.accuracy_pct >= other.accuracy_pct && self.energy_uj <= other.energy_uj;
+        let better = self.accuracy_pct > other.accuracy_pct || self.energy_uj < other.energy_uj;
+        no_worse && better
+    }
+}
+
+/// Extracts the Pareto-optimal subset, sorted by increasing energy.
+///
+/// Points dominated by any other point are removed; ties (identical on
+/// both axes) keep their first occurrence.
+pub fn pareto_frontier(points: &[DesignPoint]) -> Vec<DesignPoint> {
+    let mut frontier: Vec<DesignPoint> = Vec::new();
+    for (i, p) in points.iter().enumerate() {
+        let dominated = points
+            .iter()
+            .enumerate()
+            .any(|(j, q)| (j != i) && q.dominates(p))
+            || frontier.iter().any(|q| q == p);
+        if !dominated {
+            frontier.push(p.clone());
+        }
+    }
+    frontier.sort_by(|a, b| {
+        a.energy_uj
+            .partial_cmp(&b.energy_uj)
+            .expect("finite energies")
+    });
+    frontier
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(l: &str, a: f32, e: f64) -> DesignPoint {
+        DesignPoint::new(l, a, e)
+    }
+
+    #[test]
+    fn domination_rules() {
+        let a = p("a", 80.0, 100.0);
+        let b = p("b", 81.0, 90.0); // better on both
+        let c = p("c", 80.0, 100.0); // equal
+        let d = p("d", 85.0, 200.0); // trade-off
+        assert!(b.dominates(&a));
+        assert!(!a.dominates(&b));
+        assert!(!a.dominates(&c) && !c.dominates(&a));
+        assert!(!b.dominates(&d) && !d.dominates(&b));
+    }
+
+    #[test]
+    fn frontier_removes_dominated_points() {
+        let pts = vec![
+            p("fp32", 81.22, 335.68),
+            p("fix16", 79.77, 136.61),
+            p("fix8", 77.99, 49.22),
+            p("worse", 70.0, 400.0), // dominated by fp32
+            p("pow2++", 81.26, 215.05),
+        ];
+        let f = pareto_frontier(&pts);
+        let labels: Vec<&str> = f.iter().map(|d| d.label.as_str()).collect();
+        assert!(!labels.contains(&"worse"));
+        // fp32 is dominated by pow2++ (higher acc, lower energy).
+        assert!(!labels.contains(&"fp32"));
+        assert_eq!(labels, ["fix8", "fix16", "pow2++"]);
+    }
+
+    #[test]
+    fn frontier_sorted_by_energy() {
+        let pts = vec![
+            p("a", 70.0, 300.0),
+            p("b", 60.0, 100.0),
+            p("c", 80.0, 500.0),
+        ];
+        let f = pareto_frontier(&pts);
+        let energies: Vec<f64> = f.iter().map(|d| d.energy_uj).collect();
+        assert_eq!(energies, vec![100.0, 300.0, 500.0]);
+    }
+
+    #[test]
+    fn duplicate_points_kept_once() {
+        let pts = vec![p("x", 80.0, 100.0), p("x", 80.0, 100.0)];
+        assert_eq!(pareto_frontier(&pts).len(), 1);
+    }
+
+    #[test]
+    fn empty_input_empty_frontier() {
+        assert!(pareto_frontier(&[]).is_empty());
+    }
+}

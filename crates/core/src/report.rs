@@ -1,0 +1,123 @@
+//! Minimal table rendering: aligned markdown and CSV, hand-rolled to keep
+//! the dependency tree free of serialization crates.
+
+/// Renders an aligned markdown table.
+///
+/// # Panics
+///
+/// Panics if any row's length differs from the header's.
+///
+/// ```
+/// let md = qnn_core::report::markdown_table(
+///     &["precision", "energy (uJ)"],
+///     &[vec!["float32".into(), "60.74".into()]],
+/// );
+/// assert!(md.contains("float32") && md.contains("60.74"));
+/// ```
+pub fn markdown_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    for (i, r) in rows.iter().enumerate() {
+        assert_eq!(
+            r.len(),
+            headers.len(),
+            "row {i} has {} cells for {} headers",
+            r.len(),
+            headers.len()
+        );
+    }
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for r in rows {
+        for (w, cell) in widths.iter_mut().zip(r.iter()) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: Vec<&str>, widths: &[usize]| -> String {
+        let mut line = String::from("|");
+        for (c, w) in cells.iter().zip(widths) {
+            line.push(' ');
+            line.push_str(c);
+            line.push_str(&" ".repeat(w - c.len()));
+            line.push_str(" |");
+        }
+        line.push('\n');
+        line
+    };
+    out.push_str(&fmt_row(headers.to_vec(), &widths));
+    let mut sep = String::from("|");
+    for w in &widths {
+        sep.push_str(&"-".repeat(w + 2));
+        sep.push('|');
+    }
+    sep.push('\n');
+    out.push_str(&sep);
+    for r in rows {
+        out.push_str(&fmt_row(r.iter().map(|s| s.as_str()).collect(), &widths));
+    }
+    out
+}
+
+/// Renders a CSV document (RFC-4180-ish: quotes cells containing commas,
+/// quotes or newlines).
+pub fn csv(headers: &[&str], rows: &[Vec<String>]) -> String {
+    fn esc(cell: &str) -> String {
+        if cell.contains([',', '"', '\n']) {
+            format!("\"{}\"", cell.replace('"', "\"\""))
+        } else {
+            cell.to_string()
+        }
+    }
+    let mut out = headers.iter().map(|h| esc(h)).collect::<Vec<_>>().join(",");
+    out.push('\n');
+    for r in rows {
+        out.push_str(&r.iter().map(|c| esc(c)).collect::<Vec<_>>().join(","));
+        out.push('\n');
+    }
+    out
+}
+
+/// Formats an optional percentage, printing the paper's `NA` marker for
+/// diverged runs.
+pub fn pct_or_na(v: Option<f32>) -> String {
+    match v {
+        Some(x) => format!("{:.2}", x),
+        None => "NA".to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn markdown_aligns_columns() {
+        let md = markdown_table(
+            &["a", "long-header"],
+            &[vec!["x".into(), "1".into()], vec!["yy".into(), "22".into()]],
+        );
+        let lines: Vec<&str> = md.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines.iter().all(|l| l.len() == lines[0].len()));
+    }
+
+    #[test]
+    #[should_panic(expected = "cells for")]
+    fn markdown_rejects_ragged_rows() {
+        markdown_table(&["a", "b"], &[vec!["only-one".into()]]);
+    }
+
+    #[test]
+    fn csv_escapes_commas_and_quotes() {
+        let out = csv(
+            &["name", "note"],
+            &[vec!["a,b".into(), "say \"hi\"".into()]],
+        );
+        assert!(out.contains("\"a,b\""));
+        assert!(out.contains("\"say \"\"hi\"\"\""));
+    }
+
+    #[test]
+    fn na_formatting() {
+        assert_eq!(pct_or_na(Some(84.03)), "84.03");
+        assert_eq!(pct_or_na(None), "NA");
+    }
+}

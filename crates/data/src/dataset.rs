@@ -1,0 +1,258 @@
+use qnn_tensor::{rng, Shape, Tensor};
+use rand::Rng;
+
+use crate::{glyphs, house_digits, textured};
+
+/// The three synthetic dataset families, in increasing difficulty.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DatasetKind {
+    /// 28×28×1 seven-segment glyphs — MNIST stand-in (easy).
+    Glyphs28,
+    /// 32×32×3 digits over clutter — SVHN stand-in (medium).
+    HouseDigits32,
+    /// 32×32×3 shape×texture objects — CIFAR-10 stand-in (hard).
+    TexturedObjects32,
+}
+
+impl DatasetKind {
+    /// Input tensor shape `(C, H, W)`.
+    pub fn input_shape(&self) -> (usize, usize, usize) {
+        match self {
+            DatasetKind::Glyphs28 => (glyphs::CHANNELS, glyphs::SIDE, glyphs::SIDE),
+            DatasetKind::HouseDigits32 => (
+                house_digits::CHANNELS,
+                house_digits::SIDE,
+                house_digits::SIDE,
+            ),
+            DatasetKind::TexturedObjects32 => (textured::CHANNELS, textured::SIDE, textured::SIDE),
+        }
+    }
+
+    /// Number of classes (10 for all three, like their real counterparts).
+    pub fn num_classes(&self) -> usize {
+        10
+    }
+
+    /// Stable short name used in reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            DatasetKind::Glyphs28 => "glyphs28",
+            DatasetKind::HouseDigits32 => "house-digits32",
+            DatasetKind::TexturedObjects32 => "textured-objects32",
+        }
+    }
+
+    /// The real dataset this family substitutes for.
+    pub fn stands_in_for(&self) -> &'static str {
+        match self {
+            DatasetKind::Glyphs28 => "MNIST",
+            DatasetKind::HouseDigits32 => "SVHN",
+            DatasetKind::TexturedObjects32 => "CIFAR-10",
+        }
+    }
+
+    fn render<R: Rng>(&self, class: usize, rng: &mut R) -> Vec<f32> {
+        match self {
+            DatasetKind::Glyphs28 => glyphs::sample(class, rng),
+            DatasetKind::HouseDigits32 => house_digits::sample(class, rng),
+            DatasetKind::TexturedObjects32 => textured::sample(class, rng),
+        }
+    }
+}
+
+/// A labelled image set: images `(N, C, H, W)` plus one class index per
+/// sample.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dataset {
+    kind: DatasetKind,
+    images: Tensor,
+    labels: Vec<usize>,
+}
+
+impl Dataset {
+    /// Synthesizes `n` samples with balanced classes (class `i % 10` for
+    /// sample `i`, then shuffled), deterministically from `seed`.
+    pub fn generate(kind: DatasetKind, n: usize, seed: u64) -> Self {
+        let (c, h, w) = kind.input_shape();
+        let mut r = rng::seeded(seed);
+        let mut data = Vec::with_capacity(n * c * h * w);
+        let mut labels = Vec::with_capacity(n);
+        // Balanced classes in shuffled order.
+        let mut order: Vec<usize> = (0..n).map(|i| i % kind.num_classes()).collect();
+        use rand::seq::SliceRandom;
+        order.shuffle(&mut r);
+        for &class in &order {
+            data.extend_from_slice(&kind.render(class, &mut r));
+            labels.push(class);
+        }
+        Dataset {
+            kind,
+            images: Tensor::from_vec(Shape::d4(n, c, h, w), data)
+                .expect("generated buffer matches shape"),
+            labels,
+        }
+    }
+
+    /// The dataset family.
+    pub fn kind(&self) -> DatasetKind {
+        self.kind
+    }
+
+    /// The image tensor `(N, C, H, W)`.
+    pub fn images(&self) -> &Tensor {
+        &self.images
+    }
+
+    /// Per-sample class labels.
+    pub fn labels(&self) -> &[usize] {
+        &self.labels
+    }
+
+    /// Sample count.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Copies the samples at `indices` into a new dataset.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of bounds.
+    pub fn take(&self, indices: &[usize]) -> Dataset {
+        let (c, h, w) = self.kind.input_shape();
+        let sample = c * h * w;
+        let src = self.images.as_slice();
+        let mut data = Vec::with_capacity(indices.len() * sample);
+        let mut labels = Vec::with_capacity(indices.len());
+        for &i in indices {
+            data.extend_from_slice(&src[i * sample..(i + 1) * sample]);
+            labels.push(self.labels[i]);
+        }
+        Dataset {
+            kind: self.kind,
+            images: Tensor::from_vec(Shape::d4(indices.len(), c, h, w), data)
+                .expect("gathered buffer matches shape"),
+            labels,
+        }
+    }
+}
+
+/// Train/validation/test partition of one dataset family.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Splits {
+    /// Training set.
+    pub train: Dataset,
+    /// Validation set — carved from the test pool, 10 % of each class, as
+    /// in the paper's §V-A.
+    pub val: Dataset,
+    /// Test set (the remaining 90 %).
+    pub test: Dataset,
+}
+
+/// Generates the standard splits: `n_train` training samples and a test
+/// pool of `n_test` samples from which 10 % per class becomes validation.
+///
+/// Train and test pools use decorrelated seeds derived from `seed`.
+pub fn standard_splits(kind: DatasetKind, n_train: usize, n_test: usize, seed: u64) -> Splits {
+    let train = Dataset::generate(kind, n_train, rng::derive_seed(seed, 1));
+    let pool = Dataset::generate(kind, n_test, rng::derive_seed(seed, 2));
+    // Per-class 10 % validation selection, deterministic order.
+    let mut val_idx = Vec::new();
+    let mut test_idx = Vec::new();
+    let mut taken_per_class = vec![0usize; kind.num_classes()];
+    let per_class_total = {
+        let mut counts = vec![0usize; kind.num_classes()];
+        for &l in pool.labels() {
+            counts[l] += 1;
+        }
+        counts
+    };
+    for (i, &l) in pool.labels().iter().enumerate() {
+        let quota = per_class_total[l] / 10;
+        if taken_per_class[l] < quota {
+            val_idx.push(i);
+            taken_per_class[l] += 1;
+        } else {
+            test_idx.push(i);
+        }
+    }
+    Splits {
+        train,
+        val: pool.take(&val_idx),
+        test: pool.take(&test_idx),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = Dataset::generate(DatasetKind::Glyphs28, 20, 9);
+        let b = Dataset::generate(DatasetKind::Glyphs28, 20, 9);
+        assert_eq!(a, b);
+        let c = Dataset::generate(DatasetKind::Glyphs28, 20, 10);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn classes_are_balanced() {
+        let ds = Dataset::generate(DatasetKind::TexturedObjects32, 100, 3);
+        let mut counts = [0usize; 10];
+        for &l in ds.labels() {
+            counts[l] += 1;
+        }
+        assert!(counts.iter().all(|&c| c == 10), "{counts:?}");
+    }
+
+    #[test]
+    fn shapes_match_kind() {
+        let g = Dataset::generate(DatasetKind::Glyphs28, 4, 1);
+        assert_eq!(g.images().shape().dims(), &[4, 1, 28, 28]);
+        let h = Dataset::generate(DatasetKind::HouseDigits32, 4, 1);
+        assert_eq!(h.images().shape().dims(), &[4, 3, 32, 32]);
+    }
+
+    #[test]
+    fn take_gathers_right_samples() {
+        let ds = Dataset::generate(DatasetKind::Glyphs28, 10, 5);
+        let sub = ds.take(&[3, 7]);
+        assert_eq!(sub.len(), 2);
+        assert_eq!(sub.labels()[0], ds.labels()[3]);
+        let sample = 28 * 28;
+        assert_eq!(
+            &sub.images().as_slice()[..sample],
+            &ds.images().as_slice()[3 * sample..4 * sample]
+        );
+    }
+
+    #[test]
+    fn standard_splits_follow_paper_rule() {
+        let s = standard_splits(DatasetKind::Glyphs28, 50, 100, 11);
+        assert_eq!(s.train.len(), 50);
+        // 100 test-pool samples, 10 per class → 1 per class to val.
+        assert_eq!(s.val.len(), 10);
+        assert_eq!(s.test.len(), 90);
+        // Val is class-balanced.
+        let mut counts = [0usize; 10];
+        for &l in s.val.labels() {
+            counts[l] += 1;
+        }
+        assert!(counts.iter().all(|&c| c == 1));
+    }
+
+    #[test]
+    fn train_and_test_pools_differ() {
+        let s = standard_splits(DatasetKind::Glyphs28, 20, 20, 1);
+        assert_ne!(
+            s.train.images().as_slice()[..784],
+            s.test.images().as_slice()[..784]
+        );
+    }
+}

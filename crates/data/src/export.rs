@@ -1,0 +1,110 @@
+//! Plain-text PPM/PGM export for visual inspection of the synthetic
+//! datasets — no image libraries, just the Netpbm formats every viewer
+//! opens.
+
+use std::fmt::Write as _;
+use std::io;
+use std::path::Path;
+
+use crate::dataset::Dataset;
+
+/// Renders one sample as a Netpbm document: `P2` (PGM, grayscale) for
+/// single-channel datasets, `P3` (PPM, RGB) for three-channel ones.
+///
+/// # Panics
+///
+/// Panics if `index` is out of bounds.
+pub fn to_netpbm(ds: &Dataset, index: usize) -> String {
+    assert!(index < ds.len(), "sample index out of bounds");
+    let (c, h, w) = ds.kind().input_shape();
+    let plane = h * w;
+    let base = index * c * plane;
+    let px = ds.images().as_slice();
+    let level = |v: f32| (v.clamp(0.0, 1.0) * 255.0).round() as u8;
+    let mut out = String::new();
+    if c == 1 {
+        let _ = writeln!(out, "P2\n{w} {h}\n255");
+        for y in 0..h {
+            for x in 0..w {
+                let _ = write!(out, "{} ", level(px[base + y * w + x]));
+            }
+            out.push('\n');
+        }
+    } else {
+        let _ = writeln!(out, "P3\n{w} {h}\n255");
+        for y in 0..h {
+            for x in 0..w {
+                for ch in 0..3 {
+                    let _ = write!(out, "{} ", level(px[base + ch * plane + y * w + x]));
+                }
+            }
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// Writes the first `n` samples of a dataset into `dir` as
+/// `<name>-<index>-class<label>.pgm/ppm` files.
+///
+/// # Errors
+///
+/// Returns any filesystem error.
+pub fn write_samples(ds: &Dataset, dir: &Path, n: usize) -> io::Result<()> {
+    std::fs::create_dir_all(dir)?;
+    let (c, _, _) = ds.kind().input_shape();
+    let ext = if c == 1 { "pgm" } else { "ppm" };
+    for i in 0..n.min(ds.len()) {
+        let path = dir.join(format!(
+            "{}-{i:03}-class{}.{ext}",
+            ds.kind().name(),
+            ds.labels()[i]
+        ));
+        std::fs::write(path, to_netpbm(ds, i))?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::DatasetKind;
+
+    #[test]
+    fn grayscale_header_and_size() {
+        let ds = Dataset::generate(DatasetKind::Glyphs28, 2, 1);
+        let doc = to_netpbm(&ds, 0);
+        assert!(doc.starts_with("P2\n28 28\n255"));
+        // One value per pixel.
+        let values: Vec<&str> = doc.split_whitespace().skip(4).collect();
+        assert_eq!(values.len(), 28 * 28);
+        assert!(values.iter().all(|v| v.parse::<u16>().unwrap() <= 255));
+    }
+
+    #[test]
+    fn rgb_header_and_size() {
+        let ds = Dataset::generate(DatasetKind::TexturedObjects32, 1, 2);
+        let doc = to_netpbm(&ds, 0);
+        assert!(doc.starts_with("P3\n32 32\n255"));
+        let values: Vec<&str> = doc.split_whitespace().skip(4).collect();
+        assert_eq!(values.len(), 3 * 32 * 32);
+    }
+
+    #[test]
+    fn writes_files_with_labels_in_names() {
+        let tmp = std::env::temp_dir().join("qnn-export-test");
+        let _ = std::fs::remove_dir_all(&tmp);
+        let ds = Dataset::generate(DatasetKind::Glyphs28, 5, 3);
+        write_samples(&ds, &tmp, 3).unwrap();
+        let files: Vec<_> = std::fs::read_dir(&tmp).unwrap().collect();
+        assert_eq!(files.len(), 3);
+        let _ = std::fs::remove_dir_all(&tmp);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn oob_index_panics() {
+        let ds = Dataset::generate(DatasetKind::Glyphs28, 1, 1);
+        to_netpbm(&ds, 1);
+    }
+}

@@ -1,0 +1,78 @@
+//! Glyphs28 — the MNIST stand-in.
+//!
+//! One bright seven-segment digit per image, white on black, with random
+//! position, scale, stroke width, slant, and additive noise. A LeNet-class
+//! network reaches high accuracy quickly, and the class structure is
+//! robust to aggressive quantization — matching MNIST's role in the paper
+//! (every precision except fixed-point (4,4) holds ≈99 %).
+
+use rand::Rng;
+
+use crate::render::{segment_digit, Plane};
+
+/// Image side length.
+pub const SIDE: usize = 28;
+/// Channels.
+pub const CHANNELS: usize = 1;
+/// Number of classes.
+pub const CLASSES: usize = 10;
+
+/// Renders one sample of class `digit` into a `SIDE²` grayscale buffer.
+///
+/// # Panics
+///
+/// Panics if `digit >= 10`.
+pub fn sample<R: Rng>(digit: usize, rng: &mut R) -> Vec<f32> {
+    assert!(digit < CLASSES, "digit class out of range");
+    let mut p = Plane::new(SIDE, SIDE);
+    let cx = 0.5 + rng.gen_range(-0.08..0.08);
+    let cy = 0.5 + rng.gen_range(-0.08..0.08);
+    let sx = rng.gen_range(0.14..0.22);
+    let sy = rng.gen_range(0.24..0.34);
+    let thick = rng.gen_range(0.035..0.06);
+    let tilt = rng.gen_range(-0.15..0.15);
+    let brightness = rng.gen_range(0.75..1.0);
+    p.fill(|u, v| brightness * segment_digit(u, v, digit, cx, cy, sx, sy, thick, tilt));
+    p.add_noise(0.06, rng);
+    p.data
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qnn_tensor::rng::seeded;
+
+    #[test]
+    fn sample_has_correct_size_and_range() {
+        let mut r = seeded(1);
+        let img = sample(3, &mut r);
+        assert_eq!(img.len(), SIDE * SIDE);
+        assert!(img.iter().all(|&x| (0.0..=1.0).contains(&x)));
+    }
+
+    #[test]
+    fn digit_pixels_brighter_than_background() {
+        let mut r = seeded(2);
+        let img = sample(8, &mut r); // 8 lights every segment
+        let mut sorted = img.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let dark_median = sorted[img.len() / 4];
+        let bright = sorted[img.len() - img.len() / 20];
+        assert!(bright > dark_median + 0.4, "{bright} vs {dark_median}");
+    }
+
+    #[test]
+    fn samples_vary_between_draws() {
+        let mut r = seeded(3);
+        let a = sample(5, &mut r);
+        let b = sample(5, &mut r);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_class_10() {
+        let mut r = seeded(1);
+        sample(10, &mut r);
+    }
+}

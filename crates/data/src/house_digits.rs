@@ -1,0 +1,128 @@
+//! HouseDigits32 — the SVHN stand-in.
+//!
+//! A colored seven-segment digit on a textured, colored background with
+//! clutter and contrast variation, plus cropped distractor strokes at the
+//! borders (SVHN crops often contain neighbouring digits). Harder than
+//! [`Glyphs28`](crate::glyphs): low-precision formats that survive the
+//! glyphs collapse here, reproducing the paper's SVHN column where
+//! fixed-point (4,4) fails to converge and binary drops to chance.
+
+use rand::Rng;
+
+use crate::render::{segment_digit, sine_clutter, Plane};
+
+/// Image side length.
+pub const SIDE: usize = 32;
+/// Channels (RGB).
+pub const CHANNELS: usize = 3;
+/// Number of classes.
+pub const CLASSES: usize = 10;
+
+/// Renders one sample of class `digit` into a `3·SIDE²` RGB buffer
+/// (channel-planar, matching the `(C, H, W)` tensor layout).
+///
+/// # Panics
+///
+/// Panics if `digit >= 10`.
+pub fn sample<R: Rng>(digit: usize, rng: &mut R) -> Vec<f32> {
+    assert!(digit < CLASSES, "digit class out of range");
+    // Background and foreground colors with a guaranteed minimum contrast
+    // on at least one channel (SVHN digits are legible but low-contrast).
+    let bg = [
+        rng.gen_range(0.1..0.7),
+        rng.gen_range(0.1..0.7),
+        rng.gen_range(0.1..0.7),
+    ];
+    let mut fg = [
+        rng.gen_range(0.2..1.0),
+        rng.gen_range(0.2..1.0),
+        rng.gen_range(0.2..1.0),
+    ];
+    // Force contrast on a random channel.
+    let ch = rng.gen_range(0..3usize);
+    fg[ch] = if bg[ch] > 0.4 {
+        rng.gen_range(0.0..0.15)
+    } else {
+        rng.gen_range(0.75..1.0)
+    };
+
+    let phases = [
+        rng.gen_range(0.0..1.0),
+        rng.gen_range(0.0..1.0),
+        rng.gen_range(0.0..1.0),
+        rng.gen_range(0.0..1.0),
+    ];
+    let cx = 0.5 + rng.gen_range(-0.10..0.10);
+    let cy = 0.5 + rng.gen_range(-0.10..0.10);
+    let sx = rng.gen_range(0.13..0.20);
+    let sy = rng.gen_range(0.22..0.32);
+    let thick = rng.gen_range(0.035..0.055);
+    let tilt = rng.gen_range(-0.2..0.2);
+
+    // Distractor: a partial digit poking in from a border (like SVHN's
+    // neighbouring house numbers).
+    let has_distractor = rng.gen_bool(0.6);
+    let d_digit = rng.gen_range(0..10usize);
+    let d_cx = if rng.gen_bool(0.5) { -0.05 } else { 1.05 };
+    let d_cy = 0.5 + rng.gen_range(-0.2..0.2);
+
+    let mut mask = Plane::new(SIDE, SIDE);
+    mask.fill(|u, v| {
+        let mut m = segment_digit(u, v, digit, cx, cy, sx, sy, thick, tilt);
+        if has_distractor {
+            m = m.max(0.8 * segment_digit(u, v, d_digit, d_cx, d_cy, 0.15, 0.28, 0.045, 0.0));
+        }
+        m
+    });
+
+    let texture_amp = rng.gen_range(0.05..0.15);
+    let mut out = Vec::with_capacity(CHANNELS * SIDE * SIDE);
+    for c in 0..CHANNELS {
+        for y in 0..SIDE {
+            for x in 0..SIDE {
+                let u = (x as f32 + 0.5) / SIDE as f32;
+                let v = (y as f32 + 0.5) / SIDE as f32;
+                let tex = texture_amp * (sine_clutter(u, v, phases) - 0.5);
+                let m = mask.data[y * SIDE + x];
+                let val = bg[c] + tex + m * (fg[c] - bg[c] - tex);
+                out.push((val + rng.gen_range(-0.04..0.04)).clamp(0.0, 1.0));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qnn_tensor::rng::seeded;
+
+    #[test]
+    fn sample_size_and_range() {
+        let mut r = seeded(1);
+        let img = sample(7, &mut r);
+        assert_eq!(img.len(), 3 * 32 * 32);
+        assert!(img.iter().all(|&x| (0.0..=1.0).contains(&x)));
+    }
+
+    #[test]
+    fn channels_differ() {
+        let mut r = seeded(2);
+        let img = sample(4, &mut r);
+        let plane = 32 * 32;
+        let sums: Vec<f32> = (0..3)
+            .map(|c| img[c * plane..(c + 1) * plane].iter().sum())
+            .collect();
+        assert!(
+            (sums[0] - sums[1]).abs() > 1.0 || (sums[1] - sums[2]).abs() > 1.0,
+            "RGB planes identical: {sums:?}"
+        );
+    }
+
+    #[test]
+    fn deterministic_given_rng_state() {
+        let mut a = seeded(5);
+        let mut b = seeded(5);
+        assert_eq!(sample(0, &mut a), sample(0, &mut b));
+    }
+}

@@ -1,0 +1,44 @@
+#![warn(missing_docs)]
+
+//! # qnn-data — procedural stand-ins for MNIST, SVHN and CIFAR-10
+//!
+//! The paper evaluates on MNIST (LeNet), SVHN (ConvNet) and CIFAR-10
+//! (ALEX); those datasets are not available offline, so this crate
+//! synthesizes three ten-class image families with **matched tensor
+//! shapes** and **graded difficulty**:
+//!
+//! | Kind | Shape | Stands in for | Character |
+//! |---|---|---|---|
+//! | [`DatasetKind::Glyphs28`] | 28×28×1 | MNIST | seven-segment digit glyphs, mild jitter/noise — easy |
+//! | [`DatasetKind::HouseDigits32`] | 32×32×3 | SVHN | colored digits over textured, cluttered backgrounds — medium |
+//! | [`DatasetKind::TexturedObjects32`] | 32×32×3 | CIFAR-10 | shape × texture object classes with color/scale variation — hard |
+//!
+//! The study's conclusions are *relative* across precisions, so what the
+//! substitution must preserve is the difficulty ordering (aggressive
+//! quantization survives the easy set, breaks on the harder ones) — see
+//! DESIGN.md for the full argument.
+//!
+//! Generation is deterministic given a seed, and the split policy follows
+//! the paper: a validation set is carved out of the test set, 10 % of each
+//! class (§V-A).
+//!
+//! ## Example
+//!
+//! ```
+//! use qnn_data::{Dataset, DatasetKind};
+//!
+//! let ds = Dataset::generate(DatasetKind::Glyphs28, 50, 7);
+//! assert_eq!(ds.len(), 50);
+//! assert_eq!(ds.images().shape().dims(), &[50, 1, 28, 28]);
+//! assert!(ds.labels().iter().all(|&l| l < 10));
+//! ```
+
+mod dataset;
+mod render;
+
+pub mod export;
+pub mod glyphs;
+pub mod house_digits;
+pub mod textured;
+
+pub use dataset::{standard_splits, Dataset, DatasetKind, Splits};

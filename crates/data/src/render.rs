@@ -1,0 +1,261 @@
+//! Low-level procedural rendering: seven-segment digits, geometric shapes,
+//! and texture/noise fills over f32 image planes.
+
+use rand::Rng;
+
+/// A single-channel drawing surface.
+#[derive(Debug, Clone)]
+pub(crate) struct Plane {
+    pub w: usize,
+    pub h: usize,
+    pub data: Vec<f32>,
+}
+
+impl Plane {
+    pub fn new(w: usize, h: usize) -> Self {
+        Plane {
+            w,
+            h,
+            data: vec![0.0; w * h],
+        }
+    }
+
+    pub fn fill<F: Fn(f32, f32) -> f32>(&mut self, f: F) {
+        for y in 0..self.h {
+            for x in 0..self.w {
+                // Normalized coordinates in [0, 1].
+                let u = (x as f32 + 0.5) / self.w as f32;
+                let v = (y as f32 + 0.5) / self.h as f32;
+                self.data[y * self.w + x] = f(u, v);
+            }
+        }
+    }
+
+    pub fn add_noise<R: Rng>(&mut self, amp: f32, rng: &mut R) {
+        for p in &mut self.data {
+            *p = (*p + rng.gen_range(-amp..amp)).clamp(0.0, 1.0);
+        }
+    }
+}
+
+/// Which of the seven segments are lit for each digit 0–9, in the order
+/// `[top, top-left, top-right, middle, bottom-left, bottom-right, bottom]`.
+pub(crate) const SEGMENTS: [[bool; 7]; 10] = [
+    [true, true, true, false, true, true, true],     // 0
+    [false, false, true, false, false, true, false], // 1
+    [true, false, true, true, true, false, true],    // 2
+    [true, false, true, true, false, true, true],    // 3
+    [false, true, true, true, false, true, false],   // 4
+    [true, true, false, true, false, true, true],    // 5
+    [true, true, false, true, true, true, true],     // 6
+    [true, false, true, false, false, true, false],  // 7
+    [true, true, true, true, true, true, true],      // 8
+    [true, true, true, true, false, true, true],     // 9
+];
+
+/// Soft distance-based intensity of a capsule (thick line segment) from
+/// `(ax, ay)` to `(bx, by)` with half-width `r`, evaluated at `(u, v)`.
+pub(crate) fn capsule(u: f32, v: f32, ax: f32, ay: f32, bx: f32, by: f32, r: f32) -> f32 {
+    let (dx, dy) = (bx - ax, by - ay);
+    let len2 = dx * dx + dy * dy;
+    let t = if len2 > 0.0 {
+        (((u - ax) * dx + (v - ay) * dy) / len2).clamp(0.0, 1.0)
+    } else {
+        0.0
+    };
+    let (px, py) = (ax + t * dx, ay + t * dy);
+    let d = ((u - px).powi(2) + (v - py).powi(2)).sqrt();
+    // Smooth falloff: 1 inside, 0 beyond ~1.6 r.
+    (1.0 - ((d - r) / (0.6 * r)).max(0.0)).clamp(0.0, 1.0)
+}
+
+/// Renders a seven-segment digit into normalized coordinates.
+///
+/// The digit occupies a box centred at `(cx, cy)` with half-width `sx` and
+/// half-height `sy`; `thick` is the stroke half-width; `tilt` shears the
+/// figure (italic slant) for pose variation.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn segment_digit(
+    u: f32,
+    v: f32,
+    digit: usize,
+    cx: f32,
+    cy: f32,
+    sx: f32,
+    sy: f32,
+    thick: f32,
+    tilt: f32,
+) -> f32 {
+    // Shear: shift u by tilt proportional to height above centre.
+    let u = u - tilt * (cy - v);
+    // Segment endpoints in the digit's local box.
+    let (l, r2, t, m, b) = (cx - sx, cx + sx, cy - sy, cy, cy + sy);
+    let segs: [(f32, f32, f32, f32); 7] = [
+        (l, t, r2, t),  // top
+        (l, t, l, m),   // top-left
+        (r2, t, r2, m), // top-right
+        (l, m, r2, m),  // middle
+        (l, m, l, b),   // bottom-left
+        (r2, m, r2, b), // bottom-right
+        (l, b, r2, b),  // bottom
+    ];
+    let lit = &SEGMENTS[digit % 10];
+    let mut best = 0.0f32;
+    for (i, &(ax, ay, bx, by)) in segs.iter().enumerate() {
+        if lit[i] {
+            best = best.max(capsule(u, v, ax, ay, bx, by, thick));
+        }
+    }
+    best
+}
+
+/// Signed-distance-like intensity for the shape alphabet used by the
+/// CIFAR-10 stand-in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum ShapeKind {
+    Disk,
+    Ring,
+    Square,
+    Frame,
+    Triangle,
+}
+
+pub(crate) fn shape_intensity(
+    kind: ShapeKind,
+    u: f32,
+    v: f32,
+    cx: f32,
+    cy: f32,
+    radius: f32,
+) -> f32 {
+    let du = u - cx;
+    let dv = v - cy;
+    let soft = |d: f32| (1.0 - (d / (0.15 * radius)).max(0.0)).clamp(0.0, 1.0);
+    match kind {
+        ShapeKind::Disk => {
+            let d = (du * du + dv * dv).sqrt() - radius;
+            soft(d)
+        }
+        ShapeKind::Ring => {
+            let d = ((du * du + dv * dv).sqrt() - radius).abs() - 0.35 * radius;
+            soft(d)
+        }
+        ShapeKind::Square => {
+            let d = du.abs().max(dv.abs()) - radius;
+            soft(d)
+        }
+        ShapeKind::Frame => {
+            let d = (du.abs().max(dv.abs()) - radius).abs() - 0.3 * radius;
+            soft(d)
+        }
+        ShapeKind::Triangle => {
+            // Upward triangle: inside when below the two upper edges and
+            // above the base.
+            let base = cy + radius * 0.75;
+            let apex = cy - radius;
+            if v > base {
+                return soft(v - base);
+            }
+            // Half-width shrinks linearly toward the apex.
+            let frac = ((v - apex) / (base - apex)).clamp(0.0, 1.0);
+            let half_w = radius * frac;
+            let d = du.abs() - half_w;
+            soft(d.max(apex - v))
+        }
+    }
+}
+
+/// Periodic stripe texture in direction `angle`, period `period` (in
+/// normalized units), intensity in `[0, 1]`.
+pub(crate) fn stripes(u: f32, v: f32, angle: f32, period: f32) -> f32 {
+    let t = u * angle.cos() + v * angle.sin();
+    0.5 + 0.5 * (t * std::f32::consts::TAU / period).sin()
+}
+
+/// Smooth value-noise-ish background from a couple of sinusoids with
+/// per-image random phases — cheap but spatially correlated, unlike white
+/// noise, so convolution kernels can't trivially ignore it.
+pub(crate) fn sine_clutter(u: f32, v: f32, p: [f32; 4]) -> f32 {
+    let a = ((u * 6.1 + p[0]) * std::f32::consts::TAU).sin();
+    let b = ((v * 4.7 + p[1]) * std::f32::consts::TAU).sin();
+    let c = (((u + v) * 3.3 + p[2]) * std::f32::consts::TAU).sin();
+    let d = (((u - v) * 5.9 + p[3]) * std::f32::consts::TAU).sin();
+    0.5 + 0.125 * (a + b + c + d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qnn_tensor::rng::seeded;
+
+    #[test]
+    fn capsule_is_one_on_axis_zero_far_away() {
+        let v = capsule(0.5, 0.5, 0.2, 0.5, 0.8, 0.5, 0.05);
+        assert!(v > 0.99);
+        assert_eq!(capsule(0.5, 0.9, 0.2, 0.5, 0.8, 0.5, 0.05), 0.0);
+    }
+
+    #[test]
+    fn all_ten_digits_are_distinct_patterns() {
+        // Render each digit coarsely and check pairwise difference.
+        let mut renders = Vec::new();
+        for d in 0..10 {
+            let mut p = Plane::new(16, 16);
+            p.fill(|u, v| segment_digit(u, v, d, 0.5, 0.5, 0.2, 0.3, 0.06, 0.0));
+            renders.push(p.data);
+        }
+        for i in 0..10 {
+            for j in (i + 1)..10 {
+                let diff: f32 = renders[i]
+                    .iter()
+                    .zip(&renders[j])
+                    .map(|(a, b)| (a - b).abs())
+                    .sum();
+                assert!(diff > 2.0, "digits {i} and {j} look identical");
+            }
+        }
+    }
+
+    #[test]
+    fn shapes_are_distinct() {
+        let kinds = [
+            ShapeKind::Disk,
+            ShapeKind::Ring,
+            ShapeKind::Square,
+            ShapeKind::Frame,
+            ShapeKind::Triangle,
+        ];
+        let mut renders = Vec::new();
+        for &k in &kinds {
+            let mut p = Plane::new(16, 16);
+            p.fill(|u, v| shape_intensity(k, u, v, 0.5, 0.5, 0.3));
+            renders.push(p.data);
+        }
+        for i in 0..renders.len() {
+            for j in (i + 1)..renders.len() {
+                let diff: f32 = renders[i]
+                    .iter()
+                    .zip(&renders[j])
+                    .map(|(a, b)| (a - b).abs())
+                    .sum();
+                assert!(diff > 1.5, "shapes {i} and {j} look identical: {diff}");
+            }
+        }
+    }
+
+    #[test]
+    fn noise_respects_clamp() {
+        let mut p = Plane::new(8, 8);
+        p.fill(|_, _| 0.95);
+        let mut r = seeded(1);
+        p.add_noise(0.3, &mut r);
+        assert!(p.data.iter().all(|&x| (0.0..=1.0).contains(&x)));
+    }
+
+    #[test]
+    fn stripes_oscillate() {
+        let a = stripes(0.0, 0.0, 0.0, 0.2);
+        let b = stripes(0.05, 0.0, 0.0, 0.2); // quarter period later
+        assert!((a - b).abs() > 0.3, "{a} vs {b}");
+    }
+}

@@ -1,0 +1,59 @@
+//! Learnability smoke tests: the synthetic families must be solvable by
+//! small CNNs within seconds, or the Table IV/V reproductions in
+//! `qnn-core` are meaningless. These use reduced networks and tiny sample
+//! budgets; the experiment harness uses the full Table I architectures.
+
+use qnn_data::{standard_splits, DatasetKind};
+use qnn_nn::arch::NetworkSpec;
+use qnn_nn::{Network, TrainOutcome, Trainer, TrainerConfig};
+
+fn small_net_for(kind: DatasetKind, seed: u64) -> Network {
+    let (c, h, w) = kind.input_shape();
+    let spec = NetworkSpec::new("probe", (c, h, w))
+        .conv(8, 5, 1, 2)
+        .relu()
+        .max_pool(2, 2)
+        .conv(16, 3, 1, 1)
+        .relu()
+        .max_pool(2, 2)
+        .dense(32)
+        .relu()
+        .dense(10);
+    Network::build(&spec, seed).unwrap()
+}
+
+fn accuracy_after_training(kind: DatasetKind, n_train: usize, epochs: usize) -> f32 {
+    let splits = standard_splits(kind, n_train, 200, 42);
+    let mut net = small_net_for(kind, 7);
+    let trainer = Trainer::new(TrainerConfig {
+        epochs,
+        batch_size: 32,
+        lr: 0.05,
+        ..TrainerConfig::default()
+    });
+    let report = trainer
+        .train(&mut net, splits.train.images(), splits.train.labels())
+        .unwrap();
+    assert_eq!(report.outcome, TrainOutcome::Converged, "{kind:?} diverged");
+    trainer
+        .evaluate(&mut net, splits.test.images(), splits.test.labels())
+        .unwrap()
+}
+
+#[test]
+fn glyphs_are_easy() {
+    let acc = accuracy_after_training(DatasetKind::Glyphs28, 600, 6);
+    assert!(acc > 0.9, "glyphs test accuracy {acc}");
+}
+
+#[test]
+fn house_digits_are_learnable_but_harder() {
+    let acc = accuracy_after_training(DatasetKind::HouseDigits32, 1600, 10);
+    assert!(acc > 0.6, "house-digits test accuracy {acc}");
+}
+
+#[test]
+fn textured_objects_are_learnable() {
+    let acc = accuracy_after_training(DatasetKind::TexturedObjects32, 1600, 10);
+    assert!(acc > 0.45, "textured test accuracy {acc}");
+}

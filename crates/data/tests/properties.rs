@@ -1,0 +1,69 @@
+//! Property tests for the dataset substrates.
+
+use proptest::prelude::*;
+use qnn_data::{standard_splits, Dataset, DatasetKind};
+
+fn kinds() -> impl Strategy<Value = DatasetKind> {
+    prop_oneof![
+        Just(DatasetKind::Glyphs28),
+        Just(DatasetKind::HouseDigits32),
+        Just(DatasetKind::TexturedObjects32),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Every generated image is a valid tensor in [0, 1] with an in-range
+    /// label, for any size and seed.
+    #[test]
+    fn generation_is_always_valid(kind in kinds(), n in 1usize..40, seed in 0u64..1000) {
+        let ds = Dataset::generate(kind, n, seed);
+        prop_assert_eq!(ds.len(), n);
+        let (c, h, w) = kind.input_shape();
+        prop_assert_eq!(ds.images().shape().dims(), &[n, c, h, w]);
+        prop_assert!(ds.images().as_slice().iter().all(|&x| (0.0..=1.0).contains(&x)));
+        prop_assert!(ds.labels().iter().all(|&l| l < kind.num_classes()));
+    }
+
+    /// Same seed → identical dataset; different seed → different pixels.
+    #[test]
+    fn determinism(kind in kinds(), seed in 0u64..1000) {
+        let a = Dataset::generate(kind, 6, seed);
+        let b = Dataset::generate(kind, 6, seed);
+        prop_assert_eq!(&a, &b);
+        let c = Dataset::generate(kind, 6, seed.wrapping_add(1));
+        prop_assert_ne!(a.images().as_slice(), c.images().as_slice());
+    }
+
+    /// Split sizes always partition the test pool, with a class-balanced
+    /// validation set of ~10 % (the paper's §V-A rule).
+    #[test]
+    fn splits_partition_the_pool(kind in kinds(), n_test in 20usize..120, seed in 0u64..500) {
+        let s = standard_splits(kind, 10, n_test, seed);
+        prop_assert_eq!(s.val.len() + s.test.len(), n_test);
+        // Validation takes ⌊count/10⌋ per class.
+        let mut per_class = vec![0usize; kind.num_classes()];
+        for &l in s.val.labels() { per_class[l] += 1; }
+        let mut pool_class = vec![0usize; kind.num_classes()];
+        for &l in s.val.labels().iter().chain(s.test.labels()) { pool_class[l] += 1; }
+        for (have, total) in per_class.iter().zip(pool_class.iter()) {
+            prop_assert_eq!(*have, total / 10);
+        }
+    }
+
+    /// `take` preserves image/label pairing.
+    #[test]
+    fn take_preserves_pairing(seed in 0u64..200, idx in proptest::collection::vec(0usize..12, 1..6)) {
+        let ds = Dataset::generate(DatasetKind::Glyphs28, 12, seed);
+        let sub = ds.take(&idx);
+        let px = 28 * 28;
+        for (k, &i) in idx.iter().enumerate() {
+            prop_assert_eq!(sub.labels()[k], ds.labels()[i]);
+            prop_assert_eq!(
+                &sub.images().as_slice()[k * px..(k + 1) * px],
+                &ds.images().as_slice()[i * px..(i + 1) * px]
+            );
+        }
+    }
+}

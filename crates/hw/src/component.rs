@@ -1,0 +1,101 @@
+use std::fmt;
+
+/// Synthesis-report category, matching the paper's Figure 3 breakdown.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Category {
+    /// SRAM macros (the buffer subsystems' storage arrays).
+    Memory,
+    /// Flip-flops: pipeline registers, accumulators, buffer pointers.
+    Registers,
+    /// Combinational logic: multipliers, shifters, adders, control.
+    Combinational,
+    /// Clock-tree buffers and inverters.
+    BufInv,
+}
+
+impl Category {
+    /// All categories, in Figure 3's legend order.
+    pub const ALL: [Category; 4] = [
+        Category::Memory,
+        Category::Registers,
+        Category::Combinational,
+        Category::BufInv,
+    ];
+
+    /// Display label as used in the paper's figure.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Category::Memory => "Memory",
+            Category::Registers => "Registers",
+            Category::Combinational => "Combinational",
+            Category::BufInv => "Buf/Inv",
+        }
+    }
+}
+
+impl fmt::Display for Category {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// One synthesized block with its estimated area and power.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Component {
+    /// Instance name, e.g. `"SB"` or `"mult[3][7]"`.
+    pub name: String,
+    /// Report category.
+    pub category: Category,
+    /// Cell area in µm².
+    pub area_um2: f64,
+    /// Total (leakage + dynamic at 250 MHz) power in mW.
+    pub power_mw: f64,
+}
+
+impl Component {
+    /// Creates a component.
+    ///
+    /// # Panics
+    ///
+    /// Panics if area or power is negative or non-finite — a component
+    /// with impossible physics indicates a bug in a factory formula.
+    pub fn new(name: impl Into<String>, category: Category, area_um2: f64, power_mw: f64) -> Self {
+        assert!(
+            area_um2.is_finite() && area_um2 >= 0.0,
+            "component area must be non-negative and finite"
+        );
+        assert!(
+            power_mw.is_finite() && power_mw >= 0.0,
+            "component power must be non-negative and finite"
+        );
+        Component {
+            name: name.into(),
+            category,
+            area_um2,
+            power_mw,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn categories_cover_figure3_legend() {
+        let labels: Vec<&str> = Category::ALL.iter().map(|c| c.label()).collect();
+        assert_eq!(labels, ["Memory", "Registers", "Combinational", "Buf/Inv"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn rejects_negative_area() {
+        Component::new("bad", Category::Memory, -1.0, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn rejects_nan_power() {
+        Component::new("bad", Category::Memory, 1.0, f64::NAN);
+    }
+}

@@ -1,0 +1,40 @@
+#![warn(missing_docs)]
+
+//! # qnn-hw — 65 nm component library and area/power estimator
+//!
+//! The paper synthesizes its accelerator with Synopsys Design Compiler
+//! against a 65 nm industrial library at 250 MHz. That flow is proprietary,
+//! so this crate substitutes a **parametric component model**: each
+//! hardware block (SRAM macro, register bank, multiplier, barrel shifter,
+//! adder tree, …) is a [`Component`] with an area and a power figure
+//! computed from physically-structured formulas whose constants
+//! ([`tech65`]) were **calibrated against the paper's own Table III and
+//! Figure 3** — and are then used to *predict* every other configuration.
+//!
+//! The model is falsifiable: `qnn-accel`'s tests pin each published
+//! Table III row within tolerance (area ≤ ~8 %, power ≤ ~12 % — see
+//! EXPERIMENTS.md for the exact residuals).
+//!
+//! ## Example
+//!
+//! ```
+//! use qnn_hw::{tech65, DesignReport};
+//!
+//! // A 64 KiB weight buffer reading a 256-bit row of 16-bit words each
+//! // cycle, plus a 16×16-bit multiplier array.
+//! let mut design = DesignReport::new("toy");
+//! design.push(tech65::sram("SB", 64 * 1024 * 8, 256, 16));
+//! for _ in 0..16 {
+//!     design.push(tech65::fixed_multiplier(16, 16));
+//! }
+//! assert!(design.area_mm2() > 0.0);
+//! assert!(design.power_mw() > 0.0);
+//! ```
+
+mod component;
+mod report;
+
+pub mod tech65;
+
+pub use component::{Category, Component};
+pub use report::{Breakdown, DesignReport};

@@ -1,0 +1,163 @@
+use std::collections::BTreeMap;
+
+use crate::component::{Category, Component};
+
+/// Area/power totals for one category — one bar segment of Figure 3.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Breakdown {
+    /// Category area in mm².
+    pub area_mm2: f64,
+    /// Category power in mW.
+    pub power_mw: f64,
+}
+
+/// A synthesized design: a bag of [`Component`]s with aggregate queries —
+/// the moral equivalent of a Design Compiler area/power report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DesignReport {
+    name: String,
+    components: Vec<Component>,
+}
+
+impl DesignReport {
+    /// Creates an empty report.
+    pub fn new(name: impl Into<String>) -> Self {
+        DesignReport {
+            name: name.into(),
+            components: Vec::new(),
+        }
+    }
+
+    /// The design's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Adds one component.
+    pub fn push(&mut self, c: Component) {
+        self.components.push(c);
+    }
+
+    /// Adds `n` copies of a component (e.g. the 256 multipliers of the
+    /// NFU) as a single aggregated entry to keep reports readable.
+    pub fn push_array(&mut self, c: Component, n: usize) {
+        self.components.push(Component::new(
+            format!("{}[x{n}]", c.name),
+            c.category,
+            c.area_um2 * n as f64,
+            c.power_mw * n as f64,
+        ));
+    }
+
+    /// The component list.
+    pub fn components(&self) -> &[Component] {
+        &self.components
+    }
+
+    /// Total cell area in mm².
+    pub fn area_mm2(&self) -> f64 {
+        self.components.iter().map(|c| c.area_um2).sum::<f64>() / 1e6
+    }
+
+    /// Total power in mW.
+    pub fn power_mw(&self) -> f64 {
+        self.components.iter().map(|c| c.power_mw).sum()
+    }
+
+    /// Per-category totals, in [`Category::ALL`] order (Figure 3's bars).
+    pub fn breakdown(&self) -> BTreeMap<&'static str, Breakdown> {
+        let mut map: BTreeMap<&'static str, Breakdown> = BTreeMap::new();
+        for cat in Category::ALL {
+            map.insert(cat.label(), Breakdown::default());
+        }
+        for c in &self.components {
+            let e = map.get_mut(c.category.label()).expect("all labels present");
+            e.area_mm2 += c.area_um2 / 1e6;
+            e.power_mw += c.power_mw;
+        }
+        map
+    }
+
+    /// Fraction of total area in a category.
+    ///
+    /// Returns 0 for an empty design.
+    pub fn area_fraction(&self, category: Category) -> f64 {
+        let total = self.area_mm2();
+        if total == 0.0 {
+            return 0.0;
+        }
+        self.components
+            .iter()
+            .filter(|c| c.category == category)
+            .map(|c| c.area_um2)
+            .sum::<f64>()
+            / 1e6
+            / total
+    }
+
+    /// Fraction of total power in a category.
+    ///
+    /// Returns 0 for an empty design.
+    pub fn power_fraction(&self, category: Category) -> f64 {
+        let total = self.power_mw();
+        if total == 0.0 {
+            return 0.0;
+        }
+        self.components
+            .iter()
+            .filter(|c| c.category == category)
+            .map(|c| c.power_mw)
+            .sum::<f64>()
+            / total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tech65;
+
+    #[test]
+    fn totals_sum_components() {
+        let mut r = DesignReport::new("t");
+        r.push(Component::new("a", Category::Memory, 2e6, 100.0));
+        r.push(Component::new("b", Category::Combinational, 1e6, 50.0));
+        assert!((r.area_mm2() - 3.0).abs() < 1e-12);
+        assert!((r.power_mw() - 150.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn push_array_multiplies() {
+        let mut r = DesignReport::new("t");
+        r.push_array(tech65::fixed_multiplier(8, 8), 256);
+        let single = tech65::fixed_multiplier(8, 8);
+        assert!((r.area_mm2() * 1e6 - single.area_um2 * 256.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn breakdown_covers_all_categories() {
+        let r = DesignReport::new("empty");
+        let b = r.breakdown();
+        assert_eq!(b.len(), 4);
+        assert!(b.values().all(|v| v.area_mm2 == 0.0));
+    }
+
+    #[test]
+    fn fractions_sum_to_one() {
+        let mut r = DesignReport::new("t");
+        r.push(tech65::sram("s", 1 << 20, 256, 16));
+        r.push(tech65::register_bank("regs", 4096));
+        r.push(tech65::control());
+        r.push(tech65::clock_tree(4096));
+        let total: f64 = Category::ALL.iter().map(|&c| r.area_fraction(c)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        let totalp: f64 = Category::ALL.iter().map(|&c| r.power_fraction(c)).sum();
+        assert!((totalp - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_design_fraction_is_zero() {
+        let r = DesignReport::new("e");
+        assert_eq!(r.area_fraction(Category::Memory), 0.0);
+    }
+}

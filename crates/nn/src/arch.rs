@@ -1,0 +1,407 @@
+//! Declarative network architecture specs.
+//!
+//! A [`NetworkSpec`] captures an architecture the way the paper's Table I/II
+//! does — an input shape and a stack of layer rows — and is the single
+//! source of truth for three consumers:
+//!
+//! * [`Network::build`](crate::Network::build) instantiates runnable layers;
+//! * [`NetworkSpec::workload`](crate::workload) derives the per-layer
+//!   MAC/traffic counts the accelerator's cycle model needs;
+//! * [`crate::memory`] computes parameter footprints per precision.
+//!
+//! Pooling uses floor division for output sizes (Caffe uses ceil; the
+//! resulting feature maps differ by at most one row/column, which shifts
+//! MAC totals a few percent — documented in DESIGN.md).
+
+use qnn_tensor::conv::Geometry;
+use qnn_tensor::Shape;
+
+use crate::error::NnError;
+
+/// One row of a Table I/II architecture description.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LayerSpec {
+    /// `conv k×k×out` with explicit stride and padding.
+    Conv {
+        /// Output channel count.
+        out_channels: usize,
+        /// Square kernel size.
+        kernel: usize,
+        /// Stride.
+        stride: usize,
+        /// Symmetric zero padding.
+        pad: usize,
+    },
+    /// Rectified linear unit.
+    Relu,
+    /// `maxpool k×k` with the given stride.
+    MaxPool {
+        /// Square window size.
+        kernel: usize,
+        /// Stride.
+        stride: usize,
+        /// Ceil-mode output sizing (Caffe's pooling default).
+        ceil: bool,
+    },
+    /// `avgpool k×k` with the given stride.
+    AvgPool {
+        /// Square window size.
+        kernel: usize,
+        /// Stride.
+        stride: usize,
+        /// Ceil-mode output sizing (Caffe's pooling default).
+        ceil: bool,
+    },
+    /// `innerproduct units` (fully connected).
+    Dense {
+        /// Output unit count.
+        units: usize,
+    },
+}
+
+impl LayerSpec {
+    /// Whether the layer carries trainable parameters.
+    pub fn has_params(&self) -> bool {
+        matches!(self, LayerSpec::Conv { .. } | LayerSpec::Dense { .. })
+    }
+}
+
+/// Shape and cost summary of one layer within a concrete network.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LayerSummary {
+    /// Index in the spec's layer list.
+    pub index: usize,
+    /// The layer spec.
+    pub spec: LayerSpec,
+    /// Input shape `(C, H, W)` or flattened `(D)`.
+    pub input: Shape,
+    /// Output shape.
+    pub output: Shape,
+    /// Trainable parameter count (weights + biases).
+    pub params: usize,
+    /// Multiply-accumulate operations per image.
+    pub macs: u64,
+}
+
+/// A named architecture: input shape plus layer stack.
+///
+/// Built with a fluent API mirroring the paper's table rows:
+///
+/// ```
+/// use qnn_nn::arch::NetworkSpec;
+///
+/// // LeNet's first two rows.
+/// let spec = NetworkSpec::new("lenet-head", (1, 28, 28))
+///     .conv(20, 5, 1, 0)
+///     .relu()
+///     .max_pool(2, 2);
+/// assert_eq!(spec.summaries().unwrap().last().unwrap().output.dims(), &[20, 12, 12]);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetworkSpec {
+    name: String,
+    input: (usize, usize, usize),
+    layers: Vec<LayerSpec>,
+}
+
+impl NetworkSpec {
+    /// Starts a spec with a name and input shape `(C, H, W)`.
+    pub fn new(name: impl Into<String>, input: (usize, usize, usize)) -> Self {
+        NetworkSpec {
+            name: name.into(),
+            input,
+            layers: Vec::new(),
+        }
+    }
+
+    /// Appends a convolution row.
+    pub fn conv(mut self, out_channels: usize, kernel: usize, stride: usize, pad: usize) -> Self {
+        self.layers.push(LayerSpec::Conv {
+            out_channels,
+            kernel,
+            stride,
+            pad,
+        });
+        self
+    }
+
+    /// Appends a ReLU row.
+    pub fn relu(mut self) -> Self {
+        self.layers.push(LayerSpec::Relu);
+        self
+    }
+
+    /// Appends a max-pool row (floor-mode output sizing).
+    pub fn max_pool(mut self, kernel: usize, stride: usize) -> Self {
+        self.layers.push(LayerSpec::MaxPool {
+            kernel,
+            stride,
+            ceil: false,
+        });
+        self
+    }
+
+    /// Appends a max-pool row with Caffe's ceil-mode sizing (the paper's
+    /// ALEX 3×3/stride-2 pools).
+    pub fn max_pool_ceil(mut self, kernel: usize, stride: usize) -> Self {
+        self.layers.push(LayerSpec::MaxPool {
+            kernel,
+            stride,
+            ceil: true,
+        });
+        self
+    }
+
+    /// Appends an average-pool row (floor-mode output sizing).
+    pub fn avg_pool(mut self, kernel: usize, stride: usize) -> Self {
+        self.layers.push(LayerSpec::AvgPool {
+            kernel,
+            stride,
+            ceil: false,
+        });
+        self
+    }
+
+    /// Appends an average-pool row with ceil-mode sizing.
+    pub fn avg_pool_ceil(mut self, kernel: usize, stride: usize) -> Self {
+        self.layers.push(LayerSpec::AvgPool {
+            kernel,
+            stride,
+            ceil: true,
+        });
+        self
+    }
+
+    /// Appends a fully-connected row.
+    pub fn dense(mut self, units: usize) -> Self {
+        self.layers.push(LayerSpec::Dense { units });
+        self
+    }
+
+    /// The architecture's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Input shape `(C, H, W)`.
+    pub fn input(&self) -> (usize, usize, usize) {
+        self.input
+    }
+
+    /// The layer rows.
+    pub fn layers(&self) -> &[LayerSpec] {
+        &self.layers
+    }
+
+    /// Walks the spec, propagating shapes and computing per-layer parameter
+    /// and MAC counts.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InvalidSpec`] if the spec is empty or a layer's
+    /// geometry is impossible for its input.
+    pub fn summaries(&self) -> Result<Vec<LayerSummary>, NnError> {
+        if self.layers.is_empty() {
+            return Err(NnError::InvalidSpec {
+                network: self.name.clone(),
+                reason: "no layers".to_string(),
+            });
+        }
+        let (c, h, w) = self.input;
+        let mut shape = Shape::d3(c, h, w);
+        let mut out = Vec::with_capacity(self.layers.len());
+        for (index, &spec) in self.layers.iter().enumerate() {
+            let (output, params, macs) = self.step(&shape, spec, index)?;
+            out.push(LayerSummary {
+                index,
+                spec,
+                input: shape.clone(),
+                output: output.clone(),
+                params,
+                macs,
+            });
+            shape = output;
+        }
+        Ok(out)
+    }
+
+    fn step(
+        &self,
+        input: &Shape,
+        spec: LayerSpec,
+        index: usize,
+    ) -> Result<(Shape, usize, u64), NnError> {
+        let bad = |reason: String| NnError::InvalidSpec {
+            network: self.name.clone(),
+            reason: format!("layer {index}: {reason}"),
+        };
+        match spec {
+            LayerSpec::Conv {
+                out_channels,
+                kernel,
+                stride,
+                pad,
+            } => {
+                if input.rank() != 3 {
+                    return Err(bad(format!("conv needs spatial input, got {input}")));
+                }
+                let (c, h, w) = (input.dim(0), input.dim(1), input.dim(2));
+                let geom = Geometry::square(kernel, stride, pad);
+                let (oh, ow) = geom.output_hw(h, w).map_err(|e| bad(e.to_string()))?;
+                let params = out_channels * c * kernel * kernel + out_channels;
+                let macs = (oh * ow * out_channels * c * kernel * kernel) as u64;
+                Ok((Shape::d3(out_channels, oh, ow), params, macs))
+            }
+            LayerSpec::Relu => Ok((input.clone(), 0, 0)),
+            LayerSpec::MaxPool {
+                kernel,
+                stride,
+                ceil,
+            }
+            | LayerSpec::AvgPool {
+                kernel,
+                stride,
+                ceil,
+            } => {
+                if input.rank() != 3 {
+                    return Err(bad(format!("pool needs spatial input, got {input}")));
+                }
+                let geom = if ceil {
+                    Geometry::square_ceil(kernel, stride, 0)
+                } else {
+                    Geometry::square(kernel, stride, 0)
+                };
+                let (oh, ow) = geom
+                    .output_hw(input.dim(1), input.dim(2))
+                    .map_err(|e| bad(e.to_string()))?;
+                Ok((Shape::d3(input.dim(0), oh, ow), 0, 0))
+            }
+            LayerSpec::Dense { units } => {
+                let d = input.len();
+                if d == 0 {
+                    return Err(bad("dense over empty input".to_string()));
+                }
+                let params = units * d + units;
+                let macs = (units * d) as u64;
+                Ok((Shape::d1(units), params, macs))
+            }
+        }
+    }
+
+    /// Total trainable parameter count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec is invalid; validate with [`summaries`] first
+    /// when handling untrusted specs.
+    ///
+    /// [`summaries`]: NetworkSpec::summaries
+    pub fn param_count(&self) -> usize {
+        self.summaries()
+            .expect("invalid network spec")
+            .iter()
+            .map(|l| l.params)
+            .sum()
+    }
+
+    /// Total multiply-accumulates per image.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec is invalid.
+    pub fn macs_per_image(&self) -> u64 {
+        self.summaries()
+            .expect("invalid network spec")
+            .iter()
+            .map(|l| l.macs)
+            .sum()
+    }
+
+    /// Number of output classes (units of the final dense layer).
+    ///
+    /// Returns `None` if the spec does not end in a dense layer.
+    pub fn num_classes(&self) -> Option<usize> {
+        match self.layers.last() {
+            Some(LayerSpec::Dense { units }) => Some(*units),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lenet_like() -> NetworkSpec {
+        NetworkSpec::new("lenet", (1, 28, 28))
+            .conv(20, 5, 1, 0)
+            .relu()
+            .max_pool(2, 2)
+            .conv(50, 5, 1, 0)
+            .relu()
+            .max_pool(2, 2)
+            .dense(500)
+            .relu()
+            .dense(10)
+    }
+
+    #[test]
+    fn shape_propagation() {
+        let s = lenet_like().summaries().unwrap();
+        assert_eq!(s[0].output.dims(), &[20, 24, 24]);
+        assert_eq!(s[2].output.dims(), &[20, 12, 12]);
+        assert_eq!(s[3].output.dims(), &[50, 8, 8]);
+        assert_eq!(s[5].output.dims(), &[50, 4, 4]);
+        assert_eq!(s[6].output.dims(), &[500]);
+        assert_eq!(s[8].output.dims(), &[10]);
+    }
+
+    #[test]
+    fn lenet_parameter_count() {
+        // 20·25+20 + 50·20·25+50 + 500·800+500 + 10·500+10 = 431,080
+        assert_eq!(lenet_like().param_count(), 431_080);
+    }
+
+    #[test]
+    fn lenet_mac_count() {
+        // conv1 24²·20·25 + conv2 8²·50·500 + fc 800·500 + fc 500·10
+        let want = 24 * 24 * 20 * 25 + 8 * 8 * 50 * 500 + 800 * 500 + 500 * 10;
+        assert_eq!(lenet_like().macs_per_image(), want as u64);
+    }
+
+    #[test]
+    fn relu_and_pool_are_free() {
+        let s = lenet_like().summaries().unwrap();
+        assert_eq!(s[1].params + s[1].macs as usize, 0);
+        assert_eq!(s[2].params + s[2].macs as usize, 0);
+    }
+
+    #[test]
+    fn empty_spec_rejected() {
+        let s = NetworkSpec::new("empty", (1, 8, 8));
+        assert!(s.summaries().is_err());
+    }
+
+    #[test]
+    fn impossible_geometry_rejected() {
+        let s = NetworkSpec::new("bad", (1, 4, 4)).conv(8, 7, 1, 0);
+        assert!(matches!(s.summaries(), Err(NnError::InvalidSpec { .. })));
+    }
+
+    #[test]
+    fn num_classes_from_last_dense() {
+        assert_eq!(lenet_like().num_classes(), Some(10));
+        let no_dense = NetworkSpec::new("conv-only", (1, 8, 8)).conv(4, 3, 1, 1);
+        assert_eq!(no_dense.num_classes(), None);
+    }
+
+    #[test]
+    fn dense_after_conv_flattens() {
+        let s = NetworkSpec::new("x", (3, 8, 8))
+            .conv(4, 3, 1, 1)
+            .dense(10)
+            .summaries()
+            .unwrap();
+        assert_eq!(s[1].params, 10 * 4 * 64 + 10);
+    }
+}

@@ -1,0 +1,99 @@
+use std::error::Error;
+use std::fmt;
+
+use qnn_quant::FormatError;
+use qnn_tensor::TensorError;
+
+/// Error raised by network construction, execution and training.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NnError {
+    /// A tensor kernel rejected its operands.
+    Tensor(TensorError),
+    /// A quantization format could not be constructed.
+    Format(FormatError),
+    /// The network specification is internally inconsistent (e.g. a dense
+    /// layer after an undefined spatial collapse, or an empty network).
+    InvalidSpec {
+        /// The network's name.
+        network: String,
+        /// Human-readable description of the inconsistency.
+        reason: String,
+    },
+    /// An input batch does not match the network's expected input shape.
+    InputMismatch {
+        /// Expected `(C, H, W)`.
+        expected: (usize, usize, usize),
+        /// The offending batch shape, printed.
+        actual: String,
+    },
+    /// `backward` was called without a preceding `forward` (no caches).
+    NoForwardCache {
+        /// Name of the layer that had no cache.
+        layer: &'static str,
+    },
+    /// Labels and batch size disagree, or a label is out of class range.
+    InvalidLabels {
+        /// Human-readable description of the inconsistency.
+        reason: String,
+    },
+}
+
+impl fmt::Display for NnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NnError::Tensor(e) => write!(f, "tensor error: {e}"),
+            NnError::Format(e) => write!(f, "format error: {e}"),
+            NnError::InvalidSpec { network, reason } => {
+                write!(f, "invalid network spec `{network}`: {reason}")
+            }
+            NnError::InputMismatch { expected, actual } => write!(
+                f,
+                "input batch {actual} does not match expected ({}, {}, {})",
+                expected.0, expected.1, expected.2
+            ),
+            NnError::NoForwardCache { layer } => {
+                write!(f, "backward called on `{layer}` without a cached forward")
+            }
+            NnError::InvalidLabels { reason } => write!(f, "invalid labels: {reason}"),
+        }
+    }
+}
+
+impl Error for NnError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            NnError::Tensor(e) => Some(e),
+            NnError::Format(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TensorError> for NnError {
+    fn from(e: TensorError) -> Self {
+        NnError::Tensor(e)
+    }
+}
+
+impl From<FormatError> for NnError {
+    fn from(e: FormatError) -> Self {
+        NnError::Format(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wraps_tensor_error_with_source() {
+        let te = TensorError::RankMismatch {
+            op: "matmul",
+            expected: 2,
+            actual: 3,
+        };
+        let e: NnError = te.into();
+        assert!(e.to_string().contains("matmul"));
+        assert!(e.source().is_some());
+    }
+}

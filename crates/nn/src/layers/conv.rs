@@ -1,0 +1,222 @@
+use qnn_tensor::conv::{conv2d, conv2d_backward, Geometry};
+use qnn_tensor::{init, rng, Shape, Tensor};
+
+use crate::error::NnError;
+use crate::layers::{Layer, QuantizerHandle};
+use crate::network::Mode;
+use crate::param::Param;
+
+/// A 2-D convolution layer with bias.
+///
+/// Under quantization-aware training the forward pass convolves with the
+/// **quantized** weights while `weight.value` keeps the full-precision
+/// shadow copy; `backward` computes gradients against the quantized
+/// weights (what the hardware multiplies by) and deposits them on the
+/// shadow parameter, implementing the straight-through estimator.
+///
+/// Biases are *not* quantized: the modelled accelerator accumulates in a
+/// wide adder tree and adds the bias at accumulator precision, so storing
+/// biases at weight precision would model hardware the paper doesn't
+/// describe.
+#[derive(Debug)]
+pub struct Conv2d {
+    weight: Param,
+    bias: Param,
+    geom: Geometry,
+    in_channels: usize,
+    out_channels: usize,
+    weight_q: Option<QuantizerHandle>,
+    cache: Option<ConvCache>,
+}
+
+#[derive(Debug)]
+struct ConvCache {
+    input: Tensor,
+    qweight: Tensor,
+}
+
+impl Conv2d {
+    /// Creates a convolution layer with Xavier-initialized weights.
+    ///
+    /// `kernel`, `stride` and `pad` follow the paper's Table I notation
+    /// (`conv 5×5×20` = 20 output channels, 5×5 kernel).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kernel == 0` or `stride == 0` (via [`Geometry::square`]).
+    pub fn new(
+        in_channels: usize,
+        out_channels: usize,
+        kernel: usize,
+        stride: usize,
+        pad: usize,
+        seed: u64,
+    ) -> Self {
+        let geom = Geometry::square(kernel, stride, pad);
+        let mut r = rng::seeded(seed);
+        let weight =
+            init::xavier_uniform(Shape::d4(out_channels, in_channels, kernel, kernel), &mut r);
+        Conv2d {
+            weight: Param::new(weight, true),
+            bias: Param::zeros(Shape::d1(out_channels), false),
+            geom,
+            in_channels,
+            out_channels,
+            weight_q: None,
+            cache: None,
+        }
+    }
+
+    /// The layer's convolution geometry.
+    pub fn geometry(&self) -> Geometry {
+        self.geom
+    }
+
+    /// Output channel count.
+    pub fn out_channels(&self) -> usize {
+        self.out_channels
+    }
+
+    /// The weights actually used in the forward pass: the shadow copy
+    /// passed through the installed quantizer (or as-is when none).
+    pub fn effective_weight(&self) -> Tensor {
+        match &self.weight_q {
+            Some(q) => q.quantize(&self.weight.value),
+            None => self.weight.value.clone(),
+        }
+    }
+}
+
+impl Layer for Conv2d {
+    fn name(&self) -> &'static str {
+        "conv2d"
+    }
+
+    fn forward(&mut self, input: &Tensor, mode: Mode) -> Result<Tensor, NnError> {
+        let qw = self.effective_weight();
+        let out = conv2d(input, &qw, &self.bias.value, self.geom)?;
+        if mode == Mode::Train {
+            self.cache = Some(ConvCache {
+                input: input.clone(),
+                qweight: qw,
+            });
+        } else {
+            self.cache = None;
+        }
+        Ok(out)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor, NnError> {
+        let cache = self
+            .cache
+            .take()
+            .ok_or(NnError::NoForwardCache { layer: "conv2d" })?;
+        let (gx, gw, gb) = conv2d_backward(&cache.input, &cache.qweight, grad_out, self.geom)?;
+        // Straight-through estimator: the gradient w.r.t. the quantized
+        // weight is applied to the shadow weight unchanged. Clipping (zero
+        // gradient outside the representable range) is handled by the
+        // optimizer via the quantizer's range, see `Sgd::step_quantized`.
+        self.weight.grad = gw;
+        self.bias.grad = gb;
+        Ok(gx)
+    }
+
+    fn output_shape(&self, input: &Shape) -> Result<Shape, NnError> {
+        if input.rank() != 3 || input.dim(0) != self.in_channels {
+            return Err(NnError::InvalidSpec {
+                network: String::new(),
+                reason: format!(
+                    "conv2d expects ({}, h, w) input, got {input}",
+                    self.in_channels
+                ),
+            });
+        }
+        let (oh, ow) = self.geom.output_hw(input.dim(1), input.dim(2))?;
+        Ok(Shape::d3(self.out_channels, oh, ow))
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.weight, &mut self.bias]
+    }
+
+    fn params(&self) -> Vec<&Param> {
+        vec![&self.weight, &self.bias]
+    }
+
+    fn set_weight_quantizer(&mut self, q: Option<QuantizerHandle>) {
+        self.weight_q = q;
+    }
+
+    fn weight_quantizer(&self) -> Option<&QuantizerHandle> {
+        self.weight_q.as_ref()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qnn_quant::Binary;
+    use std::sync::Arc;
+
+    #[test]
+    fn forward_shape() {
+        let mut l = Conv2d::new(1, 20, 5, 1, 0, 1);
+        let x = Tensor::zeros(Shape::d4(2, 1, 28, 28));
+        let y = l.forward(&x, Mode::Eval).unwrap();
+        assert_eq!(y.shape().dims(), &[2, 20, 24, 24]);
+        assert_eq!(
+            l.output_shape(&Shape::d3(1, 28, 28)).unwrap(),
+            Shape::d3(20, 24, 24)
+        );
+    }
+
+    #[test]
+    fn backward_without_forward_errors() {
+        let mut l = Conv2d::new(1, 2, 3, 1, 0, 1);
+        let g = Tensor::zeros(Shape::d4(1, 2, 2, 2));
+        assert!(matches!(
+            l.backward(&g),
+            Err(NnError::NoForwardCache { layer: "conv2d" })
+        ));
+    }
+
+    #[test]
+    fn eval_mode_does_not_cache() {
+        let mut l = Conv2d::new(1, 2, 3, 1, 0, 1);
+        let x = Tensor::zeros(Shape::d4(1, 1, 4, 4));
+        l.forward(&x, Mode::Eval).unwrap();
+        let g = Tensor::zeros(Shape::d4(1, 2, 2, 2));
+        assert!(l.backward(&g).is_err());
+    }
+
+    #[test]
+    fn quantizer_binarizes_forward_weights() {
+        let mut l = Conv2d::new(1, 1, 2, 1, 0, 7);
+        l.set_weight_quantizer(Some(Arc::new(Binary::new())));
+        let w = l.effective_weight();
+        assert!(w.as_slice().iter().all(|&x| x == 1.0 || x == -1.0));
+        // Shadow stays full precision.
+        assert!(l.params()[0]
+            .value
+            .as_slice()
+            .iter()
+            .any(|&x| x != 1.0 && x != -1.0));
+    }
+
+    #[test]
+    fn gradient_lands_on_shadow_param() {
+        let mut l = Conv2d::new(1, 1, 2, 1, 0, 3);
+        let x = Tensor::ones(Shape::d4(1, 1, 3, 3));
+        let y = l.forward(&x, Mode::Train).unwrap();
+        let g = Tensor::ones(y.shape().clone());
+        l.backward(&g).unwrap();
+        assert!(l.params()[0].grad.sum() != 0.0);
+        assert!(l.params()[1].grad.sum() != 0.0);
+    }
+
+    #[test]
+    fn output_shape_rejects_wrong_channels() {
+        let l = Conv2d::new(3, 8, 3, 1, 1, 1);
+        assert!(l.output_shape(&Shape::d3(1, 8, 8)).is_err());
+    }
+}

@@ -1,0 +1,56 @@
+#![warn(missing_docs)]
+
+//! # qnn-nn — convolutional networks with quantization-aware training
+//!
+//! A from-scratch CPU CNN framework sized for the DATE 2017 paper's
+//! workloads: [`Conv2d`](layers::Conv2d), [`Dense`](layers::Dense),
+//! max/avg pooling and ReLU layers composed into a sequential [`Network`],
+//! trained with [`Sgd`] (momentum + weight decay) against softmax
+//! cross-entropy.
+//!
+//! The paper's train-time methodology (§IV-A) is implemented exactly:
+//!
+//! 1. **Full-precision pre-training**, then low-precision retraining
+//!    initialized from the converged FP32 weights (Tann et al.).
+//! 2. **Shadow weights** — the forward pass uses quantized weights while
+//!    SGD updates a full-precision copy through a straight-through
+//!    estimator (Courbariaux et al.), so sub-step updates accumulate.
+//!
+//! [`zoo`] holds the paper's benchmark architectures (Table I: LeNet,
+//! ConvNet, ALEX; Table II: ALEX+, ALEX++), and [`arch`] both builds
+//! runnable networks from declarative specs and derives the per-layer
+//! MAC/parameter workload the accelerator model in `qnn-accel` consumes.
+//!
+//! ## Example
+//!
+//! ```
+//! use qnn_nn::{arch::NetworkSpec, Network};
+//!
+//! let spec = NetworkSpec::new("tiny", (1, 8, 8))
+//!     .conv(4, 3, 1, 1)
+//!     .relu()
+//!     .max_pool(2, 2)
+//!     .dense(10);
+//! let net = Network::build(&spec, 42)?;
+//! assert_eq!(net.param_count(), 4 * 9 + 4 + (4 * 16 * 10 + 10));
+//! # Ok::<(), qnn_nn::NnError>(())
+//! ```
+
+mod error;
+mod network;
+mod optim;
+mod param;
+mod trainer;
+
+pub mod arch;
+pub mod layers;
+pub mod loss;
+pub mod memory;
+pub mod workload;
+pub mod zoo;
+
+pub use error::NnError;
+pub use network::{ActivationCalibration, Mode, Network};
+pub use optim::Sgd;
+pub use param::Param;
+pub use trainer::{QatConfig, TrainOutcome, TrainReport, Trainer, TrainerConfig};

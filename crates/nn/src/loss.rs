@@ -1,0 +1,162 @@
+//! Softmax cross-entropy loss — the classification objective of all three
+//! benchmark networks.
+
+use qnn_tensor::{Shape, Tensor};
+
+use crate::error::NnError;
+
+/// Loss value and logits gradient from one batch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LossOutput {
+    /// Mean cross-entropy over the batch, in nats.
+    pub loss: f32,
+    /// Gradient of the mean loss with respect to the logits, `(N, K)`.
+    pub grad: Tensor,
+    /// Number of samples whose argmax matched the label.
+    pub correct: usize,
+}
+
+/// Computes mean softmax cross-entropy and its gradient for logits
+/// `(N, K)` against integer class labels.
+///
+/// Uses the max-subtraction trick, so arbitrarily large logits (which
+/// 32-bit fixed-point feature maps can produce) do not overflow.
+///
+/// # Errors
+///
+/// Returns [`NnError::InvalidLabels`] if `labels.len() != N` or any label
+/// is `>= K`, and a tensor error if `logits` is not rank 2.
+pub fn softmax_cross_entropy(logits: &Tensor, labels: &[usize]) -> Result<LossOutput, NnError> {
+    if logits.shape().rank() != 2 {
+        return Err(NnError::Tensor(qnn_tensor::TensorError::RankMismatch {
+            op: "softmax_cross_entropy",
+            expected: 2,
+            actual: logits.shape().rank(),
+        }));
+    }
+    let n = logits.shape().dim(0);
+    let k = logits.shape().dim(1);
+    if labels.len() != n {
+        return Err(NnError::InvalidLabels {
+            reason: format!("{} labels for a batch of {n}", labels.len()),
+        });
+    }
+    if let Some(&bad) = labels.iter().find(|&&l| l >= k) {
+        return Err(NnError::InvalidLabels {
+            reason: format!("label {bad} out of range for {k} classes"),
+        });
+    }
+    let data = logits.as_slice();
+    let mut grad = vec![0.0f32; n * k];
+    let mut total = 0.0f64;
+    let mut correct = 0usize;
+    for i in 0..n {
+        let row = &data[i * k..(i + 1) * k];
+        let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        let mut denom = 0.0f32;
+        for &v in row {
+            denom += (v - max).exp();
+        }
+        let label = labels[i];
+        let logp = (row[label] - max) - denom.ln();
+        total -= logp as f64;
+        let mut best = 0usize;
+        for (j, &v) in row.iter().enumerate() {
+            let p = (v - max).exp() / denom;
+            grad[i * k + j] = p / n as f32;
+            if v > row[best] {
+                best = j;
+            }
+        }
+        grad[i * k + label] -= 1.0 / n as f32;
+        if best == label {
+            correct += 1;
+        }
+    }
+    Ok(LossOutput {
+        loss: (total / n as f64) as f32,
+        grad: Tensor::from_vec(Shape::d2(n, k), grad)?,
+        correct,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn logits(n: usize, k: usize, v: Vec<f32>) -> Tensor {
+        Tensor::from_vec(Shape::d2(n, k), v).unwrap()
+    }
+
+    #[test]
+    fn uniform_logits_give_log_k() {
+        let l = logits(1, 4, vec![0.0; 4]);
+        let out = softmax_cross_entropy(&l, &[2]).unwrap();
+        assert!((out.loss - (4.0f32).ln()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn confident_correct_prediction_has_near_zero_loss() {
+        let l = logits(1, 3, vec![20.0, 0.0, 0.0]);
+        let out = softmax_cross_entropy(&l, &[0]).unwrap();
+        assert!(out.loss < 1e-6);
+        assert_eq!(out.correct, 1);
+    }
+
+    #[test]
+    fn confident_wrong_prediction_has_large_loss() {
+        let l = logits(1, 3, vec![20.0, 0.0, 0.0]);
+        let out = softmax_cross_entropy(&l, &[1]).unwrap();
+        assert!(out.loss > 10.0);
+        assert_eq!(out.correct, 0);
+    }
+
+    #[test]
+    fn gradient_rows_sum_to_zero() {
+        let l = logits(2, 3, vec![1.0, 2.0, 3.0, -1.0, 0.0, 1.0]);
+        let out = softmax_cross_entropy(&l, &[0, 2]).unwrap();
+        let g = out.grad.as_slice();
+        for i in 0..2 {
+            let s: f32 = g[i * 3..(i + 1) * 3].iter().sum();
+            assert!(s.abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn gradient_matches_finite_differences() {
+        let base = vec![0.5f32, -1.2, 0.3, 2.0, 0.1, -0.7];
+        let labels = [2usize, 0];
+        let l = logits(2, 3, base.clone());
+        let out = softmax_cross_entropy(&l, &labels).unwrap();
+        let eps = 1e-3;
+        for idx in 0..6 {
+            let mut vp = base.clone();
+            vp[idx] += eps;
+            let lp = softmax_cross_entropy(&logits(2, 3, vp), &labels)
+                .unwrap()
+                .loss;
+            let mut vm = base.clone();
+            vm[idx] -= eps;
+            let lm = softmax_cross_entropy(&logits(2, 3, vm), &labels)
+                .unwrap()
+                .loss;
+            let num = (lp - lm) / (2.0 * eps);
+            let ana = out.grad.as_slice()[idx];
+            assert!((num - ana).abs() < 1e-3, "idx {idx}: num={num} ana={ana}");
+        }
+    }
+
+    #[test]
+    fn huge_logits_do_not_overflow() {
+        let l = logits(1, 2, vec![1e30, -1e30]);
+        let out = softmax_cross_entropy(&l, &[0]).unwrap();
+        assert!(out.loss.is_finite());
+    }
+
+    #[test]
+    fn label_validation() {
+        let l = logits(1, 3, vec![0.0; 3]);
+        assert!(softmax_cross_entropy(&l, &[3]).is_err());
+        assert!(softmax_cross_entropy(&l, &[0, 1]).is_err());
+    }
+}

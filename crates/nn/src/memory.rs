@@ -1,0 +1,120 @@
+//! Parameter and feature-map memory footprints.
+//!
+//! The paper (§V-B) reports network parameter memory at full precision and
+//! observes that "the memory footprint of each network reduces from 2× to
+//! 32×" across its precision sweep — the footprint is linear in weight
+//! bits. These helpers compute that table for any spec × precision.
+
+use qnn_quant::Precision;
+
+use crate::arch::NetworkSpec;
+use crate::error::NnError;
+
+/// Memory footprint of one network at one precision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemoryFootprint {
+    /// Weight + bias storage, in bytes (bit-exact, rounded up per tensor).
+    pub parameter_bytes: u64,
+    /// Largest single feature map (the peak buffer requirement), in bytes.
+    pub peak_activation_bytes: u64,
+    /// Input image storage, in bytes.
+    pub input_bytes: u64,
+}
+
+impl MemoryFootprint {
+    /// Parameter memory in KiB (the unit the paper quotes).
+    pub fn parameter_kib(&self) -> f64 {
+        self.parameter_bytes as f64 / 1024.0
+    }
+}
+
+/// Computes the footprint of `spec` stored at `precision`.
+///
+/// Weights use `precision.weight_bits()` per value; activations and input
+/// use `precision.input_bits()`. Biases are counted at 32 bits regardless
+/// (accumulator precision — see `qnn-nn` layer docs).
+///
+/// # Errors
+///
+/// Returns [`NnError::InvalidSpec`] if the spec does not validate.
+pub fn footprint(spec: &NetworkSpec, precision: Precision) -> Result<MemoryFootprint, NnError> {
+    let summaries = spec.summaries()?;
+    let wbits = precision.weight_bits() as u64;
+    let abits = precision.input_bits() as u64;
+    let mut param_bits = 0u64;
+    let mut peak_act = 0u64;
+    for s in &summaries {
+        if s.params > 0 {
+            // Separate weights from biases: biases equal the output channel
+            // count (conv) or unit count (dense).
+            let biases = match s.spec {
+                crate::arch::LayerSpec::Conv { out_channels, .. } => out_channels as u64,
+                crate::arch::LayerSpec::Dense { units } => units as u64,
+                _ => 0,
+            };
+            let weights = s.params as u64 - biases;
+            param_bits += weights * wbits + biases * 32;
+        }
+        peak_act = peak_act.max(s.output.len() as u64 * abits);
+    }
+    let (c, h, w) = spec.input();
+    Ok(MemoryFootprint {
+        parameter_bytes: param_bits.div_ceil(8),
+        peak_activation_bytes: peak_act.div_ceil(8),
+        input_bytes: ((c * h * w) as u64 * abits).div_ceil(8),
+    })
+}
+
+/// The footprint-reduction factor of `precision` relative to float32
+/// parameters (the paper's "2× to 32×" claim).
+///
+/// # Errors
+///
+/// Returns [`NnError::InvalidSpec`] if the spec does not validate.
+pub fn reduction_vs_float32(spec: &NetworkSpec, precision: Precision) -> Result<f64, NnError> {
+    let fp = footprint(spec, Precision::float32())?;
+    let q = footprint(spec, precision)?;
+    Ok(fp.parameter_bytes as f64 / q.parameter_bytes as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::zoo;
+
+    #[test]
+    fn float32_footprint_is_4_bytes_per_param() {
+        let spec = zoo::lenet();
+        let f = footprint(&spec, Precision::float32()).unwrap();
+        assert_eq!(f.parameter_bytes, spec.param_count() as u64 * 4);
+    }
+
+    #[test]
+    fn reduction_tracks_weight_bits() {
+        let spec = zoo::lenet();
+        let r16 = reduction_vs_float32(&spec, Precision::fixed(16, 16)).unwrap();
+        let r8 = reduction_vs_float32(&spec, Precision::fixed(8, 8)).unwrap();
+        let r1 = reduction_vs_float32(&spec, Precision::binary()).unwrap();
+        // Biases stay at 32 bits, so reductions fall slightly short of the
+        // ideal 2×/4×/32×.
+        assert!(r16 > 1.9 && r16 <= 2.0, "r16={r16}");
+        assert!(r8 > 3.8 && r8 <= 4.0, "r8={r8}");
+        assert!(r1 > 20.0 && r1 <= 32.0, "r1={r1}");
+    }
+
+    #[test]
+    fn peak_activation_is_largest_feature_map() {
+        let spec = zoo::lenet();
+        // Largest map: conv1 output 20×24×24 = 11,520 values.
+        let f = footprint(&spec, Precision::float32()).unwrap();
+        assert_eq!(f.peak_activation_bytes, 11_520 * 4);
+        let f16 = footprint(&spec, Precision::fixed(16, 16)).unwrap();
+        assert_eq!(f16.peak_activation_bytes, 11_520 * 2);
+    }
+
+    #[test]
+    fn input_bytes_match_shape() {
+        let f = footprint(&zoo::alex(), Precision::fixed(8, 8)).unwrap();
+        assert_eq!(f.input_bytes, 3 * 32 * 32);
+    }
+}

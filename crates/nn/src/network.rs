@@ -1,0 +1,583 @@
+use std::sync::Arc;
+
+use qnn_quant::{calibrate, Precision, Scheme};
+use qnn_tensor::Tensor;
+
+use crate::arch::{LayerSpec, NetworkSpec};
+use crate::error::NnError;
+use crate::layers::{AvgPool2d, Conv2d, Dense, Layer, MaxPool2d, QuantizerHandle, Relu};
+use crate::param::Param;
+
+/// Whether a forward pass caches intermediates for backprop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// Cache for a subsequent backward pass.
+    Train,
+    /// Inference only — no caches retained.
+    Eval,
+}
+
+/// How activation quantizer ranges are assigned across layers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ActivationCalibration {
+    /// One radix point per feature-map tensor position (Ristretto's
+    /// dynamic fixed point; what the paper's software stack does).
+    #[default]
+    PerLayer,
+    /// A single radix point shared by every feature map — the paper's
+    /// accelerator supports one radix position; per-layer radix support is
+    /// the multi-radix architecture it names as future work.
+    Global,
+}
+
+/// A sequential network: layers from a [`NetworkSpec`] plus optional
+/// quantization state.
+///
+/// Quantization attaches in two places, mirroring the paper's hardware:
+/// each weighted layer holds a *weight* quantizer (applied to the shadow
+/// weights every forward pass), and the network holds *activation*
+/// quantizers applied to the input image and to every layer output (the
+/// values that traverse the accelerator's input/output buffer subsystems).
+pub struct Network {
+    spec: NetworkSpec,
+    layers: Vec<Box<dyn Layer>>,
+    /// `act_q[0]` quantizes the network input; `act_q[i+1]` the output of
+    /// layer `i`. All `None` when running full precision.
+    act_q: Vec<Option<QuantizerHandle>>,
+    precision: Option<Precision>,
+}
+
+impl std::fmt::Debug for Network {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Network")
+            .field("spec", &self.spec.name())
+            .field("layers", &self.layers.len())
+            .field("precision", &self.precision.map(|p| p.label()))
+            .finish()
+    }
+}
+
+impl Network {
+    /// Instantiates a runnable network from a spec, seeding each layer's
+    /// initializer deterministically from `seed`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InvalidSpec`] if the spec does not validate.
+    pub fn build(spec: &NetworkSpec, seed: u64) -> Result<Self, NnError> {
+        let summaries = spec.summaries()?;
+        let mut layers: Vec<Box<dyn Layer>> = Vec::with_capacity(summaries.len());
+        for s in &summaries {
+            let layer_seed = qnn_tensor::rng::derive_seed(seed, s.index as u64);
+            let layer: Box<dyn Layer> = match s.spec {
+                LayerSpec::Conv {
+                    out_channels,
+                    kernel,
+                    stride,
+                    pad,
+                } => Box::new(Conv2d::new(
+                    s.input.dim(0),
+                    out_channels,
+                    kernel,
+                    stride,
+                    pad,
+                    layer_seed,
+                )),
+                LayerSpec::Relu => Box::new(Relu::new()),
+                LayerSpec::MaxPool {
+                    kernel,
+                    stride,
+                    ceil,
+                } => Box::new(MaxPool2d::new(kernel, stride, ceil)),
+                LayerSpec::AvgPool {
+                    kernel,
+                    stride,
+                    ceil,
+                } => Box::new(AvgPool2d::new(kernel, stride, ceil)),
+                LayerSpec::Dense { units } => {
+                    Box::new(Dense::new(s.input.len(), units, layer_seed))
+                }
+            };
+            layers.push(layer);
+        }
+        let n = layers.len();
+        Ok(Network {
+            spec: spec.clone(),
+            layers,
+            act_q: vec![None; n + 1],
+            precision: None,
+        })
+    }
+
+    /// The spec this network was built from.
+    pub fn spec(&self) -> &NetworkSpec {
+        &self.spec
+    }
+
+    /// The installed precision, if quantized.
+    pub fn precision(&self) -> Option<Precision> {
+        self.precision
+    }
+
+    /// Total trainable parameter count.
+    pub fn param_count(&self) -> usize {
+        self.layers
+            .iter()
+            .map(|l| l.params().iter().map(|p| p.len()).sum::<usize>())
+            .sum()
+    }
+
+    fn check_input(&self, batch: &Tensor) -> Result<(), NnError> {
+        let (c, h, w) = self.spec.input();
+        let ok = batch.shape().rank() == 4
+            && batch.shape().dim(1) == c
+            && batch.shape().dim(2) == h
+            && batch.shape().dim(3) == w;
+        if !ok {
+            return Err(NnError::InputMismatch {
+                expected: (c, h, w),
+                actual: batch.shape().to_string(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Runs the network on a batch `(N, C, H, W)`, returning logits
+    /// `(N, classes)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InputMismatch`] for a wrong batch shape, or any
+    /// layer error.
+    pub fn forward(&mut self, batch: &Tensor, mode: Mode) -> Result<Tensor, NnError> {
+        self.check_input(batch)?;
+        let mut x = match &self.act_q[0] {
+            Some(q) => q.quantize(batch),
+            None => batch.clone(),
+        };
+        for (i, layer) in self.layers.iter_mut().enumerate() {
+            x = layer.forward(&x, mode)?;
+            if let Some(q) = &self.act_q[i + 1] {
+                q.quantize_inplace(&mut x);
+            }
+        }
+        Ok(x)
+    }
+
+    /// Runs a forward pass capturing the network input and every layer
+    /// output (post-quantization) — the samples activation calibration
+    /// needs.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`forward`](Network::forward).
+    pub fn forward_trace(&mut self, batch: &Tensor) -> Result<Vec<Tensor>, NnError> {
+        self.check_input(batch)?;
+        let mut trace = Vec::with_capacity(self.layers.len() + 1);
+        let mut x = match &self.act_q[0] {
+            Some(q) => q.quantize(batch),
+            None => batch.clone(),
+        };
+        trace.push(x.clone());
+        for (i, layer) in self.layers.iter_mut().enumerate() {
+            x = layer.forward(&x, Mode::Eval)?;
+            if let Some(q) = &self.act_q[i + 1] {
+                q.quantize_inplace(&mut x);
+            }
+            trace.push(x.clone());
+        }
+        Ok(trace)
+    }
+
+    /// Backpropagates a logits gradient, filling every parameter's `grad`.
+    ///
+    /// Activation quantizers backpropagate as straight-through (identity):
+    /// the staircase's true zero derivative would stall learning.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::NoForwardCache`] unless a [`Mode::Train`] forward
+    /// pass preceded this call.
+    pub fn backward(&mut self, grad_logits: &Tensor) -> Result<(), NnError> {
+        let mut g = grad_logits.clone();
+        for layer in self.layers.iter_mut().rev() {
+            g = layer.backward(&g)?;
+        }
+        Ok(())
+    }
+
+    /// Class predictions for a batch.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`forward`](Network::forward).
+    pub fn predict(&mut self, batch: &Tensor) -> Result<Vec<usize>, NnError> {
+        let logits = self.forward(batch, Mode::Eval)?;
+        let n = logits.shape().dim(0);
+        let k = logits.shape().dim(1);
+        let data = logits.as_slice();
+        Ok((0..n)
+            .map(|i| {
+                let row = &data[i * k..(i + 1) * k];
+                let mut best = 0;
+                for (j, &v) in row.iter().enumerate() {
+                    if v > row[best] {
+                        best = j;
+                    }
+                }
+                best
+            })
+            .collect())
+    }
+
+    /// Mutable access to every parameter, in layer order.
+    pub fn params_mut(&mut self) -> Vec<&mut Param> {
+        self.layers
+            .iter_mut()
+            .flat_map(|l| l.params_mut())
+            .collect()
+    }
+
+    /// Shared access to every parameter, in layer order.
+    pub fn params(&self) -> Vec<&Param> {
+        self.layers.iter().flat_map(|l| l.params()).collect()
+    }
+
+    /// Clears every parameter gradient.
+    pub fn zero_grads(&mut self) {
+        for p in self.params_mut() {
+            p.zero_grad();
+        }
+    }
+
+    /// Snapshots all parameter values (shadow copies), in layer order.
+    pub fn state_dict(&self) -> Vec<Tensor> {
+        self.params().iter().map(|p| p.value.clone()).collect()
+    }
+
+    /// Restores parameter values from a [`state_dict`](Network::state_dict)
+    /// snapshot; momentum buffers are reset.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InvalidSpec`] if the snapshot does not match this
+    /// network's parameter list.
+    pub fn load_state(&mut self, state: &[Tensor]) -> Result<(), NnError> {
+        let mut params = self.params_mut();
+        if params.len() != state.len() {
+            return Err(NnError::InvalidSpec {
+                network: "load_state".to_string(),
+                reason: format!("{} tensors for {} parameters", state.len(), params.len()),
+            });
+        }
+        for (p, t) in params.iter_mut().zip(state.iter()) {
+            if p.value.shape() != t.shape() {
+                return Err(NnError::InvalidSpec {
+                    network: "load_state".to_string(),
+                    reason: format!(
+                        "shape mismatch: parameter {} vs snapshot {}",
+                        p.value.shape(),
+                        t.shape()
+                    ),
+                });
+            }
+            p.value = t.clone();
+            p.velocity = Tensor::zeros(t.shape().clone());
+        }
+        Ok(())
+    }
+
+    /// Installs quantizers for `precision`, calibrating ranges from the
+    /// current weights and a forward trace over `calib_batch`.
+    ///
+    /// This follows the paper's methodology: call it on a network whose
+    /// weights were initialized from the converged full-precision model,
+    /// then retrain (the shadow weights keep learning underneath the
+    /// quantizers).
+    ///
+    /// # Errors
+    ///
+    /// Propagates calibration and forward-pass errors.
+    pub fn set_precision(
+        &mut self,
+        precision: Precision,
+        method: calibrate::Method,
+        calib_batch: &Tensor,
+        act_mode: ActivationCalibration,
+    ) -> Result<(), NnError> {
+        // Calibrate against unquantized behaviour.
+        self.clear_precision();
+        let trace = self.forward_trace(calib_batch)?;
+
+        // Weight quantizers: per weighted layer, from its own shadow weights
+        // (the paper allows an independent radix between parameters and data;
+        // Ristretto further keys it per layer).
+        for layer in &mut self.layers {
+            let params = layer.params();
+            if params.is_empty() {
+                continue;
+            }
+            let weight = &params[0].value;
+            let q = calibrate::scheme_for(precision.weights(), &[weight], method)?;
+            let handle: QuantizerHandle = Arc::from(q);
+            layer.set_weight_quantizer(Some(handle));
+        }
+
+        // Activation quantizers per slot (input + each layer output).
+        match precision.activations() {
+            Scheme::Float32 => { /* leave act_q as None */ }
+            scheme => match act_mode {
+                ActivationCalibration::PerLayer => {
+                    for (i, t) in trace.iter().enumerate() {
+                        let q = calibrate::scheme_for(scheme, &[t], method)?;
+                        self.act_q[i] = Some(Arc::from(q));
+                    }
+                }
+                ActivationCalibration::Global => {
+                    let refs: Vec<&Tensor> = trace.iter().collect();
+                    let q = calibrate::scheme_for(scheme, &refs, method)?;
+                    let handle: QuantizerHandle = Arc::from(q);
+                    for slot in &mut self.act_q {
+                        *slot = Some(Arc::clone(&handle));
+                    }
+                }
+            },
+        }
+        self.precision = Some(precision);
+        Ok(())
+    }
+
+    /// Removes all quantizers, returning the network to full precision
+    /// (shadow weights are untouched).
+    pub fn clear_precision(&mut self) {
+        for layer in &mut self.layers {
+            layer.set_weight_quantizer(None);
+        }
+        for slot in &mut self.act_q {
+            *slot = None;
+        }
+        self.precision = None;
+    }
+
+    /// Applies the clipped straight-through estimator to every weighted
+    /// layer: parameter gradients are zeroed where the shadow value lies
+    /// outside its quantizer's representable range.
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape errors (impossible unless parameters were mutated
+    /// inconsistently).
+    pub fn apply_ste_clip(&mut self) -> Result<(), NnError> {
+        for layer in &mut self.layers {
+            let q = match layer.weight_quantizer() {
+                Some(q) => Arc::clone(q),
+                None => continue,
+            };
+            let params = layer.params_mut();
+            for p in params {
+                if !p.decay {
+                    continue; // biases are not quantized
+                }
+                p.grad = qnn_quant::ste::clipped_pass_through(&p.value, &p.grad, q.as_ref())?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Per-layer weight quantizer descriptions (for reports); `None`
+    /// entries are unquantized layers.
+    pub fn weight_quantizer_descriptions(&self) -> Vec<Option<String>> {
+        self.layers
+            .iter()
+            .map(|l| l.weight_quantizer().map(|q| q.describe()))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arch::NetworkSpec;
+    use qnn_quant::calibrate::Method;
+    use qnn_tensor::Shape;
+
+    fn tiny_spec() -> NetworkSpec {
+        NetworkSpec::new("tiny", (1, 8, 8))
+            .conv(4, 3, 1, 1)
+            .relu()
+            .max_pool(2, 2)
+            .dense(5)
+    }
+
+    fn batch(n: usize) -> Tensor {
+        let len = n * 64;
+        Tensor::from_vec(
+            Shape::d4(n, 1, 8, 8),
+            (0..len).map(|i| ((i as f32) * 0.31).sin()).collect(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn build_and_forward_shapes() {
+        let mut net = Network::build(&tiny_spec(), 1).unwrap();
+        let y = net.forward(&batch(3), Mode::Eval).unwrap();
+        assert_eq!(y.shape().dims(), &[3, 5]);
+    }
+
+    #[test]
+    fn deterministic_build() {
+        let mut a = Network::build(&tiny_spec(), 9).unwrap();
+        let mut b = Network::build(&tiny_spec(), 9).unwrap();
+        let x = batch(2);
+        assert_eq!(
+            a.forward(&x, Mode::Eval).unwrap(),
+            b.forward(&x, Mode::Eval).unwrap()
+        );
+        let mut c = Network::build(&tiny_spec(), 10).unwrap();
+        assert_ne!(
+            b.forward(&x, Mode::Eval).unwrap(),
+            c.forward(&x, Mode::Eval).unwrap()
+        );
+    }
+
+    #[test]
+    fn input_shape_validated() {
+        let mut net = Network::build(&tiny_spec(), 1).unwrap();
+        let bad = Tensor::zeros(Shape::d4(1, 3, 8, 8));
+        assert!(matches!(
+            net.forward(&bad, Mode::Eval),
+            Err(NnError::InputMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn state_dict_round_trips() {
+        let mut a = Network::build(&tiny_spec(), 1).unwrap();
+        let mut b = Network::build(&tiny_spec(), 2).unwrap();
+        let x = batch(2);
+        let ya = a.forward(&x, Mode::Eval).unwrap();
+        b.load_state(&a.state_dict()).unwrap();
+        assert_eq!(b.forward(&x, Mode::Eval).unwrap(), ya);
+    }
+
+    #[test]
+    fn load_state_validates() {
+        let a = Network::build(&tiny_spec(), 1).unwrap();
+        let mut b = Network::build(&tiny_spec(), 2).unwrap();
+        let mut state = a.state_dict();
+        state.pop();
+        assert!(b.load_state(&state).is_err());
+    }
+
+    #[test]
+    fn set_precision_quantizes_forward() {
+        let mut net = Network::build(&tiny_spec(), 1).unwrap();
+        let x = batch(2);
+        let y_fp = net.forward(&x, Mode::Eval).unwrap();
+        net.set_precision(
+            Precision::fixed(4, 4),
+            Method::MaxAbs,
+            &x,
+            ActivationCalibration::PerLayer,
+        )
+        .unwrap();
+        let y_q = net.forward(&x, Mode::Eval).unwrap();
+        assert_ne!(y_fp, y_q, "4-bit quantization must perturb the output");
+        // And clearing restores the FP path exactly.
+        net.clear_precision();
+        assert_eq!(net.forward(&x, Mode::Eval).unwrap(), y_fp);
+    }
+
+    #[test]
+    fn quantized_gradients_flow() {
+        let mut net = Network::build(&tiny_spec(), 1).unwrap();
+        let x = batch(2);
+        net.set_precision(
+            Precision::fixed(8, 8),
+            Method::MaxAbs,
+            &x,
+            ActivationCalibration::PerLayer,
+        )
+        .unwrap();
+        let y = net.forward(&x, Mode::Train).unwrap();
+        let g = Tensor::ones(y.shape().clone());
+        net.backward(&g).unwrap();
+        let total_grad: f32 = net
+            .params()
+            .iter()
+            .map(|p| p.grad.as_slice().iter().map(|v| v.abs()).sum::<f32>())
+            .sum();
+        assert!(total_grad > 0.0);
+    }
+
+    #[test]
+    fn sixteen_bit_barely_changes_output() {
+        let mut net = Network::build(&tiny_spec(), 1).unwrap();
+        let x = batch(2);
+        let y_fp = net.forward(&x, Mode::Eval).unwrap();
+        net.set_precision(
+            Precision::fixed(16, 16),
+            Method::MaxAbs,
+            &x,
+            ActivationCalibration::PerLayer,
+        )
+        .unwrap();
+        let y_q = net.forward(&x, Mode::Eval).unwrap();
+        let max_err = y_fp
+            .as_slice()
+            .iter()
+            .zip(y_q.as_slice())
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f32, f32::max);
+        let scale = y_fp
+            .as_slice()
+            .iter()
+            .map(|v| v.abs())
+            .fold(0.0f32, f32::max)
+            .max(1e-6);
+        assert!(max_err / scale < 0.01, "relative error {}", max_err / scale);
+    }
+
+    #[test]
+    fn global_activation_calibration_shares_one_quantizer() {
+        let mut net = Network::build(&tiny_spec(), 1).unwrap();
+        let x = batch(2);
+        net.set_precision(
+            Precision::fixed(8, 8),
+            Method::MaxAbs,
+            &x,
+            ActivationCalibration::Global,
+        )
+        .unwrap();
+        let descs: std::collections::HashSet<String> = net
+            .act_q
+            .iter()
+            .map(|q| q.as_ref().unwrap().describe())
+            .collect();
+        assert_eq!(descs.len(), 1);
+    }
+
+    #[test]
+    fn ste_clip_freezes_out_of_range_weights() {
+        let mut net = Network::build(&tiny_spec(), 1).unwrap();
+        let x = batch(2);
+        net.set_precision(
+            Precision::fixed(8, 8),
+            Method::MaxAbs,
+            &x,
+            ActivationCalibration::PerLayer,
+        )
+        .unwrap();
+        // Push one weight far out of range, give it gradient, clip.
+        {
+            let mut params = net.params_mut();
+            params[0].value.as_mut_slice()[0] = 100.0;
+            params[0].grad = Tensor::ones(params[0].value.shape().clone());
+        }
+        net.apply_ste_clip().unwrap();
+        let params = net.params();
+        assert_eq!(params[0].grad.as_slice()[0], 0.0);
+        assert_eq!(params[0].grad.as_slice()[1], 1.0);
+    }
+}

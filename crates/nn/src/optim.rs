@@ -1,0 +1,166 @@
+use crate::network::Network;
+
+/// Stochastic gradient descent with momentum and (decoupled-from-bias)
+/// weight decay — the optimizer the paper's Caffe stack uses.
+///
+/// Update per parameter: `v ← μ·v − lr·(g + λ·w)`, `w ← w + v`, with the
+/// decay term applied only to parameters flagged `decay` (weights, not
+/// biases).
+///
+/// ```
+/// use qnn_nn::Sgd;
+///
+/// let opt = Sgd::new(0.01).momentum(0.9).weight_decay(5e-4);
+/// assert_eq!(opt.lr(), 0.01);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Sgd {
+    lr: f32,
+    momentum: f32,
+    weight_decay: f32,
+}
+
+impl Sgd {
+    /// Plain SGD with the given learning rate (no momentum, no decay).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lr` is not finite and positive.
+    pub fn new(lr: f32) -> Self {
+        assert!(lr.is_finite() && lr > 0.0, "learning rate must be positive");
+        Sgd {
+            lr,
+            momentum: 0.0,
+            weight_decay: 0.0,
+        }
+    }
+
+    /// Sets the momentum coefficient μ (0 disables).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 <= mu < 1`.
+    pub fn momentum(mut self, mu: f32) -> Self {
+        assert!((0.0..1.0).contains(&mu), "momentum must be in [0, 1)");
+        self.momentum = mu;
+        self
+    }
+
+    /// Sets the L2 weight-decay coefficient λ.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lambda` is negative or non-finite.
+    pub fn weight_decay(mut self, lambda: f32) -> Self {
+        assert!(
+            lambda.is_finite() && lambda >= 0.0,
+            "weight decay must be non-negative"
+        );
+        self.weight_decay = lambda;
+        self
+    }
+
+    /// Current learning rate.
+    pub fn lr(&self) -> f32 {
+        self.lr
+    }
+
+    /// Replaces the learning rate (for schedules).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lr` is not finite and positive.
+    pub fn set_lr(&mut self, lr: f32) {
+        assert!(lr.is_finite() && lr > 0.0, "learning rate must be positive");
+        self.lr = lr;
+    }
+
+    /// Applies one update step to every parameter of `net` using the
+    /// gradients deposited by the last backward pass.
+    pub fn step(&self, net: &mut Network) {
+        let (lr, mu, wd) = (self.lr, self.momentum, self.weight_decay);
+        for p in net.params_mut() {
+            let decay = if p.decay { wd } else { 0.0 };
+            let value = p.value.as_slice().to_vec();
+            let grads = p.grad.as_slice();
+            let vel = p.velocity.as_mut_slice();
+            for ((v, &g), &w) in vel.iter_mut().zip(grads.iter()).zip(value.iter()) {
+                *v = mu * *v - lr * (g + decay * w);
+            }
+            let vel = p.velocity.as_slice().to_vec();
+            for (w, v) in p.value.as_mut_slice().iter_mut().zip(vel.iter()) {
+                *w += v;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arch::NetworkSpec;
+    use crate::network::{Mode, Network};
+    use qnn_tensor::{Shape, Tensor};
+
+    fn net() -> Network {
+        Network::build(&NetworkSpec::new("t", (1, 4, 4)).dense(2), 3).unwrap()
+    }
+
+    #[test]
+    fn step_moves_against_gradient() {
+        let mut n = net();
+        let x = Tensor::ones(Shape::d4(1, 1, 4, 4));
+        let y = n.forward(&x, Mode::Train).unwrap();
+        n.backward(&Tensor::ones(y.shape().clone())).unwrap();
+        let w_before = n.params()[0].value.clone();
+        let g = n.params()[0].grad.clone();
+        Sgd::new(0.1).step(&mut n);
+        let w_after = &n.params()[0].value;
+        for i in 0..w_before.len() {
+            let want = w_before.as_slice()[i] - 0.1 * g.as_slice()[i];
+            assert!((w_after.as_slice()[i] - want).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn momentum_accumulates() {
+        let mut n = net();
+        let x = Tensor::ones(Shape::d4(1, 1, 4, 4));
+        let opt = Sgd::new(0.1).momentum(0.9);
+        // Two identical steps: second update is larger in magnitude.
+        let y = n.forward(&x, Mode::Train).unwrap();
+        n.backward(&Tensor::ones(y.shape().clone())).unwrap();
+        let w0 = n.params()[0].value.clone();
+        opt.step(&mut n);
+        let w1 = n.params()[0].value.clone();
+        let y = n.forward(&x, Mode::Train).unwrap();
+        n.backward(&Tensor::ones(y.shape().clone())).unwrap();
+        opt.step(&mut n);
+        let w2 = n.params()[0].value.clone();
+        let d1 = (w1.sub(&w0).unwrap()).as_slice()[0].abs();
+        let d2 = (w2.sub(&w1).unwrap()).as_slice()[0].abs();
+        assert!(d2 > d1, "momentum should accelerate: d1={d1} d2={d2}");
+    }
+
+    #[test]
+    fn weight_decay_shrinks_weights_not_biases() {
+        let mut n = net();
+        // zero gradients, pure decay
+        n.zero_grads();
+        {
+            let mut params = n.params_mut();
+            params[1].value = Tensor::ones(Shape::d1(2)); // bias
+        }
+        let w0: f32 = n.params()[0].value.as_slice().iter().map(|v| v.abs()).sum();
+        Sgd::new(0.1).weight_decay(0.5).step(&mut n);
+        let w1: f32 = n.params()[0].value.as_slice().iter().map(|v| v.abs()).sum();
+        assert!(w1 < w0);
+        assert_eq!(n.params()[1].value.as_slice(), &[1.0, 1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_zero_lr() {
+        Sgd::new(0.0);
+    }
+}

@@ -1,0 +1,77 @@
+use qnn_tensor::{Shape, Tensor};
+
+/// A trainable parameter tensor with its gradient and momentum buffers.
+///
+/// `value` is the **full-precision shadow copy**: under quantization-aware
+/// training the forward pass never reads it directly — layers quantize it
+/// first — but SGD always updates it, so gradient contributions smaller
+/// than one quantization step still accumulate (the paper's second
+/// train-time technique, after Courbariaux et al.).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Param {
+    /// Full-precision (shadow) value.
+    pub value: Tensor,
+    /// Gradient from the most recent backward pass.
+    pub grad: Tensor,
+    /// Momentum buffer for SGD.
+    pub velocity: Tensor,
+    /// Whether weight decay applies (true for weights, false for biases —
+    /// the Caffe convention the paper's training stack follows).
+    pub decay: bool,
+}
+
+impl Param {
+    /// Wraps an initial value; gradient and velocity start at zero.
+    pub fn new(value: Tensor, decay: bool) -> Self {
+        let grad = Tensor::zeros(value.shape().clone());
+        let velocity = Tensor::zeros(value.shape().clone());
+        Param {
+            value,
+            grad,
+            velocity,
+            decay,
+        }
+    }
+
+    /// A zero-initialized parameter of the given shape (for biases).
+    pub fn zeros(shape: Shape, decay: bool) -> Self {
+        Param::new(Tensor::zeros(shape), decay)
+    }
+
+    /// Number of scalar elements.
+    pub fn len(&self) -> usize {
+        self.value.len()
+    }
+
+    /// Whether the parameter has zero elements.
+    pub fn is_empty(&self) -> bool {
+        self.value.is_empty()
+    }
+
+    /// Clears the gradient to zero (called before each backward pass).
+    pub fn zero_grad(&mut self) {
+        self.grad.map_inplace(|_| 0.0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_param_has_zero_grad_and_velocity() {
+        let p = Param::new(Tensor::ones(Shape::d2(2, 2)), true);
+        assert_eq!(p.grad.sum(), 0.0);
+        assert_eq!(p.velocity.sum(), 0.0);
+        assert_eq!(p.len(), 4);
+        assert!(p.decay);
+    }
+
+    #[test]
+    fn zero_grad_resets() {
+        let mut p = Param::zeros(Shape::d1(3), false);
+        p.grad = Tensor::ones(Shape::d1(3));
+        p.zero_grad();
+        assert_eq!(p.grad.sum(), 0.0);
+    }
+}

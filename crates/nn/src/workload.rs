@@ -1,0 +1,179 @@
+//! Hardware-facing workload description.
+//!
+//! The accelerator model in `qnn-accel` does not run tensors — it schedules
+//! *work*: how many multiply-accumulates, how many weight/input/output
+//! values move through each buffer subsystem. A [`Workload`] is that view
+//! of a [`NetworkSpec`], one record per
+//! compute layer (pooling and ReLU ride along in the pipeline and cost no
+//! NFU MACs, matching the DianNao-style design the paper adopts).
+
+use crate::arch::{LayerSpec, NetworkSpec};
+use crate::error::NnError;
+
+/// The kind of compute a layer demands from the accelerator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WorkKind {
+    /// Convolution: weights reused across output pixels.
+    Conv,
+    /// Fully connected: every weight read once per image.
+    Dense,
+    /// Pooling: data movement only, handled in the NFU's third stage.
+    Pool,
+    /// Elementwise nonlinearity: folded into the NFU pipeline.
+    Activation,
+}
+
+/// Per-layer work record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LayerWork {
+    /// Display name, e.g. `"conv1"`.
+    pub name: String,
+    /// Compute kind.
+    pub kind: WorkKind,
+    /// Multiply-accumulate count per image.
+    pub macs: u64,
+    /// Output neuron count (output elements).
+    pub neurons: u64,
+    /// Fan-in per neuron (synapses each neuron sums).
+    pub synapses_per_neuron: u64,
+    /// Input values read from the input buffer, per image.
+    pub inputs: u64,
+    /// Distinct weight values the layer owns.
+    pub weights: u64,
+    /// Output values written to the output buffer, per image.
+    pub outputs: u64,
+}
+
+/// A network's complete work description for one inference.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Workload {
+    /// Source network name.
+    pub network: String,
+    /// Number of input image values (C·H·W).
+    pub input_values: u64,
+    /// Per-layer records, in execution order.
+    pub layers: Vec<LayerWork>,
+}
+
+impl Workload {
+    /// Total MACs per image.
+    pub fn total_macs(&self) -> u64 {
+        self.layers.iter().map(|l| l.macs).sum()
+    }
+
+    /// Total distinct weight values across all layers.
+    pub fn total_weights(&self) -> u64 {
+        self.layers.iter().map(|l| l.weights).sum()
+    }
+
+    /// Total output-buffer writes per image.
+    pub fn total_outputs(&self) -> u64 {
+        self.layers.iter().map(|l| l.outputs).sum()
+    }
+}
+
+impl NetworkSpec {
+    /// Derives the accelerator workload for this architecture.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InvalidSpec`] if the spec does not validate.
+    pub fn workload(&self) -> Result<Workload, NnError> {
+        let summaries = self.summaries()?;
+        let mut layers = Vec::new();
+        let mut conv_idx = 0usize;
+        let mut fc_idx = 0usize;
+        let mut pool_idx = 0usize;
+        let mut relu_idx = 0usize;
+        for s in &summaries {
+            let (name, kind) = match s.spec {
+                LayerSpec::Conv { .. } => {
+                    conv_idx += 1;
+                    (format!("conv{conv_idx}"), WorkKind::Conv)
+                }
+                LayerSpec::Dense { .. } => {
+                    fc_idx += 1;
+                    (format!("fc{fc_idx}"), WorkKind::Dense)
+                }
+                LayerSpec::MaxPool { .. } | LayerSpec::AvgPool { .. } => {
+                    pool_idx += 1;
+                    (format!("pool{pool_idx}"), WorkKind::Pool)
+                }
+                LayerSpec::Relu => {
+                    relu_idx += 1;
+                    (format!("relu{relu_idx}"), WorkKind::Activation)
+                }
+            };
+            let neurons = s.output.len() as u64;
+            let synapses = s.macs.checked_div(neurons).unwrap_or(0);
+            layers.push(LayerWork {
+                name,
+                kind,
+                macs: s.macs,
+                neurons,
+                synapses_per_neuron: synapses,
+                inputs: s.input.len() as u64,
+                weights: s.params as u64,
+                outputs: neurons,
+            });
+        }
+        let (c, h, w) = self.input();
+        Ok(Workload {
+            network: self.name().to_string(),
+            input_values: (c * h * w) as u64,
+            layers,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workload_totals_match_spec() {
+        let spec = NetworkSpec::new("t", (1, 12, 12))
+            .conv(8, 3, 1, 0)
+            .relu()
+            .max_pool(2, 2)
+            .dense(10);
+        let w = spec.workload().unwrap();
+        assert_eq!(w.total_macs(), spec.macs_per_image());
+        assert_eq!(w.total_weights() as usize, spec.param_count());
+        assert_eq!(w.input_values, 144);
+    }
+
+    #[test]
+    fn layer_names_and_kinds() {
+        let spec = NetworkSpec::new("t", (1, 12, 12))
+            .conv(8, 3, 1, 0)
+            .relu()
+            .max_pool(2, 2)
+            .conv(4, 3, 1, 1)
+            .dense(10);
+        let w = spec.workload().unwrap();
+        let names: Vec<&str> = w.layers.iter().map(|l| l.name.as_str()).collect();
+        assert_eq!(names, ["conv1", "relu1", "pool1", "conv2", "fc1"]);
+        assert_eq!(w.layers[0].kind, WorkKind::Conv);
+        assert_eq!(w.layers[2].kind, WorkKind::Pool);
+        assert_eq!(w.layers[4].kind, WorkKind::Dense);
+    }
+
+    #[test]
+    fn synapses_per_neuron_is_fan_in() {
+        let spec = NetworkSpec::new("t", (3, 8, 8)).conv(4, 3, 1, 1);
+        let w = spec.workload().unwrap();
+        assert_eq!(w.layers[0].synapses_per_neuron, 27); // 3 channels × 3×3
+        let spec = NetworkSpec::new("t", (1, 4, 4)).dense(10);
+        let w = spec.workload().unwrap();
+        assert_eq!(w.layers[0].synapses_per_neuron, 16);
+    }
+
+    #[test]
+    fn pool_and_relu_have_zero_macs() {
+        let spec = NetworkSpec::new("t", (2, 8, 8)).relu().max_pool(2, 2);
+        let w = spec.workload().unwrap();
+        assert!(w.layers.iter().all(|l| l.macs == 0));
+        assert_eq!(w.total_macs(), 0);
+    }
+}

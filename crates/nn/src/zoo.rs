@@ -1,0 +1,267 @@
+//! The paper's benchmark architectures.
+//!
+//! Table I (benchmark networks) and Table II (expanded CIFAR networks),
+//! transcribed row by row. Strides and paddings follow the Caffe model
+//! definitions the originals come from: convolutions are stride 1 (LeNet
+//! unpadded, the CIFAR networks padded to preserve width), pools use
+//! stride 2. ReLUs sit after every convolution and hidden dense layer.
+//!
+//! Pooling output sizing follows each source model's Caffe convention:
+//! the ALEX-family 3×3/stride-2 pools use ceil mode (feature sizes
+//! 16/8/4), everything else floor (identical for the even 2×2 cases).
+
+use crate::arch::NetworkSpec;
+
+/// LeNet on MNIST-shaped input (Table I, column 1): `28×28×1`,
+/// `conv 5×5×20 → maxpool 2×2 → conv 5×5×50 → maxpool 2×2 →
+/// innerproduct 500 → innerproduct 10`.
+///
+/// ```
+/// let spec = qnn_nn::zoo::lenet();
+/// assert_eq!(spec.param_count(), 431_080); // ≈1.7 MB at float32
+/// ```
+pub fn lenet() -> NetworkSpec {
+    NetworkSpec::new("lenet", (1, 28, 28))
+        .conv(20, 5, 1, 0)
+        .relu()
+        .max_pool(2, 2)
+        .conv(50, 5, 1, 0)
+        .relu()
+        .max_pool(2, 2)
+        .dense(500)
+        .relu()
+        .dense(10)
+}
+
+/// ConvNet on SVHN-shaped input (Table I, column 2): `32×32×3`,
+/// `conv 5×5×16 → maxpool 2×2 → conv 7×7×512 → maxpool 2×2 →
+/// innerproduct 20 → innerproduct 10`.
+pub fn convnet() -> NetworkSpec {
+    NetworkSpec::new("convnet", (3, 32, 32))
+        .conv(16, 5, 1, 0)
+        .relu()
+        .max_pool(2, 2)
+        .conv(512, 7, 1, 0)
+        .relu()
+        .max_pool(2, 2)
+        .dense(20)
+        .relu()
+        .dense(10)
+}
+
+/// ALEX (Krizhevsky's CIFAR-10 network; Table I, column 3): `32×32×3`,
+/// `conv 5×5×32 → maxpool 3×3 → conv 5×5×32 → avgpool 3×3 →
+/// conv 5×5×64 → avgpool 3×3 → innerproduct 10`.
+pub fn alex() -> NetworkSpec {
+    NetworkSpec::new("alex", (3, 32, 32))
+        .conv(32, 5, 1, 2)
+        .relu()
+        .max_pool_ceil(3, 2)
+        .conv(32, 5, 1, 2)
+        .relu()
+        .avg_pool_ceil(3, 2)
+        .conv(64, 5, 1, 2)
+        .relu()
+        .avg_pool_ceil(3, 2)
+        .dense(10)
+}
+
+/// ALEX+ (Table II, column 1): ALEX with the channel count of every
+/// convolutional layer doubled.
+pub fn alex_plus() -> NetworkSpec {
+    NetworkSpec::new("alex+", (3, 32, 32))
+        .conv(64, 5, 1, 2)
+        .relu()
+        .max_pool_ceil(3, 2)
+        .conv(64, 5, 1, 2)
+        .relu()
+        .avg_pool_ceil(3, 2)
+        .conv(128, 5, 1, 2)
+        .relu()
+        .avg_pool_ceil(3, 2)
+        .dense(10)
+}
+
+/// ALEX++ (Table II, column 2): channels double whenever the feature size
+/// halves (VGG-style): `conv 3×3×64 → maxpool 2×2 → conv 3×3×128 →
+/// maxpool 2×2 → conv 3×3×256 → maxpool 2×2 → innerproduct 512 →
+/// innerproduct 10`.
+pub fn alex_plus_plus() -> NetworkSpec {
+    NetworkSpec::new("alex++", (3, 32, 32))
+        .conv(64, 3, 1, 1)
+        .relu()
+        .max_pool(2, 2)
+        .conv(128, 3, 1, 1)
+        .relu()
+        .max_pool(2, 2)
+        .conv(256, 3, 1, 1)
+        .relu()
+        .max_pool(2, 2)
+        .dense(512)
+        .relu()
+        .dense(10)
+}
+
+/// A reduced LeNet for fast tests and examples: same topology, fewer
+/// channels/units. Not part of the paper; exists so the test suite can
+/// exercise full training loops in seconds.
+pub fn lenet_small() -> NetworkSpec {
+    NetworkSpec::new("lenet-small", (1, 28, 28))
+        .conv(6, 5, 1, 0)
+        .relu()
+        .max_pool(2, 2)
+        .conv(12, 5, 1, 0)
+        .relu()
+        .max_pool(2, 2)
+        .dense(48)
+        .relu()
+        .dense(10)
+}
+
+/// Reduced ConvNet for fast tests and `Reduced`-scale experiments: same
+/// stage structure as [`convnet`] with narrower channels.
+pub fn convnet_small() -> NetworkSpec {
+    NetworkSpec::new("convnet-small", (3, 32, 32))
+        .conv(8, 5, 1, 0)
+        .relu()
+        .max_pool(2, 2)
+        .conv(32, 7, 1, 0)
+        .relu()
+        .max_pool(2, 2)
+        .dense(20)
+        .relu()
+        .dense(10)
+}
+
+/// Reduced ALEX+ (channels of [`alex_small`] doubled).
+pub fn alex_plus_small() -> NetworkSpec {
+    NetworkSpec::new("alex+-small", (3, 32, 32))
+        .conv(16, 5, 1, 2)
+        .relu()
+        .max_pool_ceil(3, 2)
+        .conv(16, 5, 1, 2)
+        .relu()
+        .avg_pool_ceil(3, 2)
+        .conv(32, 5, 1, 2)
+        .relu()
+        .avg_pool_ceil(3, 2)
+        .dense(10)
+}
+
+/// Reduced ALEX++ (VGG-style doubling, narrow).
+pub fn alex_plus_plus_small() -> NetworkSpec {
+    NetworkSpec::new("alex++-small", (3, 32, 32))
+        .conv(16, 3, 1, 1)
+        .relu()
+        .max_pool(2, 2)
+        .conv(32, 3, 1, 1)
+        .relu()
+        .max_pool(2, 2)
+        .conv(64, 3, 1, 1)
+        .relu()
+        .max_pool(2, 2)
+        .dense(128)
+        .relu()
+        .dense(10)
+}
+
+/// Reduced ALEX for fast tests: same stage structure on `32×32×3`.
+pub fn alex_small() -> NetworkSpec {
+    NetworkSpec::new("alex-small", (3, 32, 32))
+        .conv(8, 5, 1, 2)
+        .relu()
+        .max_pool_ceil(3, 2)
+        .conv(8, 5, 1, 2)
+        .relu()
+        .avg_pool_ceil(3, 2)
+        .conv(16, 5, 1, 2)
+        .relu()
+        .avg_pool_ceil(3, 2)
+        .dense(10)
+}
+
+/// All five paper networks, in (Table I ++ Table II) order.
+pub fn all_paper_networks() -> Vec<NetworkSpec> {
+    vec![lenet(), convnet(), alex(), alex_plus(), alex_plus_plus()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lenet_matches_table1() {
+        let s = lenet().summaries().unwrap();
+        // conv 5×5×20 on 28×28 → 24×24; pool → 12; conv 5×5×50 → 8; pool → 4.
+        assert_eq!(s[0].output.dims(), &[20, 24, 24]);
+        assert_eq!(s[3].output.dims(), &[50, 8, 8]);
+        assert_eq!(lenet().num_classes(), Some(10));
+    }
+
+    #[test]
+    fn convnet_matches_table1() {
+        let s = convnet().summaries().unwrap();
+        assert_eq!(s[0].output.dims(), &[16, 28, 28]);
+        assert_eq!(s[2].output.dims(), &[16, 14, 14]);
+        assert_eq!(s[3].output.dims(), &[512, 8, 8]);
+        assert_eq!(s[5].output.dims(), &[512, 4, 4]);
+    }
+
+    #[test]
+    fn alex_matches_table1() {
+        let s = alex().summaries().unwrap();
+        assert_eq!(s[0].output.dims(), &[32, 32, 32]); // padded conv keeps 32
+        assert_eq!(s[2].output.dims(), &[32, 16, 16]); // ceil pooling (Caffe)
+        assert_eq!(s[5].output.dims(), &[32, 8, 8]);
+        assert_eq!(s[8].output.dims(), &[64, 4, 4]);
+        assert_eq!(s.last().unwrap().output.dims(), &[10]);
+    }
+
+    #[test]
+    fn parameter_memory_matches_paper_quotes() {
+        // §V-B: "approximately 1650KB, and 2150KB, and 350KB of memory for
+        // LeNet, CONVnet, and ALEX" at float32; ALEX+ ≈1250KB, ALEX++ ≈9400KB.
+        let kb = |s: &NetworkSpec| s.param_count() * 4 / 1024;
+        let tol = |got: usize, want: usize| {
+            let err = (got as f64 - want as f64).abs() / want as f64;
+            assert!(err < 0.12, "{got} KB vs paper's ≈{want} KB");
+        };
+        tol(kb(&lenet()), 1650);
+        tol(kb(&convnet()), 2150);
+        tol(kb(&alex()), 350);
+        tol(kb(&alex_plus()), 1250);
+        tol(kb(&alex_plus_plus()), 9400);
+    }
+
+    #[test]
+    fn alex_variants_grow_monotonically() {
+        let a = alex().macs_per_image();
+        let p = alex_plus().macs_per_image();
+        let pp = alex_plus_plus().macs_per_image();
+        assert!(p > 2 * a, "ALEX+ should be >2× ALEX MACs: {p} vs {a}");
+        assert!(pp > a, "ALEX++ bigger than ALEX");
+        let ppp = alex_plus_plus().param_count();
+        assert!(ppp > 8 * alex_plus().param_count() / 2);
+    }
+
+    #[test]
+    fn every_network_builds_and_runs() {
+        use crate::network::{Mode, Network};
+        use qnn_tensor::{Shape, Tensor};
+        for spec in [lenet_small(), alex_small()] {
+            let (c, h, w) = spec.input();
+            let mut net = Network::build(&spec, 1).unwrap();
+            let x = Tensor::zeros(Shape::d4(1, c, h, w));
+            let y = net.forward(&x, Mode::Eval).unwrap();
+            assert_eq!(y.shape().dims(), &[1, 10]);
+        }
+    }
+
+    #[test]
+    fn all_paper_networks_validate() {
+        for spec in all_paper_networks() {
+            assert!(spec.summaries().is_ok(), "{} invalid", spec.name());
+            assert!(spec.macs_per_image() > 0);
+        }
+    }
+}

@@ -1,0 +1,106 @@
+//! Failure-injection tests: corrupted inputs must surface as reported
+//! divergence or saturated values, never as panics or silent garbage.
+
+use qnn_nn::arch::NetworkSpec;
+use qnn_nn::{ActivationCalibration, Mode, Network, TrainOutcome, Trainer, TrainerConfig};
+use qnn_quant::calibrate::Method;
+use qnn_quant::Precision;
+use qnn_tensor::{Shape, Tensor};
+
+fn spec() -> NetworkSpec {
+    NetworkSpec::new("fault", (1, 6, 6))
+        .conv(3, 3, 1, 1)
+        .relu()
+        .max_pool(2, 2)
+        .dense(3)
+}
+
+fn clean_batch(n: usize) -> Tensor {
+    Tensor::from_vec(
+        Shape::d4(n, 1, 6, 6),
+        (0..n * 36).map(|i| ((i as f32) * 0.21).sin()).collect(),
+    )
+    .unwrap()
+}
+
+#[test]
+fn nan_in_training_batch_reports_divergence() {
+    let mut net = Network::build(&spec(), 1).unwrap();
+    let mut x = clean_batch(16);
+    x.as_mut_slice()[5] = f32::NAN;
+    let labels: Vec<usize> = (0..16).map(|i| i % 3).collect();
+    let trainer = Trainer::new(TrainerConfig {
+        epochs: 2,
+        batch_size: 8,
+        ..TrainerConfig::default()
+    });
+    let report = trainer.train(&mut net, &x, &labels).unwrap();
+    assert_eq!(report.outcome, TrainOutcome::Diverged);
+}
+
+#[test]
+fn infinite_inputs_saturate_under_quantization() {
+    let mut net = Network::build(&spec(), 2).unwrap();
+    let calib = clean_batch(4);
+    net.set_precision(
+        Precision::fixed(8, 8),
+        Method::MaxAbs,
+        &calib,
+        ActivationCalibration::PerLayer,
+    )
+    .unwrap();
+    let mut x = clean_batch(2);
+    x.as_mut_slice()[0] = f32::INFINITY;
+    x.as_mut_slice()[40] = f32::NEG_INFINITY;
+    let y = net.forward(&x, Mode::Eval).unwrap();
+    assert!(
+        y.as_slice().iter().all(|v| v.is_finite()),
+        "quantized network must clamp infinities: {:?}",
+        y.as_slice()
+    );
+}
+
+#[test]
+fn nan_input_at_full_precision_propagates_visibly() {
+    // Without quantizers there is nothing to clamp NaN — but prediction
+    // must still return (argmax of a NaN row is defined), not panic.
+    let mut net = Network::build(&spec(), 3).unwrap();
+    let mut x = clean_batch(1);
+    x.as_mut_slice()[7] = f32::NAN;
+    let preds = net.predict(&x).unwrap();
+    assert_eq!(preds.len(), 1);
+    assert!(preds[0] < 3);
+}
+
+#[test]
+fn extreme_calibration_batch_still_yields_valid_formats() {
+    // Calibrating on a batch containing huge values must produce formats
+    // that cover them (saturating everything else) rather than failing.
+    let mut net = Network::build(&spec(), 4).unwrap();
+    let mut calib = clean_batch(4);
+    calib.as_mut_slice()[0] = 3.0e4;
+    net.set_precision(
+        Precision::fixed(8, 8),
+        Method::MaxAbs,
+        &calib,
+        ActivationCalibration::PerLayer,
+    )
+    .unwrap();
+    let y = net.forward(&clean_batch(2), Mode::Eval).unwrap();
+    assert!(y.as_slice().iter().all(|v| v.is_finite()));
+}
+
+#[test]
+fn all_zero_batch_is_harmless() {
+    let mut net = Network::build(&spec(), 5).unwrap();
+    let zeros = Tensor::zeros(Shape::d4(4, 1, 6, 6));
+    net.set_precision(
+        Precision::binary(),
+        Method::MaxAbs,
+        &zeros,
+        ActivationCalibration::PerLayer,
+    )
+    .unwrap();
+    let y = net.forward(&zeros, Mode::Eval).unwrap();
+    assert!(y.as_slice().iter().all(|v| v.is_finite()));
+}

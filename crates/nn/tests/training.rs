@@ -1,0 +1,225 @@
+//! Cross-module training tests: gradient correctness through whole
+//! networks, QAT behaviour, and the shadow-weight mechanism.
+
+use proptest::prelude::*;
+use qnn_nn::arch::NetworkSpec;
+use qnn_nn::loss::softmax_cross_entropy;
+use qnn_nn::{Mode, Network, QatConfig, Sgd, TrainOutcome, Trainer, TrainerConfig};
+use qnn_quant::Precision;
+use qnn_tensor::{rng, Shape, Tensor};
+use rand::Rng;
+
+fn conv_spec() -> NetworkSpec {
+    NetworkSpec::new("conv-net", (1, 8, 8))
+        .conv(4, 3, 1, 1)
+        .relu()
+        .max_pool(2, 2)
+        .conv(6, 3, 1, 1)
+        .relu()
+        .avg_pool(2, 2)
+        .dense(3)
+}
+
+fn random_batch(n: usize, seed: u64) -> Tensor {
+    let mut r = rng::seeded(seed);
+    Tensor::from_vec(
+        Shape::d4(n, 1, 8, 8),
+        (0..n * 64).map(|_| r.gen_range(-1.0..1.0)).collect(),
+    )
+    .unwrap()
+}
+
+/// Numerical gradient check through an entire CNN: perturb a handful of
+/// parameters and compare loss deltas against backprop.
+#[test]
+fn full_network_gradient_check() {
+    let mut net = Network::build(&conv_spec(), 11).unwrap();
+    let x = random_batch(2, 5);
+    let labels = [0usize, 2];
+    let logits = net.forward(&x, Mode::Train).unwrap();
+    let out = softmax_cross_entropy(&logits, &labels).unwrap();
+    net.backward(&out.grad).unwrap();
+    // Collect analytic grads for spot-checked parameters.
+    let spots: Vec<(usize, usize)> = vec![(0, 0), (0, 7), (2, 3), (4, 10), (5, 1)];
+    let analytic: Vec<f32> = {
+        let params = net.params();
+        spots
+            .iter()
+            .map(|&(pi, ei)| params[pi].grad.as_slice()[ei])
+            .collect()
+    };
+    let eps = 1e-2;
+    for (k, &(pi, ei)) in spots.iter().enumerate() {
+        let orig = net.params()[pi].value.as_slice()[ei];
+        {
+            net.params_mut()[pi].value.as_mut_slice()[ei] = orig + eps;
+        }
+        let lp = {
+            let l = net.forward(&x, Mode::Eval).unwrap();
+            softmax_cross_entropy(&l, &labels).unwrap().loss
+        };
+        {
+            net.params_mut()[pi].value.as_mut_slice()[ei] = orig - eps;
+        }
+        let lm = {
+            let l = net.forward(&x, Mode::Eval).unwrap();
+            softmax_cross_entropy(&l, &labels).unwrap().loss
+        };
+        {
+            net.params_mut()[pi].value.as_mut_slice()[ei] = orig;
+        }
+        let numeric = (lp - lm) / (2.0 * eps);
+        assert!(
+            (numeric - analytic[k]).abs() < 2e-2 * (1.0 + numeric.abs()),
+            "param {pi}[{ei}]: numeric={numeric} analytic={}",
+            analytic[k]
+        );
+    }
+}
+
+/// A tiny two-class image problem the whole pipeline must solve at several
+/// precisions (the qualitative heart of Table IV).
+fn two_class_data(n: usize, seed: u64) -> (Tensor, Vec<usize>) {
+    let mut r = rng::seeded(seed);
+    let mut data = Vec::with_capacity(n * 64);
+    let mut labels = Vec::with_capacity(n);
+    for _ in 0..n {
+        let class = r.gen_range(0..2usize);
+        for row in 0..8i32 {
+            for col in 0..8i32 {
+                // Class 0: bright diagonal band; class 1: bright anti-diagonal.
+                let on = if class == 0 {
+                    (row - col).abs() <= 1
+                } else {
+                    (row + col - 7).abs() <= 1
+                };
+                let v = if on { 0.9 } else { 0.05 } + r.gen_range(-0.08..0.08);
+                data.push(v);
+            }
+        }
+        labels.push(class);
+    }
+    (
+        Tensor::from_vec(Shape::d4(n, 1, 8, 8), data).unwrap(),
+        labels,
+    )
+}
+
+fn two_class_spec() -> NetworkSpec {
+    NetworkSpec::new("2class", (1, 8, 8))
+        .conv(4, 3, 1, 1)
+        .relu()
+        .max_pool(2, 2)
+        .dense(2)
+}
+
+#[test]
+fn fp32_then_qat_precision_ladder() {
+    let (x, y) = two_class_data(160, 21);
+    let trainer = Trainer::new(TrainerConfig {
+        epochs: 8,
+        batch_size: 16,
+        lr: 0.08,
+        ..TrainerConfig::default()
+    });
+    let mut net = Network::build(&two_class_spec(), 33).unwrap();
+    let report = trainer.train(&mut net, &x, &y).unwrap();
+    assert_eq!(report.outcome, TrainOutcome::Converged);
+    let fp = trainer.evaluate(&mut net, &x, &y).unwrap();
+    assert!(fp > 0.95, "FP32 accuracy {fp}");
+    let state = net.state_dict();
+
+    // 16- and 8-bit QAT should stay within a few points of FP32.
+    for precision in [Precision::fixed(16, 16), Precision::fixed(8, 8)] {
+        let mut qnet = Network::build(&two_class_spec(), 33).unwrap();
+        qnet.load_state(&state).unwrap();
+        let r = trainer
+            .train_qat(&mut qnet, &QatConfig::new(precision), &x, &y, 32)
+            .unwrap();
+        assert_eq!(r.outcome, TrainOutcome::Converged, "{}", precision.label());
+        let acc = trainer.evaluate(&mut qnet, &x, &y).unwrap();
+        assert!(
+            acc >= fp - 0.08,
+            "{}: accuracy {acc} vs FP {fp}",
+            precision.label()
+        );
+    }
+}
+
+#[test]
+fn binary_qat_trains_on_easy_problem() {
+    let (x, y) = two_class_data(160, 22);
+    let trainer = Trainer::new(TrainerConfig {
+        epochs: 10,
+        batch_size: 16,
+        lr: 0.05,
+        ..TrainerConfig::default()
+    });
+    let mut net = Network::build(&two_class_spec(), 35).unwrap();
+    trainer.train(&mut net, &x, &y).unwrap();
+    let r = trainer
+        .train_qat(&mut net, &QatConfig::new(Precision::binary()), &x, &y, 32)
+        .unwrap();
+    // The MNIST-difficulty analogue: binary should still converge
+    // (paper: 99.40% on MNIST with (1,16)).
+    assert_eq!(r.outcome, TrainOutcome::Converged);
+    let acc = trainer.evaluate(&mut net, &x, &y).unwrap();
+    assert!(acc > 0.8, "binary accuracy {acc}");
+}
+
+#[test]
+fn shadow_weights_stay_full_precision_under_qat() {
+    let (x, y) = two_class_data(64, 23);
+    let trainer = Trainer::new(TrainerConfig {
+        epochs: 2,
+        batch_size: 16,
+        ..TrainerConfig::default()
+    });
+    let mut net = Network::build(&two_class_spec(), 1).unwrap();
+    trainer
+        .train_qat(&mut net, &QatConfig::new(Precision::binary()), &x, &y, 16)
+        .unwrap();
+    // Shadow weights must NOT all be ±1 — they carry sub-quantum state.
+    let params = net.params();
+    let w = params[0].value.as_slice();
+    assert!(w.iter().any(|&v| v != 1.0 && v != -1.0));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// SGD with any sane LR strictly decreases loss on a fixed batch for a
+    /// freshly initialized network (single full-batch step).
+    #[test]
+    fn single_step_decreases_batch_loss(seed in 0u64..500, lr in 0.005f32..0.05) {
+        let mut net = Network::build(&two_class_spec(), seed).unwrap();
+        let (x, y) = two_class_data(32, seed.wrapping_add(1));
+        let logits = net.forward(&x, Mode::Train).unwrap();
+        let before = softmax_cross_entropy(&logits, &y).unwrap();
+        net.backward(&before.grad).unwrap();
+        Sgd::new(lr).step(&mut net);
+        let logits = net.forward(&x, Mode::Eval).unwrap();
+        let after = softmax_cross_entropy(&logits, &y).unwrap();
+        prop_assert!(after.loss <= before.loss + 1e-4,
+            "loss rose {} -> {}", before.loss, after.loss);
+    }
+
+    /// Quantized forward equals FP forward when the word is wide (32-bit
+    /// fixed ≈ float for these magnitudes).
+    #[test]
+    fn fixed32_is_nearly_transparent(seed in 0u64..100) {
+        let mut net = Network::build(&two_class_spec(), seed).unwrap();
+        let x = random_batch(2, seed);
+        let y_fp = net.forward(&x, Mode::Eval).unwrap();
+        net.set_precision(
+            Precision::fixed(32, 32),
+            qnn_quant::calibrate::Method::MaxAbs,
+            &x,
+            qnn_nn::ActivationCalibration::PerLayer,
+        ).unwrap();
+        let y_q = net.forward(&x, Mode::Eval).unwrap();
+        for (a, b) in y_fp.as_slice().iter().zip(y_q.as_slice()) {
+            prop_assert!((a - b).abs() < 1e-3 * (1.0 + a.abs()), "{} vs {}", a, b);
+        }
+    }
+}

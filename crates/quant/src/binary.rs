@@ -1,0 +1,152 @@
+use crate::error::FormatError;
+use crate::quantizer::Quantizer;
+
+/// Binary weight quantization: every weight becomes `±scale`.
+///
+/// This is the BinaryConnect scheme the paper adopts (§IV-A4): weights use
+/// one bit, while the input layer and feature maps keep a multi-bit
+/// fixed-point representation, so the accelerator's weight block degenerates
+/// to a sign-controlled negate and the WB/adder-tree pipeline stages can be
+/// merged.
+///
+/// `scale` defaults to `1.0` (pure ±1 weights). Calibration can instead set
+/// it to the mean absolute weight of the tensor (the XNOR-Net refinement),
+/// which the hardware folds into the nonlinearity stage at no per-MAC cost.
+///
+/// ```
+/// use qnn_quant::{Binary, Quantizer};
+///
+/// let q = Binary::new();
+/// assert_eq!(q.quantize_value(0.3), 1.0);
+/// assert_eq!(q.quantize_value(-7.0), -1.0);
+/// assert_eq!(q.quantize_value(0.0), 1.0); // sign(0) → +1 by convention
+/// assert_eq!(q.bits(), 1);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Binary {
+    scale: f32,
+}
+
+impl Binary {
+    /// Pure ±1 binarization.
+    pub fn new() -> Self {
+        Binary { scale: 1.0 }
+    }
+
+    /// Binarization to `±scale`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FormatError::InvalidParameter`] if `scale` is not a finite
+    /// positive number.
+    pub fn with_scale(scale: f32) -> Result<Self, FormatError> {
+        if !(scale.is_finite() && scale > 0.0) {
+            return Err(FormatError::InvalidParameter {
+                format: "binary",
+                reason: format!("scale must be finite and positive, got {scale}"),
+            });
+        }
+        Ok(Binary { scale })
+    }
+
+    /// The magnitude both representable values share.
+    pub fn scale(&self) -> f32 {
+        self.scale
+    }
+
+    /// Encodes the sign bit: `true` for negative.
+    pub fn encode(&self, x: f32) -> bool {
+        x < 0.0
+    }
+
+    /// Decodes a sign bit back to `±scale`.
+    pub fn decode(&self, sign: bool) -> f32 {
+        if sign {
+            -self.scale
+        } else {
+            self.scale
+        }
+    }
+}
+
+impl Default for Binary {
+    fn default() -> Self {
+        Binary::new()
+    }
+}
+
+impl Quantizer for Binary {
+    fn quantize_value(&self, x: f32) -> f32 {
+        self.decode(self.encode(x))
+    }
+
+    fn bits(&self) -> u32 {
+        1
+    }
+
+    fn describe(&self) -> String {
+        if self.scale == 1.0 {
+            "binary[±1]".to_string()
+        } else {
+            format!("binary[±{}]", self.scale)
+        }
+    }
+
+    fn max_value(&self) -> f32 {
+        self.scale
+    }
+
+    fn min_value(&self) -> f32 {
+        -self.scale
+    }
+
+    /// BinaryConnect clips shadow weights at ±1, not at ±scale — the
+    /// representable set is two points, and freezing every weight whose
+    /// shadow exceeds the (typically small) scale would stall training.
+    fn ste_clip_range(&self) -> (f32, f32) {
+        (-1.0, 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binarizes_to_plus_minus_one() {
+        let q = Binary::new();
+        assert_eq!(q.quantize_value(2.7), 1.0);
+        assert_eq!(q.quantize_value(-0.001), -1.0);
+        assert_eq!(q.quantize_value(0.0), 1.0);
+    }
+
+    #[test]
+    fn scaled_variant() {
+        let q = Binary::with_scale(0.25).unwrap();
+        assert_eq!(q.quantize_value(9.0), 0.25);
+        assert_eq!(q.quantize_value(-9.0), -0.25);
+        assert_eq!(q.max_value(), 0.25);
+    }
+
+    #[test]
+    fn rejects_bad_scale() {
+        assert!(Binary::with_scale(0.0).is_err());
+        assert!(Binary::with_scale(-1.0).is_err());
+        assert!(Binary::with_scale(f32::NAN).is_err());
+        assert!(Binary::with_scale(f32::INFINITY).is_err());
+    }
+
+    #[test]
+    fn nan_input_picks_positive() {
+        // NaN < 0.0 is false, so NaN deterministically maps to +scale.
+        assert_eq!(Binary::new().quantize_value(f32::NAN), 1.0);
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let q = Binary::with_scale(0.5).unwrap();
+        for &x in &[1.0f32, -1.0, 0.0, -0.0, 42.0] {
+            assert_eq!(q.decode(q.encode(x)), q.quantize_value(x));
+        }
+    }
+}

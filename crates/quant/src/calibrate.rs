@@ -1,0 +1,299 @@
+//! Range calibration: fitting a format's free parameters to data.
+//!
+//! Fixed point needs a radix point, power-of-two needs an exponent-window
+//! top, binary optionally needs a magnitude. Ristretto (which the paper's
+//! software stack extends) derives these from the dynamic range of each
+//! tensor; this module implements that *max-abs* rule plus a percentile
+//! variant used as an ablation (clipping outliers buys the bulk of the
+//! distribution an extra fractional bit).
+
+use qnn_tensor::{stats, Tensor};
+
+use crate::binary::Binary;
+use crate::error::FormatError;
+use crate::fixed::Fixed;
+use crate::minifloat::Minifloat;
+use crate::pow2::PowerOfTwo;
+use crate::precision::{Precision, Scheme};
+use crate::quantizer::{IdentityQuantizer, Quantizer, QuantizerPair};
+
+/// How the representable range is derived from observed values.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum Method {
+    /// Cover the largest absolute value exactly (Ristretto's rule; no
+    /// saturation on the calibration data).
+    #[default]
+    MaxAbs,
+    /// Cover the given quantile of absolute values (0–1); the tail
+    /// saturates. `Percentile(1.0)` equals `MaxAbs`.
+    Percentile(f32),
+}
+
+impl Method {
+    /// The range statistic this method extracts from a sample.
+    ///
+    /// Returns `1.0` for empty or all-zero samples — a degenerate range
+    /// would otherwise produce formats that can represent nothing.
+    pub fn range_of(&self, samples: &[&Tensor]) -> f32 {
+        let mut r = 0.0f32;
+        for t in samples {
+            let v = match self {
+                Method::MaxAbs => stats::abs_max(t).unwrap_or(0.0),
+                Method::Percentile(p) => stats::abs_percentile(t, *p).unwrap_or(0.0),
+            };
+            r = r.max(v);
+        }
+        if r > 0.0 && r.is_finite() {
+            r
+        } else {
+            1.0
+        }
+    }
+}
+
+/// Number of integer bits (left of the radix) needed to represent
+/// `max_abs` in a signed fixed-point word.
+fn integer_bits_for(max_abs: f32) -> i32 {
+    // Smallest il with 2^il > max_abs (so max_abs fits below the positive
+    // saturation point given il integer bits).
+    let mut il = max_abs.log2().ceil() as i32;
+    if (il as f32).exp2() <= max_abs {
+        il += 1;
+    }
+    il
+}
+
+/// Fits a fixed-point radix to a range: as many fractional bits as the
+/// integer part allows.
+///
+/// # Errors
+///
+/// Propagates [`FormatError`] from [`Fixed::new`] for unsupported widths.
+///
+/// ```
+/// use qnn_quant::calibrate::fixed_for_range;
+/// use qnn_quant::Quantizer;
+///
+/// // Weights in ±0.8 with an 8-bit word: Q0.7, step 1/128.
+/// let q = fixed_for_range(8, 0.8)?;
+/// assert_eq!(q.frac_bits(), 7);
+/// assert!(q.max_value() >= 0.8);
+/// # Ok::<(), qnn_quant::FormatError>(())
+/// ```
+pub fn fixed_for_range(word_bits: u32, max_abs: f32) -> Result<Fixed, FormatError> {
+    let max_abs = if max_abs > 0.0 && max_abs.is_finite() {
+        max_abs
+    } else {
+        1.0
+    };
+    let il = integer_bits_for(max_abs);
+    let q = Fixed::new(word_bits, word_bits as i32 - 1 - il)?;
+    // `integer_bits_for` guarantees 2^il > max_abs, but the positive
+    // saturation point is 2^il·(1 − 2^−(w−1)) — narrow words can leave
+    // `max_abs` in the sliver just below 2^il. One more integer bit fixes
+    // it (found by the calibration property test).
+    if q.max_value() < max_abs {
+        return Fixed::new(word_bits, word_bits as i32 - 2 - il);
+    }
+    Ok(q)
+}
+
+/// Fits a power-of-two exponent window to a range: the window top is the
+/// exponent nearest `log2(max_abs)`.
+///
+/// # Errors
+///
+/// Propagates [`FormatError`] from [`PowerOfTwo::new`].
+pub fn pow2_for_range(total_bits: u32, max_abs: f32) -> Result<PowerOfTwo, FormatError> {
+    let max_abs = if max_abs > 0.0 && max_abs.is_finite() {
+        max_abs
+    } else {
+        1.0
+    };
+    PowerOfTwo::new(total_bits, max_abs.log2().round() as i32)
+}
+
+/// Fits a binary magnitude to data: the mean absolute value (XNOR-Net
+/// style). Pass `scaled = false` for the paper's plain ±1 variant.
+///
+/// # Errors
+///
+/// Propagates [`FormatError`] from [`Binary::with_scale`].
+pub fn binary_for(samples: &[&Tensor], scaled: bool) -> Result<Binary, FormatError> {
+    if !scaled {
+        return Ok(Binary::new());
+    }
+    let (sum, n) = samples.iter().fold((0.0f64, 0usize), |(s, n), t| {
+        (
+            s + t.as_slice().iter().map(|x| x.abs() as f64).sum::<f64>(),
+            n + t.len(),
+        )
+    });
+    let mean = if n > 0 { (sum / n as f64) as f32 } else { 1.0 };
+    if mean > 0.0 {
+        Binary::with_scale(mean)
+    } else {
+        Ok(Binary::new())
+    }
+}
+
+/// Calibrates one scheme against sample tensors.
+///
+/// # Errors
+///
+/// Propagates format construction errors.
+pub fn scheme_for(
+    scheme: Scheme,
+    samples: &[&Tensor],
+    method: Method,
+) -> Result<Box<dyn Quantizer + Send + Sync>, FormatError> {
+    let range = method.range_of(samples);
+    Ok(match scheme {
+        Scheme::Float32 => Box::new(IdentityQuantizer),
+        Scheme::Fixed { bits } => Box::new(fixed_for_range(bits, range)?),
+        Scheme::PowerOfTwo { bits } => Box::new(pow2_for_range(bits, range)?),
+        // Binary uses the XNOR-Net per-tensor scale (mean |w|): weights
+        // still cost one stored bit — the scale is per-tensor metadata the
+        // accelerator folds into the nonlinearity stage — but the forward
+        // pass keeps FP-like magnitudes, which our from-scratch synthetic
+        // training needs for stability. Plain ±1 remains available via
+        // `Binary::new` and is compared in the ablation bench.
+        Scheme::Binary => Box::new(binary_for(samples, true)?),
+        Scheme::Minifloat { exp_bits, man_bits } => Box::new(Minifloat::new(exp_bits, man_bits)?),
+    })
+}
+
+/// Calibrates a full `(weights, inputs)` precision pair.
+///
+/// `weight_samples` should hold the network's weight tensors;
+/// `activation_samples` the input batch and representative feature maps
+/// collected from a forward pass over calibration data.
+///
+/// # Errors
+///
+/// Propagates format construction errors from either side.
+pub fn precision_for(
+    precision: Precision,
+    weight_samples: &[&Tensor],
+    activation_samples: &[&Tensor],
+    method: Method,
+) -> Result<QuantizerPair, FormatError> {
+    Ok(QuantizerPair {
+        weights: scheme_for(precision.weights(), weight_samples, method)?,
+        activations: scheme_for(precision.activations(), activation_samples, method)?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qnn_tensor::Shape;
+
+    fn t(v: Vec<f32>) -> Tensor {
+        let n = v.len();
+        Tensor::from_vec(Shape::d1(n), v).unwrap()
+    }
+
+    #[test]
+    fn integer_bits_examples() {
+        assert_eq!(integer_bits_for(0.8), 0); // fits in pure fraction
+        assert_eq!(integer_bits_for(1.0), 1);
+        assert_eq!(integer_bits_for(1.5), 1);
+        assert_eq!(integer_bits_for(2.0), 2);
+        assert_eq!(integer_bits_for(100.0), 7);
+        assert_eq!(integer_bits_for(0.3), -1); // can shift radix left
+    }
+
+    #[test]
+    fn fixed_range_always_covers_max() {
+        for &m in &[0.01f32, 0.5, 0.99, 1.0, 3.7, 120.0, 4000.0] {
+            let q = fixed_for_range(16, m).unwrap();
+            assert!(
+                q.max_value() >= m,
+                "max {m}: format {} tops out at {}",
+                q.describe(),
+                q.max_value()
+            );
+            // And is not wastefully coarse: one less integer bit would clip.
+            let tighter = Fixed::new(16, q.frac_bits() + 1).unwrap();
+            assert!(tighter.max_value() < m || m <= tighter.max_value());
+        }
+    }
+
+    #[test]
+    fn sliver_below_power_of_two_is_covered() {
+        // 15.31 sits in the top 1/8 sliver below 2^4: with 4 bits the
+        // naive radix (step 2, max 14) cannot represent it. Found by the
+        // `calibrated_fixed_covers_sample` property test.
+        let q = fixed_for_range(4, 15.308563).unwrap();
+        assert!(q.max_value() >= 15.308563, "max {}", q.max_value());
+        // Wide words are unaffected (their saturation point is closer
+        // to 2^il).
+        let q16 = fixed_for_range(16, 15.308563).unwrap();
+        assert!(q16.max_value() >= 15.308563);
+        assert!(q16.step() < q.step());
+    }
+
+    #[test]
+    fn small_ranges_gain_fraction_bits() {
+        let wide = fixed_for_range(8, 100.0).unwrap();
+        let narrow = fixed_for_range(8, 0.1).unwrap();
+        assert!(narrow.frac_bits() > wide.frac_bits());
+        assert!(narrow.step() < wide.step());
+    }
+
+    #[test]
+    fn method_percentile_ignores_outliers() {
+        let mut v = vec![0.5f32; 99];
+        v.push(50.0);
+        let x = t(v);
+        let full = Method::MaxAbs.range_of(&[&x]);
+        let clipped = Method::Percentile(0.95).range_of(&[&x]);
+        assert_eq!(full, 50.0);
+        assert_eq!(clipped, 0.5);
+    }
+
+    #[test]
+    fn degenerate_samples_fall_back_to_unit_range() {
+        let z = t(vec![0.0; 4]);
+        assert_eq!(Method::MaxAbs.range_of(&[&z]), 1.0);
+        assert_eq!(Method::MaxAbs.range_of(&[]), 1.0);
+    }
+
+    #[test]
+    fn pow2_window_top_near_max() {
+        let q = pow2_for_range(6, 0.9).unwrap();
+        assert_eq!(q.max_exp(), 0);
+        let q = pow2_for_range(6, 5.0).unwrap();
+        assert_eq!(q.max_exp(), 2);
+    }
+
+    #[test]
+    fn binary_scaled_uses_mean_abs() {
+        let x = t(vec![0.5, -1.5, 1.0, -1.0]);
+        let q = binary_for(&[&x], true).unwrap();
+        assert_eq!(q.scale(), 1.0);
+        let q = binary_for(&[&x], false).unwrap();
+        assert_eq!(q.scale(), 1.0);
+    }
+
+    #[test]
+    fn precision_pair_calibrates_both_sides() {
+        let w = t(vec![0.1, -0.2, 0.05]);
+        let a = t(vec![3.0, -7.0, 1.0]);
+        let q = precision_for(Precision::fixed(8, 8), &[&w], &[&a], Method::MaxAbs).unwrap();
+        // Weights get a fine grid, activations a coarse one.
+        assert!(q.weights.max_value() < 1.0);
+        assert!(q.activations.max_value() >= 7.0);
+    }
+
+    #[test]
+    fn calibrated_fixed_does_not_saturate_calibration_data() {
+        let w = t(vec![0.73, -0.11, 0.42, -0.68]);
+        let q = scheme_for(Scheme::Fixed { bits: 8 }, &[&w], Method::MaxAbs).unwrap();
+        for &x in w.as_slice() {
+            let y = q.quantize_value(x);
+            assert!((y - x).abs() <= q.max_value() / 64.0, "x={x} y={y}");
+        }
+    }
+}

@@ -1,0 +1,62 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error raised when constructing a numeric format with impossible
+/// parameters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FormatError {
+    /// Word width outside the supported range for the format.
+    InvalidWidth {
+        /// Format family that rejected the width.
+        format: &'static str,
+        /// The requested width, in bits.
+        bits: u32,
+        /// Inclusive supported range.
+        supported: (u32, u32),
+    },
+    /// A parameter combination that cannot represent any value (e.g. a
+    /// power-of-two window of size zero).
+    InvalidParameter {
+        /// Format family that rejected the parameter.
+        format: &'static str,
+        /// Human-readable description of the violation.
+        reason: String,
+    },
+}
+
+impl fmt::Display for FormatError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FormatError::InvalidWidth {
+                format,
+                bits,
+                supported,
+            } => write!(
+                f,
+                "{format}: unsupported width {bits} bits (supported {}..={})",
+                supported.0, supported.1
+            ),
+            FormatError::InvalidParameter { format, reason } => {
+                write!(f, "{format}: {reason}")
+            }
+        }
+    }
+}
+
+impl Error for FormatError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_bounds() {
+        let e = FormatError::InvalidWidth {
+            format: "fixed",
+            bits: 64,
+            supported: (2, 32),
+        };
+        let s = e.to_string();
+        assert!(s.contains("64") && s.contains("2..=32"));
+    }
+}

@@ -1,0 +1,344 @@
+use crate::error::FormatError;
+use crate::quantizer::Quantizer;
+
+/// Rounding mode used when snapping a value onto the fixed-point grid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum RoundMode {
+    /// Round to nearest, ties away from zero (the common DSP default and
+    /// what Ristretto's `round()` does).
+    #[default]
+    NearestAway,
+    /// Round to nearest, ties to even (IEEE-754 style; eliminates the tiny
+    /// upward bias of ties-away under repeated accumulation).
+    NearestEven,
+    /// Truncate toward negative infinity (cheapest hardware: drop bits).
+    Floor,
+}
+
+/// Two's-complement fixed-point format: `word_bits` total bits with
+/// `frac_bits` of them after the radix point.
+///
+/// The quantization step is `2^-frac_bits`; the representable range is
+/// `[-2^(word-1), 2^(word-1) - 1] · 2^-frac_bits`, and out-of-range inputs
+/// **saturate** (the paper's accelerator clamps rather than wraps —
+/// wrap-around in a neural network is catastrophic, saturation is merely
+/// lossy).
+///
+/// `frac_bits` may be negative (radix point right of the LSB, for tensors
+/// with large dynamic range) or exceed `word_bits` (all-fractional formats
+/// for tensors entirely inside (-1, 1)); both occur in practice when
+/// Ristretto-style calibration picks the radix per tensor.
+///
+/// ```
+/// use qnn_quant::{Fixed, Quantizer};
+///
+/// let q8 = Fixed::new(8, 6)?; // Q1.6: range [-2, 1.984375], step 1/64
+/// assert_eq!(q8.quantize_value(0.5), 0.5);
+/// assert_eq!(q8.quantize_value(0.009), 0.015625); // snaps to nearest step
+/// assert_eq!(q8.quantize_value(3.0), 1.984375);
+/// assert_eq!(q8.quantize_value(-3.0), -2.0);
+/// # Ok::<(), qnn_quant::FormatError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Fixed {
+    word_bits: u32,
+    frac_bits: i32,
+    round: RoundMode,
+}
+
+impl Fixed {
+    /// Supported word widths, inclusive.
+    pub const SUPPORTED_WIDTHS: (u32, u32) = (2, 32);
+
+    /// Creates a fixed-point format with the default rounding
+    /// ([`RoundMode::NearestAway`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FormatError::InvalidWidth`] if `word_bits` is outside
+    /// `2..=32`.
+    pub fn new(word_bits: u32, frac_bits: i32) -> Result<Self, FormatError> {
+        Self::with_rounding(word_bits, frac_bits, RoundMode::default())
+    }
+
+    /// Creates a fixed-point format with an explicit rounding mode.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FormatError::InvalidWidth`] if `word_bits` is outside
+    /// `2..=32`.
+    pub fn with_rounding(
+        word_bits: u32,
+        frac_bits: i32,
+        round: RoundMode,
+    ) -> Result<Self, FormatError> {
+        if word_bits < Self::SUPPORTED_WIDTHS.0 || word_bits > Self::SUPPORTED_WIDTHS.1 {
+            return Err(FormatError::InvalidWidth {
+                format: "fixed",
+                bits: word_bits,
+                supported: Self::SUPPORTED_WIDTHS,
+            });
+        }
+        // Keep the step representable in f32 with margin.
+        if !(-96..=96).contains(&frac_bits) {
+            return Err(FormatError::InvalidParameter {
+                format: "fixed",
+                reason: format!("frac_bits {frac_bits} outside supported -96..=96"),
+            });
+        }
+        Ok(Fixed {
+            word_bits,
+            frac_bits,
+            round,
+        })
+    }
+
+    /// Total word width in bits.
+    pub fn word_bits(&self) -> u32 {
+        self.word_bits
+    }
+
+    /// Fractional bits (radix-point position).
+    pub fn frac_bits(&self) -> i32 {
+        self.frac_bits
+    }
+
+    /// The rounding mode.
+    pub fn round_mode(&self) -> RoundMode {
+        self.round
+    }
+
+    /// Quantization step `2^-frac_bits`.
+    pub fn step(&self) -> f32 {
+        (self.frac_bits as f32).exp2().recip()
+    }
+
+    /// Largest representable raw integer, `2^(word-1) - 1`.
+    fn raw_max(&self) -> i64 {
+        (1i64 << (self.word_bits - 1)) - 1
+    }
+
+    /// Smallest representable raw integer, `-2^(word-1)`.
+    fn raw_min(&self) -> i64 {
+        -(1i64 << (self.word_bits - 1))
+    }
+
+    /// Encodes a value into its raw two's-complement integer, saturating.
+    ///
+    /// `decode(encode(x))` equals `quantize_value(x)` exactly.
+    pub fn encode(&self, x: f32) -> i64 {
+        let scaled = x as f64 * (self.frac_bits as f64).exp2();
+        let rounded = match self.round {
+            RoundMode::NearestAway => scaled.round(),
+            RoundMode::NearestEven => round_ties_even(scaled),
+            RoundMode::Floor => scaled.floor(),
+        };
+        if rounded.is_nan() {
+            return 0;
+        }
+        (rounded as i64).clamp(self.raw_min(), self.raw_max())
+    }
+
+    /// Encodes with *stochastic rounding* (Gupta et al., "Deep Learning
+    /// with Limited Numerical Precision" — the paper's reference \[8\]):
+    /// rounds up with probability equal to the fractional residue, so the
+    /// quantization error is zero in expectation. Used as a training-time
+    /// alternative to shadow weights; exposed for the rounding ablation.
+    ///
+    /// `u` must be a uniform sample in `[0, 1)` (passing the randomness in
+    /// keeps this method deterministic for testing).
+    pub fn encode_stochastic(&self, x: f32, u: f32) -> i64 {
+        debug_assert!((0.0..1.0).contains(&u), "u must be uniform in [0,1)");
+        let scaled = x as f64 * (self.frac_bits as f64).exp2();
+        if scaled.is_nan() {
+            return 0;
+        }
+        let floor = scaled.floor();
+        let frac = scaled - floor;
+        let rounded = if (u as f64) < frac {
+            floor + 1.0
+        } else {
+            floor
+        };
+        (rounded as i64).clamp(self.raw_min(), self.raw_max())
+    }
+
+    /// Stochastically-rounded quantization (see
+    /// [`encode_stochastic`](Fixed::encode_stochastic)).
+    pub fn quantize_value_stochastic(&self, x: f32, u: f32) -> f32 {
+        self.decode(self.encode_stochastic(x, u))
+    }
+
+    /// Decodes a raw two's-complement integer back into the represented
+    /// value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `raw` is outside the word's representable range — a raw
+    /// code that the hardware could never hold indicates a caller bug.
+    pub fn decode(&self, raw: i64) -> f32 {
+        assert!(
+            raw >= self.raw_min() && raw <= self.raw_max(),
+            "raw code {raw} out of range for {}-bit word",
+            self.word_bits
+        );
+        (raw as f64 / (self.frac_bits as f64).exp2()) as f32
+    }
+}
+
+/// f64 round-half-to-even (stabilized; `f64::round` is half-away).
+fn round_ties_even(x: f64) -> f64 {
+    let r = x.round();
+    if (x - x.trunc()).abs() == 0.5 {
+        // Tie: pick the even neighbour.
+        if r % 2.0 == 0.0 {
+            r
+        } else {
+            r - (r - x).signum()
+        }
+    } else {
+        r
+    }
+}
+
+impl Quantizer for Fixed {
+    fn quantize_value(&self, x: f32) -> f32 {
+        self.decode(self.encode(x))
+    }
+
+    fn bits(&self) -> u32 {
+        self.word_bits
+    }
+
+    fn describe(&self) -> String {
+        let int_bits = self.word_bits as i32 - 1 - self.frac_bits;
+        format!("Q{int_bits}.{}", self.frac_bits)
+    }
+
+    fn max_value(&self) -> f32 {
+        self.decode(self.raw_max())
+    }
+
+    fn min_value(&self) -> f32 {
+        self.decode(self.raw_min())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn q4_4_grid() {
+        let q = Fixed::new(8, 4).unwrap();
+        assert_eq!(q.step(), 1.0 / 16.0);
+        assert_eq!(q.max_value(), 127.0 / 16.0);
+        assert_eq!(q.min_value(), -8.0);
+        assert_eq!(q.quantize_value(1.0), 1.0);
+        assert_eq!(q.quantize_value(1.04), 1.0625);
+        assert_eq!(q.quantize_value(-0.49), -0.5);
+    }
+
+    #[test]
+    fn saturation_not_wraparound() {
+        let q = Fixed::new(4, 0).unwrap(); // integers -8..=7
+        assert_eq!(q.quantize_value(100.0), 7.0);
+        assert_eq!(q.quantize_value(-100.0), -8.0);
+        assert_eq!(q.quantize_value(7.4), 7.0);
+    }
+
+    #[test]
+    fn negative_frac_bits_coarse_grid() {
+        let q = Fixed::new(8, -2).unwrap(); // step 4
+        assert_eq!(q.step(), 4.0);
+        assert_eq!(q.quantize_value(5.0), 4.0);
+        assert_eq!(q.quantize_value(6.1), 8.0);
+        assert_eq!(q.max_value(), 127.0 * 4.0);
+    }
+
+    #[test]
+    fn frac_exceeding_word_all_fractional() {
+        let q = Fixed::new(4, 6).unwrap(); // range ±(2^-3..2^-6 grid)
+        assert_eq!(q.max_value(), 7.0 / 64.0);
+        assert_eq!(q.quantize_value(0.05), 3.0 / 64.0);
+    }
+
+    #[test]
+    fn encode_decode_round_trip_equals_quantize() {
+        let q = Fixed::new(8, 5).unwrap();
+        for &x in &[0.0f32, 0.37, -1.92, 3.999, -4.0, 17.0, -17.0, 1e-9] {
+            assert_eq!(q.decode(q.encode(x)), q.quantize_value(x), "x={x}");
+        }
+    }
+
+    #[test]
+    fn rounding_modes_differ_on_ties() {
+        let away = Fixed::with_rounding(8, 1, RoundMode::NearestAway).unwrap();
+        let even = Fixed::with_rounding(8, 1, RoundMode::NearestEven).unwrap();
+        let floor = Fixed::with_rounding(8, 1, RoundMode::Floor).unwrap();
+        // 0.25 scaled by 2 = 0.5: tie.
+        assert_eq!(away.quantize_value(0.25), 0.5);
+        assert_eq!(even.quantize_value(0.25), 0.0);
+        assert_eq!(floor.quantize_value(0.25), 0.0);
+        assert_eq!(floor.quantize_value(-0.25), -0.5);
+    }
+
+    #[test]
+    fn thirty_two_bit_word_is_supported() {
+        let q = Fixed::new(32, 16).unwrap();
+        assert_eq!(q.quantize_value(1.5), 1.5);
+        assert!(q.max_value() > 32_000.0);
+    }
+
+    #[test]
+    fn rejects_bad_widths() {
+        assert!(Fixed::new(1, 0).is_err());
+        assert!(Fixed::new(33, 0).is_err());
+        assert!(Fixed::new(0, 0).is_err());
+    }
+
+    #[test]
+    fn nan_maps_to_zero() {
+        let q = Fixed::new(8, 4).unwrap();
+        assert_eq!(q.quantize_value(f32::NAN), 0.0);
+    }
+
+    #[test]
+    fn infinities_saturate() {
+        let q = Fixed::new(8, 4).unwrap();
+        assert_eq!(q.quantize_value(f32::INFINITY), q.max_value());
+        assert_eq!(q.quantize_value(f32::NEG_INFINITY), q.min_value());
+    }
+
+    #[test]
+    fn stochastic_rounding_is_unbiased() {
+        // Quantize 0.3 on a step-1 grid many times with a stratified
+        // uniform stream: the mean must approach 0.3, which deterministic
+        // rounding (→ 0.0) never does.
+        let q = Fixed::new(8, 0).unwrap();
+        let n = 10_000;
+        let mean: f64 = (0..n)
+            .map(|i| q.quantize_value_stochastic(0.3, (i as f32 + 0.5) / n as f32) as f64)
+            .sum::<f64>()
+            / n as f64;
+        assert!((mean - 0.3).abs() < 0.01, "mean {mean}");
+        assert_eq!(q.quantize_value(0.3), 0.0);
+    }
+
+    #[test]
+    fn stochastic_rounding_saturates_and_handles_grid_points() {
+        let q = Fixed::new(4, 0).unwrap();
+        assert_eq!(q.quantize_value_stochastic(100.0, 0.5), 7.0);
+        assert_eq!(q.quantize_value_stochastic(-100.0, 0.5), -8.0);
+        // Exact grid points never move regardless of u.
+        for u in [0.0, 0.5, 0.999] {
+            assert_eq!(q.quantize_value_stochastic(3.0, u), 3.0);
+        }
+    }
+
+    #[test]
+    fn describe_shows_q_format() {
+        assert_eq!(Fixed::new(8, 4).unwrap().describe(), "Q3.4");
+        assert_eq!(Fixed::new(16, 12).unwrap().describe(), "Q3.12");
+    }
+}

@@ -1,0 +1,60 @@
+#![warn(missing_docs)]
+
+//! # qnn-quant — the numeric formats of the DATE 2017 precision study
+//!
+//! Hashemi et al. sweep network precision from 32-bit floating point down to
+//! binary weights. This crate implements each representation as a
+//! [`Quantizer`]: a map from `f32` onto the format's representable grid
+//! (Ristretto-style *simulated* quantization — arithmetic stays in f32, the
+//! values are snapped). Exact bit-level encodings are also provided so the
+//! hardware crates can reason about word widths and verify arithmetic
+//! bit-accurately.
+//!
+//! The formats, as in the paper §IV-A:
+//!
+//! * [`Fixed`] — two's-complement fixed point with an arbitrary radix
+//!   point; the paper evaluates 4/8/16/32-bit words with **independent**
+//!   radix positions for weights and activations.
+//! * [`PowerOfTwo`] — weights constrained to `±2^e` (6-bit codes in the
+//!   paper) so multiplies become barrel shifts.
+//! * [`Binary`] — 1-bit weights `±1` (optionally `±scale`), BinaryConnect
+//!   style.
+//! * [`Minifloat`] — a bit-accurate small float (sign/exponent/mantissa);
+//!   IEEE-754 binary32 is the `8e23m` instance, and narrower instances
+//!   cover the paper's future-work direction.
+//!
+//! Range **calibration** ([`calibrate`]) chooses radix points / exponent
+//! windows from observed tensor statistics, and [`ste`] implements the
+//! straight-through estimator used by quantization-aware training in
+//! `qnn-nn`.
+//!
+//! ## Example
+//!
+//! ```
+//! use qnn_quant::{Fixed, Quantizer};
+//!
+//! // Q4.4: 8-bit word, 4 fractional bits → step 1/16, range [-8, 7.9375].
+//! let q = Fixed::new(8, 4)?;
+//! assert_eq!(q.quantize_value(0.30), 0.3125);
+//! assert_eq!(q.quantize_value(100.0), 7.9375); // saturates
+//! # Ok::<(), qnn_quant::FormatError>(())
+//! ```
+
+mod binary;
+mod error;
+mod fixed;
+mod minifloat;
+mod pow2;
+mod precision;
+mod quantizer;
+
+pub mod calibrate;
+pub mod ste;
+
+pub use binary::Binary;
+pub use error::FormatError;
+pub use fixed::{Fixed, RoundMode};
+pub use minifloat::Minifloat;
+pub use pow2::PowerOfTwo;
+pub use precision::{Precision, Scheme};
+pub use quantizer::{IdentityQuantizer, Quantizer, QuantizerPair};

@@ -1,0 +1,219 @@
+use crate::error::FormatError;
+use crate::quantizer::Quantizer;
+
+/// A bit-accurate IEEE-754-style small float: 1 sign bit, `exp_bits`
+/// exponent bits (biased), `man_bits` mantissa bits, with subnormals.
+///
+/// Two departures from IEEE, both hardware-motivated and shared by
+/// Ristretto's minifloat mode:
+///
+/// * **No infinities/NaN codes** — the top exponent is an ordinary value
+///   range, and overflow **saturates** to the largest finite value.
+/// * **Round-to-nearest-even** only.
+///
+/// IEEE binary32 corresponds to `Minifloat::new(8, 23)` (modulo the two
+/// departures, which only matter beyond ±3.4e38). The paper lists "analyze
+/// custom float widths" as future work; this type implements it, and the
+/// ablation bench sweeps it.
+///
+/// ```
+/// use qnn_quant::{Minifloat, Quantizer};
+///
+/// // IEEE half precision geometry.
+/// let f16 = Minifloat::new(5, 10)?;
+/// assert_eq!(f16.quantize_value(1.0), 1.0);
+/// assert_eq!(f16.quantize_value(1.0009765), 1.0009766); // within one ulp
+/// assert_eq!(f16.quantize_value(1e9), f16.max_value()); // saturates
+/// # Ok::<(), qnn_quant::FormatError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Minifloat {
+    exp_bits: u32,
+    man_bits: u32,
+}
+
+impl Minifloat {
+    /// Creates a minifloat geometry.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FormatError::InvalidWidth`] unless `1 <= exp_bits <= 8`
+    /// and `man_bits <= 23` (so every value is exactly representable in
+    /// f32).
+    pub fn new(exp_bits: u32, man_bits: u32) -> Result<Self, FormatError> {
+        if !(1..=8).contains(&exp_bits) {
+            return Err(FormatError::InvalidWidth {
+                format: "minifloat/exponent",
+                bits: exp_bits,
+                supported: (1, 8),
+            });
+        }
+        if man_bits > 23 {
+            return Err(FormatError::InvalidWidth {
+                format: "minifloat/mantissa",
+                bits: man_bits,
+                supported: (0, 23),
+            });
+        }
+        Ok(Minifloat { exp_bits, man_bits })
+    }
+
+    /// Exponent field width.
+    pub fn exp_bits(&self) -> u32 {
+        self.exp_bits
+    }
+
+    /// Mantissa field width.
+    pub fn man_bits(&self) -> u32 {
+        self.man_bits
+    }
+
+    /// Exponent bias, `2^(e-1) - 1`.
+    pub fn bias(&self) -> i32 {
+        (1i32 << (self.exp_bits - 1)) - 1
+    }
+
+    /// Smallest normal exponent (unbiased).
+    fn min_normal_exp(&self) -> i32 {
+        1 - self.bias()
+    }
+
+    /// Smallest positive *normal* value; below it the grid is subnormal
+    /// and relative error grows without bound (as in IEEE-754).
+    pub fn min_positive_normal(&self) -> f32 {
+        (self.min_normal_exp() as f32).exp2()
+    }
+
+    /// Largest unbiased exponent (top code is a normal value range here).
+    fn max_exp(&self) -> i32 {
+        ((1i32 << self.exp_bits) - 1) - self.bias()
+    }
+}
+
+impl Quantizer for Minifloat {
+    fn quantize_value(&self, x: f32) -> f32 {
+        if x == 0.0 || x.is_nan() {
+            return 0.0;
+        }
+        let sign = if x < 0.0 { -1.0f32 } else { 1.0 };
+        let mag = x.abs() as f64;
+        if mag.is_infinite() {
+            return sign * self.max_value();
+        }
+        // Decompose |x| = m · 2^e with m ∈ [1, 2).
+        let e = mag.log2().floor() as i32;
+        // Subnormals pin the exponent at the bottom of the normal range so
+        // the grid step stays constant below it.
+        let scale_exp = e.clamp(self.min_normal_exp(), self.max_exp());
+        // Round the mantissa to man_bits at the chosen exponent: the grid
+        // step there is 2^(scale_exp - man_bits).
+        let step = (scale_exp as f64 - self.man_bits as f64).exp2();
+        let mut q = (mag / step).round_ties_even() * step;
+        // Rounding can carry into the next binade; if that leaves the top
+        // binade's range, saturate.
+        let max = self.max_value() as f64;
+        if q > max {
+            q = max;
+        }
+        sign * q as f32
+    }
+
+    fn bits(&self) -> u32 {
+        1 + self.exp_bits + self.man_bits
+    }
+
+    fn describe(&self) -> String {
+        format!("float[{}e{}m]", self.exp_bits, self.man_bits)
+    }
+
+    fn max_value(&self) -> f32 {
+        // Largest value in the top binade: (2 - 2^-man) · 2^max_exp.
+        let frac = 2.0 - (-(self.man_bits as f32)).exp2();
+        frac * (self.max_exp() as f32).exp2()
+    }
+
+    fn min_value(&self) -> f32 {
+        -self.max_value()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_powers_pass_through() {
+        let f = Minifloat::new(5, 10).unwrap();
+        for &x in &[1.0f32, 2.0, 0.5, -4.0, 0.25] {
+            assert_eq!(f.quantize_value(x), x);
+        }
+    }
+
+    #[test]
+    fn mantissa_rounding() {
+        let f = Minifloat::new(5, 2).unwrap(); // 2 mantissa bits: steps of 1/4 binade
+                                               // In [1, 2): representable {1.0, 1.25, 1.5, 1.75}.
+        assert_eq!(f.quantize_value(1.1), 1.0);
+        assert_eq!(f.quantize_value(1.2), 1.25);
+        assert_eq!(f.quantize_value(1.6), 1.5);
+        assert_eq!(f.quantize_value(1.9), 2.0); // carries into next binade
+    }
+
+    #[test]
+    fn saturates_instead_of_inf() {
+        let f = Minifloat::new(4, 3).unwrap();
+        let m = f.max_value();
+        assert!(f.quantize_value(1e30) == m);
+        assert!(f.quantize_value(-1e30) == -m);
+        assert_eq!(f.quantize_value(f32::INFINITY), m);
+    }
+
+    #[test]
+    fn subnormals_resolve_small_values() {
+        let f = Minifloat::new(4, 3).unwrap(); // bias 7, min normal 2^-6
+        let min_normal = (2.0f32).powi(-6);
+        // Smallest subnormal is 2^-6 / 8 = 2^-9.
+        let sub = (2.0f32).powi(-9);
+        assert_eq!(f.quantize_value(sub), sub);
+        assert_eq!(f.quantize_value(sub * 0.4), 0.0); // below half a step
+        assert_eq!(f.quantize_value(min_normal), min_normal);
+    }
+
+    #[test]
+    fn binary32_geometry_is_near_lossless() {
+        let f = Minifloat::new(8, 23).unwrap();
+        for &x in &[0.1f32, -3.75, 123456.78, 1e-20] {
+            assert_eq!(f.quantize_value(x), x);
+        }
+    }
+
+    #[test]
+    fn zero_and_nan_map_to_zero() {
+        let f = Minifloat::new(5, 10).unwrap();
+        assert_eq!(f.quantize_value(0.0), 0.0);
+        assert_eq!(f.quantize_value(f32::NAN), 0.0);
+    }
+
+    #[test]
+    fn bits_counts_all_fields() {
+        assert_eq!(Minifloat::new(5, 10).unwrap().bits(), 16);
+        assert_eq!(Minifloat::new(8, 23).unwrap().bits(), 32);
+    }
+
+    #[test]
+    fn rejects_bad_geometry() {
+        assert!(Minifloat::new(0, 10).is_err());
+        assert!(Minifloat::new(9, 10).is_err());
+        assert!(Minifloat::new(5, 24).is_err());
+    }
+
+    #[test]
+    fn idempotent_on_grid() {
+        let f = Minifloat::new(4, 3).unwrap();
+        for i in -40..40 {
+            let x = i as f32 * 0.37;
+            let once = f.quantize_value(x);
+            assert_eq!(f.quantize_value(once), once, "x={x}");
+        }
+    }
+}

@@ -1,0 +1,254 @@
+use crate::error::FormatError;
+use crate::quantizer::Quantizer;
+
+/// Power-of-two weight quantization: values constrained to `0` or
+/// `±2^e` for `e` in a contiguous exponent window.
+///
+/// Following Lin et al. (cited by the paper as the origin of this scheme),
+/// restricting weights to powers of two lets the accelerator replace every
+/// multiplier with a barrel shifter — the weight's stored form *is* the
+/// shift amount. The paper uses 6-bit codes: 1 sign bit plus 5 exponent
+/// bits, i.e. a 31-value exponent window with one code reserved for zero.
+///
+/// The window's top exponent `max_exp` is chosen by calibration so the
+/// largest weight magnitude is representable; everything more than
+/// `2^(max_exp - window + 1)` below it underflows to zero.
+///
+/// ```
+/// use qnn_quant::{PowerOfTwo, Quantizer};
+///
+/// let q = PowerOfTwo::new(6, 0)?; // exponents -30..=0, i.e. 1.0 down to 2^-30
+/// assert_eq!(q.quantize_value(0.8), 1.0);    // nearest power of two
+/// assert_eq!(q.quantize_value(-0.3), -0.25); // e = -2
+/// assert_eq!(q.quantize_value(3.0), 1.0);    // clamps to the window top
+/// assert_eq!(q.quantize_value(0.0), 0.0);
+/// # Ok::<(), qnn_quant::FormatError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PowerOfTwo {
+    total_bits: u32,
+    max_exp: i32,
+}
+
+impl PowerOfTwo {
+    /// Supported code widths, inclusive: sign + at least 1 exponent bit.
+    pub const SUPPORTED_WIDTHS: (u32, u32) = (2, 8);
+
+    /// Creates a power-of-two format with `total_bits` storage (1 sign bit +
+    /// `total_bits - 1` exponent bits) and window top `max_exp`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FormatError::InvalidWidth`] if `total_bits` is outside
+    /// `2..=8`, or [`FormatError::InvalidParameter`] if the exponent window
+    /// leaves f32 range.
+    pub fn new(total_bits: u32, max_exp: i32) -> Result<Self, FormatError> {
+        if total_bits < Self::SUPPORTED_WIDTHS.0 || total_bits > Self::SUPPORTED_WIDTHS.1 {
+            return Err(FormatError::InvalidWidth {
+                format: "pow2",
+                bits: total_bits,
+                supported: Self::SUPPORTED_WIDTHS,
+            });
+        }
+        let min_exp = max_exp - (Self::window_len(total_bits) as i32 - 1);
+        if max_exp > 120 || min_exp < -120 {
+            return Err(FormatError::InvalidParameter {
+                format: "pow2",
+                reason: format!("exponent window {min_exp}..={max_exp} exceeds f32 range"),
+            });
+        }
+        Ok(PowerOfTwo {
+            total_bits,
+            max_exp,
+        })
+    }
+
+    /// Number of distinct exponents the code can express
+    /// (`2^(bits-1) - 1`; the all-zero exponent code means value 0).
+    fn window_len(total_bits: u32) -> u32 {
+        (1u32 << (total_bits - 1)) - 1
+    }
+
+    /// Top of the exponent window.
+    pub fn max_exp(&self) -> i32 {
+        self.max_exp
+    }
+
+    /// Bottom of the exponent window.
+    pub fn min_exp(&self) -> i32 {
+        self.max_exp - (Self::window_len(self.total_bits) as i32 - 1)
+    }
+
+    /// Encodes a value as `(sign, exponent_code)`; code `0` is the value 0,
+    /// code `c >= 1` means exponent `min_exp + c - 1`.
+    pub fn encode(&self, x: f32) -> (bool, u32) {
+        if x == 0.0 || x.is_nan() {
+            return (false, 0);
+        }
+        let e = match nearest_exponent(x.abs()) {
+            Some(e) => e,
+            None => return (false, 0),
+        };
+        if e < self.min_exp() {
+            // Closer to zero than to the smallest magnitude? Underflow check:
+            // values below half the smallest representable magnitude go to 0.
+            let smallest = (self.min_exp() as f32).exp2();
+            if x.abs() < smallest * 0.5 {
+                return (x < 0.0, 0);
+            }
+            return (x < 0.0, 1);
+        }
+        let e = e.min(self.max_exp);
+        (x < 0.0, (e - self.min_exp()) as u32 + 1)
+    }
+
+    /// Decodes a `(sign, exponent_code)` pair.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `code` exceeds the window length — such a code cannot be
+    /// stored in `total_bits` bits.
+    pub fn decode(&self, sign: bool, code: u32) -> f32 {
+        assert!(
+            code <= Self::window_len(self.total_bits),
+            "code {code} does not fit {} exponent bits",
+            self.total_bits - 1
+        );
+        if code == 0 {
+            return 0.0;
+        }
+        let e = self.min_exp() + code as i32 - 1;
+        let mag = (e as f32).exp2();
+        if sign {
+            -mag
+        } else {
+            mag
+        }
+    }
+}
+
+/// The exponent whose power of two is nearest to `m` in linear distance.
+///
+/// `None` for zero/NaN/infinite magnitudes.
+fn nearest_exponent(m: f32) -> Option<i32> {
+    if !(m.is_finite() && m > 0.0) {
+        return None;
+    }
+    let fl = m.log2().floor() as i32;
+    // Candidates 2^fl and 2^(fl+1); pick the linearly nearer one.
+    let lo = (fl as f32).exp2();
+    let hi = ((fl + 1) as f32).exp2();
+    if (m - lo).abs() <= (hi - m).abs() {
+        Some(fl)
+    } else {
+        Some(fl + 1)
+    }
+}
+
+impl Quantizer for PowerOfTwo {
+    fn quantize_value(&self, x: f32) -> f32 {
+        let (s, c) = self.encode(x);
+        self.decode(s, c)
+    }
+
+    fn bits(&self) -> u32 {
+        self.total_bits
+    }
+
+    fn describe(&self) -> String {
+        format!(
+            "pow2[{}b, 2^{}..2^{}]",
+            self.total_bits,
+            self.min_exp(),
+            self.max_exp
+        )
+    }
+
+    fn max_value(&self) -> f32 {
+        (self.max_exp as f32).exp2()
+    }
+
+    fn min_value(&self) -> f32 {
+        -(self.max_exp as f32).exp2()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn six_bit_window_has_31_exponents() {
+        let q = PowerOfTwo::new(6, 0).unwrap();
+        assert_eq!(q.min_exp(), -30);
+        assert_eq!(q.max_exp(), 0);
+    }
+
+    #[test]
+    fn snaps_to_nearest_power() {
+        let q = PowerOfTwo::new(6, 2).unwrap();
+        assert_eq!(q.quantize_value(1.0), 1.0);
+        assert_eq!(q.quantize_value(1.4), 1.0);
+        assert_eq!(q.quantize_value(1.6), 2.0);
+        assert_eq!(q.quantize_value(-3.5), -4.0);
+        assert_eq!(q.quantize_value(4.0), 4.0);
+    }
+
+    #[test]
+    fn clamps_to_window_top() {
+        let q = PowerOfTwo::new(4, 0).unwrap(); // exponents -6..=0
+        assert_eq!(q.quantize_value(100.0), 1.0);
+        assert_eq!(q.quantize_value(-100.0), -1.0);
+    }
+
+    #[test]
+    fn underflows_to_zero() {
+        let q = PowerOfTwo::new(4, 0).unwrap(); // min magnitude 2^-6
+        let tiny = (2.0f32).powi(-6) * 0.4;
+        assert_eq!(q.quantize_value(tiny), 0.0);
+        // But just above half the smallest magnitude survives.
+        let small = (2.0f32).powi(-6) * 0.6;
+        assert_eq!(q.quantize_value(small), (2.0f32).powi(-6));
+    }
+
+    #[test]
+    fn zero_and_nan() {
+        let q = PowerOfTwo::new(6, 0).unwrap();
+        assert_eq!(q.quantize_value(0.0), 0.0);
+        assert_eq!(q.quantize_value(f32::NAN), 0.0);
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let q = PowerOfTwo::new(6, 3).unwrap();
+        for &x in &[0.0f32, 0.9, -2.3, 8.0, -0.001, 1e-12] {
+            let (s, c) = q.encode(x);
+            assert_eq!(q.decode(s, c), q.quantize_value(x), "x={x}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn decode_rejects_oversized_code() {
+        PowerOfTwo::new(4, 0).unwrap().decode(false, 8);
+    }
+
+    #[test]
+    fn rejects_bad_widths() {
+        assert!(PowerOfTwo::new(1, 0).is_err());
+        assert!(PowerOfTwo::new(9, 0).is_err());
+    }
+
+    #[test]
+    fn every_output_is_zero_or_power_of_two() {
+        let q = PowerOfTwo::new(6, 1).unwrap();
+        for i in -50..50 {
+            let x = i as f32 * 0.173;
+            let y = q.quantize_value(x);
+            if y != 0.0 {
+                let l = y.abs().log2();
+                assert!((l - l.round()).abs() < 1e-6, "{y} is not a power of two");
+            }
+        }
+    }
+}

@@ -1,0 +1,299 @@
+use std::fmt;
+
+use crate::binary::Binary;
+use crate::error::FormatError;
+use crate::fixed::Fixed;
+use crate::minifloat::Minifloat;
+use crate::pow2::PowerOfTwo;
+use crate::quantizer::{IdentityQuantizer, Quantizer, QuantizerPair};
+
+/// A numeric representation *family* with its storage width, before range
+/// calibration pins down radix points / exponent windows.
+///
+/// This is what the paper's tables index rows by; a [`Precision`] is a
+/// pair of these, `(weights, inputs)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Scheme {
+    /// IEEE-754 binary32 (the full-precision baseline).
+    Float32,
+    /// Two's-complement fixed point with the given word width; the radix
+    /// point is chosen per tensor by calibration.
+    Fixed {
+        /// Word width in bits (4, 8, 16 or 32 in the paper).
+        bits: u32,
+    },
+    /// Power-of-two codes (sign + exponent); the exponent window top is
+    /// chosen by calibration.
+    PowerOfTwo {
+        /// Total code width in bits (6 in the paper).
+        bits: u32,
+    },
+    /// One-bit sign; the optional magnitude is chosen by calibration.
+    Binary,
+    /// Custom small float (future-work extension of the paper).
+    Minifloat {
+        /// Exponent field width.
+        exp_bits: u32,
+        /// Mantissa field width.
+        man_bits: u32,
+    },
+}
+
+impl Scheme {
+    /// Storage bits per value.
+    pub fn bits(&self) -> u32 {
+        match *self {
+            Scheme::Float32 => 32,
+            Scheme::Fixed { bits } => bits,
+            Scheme::PowerOfTwo { bits } => bits,
+            Scheme::Binary => 1,
+            Scheme::Minifloat { exp_bits, man_bits } => 1 + exp_bits + man_bits,
+        }
+    }
+
+    /// Builds a concrete quantizer with a *default* (uncalibrated) range:
+    /// fixed point splits the word evenly around a ±8 range, power-of-two
+    /// tops its window at `2^0`, binary uses ±1.
+    ///
+    /// Use [`calibrate`](crate::calibrate) to fit ranges to data instead.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the scheme's parameters are invalid (e.g. a
+    /// fixed width outside 2–32 bits).
+    pub fn default_quantizer(&self) -> Result<Box<dyn Quantizer + Send + Sync>, FormatError> {
+        Ok(match *self {
+            Scheme::Float32 => Box::new(IdentityQuantizer),
+            Scheme::Fixed { bits } => Box::new(Fixed::new(bits, bits as i32 - 4)?),
+            Scheme::PowerOfTwo { bits } => Box::new(PowerOfTwo::new(bits, 0)?),
+            Scheme::Binary => Box::new(Binary::new()),
+            Scheme::Minifloat { exp_bits, man_bits } => {
+                Box::new(Minifloat::new(exp_bits, man_bits)?)
+            }
+        })
+    }
+}
+
+impl fmt::Display for Scheme {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Scheme::Float32 => write!(f, "float32"),
+            Scheme::Fixed { bits } => write!(f, "fixed{bits}"),
+            Scheme::PowerOfTwo { bits } => write!(f, "pow2-{bits}"),
+            Scheme::Binary => write!(f, "binary"),
+            Scheme::Minifloat { exp_bits, man_bits } => write!(f, "float{exp_bits}e{man_bits}m"),
+        }
+    }
+}
+
+/// A row of the paper's design space: the `(weights, inputs)` precision
+/// pair every table indexes by.
+///
+/// The constructors mirror the seven points of Table III:
+///
+/// ```
+/// use qnn_quant::Precision;
+///
+/// let sweep = [
+///     Precision::float32(),        // Floating-Point (32,32)
+///     Precision::fixed(32, 32),    // Fixed-Point (32,32)
+///     Precision::fixed(16, 16),
+///     Precision::fixed(8, 8),
+///     Precision::fixed(4, 4),
+///     Precision::power_of_two(),   // Powers of Two (6,16)
+///     Precision::binary(),         // Binary Net (1,16)
+/// ];
+/// assert_eq!(sweep[3].weight_bits(), 8);
+/// assert_eq!(sweep[6].label(), "Binary Net (1,16)");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Precision {
+    weights: Scheme,
+    activations: Scheme,
+}
+
+impl Precision {
+    /// Full-precision baseline: float32 weights and inputs.
+    pub fn float32() -> Self {
+        Precision {
+            weights: Scheme::Float32,
+            activations: Scheme::Float32,
+        }
+    }
+
+    /// Fixed-point `(w, in)` with independent word widths for weights and
+    /// inputs (the paper uses matched pairs: 32/16/8/4).
+    pub fn fixed(weight_bits: u32, input_bits: u32) -> Self {
+        Precision {
+            weights: Scheme::Fixed { bits: weight_bits },
+            activations: Scheme::Fixed { bits: input_bits },
+        }
+    }
+
+    /// Power-of-two weights (6-bit codes) with 16-bit fixed-point inputs —
+    /// the paper's "Powers of Two (6,16)".
+    pub fn power_of_two() -> Self {
+        Precision {
+            weights: Scheme::PowerOfTwo { bits: 6 },
+            activations: Scheme::Fixed { bits: 16 },
+        }
+    }
+
+    /// Power-of-two weights with explicit widths.
+    pub fn power_of_two_with(weight_bits: u32, input_bits: u32) -> Self {
+        Precision {
+            weights: Scheme::PowerOfTwo { bits: weight_bits },
+            activations: Scheme::Fixed { bits: input_bits },
+        }
+    }
+
+    /// Binary weights with 16-bit fixed-point inputs — the paper's
+    /// "Binary Net (1,16)".
+    pub fn binary() -> Self {
+        Precision {
+            weights: Scheme::Binary,
+            activations: Scheme::Fixed { bits: 16 },
+        }
+    }
+
+    /// Custom minifloat weights and inputs (future-work extension).
+    pub fn minifloat(exp_bits: u32, man_bits: u32) -> Self {
+        let s = Scheme::Minifloat { exp_bits, man_bits };
+        Precision {
+            weights: s,
+            activations: s,
+        }
+    }
+
+    /// An arbitrary scheme pair.
+    pub fn custom(weights: Scheme, activations: Scheme) -> Self {
+        Precision {
+            weights,
+            activations,
+        }
+    }
+
+    /// The weight scheme.
+    pub fn weights(&self) -> Scheme {
+        self.weights
+    }
+
+    /// The input/feature-map scheme.
+    pub fn activations(&self) -> Scheme {
+        self.activations
+    }
+
+    /// Storage bits per weight — the `w` of the paper's `(w, in)`.
+    pub fn weight_bits(&self) -> u32 {
+        self.weights.bits()
+    }
+
+    /// Storage bits per input/feature-map value — the `in` of `(w, in)`.
+    pub fn input_bits(&self) -> u32 {
+        self.activations.bits()
+    }
+
+    /// Whether any side is quantized at all.
+    pub fn is_quantized(&self) -> bool {
+        self.weights != Scheme::Float32 || self.activations != Scheme::Float32
+    }
+
+    /// The row label the paper's tables use, e.g. `"Fixed-Point (8,8)"`.
+    pub fn label(&self) -> String {
+        let (w, i) = (self.weight_bits(), self.input_bits());
+        match (self.weights, self.activations) {
+            (Scheme::Float32, Scheme::Float32) => format!("Floating-Point ({w},{i})"),
+            (Scheme::Fixed { .. }, Scheme::Fixed { .. }) => format!("Fixed-Point ({w},{i})"),
+            (Scheme::PowerOfTwo { .. }, _) => format!("Powers of Two ({w},{i})"),
+            (Scheme::Binary, _) => format!("Binary Net ({w},{i})"),
+            (Scheme::Minifloat { exp_bits, man_bits }, _) => {
+                format!("Minifloat {exp_bits}e{man_bits}m ({w},{i})")
+            }
+            _ => format!("Custom ({w},{i})"),
+        }
+    }
+
+    /// Builds default (uncalibrated) quantizers for both sides.
+    ///
+    /// # Errors
+    ///
+    /// Propagates format construction errors from either scheme.
+    pub fn default_quantizers(&self) -> Result<QuantizerPair, FormatError> {
+        Ok(QuantizerPair {
+            weights: self.weights.default_quantizer()?,
+            activations: self.activations.default_quantizer()?,
+        })
+    }
+
+    /// The seven-row sweep of the paper's Table III, in table order.
+    pub fn paper_sweep() -> Vec<Precision> {
+        vec![
+            Precision::float32(),
+            Precision::fixed(32, 32),
+            Precision::fixed(16, 16),
+            Precision::fixed(8, 8),
+            Precision::fixed(4, 4),
+            Precision::power_of_two(),
+            Precision::binary(),
+        ]
+    }
+}
+
+impl fmt::Display for Precision {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_match_paper_rows() {
+        assert_eq!(Precision::float32().label(), "Floating-Point (32,32)");
+        assert_eq!(Precision::fixed(16, 16).label(), "Fixed-Point (16,16)");
+        assert_eq!(Precision::power_of_two().label(), "Powers of Two (6,16)");
+        assert_eq!(Precision::binary().label(), "Binary Net (1,16)");
+    }
+
+    #[test]
+    fn sweep_has_seven_points_in_order() {
+        let s = Precision::paper_sweep();
+        assert_eq!(s.len(), 7);
+        assert_eq!(s[0], Precision::float32());
+        assert_eq!(s[4], Precision::fixed(4, 4));
+        assert_eq!(s[6], Precision::binary());
+    }
+
+    #[test]
+    fn bits_accessors() {
+        let p = Precision::power_of_two();
+        assert_eq!(p.weight_bits(), 6);
+        assert_eq!(p.input_bits(), 16);
+        assert!(p.is_quantized());
+        assert!(!Precision::float32().is_quantized());
+    }
+
+    #[test]
+    fn default_quantizers_construct_for_whole_sweep() {
+        for p in Precision::paper_sweep() {
+            let q = p.default_quantizers().unwrap();
+            assert_eq!(q.weights.bits(), p.weight_bits());
+            assert_eq!(q.activations.bits(), p.input_bits());
+        }
+    }
+
+    #[test]
+    fn minifloat_precision() {
+        let p = Precision::minifloat(5, 10);
+        assert_eq!(p.weight_bits(), 16);
+        assert!(p.label().contains("5e10m"));
+    }
+
+    #[test]
+    fn scheme_display() {
+        assert_eq!(Scheme::Fixed { bits: 8 }.to_string(), "fixed8");
+        assert_eq!(Scheme::Binary.to_string(), "binary");
+    }
+}

@@ -1,0 +1,144 @@
+use qnn_tensor::Tensor;
+
+/// A map from `f32` onto a format's representable grid.
+///
+/// This is the Ristretto-style *simulated quantization* contract: the
+/// returned values are ordinary `f32`s, but every one of them is exactly
+/// representable in the target format, so f32 arithmetic over them models
+/// what the reduced-precision hardware computes (up to accumulator
+/// rounding, which the paper's accelerator performs at full internal
+/// width).
+///
+/// Implementors must be idempotent: `q(q(x)) == q(x)` for all finite `x`.
+/// The property tests in this crate enforce that for every shipped format.
+pub trait Quantizer: std::fmt::Debug {
+    /// Snaps a single value onto the representable grid.
+    fn quantize_value(&self, x: f32) -> f32;
+
+    /// Number of storage bits per value in this format.
+    fn bits(&self) -> u32;
+
+    /// Short human-readable format name, e.g. `"Q3.4"` or `"pow2[6b]"`.
+    fn describe(&self) -> String;
+
+    /// Snaps every element of a tensor, producing a new tensor.
+    fn quantize(&self, t: &Tensor) -> Tensor {
+        t.map(|x| self.quantize_value(x))
+    }
+
+    /// Snaps every element of a tensor in place.
+    fn quantize_inplace(&self, t: &mut Tensor) {
+        t.map_inplace(|x| self.quantize_value(x));
+    }
+
+    /// Largest representable value (used for saturation-aware clipping in
+    /// the straight-through estimator).
+    fn max_value(&self) -> f32;
+
+    /// Smallest (most negative) representable value.
+    fn min_value(&self) -> f32;
+
+    /// Shadow-weight range outside which the clipped straight-through
+    /// estimator zeroes gradients.
+    ///
+    /// Defaults to the representable range. Binary overrides this to
+    /// `[-1, 1]` (the BinaryConnect convention): its representable "range"
+    /// is just `{±scale}`, which would freeze almost every weight.
+    fn ste_clip_range(&self) -> (f32, f32) {
+        (self.min_value(), self.max_value())
+    }
+}
+
+/// The identity quantizer: 32-bit float, i.e. no quantization.
+///
+/// Serves as the full-precision baseline in every sweep.
+///
+/// ```
+/// use qnn_quant::{IdentityQuantizer, Quantizer};
+///
+/// let q = IdentityQuantizer;
+/// assert_eq!(q.quantize_value(0.1234567), 0.1234567);
+/// assert_eq!(q.bits(), 32);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IdentityQuantizer;
+
+impl Quantizer for IdentityQuantizer {
+    fn quantize_value(&self, x: f32) -> f32 {
+        x
+    }
+
+    fn bits(&self) -> u32 {
+        32
+    }
+
+    fn describe(&self) -> String {
+        "float32".to_string()
+    }
+
+    fn max_value(&self) -> f32 {
+        f32::MAX
+    }
+
+    fn min_value(&self) -> f32 {
+        f32::MIN
+    }
+}
+
+/// The pair of quantizers a network runs under: one for parameters, one for
+/// inputs/feature maps.
+///
+/// The paper (§II) treats inputs and feature maps with the same precision
+/// while letting the parameter precision differ — `(w, in)` throughout its
+/// tables. This type is the calibrated, concrete realisation of a
+/// [`Precision`](crate::Precision) descriptor.
+pub struct QuantizerPair {
+    /// Quantizer applied to weights and biases.
+    pub weights: Box<dyn Quantizer + Send + Sync>,
+    /// Quantizer applied to the input image and every feature map.
+    pub activations: Box<dyn Quantizer + Send + Sync>,
+}
+
+impl QuantizerPair {
+    /// A full-precision pair (both sides identity).
+    pub fn identity() -> Self {
+        QuantizerPair {
+            weights: Box::new(IdentityQuantizer),
+            activations: Box::new(IdentityQuantizer),
+        }
+    }
+}
+
+impl std::fmt::Debug for QuantizerPair {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("QuantizerPair")
+            .field("weights", &self.weights.describe())
+            .field("activations", &self.activations.describe())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qnn_tensor::Shape;
+
+    #[test]
+    fn identity_passes_through_tensors() {
+        let t = Tensor::from_vec(Shape::d1(3), vec![1.5, -2.25, 0.0]).unwrap();
+        assert_eq!(IdentityQuantizer.quantize(&t), t);
+    }
+
+    #[test]
+    fn pair_debug_shows_formats() {
+        let p = QuantizerPair::identity();
+        let s = format!("{p:?}");
+        assert!(s.contains("float32"));
+    }
+
+    #[test]
+    fn quantizer_is_object_safe() {
+        let q: Box<dyn Quantizer> = Box::new(IdentityQuantizer);
+        assert_eq!(q.bits(), 32);
+    }
+}

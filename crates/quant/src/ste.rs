@@ -1,0 +1,136 @@
+//! Straight-through estimator (STE) for training through quantizers.
+//!
+//! Quantization is a staircase: its true derivative is zero almost
+//! everywhere, which would stall SGD. Courbariaux et al. (the paper's
+//! train-time technique, §IV-A) instead keep a *shadow* full-precision
+//! copy of each weight tensor, run the forward pass on the quantized copy,
+//! and pass the upstream gradient straight through to the shadow copy —
+//! optionally zeroing it where the shadow value already exceeds the
+//! representable range (so saturated weights stop drifting outward).
+
+use qnn_tensor::{Tensor, TensorError};
+
+use crate::quantizer::Quantizer;
+
+/// Straight-through gradient: `grad` passed through unchanged except where
+/// the shadow value lies outside `[min_value, max_value]` of the target
+/// format, where it is zeroed.
+///
+/// This is the "clipped STE" of BinaryConnect; with an unbounded format it
+/// degenerates to the identity.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] if `shadow` and `grad` differ in
+/// shape.
+pub fn clipped_pass_through(
+    shadow: &Tensor,
+    grad: &Tensor,
+    quantizer: &dyn Quantizer,
+) -> Result<Tensor, TensorError> {
+    let (lo, hi) = quantizer.ste_clip_range();
+    shadow.zip(grad, |w, g| if w < lo || w > hi { 0.0 } else { g })
+}
+
+/// Unclipped straight-through gradient (pure identity on the gradient).
+///
+/// Exposed so the QAT ablation can compare clipped vs. unclipped STE.
+pub fn pass_through(grad: &Tensor) -> Tensor {
+    grad.clone()
+}
+
+/// One shadow-weight update step:
+/// `shadow ← shadow - lr · ste_grad`, then returns the re-quantized copy
+/// for the next forward pass.
+///
+/// This is the inner loop of the paper's training methodology — gradients
+/// accumulate in full precision so updates smaller than a quantization step
+/// are not lost.
+///
+/// # Errors
+///
+/// Returns a shape error if `shadow` and `grad` differ in shape.
+pub fn update_shadow(
+    shadow: &mut Tensor,
+    grad: &Tensor,
+    lr: f32,
+    quantizer: &dyn Quantizer,
+    clip: bool,
+) -> Result<Tensor, TensorError> {
+    let g = if clip {
+        clipped_pass_through(shadow, grad, quantizer)?
+    } else {
+        pass_through(grad)
+    };
+    shadow.axpy(-lr, &g)?;
+    Ok(quantizer.quantize(shadow))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixed::Fixed;
+    use crate::quantizer::IdentityQuantizer;
+    use qnn_tensor::Shape;
+
+    fn t(v: Vec<f32>) -> Tensor {
+        let n = v.len();
+        Tensor::from_vec(Shape::d1(n), v).unwrap()
+    }
+
+    #[test]
+    fn identity_format_passes_everything() {
+        let w = t(vec![1e10, -1e10]);
+        let g = t(vec![1.0, 2.0]);
+        let out = clipped_pass_through(&w, &g, &IdentityQuantizer).unwrap();
+        assert_eq!(out, g);
+    }
+
+    #[test]
+    fn clipping_zeroes_saturated_weights() {
+        let q = Fixed::new(8, 4).unwrap(); // range [-8, 7.9375]
+        let w = t(vec![0.5, 9.0, -9.0, 7.9]);
+        let g = t(vec![1.0, 1.0, 1.0, 1.0]);
+        let out = clipped_pass_through(&w, &g, &q).unwrap();
+        assert_eq!(out.as_slice(), &[1.0, 0.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn shadow_accumulates_sub_step_updates() {
+        // Ten updates of 0.01 on a grid of step 1/16: individually invisible
+        // after quantization, but the shadow carries them and eventually the
+        // quantized copy moves — the whole point of shadow weights.
+        let q = Fixed::new(8, 4).unwrap();
+        let mut shadow = t(vec![0.0]);
+        let g = t(vec![-1.0]); // gradient pushing the weight up with lr 0.01
+        let mut quantized = q.quantize(&shadow);
+        assert_eq!(quantized.as_slice(), &[0.0]);
+        for _ in 0..10 {
+            quantized = update_shadow(&mut shadow, &g, 0.01, &q, true).unwrap();
+        }
+        assert!((shadow.as_slice()[0] - 0.1).abs() < 1e-6);
+        assert_eq!(quantized.as_slice(), &[0.125]); // 2 grid steps up
+    }
+
+    #[test]
+    fn unclipped_update_moves_saturated_weight_further() {
+        let q = Fixed::new(4, 0).unwrap(); // range [-8, 7]
+        let mut shadow = t(vec![20.0]);
+        let g = t(vec![-1.0]);
+        let before = shadow.as_slice()[0];
+        update_shadow(&mut shadow, &g, 0.5, &q, false).unwrap();
+        assert!(shadow.as_slice()[0] > before);
+        // Clipped variant would freeze it:
+        let mut shadow2 = t(vec![20.0]);
+        update_shadow(&mut shadow2, &g, 0.5, &q, true).unwrap();
+        assert_eq!(shadow2.as_slice()[0], 20.0);
+    }
+
+    #[test]
+    fn shape_mismatch_is_an_error() {
+        let q = IdentityQuantizer;
+        let w = t(vec![1.0, 2.0]);
+        let g = t(vec![1.0]);
+        assert!(clipped_pass_through(&w, &g, &q).is_err());
+    }
+}

@@ -1,0 +1,141 @@
+//! Property tests for the numeric formats.
+//!
+//! The invariants every format must satisfy:
+//! 1. **Idempotence** — `q(q(x)) == q(x)`.
+//! 2. **Monotonicity** — `x <= y ⇒ q(x) <= q(y)`.
+//! 3. **Boundedness** — `min_value() <= q(x) <= max_value()`.
+//! 4. **Grid membership** — `q(x)` round-trips through the bit encoding.
+//! 5. **Error bound** — within the unsaturated range, `|q(x) - x|` is at
+//!    most half a step (fixed point) or half a binade gap (pow2).
+
+use proptest::prelude::*;
+use qnn_quant::{calibrate, Binary, Fixed, Minifloat, PowerOfTwo, Precision, Quantizer};
+use qnn_tensor::{Shape, Tensor};
+
+fn fixed_format() -> impl Strategy<Value = Fixed> {
+    (2u32..=32, -8i32..24).prop_map(|(w, f)| Fixed::new(w, f).unwrap())
+}
+
+fn pow2_format() -> impl Strategy<Value = PowerOfTwo> {
+    // Width 8 with a low window top would push the window bottom past f32
+    // range (rejected by the constructor), so keep widths ≤ 6 here.
+    (2u32..=6, -8i32..8).prop_map(|(b, e)| PowerOfTwo::new(b, e).unwrap())
+}
+
+fn minifloat_format() -> impl Strategy<Value = Minifloat> {
+    (1u32..=8, 0u32..=23).prop_map(|(e, m)| Minifloat::new(e, m).unwrap())
+}
+
+proptest! {
+    #[test]
+    fn fixed_idempotent(q in fixed_format(), x in -1e6f32..1e6) {
+        let once = q.quantize_value(x);
+        prop_assert_eq!(q.quantize_value(once), once);
+    }
+
+    #[test]
+    fn fixed_monotone(q in fixed_format(), a in -1e4f32..1e4, b in -1e4f32..1e4) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(q.quantize_value(lo) <= q.quantize_value(hi));
+    }
+
+    #[test]
+    fn fixed_bounded(q in fixed_format(), x in proptest::num::f32::ANY) {
+        let y = q.quantize_value(x);
+        prop_assert!(y >= q.min_value() && y <= q.max_value(), "y={}", y);
+    }
+
+    #[test]
+    fn fixed_error_at_most_half_step(q in fixed_format(), x in -100.0f32..100.0) {
+        prop_assume!(x.abs() < q.max_value());
+        let y = q.quantize_value(x);
+        prop_assert!((y - x).abs() <= q.step() * 0.5 + q.step() * 1e-3,
+            "x={} y={} step={}", x, y, q.step());
+    }
+
+    #[test]
+    fn fixed_encode_decode_round_trip(q in fixed_format(), x in -1e4f32..1e4) {
+        prop_assert_eq!(q.decode(q.encode(x)), q.quantize_value(x));
+    }
+
+    #[test]
+    fn pow2_idempotent(q in pow2_format(), x in -256.0f32..256.0) {
+        let once = q.quantize_value(x);
+        prop_assert_eq!(q.quantize_value(once), once);
+    }
+
+    #[test]
+    fn pow2_outputs_are_zero_or_signed_powers(q in pow2_format(), x in -256.0f32..256.0) {
+        let y = q.quantize_value(x);
+        if y != 0.0 {
+            let l = y.abs().log2();
+            prop_assert!((l - l.round()).abs() < 1e-6, "{} is not ±2^k", y);
+            prop_assert_eq!(y > 0.0, x > 0.0);
+        }
+    }
+
+    #[test]
+    fn pow2_bounded(q in pow2_format(), x in proptest::num::f32::NORMAL) {
+        let y = q.quantize_value(x);
+        prop_assert!(y.abs() <= q.max_value());
+    }
+
+    #[test]
+    fn binary_always_pm_scale(s in 0.01f32..10.0, x in proptest::num::f32::ANY) {
+        let q = Binary::with_scale(s).unwrap();
+        let y = q.quantize_value(x);
+        prop_assert!(y == s || y == -s);
+    }
+
+    #[test]
+    fn minifloat_idempotent(q in minifloat_format(), x in -1e6f32..1e6) {
+        let once = q.quantize_value(x);
+        prop_assert_eq!(q.quantize_value(once), once);
+    }
+
+    #[test]
+    fn minifloat_monotone(q in minifloat_format(), a in -1e4f32..1e4, b in -1e4f32..1e4) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(q.quantize_value(lo) <= q.quantize_value(hi));
+    }
+
+    #[test]
+    fn minifloat_relative_error_bounded(q in minifloat_format(), x in 1e-2f32..1e2) {
+        // Relative-error bounds only hold in the normal range, as in IEEE.
+        prop_assume!(x < q.max_value() && x >= q.min_positive_normal());
+        let y = q.quantize_value(x);
+        // Relative error at most half an ulp of the mantissa width.
+        let ulp = (-(q.man_bits() as f32)).exp2();
+        prop_assert!((y - x).abs() / x <= ulp, "x={} y={}", x, y);
+    }
+
+    #[test]
+    fn calibrated_fixed_covers_sample(bits in 4u32..=16, v in proptest::collection::vec(-50.0f32..50.0, 1..64)) {
+        let n = v.len();
+        let t = Tensor::from_vec(Shape::d1(n), v).unwrap();
+        let range = calibrate::Method::MaxAbs.range_of(&[&t]);
+        let q = calibrate::fixed_for_range(bits, range).unwrap();
+        prop_assert!(q.max_value() >= range * (1.0 - 1e-6));
+    }
+
+    #[test]
+    fn quantize_tensor_equals_mapping_values(x in proptest::collection::vec(-4.0f32..4.0, 1..32)) {
+        let q = Fixed::new(8, 5).unwrap();
+        let n = x.len();
+        let t = Tensor::from_vec(Shape::d1(n), x.clone()).unwrap();
+        let qt = q.quantize(&t);
+        for (i, &xi) in x.iter().enumerate() {
+            prop_assert_eq!(qt.as_slice()[i], q.quantize_value(xi));
+        }
+    }
+
+    #[test]
+    fn paper_sweep_quantizers_bounded_by_bits(x in -8.0f32..8.0) {
+        for p in Precision::paper_sweep() {
+            let q = p.default_quantizers().unwrap();
+            let y = q.weights.quantize_value(x);
+            prop_assert!(y.is_finite());
+            prop_assert!(q.weights.bits() <= 32);
+        }
+    }
+}

@@ -1,0 +1,594 @@
+//! 2-D convolution via im2col/col2im.
+//!
+//! The accelerator the paper models (a DianNao-style tile) flattens each
+//! output neuron's receptive field into a dot product; im2col is the exact
+//! software analogue, so using it here keeps the software MAC count equal to
+//! the hardware MAC count used by the cycle model in `qnn-accel`.
+
+use crate::error::TensorError;
+use crate::shape::Shape;
+use crate::tensor::Tensor;
+
+/// Geometry of a 2-D convolution or pooling window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Geometry {
+    /// Kernel height.
+    pub kh: usize,
+    /// Kernel width.
+    pub kw: usize,
+    /// Vertical and horizontal stride.
+    pub stride: usize,
+    /// Symmetric zero padding on all four sides.
+    pub pad: usize,
+    /// Ceil-mode output sizing (Caffe's pooling convention): a final
+    /// partial window is emitted when the stride does not divide evenly.
+    /// Convolutions use floor mode; the paper's ALEX pools are ceil mode.
+    pub ceil: bool,
+}
+
+impl Geometry {
+    /// Square kernel with the given stride and padding, floor-mode output
+    /// sizing (the convolution convention).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0` or `stride == 0`.
+    pub fn square(k: usize, stride: usize, pad: usize) -> Self {
+        assert!(k > 0, "kernel must be non-empty");
+        assert!(stride > 0, "stride must be positive");
+        Geometry {
+            kh: k,
+            kw: k,
+            stride,
+            pad,
+            ceil: false,
+        }
+    }
+
+    /// Square kernel with ceil-mode output sizing (Caffe's pooling
+    /// convention, used by the paper's ALEX 3×3/stride-2 pools).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0` or `stride == 0`.
+    pub fn square_ceil(k: usize, stride: usize, pad: usize) -> Self {
+        Geometry {
+            ceil: true,
+            ..Geometry::square(k, stride, pad)
+        }
+    }
+
+    /// Output height/width for an input of `(h, w)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidGeometry`] if the padded input is
+    /// smaller than the kernel.
+    pub fn output_hw(&self, h: usize, w: usize) -> Result<(usize, usize), TensorError> {
+        let ph = h + 2 * self.pad;
+        let pw = w + 2 * self.pad;
+        if ph < self.kh || pw < self.kw {
+            return Err(TensorError::InvalidGeometry {
+                op: "output_hw",
+                reason: format!(
+                    "padded input {ph}×{pw} smaller than kernel {}×{}",
+                    self.kh, self.kw
+                ),
+            });
+        }
+        let size = |full: usize, k: usize, orig: usize| -> usize {
+            let span = full - k;
+            let mut n = if self.ceil {
+                span.div_ceil(self.stride) + 1
+            } else {
+                span / self.stride + 1
+            };
+            // Caffe's guard: the last window must start inside the
+            // original (unpadded-right) extent.
+            if self.ceil && self.pad > 0 && (n - 1) * self.stride >= orig + self.pad {
+                n -= 1;
+            }
+            n
+        };
+        Ok((size(ph, self.kh, h), size(pw, self.kw, w)))
+    }
+}
+
+/// Unfolds one `(C, H, W)` image into the `(C·KH·KW, OH·OW)` patch matrix.
+///
+/// Column `o` holds the receptive field of output pixel `o` in row-major
+/// `(c, kh, kw)` order; out-of-bounds taps read as zero (zero padding).
+///
+/// # Errors
+///
+/// Returns an error if `image` is not rank 3 or the geometry is impossible.
+pub fn im2col(image: &Tensor, geom: Geometry) -> Result<Tensor, TensorError> {
+    if image.shape().rank() != 3 {
+        return Err(TensorError::RankMismatch {
+            op: "im2col",
+            expected: 3,
+            actual: image.shape().rank(),
+        });
+    }
+    let (c, h, w) = (
+        image.shape().dim(0),
+        image.shape().dim(1),
+        image.shape().dim(2),
+    );
+    let (oh, ow) = geom.output_hw(h, w)?;
+    let rows = c * geom.kh * geom.kw;
+    let cols = oh * ow;
+    let mut out = vec![0.0f32; rows * cols];
+    let data = image.as_slice();
+    for ci in 0..c {
+        for ki in 0..geom.kh {
+            for kj in 0..geom.kw {
+                let row = (ci * geom.kh + ki) * geom.kw + kj;
+                for oi in 0..oh {
+                    let ii = (oi * geom.stride + ki) as isize - geom.pad as isize;
+                    if ii < 0 || ii as usize >= h {
+                        continue;
+                    }
+                    for oj in 0..ow {
+                        let jj = (oj * geom.stride + kj) as isize - geom.pad as isize;
+                        if jj < 0 || jj as usize >= w {
+                            continue;
+                        }
+                        out[row * cols + oi * ow + oj] =
+                            data[(ci * h + ii as usize) * w + jj as usize];
+                    }
+                }
+            }
+        }
+    }
+    Tensor::from_vec(Shape::d2(rows, cols), out)
+}
+
+/// Folds a `(C·KH·KW, OH·OW)` patch matrix back onto a `(C, H, W)` image,
+/// accumulating overlapping taps — the adjoint of [`im2col`], used for the
+/// input gradient of convolution.
+///
+/// # Errors
+///
+/// Returns an error if `cols` does not match the geometry for the target
+/// `(c, h, w)`.
+pub fn col2im(
+    cols: &Tensor,
+    c: usize,
+    h: usize,
+    w: usize,
+    geom: Geometry,
+) -> Result<Tensor, TensorError> {
+    let (oh, ow) = geom.output_hw(h, w)?;
+    let rows = c * geom.kh * geom.kw;
+    if cols.shape().rank() != 2 || cols.shape().dim(0) != rows || cols.shape().dim(1) != oh * ow {
+        return Err(TensorError::InvalidGeometry {
+            op: "col2im",
+            reason: format!(
+                "patch matrix {} does not match target ({c}×{h}×{w}, kernel {}×{}, stride {}, pad {})",
+                cols.shape(),
+                geom.kh,
+                geom.kw,
+                geom.stride,
+                geom.pad
+            ),
+        });
+    }
+    let mut out = vec![0.0f32; c * h * w];
+    let data = cols.as_slice();
+    let ncols = oh * ow;
+    for ci in 0..c {
+        for ki in 0..geom.kh {
+            for kj in 0..geom.kw {
+                let row = (ci * geom.kh + ki) * geom.kw + kj;
+                for oi in 0..oh {
+                    let ii = (oi * geom.stride + ki) as isize - geom.pad as isize;
+                    if ii < 0 || ii as usize >= h {
+                        continue;
+                    }
+                    for oj in 0..ow {
+                        let jj = (oj * geom.stride + kj) as isize - geom.pad as isize;
+                        if jj < 0 || jj as usize >= w {
+                            continue;
+                        }
+                        out[(ci * h + ii as usize) * w + jj as usize] +=
+                            data[row * ncols + oi * ow + oj];
+                    }
+                }
+            }
+        }
+    }
+    Tensor::from_vec(Shape::d3(c, h, w), out)
+}
+
+/// Convolves a batch `(N, C, H, W)` with weights `(O, C, KH, KW)` and bias
+/// `(O)`, producing `(N, O, OH, OW)`.
+///
+/// # Errors
+///
+/// Returns an error on rank/shape mismatches or impossible geometry.
+pub fn conv2d(
+    input: &Tensor,
+    weight: &Tensor,
+    bias: &Tensor,
+    geom: Geometry,
+) -> Result<Tensor, TensorError> {
+    let (n, c, h, w) = conv_input_dims(input)?;
+    let (o, wc, wkh, wkw) = conv_weight_dims(weight)?;
+    if wc != c || wkh != geom.kh || wkw != geom.kw {
+        return Err(TensorError::ShapeMismatch {
+            op: "conv2d",
+            lhs: input.shape().clone(),
+            rhs: weight.shape().clone(),
+        });
+    }
+    if bias.len() != o {
+        return Err(TensorError::ShapeMismatch {
+            op: "conv2d/bias",
+            lhs: weight.shape().clone(),
+            rhs: bias.shape().clone(),
+        });
+    }
+    let (oh, ow) = geom.output_hw(h, w)?;
+    let wmat = weight.reshape(Shape::d2(o, c * geom.kh * geom.kw))?;
+    let sample_out = o * oh * ow;
+    let mut out = vec![0.0f32; n * sample_out];
+    let run_sample = |ni: usize, dst: &mut [f32]| -> Result<(), TensorError> {
+        let image = slice_image(input, ni, c, h, w);
+        let cols = im2col(&image, geom)?;
+        let prod = wmat.matmul(&cols)?;
+        let pslice = prod.as_slice();
+        let bslice = bias.as_slice();
+        for oi in 0..o {
+            let b = bslice[oi];
+            for px in 0..oh * ow {
+                dst[oi * oh * ow + px] = pslice[oi * oh * ow + px] + b;
+            }
+        }
+        Ok(())
+    };
+    parallel_over_samples(n, sample_out, &mut out, &run_sample)?;
+    Tensor::from_vec(Shape::d4(n, o, oh, ow), out)
+}
+
+/// Runs `f(sample_index, sample_output_slice)` for each sample, spreading
+/// samples over threads when the batch is large enough to amortize spawn
+/// cost. `out` must be `n × sample_len` long.
+fn parallel_over_samples<F>(
+    n: usize,
+    sample_len: usize,
+    out: &mut [f32],
+    f: &F,
+) -> Result<(), TensorError>
+where
+    F: Fn(usize, &mut [f32]) -> Result<(), TensorError> + Sync,
+{
+    let threads = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+        .min(n);
+    if threads <= 1 || n < 4 {
+        for (ni, chunk) in out.chunks_mut(sample_len).enumerate() {
+            f(ni, chunk)?;
+        }
+        return Ok(());
+    }
+    let chunk_samples = n.div_ceil(threads);
+    let results: Vec<Result<(), TensorError>> = std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for (t, slab) in out.chunks_mut(chunk_samples * sample_len).enumerate() {
+            handles.push(scope.spawn(move || {
+                for (k, chunk) in slab.chunks_mut(sample_len).enumerate() {
+                    f(t * chunk_samples + k, chunk)?;
+                }
+                Ok(())
+            }));
+        }
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("conv worker panicked"))
+            .collect()
+    });
+    for r in results {
+        r?;
+    }
+    Ok(())
+}
+
+/// Gradients of [`conv2d`] given the upstream gradient `grad_out`
+/// `(N, O, OH, OW)`.
+///
+/// Returns `(grad_input, grad_weight, grad_bias)`.
+///
+/// # Errors
+///
+/// Returns an error on rank/shape mismatches.
+pub fn conv2d_backward(
+    input: &Tensor,
+    weight: &Tensor,
+    grad_out: &Tensor,
+    geom: Geometry,
+) -> Result<(Tensor, Tensor, Tensor), TensorError> {
+    let (n, c, h, w) = conv_input_dims(input)?;
+    let (o, _, _, _) = conv_weight_dims(weight)?;
+    let (oh, ow) = geom.output_hw(h, w)?;
+    if grad_out.shape().dims() != [n, o, oh, ow] {
+        return Err(TensorError::ShapeMismatch {
+            op: "conv2d_backward",
+            lhs: grad_out.shape().clone(),
+            rhs: Shape::d4(n, o, oh, ow),
+        });
+    }
+    let k = c * geom.kh * geom.kw;
+    let wmat = weight.reshape(Shape::d2(o, k))?;
+    let wmat_t = wmat.transpose()?;
+    let mut gx = vec![0.0f32; n * c * h * w];
+    let sample_len = c * h * w;
+    // Each sample's contribution is independent; threads accumulate
+    // private (dW, db) partials over their sample ranges, writing dX in
+    // place, and the partials are reduced at the end.
+    let per_sample = |ni: usize,
+                      gx_chunk: &mut [f32],
+                      gw_acc: &mut Tensor,
+                      gb_acc: &mut [f32]|
+     -> Result<(), TensorError> {
+        let image = slice_image(input, ni, c, h, w);
+        let cols = im2col(&image, geom)?;
+        let go = Tensor::from_vec(
+            Shape::d2(o, oh * ow),
+            grad_out.as_slice()[ni * o * oh * ow..(ni + 1) * o * oh * ow].to_vec(),
+        )?;
+        gw_acc.axpy(1.0, &go.matmul(&cols.transpose()?)?)?;
+        let gos = go.as_slice();
+        for oi in 0..o {
+            gb_acc[oi] += gos[oi * oh * ow..(oi + 1) * oh * ow].iter().sum::<f32>();
+        }
+        let gcols = wmat_t.matmul(&go)?;
+        let gimg = col2im(&gcols, c, h, w, geom)?;
+        gx_chunk.copy_from_slice(gimg.as_slice());
+        Ok(())
+    };
+    let threads = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+        .min(n);
+    let (gw, gb) = if threads <= 1 || n < 4 {
+        let mut gw = Tensor::zeros(Shape::d2(o, k));
+        let mut gb = vec![0.0f32; o];
+        for (ni, chunk) in gx.chunks_mut(sample_len).enumerate() {
+            per_sample(ni, chunk, &mut gw, &mut gb)?;
+        }
+        (gw, gb)
+    } else {
+        let chunk_samples = n.div_ceil(threads);
+        let partials: Vec<Result<(Tensor, Vec<f32>), TensorError>> = std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for (t, slab) in gx.chunks_mut(chunk_samples * sample_len).enumerate() {
+                let per_sample = &per_sample;
+                handles.push(scope.spawn(move || {
+                    let mut gw = Tensor::zeros(Shape::d2(o, k));
+                    let mut gb = vec![0.0f32; o];
+                    for (j, chunk) in slab.chunks_mut(sample_len).enumerate() {
+                        per_sample(t * chunk_samples + j, chunk, &mut gw, &mut gb)?;
+                    }
+                    Ok((gw, gb))
+                }));
+            }
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("conv backward worker panicked"))
+                .collect()
+        });
+        let mut gw = Tensor::zeros(Shape::d2(o, k));
+        let mut gb = vec![0.0f32; o];
+        for p in partials {
+            let (pgw, pgb) = p?;
+            gw.axpy(1.0, &pgw)?;
+            for (a, b) in gb.iter_mut().zip(pgb) {
+                *a += b;
+            }
+        }
+        (gw, gb)
+    };
+    let gw = gw.reshape(weight.shape().clone())?;
+    let gb = Tensor::from_vec(Shape::d1(o), gb)?;
+    let gx = Tensor::from_vec(Shape::d4(n, c, h, w), gx)?;
+    Ok((gx, gw, gb))
+}
+
+pub(crate) fn conv_input_dims(input: &Tensor) -> Result<(usize, usize, usize, usize), TensorError> {
+    if input.shape().rank() != 4 {
+        return Err(TensorError::RankMismatch {
+            op: "conv2d",
+            expected: 4,
+            actual: input.shape().rank(),
+        });
+    }
+    Ok((
+        input.shape().dim(0),
+        input.shape().dim(1),
+        input.shape().dim(2),
+        input.shape().dim(3),
+    ))
+}
+
+fn conv_weight_dims(weight: &Tensor) -> Result<(usize, usize, usize, usize), TensorError> {
+    if weight.shape().rank() != 4 {
+        return Err(TensorError::RankMismatch {
+            op: "conv2d/weight",
+            expected: 4,
+            actual: weight.shape().rank(),
+        });
+    }
+    Ok((
+        weight.shape().dim(0),
+        weight.shape().dim(1),
+        weight.shape().dim(2),
+        weight.shape().dim(3),
+    ))
+}
+
+pub(crate) fn slice_image(input: &Tensor, n: usize, c: usize, h: usize, w: usize) -> Tensor {
+    let sz = c * h * w;
+    Tensor::from_vec(
+        Shape::d3(c, h, w),
+        input.as_slice()[n * sz..(n + 1) * sz].to_vec(),
+    )
+    .expect("image slice length matches shape by construction")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(shape: Shape, v: Vec<f32>) -> Tensor {
+        Tensor::from_vec(shape, v).unwrap()
+    }
+
+    #[test]
+    fn geometry_output_sizes() {
+        let g = Geometry::square(5, 1, 0);
+        assert_eq!(g.output_hw(28, 28).unwrap(), (24, 24));
+        let g = Geometry::square(5, 1, 2);
+        assert_eq!(g.output_hw(32, 32).unwrap(), (32, 32));
+        let g = Geometry::square(2, 2, 0);
+        assert_eq!(g.output_hw(24, 24).unwrap(), (12, 12));
+        let g = Geometry::square(3, 2, 0);
+        assert_eq!(g.output_hw(32, 32).unwrap(), (15, 15));
+    }
+
+    #[test]
+    fn geometry_rejects_tiny_input() {
+        let g = Geometry::square(5, 1, 0);
+        assert!(g.output_hw(3, 3).is_err());
+    }
+
+    #[test]
+    fn im2col_identity_kernel() {
+        // 1×1 kernel, stride 1: im2col is the identity (one row per channel).
+        let img = t(Shape::d3(2, 2, 2), vec![1., 2., 3., 4., 5., 6., 7., 8.]);
+        let cols = im2col(&img, Geometry::square(1, 1, 0)).unwrap();
+        assert_eq!(cols.shape().dims(), &[2, 4]);
+        assert_eq!(cols.as_slice(), img.as_slice());
+    }
+
+    #[test]
+    fn im2col_extracts_patches() {
+        // 3×3 image, 2×2 kernel, stride 1 → 4 patches.
+        let img = t(Shape::d3(1, 3, 3), vec![1., 2., 3., 4., 5., 6., 7., 8., 9.]);
+        let cols = im2col(&img, Geometry::square(2, 1, 0)).unwrap();
+        assert_eq!(cols.shape().dims(), &[4, 4]);
+        // Patch at (0,0) is [1,2,4,5]; columns are output pixels.
+        assert_eq!(cols.at(&[0, 0]), 1.0);
+        assert_eq!(cols.at(&[1, 0]), 2.0);
+        assert_eq!(cols.at(&[2, 0]), 4.0);
+        assert_eq!(cols.at(&[3, 0]), 5.0);
+        // Patch at (1,1) is [5,6,8,9].
+        assert_eq!(cols.at(&[0, 3]), 5.0);
+        assert_eq!(cols.at(&[3, 3]), 9.0);
+    }
+
+    #[test]
+    fn im2col_zero_pads() {
+        let img = t(Shape::d3(1, 2, 2), vec![1., 2., 3., 4.]);
+        let cols = im2col(&img, Geometry::square(3, 1, 1)).unwrap();
+        // Output is 2×2; the (0,0) patch's top-left tap is padding.
+        assert_eq!(cols.shape().dims(), &[9, 4]);
+        assert_eq!(cols.at(&[0, 0]), 0.0);
+        assert_eq!(cols.at(&[4, 0]), 1.0); // centre tap hits pixel (0,0)
+    }
+
+    #[test]
+    fn conv2d_matches_hand_computation() {
+        // Single 2×2 "sum" kernel over a 3×3 ramp.
+        let x = t(
+            Shape::d4(1, 1, 3, 3),
+            vec![1., 2., 3., 4., 5., 6., 7., 8., 9.],
+        );
+        let w = Tensor::ones(Shape::d4(1, 1, 2, 2));
+        let b = Tensor::zeros(Shape::d1(1));
+        let y = conv2d(&x, &w, &b, Geometry::square(2, 1, 0)).unwrap();
+        assert_eq!(y.shape().dims(), &[1, 1, 2, 2]);
+        assert_eq!(y.as_slice(), &[12., 16., 24., 28.]);
+    }
+
+    #[test]
+    fn conv2d_applies_bias_per_channel() {
+        let x = Tensor::zeros(Shape::d4(1, 1, 2, 2));
+        let w = Tensor::zeros(Shape::d4(2, 1, 1, 1));
+        let b = t(Shape::d1(2), vec![1.5, -2.5]);
+        let y = conv2d(&x, &w, &b, Geometry::square(1, 1, 0)).unwrap();
+        assert_eq!(&y.as_slice()[..4], &[1.5; 4]);
+        assert_eq!(&y.as_slice()[4..], &[-2.5; 4]);
+    }
+
+    #[test]
+    fn conv2d_rejects_channel_mismatch() {
+        let x = Tensor::zeros(Shape::d4(1, 3, 4, 4));
+        let w = Tensor::zeros(Shape::d4(2, 2, 3, 3));
+        let b = Tensor::zeros(Shape::d1(2));
+        assert!(conv2d(&x, &w, &b, Geometry::square(3, 1, 0)).is_err());
+    }
+
+    #[test]
+    fn col2im_is_adjoint_of_im2col() {
+        // <im2col(x), y> == <x, col2im(y)> for random-ish x, y — the adjoint
+        // property gradient correctness rests on.
+        let geom = Geometry::square(3, 2, 1);
+        let (c, h, w) = (2, 5, 5);
+        let x = t(
+            Shape::d3(c, h, w),
+            (0..c * h * w).map(|i| (i as f32 * 0.37).sin()).collect(),
+        );
+        let cols = im2col(&x, geom).unwrap();
+        let y = cols.map(|v| (v * 1.7 + 0.3).cos());
+        let lhs = cols.dot(&y).unwrap();
+        let folded = col2im(&y, c, h, w, geom).unwrap();
+        let rhs = x.dot(&folded).unwrap();
+        assert!((lhs - rhs).abs() < 1e-3, "lhs={lhs} rhs={rhs}");
+    }
+
+    #[test]
+    fn conv2d_backward_matches_numeric_gradient() {
+        let geom = Geometry::square(3, 1, 1);
+        let x = t(
+            Shape::d4(1, 2, 4, 4),
+            (0..32).map(|i| ((i as f32) * 0.21).sin()).collect(),
+        );
+        let w0 = t(
+            Shape::d4(2, 2, 3, 3),
+            (0..36).map(|i| ((i as f32) * 0.13).cos() * 0.5).collect(),
+        );
+        let b0 = t(Shape::d1(2), vec![0.1, -0.2]);
+        // Loss = sum(conv(x, w, b)); its gradient wrt w is checked by finite
+        // differences on a few taps.
+        let y = conv2d(&x, &w0, &b0, geom).unwrap();
+        let gout = Tensor::ones(y.shape().clone());
+        let (gx, gw, gb) = conv2d_backward(&x, &w0, &gout, geom).unwrap();
+        let eps = 1e-3;
+        for idx in [0usize, 7, 20, 35] {
+            let mut wp = w0.clone();
+            wp.as_mut_slice()[idx] += eps;
+            let yp = conv2d(&x, &wp, &b0, geom).unwrap().sum();
+            let mut wm = w0.clone();
+            wm.as_mut_slice()[idx] -= eps;
+            let ym = conv2d(&x, &wm, &b0, geom).unwrap().sum();
+            let num = (yp - ym) / (2.0 * eps);
+            let ana = gw.as_slice()[idx];
+            assert!((num - ana).abs() < 1e-2, "w[{idx}]: num={num} ana={ana}");
+        }
+        for idx in [0usize, 13, 31] {
+            let mut xp = x.clone();
+            xp.as_mut_slice()[idx] += eps;
+            let yp = conv2d(&xp, &w0, &b0, geom).unwrap().sum();
+            let mut xm = x.clone();
+            xm.as_mut_slice()[idx] -= eps;
+            let ym = conv2d(&xm, &w0, &b0, geom).unwrap().sum();
+            let num = (yp - ym) / (2.0 * eps);
+            let ana = gx.as_slice()[idx];
+            assert!((num - ana).abs() < 1e-2, "x[{idx}]: num={num} ana={ana}");
+        }
+        // Bias gradient of a sum-loss is the number of output pixels.
+        assert_eq!(gb.as_slice(), &[16.0, 16.0]);
+    }
+}

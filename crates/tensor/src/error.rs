@@ -1,0 +1,94 @@
+use std::error::Error;
+use std::fmt;
+
+use crate::shape::Shape;
+
+/// Error raised by tensor construction and kernel routines.
+///
+/// All fallible public functions in this crate return
+/// `Result<_, TensorError>`; the variants carry enough context to print an
+/// actionable message without a debugger.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TensorError {
+    /// The provided buffer length does not match the product of the shape's
+    /// dimensions.
+    LengthMismatch {
+        /// Shape the caller asked for.
+        shape: Shape,
+        /// Length of the buffer actually provided.
+        len: usize,
+    },
+    /// Two operands have shapes that the requested operation cannot combine.
+    ShapeMismatch {
+        /// Name of the operation that rejected the operands.
+        op: &'static str,
+        /// Shape of the left-hand operand.
+        lhs: Shape,
+        /// Shape of the right-hand operand.
+        rhs: Shape,
+    },
+    /// The operation requires a tensor of a specific rank.
+    RankMismatch {
+        /// Name of the operation that rejected the operand.
+        op: &'static str,
+        /// Rank the operation expected.
+        expected: usize,
+        /// Rank it received.
+        actual: usize,
+    },
+    /// A convolution/pooling geometry is impossible (e.g. kernel larger than
+    /// the padded input, or zero-sized window).
+    InvalidGeometry {
+        /// Name of the operation that rejected the geometry.
+        op: &'static str,
+        /// Human-readable description of the violated constraint.
+        reason: String,
+    },
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::LengthMismatch { shape, len } => write!(
+                f,
+                "buffer of length {len} does not match shape {shape} (needs {})",
+                shape.len()
+            ),
+            TensorError::ShapeMismatch { op, lhs, rhs } => {
+                write!(f, "{op}: incompatible shapes {lhs} and {rhs}")
+            }
+            TensorError::RankMismatch {
+                op,
+                expected,
+                actual,
+            } => write!(f, "{op}: expected rank {expected}, got rank {actual}"),
+            TensorError::InvalidGeometry { op, reason } => {
+                write!(f, "{op}: invalid geometry: {reason}")
+            }
+        }
+    }
+}
+
+impl Error for TensorError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase_ish() {
+        let e = TensorError::LengthMismatch {
+            shape: Shape::d2(2, 3),
+            len: 5,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("length 5"));
+        assert!(msg.contains("needs 6"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TensorError>();
+    }
+}

@@ -1,0 +1,115 @@
+//! Weight initializers.
+//!
+//! The paper trains with Caffe defaults; we provide the standard Xavier
+//! (Glorot) and He (MSRA) schemes, both uniform and normal variants, which
+//! are what Caffe's `xavier`/`msra` fillers implement.
+
+use rand::Rng;
+
+use crate::rng::standard_normal;
+use crate::shape::Shape;
+use crate::tensor::Tensor;
+
+/// Fan-in and fan-out of a weight tensor.
+///
+/// For rank-4 convolution weights `(O, C, KH, KW)` the fan-in is
+/// `C·KH·KW` and fan-out `O·KH·KW`; for rank-2 fully-connected weights
+/// `(O, I)` they are `I` and `O`.
+///
+/// # Panics
+///
+/// Panics for ranks other than 2 or 4 — other ranks have no conventional
+/// fan definition.
+pub fn fans(shape: &Shape) -> (usize, usize) {
+    match shape.rank() {
+        2 => (shape.dim(1), shape.dim(0)),
+        4 => {
+            let rf = shape.dim(2) * shape.dim(3);
+            (shape.dim(1) * rf, shape.dim(0) * rf)
+        }
+        r => panic!("fans undefined for rank-{r} tensors"),
+    }
+}
+
+/// Xavier/Glorot uniform: `U(±sqrt(6 / (fan_in + fan_out)))`.
+pub fn xavier_uniform<R: Rng>(shape: Shape, rng: &mut R) -> Tensor {
+    let (fi, fo) = fans(&shape);
+    let bound = (6.0 / (fi + fo) as f32).sqrt();
+    let data = (0..shape.len())
+        .map(|_| rng.gen_range(-bound..=bound))
+        .collect();
+    Tensor::from_vec(shape, data).expect("generated buffer matches shape")
+}
+
+/// He/MSRA normal: `N(0, sqrt(2 / fan_in))`.
+pub fn he_normal<R: Rng>(shape: Shape, rng: &mut R) -> Tensor {
+    let (fi, _) = fans(&shape);
+    let std = (2.0 / fi as f32).sqrt();
+    let data = (0..shape.len())
+        .map(|_| standard_normal(rng) * std)
+        .collect();
+    Tensor::from_vec(shape, data).expect("generated buffer matches shape")
+}
+
+/// Uniform fill in `[lo, hi)`, for biases and tests.
+///
+/// # Panics
+///
+/// Panics if `lo >= hi`.
+pub fn uniform<R: Rng>(shape: Shape, lo: f32, hi: f32, rng: &mut R) -> Tensor {
+    assert!(lo < hi, "uniform range must be non-empty");
+    let data = (0..shape.len()).map(|_| rng.gen_range(lo..hi)).collect();
+    Tensor::from_vec(shape, data).expect("generated buffer matches shape")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::seeded;
+
+    #[test]
+    fn fans_conv_and_fc() {
+        assert_eq!(fans(&Shape::d4(20, 1, 5, 5)), (25, 500));
+        assert_eq!(fans(&Shape::d2(500, 800)), (800, 500));
+    }
+
+    #[test]
+    fn xavier_respects_bound() {
+        let mut rng = seeded(1);
+        let w = xavier_uniform(Shape::d4(8, 4, 3, 3), &mut rng);
+        let bound = (6.0f32 / (4 * 9 + 8 * 9) as f32).sqrt();
+        assert!(w.as_slice().iter().all(|&x| x.abs() <= bound + 1e-6));
+        // Not degenerate: values actually vary.
+        let min = w.as_slice().iter().cloned().fold(f32::INFINITY, f32::min);
+        let max = w
+            .as_slice()
+            .iter()
+            .cloned()
+            .fold(f32::NEG_INFINITY, f32::max);
+        assert!(max - min > bound);
+    }
+
+    #[test]
+    fn he_normal_std_plausible() {
+        let mut rng = seeded(2);
+        let w = he_normal(Shape::d2(64, 256), &mut rng);
+        let n = w.len() as f32;
+        let mean = w.sum() / n;
+        let var = w.as_slice().iter().map(|x| (x - mean).powi(2)).sum::<f32>() / n;
+        let want = 2.0 / 256.0;
+        assert!((var - want).abs() < want * 0.25, "var={var} want≈{want}");
+    }
+
+    #[test]
+    fn uniform_is_in_range() {
+        let mut rng = seeded(3);
+        let t = uniform(Shape::d1(1000), -0.25, 0.75, &mut rng);
+        assert!(t.as_slice().iter().all(|&x| (-0.25..0.75).contains(&x)));
+    }
+
+    #[test]
+    #[should_panic(expected = "undefined")]
+    fn fans_rejects_rank_3() {
+        fans(&Shape::d3(1, 2, 3));
+    }
+}

@@ -1,0 +1,42 @@
+#![warn(missing_docs)]
+
+//! # qnn-tensor — dense f32 tensor substrate
+//!
+//! The minimal linear-algebra layer the rest of the `qnn` workspace is built
+//! on: an owned, contiguous, row-major [`Tensor`] of `f32` plus the handful
+//! of kernels a convolutional network needs — blocked [`matmul`](Tensor::matmul),
+//! im2col-based [`conv2d`](conv::conv2d), max/average
+//! [pooling](pool), and weight [initializers](init).
+//!
+//! The paper this workspace reproduces (Hashemi et al., DATE 2017) simulates
+//! reduced precision *on top of* float arithmetic, Ristretto-style, so an
+//! f32 substrate is the faithful choice: quantizers in `qnn-quant` snap
+//! values of these tensors onto fixed-point / power-of-two / binary grids.
+//!
+//! ## Example
+//!
+//! ```
+//! use qnn_tensor::{Tensor, Shape};
+//!
+//! let a = Tensor::from_vec(Shape::d2(2, 3), vec![1., 2., 3., 4., 5., 6.])?;
+//! let b = Tensor::ones(Shape::d2(3, 2));
+//! let c = a.matmul(&b)?;
+//! assert_eq!(c.shape().dims(), &[2, 2]);
+//! assert_eq!(c.as_slice(), &[6., 6., 15., 15.]);
+//! # Ok::<(), qnn_tensor::TensorError>(())
+//! ```
+
+mod error;
+mod shape;
+#[allow(clippy::module_inception)]
+mod tensor;
+
+pub mod conv;
+pub mod init;
+pub mod pool;
+pub mod rng;
+pub mod stats;
+
+pub use error::TensorError;
+pub use shape::Shape;
+pub use tensor::Tensor;

@@ -1,0 +1,310 @@
+//! Max and average pooling with the argmax bookkeeping backprop needs.
+//!
+//! The paper's networks use `maxpool 2×2`/`3×3` (LeNet, ConvNet, ALEX's
+//! first stage) and `avgpool 3×3` (ALEX's later stages); both are supported
+//! with arbitrary square windows, stride and padding via
+//! [`Geometry`].
+
+use crate::conv::{conv_input_dims, Geometry};
+use crate::error::TensorError;
+use crate::shape::Shape;
+use crate::tensor::Tensor;
+
+/// Result of a max-pooling forward pass: the pooled tensor plus, for each
+/// output element, the linear index of the winning input element (used by
+/// [`max_pool2d_backward`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MaxPoolOutput {
+    /// Pooled activations, `(N, C, OH, OW)`.
+    pub output: Tensor,
+    /// For each output element, the flat index into the input of the max.
+    pub argmax: Vec<usize>,
+}
+
+/// Max-pools a `(N, C, H, W)` batch.
+///
+/// Padding positions never win the max: windows are evaluated only over
+/// in-bounds taps (matching Caffe's behaviour for `MAX` pooling).
+///
+/// # Errors
+///
+/// Returns an error if the input is not rank 4 or the geometry is
+/// impossible.
+pub fn max_pool2d(input: &Tensor, geom: Geometry) -> Result<MaxPoolOutput, TensorError> {
+    let (n, c, h, w) = conv_input_dims(input)?;
+    let (oh, ow) = geom.output_hw(h, w)?;
+    let mut out = vec![0.0f32; n * c * oh * ow];
+    let mut argmax = vec![0usize; n * c * oh * ow];
+    let data = input.as_slice();
+    for ni in 0..n {
+        for ci in 0..c {
+            let plane = (ni * c + ci) * h * w;
+            let oplane = (ni * c + ci) * oh * ow;
+            for oi in 0..oh {
+                for oj in 0..ow {
+                    let mut best = f32::NEG_INFINITY;
+                    let mut best_idx = None;
+                    for ki in 0..geom.kh {
+                        let ii = (oi * geom.stride + ki) as isize - geom.pad as isize;
+                        if ii < 0 || ii as usize >= h {
+                            continue;
+                        }
+                        for kj in 0..geom.kw {
+                            let jj = (oj * geom.stride + kj) as isize - geom.pad as isize;
+                            if jj < 0 || jj as usize >= w {
+                                continue;
+                            }
+                            let idx = plane + ii as usize * w + jj as usize;
+                            if data[idx] > best || best_idx.is_none() {
+                                best = data[idx];
+                                best_idx = Some(idx);
+                            }
+                        }
+                    }
+                    let idx = best_idx.ok_or_else(|| TensorError::InvalidGeometry {
+                        op: "max_pool2d",
+                        reason: "pooling window contains no in-bounds taps".to_string(),
+                    })?;
+                    out[oplane + oi * ow + oj] = best;
+                    argmax[oplane + oi * ow + oj] = idx;
+                }
+            }
+        }
+    }
+    Ok(MaxPoolOutput {
+        output: Tensor::from_vec(Shape::d4(n, c, oh, ow), out)?,
+        argmax,
+    })
+}
+
+/// Routes the upstream gradient back to the argmax positions recorded by
+/// [`max_pool2d`].
+///
+/// # Errors
+///
+/// Returns an error if `grad_out` length differs from `argmax` length.
+pub fn max_pool2d_backward(
+    input_shape: &Shape,
+    argmax: &[usize],
+    grad_out: &Tensor,
+) -> Result<Tensor, TensorError> {
+    if grad_out.len() != argmax.len() {
+        return Err(TensorError::ShapeMismatch {
+            op: "max_pool2d_backward",
+            lhs: grad_out.shape().clone(),
+            rhs: Shape::d1(argmax.len()),
+        });
+    }
+    let mut gx = Tensor::zeros(input_shape.clone());
+    let gxs = gx.as_mut_slice();
+    for (&idx, &g) in argmax.iter().zip(grad_out.as_slice().iter()) {
+        gxs[idx] += g;
+    }
+    Ok(gx)
+}
+
+/// Average-pools a `(N, C, H, W)` batch.
+///
+/// The divisor is the full window size `kh·kw` regardless of padding
+/// (Caffe's `AVE` pooling semantics), so padded border windows average in
+/// zeros.
+///
+/// # Errors
+///
+/// Returns an error if the input is not rank 4 or the geometry is
+/// impossible.
+pub fn avg_pool2d(input: &Tensor, geom: Geometry) -> Result<Tensor, TensorError> {
+    let (n, c, h, w) = conv_input_dims(input)?;
+    let (oh, ow) = geom.output_hw(h, w)?;
+    let norm = 1.0 / (geom.kh * geom.kw) as f32;
+    let mut out = vec![0.0f32; n * c * oh * ow];
+    let data = input.as_slice();
+    for ni in 0..n {
+        for ci in 0..c {
+            let plane = (ni * c + ci) * h * w;
+            let oplane = (ni * c + ci) * oh * ow;
+            for oi in 0..oh {
+                for oj in 0..ow {
+                    let mut acc = 0.0f32;
+                    for ki in 0..geom.kh {
+                        let ii = (oi * geom.stride + ki) as isize - geom.pad as isize;
+                        if ii < 0 || ii as usize >= h {
+                            continue;
+                        }
+                        for kj in 0..geom.kw {
+                            let jj = (oj * geom.stride + kj) as isize - geom.pad as isize;
+                            if jj < 0 || jj as usize >= w {
+                                continue;
+                            }
+                            acc += data[plane + ii as usize * w + jj as usize];
+                        }
+                    }
+                    out[oplane + oi * ow + oj] = acc * norm;
+                }
+            }
+        }
+    }
+    Tensor::from_vec(Shape::d4(n, c, oh, ow), out)
+}
+
+/// Gradient of [`avg_pool2d`]: spreads each upstream gradient uniformly over
+/// its window's in-bounds taps with weight `1/(kh·kw)`.
+///
+/// # Errors
+///
+/// Returns an error if `grad_out` is not rank 4 or shapes are inconsistent.
+pub fn avg_pool2d_backward(
+    input_shape: &Shape,
+    grad_out: &Tensor,
+    geom: Geometry,
+) -> Result<Tensor, TensorError> {
+    if input_shape.rank() != 4 || grad_out.shape().rank() != 4 {
+        return Err(TensorError::RankMismatch {
+            op: "avg_pool2d_backward",
+            expected: 4,
+            actual: input_shape.rank().min(grad_out.shape().rank()),
+        });
+    }
+    let (n, c, h, w) = (
+        input_shape.dim(0),
+        input_shape.dim(1),
+        input_shape.dim(2),
+        input_shape.dim(3),
+    );
+    let (oh, ow) = geom.output_hw(h, w)?;
+    if grad_out.shape().dims() != [n, c, oh, ow] {
+        return Err(TensorError::ShapeMismatch {
+            op: "avg_pool2d_backward",
+            lhs: grad_out.shape().clone(),
+            rhs: Shape::d4(n, c, oh, ow),
+        });
+    }
+    let norm = 1.0 / (geom.kh * geom.kw) as f32;
+    let mut gx = Tensor::zeros(input_shape.clone());
+    let gxs = gx.as_mut_slice();
+    let gos = grad_out.as_slice();
+    for ni in 0..n {
+        for ci in 0..c {
+            let plane = (ni * c + ci) * h * w;
+            let oplane = (ni * c + ci) * oh * ow;
+            for oi in 0..oh {
+                for oj in 0..ow {
+                    let g = gos[oplane + oi * ow + oj] * norm;
+                    for ki in 0..geom.kh {
+                        let ii = (oi * geom.stride + ki) as isize - geom.pad as isize;
+                        if ii < 0 || ii as usize >= h {
+                            continue;
+                        }
+                        for kj in 0..geom.kw {
+                            let jj = (oj * geom.stride + kj) as isize - geom.pad as isize;
+                            if jj < 0 || jj as usize >= w {
+                                continue;
+                            }
+                            gxs[plane + ii as usize * w + jj as usize] += g;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Ok(gx)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(shape: Shape, v: Vec<f32>) -> Tensor {
+        Tensor::from_vec(shape, v).unwrap()
+    }
+
+    #[test]
+    fn max_pool_2x2() {
+        let x = t(
+            Shape::d4(1, 1, 4, 4),
+            vec![
+                1., 2., 5., 6., //
+                3., 4., 7., 8., //
+                9., 10., 13., 14., //
+                11., 12., 15., 16.,
+            ],
+        );
+        let p = max_pool2d(&x, Geometry::square(2, 2, 0)).unwrap();
+        assert_eq!(p.output.shape().dims(), &[1, 1, 2, 2]);
+        assert_eq!(p.output.as_slice(), &[4., 8., 12., 16.]);
+    }
+
+    #[test]
+    fn max_pool_handles_negative_inputs() {
+        // All-negative window must still pick the (negative) max, not 0.
+        let x = t(Shape::d4(1, 1, 2, 2), vec![-5., -3., -9., -7.]);
+        let p = max_pool2d(&x, Geometry::square(2, 2, 0)).unwrap();
+        assert_eq!(p.output.as_slice(), &[-3.]);
+    }
+
+    #[test]
+    fn max_pool_backward_routes_to_argmax() {
+        let x = t(Shape::d4(1, 1, 2, 2), vec![1., 9., 3., 4.]);
+        let p = max_pool2d(&x, Geometry::square(2, 2, 0)).unwrap();
+        let g = t(Shape::d4(1, 1, 1, 1), vec![2.5]);
+        let gx = max_pool2d_backward(x.shape(), &p.argmax, &g).unwrap();
+        assert_eq!(gx.as_slice(), &[0., 2.5, 0., 0.]);
+    }
+
+    #[test]
+    fn max_pool_overlapping_stride() {
+        // ALEX uses 3×3 pooling with stride 2 — overlapping windows.
+        let x = Tensor::ones(Shape::d4(1, 1, 5, 5));
+        let p = max_pool2d(&x, Geometry::square(3, 2, 0)).unwrap();
+        assert_eq!(p.output.shape().dims(), &[1, 1, 2, 2]);
+    }
+
+    #[test]
+    fn avg_pool_2x2() {
+        let x = t(Shape::d4(1, 1, 2, 2), vec![1., 2., 3., 4.]);
+        let y = avg_pool2d(&x, Geometry::square(2, 2, 0)).unwrap();
+        assert_eq!(y.as_slice(), &[2.5]);
+    }
+
+    #[test]
+    fn avg_pool_padded_window_averages_in_zeros() {
+        let x = t(Shape::d4(1, 1, 2, 2), vec![4., 4., 4., 4.]);
+        let y = avg_pool2d(&x, Geometry::square(2, 2, 1)).unwrap();
+        // Each corner window sees one real pixel + three pads → 4/4 = 1.
+        assert_eq!(y.shape().dims(), &[1, 1, 2, 2]);
+        assert_eq!(y.as_slice(), &[1., 1., 1., 1.]);
+    }
+
+    #[test]
+    fn avg_pool_backward_matches_numeric_gradient() {
+        let geom = Geometry::square(3, 2, 1);
+        let x = t(
+            Shape::d4(1, 2, 4, 4),
+            (0..32).map(|i| (i as f32 * 0.3).sin()).collect(),
+        );
+        let y = avg_pool2d(&x, geom).unwrap();
+        let gout = Tensor::ones(y.shape().clone());
+        let gx = avg_pool2d_backward(x.shape(), &gout, geom).unwrap();
+        let eps = 1e-3;
+        for idx in [0usize, 9, 21, 31] {
+            let mut xp = x.clone();
+            xp.as_mut_slice()[idx] += eps;
+            let yp = avg_pool2d(&xp, geom).unwrap().sum();
+            let mut xm = x.clone();
+            xm.as_mut_slice()[idx] -= eps;
+            let ym = avg_pool2d(&xm, geom).unwrap().sum();
+            let num = (yp - ym) / (2.0 * eps);
+            assert!(
+                (num - gx.as_slice()[idx]).abs() < 1e-2,
+                "x[{idx}]: num={num} ana={}",
+                gx.as_slice()[idx]
+            );
+        }
+    }
+
+    #[test]
+    fn max_pool_backward_length_check() {
+        let g = Tensor::ones(Shape::d4(1, 1, 1, 2));
+        assert!(max_pool2d_backward(&Shape::d4(1, 1, 2, 2), &[0], &g).is_err());
+    }
+}

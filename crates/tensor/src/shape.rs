@@ -1,0 +1,206 @@
+use std::fmt;
+
+/// The extent of a tensor along up to four axes, row-major.
+///
+/// Rank-4 shapes follow the `(N, C, H, W)` convention used throughout the
+/// workspace: batch, channels, height, width. Lower ranks simply use fewer
+/// leading axes (a rank-2 shape is `(rows, cols)`).
+///
+/// ```
+/// use qnn_tensor::Shape;
+///
+/// let s = Shape::d4(8, 3, 32, 32);
+/// assert_eq!(s.len(), 8 * 3 * 32 * 32);
+/// assert_eq!(s.rank(), 4);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Shape {
+    dims: Vec<usize>,
+}
+
+impl Shape {
+    /// Creates a shape from an arbitrary dimension list.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dims` is empty or has more than four axes; the workspace
+    /// only ever manipulates rank 1–4 tensors and silently accepting higher
+    /// ranks would hide bugs.
+    pub fn new(dims: &[usize]) -> Self {
+        assert!(
+            !dims.is_empty() && dims.len() <= 4,
+            "shape must have rank 1..=4, got {}",
+            dims.len()
+        );
+        Shape {
+            dims: dims.to_vec(),
+        }
+    }
+
+    /// Rank-1 shape (a vector of length `n`).
+    pub fn d1(n: usize) -> Self {
+        Shape { dims: vec![n] }
+    }
+
+    /// Rank-2 shape (`rows` × `cols`).
+    pub fn d2(rows: usize, cols: usize) -> Self {
+        Shape {
+            dims: vec![rows, cols],
+        }
+    }
+
+    /// Rank-3 shape (`c` × `h` × `w`).
+    pub fn d3(c: usize, h: usize, w: usize) -> Self {
+        Shape {
+            dims: vec![c, h, w],
+        }
+    }
+
+    /// Rank-4 shape (`n` × `c` × `h` × `w`).
+    pub fn d4(n: usize, c: usize, h: usize, w: usize) -> Self {
+        Shape {
+            dims: vec![n, c, h, w],
+        }
+    }
+
+    /// The dimension list.
+    pub fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+
+    /// Number of axes.
+    pub fn rank(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// Total number of elements (product of all dimensions).
+    pub fn len(&self) -> usize {
+        self.dims.iter().product()
+    }
+
+    /// Whether the shape contains zero elements.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Extent along `axis`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `axis >= rank()`.
+    pub fn dim(&self, axis: usize) -> usize {
+        self.dims[axis]
+    }
+
+    /// Row-major strides, in elements.
+    ///
+    /// ```
+    /// use qnn_tensor::Shape;
+    /// assert_eq!(Shape::d3(2, 3, 4).strides(), vec![12, 4, 1]);
+    /// ```
+    pub fn strides(&self) -> Vec<usize> {
+        let mut strides = vec![1usize; self.dims.len()];
+        for i in (0..self.dims.len().saturating_sub(1)).rev() {
+            strides[i] = strides[i + 1] * self.dims[i + 1];
+        }
+        strides
+    }
+
+    /// Linear offset of a multi-index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` has the wrong rank or any coordinate is out of
+    /// bounds.
+    pub fn offset(&self, index: &[usize]) -> usize {
+        assert_eq!(index.len(), self.rank(), "index rank mismatch");
+        let mut off = 0usize;
+        let strides = self.strides();
+        for (axis, (&i, &s)) in index.iter().zip(strides.iter()).enumerate() {
+            assert!(
+                i < self.dims[axis],
+                "index {i} out of bounds for axis {axis} with extent {}",
+                self.dims[axis]
+            );
+            off += i * s;
+        }
+        off
+    }
+}
+
+impl fmt::Display for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, d) in self.dims.iter().enumerate() {
+            if i > 0 {
+                write!(f, "×")?;
+            }
+            write!(f, "{d}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl From<(usize, usize)> for Shape {
+    fn from((r, c): (usize, usize)) -> Self {
+        Shape::d2(r, c)
+    }
+}
+
+impl From<(usize, usize, usize, usize)> for Shape {
+    fn from((n, c, h, w): (usize, usize, usize, usize)) -> Self {
+        Shape::d4(n, c, h, w)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn len_and_rank() {
+        assert_eq!(Shape::d1(7).len(), 7);
+        assert_eq!(Shape::d2(2, 3).len(), 6);
+        assert_eq!(Shape::d4(2, 3, 4, 5).len(), 120);
+        assert_eq!(Shape::d4(2, 3, 4, 5).rank(), 4);
+    }
+
+    #[test]
+    fn strides_row_major() {
+        assert_eq!(Shape::d1(5).strides(), vec![1]);
+        assert_eq!(Shape::d2(4, 6).strides(), vec![6, 1]);
+        assert_eq!(Shape::d4(2, 3, 4, 5).strides(), vec![60, 20, 5, 1]);
+    }
+
+    #[test]
+    fn offset_walks_row_major() {
+        let s = Shape::d3(2, 3, 4);
+        assert_eq!(s.offset(&[0, 0, 0]), 0);
+        assert_eq!(s.offset(&[0, 0, 3]), 3);
+        assert_eq!(s.offset(&[0, 1, 0]), 4);
+        assert_eq!(s.offset(&[1, 2, 3]), 23);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn offset_rejects_out_of_bounds() {
+        Shape::d2(2, 2).offset(&[0, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "rank")]
+    fn new_rejects_rank_5() {
+        Shape::new(&[1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn zero_sized_dims_are_empty() {
+        assert!(Shape::d2(0, 4).is_empty());
+        assert_eq!(Shape::d2(0, 4).len(), 0);
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(Shape::d3(3, 32, 32).to_string(), "[3×32×32]");
+    }
+}

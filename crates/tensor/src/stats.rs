@@ -1,0 +1,111 @@
+//! Summary statistics used by range calibration.
+//!
+//! Ristretto-style dynamic fixed point picks a radix point from the dynamic
+//! range of each tensor; these helpers compute the ranges (and percentile
+//! variants, an ablation in `qnn-core`).
+
+use crate::tensor::Tensor;
+
+/// Minimum and maximum of a tensor, `None` if it is empty.
+pub fn min_max(t: &Tensor) -> Option<(f32, f32)> {
+    let s = t.as_slice();
+    if s.is_empty() {
+        return None;
+    }
+    let mut lo = s[0];
+    let mut hi = s[0];
+    for &v in &s[1..] {
+        if v < lo {
+            lo = v;
+        }
+        if v > hi {
+            hi = v;
+        }
+    }
+    Some((lo, hi))
+}
+
+/// Largest absolute value, `None` if the tensor is empty.
+pub fn abs_max(t: &Tensor) -> Option<f32> {
+    min_max(t).map(|(lo, hi)| lo.abs().max(hi.abs()))
+}
+
+/// Arithmetic mean, `None` if the tensor is empty.
+pub fn mean(t: &Tensor) -> Option<f32> {
+    if t.is_empty() {
+        None
+    } else {
+        Some(t.sum() / t.len() as f32)
+    }
+}
+
+/// Population standard deviation, `None` if the tensor is empty.
+pub fn std_dev(t: &Tensor) -> Option<f32> {
+    let m = mean(t)?;
+    let var = t.as_slice().iter().map(|&x| (x - m).powi(2)).sum::<f32>() / t.len() as f32;
+    Some(var.sqrt())
+}
+
+/// The `p`-th percentile (0.0–1.0) of the absolute values, by sorting.
+///
+/// Used by the percentile-calibration ablation: clipping the top fraction of
+/// outliers can buy fixed-point formats an extra fractional bit.
+///
+/// Returns `None` for an empty tensor.
+///
+/// # Panics
+///
+/// Panics if `p` is outside `[0, 1]` or any element is NaN.
+pub fn abs_percentile(t: &Tensor, p: f32) -> Option<f32> {
+    assert!((0.0..=1.0).contains(&p), "percentile must be in [0, 1]");
+    if t.is_empty() {
+        return None;
+    }
+    let mut mags: Vec<f32> = t.as_slice().iter().map(|x| x.abs()).collect();
+    mags.sort_by(|a, b| a.partial_cmp(b).expect("NaN in percentile input"));
+    let idx = ((mags.len() - 1) as f32 * p).round() as usize;
+    Some(mags[idx])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shape::Shape;
+
+    fn t(v: Vec<f32>) -> Tensor {
+        let n = v.len();
+        Tensor::from_vec(Shape::d1(n), v).unwrap()
+    }
+
+    #[test]
+    fn min_max_and_abs_max() {
+        let x = t(vec![-3.0, 1.0, 2.5]);
+        assert_eq!(min_max(&x), Some((-3.0, 2.5)));
+        assert_eq!(abs_max(&x), Some(3.0));
+        assert_eq!(min_max(&t(vec![])), None);
+    }
+
+    #[test]
+    fn mean_and_std() {
+        let x = t(vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(mean(&x), Some(2.5));
+        let sd = std_dev(&x).unwrap();
+        assert!((sd - 1.118).abs() < 1e-3);
+    }
+
+    #[test]
+    fn percentile_endpoints() {
+        let x = t(vec![-10.0, 1.0, 2.0, 3.0]);
+        assert_eq!(abs_percentile(&x, 1.0), Some(10.0));
+        assert_eq!(abs_percentile(&x, 0.0), Some(1.0));
+    }
+
+    #[test]
+    fn percentile_clips_outlier() {
+        // 99 small values and one huge outlier: the 95th percentile ignores it.
+        let mut v = vec![1.0f32; 99];
+        v.push(1000.0);
+        let x = t(v);
+        assert_eq!(abs_percentile(&x, 0.95), Some(1.0));
+    }
+}

@@ -1,0 +1,186 @@
+//! Property-based tests for the tensor substrate.
+
+use proptest::prelude::*;
+use qnn_tensor::conv::{col2im, conv2d, conv2d_backward, im2col, Geometry};
+use qnn_tensor::pool::{avg_pool2d, max_pool2d, max_pool2d_backward};
+use qnn_tensor::{Shape, Tensor};
+
+fn small_matrix() -> impl Strategy<Value = Tensor> {
+    (1usize..6, 1usize..6).prop_flat_map(|(m, n)| {
+        proptest::collection::vec(-10.0f32..10.0, m * n)
+            .prop_map(move |v| Tensor::from_vec(Shape::d2(m, n), v).unwrap())
+    })
+}
+
+fn image(c: usize, h: usize, w: usize) -> impl Strategy<Value = Tensor> {
+    proptest::collection::vec(-5.0f32..5.0, c * h * w)
+        .prop_map(move |v| Tensor::from_vec(Shape::d3(c, h, w), v).unwrap())
+}
+
+fn batch(n: usize, c: usize, h: usize, w: usize) -> impl Strategy<Value = Tensor> {
+    proptest::collection::vec(-5.0f32..5.0, n * c * h * w)
+        .prop_map(move |v| Tensor::from_vec(Shape::d4(n, c, h, w), v).unwrap())
+}
+
+proptest! {
+    #[test]
+    fn add_commutes(a in small_matrix()) {
+        let b = a.map(|x| x * 0.5 - 1.0);
+        let ab = a.add(&b).unwrap();
+        let ba = b.add(&a).unwrap();
+        prop_assert_eq!(ab, ba);
+    }
+
+    #[test]
+    fn transpose_is_involution(a in small_matrix()) {
+        prop_assert_eq!(a.transpose().unwrap().transpose().unwrap(), a);
+    }
+
+    #[test]
+    fn matmul_distributes_over_add(a in small_matrix()) {
+        // (A + A) · I == A·I + A·I (structure check with exact arithmetic on
+        // identity to avoid float-association noise).
+        let n = a.shape().dim(1);
+        let mut id = Tensor::zeros(Shape::d2(n, n));
+        for i in 0..n {
+            *id.at_mut(&[i, i]) = 1.0;
+        }
+        let lhs = a.add(&a).unwrap().matmul(&id).unwrap();
+        let rhs = a.matmul(&id).unwrap().add(&a.matmul(&id).unwrap()).unwrap();
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn scale_then_sum_is_linear(a in small_matrix(), k in -3.0f32..3.0) {
+        let lhs = a.scale(k).sum();
+        let rhs = a.sum() * k;
+        prop_assert!((lhs - rhs).abs() <= 1e-3 * (1.0 + rhs.abs()));
+    }
+
+    #[test]
+    fn im2col_col2im_adjoint(x in image(2, 6, 6), k in 1usize..4, s in 1usize..3, p in 0usize..2) {
+        let geom = Geometry { kh: k, kw: k, stride: s, pad: p, ceil: false };
+        if geom.output_hw(6, 6).is_err() { return Ok(()); }
+        let cols = im2col(&x, geom).unwrap();
+        // y = some function of cols
+        let y = cols.map(|v| v * 0.7 + 0.1);
+        let lhs = cols.dot(&y).unwrap();
+        let rhs = x.dot(&col2im(&y, 2, 6, 6, geom).unwrap()).unwrap();
+        prop_assert!((lhs - rhs).abs() < 1e-2 * (1.0 + lhs.abs()), "lhs={} rhs={}", lhs, rhs);
+    }
+
+    #[test]
+    fn conv_linearity_in_input(x in batch(1, 1, 5, 5), k in -2.0f32..2.0) {
+        let w = Tensor::ones(Shape::d4(2, 1, 3, 3));
+        let b = Tensor::zeros(Shape::d1(2));
+        let geom = Geometry::square(3, 1, 1);
+        let y1 = conv2d(&x.scale(k), &w, &b, geom).unwrap();
+        let y2 = conv2d(&x, &w, &b, geom).unwrap().scale(k);
+        for (a, b) in y1.as_slice().iter().zip(y2.as_slice()) {
+            prop_assert!((a - b).abs() < 1e-3 * (1.0 + b.abs()));
+        }
+    }
+
+    #[test]
+    fn conv_grad_bias_counts_pixels(x in batch(2, 1, 4, 4)) {
+        let w = Tensor::ones(Shape::d4(1, 1, 3, 3));
+        let geom = Geometry::square(3, 1, 0);
+        let y = conv2d(&x, &w, &Tensor::zeros(Shape::d1(1)), geom).unwrap();
+        let gout = Tensor::ones(y.shape().clone());
+        let (_, _, gb) = conv2d_backward(&x, &w, &gout, geom).unwrap();
+        // 2 samples × 2×2 output pixels each
+        prop_assert_eq!(gb.as_slice(), &[8.0]);
+    }
+
+    #[test]
+    fn max_pool_output_bounded_by_input(x in batch(1, 2, 6, 6)) {
+        let p = max_pool2d(&x, Geometry::square(2, 2, 0)).unwrap();
+        let (lo, hi) = qnn_tensor::stats::min_max(&x).unwrap();
+        for &v in p.output.as_slice() {
+            prop_assert!(v >= lo && v <= hi);
+        }
+    }
+
+    #[test]
+    fn max_pool_backward_preserves_grad_mass(x in batch(1, 1, 4, 4)) {
+        let p = max_pool2d(&x, Geometry::square(2, 2, 0)).unwrap();
+        let gout = Tensor::ones(p.output.shape().clone());
+        let gx = max_pool2d_backward(x.shape(), &p.argmax, &gout).unwrap();
+        prop_assert!((gx.sum() - gout.sum()).abs() < 1e-4);
+    }
+
+    #[test]
+    fn avg_pool_of_constant_is_constant(c in -4.0f32..4.0) {
+        let x = Tensor::full(Shape::d4(1, 1, 4, 4), c);
+        let y = avg_pool2d(&x, Geometry::square(2, 2, 0)).unwrap();
+        for &v in y.as_slice() {
+            prop_assert!((v - c).abs() < 1e-5);
+        }
+    }
+}
+
+/// Batched (threaded) convolution must equal per-sample (serial) results
+/// exactly — threading must not change any bit of the output.
+#[test]
+fn parallel_conv_matches_per_sample_serial() {
+    use qnn_tensor::conv::{conv2d, conv2d_backward};
+    let n = 9; // odd, > thread chunking boundaries
+    let x = Tensor::from_vec(
+        Shape::d4(n, 3, 10, 10),
+        (0..n * 300).map(|i| ((i as f32) * 0.173).sin()).collect(),
+    )
+    .unwrap();
+    let w = Tensor::from_vec(
+        Shape::d4(5, 3, 3, 3),
+        (0..135).map(|i| ((i as f32) * 0.71).cos() * 0.3).collect(),
+    )
+    .unwrap();
+    let b = Tensor::from_vec(Shape::d1(5), vec![0.1, -0.2, 0.3, 0.0, 0.5]).unwrap();
+    let geom = Geometry::square(3, 1, 1);
+    let batched = conv2d(&x, &w, &b, geom).unwrap();
+    let sample = 300;
+    let out_sample = 5 * 100;
+    for ni in 0..n {
+        let xi = Tensor::from_vec(
+            Shape::d4(1, 3, 10, 10),
+            x.as_slice()[ni * sample..(ni + 1) * sample].to_vec(),
+        )
+        .unwrap();
+        let yi = conv2d(&xi, &w, &b, geom).unwrap();
+        assert_eq!(
+            yi.as_slice(),
+            &batched.as_slice()[ni * out_sample..(ni + 1) * out_sample],
+            "sample {ni} differs between batched and serial conv"
+        );
+    }
+    // Backward: batched gradients equal the sum of per-sample gradients.
+    let gout = batched.map(|v| (v * 0.37).sin());
+    let (gx, gw, gb) = conv2d_backward(&x, &w, &gout, geom).unwrap();
+    let mut gw_sum = Tensor::zeros(w.shape().clone());
+    let mut gb_sum = Tensor::zeros(Shape::d1(5));
+    for ni in 0..n {
+        let xi = Tensor::from_vec(
+            Shape::d4(1, 3, 10, 10),
+            x.as_slice()[ni * sample..(ni + 1) * sample].to_vec(),
+        )
+        .unwrap();
+        let gi = Tensor::from_vec(
+            Shape::d4(1, 5, 10, 10),
+            gout.as_slice()[ni * out_sample..(ni + 1) * out_sample].to_vec(),
+        )
+        .unwrap();
+        let (gxi, gwi, gbi) = conv2d_backward(&xi, &w, &gi, geom).unwrap();
+        assert_eq!(
+            gxi.as_slice(),
+            &gx.as_slice()[ni * sample..(ni + 1) * sample]
+        );
+        gw_sum.axpy(1.0, &gwi).unwrap();
+        gb_sum.axpy(1.0, &gbi).unwrap();
+    }
+    for (a, b) in gw.as_slice().iter().zip(gw_sum.as_slice()) {
+        assert!((a - b).abs() < 1e-4 * (1.0 + b.abs()));
+    }
+    for (a, b) in gb.as_slice().iter().zip(gb_sum.as_slice()) {
+        assert!((a - b).abs() < 1e-4 * (1.0 + b.abs()));
+    }
+}

@@ -1,0 +1,26 @@
+//! Writes a small gallery of synthetic samples to `target/gallery/` as
+//! PGM/PPM files, so the MNIST/SVHN/CIFAR stand-ins can be inspected with
+//! any image viewer.
+//!
+//! Run with `cargo run --release --example dataset_gallery`.
+
+use qnn_data::{export, Dataset, DatasetKind};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let dir = std::path::Path::new("target/gallery");
+    for kind in [
+        DatasetKind::Glyphs28,
+        DatasetKind::HouseDigits32,
+        DatasetKind::TexturedObjects32,
+    ] {
+        let ds = Dataset::generate(kind, 20, 12345);
+        export::write_samples(&ds, dir, 20)?;
+        println!(
+            "wrote 20 {} samples ({} stand-in) to {}",
+            kind.name(),
+            kind.stands_in_for(),
+            dir.display()
+        );
+    }
+    Ok(())
+}

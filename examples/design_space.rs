@@ -1,0 +1,40 @@
+//! Regenerates the hardware-only artifacts: Table III (design metrics per
+//! precision) and Figure 3 (area/power breakdown by synthesis category),
+//! printing model values next to the paper's published numbers.
+//!
+//! This runs in milliseconds — no training involved.
+//!
+//! Run with `cargo run --release --example design_space`.
+
+use qnn_core::experiments::{
+    breakdown, design_metrics, minifloat_sweep, BreakdownRow, DesignRow, ExperimentScale,
+    MinifloatRow,
+};
+use qnn_quant::Precision;
+
+fn main() {
+    println!("## Table III — design metrics of the evaluated precisions\n");
+    let rows = design_metrics();
+    println!("{}", DesignRow::render(&rows));
+
+    println!("\n## Figure 3 — area & power breakdown by category\n");
+    let bars = breakdown();
+    println!("{}", BreakdownRow::render(&bars));
+
+    println!("\n## Future-work extension — custom float geometries\n");
+    match minifloat_sweep(false, ExperimentScale::Smoke, 1) {
+        Ok(rows) => println!("{}", MinifloatRow::render(&rows)),
+        Err(e) => println!("minifloat sweep failed: {e}"),
+    }
+
+    println!("\n## Buffer dominance (paper §V-B: 75–93% power, 76–96% area)\n");
+    for p in Precision::paper_sweep() {
+        let d = qnn_accel::AcceleratorDesign::new(p);
+        println!(
+            "{:26} buffers: {:4.1}% of power, {:4.1}% of area",
+            p.label(),
+            d.buffer_power_fraction() * 100.0,
+            d.buffer_area_fraction() * 100.0
+        );
+    }
+}

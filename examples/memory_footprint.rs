@@ -1,0 +1,18 @@
+//! Regenerates the §V-B memory-footprint numbers: parameter memory of all
+//! five paper networks at every precision, and the 2–32× reduction claim.
+//!
+//! Run with `cargo run --release --example memory_footprint`.
+
+use qnn_core::experiments::{memory_report, MemoryRow};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let rows = memory_report()?;
+    println!("## §V-B — parameter memory per network per precision\n");
+    println!("{}", MemoryRow::render(&rows));
+    println!("\npaper quotes at float32: LeNet ≈1650 KB, ConvNet ≈2150 KB, ALEX ≈350 KB,");
+    println!("                         ALEX+ ≈1250 KB, ALEX++ ≈9400 KB");
+    for r in &rows {
+        println!("{:10} float32: {:7.0} KiB", r.network, r.float32_kib);
+    }
+    Ok(())
+}

@@ -1,0 +1,39 @@
+//! Regenerates the paper's headline result: Table V and the Figure 4
+//! Pareto frontier on the CIFAR-class benchmark — expanded low-precision
+//! networks (ALEX+ / ALEX++) dominating the full-precision baseline in
+//! both accuracy and energy.
+//!
+//! Run with `cargo run --release --example pareto_cifar [smoke|reduced]`
+//! (default smoke; reduced takes several minutes).
+
+use qnn_core::experiments::{table5, ExperimentScale, Table5Row};
+use qnn_core::pareto::pareto_frontier;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let scale = match std::env::args().nth(1).as_deref() {
+        Some("reduced") => ExperimentScale::Reduced,
+        Some("full") => ExperimentScale::Full,
+        _ => ExperimentScale::Smoke,
+    };
+    println!("scale: {scale:?} (accuracy side; energy always uses full Table I/II networks)\n");
+
+    let rows = table5(scale, 99)?;
+    println!("## Table V — CIFAR-class accuracy/energy\n");
+    println!("{}", Table5Row::render(&rows));
+
+    let points = Table5Row::to_design_points(&rows);
+    let frontier = pareto_frontier(&points);
+    println!("\n## Figure 4 — Pareto frontier (energy µJ → accuracy %)\n");
+    for p in &points {
+        let on = frontier.iter().any(|f| f == p);
+        println!(
+            "{} {:28} {:9.2} µJ   {:5.1}%",
+            if on { "*" } else { " " },
+            p.label,
+            p.energy_uj,
+            p.accuracy_pct
+        );
+    }
+    println!("\n(* = Pareto-optimal; paper's frontier is led by Powers of Two++ (6,16))");
+    Ok(())
+}

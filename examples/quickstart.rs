@@ -1,0 +1,70 @@
+//! Quickstart: the paper's pipeline end to end in under a minute.
+//!
+//! 1. Synthesize the accelerator at two precisions and compare design
+//!    metrics (Table III's question).
+//! 2. Train a small network on the MNIST stand-in at full precision, then
+//!    retrain it quantization-aware at fixed-point (8,8) (Table IV's
+//!    question).
+//! 3. Price one inference on each design (the energy column).
+//!
+//! Run with `cargo run --release --example quickstart`.
+
+use qnn::prelude::*;
+use qnn_data::{standard_splits, DatasetKind};
+use qnn_nn::{QatConfig, TrainerConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // --- 1. Hardware: what does 8-bit fixed point buy? --------------------
+    let fp32 = AcceleratorDesign::new(Precision::float32());
+    let fix8 = AcceleratorDesign::new(Precision::fixed(8, 8));
+    let (rf, r8) = (fp32.report(), fix8.report());
+    println!(
+        "accelerator @ float32     : {:6.2} mm², {:7.1} mW",
+        rf.area_mm2, rf.power_mw
+    );
+    println!(
+        "accelerator @ fixed (8,8) : {:6.2} mm², {:7.1} mW  ({:.1}% area, {:.1}% power saved)",
+        r8.area_mm2, r8.power_mw, r8.area_saving_pct, r8.power_saving_pct
+    );
+
+    // --- 2. Accuracy: full-precision training, then 8-bit QAT -------------
+    let splits = standard_splits(DatasetKind::Glyphs28, 800, 400, 42);
+    let spec = zoo::lenet_small();
+    let trainer = Trainer::new(TrainerConfig {
+        epochs: 5,
+        batch_size: 32,
+        lr: 0.05,
+        ..TrainerConfig::default()
+    });
+    let mut net = Network::build(&spec, 7)?;
+    trainer.train(&mut net, splits.train.images(), splits.train.labels())?;
+    let fp_acc = trainer.evaluate(&mut net, splits.test.images(), splits.test.labels())?;
+    println!(
+        "\nfull-precision test accuracy     : {:.1}%",
+        fp_acc * 100.0
+    );
+
+    let qat = QatConfig::new(Precision::fixed(8, 8));
+    trainer.train_qat(
+        &mut net,
+        &qat,
+        splits.train.images(),
+        splits.train.labels(),
+        64,
+    )?;
+    let q_acc = trainer.evaluate(&mut net, splits.test.images(), splits.test.labels())?;
+    println!("fixed (8,8) QAT test accuracy    : {:.1}%", q_acc * 100.0);
+
+    // --- 3. Energy: price one LeNet inference on each design --------------
+    let workload = zoo::lenet().workload()?;
+    let e_fp = fp32.energy_per_image(&workload);
+    let e_q8 = fix8.energy_per_image(&workload);
+    println!(
+        "\nLeNet inference: {:.2} µJ @ float32, {:.2} µJ @ fixed (8,8) ({:.1}% saved)",
+        e_fp.total_uj(),
+        e_q8.total_uj(),
+        e_q8.saving_vs(&e_fp)
+    );
+    println!("paper's Table IV row:      60.74 µJ @ float32,  8.86 µJ @ fixed (8,8) (85.4% saved)");
+    Ok(())
+}

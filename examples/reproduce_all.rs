@@ -1,0 +1,116 @@
+//! Regenerates every artifact of the paper in one run and prints them
+//! paper-vs-measured — the script behind EXPERIMENTS.md.
+//!
+//! ```text
+//! cargo run --release --example reproduce_all [smoke|reduced|full]
+//! ```
+//!
+//! `reduced` (default) takes tens of minutes on a laptop CPU; `full`
+//! trains the exact Table I/II architectures and takes hours.
+
+use qnn_core::experiments::{
+    breakdown, design_metrics, memory_report, table4, table5, BreakdownRow, DesignRow,
+    ExperimentScale, MemoryRow, Table5Row,
+};
+use qnn_core::pareto::pareto_frontier;
+
+fn write_csv(
+    dir: &std::path::Path,
+    name: &str,
+    headers: &[&str],
+    rows: &[Vec<String>],
+) -> std::io::Result<()> {
+    std::fs::create_dir_all(dir)?;
+    std::fs::write(dir.join(name), qnn_core::report::csv(headers, rows))
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let scale = match std::env::args().nth(1).as_deref() {
+        Some("smoke") => ExperimentScale::Smoke,
+        Some("full") => ExperimentScale::Full,
+        _ => ExperimentScale::Reduced,
+    };
+    let results = std::path::Path::new("results");
+    println!("# qnn — full reproduction run (accuracy scale: {scale:?})\n");
+
+    println!("## Table III — design metrics\n");
+    let t3 = design_metrics();
+    println!("{}", DesignRow::render(&t3));
+    write_csv(
+        results,
+        "table3.csv",
+        &[
+            "precision",
+            "area_mm2",
+            "paper_area_mm2",
+            "power_mw",
+            "paper_power_mw",
+        ],
+        &t3.iter()
+            .map(|r| {
+                vec![
+                    r.precision.label(),
+                    format!("{:.3}", r.area_mm2),
+                    format!("{:.3}", r.paper_area_mm2),
+                    format!("{:.2}", r.power_mw),
+                    format!("{:.2}", r.paper_power_mw),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    )?;
+
+    println!("\n## Figure 3 — area/power breakdown\n");
+    println!("{}", BreakdownRow::render(&breakdown()));
+
+    println!("\n## §V-B — memory footprints\n");
+    println!("{}", MemoryRow::render(&memory_report()?));
+
+    println!("\n## Table IV — MNIST-/SVHN-class (training...)\n");
+    let t4 = table4(scale, 42)?;
+    println!("{}", t4.render());
+
+    println!("\n## Table V — CIFAR-class (training...)\n");
+    let rows = table5(scale, 42)?;
+    println!("{}", Table5Row::render(&rows));
+    write_csv(
+        results,
+        "table5.csv",
+        &[
+            "network",
+            "precision",
+            "accuracy_pct",
+            "energy_uj",
+            "energy_saving_pct",
+        ],
+        &rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.network.clone(),
+                    r.precision.label(),
+                    r.accuracy_pct
+                        .map(|a| format!("{a:.2}"))
+                        .unwrap_or_else(|| "NA".into()),
+                    format!("{:.2}", r.energy_uj),
+                    format!("{:.2}", r.energy_saving_pct),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    )?;
+    println!("\n(csv artifacts written to results/)");
+
+    println!("\n## Figure 4 — Pareto frontier of the generated Table V points\n");
+    let pts = Table5Row::to_design_points(&rows);
+    let frontier = pareto_frontier(&pts);
+    for p in &pts {
+        let on = frontier.iter().any(|f| f == p);
+        println!(
+            "{} {:32} {:9.2} uJ  {:5.1}%",
+            if on { "*" } else { " " },
+            p.label,
+            p.energy_uj,
+            p.accuracy_pct
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,65 @@
+#![warn(missing_docs)]
+
+//! # qnn — precision quantization for neural-network accelerators
+//!
+//! A reproduction of *"Understanding the Impact of Precision Quantization on
+//! the Accuracy and Energy of Neural Networks"* (Hashemi et al., DATE 2017).
+//!
+//! This facade crate re-exports the whole workspace under one roof:
+//!
+//! * [`tensor`] — the dense f32 tensor substrate (convolution, pooling,
+//!   matmul) that the network library is built on.
+//! * [`quant`] — the numeric formats studied by the paper: fixed-point
+//!   Q-formats, power-of-two weight codes, binary weights, and bit-accurate
+//!   minifloats, plus range calibration and straight-through estimators.
+//! * [`nn`] — convolutional network layers, backprop, SGD, and
+//!   quantization-aware training; the model zoo holds the paper's Table I
+//!   and Table II architectures (LeNet, ConvNet, ALEX, ALEX+, ALEX++).
+//! * [`data`] — procedural stand-ins for MNIST / SVHN / CIFAR-10 with
+//!   matched shapes and graded difficulty.
+//! * [`hw`] — a 65 nm component library and synthesis-style area/power
+//!   estimator calibrated against the paper's Table III.
+//! * [`accel`] — the DianNao-style 16×16 tile accelerator: buffer
+//!   subsystems, per-precision weight blocks, cycle model, per-image energy.
+//! * [`core`] — the experiment harness that regenerates every table and
+//!   figure in the paper's evaluation section.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use qnn::prelude::*;
+//!
+//! # fn main() -> Result<(), qnn::nn::NnError> {
+//! // Hardware side: how much area/power does an 8-bit fixed-point
+//! // accelerator need, and what does it save vs. 32-bit float?
+//! let fp32 = AcceleratorDesign::new(Precision::float32()).report();
+//! let fix8 = AcceleratorDesign::new(Precision::fixed(8, 8)).report();
+//! assert!(fix8.power_mw < fp32.power_mw / 4.0);
+//!
+//! // Workload side: per-image energy of LeNet on that design.
+//! let workload = zoo::lenet().workload()?;
+//! let energy = AcceleratorDesign::new(Precision::fixed(8, 8))
+//!     .energy_per_image(&workload);
+//! assert!(energy.total_uj() > 0.0);
+//! # Ok(())
+//! # }
+//! ```
+pub use qnn_accel as accel;
+pub use qnn_core as core;
+pub use qnn_data as data;
+pub use qnn_hw as hw;
+pub use qnn_nn as nn;
+pub use qnn_quant as quant;
+pub use qnn_tensor as tensor;
+
+/// Convenient single-import surface for examples and downstream users.
+pub mod prelude {
+    pub use qnn_accel::{AcceleratorConfig, AcceleratorDesign, EnergyBreakdown};
+    pub use qnn_core::experiments;
+    pub use qnn_core::pareto::{pareto_frontier, DesignPoint};
+    pub use qnn_data::{Dataset, DatasetKind};
+    pub use qnn_nn::zoo;
+    pub use qnn_nn::{Network, QatConfig, Sgd, Trainer};
+    pub use qnn_quant::{Binary, Fixed, Minifloat, PowerOfTwo, Precision, Quantizer};
+    pub use qnn_tensor::Tensor;
+}

@@ -1,0 +1,95 @@
+//! `qnn` — command-line front-end for the reproduction harness.
+//!
+//! ```text
+//! qnn table3                  # design metrics per precision (Table III)
+//! qnn fig3                    # area/power breakdown (Figure 3)
+//! qnn table4 [scale]          # MNIST/SVHN-class accuracy+energy (Table IV)
+//! qnn table5 [scale]          # CIFAR-class + expanded networks (Table V)
+//! qnn fig4 [scale]            # Pareto frontier (Figure 4)
+//! qnn memory                  # §V-B parameter-memory report
+//! qnn minifloat               # future-work custom-float sweep
+//! qnn tiles                   # tile-size design-space extension
+//! qnn all [scale]             # everything, in paper order
+//! ```
+//!
+//! `scale` ∈ `smoke` (seconds) | `reduced` (default, minutes) | `full`
+//! (hours); it affects only the *training* side — hardware numbers always
+//! use the full Table I/II architectures.
+
+use qnn_core::experiments::{
+    breakdown, design_metrics, memory_report, minifloat_sweep, table4, table5, tile_scaling,
+    BreakdownRow, DesignRow, ExperimentScale, MemoryRow, MinifloatRow, Table5Row, TileRow,
+};
+use qnn_core::pareto::pareto_frontier;
+use qnn_quant::Precision;
+
+fn parse_scale(arg: Option<&str>) -> ExperimentScale {
+    match arg {
+        Some("smoke") => ExperimentScale::Smoke,
+        Some("full") => ExperimentScale::Full,
+        _ => ExperimentScale::Reduced,
+    }
+}
+
+fn run(cmd: &str, scale: ExperimentScale) -> Result<(), Box<dyn std::error::Error>> {
+    match cmd {
+        "table3" => println!("{}", DesignRow::render(&design_metrics())),
+        "fig3" => println!("{}", BreakdownRow::render(&breakdown())),
+        "memory" => println!("{}", MemoryRow::render(&memory_report()?)),
+        "minifloat" => println!(
+            "{}",
+            MinifloatRow::render(&minifloat_sweep(false, scale, 1)?)
+        ),
+        "tiles" => println!(
+            "{}",
+            TileRow::render(&tile_scaling(Precision::fixed(16, 16))?)
+        ),
+        "table4" => println!("{}", table4(scale, 42)?.render()),
+        "table5" => println!("{}", Table5Row::render(&table5(scale, 42)?)),
+        "fig4" => {
+            let rows = table5(scale, 42)?;
+            let pts = Table5Row::to_design_points(&rows);
+            let frontier = pareto_frontier(&pts);
+            for p in &pts {
+                let on = frontier.iter().any(|f| f == p);
+                println!(
+                    "{} {:32} {:9.2} uJ  {:5.1}%",
+                    if on { "*" } else { " " },
+                    p.label,
+                    p.energy_uj,
+                    p.accuracy_pct
+                );
+            }
+        }
+        "all" => {
+            for c in [
+                "table3",
+                "fig3",
+                "memory",
+                "minifloat",
+                "tiles",
+                "table4",
+                "table5",
+                "fig4",
+            ] {
+                println!("\n== {c} ==\n");
+                run(c, scale)?;
+            }
+        }
+        other => {
+            eprintln!("unknown command `{other}`");
+            eprintln!(
+                "usage: qnn <table3|fig3|table4|table5|fig4|memory|minifloat|tiles|all> [smoke|reduced|full]"
+            );
+            std::process::exit(2);
+        }
+    }
+    Ok(())
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args: Vec<String> = std::env::args().collect();
+    let cmd = args.get(1).map(String::as_str).unwrap_or("table3");
+    let scale = parse_scale(args.get(2).map(String::as_str));
+    run(cmd, scale)
+}

@@ -1,0 +1,135 @@
+//! End-to-end integration tests: the full experiment pipeline at smoke
+//! scale, across all crates through the facade.
+
+use qnn::prelude::*;
+use qnn_core::experiments::{self, ExperimentScale};
+use qnn_data::standard_splits;
+
+/// The complete Table IV pipeline at smoke scale: both benchmarks, all
+/// seven precisions, energies referenced to float32.
+#[test]
+fn table4_pipeline_smoke() {
+    let t = experiments::table4(ExperimentScale::Smoke, 2).unwrap();
+    assert_eq!(t.mnist.len(), 7);
+    assert_eq!(t.svhn.len(), 7);
+    // The float32 row defines the zero-saving reference.
+    assert!(t.mnist[0].energy_saving_pct.abs() < 1e-9);
+    // Glyphs at fixed (16,16) should track FP closely even at smoke scale.
+    let fp = t.mnist[0].accuracy_pct;
+    let f16 = t.mnist[2].accuracy_pct;
+    if let (Some(a), Some(b)) = (fp, f16) {
+        assert!((a - b).abs() < 25.0, "fp {a} vs fixed16 {b}");
+    }
+    // Energy rows must reproduce the paper's ordering exactly.
+    let energies: Vec<f64> = t.mnist.iter().map(|r| r.energy_uj).collect();
+    assert!(energies[0] > energies[2]); // fp32 > fixed16
+    assert!(energies[2] > energies[3]); // fixed16 > fixed8
+    assert!(energies[3] > energies[6]); // fixed8 > binary
+}
+
+/// Table V + Figure 4 at smoke scale: the pareto machinery consumes the
+/// generated rows.
+#[test]
+fn table5_and_pareto_pipeline_smoke() {
+    let rows = experiments::table5(ExperimentScale::Smoke, 3).unwrap();
+    assert_eq!(rows.len(), 16);
+    let points = qnn_core::experiments::Table5Row::to_design_points(&rows);
+    assert!(!points.is_empty());
+    let frontier = pareto_frontier(&points);
+    assert!(!frontier.is_empty());
+    assert!(frontier.len() <= points.len());
+    // Frontier energies are strictly increasing and accuracies
+    // non-decreasing (the defining property of a 2-d Pareto set).
+    for w in frontier.windows(2) {
+        assert!(w[0].energy_uj <= w[1].energy_uj);
+        assert!(w[0].accuracy_pct <= w[1].accuracy_pct);
+    }
+}
+
+/// QAT through the facade: FP32 pre-train → binary retrain on the easy
+/// set stays usable (the paper's MNIST binary row actually *gains*
+/// accuracy).
+#[test]
+fn binary_qat_on_easy_set_via_facade() {
+    let splits = standard_splits(DatasetKind::Glyphs28, 500, 300, 7);
+    let trainer = Trainer::new(qnn_nn::TrainerConfig {
+        epochs: 5,
+        batch_size: 32,
+        lr: 0.05,
+        ..Default::default()
+    });
+    let mut net = Network::build(&zoo::lenet_small(), 5).unwrap();
+    trainer
+        .train(&mut net, splits.train.images(), splits.train.labels())
+        .unwrap();
+    let fp_acc = trainer
+        .evaluate(&mut net, splits.test.images(), splits.test.labels())
+        .unwrap();
+    let report = trainer
+        .train_qat(
+            &mut net,
+            &QatConfig::new(Precision::binary()),
+            splits.train.images(),
+            splits.train.labels(),
+            64,
+        )
+        .unwrap();
+    assert_eq!(report.outcome, qnn_nn::TrainOutcome::Converged);
+    let bin_acc = trainer
+        .evaluate(&mut net, splits.test.images(), splits.test.labels())
+        .unwrap();
+    assert!(
+        bin_acc > fp_acc - 0.25,
+        "binary {bin_acc} collapsed vs fp {fp_acc}"
+    );
+}
+
+/// The difficulty gradient that carries the paper's qualitative accuracy
+/// story: fixed-point (4,4) survives the MNIST-class set but fails (or
+/// collapses) on the harder SVHN-class set — the paper's NA cells.
+#[test]
+fn difficulty_gradient_for_aggressive_quantization() {
+    let scale = ExperimentScale::Smoke;
+    let run = |kind: DatasetKind, seed: u64| -> Vec<Option<f32>> {
+        let (c, h, w) = kind.input_shape();
+        let spec = qnn_nn::arch::NetworkSpec::new("probe", (c, h, w))
+            .conv(8, 5, 1, 2)
+            .relu()
+            .max_pool(2, 2)
+            .dense(10);
+        let (n_train, n_test) = scale.samples();
+        let splits = standard_splits(kind, n_train, n_test, seed);
+        experiments::accuracy_sweep(
+            &spec,
+            &splits,
+            &[
+                Precision::float32(),
+                Precision::fixed(8, 8),
+                Precision::fixed(4, 4),
+            ],
+            scale,
+            seed,
+        )
+        .unwrap()
+        .into_iter()
+        .map(|p| p.accuracy_pct)
+        .collect()
+    };
+    // Easy set: everything converges well above chance, 4-bit close to FP.
+    let glyphs = run(DatasetKind::Glyphs28, 31);
+    for (i, acc) in glyphs.iter().enumerate() {
+        let a = acc.expect("glyphs must converge at every precision");
+        assert!(a > 50.0, "glyphs precision #{i} at {a}%");
+    }
+    // Hard set: 4-bit either diverges outright (the paper's NA) or lands
+    // far below the easy set's 4-bit result.
+    let house = run(DatasetKind::HouseDigits32, 32);
+    let glyphs_q4 = glyphs[2].unwrap();
+    match house[2] {
+        None => {} // NA — exactly the paper's SVHN (4,4) cell
+        Some(a) => assert!(
+            a < glyphs_q4 - 20.0,
+            "4-bit on the hard set should collapse: {a}% vs glyphs {glyphs_q4}%"
+        ),
+    }
+}

@@ -1,0 +1,161 @@
+//! Cross-crate integration tests of the paper's hardware-side claims —
+//! fast (no training), exercising the public facade the way a downstream
+//! user would.
+
+use qnn::prelude::*;
+use qnn::{accel, hw, nn};
+
+/// Table III: every published row within model tolerance, via the facade.
+#[test]
+fn table3_rows_within_tolerance() {
+    for row in accel::paper::table3() {
+        let m = AcceleratorDesign::new(row.precision).report();
+        assert!(
+            (m.area_mm2 - row.area_mm2).abs() / row.area_mm2 < 0.08,
+            "{}: area {:.2} vs {:.2}",
+            row.precision.label(),
+            m.area_mm2,
+            row.area_mm2
+        );
+        assert!(
+            (m.power_mw - row.power_mw).abs() / row.power_mw < 0.13,
+            "{}: power {:.1} vs {:.1}",
+            row.precision.label(),
+            m.power_mw,
+            row.power_mw
+        );
+    }
+}
+
+/// §V-A: buffers dominate both area and power for every precision.
+#[test]
+fn buffers_dominate_area_and_power() {
+    for p in Precision::paper_sweep() {
+        let design = AcceleratorDesign::new(p).synthesize();
+        let mem_area = design.area_fraction(hw::Category::Memory);
+        let mem_power = design.power_fraction(hw::Category::Memory);
+        for c in [
+            hw::Category::Registers,
+            hw::Category::Combinational,
+            hw::Category::BufInv,
+        ] {
+            assert!(mem_area > design.area_fraction(c), "{}", p.label());
+            assert!(mem_power > design.power_fraction(c), "{}", p.label());
+        }
+    }
+}
+
+/// Table IV energy column: per-image energies of LeNet/ConvNet within 35 %
+/// of the published values, and savings within a few points.
+#[test]
+fn table4_energy_columns() {
+    let lenet_wl = zoo::lenet().workload().unwrap();
+    let convnet_wl = zoo::convnet().workload().unwrap();
+    let base_lenet = AcceleratorDesign::new(Precision::float32()).energy_per_image(&lenet_wl);
+    let base_convnet = AcceleratorDesign::new(Precision::float32()).energy_per_image(&convnet_wl);
+    for (p, mnist_uj, svhn_uj) in accel::paper::table4_energies() {
+        let d = AcceleratorDesign::new(p);
+        if let Some(want) = mnist_uj {
+            let e = d.energy_per_image(&lenet_wl);
+            assert!(
+                (e.total_uj() - want).abs() / want < 0.35,
+                "{} lenet: {:.2} vs {:.2}",
+                p.label(),
+                e.total_uj(),
+                want
+            );
+            // Savings are ratios and must track tightly.
+            if p.is_quantized() {
+                let want_saving = (1.0 - want / 60.74) * 100.0;
+                let got_saving = e.saving_vs(&base_lenet);
+                assert!(
+                    (got_saving - want_saving).abs() < 6.0,
+                    "{} lenet saving: {got_saving:.1} vs {want_saving:.1}",
+                    p.label()
+                );
+            }
+        }
+        if let Some(want) = svhn_uj {
+            let e = d.energy_per_image(&convnet_wl);
+            assert!(
+                (e.total_uj() - want).abs() / want < 0.35,
+                "{} convnet: {:.2} vs {:.2}",
+                p.label(),
+                e.total_uj(),
+                want
+            );
+            let _ = &base_convnet;
+        }
+    }
+}
+
+/// §V-B: parameter memory shrinks linearly with weight precision, 2–32×.
+#[test]
+fn memory_reduction_claim() {
+    for spec in zoo::all_paper_networks() {
+        let r16 = nn::memory::reduction_vs_float32(&spec, Precision::fixed(16, 16)).unwrap();
+        let r8 = nn::memory::reduction_vs_float32(&spec, Precision::fixed(8, 8)).unwrap();
+        let rbin = nn::memory::reduction_vs_float32(&spec, Precision::binary()).unwrap();
+        assert!(r16 > 1.9 && r16 <= 2.0, "{}: {r16}", spec.name());
+        assert!(r8 > 3.7 && r8 <= 4.0, "{}: {r8}", spec.name());
+        assert!(rbin > 15.0 && rbin <= 32.0, "{}: {rbin}", spec.name());
+    }
+}
+
+/// Figure 4's geometric claim, using the paper's own published points:
+/// expanded low-precision networks dominate the FP32 baseline.
+#[test]
+fn paper_points_show_expansion_dominance() {
+    let rows = qnn::core::paper::table5();
+    let points: Vec<DesignPoint> = rows
+        .iter()
+        .map(|(net, p, acc, e)| DesignPoint::new(format!("{} {}", p.label(), net), *acc, *e))
+        .collect();
+    let frontier = pareto_frontier(&points);
+    // The FP32 baseline is NOT on the frontier — pow2++ dominates it.
+    assert!(
+        !frontier.iter().any(|d| d.label.contains("Floating-Point")),
+        "frontier: {:?}",
+        frontier.iter().map(|d| &d.label).collect::<Vec<_>>()
+    );
+    assert!(frontier
+        .iter()
+        .any(|d| d.label.contains("Powers of Two (6,16) alex++")));
+}
+
+/// The runtime claim: per-image processing time is nearly constant across
+/// precisions at fixed frequency.
+#[test]
+fn runtime_constant_across_precisions() {
+    for spec in [zoo::lenet(), zoo::convnet(), zoo::alex()] {
+        let wl = spec.workload().unwrap();
+        let times: Vec<f64> = Precision::paper_sweep()
+            .into_iter()
+            .map(|p| AcceleratorDesign::new(p).energy_per_image(&wl).runtime_us())
+            .collect();
+        let min = times.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = times.iter().cloned().fold(0.0f64, f64::max);
+        assert!((max - min) / max < 0.01, "{}: {times:?}", spec.name());
+    }
+}
+
+/// The facade's prelude exposes a coherent API surface.
+#[test]
+fn prelude_surface_compiles_and_works() {
+    let ds = Dataset::generate(DatasetKind::Glyphs28, 10, 1);
+    assert_eq!(ds.len(), 10);
+    let net = Network::build(&zoo::lenet_small(), 1).unwrap();
+    assert!(net.param_count() > 0);
+    let q = Fixed::new(8, 4).unwrap();
+    assert_eq!(q.quantize_value(0.5), 0.5);
+    let _ = (
+        Binary::new(),
+        PowerOfTwo::new(6, 0).unwrap(),
+        Minifloat::new(5, 10).unwrap(),
+    );
+    let _ = Sgd::new(0.1);
+    let _: AcceleratorConfig = AcceleratorConfig::default();
+    let _ = experiments::ExperimentScale::Smoke;
+    let _: EnergyBreakdown = AcceleratorDesign::new(Precision::binary())
+        .energy_per_image(&zoo::lenet().workload().unwrap());
+}
