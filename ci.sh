@@ -1,0 +1,21 @@
+#!/usr/bin/env sh
+# Offline CI gate: formatting, lints, release build, full test suite.
+# Everything runs with --offline — the workspace has zero external
+# dependencies, so no network access is ever needed.
+set -eu
+
+cd "$(dirname "$0")"
+
+echo "== cargo fmt --check =="
+cargo fmt --all -- --check
+
+echo "== cargo clippy (-D warnings) =="
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
+echo "== cargo build --release =="
+cargo build --workspace --release --offline
+
+echo "== cargo test =="
+cargo test --workspace -q --offline
+
+echo "CI gate passed."

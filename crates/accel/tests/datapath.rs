@@ -1,69 +1,101 @@
 //! Property tests pinning the bit-accurate integer datapaths to the f32
 //! fake-quantized reference over random formats and operand vectors —
-//! the "extensive simulations" of the paper's §V-A.
+//! the "extensive simulations" of the paper's §V-A. Run as deterministic
+//! seeded loops (≥256 cases each).
 
-use proptest::prelude::*;
 use qnn_accel::nfu::{binary_dot_exact, fixed_dot_exact, pow2_dot_exact, reference_dot};
 use qnn_quant::{Binary, Fixed, PowerOfTwo, Quantizer};
+use qnn_tensor::rng::{derive_seed, seeded, Rng};
 
-fn operands(n: usize) -> impl Strategy<Value = (Vec<f32>, Vec<f32>)> {
-    (
-        proptest::collection::vec(-4.0f32..4.0, n),
-        proptest::collection::vec(-1.0f32..1.0, n),
-    )
+const CASES: u64 = 256;
+
+/// Runs `f` once per case with an independent child-stream RNG.
+fn cases(suite_seed: u64, f: impl Fn(&mut Rng)) {
+    for case in 0..CASES {
+        let mut rng = seeded(derive_seed(suite_seed, case));
+        f(&mut rng);
+    }
 }
 
-proptest! {
-    #[test]
-    fn fixed_integer_path_equals_reference(
-        (xs, ws) in operands(64),
-        in_bits in 4u32..=16,
-        in_frac in 0i32..12,
-        w_bits in 2u32..=16,
-        w_frac in 0i32..12,
-    ) {
-        let in_fmt = Fixed::new(in_bits, in_frac).unwrap();
-        let w_fmt = Fixed::new(w_bits, w_frac).unwrap();
+fn operands(n: usize, rng: &mut Rng) -> (Vec<f32>, Vec<f32>) {
+    let xs = (0..n).map(|_| rng.gen_range(-4.0f32..4.0)).collect();
+    let ws = (0..n).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+    (xs, ws)
+}
+
+#[test]
+fn fixed_integer_path_equals_reference() {
+    cases(0x80, |rng| {
+        let (xs, ws) = operands(64, rng);
+        let in_fmt = Fixed::new(rng.gen_range(4u32..=16), rng.gen_range(0i32..12)).unwrap();
+        let w_fmt = Fixed::new(rng.gen_range(2u32..=16), rng.gen_range(0i32..12)).unwrap();
         let exact = fixed_dot_exact(&xs, &ws, in_fmt, w_fmt);
-        let reference = reference_dot(&xs, &ws,
-            |x| in_fmt.quantize_value(x), |w| w_fmt.quantize_value(w));
-        prop_assert!((exact - reference).abs() < 1e-4 * (1.0 + reference.abs()),
-            "exact {} vs reference {}", exact, reference);
-    }
+        let reference = reference_dot(
+            &xs,
+            &ws,
+            |x| in_fmt.quantize_value(x),
+            |w| w_fmt.quantize_value(w),
+        );
+        assert!(
+            (exact - reference).abs() < 1e-4 * (1.0 + reference.abs()),
+            "exact {} vs reference {}",
+            exact,
+            reference
+        );
+    });
+}
 
-    #[test]
-    fn pow2_shift_path_equals_reference(
-        (xs, ws) in operands(64),
-        w_bits in 3u32..=6,
-        max_exp in -2i32..4,
-    ) {
+#[test]
+fn pow2_shift_path_equals_reference() {
+    cases(0x81, |rng| {
+        let (xs, ws) = operands(64, rng);
         let in_fmt = Fixed::new(16, 10).unwrap();
-        let w_fmt = PowerOfTwo::new(w_bits, max_exp).unwrap();
+        let w_fmt = PowerOfTwo::new(rng.gen_range(3u32..=6), rng.gen_range(-2i32..4)).unwrap();
         let exact = pow2_dot_exact(&xs, &ws, in_fmt, w_fmt);
-        let reference = reference_dot(&xs, &ws,
-            |x| in_fmt.quantize_value(x), |w| w_fmt.quantize_value(w));
-        prop_assert!((exact - reference).abs() < 1e-3 * (1.0 + reference.abs()),
-            "exact {} vs reference {}", exact, reference);
-    }
+        let reference = reference_dot(
+            &xs,
+            &ws,
+            |x| in_fmt.quantize_value(x),
+            |w| w_fmt.quantize_value(w),
+        );
+        assert!(
+            (exact - reference).abs() < 1e-3 * (1.0 + reference.abs()),
+            "exact {} vs reference {}",
+            exact,
+            reference
+        );
+    });
+}
 
-    #[test]
-    fn binary_negate_path_equals_reference(
-        (xs, ws) in operands(64),
-        scale in 0.01f32..2.0,
-    ) {
+#[test]
+fn binary_negate_path_equals_reference() {
+    cases(0x82, |rng| {
+        let (xs, ws) = operands(64, rng);
+        let scale = rng.gen_range(0.01f32..2.0);
         let in_fmt = Fixed::new(16, 10).unwrap();
         let w_fmt = Binary::with_scale(scale).unwrap();
         let exact = binary_dot_exact(&xs, &ws, in_fmt, w_fmt);
-        let reference = reference_dot(&xs, &ws,
-            |x| in_fmt.quantize_value(x), |w| w_fmt.quantize_value(w));
-        prop_assert!((exact - reference).abs() < 1e-3 * (1.0 + reference.abs()),
-            "exact {} vs reference {}", exact, reference);
-    }
+        let reference = reference_dot(
+            &xs,
+            &ws,
+            |x| in_fmt.quantize_value(x),
+            |w| w_fmt.quantize_value(w),
+        );
+        assert!(
+            (exact - reference).abs() < 1e-3 * (1.0 + reference.abs()),
+            "exact {} vs reference {}",
+            exact,
+            reference
+        );
+    });
+}
 
-    /// The fixed-point path is *exactly* linear in weight sign flips —
-    /// a structural property the hardware's two's-complement negate rests on.
-    #[test]
-    fn fixed_path_antisymmetric_in_weights((xs, ws) in operands(32)) {
+/// The fixed-point path is *exactly* linear in weight sign flips —
+/// a structural property the hardware's two's-complement negate rests on.
+#[test]
+fn fixed_path_antisymmetric_in_weights() {
+    cases(0x83, |rng| {
+        let (xs, ws) = operands(32, rng);
         let f = Fixed::new(8, 4).unwrap();
         let pos = fixed_dot_exact(&xs, &ws, f, f);
         let neg_ws: Vec<f32> = ws.iter().map(|w| -w).collect();
@@ -71,6 +103,6 @@ proptest! {
         // Saturation is asymmetric (−2^(n−1) has no positive mirror), so
         // allow one LSB of slack per element.
         let slack = 32.0 * (f.step() as f64) * (f.step() as f64) * 16.0;
-        prop_assert!((pos + neg).abs() <= slack, "pos {} neg {}", pos, neg);
-    }
+        assert!((pos + neg).abs() <= slack, "pos {} neg {}", pos, neg);
+    });
 }

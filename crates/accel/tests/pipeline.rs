@@ -10,7 +10,6 @@ use qnn_quant::{Fixed, Quantizer};
 use qnn_tensor::conv::{conv2d, Geometry};
 use qnn_tensor::pool::max_pool2d;
 use qnn_tensor::{rng, Shape, Tensor};
-use rand::Rng;
 
 struct TinyCnn {
     conv_w: Vec<f32>,
@@ -40,7 +39,7 @@ fn whole_network_integer_simulation_matches_f32_pipeline() {
     });
     let net = tiny_cnn(99);
     let mut r = rng::seeded(7);
-    let image: Vec<f32> = (0..2 * 8 * 8).map(|_| r.gen_range(0.0..1.0)).collect();
+    let image: Vec<f32> = (0..2 * 8 * 8).map(|_| r.gen_range(0.0f32..1.0)).collect();
 
     // --- Simulated path: integer datapath, layer by layer. -----------------
     // conv 3×3 pad 1 (8×8 → 8×8), ReLU fused in the pipeline.
@@ -113,7 +112,7 @@ fn pooling_preserves_order_across_quantization() {
     });
     let in_fmt = Fixed::new(8, 4).unwrap();
     let mut r = rng::seeded(3);
-    let x: Vec<f32> = (0..1 * 6 * 6).map(|_| r.gen_range(-4.0..4.0)).collect();
+    let x: Vec<f32> = (0..36).map(|_| r.gen_range(-4.0f32..4.0)).collect();
     let out = sim.run_max_pool(&x, (1, 6, 6), 3, 3);
     let xq = Tensor::from_vec(
         Shape::d4(1, 1, 6, 6),

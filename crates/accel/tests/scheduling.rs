@@ -1,10 +1,21 @@
-//! Property tests for the cycle model: the schedule may waste lanes on
-//! partial tiles but must never beat the arithmetic lower bound, and it
-//! must respond monotonically to more work.
+//! Property tests for the cycle model, run as deterministic seeded loops
+//! (≥256 cases each): the schedule may waste lanes on partial tiles but
+//! must never beat the arithmetic lower bound, and it must respond
+//! monotonically to more work.
 
-use proptest::prelude::*;
 use qnn_accel::{layer_cycles, AcceleratorConfig};
 use qnn_nn::workload::{LayerWork, WorkKind};
+use qnn_tensor::rng::{derive_seed, seeded, Rng};
+
+const CASES: u64 = 256;
+
+/// Runs `f` once per case with an independent child-stream RNG.
+fn cases(suite_seed: u64, f: impl Fn(&mut Rng)) {
+    for case in 0..CASES {
+        let mut rng = seeded(derive_seed(suite_seed, case));
+        f(&mut rng);
+    }
+}
 
 fn work(kind: WorkKind, neurons: u64, fanin: u64) -> LayerWork {
     LayerWork {
@@ -19,58 +30,97 @@ fn work(kind: WorkKind, neurons: u64, fanin: u64) -> LayerWork {
     }
 }
 
-proptest! {
-    /// Compute cycles are bounded below by the ideal MACs/(Tn·Ti) and above
-    /// by the fully-padded tile count.
-    #[test]
-    fn compute_cycles_bracket_the_ideal(neurons in 1u64..4096, fanin in 1u64..2048) {
+/// Compute cycles are bounded below by the ideal MACs/(Tn·Ti) and above
+/// by the fully-padded tile count.
+#[test]
+fn compute_cycles_bracket_the_ideal() {
+    cases(0x90, |rng| {
+        let neurons = rng.gen_range(1u64..4096);
+        let fanin = rng.gen_range(1u64..2048);
         let cfg = AcceleratorConfig::default();
         let c = layer_cycles(&work(WorkKind::Conv, neurons, fanin), &cfg, 3);
         let ideal = (neurons * fanin).div_ceil(256);
         let padded = neurons.div_ceil(16) * fanin.div_ceil(16);
-        prop_assert!(c.compute >= ideal, "compute {} < ideal {}", c.compute, ideal);
-        prop_assert_eq!(c.compute, padded);
+        assert!(
+            c.compute >= ideal,
+            "compute {} < ideal {}",
+            c.compute,
+            ideal
+        );
+        assert_eq!(c.compute, padded);
         // Padding never exceeds one extra tile row/column each way.
-        prop_assert!(c.compute <= (neurons + 15).div_ceil(16) * (fanin + 15).div_ceil(16));
-    }
+        assert!(c.compute <= (neurons + 15).div_ceil(16) * (fanin + 15).div_ceil(16));
+    });
+}
 
-    /// More neurons never cost fewer cycles; more fan-in never costs fewer.
-    #[test]
-    fn cycles_monotone_in_work(neurons in 1u64..2048, fanin in 1u64..1024, dn in 0u64..64, df in 0u64..64) {
+/// More neurons never cost fewer cycles; more fan-in never costs fewer.
+#[test]
+fn cycles_monotone_in_work() {
+    cases(0x91, |rng| {
+        let neurons = rng.gen_range(1u64..2048);
+        let fanin = rng.gen_range(1u64..1024);
+        let dn = rng.gen_range(0u64..64);
+        let df = rng.gen_range(0u64..64);
         let cfg = AcceleratorConfig::default();
         let base = layer_cycles(&work(WorkKind::Dense, neurons, fanin), &cfg, 3);
         let bigger = layer_cycles(&work(WorkKind::Dense, neurons + dn, fanin + df), &cfg, 3);
-        prop_assert!(bigger.compute >= base.compute);
-        prop_assert!(bigger.total() >= base.total() || dn + df == 0);
-    }
+        assert!(bigger.compute >= base.compute);
+        assert!(bigger.total() >= base.total() || dn + df == 0);
+    });
+}
 
-    /// Dense stalls appear exactly when weight streaming outruns compute.
-    #[test]
-    fn dense_stall_law(neurons in 1u64..512, fanin in 1u64..4096) {
+/// Dense stalls appear exactly when weight streaming outruns compute.
+#[test]
+fn dense_stall_law() {
+    cases(0x92, |rng| {
+        let neurons = rng.gen_range(1u64..512);
+        let fanin = rng.gen_range(1u64..4096);
         let cfg = AcceleratorConfig::default();
         let w = work(WorkKind::Dense, neurons, fanin);
         let c = layer_cycles(&w, &cfg, 3);
         let dma = w.weights.div_ceil(cfg.dma_values_per_cycle as u64);
-        prop_assert_eq!(c.dma_stall, dma.saturating_sub(c.compute));
-    }
+        assert_eq!(c.dma_stall, dma.saturating_sub(c.compute));
+    });
+}
 
-    /// A wider DMA engine never increases total cycles.
-    #[test]
-    fn wider_dma_never_slower(neurons in 1u64..512, fanin in 1u64..2048) {
-        let narrow = AcceleratorConfig { dma_values_per_cycle: 32, ..Default::default() };
-        let wide = AcceleratorConfig { dma_values_per_cycle: 256, ..Default::default() };
+/// A wider DMA engine never increases total cycles.
+#[test]
+fn wider_dma_never_slower() {
+    cases(0x93, |rng| {
+        let neurons = rng.gen_range(1u64..512);
+        let fanin = rng.gen_range(1u64..2048);
+        let narrow = AcceleratorConfig {
+            dma_values_per_cycle: 32,
+            ..Default::default()
+        };
+        let wide = AcceleratorConfig {
+            dma_values_per_cycle: 256,
+            ..Default::default()
+        };
         let w = work(WorkKind::Dense, neurons, fanin);
         let cn = layer_cycles(&w, &narrow, 3);
         let cw = layer_cycles(&w, &wide, 3);
-        prop_assert!(cw.total() <= cn.total());
-    }
+        assert!(cw.total() <= cn.total());
+    });
+}
 
-    /// A bigger tile never increases compute cycles for the same work.
-    #[test]
-    fn bigger_tile_never_slower(neurons in 1u64..1024, fanin in 1u64..1024) {
-        let small = AcceleratorConfig { neurons: 8, synapses: 8, ..Default::default() };
-        let big = AcceleratorConfig { neurons: 32, synapses: 32, ..Default::default() };
+/// A bigger tile never increases compute cycles for the same work.
+#[test]
+fn bigger_tile_never_slower() {
+    cases(0x94, |rng| {
+        let neurons = rng.gen_range(1u64..1024);
+        let fanin = rng.gen_range(1u64..1024);
+        let small = AcceleratorConfig {
+            neurons: 8,
+            synapses: 8,
+            ..Default::default()
+        };
+        let big = AcceleratorConfig {
+            neurons: 32,
+            synapses: 32,
+            ..Default::default()
+        };
         let w = work(WorkKind::Conv, neurons, fanin);
-        prop_assert!(layer_cycles(&w, &big, 3).compute <= layer_cycles(&w, &small, 3).compute);
-    }
+        assert!(layer_cycles(&w, &big, 3).compute <= layer_cycles(&w, &small, 3).compute);
+    });
 }

@@ -1,0 +1,286 @@
+//! Paper-artifact regenerators: one function per table/figure, each
+//! printing the regenerated dataset (model vs. paper where available)
+//! with a short timing line from the hand-rolled [`crate::timer`].
+
+use crate::bench_scale;
+use crate::timer::{black_box, Bencher};
+use qnn_accel::AcceleratorDesign;
+use qnn_core::experiments::{
+    breakdown, design_metrics, memory_report, table4, table5, BreakdownRow, DesignRow,
+    ExperimentScale, MemoryRow, Table5Row,
+};
+use qnn_core::pareto::{pareto_frontier, DesignPoint};
+use qnn_data::{standard_splits, DatasetKind, Splits};
+use qnn_nn::{memory, zoo, ActivationCalibration, Network, QatConfig, Trainer, TrainerConfig};
+use qnn_quant::calibrate::Method;
+use qnn_quant::Precision;
+use qnn_tensor::Tensor;
+
+/// Table III — design metrics per precision (model vs paper).
+pub fn table3() {
+    println!("\n=== Table III — design metrics per precision (model vs paper) ===\n");
+    println!("{}", DesignRow::render(&design_metrics()));
+    let b = Bencher::default();
+    let m = b.run("table3/full_table", || {
+        black_box(design_metrics());
+    });
+    println!("[timing] full table: {:.1} µs/op", m.ns_per_op / 1e3);
+}
+
+/// Table IV — MNIST/SVHN-class accuracy and energy.
+pub fn table4_artifact() {
+    let scale = bench_scale();
+    println!("\n=== Table IV (accuracy at {scale:?} scale; energy from full Table I nets) ===\n");
+    match table4(scale, 42) {
+        Ok(t) => println!("{}", t.render()),
+        Err(e) => println!("table4 failed: {e}"),
+    }
+    let lenet_wl = zoo::lenet().workload().unwrap();
+    let b = Bencher::default();
+    let m = b.run("table4/energy_eval_lenet_all_precisions", || {
+        for p in Precision::paper_sweep() {
+            black_box(
+                AcceleratorDesign::new(p)
+                    .energy_per_image(black_box(&lenet_wl))
+                    .total_uj(),
+            );
+        }
+    });
+    println!(
+        "[timing] energy eval, all precisions: {:.1} µs/op",
+        m.ns_per_op / 1e3
+    );
+}
+
+/// Table V — CIFAR-class accuracy/energy for ALEX, ALEX+ and ALEX++.
+pub fn table5_artifact() {
+    let scale = bench_scale();
+    println!("\n=== Table V (accuracy at {scale:?} scale; energy from full Table I/II nets) ===\n");
+    match table5(scale, 42) {
+        Ok(rows) => println!("{}", Table5Row::render(&rows)),
+        Err(e) => println!("table5 failed: {e}"),
+    }
+}
+
+/// Figure 3 — area and power breakdown by synthesis category.
+pub fn fig3() {
+    println!("\n=== Figure 3 — area & power breakdown by category ===\n");
+    let bars = breakdown();
+    println!("{}", BreakdownRow::render(&bars));
+    println!("Buffer dominance (paper: 75-93% power, 76-96% area):");
+    for p in Precision::paper_sweep() {
+        let d = AcceleratorDesign::new(p);
+        println!(
+            "  {:26} {:5.1}% power, {:5.1}% area",
+            p.label(),
+            d.buffer_power_fraction() * 100.0,
+            d.buffer_area_fraction() * 100.0
+        );
+    }
+}
+
+fn published_points() -> Vec<DesignPoint> {
+    qnn_core::paper::table5()
+        .into_iter()
+        .map(|(net, p, acc, e)| {
+            let suffix = match net {
+                "alex+" => "+",
+                "alex++" => "++",
+                _ => "",
+            };
+            DesignPoint::new(format!("{}{}", p.label(), suffix), acc, e)
+        })
+        .collect()
+}
+
+/// Figure 4 — the accuracy-vs-energy Pareto frontier.
+pub fn fig4() {
+    println!("\n=== Figure 4 — Pareto frontier over the paper's published points ===\n");
+    let points = published_points();
+    let frontier = pareto_frontier(&points);
+    for p in &points {
+        let on = frontier.iter().any(|f| f == p);
+        println!(
+            "{} {:28} {:9.2} uJ  {:5.2}%",
+            if on { "*" } else { " " },
+            p.label,
+            p.energy_uj,
+            p.accuracy_pct
+        );
+    }
+    println!("\n=== Figure 4 — regenerated at smoke scale ===\n");
+    match table5(ExperimentScale::Smoke, 42) {
+        Ok(rows) => {
+            let pts = Table5Row::to_design_points(&rows);
+            let front = pareto_frontier(&pts);
+            for p in &front {
+                println!(
+                    "* {:32} {:9.2} uJ  {:5.1}%",
+                    p.label, p.energy_uj, p.accuracy_pct
+                );
+            }
+        }
+        Err(e) => println!("regeneration failed: {e}"),
+    }
+    let b = Bencher::default();
+    let m = b.run("fig4/pareto_frontier_published_points", || {
+        black_box(pareto_frontier(black_box(&points)));
+    });
+    println!(
+        "\n[timing] frontier extraction: {:.2} µs/op",
+        m.ns_per_op / 1e3
+    );
+}
+
+/// §V-B memory footprints — parameter memory per network per precision.
+pub fn memory_artifact() {
+    println!("\n=== §V-B — parameter memory (paper: ~1650/2150/350/1250/9400 KB at FP32) ===\n");
+    match memory_report() {
+        Ok(rows) => println!("{}", MemoryRow::render(&rows)),
+        Err(e) => println!("memory report failed: {e}"),
+    }
+    let specs = zoo::all_paper_networks();
+    let b = Bencher::default();
+    let m = b.run("memory/footprint_all_networks_all_precisions", || {
+        for spec in &specs {
+            for p in Precision::paper_sweep() {
+                black_box(memory::footprint(spec, p).unwrap());
+            }
+        }
+    });
+    println!("[timing] all footprints: {:.1} µs/op", m.ns_per_op / 1e3);
+}
+
+fn trainer(ste_clip: bool) -> Trainer {
+    Trainer::new(TrainerConfig {
+        epochs: 4,
+        batch_size: 32,
+        lr: 0.05,
+        ste_clip,
+        ..TrainerConfig::default()
+    })
+}
+
+/// Returns (fp_accuracy, pretrained net, trainer) on the glyphs benchmark.
+fn pretrain(splits: &Splits) -> (f32, Network, Trainer) {
+    let t = trainer(true);
+    let mut net = Network::build(&zoo::lenet_small(), 5).unwrap();
+    t.train(&mut net, splits.train.images(), splits.train.labels())
+        .unwrap();
+    let acc = t
+        .evaluate(&mut net, splits.test.images(), splits.test.labels())
+        .unwrap();
+    (acc * 100.0, net, t)
+}
+
+fn qat_accuracy(splits: &Splits, state: &[Tensor], qat: &QatConfig, t: &Trainer) -> f32 {
+    let mut net = Network::build(&zoo::lenet_small(), 5).unwrap();
+    net.load_state(state).unwrap();
+    t.train_qat(
+        &mut net,
+        qat,
+        splits.train.images(),
+        splits.train.labels(),
+        64,
+    )
+    .unwrap();
+    t.evaluate(&mut net, splits.test.images(), splits.test.labels())
+        .unwrap()
+        * 100.0
+}
+
+fn ptq_accuracy(splits: &Splits, state: &[Tensor], precision: Precision, t: &Trainer) -> f32 {
+    let mut net = Network::build(&zoo::lenet_small(), 5).unwrap();
+    net.load_state(state).unwrap();
+    let calib = splits.train.take(&(0..64).collect::<Vec<_>>());
+    net.set_precision(
+        precision,
+        Method::MaxAbs,
+        calib.images(),
+        ActivationCalibration::PerLayer,
+    )
+    .unwrap();
+    t.evaluate(&mut net, splits.test.images(), splits.test.labels())
+        .unwrap()
+        * 100.0
+}
+
+/// Ablations over the design choices DESIGN.md calls out:
+///
+/// 1. **QAT vs. post-training quantization** — is the retraining phase
+///    (the paper's §IV-A techniques) actually earning its keep?
+/// 2. **STE clipping on/off** — BinaryConnect's clipped estimator vs. the
+///    plain pass-through.
+/// 3. **Calibration rule** — max-abs vs. 99th-percentile range fitting.
+/// 4. **Activation radix** — per-layer (Ristretto) vs. one global radix
+///    (single-radix hardware; the paper's future-work motivation).
+///
+/// Each ablation trains at smoke scale and prints a comparison.
+pub fn ablations() {
+    println!("\n=== Ablations (glyphs28 @ smoke scale, lenet-small) ===\n");
+    let splits = standard_splits(DatasetKind::Glyphs28, 400, 300, 77);
+    let (fp, fp_net, t) = pretrain(&splits);
+    let state = fp_net.state_dict();
+    println!("full-precision baseline: {fp:.1}%\n");
+
+    // 1. QAT vs PTQ at aggressive precisions.
+    for p in [Precision::fixed(4, 4), Precision::binary()] {
+        let ptq = ptq_accuracy(&splits, &state, p, &t);
+        let qat = qat_accuracy(&splits, &state, &QatConfig::new(p), &t);
+        println!(
+            "[qat-vs-ptq]    {:24} PTQ {ptq:5.1}%  QAT {qat:5.1}%  (QAT gain {:+.1})",
+            p.label(),
+            qat - ptq
+        );
+    }
+
+    // 2. STE clip on/off for binary.
+    let t_noclip = trainer(false);
+    let clip = qat_accuracy(&splits, &state, &QatConfig::new(Precision::binary()), &t);
+    let noclip = qat_accuracy(
+        &splits,
+        &state,
+        &QatConfig::new(Precision::binary()),
+        &t_noclip,
+    );
+    println!("\n[ste-clip]      binary: clipped {clip:.1}%  unclipped {noclip:.1}%");
+
+    // 3. Calibration rule at 4 bits.
+    let maxabs = qat_accuracy(&splits, &state, &QatConfig::new(Precision::fixed(4, 4)), &t);
+    let pct = qat_accuracy(
+        &splits,
+        &state,
+        &QatConfig {
+            method: Method::Percentile(0.99),
+            ..QatConfig::new(Precision::fixed(4, 4))
+        },
+        &t,
+    );
+    println!("\n[calibration]   fixed(4,4): max-abs {maxabs:.1}%  p99 {pct:.1}%");
+
+    // 4. Per-layer vs global activation radix at 8 bits.
+    let per_layer = qat_accuracy(&splits, &state, &QatConfig::new(Precision::fixed(8, 8)), &t);
+    let global = qat_accuracy(
+        &splits,
+        &state,
+        &QatConfig {
+            activation_calibration: ActivationCalibration::Global,
+            ..QatConfig::new(Precision::fixed(8, 8))
+        },
+        &t,
+    );
+    println!("\n[act-radix]     fixed(8,8): per-layer {per_layer:.1}%  global {global:.1}%");
+    println!("                (per-layer radix is the multi-radix hardware the paper names as future work)");
+
+    // Extension sweeps enabled by the model (dimensions the paper scoped out).
+    println!("\n[minifloat]     custom float geometries (future work):");
+    match qnn_core::experiments::minifloat_sweep(false, ExperimentScale::Smoke, 1) {
+        Ok(rows) => println!("{}", qnn_core::experiments::MinifloatRow::render(&rows)),
+        Err(e) => println!("  failed: {e}"),
+    }
+    println!("[tile-scaling]  accelerator size at fixed(16,16) (dimension the paper scoped out):");
+    match qnn_core::experiments::tile_scaling(Precision::fixed(16, 16)) {
+        Ok(rows) => println!("{}", qnn_core::experiments::TileRow::render(&rows)),
+        Err(e) => println!("  failed: {e}"),
+    }
+}

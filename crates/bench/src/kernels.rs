@@ -1,0 +1,188 @@
+//! The kernel benchmark suite behind `qnn-bench kernels` and the
+//! committed `BENCH_kernels.json` artifact.
+//!
+//! Covers the compute core's hot paths: the blocked GEMM against the
+//! retained naive kernel (single- and multi-threaded), im2col convolution
+//! forward/backward, the fake-quantize passes, a full LeNet-small
+//! training step, and a Table IV mini-sweep timed end-to-end.
+
+use crate::json::Json;
+use crate::timer::{black_box, Bencher, Measurement};
+use qnn_core::experiments::{accuracy_sweep, ExperimentScale};
+use qnn_data::{standard_splits, DatasetKind};
+use qnn_nn::loss::softmax_cross_entropy;
+use qnn_nn::{zoo, Mode, Network, Sgd};
+use qnn_quant::{Binary, Fixed, PowerOfTwo, Precision, Quantizer};
+use qnn_tensor::conv::{conv2d, conv2d_backward, Geometry};
+use qnn_tensor::pool::max_pool2d;
+use qnn_tensor::{par, rng, Shape, Tensor};
+
+fn random(shape: Shape, seed: u64) -> Tensor {
+    let mut r = rng::seeded(seed);
+    let n = shape.len();
+    Tensor::from_vec(shape, (0..n).map(|_| r.gen_range(-1.0f32..1.0)).collect()).unwrap()
+}
+
+/// One entry of the kernels report: a measurement plus optional
+/// throughput in GFLOP/s.
+fn entry(m: &Measurement, flops_per_op: Option<f64>) -> Json {
+    let mut pairs = vec![
+        ("name", Json::str(m.name.clone())),
+        ("ns_per_op", Json::Num(m.ns_per_op)),
+        ("iters", Json::Num(m.iters as f64)),
+        ("reps", Json::Num(m.reps as f64)),
+    ];
+    if let Some(f) = flops_per_op {
+        pairs.push(("gflops", Json::Num(m.gflops(f))));
+    }
+    Json::obj(pairs)
+}
+
+/// Runs the full kernel suite and returns the report as JSON.
+///
+/// Printed progress goes to stdout; the caller decides whether to also
+/// write the artifact file.
+pub fn run() -> Json {
+    let b = Bencher::default();
+    let mut entries: Vec<Json> = Vec::new();
+    let mut push = |e: Json| {
+        println!(
+            "  {}",
+            e.render()
+                .lines()
+                .collect::<Vec<_>>()
+                .join(" ")
+                .replace("  ", " ")
+        );
+        entries.push(e);
+    };
+
+    println!("== matmul 256x256x256 (naive vs blocked vs threaded) ==");
+    let a = random(Shape::d2(256, 256), 1);
+    let bm = random(Shape::d2(256, 256), 2);
+    let flops_256 = 2.0 * 256f64.powi(3);
+    par::set_threads(Some(1));
+    let m = b.run("matmul_256/naive_1t", || {
+        black_box(a.matmul_naive(black_box(&bm)).unwrap());
+    });
+    let naive_ns = m.ns_per_op;
+    push(entry(&m, Some(flops_256)));
+    let m = b.run("matmul_256/blocked_1t", || {
+        black_box(a.matmul(black_box(&bm)).unwrap());
+    });
+    let blocked_ns = m.ns_per_op;
+    push(entry(&m, Some(flops_256)));
+    par::set_threads(None);
+    let m = b.run(
+        &format!("matmul_256/blocked_pool_{}t", par::threads()),
+        || {
+            black_box(a.matmul(black_box(&bm)).unwrap());
+        },
+    );
+    push(entry(&m, Some(flops_256)));
+    push(Json::obj(vec![
+        ("name", Json::str("matmul_256/speedup_blocked_vs_naive_1t")),
+        ("ratio", Json::Num(naive_ns / blocked_ns)),
+    ]));
+
+    println!("== conv2d LeNet conv2 (50x(20,5,5) over (20,12,12), batch 4) ==");
+    let x = random(Shape::d4(4, 20, 12, 12), 3);
+    let w = random(Shape::d4(50, 20, 5, 5), 4);
+    let bias = Tensor::zeros(Shape::d1(50));
+    let geom = Geometry::square(5, 1, 0);
+    let conv_macs = 4.0 * 50.0 * 20.0 * 25.0 * 64.0;
+    let m = b.run("conv2d/forward_lenet_conv2_batch4", || {
+        black_box(conv2d(black_box(&x), &w, &bias, geom).unwrap());
+    });
+    push(entry(&m, Some(2.0 * conv_macs)));
+    let y = conv2d(&x, &w, &bias, geom).unwrap();
+    let gout = Tensor::ones(y.shape().clone());
+    let m = b.run("conv2d/backward_lenet_conv2_batch4", || {
+        black_box(conv2d_backward(black_box(&x), &w, &gout, geom).unwrap());
+    });
+    push(entry(&m, Some(2.0 * 2.0 * conv_macs)));
+
+    println!("== pooling ==");
+    let p = random(Shape::d4(4, 32, 32, 32), 5);
+    let m = b.run("maxpool/3x3s2_batch4", || {
+        black_box(max_pool2d(black_box(&p), Geometry::square(3, 2, 0)).unwrap());
+    });
+    push(entry(&m, None));
+
+    println!("== fake-quantize (4096 elements) ==");
+    let data = Tensor::from_vec(
+        Shape::d1(4096),
+        (0..4096).map(|i| ((i as f32) * 0.37).sin() * 4.0).collect(),
+    )
+    .unwrap();
+    let fixed = Fixed::new(8, 5).unwrap();
+    let pow2 = PowerOfTwo::new(6, 1).unwrap();
+    let binary = Binary::new();
+    let m = b.run("quantize_4096/fixed8", || {
+        black_box(fixed.quantize(&data));
+    });
+    push(entry(&m, None));
+    let m = b.run("quantize_4096/pow2", || {
+        black_box(pow2.quantize(&data));
+    });
+    push(entry(&m, None));
+    let m = b.run("quantize_4096/binary", || {
+        black_box(binary.quantize(&data));
+    });
+    push(entry(&m, None));
+    let mut big = random(Shape::d1(1 << 18), 9);
+    let m = b.run("quantize_262144/fixed8_pooled", || {
+        qnn_quant::quantize_inplace_par(&fixed, black_box(&mut big));
+    });
+    push(entry(&m, None));
+
+    println!("== LeNet-small (batch 8): forward and one training step ==");
+    let mut net = Network::build(&zoo::lenet_small(), 7).unwrap();
+    let batch = random(Shape::d4(8, 1, 28, 28), 6);
+    let m = b.run("lenet_small/forward_batch8", || {
+        black_box(net.forward(black_box(&batch), Mode::Eval).unwrap());
+    });
+    push(entry(&m, None));
+    let labels: Vec<usize> = (0..8).map(|i| i % 10).collect();
+    let opt = Sgd::new(0.01);
+    let m = b.run("lenet_small/train_step_batch8", || {
+        net.zero_grads();
+        let logits = net.forward(&batch, Mode::Train).unwrap();
+        let out = softmax_cross_entropy(&logits, &labels).unwrap();
+        net.backward(&out.grad).unwrap();
+        opt.step(&mut net);
+    });
+    push(entry(&m, None));
+
+    println!("== Table IV mini-sweep (smoke scale, float32 + fixed(8,8)) ==");
+    let once = Bencher::once();
+    let splits = standard_splits(DatasetKind::Glyphs28, 240, 200, 3);
+    let spec = zoo::lenet_small();
+    let m = once.run("table4/mini_sweep_smoke_2_precisions", || {
+        black_box(
+            accuracy_sweep(
+                &spec,
+                &splits,
+                &[Precision::float32(), Precision::fixed(8, 8)],
+                ExperimentScale::Smoke,
+                7,
+            )
+            .unwrap(),
+        );
+    });
+    push(entry(&m, None));
+
+    Json::obj(vec![
+        ("schema", Json::str("qnn-bench/kernels/v1")),
+        ("threads_default", Json::Num(par::threads() as f64)),
+        (
+            "profile",
+            Json::str(if cfg!(debug_assertions) {
+                "debug"
+            } else {
+                "release"
+            }),
+        ),
+        ("benchmarks", Json::Arr(entries)),
+    ])
+}

@@ -1,16 +1,24 @@
 #![warn(missing_docs)]
 
-//! # qnn-bench — benchmark harness
+//! # qnn-bench — offline benchmark harness
 //!
-//! This crate exists for its `benches/` directory: one Criterion target
-//! per table/figure of the paper (see DESIGN.md §5 for the index). Each
-//! bench regenerates its artifact's dataset, prints it paper-vs-measured,
-//! and times the representative computational kernels.
+//! A zero-dependency benchmark suite: [`timer`] is a hand-rolled
+//! warmup + median-of-N timer, [`kernels`] benchmarks the compute core's
+//! hot paths (blocked vs naive GEMM, convolution, quantization, a full
+//! training step) and emits the committed `BENCH_kernels.json` artifact,
+//! and [`artifacts`] regenerates every table/figure of the paper
+//! (see DESIGN.md §5 for the index).
 //!
-//! Run everything with `cargo bench --workspace`, or one artifact with
-//! e.g. `cargo bench -p qnn-bench --bench table3_design_metrics`.
+//! Run the kernel suite (and write `BENCH_kernels.json`) with
+//! `cargo run -p qnn-bench --release --bin qnn-bench`, or a single
+//! artifact with e.g. `cargo run -p qnn-bench --release -- table3`.
 
-/// Scale selector shared by the heavy (training-based) benches: set
+pub mod artifacts;
+pub mod json;
+pub mod kernels;
+pub mod timer;
+
+/// Scale selector shared by the heavy (training-based) artifacts: set
 /// `QNN_BENCH_SCALE=smoke|reduced|full` (default `reduced`).
 pub fn bench_scale() -> qnn_core::experiments::ExperimentScale {
     match std::env::var("QNN_BENCH_SCALE").as_deref() {

@@ -1,0 +1,59 @@
+//! `qnn-bench` — the offline benchmark/artifact entry point.
+//!
+//! With no arguments it runs the kernel suite and writes
+//! `BENCH_kernels.json` to the current directory. Subcommands regenerate
+//! individual paper artifacts; `all` chains every one of them.
+
+use qnn_bench::{artifacts, kernels};
+
+const USAGE: &str = "\
+usage: qnn-bench [SUBCOMMAND]
+
+  kernels    kernel benchmarks; writes BENCH_kernels.json (default)
+  table3     Table III  — design metrics per precision
+  table4     Table IV   — MNIST/SVHN-class accuracy + energy
+  table5     Table V    — CIFAR-class accuracy + energy
+  fig3       Figure 3   — area/power breakdown, buffer dominance
+  fig4       Figure 4   — accuracy-vs-energy Pareto frontier
+  memory     §V-B       — parameter memory per network per precision
+  ablations  QAT-vs-PTQ, STE clip, calibration, radix ablations
+  all        every artifact above, then the kernel suite
+
+Training-based artifacts honour QNN_BENCH_SCALE=smoke|reduced|full
+(default reduced) and QNN_THREADS=<n>.";
+
+fn run_kernels() {
+    let report = kernels::run();
+    let path = "BENCH_kernels.json";
+    std::fs::write(path, report.render()).expect("write BENCH_kernels.json");
+    println!("\nwrote {path}");
+}
+
+fn main() {
+    let arg = std::env::args().nth(1);
+    match arg.as_deref() {
+        None | Some("kernels") => run_kernels(),
+        Some("table3") => artifacts::table3(),
+        Some("table4") => artifacts::table4_artifact(),
+        Some("table5") => artifacts::table5_artifact(),
+        Some("fig3") => artifacts::fig3(),
+        Some("fig4") => artifacts::fig4(),
+        Some("memory") => artifacts::memory_artifact(),
+        Some("ablations") => artifacts::ablations(),
+        Some("all") => {
+            artifacts::table3();
+            artifacts::fig3();
+            artifacts::memory_artifact();
+            artifacts::fig4();
+            artifacts::table4_artifact();
+            artifacts::table5_artifact();
+            artifacts::ablations();
+            run_kernels();
+        }
+        Some("-h") | Some("--help") => println!("{USAGE}"),
+        Some(other) => {
+            eprintln!("unknown subcommand: {other}\n\n{USAGE}");
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,150 @@
+//! Hand-rolled benchmark timer: auto-calibrated iteration counts, warmup
+//! repetitions, and a median-of-N estimate.
+//!
+//! The median is the whole trick: on a shared machine the timing noise is
+//! one-sided (preemption only ever makes a rep *slower*), so the median of
+//! several repetitions is a far more stable location estimate than the
+//! mean — the same reasoning criterion uses, in ~60 lines instead of a
+//! dependency tree.
+
+use std::time::Instant;
+
+/// One benchmark result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Measurement {
+    /// Benchmark name, `group/case` style.
+    pub name: String,
+    /// Median wall-clock nanoseconds per operation.
+    pub ns_per_op: f64,
+    /// Iterations per repetition (chosen by calibration).
+    pub iters: u64,
+    /// Timed repetitions the median was taken over.
+    pub reps: usize,
+}
+
+impl Measurement {
+    /// Throughput in GFLOP/s given the floating-point work of one
+    /// operation. (1 FLOP/ns = 1 GFLOP/s.)
+    pub fn gflops(&self, flops_per_op: f64) -> f64 {
+        flops_per_op / self.ns_per_op
+    }
+}
+
+/// Timer configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct Bencher {
+    /// Untimed warmup repetitions before measurement.
+    pub warmup_reps: usize,
+    /// Timed repetitions; the reported value is their median.
+    pub reps: usize,
+    /// Target wall-clock time per repetition, used to calibrate the
+    /// iteration count (ns).
+    pub target_rep_ns: u64,
+}
+
+impl Default for Bencher {
+    fn default() -> Self {
+        Bencher {
+            warmup_reps: 2,
+            reps: 7,
+            target_rep_ns: 100_000_000,
+        }
+    }
+}
+
+impl Bencher {
+    /// A configuration for expensive operations (whole experiments):
+    /// single timed repetition, no calibration loop.
+    pub fn once() -> Self {
+        Bencher {
+            warmup_reps: 0,
+            reps: 1,
+            target_rep_ns: 0,
+        }
+    }
+
+    /// Times `f`, returning the median ns/op over the configured reps.
+    pub fn run<F: FnMut()>(&self, name: &str, mut f: F) -> Measurement {
+        // Calibration: one untimed-then-timed call sizes the iteration
+        // count so a repetition lasts about `target_rep_ns`.
+        let t0 = Instant::now();
+        f();
+        let first_ns = t0.elapsed().as_nanos().max(1) as u64;
+        let iters = if self.target_rep_ns == 0 {
+            1
+        } else {
+            (self.target_rep_ns / first_ns).clamp(1, 1_000_000_000)
+        };
+        for _ in 0..self.warmup_reps {
+            for _ in 0..iters {
+                f();
+            }
+        }
+        let mut samples: Vec<f64> = (0..self.reps.max(1))
+            .map(|_| {
+                let t = Instant::now();
+                for _ in 0..iters {
+                    f();
+                }
+                t.elapsed().as_nanos() as f64 / iters as f64
+            })
+            .collect();
+        samples.sort_by(|a, b| a.total_cmp(b));
+        Measurement {
+            name: name.to_string(),
+            ns_per_op: samples[samples.len() / 2],
+            iters,
+            reps: samples.len(),
+        }
+    }
+}
+
+/// Prevents the optimizer from discarding a benchmarked computation.
+///
+/// Thin wrapper over [`std::hint::black_box`], re-exported so benchmark
+/// code reads uniformly.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_something_positive() {
+        let b = Bencher {
+            warmup_reps: 1,
+            reps: 3,
+            target_rep_ns: 1_000_000,
+        };
+        let mut acc = 0u64;
+        let m = b.run("spin", || {
+            for i in 0..100u64 {
+                acc = acc.wrapping_add(black_box(i));
+            }
+        });
+        assert!(m.ns_per_op > 0.0);
+        assert!(m.iters >= 1);
+        assert_eq!(m.reps, 3);
+    }
+
+    #[test]
+    fn gflops_inverts_ns() {
+        let m = Measurement {
+            name: "x".into(),
+            ns_per_op: 2.0,
+            iters: 1,
+            reps: 1,
+        };
+        assert!((m.gflops(4.0) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn once_runs_single_rep() {
+        let b = Bencher::once();
+        let m = b.run("one", || {});
+        assert_eq!(m.iters, 1);
+        assert_eq!(m.reps, 1);
+    }
+}

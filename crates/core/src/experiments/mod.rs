@@ -20,6 +20,7 @@ use qnn_data::Splits;
 use qnn_nn::arch::NetworkSpec;
 use qnn_nn::{Network, NnError, QatConfig, TrainOutcome, Trainer, TrainerConfig};
 use qnn_quant::Precision;
+use qnn_tensor::{par, Tensor};
 
 /// How much compute an accuracy experiment may spend.
 ///
@@ -80,24 +81,23 @@ pub struct SweepPoint {
     pub accuracy_pct: Option<f32>,
 }
 
-/// Runs the paper's two-phase methodology over a precision list:
-/// full-precision pre-training once, then per-precision QAT retraining
-/// initialized from those weights, evaluated on the test split.
+/// Phase 1 of the paper's two-phase methodology: full-precision
+/// pre-training, with learning-rate backoff — a diverged *baseline* is a
+/// tuning artifact, not a quantization result, so it gets the retry the
+/// paper's authors would have given it.
+///
+/// Returns the trainer that produced the baseline (phase 2 reuses its
+/// configuration) and the pre-trained weights.
 ///
 /// # Errors
 ///
-/// Propagates network construction and training errors (not divergence,
-/// which is reported as `accuracy_pct: None`).
-pub fn accuracy_sweep(
+/// Propagates network construction and training errors.
+pub fn pretrain_fp(
     spec: &NetworkSpec,
     splits: &Splits,
-    precisions: &[Precision],
     scale: ExperimentScale,
     seed: u64,
-) -> Result<Vec<SweepPoint>, NnError> {
-    // Phase 1: full-precision baseline, with learning-rate backoff — a
-    // diverged *baseline* is a tuning artifact, not a quantization result,
-    // so it gets the retry the paper's authors would have given it.
+) -> Result<(Trainer, Vec<Tensor>), NnError> {
     let base = scale.trainer(seed);
     let mut fp_net = Network::build(spec, seed)?;
     let mut trainer = Trainer::new(base);
@@ -114,59 +114,84 @@ pub fn accuracy_sweep(
             break;
         }
     }
-    let fp_state = fp_net.state_dict();
-    // Phase 2: retraining per precision, always from the pre-trained
-    // weights and always with the same fine-tune budget — including the
-    // float32 row, so every row has seen identical total training and the
-    // accuracy deltas isolate precision (the paper's "all design
-    // parameters except for the bit precision are the same"). No retry
-    // here: failure to converge at a precision is exactly the observation
-    // the paper reports as NA.
-    let mut out = Vec::with_capacity(precisions.len());
-    for &p in precisions {
-        if !p.is_quantized() {
-            let mut net = Network::build(spec, seed)?;
-            net.load_state(&fp_state)?;
-            let cfg = trainer.config();
-            let fine_tune = Trainer::new(TrainerConfig {
-                lr: cfg.lr * cfg.qat_lr_factor,
-                ..*cfg
-            });
-            let report = fine_tune.train(&mut net, splits.train.images(), splits.train.labels())?;
-            let acc = if report.outcome == TrainOutcome::Converged {
-                Some(
-                    fine_tune.evaluate(&mut net, splits.test.images(), splits.test.labels())?
-                        * 100.0,
-                )
-            } else {
-                None
-            };
-            out.push(SweepPoint {
-                precision: p,
-                accuracy_pct: acc,
-            });
-            continue;
-        }
-        let mut net = Network::build(spec, seed)?;
-        net.load_state(&fp_state)?;
+    Ok((trainer, fp_net.state_dict()))
+}
+
+/// Phase 2 for a single precision: retraining from the pre-trained
+/// weights with the same fine-tune budget at every precision — including
+/// the float32 row, so every row has seen identical total training and
+/// the accuracy deltas isolate precision (the paper's "all design
+/// parameters except for the bit precision are the same"). No retry
+/// here: failure to converge at a precision is exactly the observation
+/// the paper reports as NA.
+///
+/// # Errors
+///
+/// Propagates network construction and training errors (not divergence,
+/// which is reported as `accuracy_pct: None`).
+pub fn qat_point(
+    spec: &NetworkSpec,
+    splits: &Splits,
+    trainer: &Trainer,
+    fp_state: &[Tensor],
+    precision: Precision,
+    seed: u64,
+) -> Result<SweepPoint, NnError> {
+    let mut net = Network::build(spec, seed)?;
+    net.load_state(fp_state)?;
+    let (report, acc) = if !precision.is_quantized() {
+        let cfg = trainer.config();
+        let fine_tune = Trainer::new(TrainerConfig {
+            lr: cfg.lr * cfg.qat_lr_factor,
+            ..*cfg
+        });
+        let report = fine_tune.train(&mut net, splits.train.images(), splits.train.labels())?;
+        let acc = fine_tune.evaluate(&mut net, splits.test.images(), splits.test.labels())?;
+        (report, acc)
+    } else {
         let report = trainer.train_qat(
             &mut net,
-            &QatConfig::new(p),
+            &QatConfig::new(precision),
             splits.train.images(),
             splits.train.labels(),
             64,
         )?;
-        let acc = if report.outcome == TrainOutcome::Converged {
-            Some(trainer.evaluate(&mut net, splits.test.images(), splits.test.labels())? * 100.0)
-        } else {
-            None
-        };
-        out.push(SweepPoint {
-            precision: p,
-            accuracy_pct: acc,
-        });
-    }
-    Ok(out)
+        let acc = trainer.evaluate(&mut net, splits.test.images(), splits.test.labels())?;
+        (report, acc)
+    };
+    Ok(SweepPoint {
+        precision,
+        accuracy_pct: (report.outcome == TrainOutcome::Converged).then_some(acc * 100.0),
+    })
+}
+
+/// Runs the paper's two-phase methodology over a precision list:
+/// full-precision pre-training once ([`pretrain_fp`]), then per-precision
+/// QAT retraining initialized from those weights ([`qat_point`]),
+/// evaluated on the test split.
+///
+/// The per-precision points are independent given the pre-trained
+/// weights, so they run concurrently on the `qnn_tensor::par` pool. Each
+/// point is seeded and internally deterministic, so the sweep's results
+/// do not depend on the worker count.
+///
+/// # Errors
+///
+/// Propagates network construction and training errors (not divergence,
+/// which is reported as `accuracy_pct: None`).
+pub fn accuracy_sweep(
+    spec: &NetworkSpec,
+    splits: &Splits,
+    precisions: &[Precision],
+    scale: ExperimentScale,
+    seed: u64,
+) -> Result<Vec<SweepPoint>, NnError> {
+    let (trainer, fp_state) = pretrain_fp(spec, splits, scale, seed)?;
+    par::map(precisions.len(), |i| {
+        qat_point(spec, splits, &trainer, &fp_state, precisions[i], seed)
+    })
+    .into_iter()
+    .collect()
 }
 
 #[cfg(test)]

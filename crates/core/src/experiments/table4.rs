@@ -7,8 +7,9 @@ use qnn_nn::arch::NetworkSpec;
 use qnn_nn::{zoo, NnError};
 use qnn_quant::Precision;
 
-use super::{accuracy_sweep, ExperimentScale};
+use super::{pretrain_fp, qat_point, ExperimentScale};
 use crate::report;
+use qnn_tensor::par;
 
 /// One generated Table IV row.
 #[derive(Debug, Clone, PartialEq)]
@@ -83,27 +84,50 @@ pub fn table4(scale: ExperimentScale, seed: u64) -> Result<Table4, NnError> {
     let (n_train, n_test) = scale.samples();
     let paper_rows = crate::paper::table4_accuracies();
 
-    // MNIST-class.
     let glyph_splits = standard_splits(DatasetKind::Glyphs28, n_train, n_test, seed);
     let mnist_spec = match scale {
         ExperimentScale::Full => zoo::lenet(),
         _ => zoo::lenet_small(),
     };
-    let mnist_sweep = accuracy_sweep(&mnist_spec, &glyph_splits, &precisions, scale, seed)?;
+    let house_splits = standard_splits(DatasetKind::HouseDigits32, n_train, n_test, seed + 1);
+    let svhn_spec = match scale {
+        ExperimentScale::Full => zoo::convnet(),
+        _ => zoo::convnet_small(),
+    };
+
+    // Phase 1 (FP pre-training) runs once per benchmark, concurrently.
+    let benches = [
+        (&mnist_spec, &glyph_splits, seed),
+        (&svhn_spec, &house_splits, seed + 1),
+    ];
+    let pre: Vec<_> = par::map(benches.len(), |b| {
+        let (spec, splits, s) = benches[b];
+        pretrain_fp(spec, splits, scale, s)
+    })
+    .into_iter()
+    .collect::<Result<_, _>>()?;
+
+    // Phase 2: every (benchmark, precision) point is independent given
+    // the pre-trained weights, so the whole grid runs concurrently.
+    let points = par::map(benches.len() * precisions.len(), |i| {
+        let (b, pi) = (i / precisions.len(), i % precisions.len());
+        let (spec, splits, s) = benches[b];
+        let (trainer, fp_state) = &pre[b];
+        qat_point(spec, splits, trainer, fp_state, precisions[pi], s)
+    });
+    let mut points = points.into_iter();
+    let mnist_sweep = points
+        .by_ref()
+        .take(precisions.len())
+        .collect::<Result<Vec<_>, _>>()?;
+    let svhn_sweep = points.collect::<Result<Vec<_>, _>>()?;
+
     let mnist_energy = energy_column(&zoo::lenet(), &precisions)?;
     let mnist = build_rows(
         mnist_sweep,
         mnist_energy,
         paper_rows.iter().map(|r| r.1).collect(),
     );
-
-    // SVHN-class.
-    let house_splits = standard_splits(DatasetKind::HouseDigits32, n_train, n_test, seed + 1);
-    let svhn_spec = match scale {
-        ExperimentScale::Full => zoo::convnet(),
-        _ => zoo::convnet_small(),
-    };
-    let svhn_sweep = accuracy_sweep(&svhn_spec, &house_splits, &precisions, scale, seed + 1)?;
     let svhn_energy = energy_column(&zoo::convnet(), &precisions)?;
     let svhn = build_rows(
         svhn_sweep,

@@ -1,5 +1,5 @@
+use qnn_tensor::rng::Rng;
 use qnn_tensor::{rng, Shape, Tensor};
-use rand::Rng;
 
 use crate::{glyphs, house_digits, textured};
 
@@ -51,7 +51,7 @@ impl DatasetKind {
         }
     }
 
-    fn render<R: Rng>(&self, class: usize, rng: &mut R) -> Vec<f32> {
+    fn render(&self, class: usize, rng: &mut Rng) -> Vec<f32> {
         match self {
             DatasetKind::Glyphs28 => glyphs::sample(class, rng),
             DatasetKind::HouseDigits32 => house_digits::sample(class, rng),
@@ -79,8 +79,7 @@ impl Dataset {
         let mut labels = Vec::with_capacity(n);
         // Balanced classes in shuffled order.
         let mut order: Vec<usize> = (0..n).map(|i| i % kind.num_classes()).collect();
-        use rand::seq::SliceRandom;
-        order.shuffle(&mut r);
+        r.shuffle(&mut order);
         for &class in &order {
             data.extend_from_slice(&kind.render(class, &mut r));
             labels.push(class);

@@ -6,9 +6,8 @@
 //! robust to aggressive quantization — matching MNIST's role in the paper
 //! (every precision except fixed-point (4,4) holds ≈99 %).
 
-use rand::Rng;
-
 use crate::render::{segment_digit, Plane};
+use qnn_tensor::rng::Rng;
 
 /// Image side length.
 pub const SIDE: usize = 28;
@@ -22,16 +21,16 @@ pub const CLASSES: usize = 10;
 /// # Panics
 ///
 /// Panics if `digit >= 10`.
-pub fn sample<R: Rng>(digit: usize, rng: &mut R) -> Vec<f32> {
+pub fn sample(digit: usize, rng: &mut Rng) -> Vec<f32> {
     assert!(digit < CLASSES, "digit class out of range");
     let mut p = Plane::new(SIDE, SIDE);
-    let cx = 0.5 + rng.gen_range(-0.08..0.08);
-    let cy = 0.5 + rng.gen_range(-0.08..0.08);
-    let sx = rng.gen_range(0.14..0.22);
-    let sy = rng.gen_range(0.24..0.34);
-    let thick = rng.gen_range(0.035..0.06);
-    let tilt = rng.gen_range(-0.15..0.15);
-    let brightness = rng.gen_range(0.75..1.0);
+    let cx = 0.5 + rng.gen_range(-0.08f32..0.08);
+    let cy = 0.5 + rng.gen_range(-0.08f32..0.08);
+    let sx = rng.gen_range(0.14f32..0.22);
+    let sy = rng.gen_range(0.24f32..0.34);
+    let thick = rng.gen_range(0.035f32..0.06);
+    let tilt = rng.gen_range(-0.15f32..0.15);
+    let brightness = rng.gen_range(0.75f32..1.0);
     p.fill(|u, v| brightness * segment_digit(u, v, digit, cx, cy, sx, sy, thick, tilt));
     p.add_noise(0.06, rng);
     p.data

@@ -7,9 +7,8 @@
 //! glyphs collapse here, reproducing the paper's SVHN column where
 //! fixed-point (4,4) fails to converge and binary drops to chance.
 
-use rand::Rng;
-
 use crate::render::{segment_digit, sine_clutter, Plane};
+use qnn_tensor::rng::Rng;
 
 /// Image side length.
 pub const SIDE: usize = 32;
@@ -24,47 +23,47 @@ pub const CLASSES: usize = 10;
 /// # Panics
 ///
 /// Panics if `digit >= 10`.
-pub fn sample<R: Rng>(digit: usize, rng: &mut R) -> Vec<f32> {
+pub fn sample(digit: usize, rng: &mut Rng) -> Vec<f32> {
     assert!(digit < CLASSES, "digit class out of range");
     // Background and foreground colors with a guaranteed minimum contrast
     // on at least one channel (SVHN digits are legible but low-contrast).
     let bg = [
-        rng.gen_range(0.1..0.7),
-        rng.gen_range(0.1..0.7),
-        rng.gen_range(0.1..0.7),
+        rng.gen_range(0.1f32..0.7),
+        rng.gen_range(0.1f32..0.7),
+        rng.gen_range(0.1f32..0.7),
     ];
     let mut fg = [
-        rng.gen_range(0.2..1.0),
-        rng.gen_range(0.2..1.0),
-        rng.gen_range(0.2..1.0),
+        rng.gen_range(0.2f32..1.0),
+        rng.gen_range(0.2f32..1.0),
+        rng.gen_range(0.2f32..1.0),
     ];
     // Force contrast on a random channel.
     let ch = rng.gen_range(0..3usize);
     fg[ch] = if bg[ch] > 0.4 {
-        rng.gen_range(0.0..0.15)
+        rng.gen_range(0.0f32..0.15)
     } else {
-        rng.gen_range(0.75..1.0)
+        rng.gen_range(0.75f32..1.0)
     };
 
     let phases = [
-        rng.gen_range(0.0..1.0),
-        rng.gen_range(0.0..1.0),
-        rng.gen_range(0.0..1.0),
-        rng.gen_range(0.0..1.0),
+        rng.gen_range(0.0f32..1.0),
+        rng.gen_range(0.0f32..1.0),
+        rng.gen_range(0.0f32..1.0),
+        rng.gen_range(0.0f32..1.0),
     ];
-    let cx = 0.5 + rng.gen_range(-0.10..0.10);
-    let cy = 0.5 + rng.gen_range(-0.10..0.10);
-    let sx = rng.gen_range(0.13..0.20);
-    let sy = rng.gen_range(0.22..0.32);
-    let thick = rng.gen_range(0.035..0.055);
-    let tilt = rng.gen_range(-0.2..0.2);
+    let cx = 0.5 + rng.gen_range(-0.10f32..0.10);
+    let cy = 0.5 + rng.gen_range(-0.10f32..0.10);
+    let sx = rng.gen_range(0.13f32..0.20);
+    let sy = rng.gen_range(0.22f32..0.32);
+    let thick = rng.gen_range(0.035f32..0.055);
+    let tilt = rng.gen_range(-0.2f32..0.2);
 
     // Distractor: a partial digit poking in from a border (like SVHN's
     // neighbouring house numbers).
     let has_distractor = rng.gen_bool(0.6);
     let d_digit = rng.gen_range(0..10usize);
     let d_cx = if rng.gen_bool(0.5) { -0.05 } else { 1.05 };
-    let d_cy = 0.5 + rng.gen_range(-0.2..0.2);
+    let d_cy = 0.5 + rng.gen_range(-0.2f32..0.2);
 
     let mut mask = Plane::new(SIDE, SIDE);
     mask.fill(|u, v| {
@@ -75,7 +74,7 @@ pub fn sample<R: Rng>(digit: usize, rng: &mut R) -> Vec<f32> {
         m
     });
 
-    let texture_amp = rng.gen_range(0.05..0.15);
+    let texture_amp = rng.gen_range(0.05f32..0.15);
     let mut out = Vec::with_capacity(CHANNELS * SIDE * SIDE);
     for c in 0..CHANNELS {
         for y in 0..SIDE {
@@ -85,7 +84,7 @@ pub fn sample<R: Rng>(digit: usize, rng: &mut R) -> Vec<f32> {
                 let tex = texture_amp * (sine_clutter(u, v, phases) - 0.5);
                 let m = mask.data[y * SIDE + x];
                 let val = bg[c] + tex + m * (fg[c] - bg[c] - tex);
-                out.push((val + rng.gen_range(-0.04..0.04)).clamp(0.0, 1.0));
+                out.push((val + rng.gen_range(-0.04f32..0.04)).clamp(0.0, 1.0));
             }
         }
     }

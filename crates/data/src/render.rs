@@ -1,7 +1,7 @@
 //! Low-level procedural rendering: seven-segment digits, geometric shapes,
 //! and texture/noise fills over f32 image planes.
 
-use rand::Rng;
+use qnn_tensor::rng::Rng;
 
 /// A single-channel drawing surface.
 #[derive(Debug, Clone)]
@@ -31,7 +31,7 @@ impl Plane {
         }
     }
 
-    pub fn add_noise<R: Rng>(&mut self, amp: f32, rng: &mut R) {
+    pub fn add_noise(&mut self, amp: f32, rng: &mut Rng) {
         for p in &mut self.data {
             *p = (*p + rng.gen_range(-amp..amp)).clamp(0.0, 1.0);
         }

@@ -7,9 +7,8 @@
 //! intensity, which is what makes CIFAR-10 the set where precision choices
 //! separate in the paper (Table V spans 74.8–82.3 %).
 
-use rand::Rng;
-
 use crate::render::{shape_intensity, sine_clutter, stripes, Plane, ShapeKind};
+use qnn_tensor::rng::Rng;
 
 /// Image side length.
 pub const SIDE: usize = 32;
@@ -36,45 +35,45 @@ fn class_def(class: usize) -> (ShapeKind, bool) {
 /// # Panics
 ///
 /// Panics if `class >= 10`.
-pub fn sample<R: Rng>(class: usize, rng: &mut R) -> Vec<f32> {
+pub fn sample(class: usize, rng: &mut Rng) -> Vec<f32> {
     assert!(class < CLASSES, "object class out of range");
     let (shape, striped) = class_def(class);
     let bg = [
-        rng.gen_range(0.15..0.75),
-        rng.gen_range(0.15..0.75),
-        rng.gen_range(0.15..0.75),
+        rng.gen_range(0.15f32..0.75),
+        rng.gen_range(0.15f32..0.75),
+        rng.gen_range(0.15f32..0.75),
     ];
     let mut fg = [
-        rng.gen_range(0.1..1.0),
-        rng.gen_range(0.1..1.0),
-        rng.gen_range(0.1..1.0),
+        rng.gen_range(0.1f32..1.0),
+        rng.gen_range(0.1f32..1.0),
+        rng.gen_range(0.1f32..1.0),
     ];
     // Guarantee contrast on two channels so the silhouette is always
     // recoverable (CIFAR objects are hard, not invisible).
     for _ in 0..2 {
         let ch = rng.gen_range(0..3usize);
         fg[ch] = if bg[ch] > 0.45 {
-            rng.gen_range(0.0..0.15)
+            rng.gen_range(0.0f32..0.15)
         } else {
-            rng.gen_range(0.75..1.0)
+            rng.gen_range(0.75f32..1.0)
         };
     }
-    let cx = 0.5 + rng.gen_range(-0.10..0.10);
-    let cy = 0.5 + rng.gen_range(-0.10..0.10);
-    let radius = rng.gen_range(0.22..0.34);
-    let stripe_angle = rng.gen_range(0.0..std::f32::consts::PI);
-    let stripe_period = rng.gen_range(0.10..0.16);
+    let cx = 0.5 + rng.gen_range(-0.10f32..0.10);
+    let cy = 0.5 + rng.gen_range(-0.10f32..0.10);
+    let radius = rng.gen_range(0.22f32..0.34);
+    let stripe_angle = rng.gen_range(0.0f32..std::f32::consts::PI);
+    let stripe_period = rng.gen_range(0.10f32..0.16);
     let phases = [
-        rng.gen_range(0.0..1.0),
-        rng.gen_range(0.0..1.0),
-        rng.gen_range(0.0..1.0),
-        rng.gen_range(0.0..1.0),
+        rng.gen_range(0.0f32..1.0),
+        rng.gen_range(0.0f32..1.0),
+        rng.gen_range(0.0f32..1.0),
+        rng.gen_range(0.0f32..1.0),
     ];
 
     let mut mask = Plane::new(SIDE, SIDE);
     mask.fill(|u, v| shape_intensity(shape, u, v, cx, cy, radius));
 
-    let bg_amp = rng.gen_range(0.05..0.15);
+    let bg_amp = rng.gen_range(0.05f32..0.15);
     let mut out = Vec::with_capacity(CHANNELS * SIDE * SIDE);
     for c in 0..CHANNELS {
         for y in 0..SIDE {
@@ -92,7 +91,7 @@ pub fn sample<R: Rng>(class: usize, rng: &mut R) -> Vec<f32> {
                 let bg_val = bg[c] + bg_amp * (sine_clutter(u, v, phases) - 0.5);
                 let obj_val = fg[c] * obj_tex;
                 let val = bg_val + m * (obj_val - bg_val);
-                out.push((val + rng.gen_range(-0.03..0.03)).clamp(0.0, 1.0));
+                out.push((val + rng.gen_range(-0.03f32..0.03)).clamp(0.0, 1.0));
             }
         }
     }

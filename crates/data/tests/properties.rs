@@ -1,69 +1,105 @@
-//! Property tests for the dataset substrates.
+//! Property tests for the dataset substrates, run as deterministic seeded
+//! loops (≥256 cases each).
 
-use proptest::prelude::*;
 use qnn_data::{standard_splits, Dataset, DatasetKind};
+use qnn_tensor::rng::{derive_seed, seeded, Rng};
 
-fn kinds() -> impl Strategy<Value = DatasetKind> {
-    prop_oneof![
-        Just(DatasetKind::Glyphs28),
-        Just(DatasetKind::HouseDigits32),
-        Just(DatasetKind::TexturedObjects32),
-    ]
+const CASES: u64 = 256;
+
+/// Runs `f` once per case with an independent child-stream RNG.
+fn cases(suite_seed: u64, f: impl Fn(&mut Rng)) {
+    for case in 0..CASES {
+        let mut rng = seeded(derive_seed(suite_seed, case));
+        f(&mut rng);
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(16))]
+const KINDS: [DatasetKind; 3] = [
+    DatasetKind::Glyphs28,
+    DatasetKind::HouseDigits32,
+    DatasetKind::TexturedObjects32,
+];
 
-    /// Every generated image is a valid tensor in [0, 1] with an in-range
-    /// label, for any size and seed.
-    #[test]
-    fn generation_is_always_valid(kind in kinds(), n in 1usize..40, seed in 0u64..1000) {
+fn any_kind(rng: &mut Rng) -> DatasetKind {
+    KINDS[rng.gen_range(0usize..KINDS.len())]
+}
+
+/// Every generated image is a valid tensor in [0, 1] with an in-range
+/// label, for any size and seed.
+#[test]
+fn generation_is_always_valid() {
+    cases(0x60, |rng| {
+        let kind = any_kind(rng);
+        let n = rng.gen_range(1usize..40);
+        let seed = rng.gen_range(0u64..1000);
         let ds = Dataset::generate(kind, n, seed);
-        prop_assert_eq!(ds.len(), n);
+        assert_eq!(ds.len(), n);
         let (c, h, w) = kind.input_shape();
-        prop_assert_eq!(ds.images().shape().dims(), &[n, c, h, w]);
-        prop_assert!(ds.images().as_slice().iter().all(|&x| (0.0..=1.0).contains(&x)));
-        prop_assert!(ds.labels().iter().all(|&l| l < kind.num_classes()));
-    }
+        assert_eq!(ds.images().shape().dims(), &[n, c, h, w]);
+        assert!(ds
+            .images()
+            .as_slice()
+            .iter()
+            .all(|&x| (0.0..=1.0).contains(&x)));
+        assert!(ds.labels().iter().all(|&l| l < kind.num_classes()));
+    });
+}
 
-    /// Same seed → identical dataset; different seed → different pixels.
-    #[test]
-    fn determinism(kind in kinds(), seed in 0u64..1000) {
+/// Same seed → identical dataset; different seed → different pixels.
+#[test]
+fn determinism() {
+    cases(0x61, |rng| {
+        let kind = any_kind(rng);
+        let seed = rng.gen_range(0u64..1000);
         let a = Dataset::generate(kind, 6, seed);
         let b = Dataset::generate(kind, 6, seed);
-        prop_assert_eq!(&a, &b);
+        assert_eq!(&a, &b);
         let c = Dataset::generate(kind, 6, seed.wrapping_add(1));
-        prop_assert_ne!(a.images().as_slice(), c.images().as_slice());
-    }
+        assert_ne!(a.images().as_slice(), c.images().as_slice());
+    });
+}
 
-    /// Split sizes always partition the test pool, with a class-balanced
-    /// validation set of ~10 % (the paper's §V-A rule).
-    #[test]
-    fn splits_partition_the_pool(kind in kinds(), n_test in 20usize..120, seed in 0u64..500) {
+/// Split sizes always partition the test pool, with a class-balanced
+/// validation set of ~10 % (the paper's §V-A rule).
+#[test]
+fn splits_partition_the_pool() {
+    cases(0x62, |rng| {
+        let kind = any_kind(rng);
+        let n_test = rng.gen_range(20usize..120);
+        let seed = rng.gen_range(0u64..500);
         let s = standard_splits(kind, 10, n_test, seed);
-        prop_assert_eq!(s.val.len() + s.test.len(), n_test);
+        assert_eq!(s.val.len() + s.test.len(), n_test);
         // Validation takes ⌊count/10⌋ per class.
         let mut per_class = vec![0usize; kind.num_classes()];
-        for &l in s.val.labels() { per_class[l] += 1; }
-        let mut pool_class = vec![0usize; kind.num_classes()];
-        for &l in s.val.labels().iter().chain(s.test.labels()) { pool_class[l] += 1; }
-        for (have, total) in per_class.iter().zip(pool_class.iter()) {
-            prop_assert_eq!(*have, total / 10);
+        for &l in s.val.labels() {
+            per_class[l] += 1;
         }
-    }
+        let mut pool_class = vec![0usize; kind.num_classes()];
+        for &l in s.val.labels().iter().chain(s.test.labels()) {
+            pool_class[l] += 1;
+        }
+        for (have, total) in per_class.iter().zip(pool_class.iter()) {
+            assert_eq!(*have, total / 10);
+        }
+    });
+}
 
-    /// `take` preserves image/label pairing.
-    #[test]
-    fn take_preserves_pairing(seed in 0u64..200, idx in proptest::collection::vec(0usize..12, 1..6)) {
+/// `take` preserves image/label pairing.
+#[test]
+fn take_preserves_pairing() {
+    cases(0x63, |rng| {
+        let seed = rng.gen_range(0u64..200);
+        let len = rng.gen_range(1usize..6);
+        let idx: Vec<usize> = (0..len).map(|_| rng.gen_range(0usize..12)).collect();
         let ds = Dataset::generate(DatasetKind::Glyphs28, 12, seed);
         let sub = ds.take(&idx);
         let px = 28 * 28;
         for (k, &i) in idx.iter().enumerate() {
-            prop_assert_eq!(sub.labels()[k], ds.labels()[i]);
-            prop_assert_eq!(
+            assert_eq!(sub.labels()[k], ds.labels()[i]);
+            assert_eq!(
                 &sub.images().as_slice()[k * px..(k + 1) * px],
                 &ds.images().as_slice()[i * px..(i + 1) * px]
             );
         }
-    }
+    });
 }

@@ -1,66 +1,90 @@
-//! Property tests for the component model: cost functions must be
-//! monotone in every physical parameter and categories must aggregate
-//! consistently.
+//! Property tests for the component model, run as deterministic seeded
+//! loops (≥256 cases each): cost functions must be monotone in every
+//! physical parameter and categories must aggregate consistently.
 
-use proptest::prelude::*;
 use qnn_hw::{tech65, Category, DesignReport};
+use qnn_tensor::rng::{derive_seed, seeded, Rng};
 
-proptest! {
-    /// SRAM cost is monotone in capacity, row width and word width.
-    #[test]
-    fn sram_monotone(bits in 1u64..1_000_000, row in 1u64..4096, width in 0u32..64) {
+const CASES: u64 = 256;
+
+/// Runs `f` once per case with an independent child-stream RNG.
+fn cases(suite_seed: u64, f: impl Fn(&mut Rng)) {
+    for case in 0..CASES {
+        let mut rng = seeded(derive_seed(suite_seed, case));
+        f(&mut rng);
+    }
+}
+
+/// SRAM cost is monotone in capacity, row width and word width.
+#[test]
+fn sram_monotone() {
+    cases(0x70, |rng| {
+        let bits = rng.gen_range(1u64..1_000_000);
+        let row = rng.gen_range(1u64..4096);
+        let width = rng.gen_range(0u32..64);
         let base = tech65::sram("s", bits, row, width);
         let more_bits = tech65::sram("s", bits + 1024, row, width);
         let wider_row = tech65::sram("s", bits, row + 64, width);
         let wider_word = tech65::sram("s", bits, row, width + 8);
-        prop_assert!(more_bits.area_um2 > base.area_um2);
-        prop_assert!(more_bits.power_mw > base.power_mw);
-        prop_assert!(wider_row.power_mw > base.power_mw);
-        prop_assert!(wider_word.power_mw >= base.power_mw);
+        assert!(more_bits.area_um2 > base.area_um2);
+        assert!(more_bits.power_mw > base.power_mw);
+        assert!(wider_row.power_mw > base.power_mw);
+        assert!(wider_word.power_mw >= base.power_mw);
         // Word width affects access energy, not storage area.
-        prop_assert_eq!(wider_word.area_um2, base.area_um2);
-    }
+        assert_eq!(wider_word.area_um2, base.area_um2);
+    });
+}
 
-    /// Multiplier cost is monotone in both operand widths and symmetric.
-    #[test]
-    fn multiplier_monotone_and_symmetric(w in 1u32..64, i in 1u32..64) {
+/// Multiplier cost is monotone in both operand widths and symmetric.
+#[test]
+fn multiplier_monotone_and_symmetric() {
+    cases(0x71, |rng| {
+        let w = rng.gen_range(1u32..64);
+        let i = rng.gen_range(1u32..64);
         let m = tech65::fixed_multiplier(w, i);
         let m2 = tech65::fixed_multiplier(w + 1, i);
         let sym = tech65::fixed_multiplier(i, w);
-        prop_assert!(m2.area_um2 > m.area_um2);
-        prop_assert!(m2.power_mw > m.power_mw);
-        prop_assert_eq!(sym.area_um2, m.area_um2);
-        prop_assert_eq!(sym.power_mw, m.power_mw);
-    }
+        assert!(m2.area_um2 > m.area_um2);
+        assert!(m2.power_mw > m.power_mw);
+        assert_eq!(sym.area_um2, m.area_um2);
+        assert_eq!(sym.power_mw, m.power_mw);
+    });
+}
 
-    /// Minifloat units interpolate monotonically and hit the binary32
-    /// anchor exactly.
-    #[test]
-    fn minifloat_units_monotone(e in 1u32..8, m in 0u32..23) {
+/// Minifloat units interpolate monotonically and hit the binary32
+/// anchor exactly.
+#[test]
+fn minifloat_units_monotone() {
+    cases(0x72, |rng| {
+        let e = rng.gen_range(1u32..8);
+        let m = rng.gen_range(0u32..23);
         let small = tech65::minifloat_multiplier(e, m);
         let bigger_man = tech65::minifloat_multiplier(e, m + 1);
-        prop_assert!(bigger_man.area_um2 > small.area_um2);
+        assert!(bigger_man.area_um2 > small.area_um2);
         let anchor = tech65::minifloat_multiplier(8, 23);
         let fp32 = tech65::float_multiplier();
-        prop_assert!((anchor.area_um2 - fp32.area_um2).abs() < 1e-6);
-        prop_assert!((anchor.power_mw - fp32.power_mw).abs() < 1e-9);
-    }
+        assert!((anchor.area_um2 - fp32.area_um2).abs() < 1e-6);
+        assert!((anchor.power_mw - fp32.power_mw).abs() < 1e-9);
+    });
+}
 
-    /// Report totals equal the sum over any partition into categories.
-    #[test]
-    fn report_totals_partition(nm in 1usize..20, nr in 1usize..20, nc in 1usize..20) {
+/// Report totals equal the sum over any partition into categories.
+#[test]
+fn report_totals_partition() {
+    cases(0x73, |rng| {
+        let nm = rng.gen_range(1usize..20);
+        let nr = rng.gen_range(1usize..20);
+        let nc = rng.gen_range(1usize..20);
         let mut d = DesignReport::new("p");
         d.push_array(tech65::sram("s", 1024, 64, 8), nm);
         d.push_array(tech65::register_bank("r", 128), nr);
         d.push_array(tech65::fixed_adder(16), nc);
-        let by_cat: f64 = Category::ALL.iter()
-            .map(|&c| d.area_fraction(c))
-            .sum();
-        prop_assert!((by_cat - 1.0).abs() < 1e-9);
+        let by_cat: f64 = Category::ALL.iter().map(|&c| d.area_fraction(c)).sum();
+        assert!((by_cat - 1.0).abs() < 1e-9);
         let bd = d.breakdown();
         let area_sum: f64 = bd.values().map(|b| b.area_mm2).sum();
-        prop_assert!((area_sum - d.area_mm2()).abs() < 1e-9);
+        assert!((area_sum - d.area_mm2()).abs() < 1e-9);
         let power_sum: f64 = bd.values().map(|b| b.power_mw).sum();
-        prop_assert!((power_sum - d.power_mw()).abs() < 1e-9);
-    }
+        assert!((power_sum - d.power_mw()).abs() < 1e-9);
+    });
 }

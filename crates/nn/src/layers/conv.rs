@@ -1,4 +1,4 @@
-use qnn_tensor::conv::{conv2d, conv2d_backward, Geometry};
+use qnn_tensor::conv::{conv2d_backward_with, conv2d_with, ConvScratch, Geometry};
 use qnn_tensor::{init, rng, Shape, Tensor};
 
 use crate::error::NnError;
@@ -27,6 +27,9 @@ pub struct Conv2d {
     out_channels: usize,
     weight_q: Option<QuantizerHandle>,
     cache: Option<ConvCache>,
+    /// Per-layer im2col / gradient buffers, allocated once and reused by
+    /// every forward/backward call (see [`ConvScratch`]).
+    scratch: ConvScratch,
 }
 
 #[derive(Debug)]
@@ -64,6 +67,7 @@ impl Conv2d {
             out_channels,
             weight_q: None,
             cache: None,
+            scratch: ConvScratch::new(),
         }
     }
 
@@ -94,7 +98,7 @@ impl Layer for Conv2d {
 
     fn forward(&mut self, input: &Tensor, mode: Mode) -> Result<Tensor, NnError> {
         let qw = self.effective_weight();
-        let out = conv2d(input, &qw, &self.bias.value, self.geom)?;
+        let out = conv2d_with(&mut self.scratch, input, &qw, &self.bias.value, self.geom)?;
         if mode == Mode::Train {
             self.cache = Some(ConvCache {
                 input: input.clone(),
@@ -111,7 +115,13 @@ impl Layer for Conv2d {
             .cache
             .take()
             .ok_or(NnError::NoForwardCache { layer: "conv2d" })?;
-        let (gx, gw, gb) = conv2d_backward(&cache.input, &cache.qweight, grad_out, self.geom)?;
+        let (gx, gw, gb) = conv2d_backward_with(
+            &mut self.scratch,
+            &cache.input,
+            &cache.qweight,
+            grad_out,
+            self.geom,
+        )?;
         // Straight-through estimator: the gradient w.r.t. the quantized
         // weight is applied to the shadow weight unchanged. Clipping (zero
         // gradient outside the representable range) is handled by the

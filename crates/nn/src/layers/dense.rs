@@ -1,3 +1,4 @@
+use qnn_tensor::gemm::{gemm_nn_with, gemm_nt_with, gemm_tn_with, GemmScratch};
 use qnn_tensor::{init, rng, Shape, Tensor};
 
 use crate::error::NnError;
@@ -20,6 +21,9 @@ pub struct Dense {
     out_features: usize,
     weight_q: Option<QuantizerHandle>,
     cache: Option<DenseCache>,
+    /// Per-layer GEMM packing buffers, allocated once and reused by every
+    /// forward/backward call.
+    scratch: GemmScratch,
 }
 
 #[derive(Debug)]
@@ -41,6 +45,7 @@ impl Dense {
             out_features,
             weight_q: None,
             cache: None,
+            scratch: GemmScratch::default(),
         }
     }
 
@@ -82,10 +87,19 @@ impl Layer for Dense {
             });
         }
         let qw = self.effective_weight();
-        // y = x · Wᵀ + b
-        let y = x.matmul(&qw.transpose()?)?;
-        let n = y.shape().dim(0);
-        let mut out = y.into_vec();
+        // y = x · Wᵀ + b — the (out, in) weight matrix is the B operand of
+        // an NT product, so no transpose is ever materialised.
+        let n = x.shape().dim(0);
+        let mut out = vec![0.0f32; n * self.out_features];
+        gemm_nt_with(
+            &mut self.scratch,
+            n,
+            self.in_features,
+            self.out_features,
+            x.as_slice(),
+            qw.as_slice(),
+            &mut out,
+        );
         let b = self.bias.value.as_slice();
         for i in 0..n {
             for j in 0..self.out_features {
@@ -110,18 +124,38 @@ impl Layer for Dense {
             .cache
             .take()
             .ok_or(NnError::NoForwardCache { layer: "dense" })?;
-        // dW = dYᵀ · X ; db = column sums of dY ; dX = dY · W
-        let gw = grad_out.transpose()?.matmul(&cache.input2d)?;
+        // dW = dYᵀ · X ; db = column sums of dY ; dX = dY · W. Both products
+        // run as TN/NN GEMMs straight off the cached slices.
         let n = grad_out.shape().dim(0);
-        let mut gb = vec![0.0f32; self.out_features];
         let gos = grad_out.as_slice();
+        let mut gw = vec![0.0f32; self.out_features * self.in_features];
+        gemm_tn_with(
+            &mut self.scratch,
+            self.out_features,
+            n,
+            self.in_features,
+            gos,
+            cache.input2d.as_slice(),
+            &mut gw,
+        );
+        let mut gb = vec![0.0f32; self.out_features];
         for i in 0..n {
             for j in 0..self.out_features {
                 gb[j] += gos[i * self.out_features + j];
             }
         }
-        let gx2 = grad_out.matmul(&cache.qweight)?;
-        self.weight.grad = gw;
+        let mut gx = vec![0.0f32; n * self.in_features];
+        gemm_nn_with(
+            &mut self.scratch,
+            n,
+            self.out_features,
+            self.in_features,
+            gos,
+            cache.qweight.as_slice(),
+            &mut gx,
+        );
+        let gx2 = Tensor::from_vec(Shape::d2(n, self.in_features), gx)?;
+        self.weight.grad = Tensor::from_vec(Shape::d2(self.out_features, self.in_features), gw)?;
         self.bias.grad = Tensor::from_vec(Shape::d1(self.out_features), gb)?;
         Ok(gx2.reshape(cache.input_shape)?)
     }
@@ -210,8 +244,8 @@ mod tests {
             }
         }
         for i in 0..2 {
-            for j in 0..3 {
-                assert!((gx.as_slice()[i * 3 + j] - expect[j]).abs() < 1e-5);
+            for (j, e) in expect.iter().enumerate() {
+                assert!((gx.as_slice()[i * 3 + j] - e).abs() < 1e-5);
             }
         }
     }

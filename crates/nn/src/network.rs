@@ -158,7 +158,9 @@ impl Network {
         for (i, layer) in self.layers.iter_mut().enumerate() {
             x = layer.forward(&x, mode)?;
             if let Some(q) = &self.act_q[i + 1] {
-                q.quantize_inplace(&mut x);
+                // Feature maps are the largest tensors in the pass; snap
+                // them across the worker pool (bit-identical to serial).
+                qnn_quant::quantize_inplace_par(q.as_ref(), &mut x);
             }
         }
         Ok(x)
@@ -182,7 +184,7 @@ impl Network {
         for (i, layer) in self.layers.iter_mut().enumerate() {
             x = layer.forward(&x, Mode::Eval)?;
             if let Some(q) = &self.act_q[i + 1] {
-                q.quantize_inplace(&mut x);
+                qnn_quant::quantize_inplace_par(q.as_ref(), &mut x);
             }
             trace.push(x.clone());
         }

@@ -1,7 +1,6 @@
 use qnn_quant::calibrate::Method;
 use qnn_quant::Precision;
 use qnn_tensor::{rng, Shape, Tensor};
-use rand::seq::SliceRandom;
 
 use crate::error::NnError;
 use crate::loss::softmax_cross_entropy;
@@ -164,7 +163,7 @@ impl Trainer {
         let mut final_correct = 0usize;
         let mut final_count = 0usize;
         for epoch in 0..self.config.epochs {
-            order.shuffle(&mut shuffle_rng);
+            shuffle_rng.shuffle(&mut order);
             let mut loss_sum = 0.0f64;
             let mut batches = 0usize;
             let mut correct = 0usize;
@@ -383,7 +382,6 @@ mod tests {
     /// or right half.
     fn toy_data(n: usize, seed: u64) -> (Tensor, Vec<usize>) {
         let mut r = rng::seeded(seed);
-        use rand::Rng;
         let mut data = Vec::with_capacity(n * 16);
         let mut labels = Vec::with_capacity(n);
         for _ in 0..n {
@@ -393,7 +391,7 @@ mod tests {
                 for col in 0..4 {
                     let lit = if class == 0 { col < 2 } else { col >= 2 };
                     let base = if lit { 0.8 } else { 0.1 };
-                    data.push(base + r.gen_range(-0.05..0.05));
+                    data.push(base + r.gen_range(-0.05f32..0.05));
                 }
             }
             labels.push(class);

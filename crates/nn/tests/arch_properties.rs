@@ -1,93 +1,117 @@
-//! Property tests over random architecture specs: shape propagation,
-//! parameter accounting, and workload consistency must hold for any valid
-//! stack, and every valid spec must build into a runnable network whose
-//! actual output shape matches the spec's prediction.
+//! Property tests over random architecture specs, run as deterministic
+//! seeded loops (≥256 cases each): shape propagation, parameter
+//! accounting, and workload consistency must hold for any valid stack, and
+//! every valid spec must build into a runnable network whose actual output
+//! shape matches the spec's prediction.
 
-use proptest::prelude::*;
 use qnn_nn::arch::{LayerSpec, NetworkSpec};
 use qnn_nn::{Mode, Network};
+use qnn_tensor::rng::{derive_seed, seeded, Rng};
 use qnn_tensor::{Shape, Tensor};
 
-/// A random-but-valid conv stack on a 16×16 input, ending in a dense head.
-fn random_spec() -> impl Strategy<Value = NetworkSpec> {
-    let stage = (1usize..9, 1usize..4, prop::bool::ANY, prop::bool::ANY);
-    proptest::collection::vec(stage, 0..3).prop_map(|stages| {
-        let mut spec = NetworkSpec::new("random", (2, 16, 16));
-        for (oc, k, pool, ceil) in stages {
-            // Pad to keep spatial size, so stacking stays valid.
-            spec = spec.conv(oc, 2 * k - 1, 1, k - 1).relu();
-            if pool {
-                spec = if ceil {
-                    spec.max_pool_ceil(2, 2)
-                } else {
-                    spec.max_pool(2, 2)
-                };
-            }
-        }
-        spec.dense(5)
-    })
+const CASES: u64 = 256;
+
+/// Runs `f` once per case with an independent child-stream RNG.
+fn cases(suite_seed: u64, f: impl Fn(&mut Rng)) {
+    for case in 0..CASES {
+        let mut rng = seeded(derive_seed(suite_seed, case));
+        f(&mut rng);
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+/// A random-but-valid conv stack on a 16×16 input, ending in a dense head.
+fn random_spec(rng: &mut Rng) -> NetworkSpec {
+    let stages = rng.gen_range(0usize..3);
+    let mut spec = NetworkSpec::new("random", (2, 16, 16));
+    for _ in 0..stages {
+        let oc = rng.gen_range(1usize..9);
+        let k = rng.gen_range(1usize..4);
+        // Pad to keep spatial size, so stacking stays valid.
+        spec = spec.conv(oc, 2 * k - 1, 1, k - 1).relu();
+        if rng.gen_bool(0.5) {
+            spec = if rng.gen_bool(0.5) {
+                spec.max_pool_ceil(2, 2)
+            } else {
+                spec.max_pool(2, 2)
+            };
+        }
+    }
+    spec.dense(5)
+}
 
-    /// Spec-predicted output shapes match what the built network computes.
-    #[test]
-    fn spec_shapes_match_execution(spec in random_spec(), seed in 0u64..100) {
+/// Spec-predicted output shapes match what the built network computes.
+#[test]
+fn spec_shapes_match_execution() {
+    cases(0x30, |rng| {
+        let spec = random_spec(rng);
+        let seed = rng.gen_range(0u64..100);
         let summaries = spec.summaries().unwrap();
         let mut net = Network::build(&spec, seed).unwrap();
         let x = Tensor::zeros(Shape::d4(2, 2, 16, 16));
         let y = net.forward(&x, Mode::Eval).unwrap();
         let last = &summaries.last().unwrap().output;
-        prop_assert_eq!(y.shape().dims(), &[2, last.len()]);
-        prop_assert_eq!(y.shape().dim(1), 5);
-    }
+        assert_eq!(y.shape().dims(), &[2, last.len()]);
+        assert_eq!(y.shape().dim(1), 5);
+    });
+}
 
-    /// The network holds exactly the parameters the spec accounts for.
-    #[test]
-    fn param_accounting_matches(spec in random_spec(), seed in 0u64..100) {
+/// The network holds exactly the parameters the spec accounts for.
+#[test]
+fn param_accounting_matches() {
+    cases(0x31, |rng| {
+        let spec = random_spec(rng);
+        let seed = rng.gen_range(0u64..100);
         let net = Network::build(&spec, seed).unwrap();
-        prop_assert_eq!(net.param_count(), spec.param_count());
-    }
+        assert_eq!(net.param_count(), spec.param_count());
+    });
+}
 
-    /// Workload totals are consistent with the spec and each layer's MACs
-    /// factor as neurons × fan-in.
-    #[test]
-    fn workload_consistency(spec in random_spec()) {
+/// Workload totals are consistent with the spec and each layer's MACs
+/// factor as neurons × fan-in.
+#[test]
+fn workload_consistency() {
+    cases(0x32, |rng| {
+        let spec = random_spec(rng);
         let wl = spec.workload().unwrap();
-        prop_assert_eq!(wl.total_macs(), spec.macs_per_image());
-        prop_assert_eq!(wl.total_weights() as usize, spec.param_count());
+        assert_eq!(wl.total_macs(), spec.macs_per_image());
+        assert_eq!(wl.total_weights() as usize, spec.param_count());
         for l in &wl.layers {
             if l.macs > 0 {
-                prop_assert_eq!(l.macs, l.neurons * l.synapses_per_neuron);
+                assert_eq!(l.macs, l.neurons * l.synapses_per_neuron);
             }
         }
-    }
+    });
+}
 
-    /// Backprop runs end-to-end on any random spec and produces gradient
-    /// somewhere. (Individual weight tensors can legitimately receive zero
-    /// gradient — a dead-ReLU stage blacks out everything upstream — but
-    /// the final dense layer's bias always sees the loss.)
-    #[test]
-    fn backprop_reaches_the_head(spec in random_spec(), seed in 0u64..50) {
+/// Backprop runs end-to-end on any random spec and produces gradient
+/// somewhere. (Individual weight tensors can legitimately receive zero
+/// gradient — a dead-ReLU stage blacks out everything upstream — but
+/// the final dense layer's bias always sees the loss.)
+#[test]
+fn backprop_reaches_the_head() {
+    cases(0x33, |rng| {
+        let spec = random_spec(rng);
+        let seed = rng.gen_range(0u64..50);
         let mut net = Network::build(&spec, seed).unwrap();
         let x = Tensor::from_vec(
             Shape::d4(1, 2, 16, 16),
             (0..512).map(|i| ((i as f32) * 0.17).sin()).collect(),
-        ).unwrap();
+        )
+        .unwrap();
         let y = net.forward(&x, Mode::Train).unwrap();
         net.backward(&Tensor::ones(y.shape().clone())).unwrap();
         let params = net.params();
         // Last parameter is the head's bias: dL/db = 1 per output.
         let head_bias = params.last().unwrap();
-        prop_assert!(!head_bias.decay);
-        prop_assert!(head_bias.grad.as_slice().iter().all(|&g| g == 1.0));
-        let total: f32 = params.iter()
+        assert!(!head_bias.decay);
+        assert!(head_bias.grad.as_slice().iter().all(|&g| g == 1.0));
+        let total: f32 = params
+            .iter()
             .flat_map(|p| p.grad.as_slice())
             .map(|v| v.abs())
             .sum();
-        prop_assert!(total > 0.0);
-    }
+        assert!(total > 0.0);
+    });
 }
 
 /// Degenerate specs are rejected, not mis-built.

@@ -57,4 +57,4 @@ pub use fixed::{Fixed, RoundMode};
 pub use minifloat::Minifloat;
 pub use pow2::PowerOfTwo;
 pub use precision::{Precision, Scheme};
-pub use quantizer::{IdentityQuantizer, Quantizer, QuantizerPair};
+pub use quantizer::{quantize_inplace_par, IdentityQuantizer, Quantizer, QuantizerPair};

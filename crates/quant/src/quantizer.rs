@@ -49,6 +49,29 @@ pub trait Quantizer: std::fmt::Debug {
     }
 }
 
+/// Chunk length of parallel fake-quantize passes. Fixed (never derived from
+/// the thread count) so chunk boundaries — and with them every rounding
+/// decision — are identical no matter how many workers run. Element-wise
+/// snapping has no cross-element state, so the result equals the serial pass
+/// bit-for-bit anyway; the fixed chunking keeps the execution shape
+/// deterministic too.
+const PAR_CHUNK: usize = 8192;
+
+/// Snaps every element of `t` in place, spreading fixed-size chunks over
+/// the `qnn_tensor::par` pool.
+///
+/// This is the fake-quantize hot path of quantization-aware training: every
+/// forward pass snaps each activation tensor, so large feature maps benefit
+/// from the pool while small ones stay on the calling thread (a single
+/// chunk never spawns).
+pub fn quantize_inplace_par<Q: Quantizer + Sync + ?Sized>(q: &Q, t: &mut Tensor) {
+    qnn_tensor::par::for_each_chunk_mut(t.as_mut_slice(), PAR_CHUNK, |_, chunk| {
+        for v in chunk {
+            *v = q.quantize_value(*v);
+        }
+    });
+}
+
 /// The identity quantizer: 32-bit float, i.e. no quantization.
 ///
 /// Serves as the full-precision baseline in every sweep.

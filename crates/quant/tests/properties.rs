@@ -1,4 +1,5 @@
-//! Property tests for the numeric formats.
+//! Property tests for the numeric formats, run as deterministic seeded
+//! loops (≥256 cases each).
 //!
 //! The invariants every format must satisfy:
 //! 1. **Idempotence** — `q(q(x)) == q(x)`.
@@ -8,134 +9,243 @@
 //! 5. **Error bound** — within the unsaturated range, `|q(x) - x|` is at
 //!    most half a step (fixed point) or half a binade gap (pow2).
 
-use proptest::prelude::*;
 use qnn_quant::{calibrate, Binary, Fixed, Minifloat, PowerOfTwo, Precision, Quantizer};
+use qnn_tensor::rng::{derive_seed, seeded, Rng};
 use qnn_tensor::{Shape, Tensor};
 
-fn fixed_format() -> impl Strategy<Value = Fixed> {
-    (2u32..=32, -8i32..24).prop_map(|(w, f)| Fixed::new(w, f).unwrap())
+const CASES: u64 = 256;
+
+fn cases(suite_seed: u64, f: impl Fn(&mut Rng)) {
+    for case in 0..CASES {
+        let mut rng = seeded(derive_seed(suite_seed, case));
+        f(&mut rng);
+    }
 }
 
-fn pow2_format() -> impl Strategy<Value = PowerOfTwo> {
+fn fixed_format(rng: &mut Rng) -> Fixed {
+    Fixed::new(rng.gen_range(2u32..=32), rng.gen_range(-8i32..24)).unwrap()
+}
+
+fn pow2_format(rng: &mut Rng) -> PowerOfTwo {
     // Width 8 with a low window top would push the window bottom past f32
     // range (rejected by the constructor), so keep widths ≤ 6 here.
-    (2u32..=6, -8i32..8).prop_map(|(b, e)| PowerOfTwo::new(b, e).unwrap())
+    PowerOfTwo::new(rng.gen_range(2u32..=6), rng.gen_range(-8i32..8)).unwrap()
 }
 
-fn minifloat_format() -> impl Strategy<Value = Minifloat> {
-    (1u32..=8, 0u32..=23).prop_map(|(e, m)| Minifloat::new(e, m).unwrap())
+fn minifloat_format(rng: &mut Rng) -> Minifloat {
+    Minifloat::new(rng.gen_range(1u32..=8), rng.gen_range(0u32..=23)).unwrap()
 }
 
-proptest! {
-    #[test]
-    fn fixed_idempotent(q in fixed_format(), x in -1e6f32..1e6) {
+/// Arbitrary f32 bit pattern: includes ±0, subnormals, infinities and NaN,
+/// like a property framework's "any float" generator.
+fn any_f32(rng: &mut Rng) -> f32 {
+    f32::from_bits(rng.next_u32())
+}
+
+/// A normal (non-zero, non-subnormal, finite) f32.
+fn normal_f32(rng: &mut Rng) -> f32 {
+    let sign = u32::from(rng.gen_bool(0.5)) << 31;
+    let exp = rng.gen_range(1u32..255) << 23;
+    let man = rng.next_u32() & 0x007F_FFFF;
+    f32::from_bits(sign | exp | man)
+}
+
+#[test]
+fn fixed_idempotent() {
+    cases(0x11, |rng| {
+        let q = fixed_format(rng);
+        let x = rng.gen_range(-1e6f32..1e6);
         let once = q.quantize_value(x);
-        prop_assert_eq!(q.quantize_value(once), once);
-    }
+        assert_eq!(q.quantize_value(once), once);
+    });
+}
 
-    #[test]
-    fn fixed_monotone(q in fixed_format(), a in -1e4f32..1e4, b in -1e4f32..1e4) {
+#[test]
+fn fixed_monotone() {
+    cases(0x12, |rng| {
+        let q = fixed_format(rng);
+        let a = rng.gen_range(-1e4f32..1e4);
+        let b = rng.gen_range(-1e4f32..1e4);
         let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
-        prop_assert!(q.quantize_value(lo) <= q.quantize_value(hi));
-    }
+        assert!(q.quantize_value(lo) <= q.quantize_value(hi));
+    });
+}
 
-    #[test]
-    fn fixed_bounded(q in fixed_format(), x in proptest::num::f32::ANY) {
+#[test]
+fn fixed_bounded() {
+    cases(0x13, |rng| {
+        let q = fixed_format(rng);
+        let x = any_f32(rng);
         let y = q.quantize_value(x);
-        prop_assert!(y >= q.min_value() && y <= q.max_value(), "y={}", y);
-    }
+        assert!(y >= q.min_value() && y <= q.max_value(), "x={x} y={y}");
+    });
+}
 
-    #[test]
-    fn fixed_error_at_most_half_step(q in fixed_format(), x in -100.0f32..100.0) {
-        prop_assume!(x.abs() < q.max_value());
+#[test]
+fn fixed_error_at_most_half_step() {
+    cases(0x14, |rng| {
+        let q = fixed_format(rng);
+        let x = rng.gen_range(-100.0f32..100.0);
+        if x.abs() >= q.max_value() {
+            return;
+        }
         let y = q.quantize_value(x);
-        prop_assert!((y - x).abs() <= q.step() * 0.5 + q.step() * 1e-3,
-            "x={} y={} step={}", x, y, q.step());
-    }
+        assert!(
+            (y - x).abs() <= q.step() * 0.5 + q.step() * 1e-3,
+            "x={} y={} step={}",
+            x,
+            y,
+            q.step()
+        );
+    });
+}
 
-    #[test]
-    fn fixed_encode_decode_round_trip(q in fixed_format(), x in -1e4f32..1e4) {
-        prop_assert_eq!(q.decode(q.encode(x)), q.quantize_value(x));
-    }
+#[test]
+fn fixed_encode_decode_round_trip() {
+    cases(0x15, |rng| {
+        let q = fixed_format(rng);
+        let x = rng.gen_range(-1e4f32..1e4);
+        assert_eq!(q.decode(q.encode(x)), q.quantize_value(x));
+    });
+}
 
-    #[test]
-    fn pow2_idempotent(q in pow2_format(), x in -256.0f32..256.0) {
+#[test]
+fn pow2_idempotent() {
+    cases(0x16, |rng| {
+        let q = pow2_format(rng);
+        let x = rng.gen_range(-256.0f32..256.0);
         let once = q.quantize_value(x);
-        prop_assert_eq!(q.quantize_value(once), once);
-    }
+        assert_eq!(q.quantize_value(once), once);
+    });
+}
 
-    #[test]
-    fn pow2_outputs_are_zero_or_signed_powers(q in pow2_format(), x in -256.0f32..256.0) {
+#[test]
+fn pow2_outputs_are_zero_or_signed_powers() {
+    cases(0x17, |rng| {
+        let q = pow2_format(rng);
+        let x = rng.gen_range(-256.0f32..256.0);
         let y = q.quantize_value(x);
         if y != 0.0 {
             let l = y.abs().log2();
-            prop_assert!((l - l.round()).abs() < 1e-6, "{} is not ±2^k", y);
-            prop_assert_eq!(y > 0.0, x > 0.0);
+            assert!((l - l.round()).abs() < 1e-6, "{y} is not ±2^k");
+            assert_eq!(y > 0.0, x > 0.0);
         }
-    }
+    });
+}
 
-    #[test]
-    fn pow2_bounded(q in pow2_format(), x in proptest::num::f32::NORMAL) {
+#[test]
+fn pow2_bounded() {
+    cases(0x18, |rng| {
+        let q = pow2_format(rng);
+        let x = normal_f32(rng);
         let y = q.quantize_value(x);
-        prop_assert!(y.abs() <= q.max_value());
-    }
+        assert!(y.abs() <= q.max_value());
+    });
+}
 
-    #[test]
-    fn binary_always_pm_scale(s in 0.01f32..10.0, x in proptest::num::f32::ANY) {
+#[test]
+fn binary_always_pm_scale() {
+    cases(0x19, |rng| {
+        let s = rng.gen_range(0.01f32..10.0);
+        let x = any_f32(rng);
         let q = Binary::with_scale(s).unwrap();
         let y = q.quantize_value(x);
-        prop_assert!(y == s || y == -s);
-    }
+        assert!(y == s || y == -s);
+    });
+}
 
-    #[test]
-    fn minifloat_idempotent(q in minifloat_format(), x in -1e6f32..1e6) {
+#[test]
+fn minifloat_idempotent() {
+    cases(0x1A, |rng| {
+        let q = minifloat_format(rng);
+        let x = rng.gen_range(-1e6f32..1e6);
         let once = q.quantize_value(x);
-        prop_assert_eq!(q.quantize_value(once), once);
-    }
+        assert_eq!(q.quantize_value(once), once);
+    });
+}
 
-    #[test]
-    fn minifloat_monotone(q in minifloat_format(), a in -1e4f32..1e4, b in -1e4f32..1e4) {
+#[test]
+fn minifloat_monotone() {
+    cases(0x1B, |rng| {
+        let q = minifloat_format(rng);
+        let a = rng.gen_range(-1e4f32..1e4);
+        let b = rng.gen_range(-1e4f32..1e4);
         let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
-        prop_assert!(q.quantize_value(lo) <= q.quantize_value(hi));
-    }
+        assert!(q.quantize_value(lo) <= q.quantize_value(hi));
+    });
+}
 
-    #[test]
-    fn minifloat_relative_error_bounded(q in minifloat_format(), x in 1e-2f32..1e2) {
+#[test]
+fn minifloat_relative_error_bounded() {
+    cases(0x1C, |rng| {
+        let q = minifloat_format(rng);
+        let x = rng.gen_range(1e-2f32..1e2);
         // Relative-error bounds only hold in the normal range, as in IEEE.
-        prop_assume!(x < q.max_value() && x >= q.min_positive_normal());
+        if !(x < q.max_value() && x >= q.min_positive_normal()) {
+            return;
+        }
         let y = q.quantize_value(x);
         // Relative error at most half an ulp of the mantissa width.
         let ulp = (-(q.man_bits() as f32)).exp2();
-        prop_assert!((y - x).abs() / x <= ulp, "x={} y={}", x, y);
-    }
+        assert!((y - x).abs() / x <= ulp, "x={x} y={y}");
+    });
+}
 
-    #[test]
-    fn calibrated_fixed_covers_sample(bits in 4u32..=16, v in proptest::collection::vec(-50.0f32..50.0, 1..64)) {
-        let n = v.len();
+#[test]
+fn calibrated_fixed_covers_sample() {
+    cases(0x1D, |rng| {
+        let bits = rng.gen_range(4u32..=16);
+        let n = rng.gen_range(1usize..64);
+        let v: Vec<f32> = (0..n).map(|_| rng.gen_range(-50.0f32..50.0)).collect();
         let t = Tensor::from_vec(Shape::d1(n), v).unwrap();
         let range = calibrate::Method::MaxAbs.range_of(&[&t]);
         let q = calibrate::fixed_for_range(bits, range).unwrap();
-        prop_assert!(q.max_value() >= range * (1.0 - 1e-6));
-    }
+        assert!(q.max_value() >= range * (1.0 - 1e-6));
+    });
+}
 
-    #[test]
-    fn quantize_tensor_equals_mapping_values(x in proptest::collection::vec(-4.0f32..4.0, 1..32)) {
+#[test]
+fn quantize_tensor_equals_mapping_values() {
+    cases(0x1E, |rng| {
         let q = Fixed::new(8, 5).unwrap();
-        let n = x.len();
+        let n = rng.gen_range(1usize..32);
+        let x: Vec<f32> = (0..n).map(|_| rng.gen_range(-4.0f32..4.0)).collect();
         let t = Tensor::from_vec(Shape::d1(n), x.clone()).unwrap();
         let qt = q.quantize(&t);
         for (i, &xi) in x.iter().enumerate() {
-            prop_assert_eq!(qt.as_slice()[i], q.quantize_value(xi));
+            assert_eq!(qt.as_slice()[i], q.quantize_value(xi));
         }
-    }
+    });
+}
 
-    #[test]
-    fn paper_sweep_quantizers_bounded_by_bits(x in -8.0f32..8.0) {
+#[test]
+fn paper_sweep_quantizers_bounded_by_bits() {
+    cases(0x1F, |rng| {
+        let x = rng.gen_range(-8.0f32..8.0);
         for p in Precision::paper_sweep() {
             let q = p.default_quantizers().unwrap();
             let y = q.weights.quantize_value(x);
-            prop_assert!(y.is_finite());
-            prop_assert!(q.weights.bits() <= 32);
+            assert!(y.is_finite());
+            assert!(q.weights.bits() <= 32);
         }
+    });
+}
+
+/// The parallel fake-quantize pass must equal the serial pass bit-for-bit
+/// at any thread count.
+#[test]
+fn parallel_quantize_matches_serial() {
+    let q = Fixed::new(8, 5).unwrap();
+    let mut rng = seeded(0x20);
+    let data: Vec<f32> = (0..20_000).map(|_| rng.gen_range(-6.0f32..6.0)).collect();
+    let t = Tensor::from_vec(Shape::d1(20_000), data).unwrap();
+    let mut serial = t.clone();
+    q.quantize_inplace(&mut serial);
+    for workers in [1usize, 2, 4] {
+        qnn_tensor::par::set_threads(Some(workers));
+        let mut par = t.clone();
+        qnn_quant::quantize_inplace_par(&q, &mut par);
+        assert_eq!(par, serial, "workers={workers}");
     }
+    qnn_tensor::par::set_threads(None);
 }

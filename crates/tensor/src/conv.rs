@@ -4,10 +4,22 @@
 //! output neuron's receptive field into a dot product; im2col is the exact
 //! software analogue, so using it here keeps the software MAC count equal to
 //! the hardware MAC count used by the cycle model in `qnn-accel`.
+//!
+//! The heavy entry points come in two forms: the original allocating
+//! functions ([`conv2d`], [`conv2d_backward`]) and `_with` variants taking a
+//! [`ConvScratch`] so a layer that convolves every step reuses its im2col
+//! and gradient buffers instead of reallocating them per call. Batches are
+//! spread over the [`crate::par`] pool with per-sample output regions
+//! (forward / input gradient) and fixed-size sample blocks for the weight
+//! and bias gradient partials, reduced in block order — so results are
+//! bit-identical at any thread count.
 
 use crate::error::TensorError;
+use crate::gemm::{gemm_nn_with, gemm_nt_with, gemm_tn_with, GemmScratch};
+use crate::par;
 use crate::shape::Shape;
 use crate::tensor::Tensor;
+use std::cell::RefCell;
 
 /// Geometry of a 2-D convolution or pooling window.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -94,6 +106,87 @@ impl Geometry {
     }
 }
 
+/// Core im2col loop over raw slices; geometry must already be validated
+/// (`(oh, ow) = geom.output_hw(h, w)`), and `dst` must be
+/// `c·kh·kw × oh·ow` long. Overwrites `dst` entirely.
+#[allow(clippy::too_many_arguments)]
+fn im2col_kernel(
+    image: &[f32],
+    c: usize,
+    h: usize,
+    w: usize,
+    geom: Geometry,
+    oh: usize,
+    ow: usize,
+    dst: &mut [f32],
+) {
+    debug_assert_eq!(image.len(), c * h * w);
+    debug_assert_eq!(dst.len(), c * geom.kh * geom.kw * oh * ow);
+    let cols = oh * ow;
+    dst.fill(0.0);
+    for ci in 0..c {
+        for ki in 0..geom.kh {
+            for kj in 0..geom.kw {
+                let row = (ci * geom.kh + ki) * geom.kw + kj;
+                for oi in 0..oh {
+                    let ii = (oi * geom.stride + ki) as isize - geom.pad as isize;
+                    if ii < 0 || ii as usize >= h {
+                        continue;
+                    }
+                    for oj in 0..ow {
+                        let jj = (oj * geom.stride + kj) as isize - geom.pad as isize;
+                        if jj < 0 || jj as usize >= w {
+                            continue;
+                        }
+                        dst[row * cols + oi * ow + oj] =
+                            image[(ci * h + ii as usize) * w + jj as usize];
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Core col2im loop over raw slices (adjoint of [`im2col_kernel`]);
+/// overwrites `dst` (`c·h·w`) with the folded accumulation.
+#[allow(clippy::too_many_arguments)]
+fn col2im_kernel(
+    cols: &[f32],
+    c: usize,
+    h: usize,
+    w: usize,
+    geom: Geometry,
+    oh: usize,
+    ow: usize,
+    dst: &mut [f32],
+) {
+    debug_assert_eq!(cols.len(), c * geom.kh * geom.kw * oh * ow);
+    debug_assert_eq!(dst.len(), c * h * w);
+    let ncols = oh * ow;
+    dst.fill(0.0);
+    for ci in 0..c {
+        for ki in 0..geom.kh {
+            for kj in 0..geom.kw {
+                let row = (ci * geom.kh + ki) * geom.kw + kj;
+                for oi in 0..oh {
+                    let ii = (oi * geom.stride + ki) as isize - geom.pad as isize;
+                    if ii < 0 || ii as usize >= h {
+                        continue;
+                    }
+                    for oj in 0..ow {
+                        let jj = (oj * geom.stride + kj) as isize - geom.pad as isize;
+                        if jj < 0 || jj as usize >= w {
+                            continue;
+                        }
+                        dst[(ci * h + ii as usize) * w + jj as usize] +=
+                            cols[row * ncols + oi * ow + oj];
+                    }
+                }
+            }
+        }
+    }
+}
+
 /// Unfolds one `(C, H, W)` image into the `(C·KH·KW, OH·OW)` patch matrix.
 ///
 /// Column `o` holds the receptive field of output pixel `o` in row-major
@@ -119,28 +212,7 @@ pub fn im2col(image: &Tensor, geom: Geometry) -> Result<Tensor, TensorError> {
     let rows = c * geom.kh * geom.kw;
     let cols = oh * ow;
     let mut out = vec![0.0f32; rows * cols];
-    let data = image.as_slice();
-    for ci in 0..c {
-        for ki in 0..geom.kh {
-            for kj in 0..geom.kw {
-                let row = (ci * geom.kh + ki) * geom.kw + kj;
-                for oi in 0..oh {
-                    let ii = (oi * geom.stride + ki) as isize - geom.pad as isize;
-                    if ii < 0 || ii as usize >= h {
-                        continue;
-                    }
-                    for oj in 0..ow {
-                        let jj = (oj * geom.stride + kj) as isize - geom.pad as isize;
-                        if jj < 0 || jj as usize >= w {
-                            continue;
-                        }
-                        out[row * cols + oi * ow + oj] =
-                            data[(ci * h + ii as usize) * w + jj as usize];
-                    }
-                }
-            }
-        }
-    }
+    im2col_kernel(image.as_slice(), c, h, w, geom, oh, ow, &mut out);
     Tensor::from_vec(Shape::d2(rows, cols), out)
 }
 
@@ -175,39 +247,80 @@ pub fn col2im(
         });
     }
     let mut out = vec![0.0f32; c * h * w];
-    let data = cols.as_slice();
-    let ncols = oh * ow;
-    for ci in 0..c {
-        for ki in 0..geom.kh {
-            for kj in 0..geom.kw {
-                let row = (ci * geom.kh + ki) * geom.kw + kj;
-                for oi in 0..oh {
-                    let ii = (oi * geom.stride + ki) as isize - geom.pad as isize;
-                    if ii < 0 || ii as usize >= h {
-                        continue;
-                    }
-                    for oj in 0..ow {
-                        let jj = (oj * geom.stride + kj) as isize - geom.pad as isize;
-                        if jj < 0 || jj as usize >= w {
-                            continue;
-                        }
-                        out[(ci * h + ii as usize) * w + jj as usize] +=
-                            data[row * ncols + oi * ow + oj];
-                    }
-                }
-            }
-        }
-    }
+    col2im_kernel(cols.as_slice(), c, h, w, geom, oh, ow, &mut out);
     Tensor::from_vec(Shape::d3(c, h, w), out)
 }
 
+/// Per-worker buffers for one convolution layer: the im2col patch matrix,
+/// the folded gradient columns, a per-sample weight-gradient product, and
+/// the GEMM packing buffers. Sized lazily on first use and reused for the
+/// lifetime of the layer.
+#[derive(Debug, Default, Clone)]
+struct Slot {
+    cols: Vec<f32>,
+    gcols: Vec<f32>,
+    gw_tmp: Vec<f32>,
+    gemm: GemmScratch,
+}
+
+/// Persistent scratch for [`conv2d_with`] / [`conv2d_backward_with`].
+///
+/// Holds one buffer set per worker thread; a `Conv2d` layer owns one of
+/// these so im2col and gradient buffers are allocated once per layer, not
+/// once per forward/backward call.
+#[derive(Debug, Default, Clone)]
+pub struct ConvScratch {
+    slots: Vec<Slot>,
+}
+
+impl ConvScratch {
+    /// An empty scratch; buffers are sized on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn slots(&mut self, workers: usize) -> &mut [Slot] {
+        if self.slots.len() < workers {
+            self.slots.resize(workers, Slot::default());
+        }
+        &mut self.slots[..workers]
+    }
+}
+
+thread_local! {
+    static TLS_CONV_SCRATCH: RefCell<ConvScratch> = RefCell::new(ConvScratch::new());
+}
+
+/// Samples per weight-gradient partial block. Fixed (never derived from the
+/// thread count) so the reduction tree — and therefore the rounding — is
+/// identical no matter how many workers run.
+const GRAD_BLOCK: usize = 4;
+
 /// Convolves a batch `(N, C, H, W)` with weights `(O, C, KH, KW)` and bias
 /// `(O)`, producing `(N, O, OH, OW)`.
+///
+/// Allocating wrapper around [`conv2d_with`] (uses a thread-local scratch).
 ///
 /// # Errors
 ///
 /// Returns an error on rank/shape mismatches or impossible geometry.
 pub fn conv2d(
+    input: &Tensor,
+    weight: &Tensor,
+    bias: &Tensor,
+    geom: Geometry,
+) -> Result<Tensor, TensorError> {
+    TLS_CONV_SCRATCH.with(|s| conv2d_with(&mut s.borrow_mut(), input, weight, bias, geom))
+}
+
+/// [`conv2d`] with an explicit per-layer scratch: zero heap traffic in
+/// steady state beyond the output tensor itself.
+///
+/// # Errors
+///
+/// Returns an error on rank/shape mismatches or impossible geometry.
+pub fn conv2d_with(
+    scratch: &mut ConvScratch,
     input: &Tensor,
     weight: &Tensor,
     bias: &Tensor,
@@ -230,80 +343,89 @@ pub fn conv2d(
         });
     }
     let (oh, ow) = geom.output_hw(h, w)?;
-    let wmat = weight.reshape(Shape::d2(o, c * geom.kh * geom.kw))?;
-    let sample_out = o * oh * ow;
+    let px = oh * ow;
+    let kdim = c * geom.kh * geom.kw;
+    let csz = c * h * w;
+    let sample_out = o * px;
+    // Row-major (O, C, KH, KW) weights are already the (O, C·KH·KW) GEMM
+    // operand; no reshape/copy needed.
+    let wdata = weight.as_slice();
+    let in_data = input.as_slice();
+    let bslice = bias.as_slice();
     let mut out = vec![0.0f32; n * sample_out];
-    let run_sample = |ni: usize, dst: &mut [f32]| -> Result<(), TensorError> {
-        let image = slice_image(input, ni, c, h, w);
-        let cols = im2col(&image, geom)?;
-        let prod = wmat.matmul(&cols)?;
-        let pslice = prod.as_slice();
-        let bslice = bias.as_slice();
-        for oi in 0..o {
-            let b = bslice[oi];
-            for px in 0..oh * ow {
-                dst[oi * oh * ow + px] = pslice[oi * oh * ow + px] + b;
+
+    let run = |range: std::ops::Range<usize>, slab: &mut [f32], slot: &mut Slot| {
+        slot.cols.resize(kdim * px, 0.0);
+        for (ni, dst) in range.zip(slab.chunks_mut(sample_out)) {
+            let img = &in_data[ni * csz..(ni + 1) * csz];
+            im2col_kernel(img, c, h, w, geom, oh, ow, &mut slot.cols);
+            gemm_nn_with(&mut slot.gemm, o, kdim, px, wdata, &slot.cols, dst);
+            for (oi, row) in dst.chunks_exact_mut(px).enumerate() {
+                let b = bslice[oi];
+                for v in row {
+                    *v += b;
+                }
             }
         }
-        Ok(())
     };
-    parallel_over_samples(n, sample_out, &mut out, &run_sample)?;
-    Tensor::from_vec(Shape::d4(n, o, oh, ow), out)
-}
 
-/// Runs `f(sample_index, sample_output_slice)` for each sample, spreading
-/// samples over threads when the batch is large enough to amortize spawn
-/// cost. `out` must be `n × sample_len` long.
-fn parallel_over_samples<F>(
-    n: usize,
-    sample_len: usize,
-    out: &mut [f32],
-    f: &F,
-) -> Result<(), TensorError>
-where
-    F: Fn(usize, &mut [f32]) -> Result<(), TensorError> + Sync,
-{
-    let threads = std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(1)
-        .min(n);
-    if threads <= 1 || n < 4 {
-        for (ni, chunk) in out.chunks_mut(sample_len).enumerate() {
-            f(ni, chunk)?;
-        }
-        return Ok(());
-    }
-    let chunk_samples = n.div_ceil(threads);
-    let results: Vec<Result<(), TensorError>> = std::thread::scope(|scope| {
-        let mut handles = Vec::new();
-        for (t, slab) in out.chunks_mut(chunk_samples * sample_len).enumerate() {
-            handles.push(scope.spawn(move || {
-                for (k, chunk) in slab.chunks_mut(sample_len).enumerate() {
-                    f(t * chunk_samples + k, chunk)?;
+    let workers = par::workers_for(n);
+    let slots = scratch.slots(workers);
+    if workers <= 1 {
+        run(0..n, &mut out, &mut slots[0]);
+    } else {
+        let ranges = par::partition(n, workers);
+        std::thread::scope(|s| {
+            let mut rest: &mut [f32] = &mut out;
+            let mut own = None;
+            for (range, slot) in ranges.into_iter().zip(slots.iter_mut()) {
+                let (slab, tail) = rest.split_at_mut(range.len() * sample_out);
+                rest = tail;
+                if own.is_none() {
+                    own = Some((range, slab, slot));
+                    continue;
                 }
-                Ok(())
-            }));
-        }
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("conv worker panicked"))
-            .collect()
-    });
-    for r in results {
-        r?;
+                let run = &run;
+                s.spawn(move || par::mark_worker(|| run(range, slab, slot)));
+            }
+            if let Some((range, slab, slot)) = own {
+                par::mark_worker(|| run(range, slab, slot));
+            }
+        });
     }
-    Ok(())
+    Tensor::from_vec(Shape::d4(n, o, oh, ow), out)
 }
 
 /// Gradients of [`conv2d`] given the upstream gradient `grad_out`
 /// `(N, O, OH, OW)`.
 ///
-/// Returns `(grad_input, grad_weight, grad_bias)`.
+/// Returns `(grad_input, grad_weight, grad_bias)`. Allocating wrapper
+/// around [`conv2d_backward_with`].
 ///
 /// # Errors
 ///
 /// Returns an error on rank/shape mismatches.
 pub fn conv2d_backward(
+    input: &Tensor,
+    weight: &Tensor,
+    grad_out: &Tensor,
+    geom: Geometry,
+) -> Result<(Tensor, Tensor, Tensor), TensorError> {
+    TLS_CONV_SCRATCH
+        .with(|s| conv2d_backward_with(&mut s.borrow_mut(), input, weight, grad_out, geom))
+}
+
+/// [`conv2d_backward`] with an explicit per-layer scratch.
+///
+/// The weight/bias gradients are summed as fixed [`GRAD_BLOCK`]-sample
+/// partials reduced in block order, so they are bit-identical at any
+/// thread count.
+///
+/// # Errors
+///
+/// Returns an error on rank/shape mismatches.
+pub fn conv2d_backward_with(
+    scratch: &mut ConvScratch,
     input: &Tensor,
     weight: &Tensor,
     grad_out: &Tensor,
@@ -319,78 +441,107 @@ pub fn conv2d_backward(
             rhs: Shape::d4(n, o, oh, ow),
         });
     }
-    let k = c * geom.kh * geom.kw;
-    let wmat = weight.reshape(Shape::d2(o, k))?;
-    let wmat_t = wmat.transpose()?;
-    let mut gx = vec![0.0f32; n * c * h * w];
-    let sample_len = c * h * w;
-    // Each sample's contribution is independent; threads accumulate
-    // private (dW, db) partials over their sample ranges, writing dX in
-    // place, and the partials are reduced at the end.
-    let per_sample = |ni: usize,
-                      gx_chunk: &mut [f32],
-                      gw_acc: &mut Tensor,
-                      gb_acc: &mut [f32]|
-     -> Result<(), TensorError> {
-        let image = slice_image(input, ni, c, h, w);
-        let cols = im2col(&image, geom)?;
-        let go = Tensor::from_vec(
-            Shape::d2(o, oh * ow),
-            grad_out.as_slice()[ni * o * oh * ow..(ni + 1) * o * oh * ow].to_vec(),
-        )?;
-        gw_acc.axpy(1.0, &go.matmul(&cols.transpose()?)?)?;
-        let gos = go.as_slice();
-        for oi in 0..o {
-            gb_acc[oi] += gos[oi * oh * ow..(oi + 1) * oh * ow].iter().sum::<f32>();
+    let px = oh * ow;
+    let kdim = c * geom.kh * geom.kw;
+    let csz = c * h * w;
+    let wdata = weight.as_slice();
+    let in_data = input.as_slice();
+    let go_data = grad_out.as_slice();
+    let mut gx = vec![0.0f32; n * csz];
+    let n_blocks = n.div_ceil(GRAD_BLOCK);
+    // One (dW, db) partial per fixed-size sample block, indexed by block.
+    let mut partials: Vec<(Vec<f32>, Vec<f32>)> = vec![(Vec::new(), Vec::new()); n_blocks];
+
+    // Processes the samples of blocks `blocks`, writing dX into `gx_slab`
+    // (whose first element is sample `blocks.start * GRAD_BLOCK`) and the
+    // per-block partials into `parts`.
+    let run = |blocks: std::ops::Range<usize>,
+               gx_slab: &mut [f32],
+               parts: &mut [(Vec<f32>, Vec<f32>)],
+               slot: &mut Slot| {
+        slot.cols.resize(kdim * px, 0.0);
+        slot.gcols.resize(kdim * px, 0.0);
+        slot.gw_tmp.resize(o * kdim, 0.0);
+        let first_sample = blocks.start * GRAD_BLOCK;
+        for (blk, part) in blocks.zip(parts.iter_mut()) {
+            let (pgw, pgb) = part;
+            pgw.resize(o * kdim, 0.0);
+            pgw.fill(0.0);
+            pgb.resize(o, 0.0);
+            pgb.fill(0.0);
+            let lo = blk * GRAD_BLOCK;
+            let hi = (lo + GRAD_BLOCK).min(n);
+            for ni in lo..hi {
+                let img = &in_data[ni * csz..(ni + 1) * csz];
+                let go = &go_data[ni * o * px..(ni + 1) * o * px];
+                im2col_kernel(img, c, h, w, geom, oh, ow, &mut slot.cols);
+                // dW_sample = dY · colsᵀ  (o×px · px×kdim).
+                gemm_nt_with(
+                    &mut slot.gemm,
+                    o,
+                    px,
+                    kdim,
+                    go,
+                    &slot.cols,
+                    &mut slot.gw_tmp,
+                );
+                for (acc, &v) in pgw.iter_mut().zip(slot.gw_tmp.iter()) {
+                    *acc += v;
+                }
+                for (oi, acc) in pgb.iter_mut().enumerate() {
+                    *acc += go[oi * px..(oi + 1) * px].iter().sum::<f32>();
+                }
+                // dCols = Wᵀ · dY  (kdim×o · o×px).
+                gemm_tn_with(&mut slot.gemm, kdim, o, px, wdata, go, &mut slot.gcols);
+                let dst = &mut gx_slab[(ni - first_sample) * csz..(ni - first_sample + 1) * csz];
+                col2im_kernel(&slot.gcols, c, h, w, geom, oh, ow, dst);
+            }
         }
-        let gcols = wmat_t.matmul(&go)?;
-        let gimg = col2im(&gcols, c, h, w, geom)?;
-        gx_chunk.copy_from_slice(gimg.as_slice());
-        Ok(())
     };
-    let threads = std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(1)
-        .min(n);
-    let (gw, gb) = if threads <= 1 || n < 4 {
-        let mut gw = Tensor::zeros(Shape::d2(o, k));
-        let mut gb = vec![0.0f32; o];
-        for (ni, chunk) in gx.chunks_mut(sample_len).enumerate() {
-            per_sample(ni, chunk, &mut gw, &mut gb)?;
-        }
-        (gw, gb)
+
+    let workers = par::workers_for(n_blocks);
+    let slots = scratch.slots(workers);
+    if workers <= 1 {
+        run(0..n_blocks, &mut gx, &mut partials, &mut slots[0]);
     } else {
-        let chunk_samples = n.div_ceil(threads);
-        let partials: Vec<Result<(Tensor, Vec<f32>), TensorError>> = std::thread::scope(|scope| {
-            let mut handles = Vec::new();
-            for (t, slab) in gx.chunks_mut(chunk_samples * sample_len).enumerate() {
-                let per_sample = &per_sample;
-                handles.push(scope.spawn(move || {
-                    let mut gw = Tensor::zeros(Shape::d2(o, k));
-                    let mut gb = vec![0.0f32; o];
-                    for (j, chunk) in slab.chunks_mut(sample_len).enumerate() {
-                        per_sample(t * chunk_samples + j, chunk, &mut gw, &mut gb)?;
-                    }
-                    Ok((gw, gb))
-                }));
+        let ranges = par::partition(n_blocks, workers);
+        std::thread::scope(|s| {
+            let mut gx_rest: &mut [f32] = &mut gx;
+            let mut part_rest: &mut [(Vec<f32>, Vec<f32>)] = &mut partials;
+            let mut own = None;
+            for (range, slot) in ranges.into_iter().zip(slots.iter_mut()) {
+                let s_lo = range.start * GRAD_BLOCK;
+                let s_hi = (range.end * GRAD_BLOCK).min(n);
+                let (gx_slab, gx_tail) = gx_rest.split_at_mut((s_hi - s_lo) * csz);
+                gx_rest = gx_tail;
+                let (parts, part_tail) = part_rest.split_at_mut(range.len());
+                part_rest = part_tail;
+                if own.is_none() {
+                    own = Some((range, gx_slab, parts, slot));
+                    continue;
+                }
+                let run = &run;
+                s.spawn(move || par::mark_worker(|| run(range, gx_slab, parts, slot)));
             }
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("conv backward worker panicked"))
-                .collect()
+            if let Some((range, gx_slab, parts, slot)) = own {
+                par::mark_worker(|| run(range, gx_slab, parts, slot));
+            }
         });
-        let mut gw = Tensor::zeros(Shape::d2(o, k));
-        let mut gb = vec![0.0f32; o];
-        for p in partials {
-            let (pgw, pgb) = p?;
-            gw.axpy(1.0, &pgw)?;
-            for (a, b) in gb.iter_mut().zip(pgb) {
-                *a += b;
-            }
+    }
+
+    // Sequential reduction in ascending block order: the summation tree is
+    // a function of (n, GRAD_BLOCK) only, never of the worker count.
+    let mut gw = vec![0.0f32; o * kdim];
+    let mut gb = vec![0.0f32; o];
+    for (pgw, pgb) in &partials {
+        for (acc, &v) in gw.iter_mut().zip(pgw.iter()) {
+            *acc += v;
         }
-        (gw, gb)
-    };
-    let gw = gw.reshape(weight.shape().clone())?;
+        for (acc, &v) in gb.iter_mut().zip(pgb.iter()) {
+            *acc += v;
+        }
+    }
+    let gw = Tensor::from_vec(weight.shape().clone(), gw)?;
     let gb = Tensor::from_vec(Shape::d1(o), gb)?;
     let gx = Tensor::from_vec(Shape::d4(n, c, h, w), gx)?;
     Ok((gx, gw, gb))
@@ -426,15 +577,6 @@ fn conv_weight_dims(weight: &Tensor) -> Result<(usize, usize, usize, usize), Ten
         weight.shape().dim(2),
         weight.shape().dim(3),
     ))
-}
-
-pub(crate) fn slice_image(input: &Tensor, n: usize, c: usize, h: usize, w: usize) -> Tensor {
-    let sz = c * h * w;
-    Tensor::from_vec(
-        Shape::d3(c, h, w),
-        input.as_slice()[n * sz..(n + 1) * sz].to_vec(),
-    )
-    .expect("image slice length matches shape by construction")
 }
 
 #[cfg(test)]
@@ -590,5 +732,36 @@ mod tests {
         }
         // Bias gradient of a sum-loss is the number of output pixels.
         assert_eq!(gb.as_slice(), &[16.0, 16.0]);
+    }
+
+    /// Random batch conv: forward and all three gradients must be
+    /// bit-identical at 1 and 4 worker threads, with fresh or reused scratch.
+    #[test]
+    fn conv_results_invariant_under_thread_count_and_scratch_reuse() {
+        let geom = Geometry::square(3, 1, 1);
+        let mut r = crate::rng::seeded(0xC04F);
+        let x = crate::init::uniform(Shape::d4(9, 3, 6, 6), -1.0, 1.0, &mut r);
+        let w = crate::init::uniform(Shape::d4(4, 3, 3, 3), -0.5, 0.5, &mut r);
+        let b = crate::init::uniform(Shape::d1(4), -0.1, 0.1, &mut r);
+        let y = conv2d(&x, &w, &b, geom).unwrap();
+        let go = crate::init::uniform(y.shape().clone(), -1.0, 1.0, &mut r);
+
+        crate::par::set_threads(Some(1));
+        let y1 = conv2d(&x, &w, &b, geom).unwrap();
+        let (gx1, gw1, gb1) = conv2d_backward(&x, &w, &go, geom).unwrap();
+        crate::par::set_threads(Some(4));
+        let mut scratch = ConvScratch::new();
+        let y4 = conv2d_with(&mut scratch, &x, &w, &b, geom).unwrap();
+        let (gx4, gw4, gb4) = conv2d_backward_with(&mut scratch, &x, &w, &go, geom).unwrap();
+        // Second pass through the same scratch must not change anything.
+        let y4b = conv2d_with(&mut scratch, &x, &w, &b, geom).unwrap();
+        crate::par::set_threads(None);
+
+        assert_eq!(y1, y);
+        assert_eq!(y4, y);
+        assert_eq!(y4b, y);
+        assert_eq!(gx1, gx4);
+        assert_eq!(gw1, gw4);
+        assert_eq!(gb1, gb4);
     }
 }

@@ -1,0 +1,356 @@
+//! Blocked f32 GEMM with packed panels and a 4×4 register microkernel.
+//!
+//! Three variants cover every product the network layers need without
+//! materialising a transpose: `C = A·B` ([`gemm_nn`]), `C = A·Bᵀ`
+//! ([`gemm_nt`], dense forward `x·Wᵀ`) and `C = Aᵀ·B` ([`gemm_tn`], dense
+//! weight gradient `dYᵀ·X`).
+//!
+//! **Bit-exactness contract.** Each output element is produced by a single
+//! accumulator that walks `k` in ascending order with one multiply and one
+//! add per step — the same rounding sequence as the reference triple loop
+//! (`Tensor::matmul_naive`). Packing rearranges memory, never the
+//! accumulation order, and the kernel uses no fused multiply-add and no
+//! split-`k` reassociation, so results are bit-identical to the naive
+//! kernel and invariant under the worker-thread count (row panels are
+//! disjoint output regions).
+
+use crate::par;
+use std::cell::RefCell;
+
+/// Microkernel row count (output rows per panel).
+pub const MR: usize = 4;
+/// Microkernel column count (output columns per panel).
+pub const NR: usize = 4;
+
+/// Reusable packing buffers so steady-state GEMM calls allocate nothing
+/// but their output. Layers hold one per layer; the `Tensor::matmul*`
+/// wrappers fall back to a thread-local instance.
+#[derive(Debug, Default, Clone)]
+pub struct GemmScratch {
+    packed_b: Vec<f32>,
+    packed_a: Vec<f32>,
+}
+
+thread_local! {
+    static TLS_SCRATCH: RefCell<GemmScratch> = RefCell::new(GemmScratch::default());
+}
+
+/// `C = A·B` — `a` is `m×k`, `b` is `k×n`, `c` is `m×n` (overwritten).
+pub fn gemm_nn(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    TLS_SCRATCH.with(|s| gemm_nn_with(&mut s.borrow_mut(), m, k, n, a, b, c));
+}
+
+/// `C = A·Bᵀ` — `a` is `m×k`, `b` is `n×k`, `c` is `m×n` (overwritten).
+pub fn gemm_nt(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    TLS_SCRATCH.with(|s| gemm_nt_with(&mut s.borrow_mut(), m, k, n, a, b, c));
+}
+
+/// `C = Aᵀ·B` — `a` is `k×m`, `b` is `k×n`, `c` is `m×n` (overwritten).
+pub fn gemm_tn(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    TLS_SCRATCH.with(|s| gemm_tn_with(&mut s.borrow_mut(), m, k, n, a, b, c));
+}
+
+/// [`gemm_nn`] with an explicit scratch buffer (no allocation after warmup).
+pub fn gemm_nn_with(
+    scratch: &mut GemmScratch,
+    m: usize,
+    k: usize,
+    n: usize,
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(c.len(), m * n);
+    pack_b_nn(scratch, k, n, b);
+    driver(
+        m,
+        k,
+        n,
+        |i0, h, dst| pack_a_rows(a, k, i0, h, dst),
+        scratch,
+        c,
+    );
+}
+
+/// [`gemm_nt`] with an explicit scratch buffer.
+pub fn gemm_nt_with(
+    scratch: &mut GemmScratch,
+    m: usize,
+    k: usize,
+    n: usize,
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), n * k);
+    debug_assert_eq!(c.len(), m * n);
+    pack_b_nt(scratch, k, n, b);
+    driver(
+        m,
+        k,
+        n,
+        |i0, h, dst| pack_a_rows(a, k, i0, h, dst),
+        scratch,
+        c,
+    );
+}
+
+/// [`gemm_tn`] with an explicit scratch buffer.
+pub fn gemm_tn_with(
+    scratch: &mut GemmScratch,
+    m: usize,
+    k: usize,
+    n: usize,
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+) {
+    debug_assert_eq!(a.len(), k * m);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(c.len(), m * n);
+    pack_b_nn(scratch, k, n, b);
+    driver(
+        m,
+        k,
+        n,
+        |i0, h, dst| pack_a_cols(a, m, k, i0, h, dst),
+        scratch,
+        c,
+    );
+}
+
+/// Packs `B` (`k×n`, row-major) into `⌈n/NR⌉` column panels: panel `jp`
+/// holds, for each `kk`, the `NR` values `b[kk, jp·NR .. jp·NR+NR]`
+/// (zero-padded past column `n`). Padding only ever multiplies into
+/// output lanes that are never written back.
+fn pack_b_nn(scratch: &mut GemmScratch, k: usize, n: usize, b: &[f32]) {
+    let n_panels = n.div_ceil(NR);
+    scratch.packed_b.clear();
+    scratch.packed_b.resize(n_panels * k * NR, 0.0);
+    for jp in 0..n_panels {
+        let j0 = jp * NR;
+        let w = NR.min(n - j0);
+        let panel = &mut scratch.packed_b[jp * k * NR..(jp + 1) * k * NR];
+        for kk in 0..k {
+            let src = &b[kk * n + j0..kk * n + j0 + w];
+            let dst = &mut panel[kk * NR..kk * NR + w];
+            dst.copy_from_slice(src);
+        }
+    }
+}
+
+/// Packs `B` given as `n×k` row-major (i.e. the transpose of the logical
+/// `k×n` operand) into the same panel layout as [`pack_b_nn`].
+fn pack_b_nt(scratch: &mut GemmScratch, k: usize, n: usize, b: &[f32]) {
+    let n_panels = n.div_ceil(NR);
+    scratch.packed_b.clear();
+    scratch.packed_b.resize(n_panels * k * NR, 0.0);
+    for jp in 0..n_panels {
+        let j0 = jp * NR;
+        let w = NR.min(n - j0);
+        let panel = &mut scratch.packed_b[jp * k * NR..(jp + 1) * k * NR];
+        for s in 0..w {
+            let row = &b[(j0 + s) * k..(j0 + s + 1) * k];
+            for (kk, &v) in row.iter().enumerate() {
+                panel[kk * NR + s] = v;
+            }
+        }
+    }
+}
+
+/// Packs `MR` rows of row-major `a` (`?×k`) into k-major order:
+/// `dst[kk·MR + r] = a[i0+r, kk]`, zero past row `i0+h`.
+fn pack_a_rows(a: &[f32], k: usize, i0: usize, h: usize, dst: &mut [f32]) {
+    dst.fill(0.0);
+    for r in 0..h {
+        let row = &a[(i0 + r) * k..(i0 + r + 1) * k];
+        for (kk, &v) in row.iter().enumerate() {
+            dst[kk * MR + r] = v;
+        }
+    }
+}
+
+/// Packs `MR` columns of row-major `a` (`k×m`) — the rows of `Aᵀ` — into
+/// k-major order: `dst[kk·MR + r] = a[kk, i0+r]`.
+fn pack_a_cols(a: &[f32], m: usize, k: usize, i0: usize, h: usize, dst: &mut [f32]) {
+    dst.fill(0.0);
+    for kk in 0..k {
+        let src = &a[kk * m + i0..kk * m + i0 + h];
+        let d = &mut dst[kk * MR..kk * MR + h];
+        d.copy_from_slice(src);
+    }
+}
+
+/// Shared panel loop: splits `c` into `MR`-row slabs, parallelised over the
+/// pool (each slab is a disjoint output region, so the partition cannot
+/// affect the result), and runs the microkernel over the packed panels.
+fn driver<PA>(m: usize, k: usize, n: usize, pack_a: PA, scratch: &mut GemmScratch, c: &mut [f32])
+where
+    PA: Fn(usize, usize, &mut [f32]) + Sync,
+{
+    if m == 0 || n == 0 {
+        return;
+    }
+    if k == 0 {
+        c.fill(0.0);
+        return;
+    }
+    let GemmScratch { packed_b, packed_a } = scratch;
+    let packed_b: &[f32] = packed_b;
+    let n_row_panels = m.div_ceil(MR);
+    if par::workers_for(n_row_panels) <= 1 {
+        // Serial path reuses the scratch's A-panel buffer directly.
+        packed_a.clear();
+        packed_a.resize(k * MR, 0.0);
+        for (ip, c_slab) in c.chunks_mut(MR * n).enumerate() {
+            let i0 = ip * MR;
+            let h = MR.min(m - i0);
+            pack_a(i0, h, packed_a);
+            row_panel(k, n, h, packed_a, packed_b, c_slab);
+        }
+        return;
+    }
+    par::for_each_chunk_mut(c, MR * n, |ip, c_slab| {
+        let i0 = ip * MR;
+        let h = MR.min(m - i0);
+        let mut pa = vec![0.0f32; k * MR];
+        pack_a(i0, h, &mut pa);
+        row_panel(k, n, h, &pa, packed_b, c_slab);
+    });
+}
+
+/// Computes one `h×n` output slab (`h ≤ MR`) from a packed A panel and all
+/// packed B panels.
+fn row_panel(k: usize, n: usize, h: usize, pa: &[f32], packed_b: &[f32], c_slab: &mut [f32]) {
+    let n_col_panels = n.div_ceil(NR);
+    for jp in 0..n_col_panels {
+        let j0 = jp * NR;
+        let w = NR.min(n - j0);
+        let pb = &packed_b[jp * k * NR..(jp + 1) * k * NR];
+        let mut acc = [[0.0f32; NR]; MR];
+        microkernel(pa, pb, &mut acc);
+        for (r, acc_row) in acc.iter().enumerate().take(h) {
+            let dst = &mut c_slab[r * n + j0..r * n + j0 + w];
+            dst.copy_from_slice(&acc_row[..w]);
+        }
+    }
+}
+
+/// The `MR×NR` register microkernel: `acc[r][s] += pa[kk,r] · pb[kk,s]`
+/// for ascending `kk`. One multiply-round and one add-round per step per
+/// accumulator — the naive kernel's exact rounding sequence.
+#[inline(always)]
+fn microkernel(pa: &[f32], pb: &[f32], acc: &mut [[f32; NR]; MR]) {
+    for (a, b) in pa.chunks_exact(MR).zip(pb.chunks_exact(NR)) {
+        let b: [f32; NR] = b.try_into().expect("panel stride");
+        for r in 0..MR {
+            let ar = a[r];
+            for s in 0..NR {
+                acc[r][s] += ar * b[s];
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::seeded;
+
+    fn reference_nn(m: usize, k: usize, n: usize, a: &[f32], b: &[f32]) -> Vec<f32> {
+        let mut c = vec![0.0f32; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = 0.0f32;
+                for kk in 0..k {
+                    acc += a[i * k + kk] * b[kk * n + j];
+                }
+                c[i * n + j] = acc;
+            }
+        }
+        c
+    }
+
+    fn random(len: usize, seed: u64) -> Vec<f32> {
+        let mut r = seeded(seed);
+        (0..len).map(|_| r.gen_range(-2.0f32..2.0)).collect()
+    }
+
+    #[test]
+    fn nn_matches_reference_bitwise_over_shapes() {
+        for (case, &(m, k, n)) in [
+            (1usize, 1usize, 1usize),
+            (3, 5, 7),
+            (4, 4, 4),
+            (5, 9, 6),
+            (17, 23, 19),
+            (32, 64, 48),
+            (1, 100, 1),
+        ]
+        .iter()
+        .enumerate()
+        {
+            let a = random(m * k, 100 + case as u64);
+            let b = random(k * n, 200 + case as u64);
+            let mut c = vec![f32::NAN; m * n];
+            gemm_nn(m, k, n, &a, &b, &mut c);
+            assert_eq!(c, reference_nn(m, k, n, &a, &b), "shape {m}x{k}x{n}");
+        }
+    }
+
+    #[test]
+    fn nt_and_tn_match_explicit_transposes() {
+        let (m, k, n) = (13, 21, 11);
+        let a = random(m * k, 1);
+        let bt = random(n * k, 2); // logical B is k×n; bt is its transpose n×k
+        let mut b = vec![0.0f32; k * n];
+        for j in 0..n {
+            for kk in 0..k {
+                b[kk * n + j] = bt[j * k + kk];
+            }
+        }
+        let mut c_nt = vec![0.0f32; m * n];
+        gemm_nt(m, k, n, &a, &bt, &mut c_nt);
+        assert_eq!(c_nt, reference_nn(m, k, n, &a, &b));
+
+        let at = random(k * m, 3); // logical A is m×k; at is its transpose k×m
+        let mut a2 = vec![0.0f32; m * k];
+        for i in 0..m {
+            for kk in 0..k {
+                a2[i * k + kk] = at[kk * m + i];
+            }
+        }
+        let mut c_tn = vec![0.0f32; m * n];
+        gemm_tn(m, k, n, &at, &b, &mut c_tn);
+        assert_eq!(c_tn, reference_nn(m, k, n, &a2, &b));
+    }
+
+    #[test]
+    fn thread_count_does_not_change_bits() {
+        let (m, k, n) = (37, 29, 41);
+        let a = random(m * k, 7);
+        let b = random(k * n, 8);
+        let mut c1 = vec![0.0f32; m * n];
+        crate::par::set_threads(Some(1));
+        gemm_nn(m, k, n, &a, &b, &mut c1);
+        let mut c4 = vec![0.0f32; m * n];
+        crate::par::set_threads(Some(4));
+        gemm_nn(m, k, n, &a, &b, &mut c4);
+        crate::par::set_threads(None);
+        assert_eq!(c1, c4);
+    }
+
+    #[test]
+    fn degenerate_dims() {
+        // k == 0 → zero matrix.
+        let mut c = vec![f32::NAN; 6];
+        gemm_nn(2, 0, 3, &[], &[], &mut c);
+        assert_eq!(c, vec![0.0; 6]);
+        // m == 0 → nothing to do (and nothing to write).
+        let mut empty: Vec<f32> = vec![];
+        gemm_nn(0, 4, 3, &[], &random(12, 9), &mut empty);
+    }
+}

@@ -4,9 +4,7 @@
 //! (Glorot) and He (MSRA) schemes, both uniform and normal variants, which
 //! are what Caffe's `xavier`/`msra` fillers implement.
 
-use rand::Rng;
-
-use crate::rng::standard_normal;
+use crate::rng::{standard_normal, Rng};
 use crate::shape::Shape;
 use crate::tensor::Tensor;
 
@@ -32,7 +30,7 @@ pub fn fans(shape: &Shape) -> (usize, usize) {
 }
 
 /// Xavier/Glorot uniform: `U(±sqrt(6 / (fan_in + fan_out)))`.
-pub fn xavier_uniform<R: Rng>(shape: Shape, rng: &mut R) -> Tensor {
+pub fn xavier_uniform(shape: Shape, rng: &mut Rng) -> Tensor {
     let (fi, fo) = fans(&shape);
     let bound = (6.0 / (fi + fo) as f32).sqrt();
     let data = (0..shape.len())
@@ -42,7 +40,7 @@ pub fn xavier_uniform<R: Rng>(shape: Shape, rng: &mut R) -> Tensor {
 }
 
 /// He/MSRA normal: `N(0, sqrt(2 / fan_in))`.
-pub fn he_normal<R: Rng>(shape: Shape, rng: &mut R) -> Tensor {
+pub fn he_normal(shape: Shape, rng: &mut Rng) -> Tensor {
     let (fi, _) = fans(&shape);
     let std = (2.0 / fi as f32).sqrt();
     let data = (0..shape.len())
@@ -56,7 +54,7 @@ pub fn he_normal<R: Rng>(shape: Shape, rng: &mut R) -> Tensor {
 /// # Panics
 ///
 /// Panics if `lo >= hi`.
-pub fn uniform<R: Rng>(shape: Shape, lo: f32, hi: f32, rng: &mut R) -> Tensor {
+pub fn uniform(shape: Shape, lo: f32, hi: f32, rng: &mut Rng) -> Tensor {
     assert!(lo < hi, "uniform range must be non-empty");
     let data = (0..shape.len()).map(|_| rng.gen_range(lo..hi)).collect();
     Tensor::from_vec(shape, data).expect("generated buffer matches shape")

@@ -32,7 +32,9 @@ mod shape;
 mod tensor;
 
 pub mod conv;
+pub mod gemm;
 pub mod init;
+pub mod par;
 pub mod pool;
 pub mod rng;
 pub mod stats;

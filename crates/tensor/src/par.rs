@@ -1,0 +1,314 @@
+//! Minimal scoped thread pool with deterministic partitioning.
+//!
+//! The compute kernels (`matmul` row panels, per-image im2col, fake-quantize
+//! passes) and the experiment runner fan work out over `std::thread::scope`
+//! — no external runtime. Two invariants make this safe to use everywhere:
+//!
+//! 1. **Determinism:** work is split into *fixed* units whose boundaries do
+//!    not depend on the thread count (contiguous index ranges for disjoint
+//!    outputs; fixed-size blocks for reductions, combined sequentially in
+//!    block order). Results are bit-identical at any thread count.
+//! 2. **No nesting blow-up:** a worker spawned by this module runs nested
+//!    parallel regions serially (a thread-local depth flag), so a parallel
+//!    sweep over training runs does not multiply into `T²` threads.
+//!
+//! The thread count defaults to the host parallelism, can be pinned with the
+//! `QNN_THREADS` environment variable, and can be overridden at runtime with
+//! [`set_threads`] (used by the determinism regression tests to compare
+//! 1-thread and N-thread execution on the same host).
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+/// Runtime override set by [`set_threads`]; 0 means "no override".
+static OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Default thread count: `QNN_THREADS` if set and valid, else host parallelism.
+fn default_threads() -> usize {
+    static DEFAULT: OnceLock<usize> = OnceLock::new();
+    *DEFAULT.get_or_init(|| {
+        if let Ok(v) = std::env::var("QNN_THREADS") {
+            if let Ok(n) = v.trim().parse::<usize>() {
+                if n >= 1 {
+                    return n;
+                }
+            }
+        }
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    })
+}
+
+thread_local! {
+    /// Non-zero inside a worker spawned by this module.
+    static DEPTH: Cell<usize> = const { Cell::new(0) };
+}
+
+/// The number of worker threads parallel regions will use.
+pub fn threads() -> usize {
+    match OVERRIDE.load(Ordering::Relaxed) {
+        0 => default_threads(),
+        n => n,
+    }
+}
+
+/// Overrides the thread count process-wide; `None` restores the default
+/// (`QNN_THREADS` or host parallelism). Results are bit-identical at any
+/// setting; this only changes how work is distributed.
+pub fn set_threads(n: Option<usize>) {
+    OVERRIDE.store(n.map_or(0, |n| n.max(1)), Ordering::Relaxed);
+}
+
+/// True when called from inside a worker of an enclosing parallel region.
+pub fn is_nested() -> bool {
+    DEPTH.with(|d| d.get() > 0)
+}
+
+/// Runs `f` with the nested-region flag raised (workers call this).
+pub fn mark_worker<R>(f: impl FnOnce() -> R) -> R {
+    DEPTH.with(|d| d.set(d.get() + 1));
+    let out = f();
+    DEPTH.with(|d| d.set(d.get() - 1));
+    out
+}
+
+/// Effective worker count for a region of `n_units` independent units:
+/// 1 when nested or single-threaded, never more than `n_units`.
+pub fn workers_for(n_units: usize) -> usize {
+    if is_nested() {
+        return 1;
+    }
+    threads().min(n_units).max(1)
+}
+
+/// Splits `0..n` into `w` contiguous ranges whose sizes differ by at most
+/// one. The partition depends only on `(n, w)`.
+pub fn partition(n: usize, w: usize) -> Vec<std::ops::Range<usize>> {
+    let w = w.max(1);
+    let base = n / w;
+    let extra = n % w;
+    let mut out = Vec::with_capacity(w);
+    let mut start = 0;
+    for i in 0..w {
+        let len = base + usize::from(i < extra);
+        out.push(start..start + len);
+        start += len;
+    }
+    out
+}
+
+/// Runs `f(i)` for every `i in 0..n`, distributing contiguous index ranges
+/// over the pool. `f` must only touch state disjoint across indices (use
+/// interior channels like `&[Mutex<_>]` otherwise — or better, [`map`]).
+pub fn for_each<F>(n: usize, f: F)
+where
+    F: Fn(usize) + Sync,
+{
+    let w = workers_for(n);
+    if w <= 1 {
+        for i in 0..n {
+            f(i);
+        }
+        return;
+    }
+    let mut ranges = partition(n, w).into_iter();
+    let own = ranges.next().expect("w >= 1");
+    std::thread::scope(|s| {
+        for range in ranges {
+            let f = &f;
+            s.spawn(move || {
+                mark_worker(|| {
+                    for i in range {
+                        f(i);
+                    }
+                })
+            });
+        }
+        mark_worker(|| {
+            for i in own {
+                f(i);
+            }
+        });
+    });
+}
+
+/// Maps `f` over `0..n` in parallel, returning results in index order.
+///
+/// Each unit of work is identified by its index alone, so the output is
+/// independent of the thread count.
+pub fn map<R, F>(n: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    let w = workers_for(n);
+    if w <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let ranges = partition(n, w);
+    let mut slots: Vec<Option<R>> = Vec::with_capacity(n);
+    slots.resize_with(n, || None);
+    {
+        let mut rest: &mut [Option<R>] = &mut slots;
+        std::thread::scope(|s| {
+            let mut first: Option<(std::ops::Range<usize>, &mut [Option<R>])> = None;
+            for range in ranges {
+                let (slab, tail) = rest.split_at_mut(range.len());
+                rest = tail;
+                if first.is_none() {
+                    first = Some((range, slab));
+                    continue;
+                }
+                let f = &f;
+                s.spawn(move || {
+                    mark_worker(|| {
+                        for (slot, i) in slab.iter_mut().zip(range) {
+                            *slot = Some(f(i));
+                        }
+                    })
+                });
+            }
+            if let Some((range, slab)) = first {
+                mark_worker(|| {
+                    for (slot, i) in slab.iter_mut().zip(range) {
+                        *slot = Some(f(i));
+                    }
+                });
+            }
+        });
+    }
+    slots
+        .into_iter()
+        .map(|s| s.expect("worker filled every slot"))
+        .collect()
+}
+
+/// Splits `data` into chunks of `chunk_len` (last may be short) and applies
+/// `f(chunk_index, chunk)` in parallel. Chunk boundaries depend only on
+/// `chunk_len`, so in-place transforms are bit-identical at any thread count.
+pub fn for_each_chunk_mut<T, F>(data: &mut [T], chunk_len: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    assert!(chunk_len > 0, "chunk_len must be positive");
+    let n_chunks = data.len().div_ceil(chunk_len);
+    let w = workers_for(n_chunks);
+    if w <= 1 {
+        for (ci, chunk) in data.chunks_mut(chunk_len).enumerate() {
+            f(ci, chunk);
+        }
+        return;
+    }
+    let ranges = partition(n_chunks, w);
+    let mut rest = data;
+    std::thread::scope(|s| {
+        let mut first: Option<(std::ops::Range<usize>, &mut [T])> = None;
+        for range in ranges {
+            let take = (range.len() * chunk_len).min(rest.len());
+            let (slab, tail) = rest.split_at_mut(take);
+            rest = tail;
+            if first.is_none() {
+                first = Some((range, slab));
+                continue;
+            }
+            let f = &f;
+            s.spawn(move || {
+                mark_worker(|| {
+                    for (off, chunk) in slab.chunks_mut(chunk_len).enumerate() {
+                        f(range.start + off, chunk);
+                    }
+                })
+            });
+        }
+        if let Some((range, slab)) = first {
+            mark_worker(|| {
+                for (off, chunk) in slab.chunks_mut(chunk_len).enumerate() {
+                    f(range.start + off, chunk);
+                }
+            });
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn partition_is_exact_and_balanced() {
+        for n in [0usize, 1, 7, 8, 9, 100] {
+            for w in 1..6 {
+                let parts = partition(n, w);
+                assert_eq!(parts.len(), w);
+                assert_eq!(parts.iter().map(|r| r.len()).sum::<usize>(), n);
+                let max = parts.iter().map(|r| r.len()).max().unwrap();
+                let min = parts.iter().map(|r| r.len()).min().unwrap();
+                assert!(max - min <= 1, "n={n} w={w} {parts:?}");
+                // Contiguity.
+                let mut next = 0;
+                for r in &parts {
+                    assert_eq!(r.start, next);
+                    next = r.end;
+                }
+                assert_eq!(next, n);
+            }
+        }
+    }
+
+    #[test]
+    fn map_returns_in_index_order() {
+        for w in [1usize, 2, 3, 8] {
+            set_threads(Some(w));
+            let out = map(57, |i| i * i);
+            assert_eq!(out, (0..57).map(|i| i * i).collect::<Vec<_>>());
+        }
+        set_threads(None);
+    }
+
+    #[test]
+    fn for_each_visits_every_index_once() {
+        set_threads(Some(4));
+        let hits: Vec<AtomicU64> = (0..33).map(|_| AtomicU64::new(0)).collect();
+        for_each(33, |i| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        });
+        set_threads(None);
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn chunked_transform_is_thread_count_invariant() {
+        let base: Vec<f32> = (0..1000).map(|i| i as f32 * 0.5).collect();
+        let mut one = base.clone();
+        set_threads(Some(1));
+        for_each_chunk_mut(&mut one, 64, |_, c| c.iter_mut().for_each(|x| *x = x.sin()));
+        let mut four = base.clone();
+        set_threads(Some(4));
+        for_each_chunk_mut(&mut four, 64, |_, c| {
+            c.iter_mut().for_each(|x| *x = x.sin())
+        });
+        set_threads(None);
+        assert_eq!(one, four);
+    }
+
+    #[test]
+    fn nested_regions_run_serial() {
+        set_threads(Some(4));
+        let out = map(4, |i| {
+            assert!(is_nested() || threads() == 1 || workers_for(8) >= 1);
+            // Inside a worker, further regions must not spawn.
+            map(3, move |j| (i, j, is_nested()))
+        });
+        set_threads(None);
+        for (i, inner) in out.iter().enumerate() {
+            for (j, (ii, jj, nested)) in inner.iter().enumerate() {
+                assert_eq!((*ii, *jj), (i, j));
+                assert!(*nested);
+            }
+        }
+    }
+}

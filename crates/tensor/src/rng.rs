@@ -1,26 +1,194 @@
-//! Deterministic RNG plumbing.
+//! Deterministic RNG plumbing — hand-rolled, zero external dependencies.
 //!
 //! Every stochastic component in the workspace (weight init, dataset
-//! synthesis, batch shuffling) draws from a seeded
-//! [`SmallRng`] so experiments are reproducible
-//! run-to-run — a prerequisite for the paper's "all parameters except
-//! precision held constant" methodology.
+//! synthesis, batch shuffling) draws from a seeded [`Rng`] so experiments
+//! are reproducible run-to-run — a prerequisite for the paper's "all
+//! parameters except precision held constant" methodology.
+//!
+//! The generator is xoshiro256++ (Blackman & Vigna), with its 256-bit
+//! state filled from the 64-bit seed by a SplitMix64 stream — the standard
+//! seeding recipe recommended by the xoshiro authors. Both algorithms are
+//! public-domain and small enough to carry inline, which keeps the whole
+//! workspace buildable offline.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
-
-/// Creates a deterministic RNG from a 64-bit seed.
+/// A seeded xoshiro256++ generator.
 ///
 /// ```
 /// use qnn_tensor::rng::seeded;
-/// use rand::Rng;
 ///
 /// let mut a = seeded(42);
 /// let mut b = seeded(42);
-/// assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+/// assert_eq!(a.next_u64(), b.next_u64());
 /// ```
-pub fn seeded(seed: u64) -> SmallRng {
-    SmallRng::seed_from_u64(seed)
+#[derive(Debug, Clone)]
+pub struct Rng {
+    s: [u64; 4],
+}
+
+/// One step of the SplitMix64 sequence; also the seed-expansion stream.
+#[inline]
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl Rng {
+    /// Creates a generator whose state is expanded from `seed` via SplitMix64.
+    pub fn from_seed(seed: u64) -> Self {
+        let mut sm = seed;
+        let s = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        Rng { s }
+    }
+
+    /// The core xoshiro256++ step: 64 fresh bits.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let [s0, s1, s2, s3] = self.s;
+        let result = s0.wrapping_add(s3).rotate_left(23).wrapping_add(s0);
+        let t = s1 << 17;
+        let mut s2 = s2 ^ s0;
+        let mut s3 = s3 ^ s1;
+        let s1 = s1 ^ s2;
+        let s0 = s0 ^ s3;
+        s2 ^= t;
+        s3 = s3.rotate_left(45);
+        self.s = [s0, s1, s2, s3];
+        result
+    }
+
+    /// 32 fresh bits (upper half of a 64-bit draw).
+    #[inline]
+    pub fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Uniform `f32` in `[0, 1)` with 24 bits of mantissa entropy.
+    #[inline]
+    pub fn next_f32(&mut self) -> f32 {
+        (self.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+
+    /// Uniform `f64` in `[0, 1)` with 53 bits of mantissa entropy.
+    #[inline]
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform draw from a range; accepts the same range expressions the
+    /// old `rand::Rng::gen_range` did at our call sites (`0..n`, `a..b`
+    /// on floats, `a..=b` on floats).
+    #[inline]
+    pub fn gen_range<R: SampleRange>(&mut self, range: R) -> R::Output {
+        range.sample(self)
+    }
+
+    /// `true` with probability `p`.
+    #[inline]
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        self.next_f64() < p
+    }
+
+    /// Fisher–Yates shuffle (replacement for `rand::seq::SliceRandom`).
+    pub fn shuffle<T>(&mut self, slice: &mut [T]) {
+        for i in (1..slice.len()).rev() {
+            let j = self.gen_range(0..i + 1);
+            slice.swap(i, j);
+        }
+    }
+}
+
+/// Range types [`Rng::gen_range`] can sample from.
+pub trait SampleRange {
+    /// The sampled value type.
+    type Output;
+    /// Draws one uniform sample from the range.
+    fn sample(self, rng: &mut Rng) -> Self::Output;
+}
+
+impl SampleRange for std::ops::Range<f32> {
+    type Output = f32;
+    #[inline]
+    fn sample(self, rng: &mut Rng) -> f32 {
+        debug_assert!(self.start < self.end, "empty f32 range");
+        let x = self.start + (self.end - self.start) * rng.next_f32();
+        // Floating rounding can land exactly on `end`; clamp to half-open.
+        if x >= self.end {
+            // Largest representable value below `end`.
+            f32::from_bits(self.end.to_bits() - 1)
+        } else {
+            x
+        }
+    }
+}
+
+impl SampleRange for std::ops::RangeInclusive<f32> {
+    type Output = f32;
+    #[inline]
+    fn sample(self, rng: &mut Rng) -> f32 {
+        let (a, b) = (*self.start(), *self.end());
+        a + (b - a) * rng.next_f32()
+    }
+}
+
+impl SampleRange for std::ops::Range<f64> {
+    type Output = f64;
+    #[inline]
+    fn sample(self, rng: &mut Rng) -> f64 {
+        debug_assert!(self.start < self.end, "empty f64 range");
+        let x = self.start + (self.end - self.start) * rng.next_f64();
+        if x >= self.end {
+            f64::from_bits(self.end.to_bits() - 1)
+        } else {
+            x
+        }
+    }
+}
+
+macro_rules! impl_int_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange for std::ops::Range<$t> {
+            type Output = $t;
+            #[inline]
+            fn sample(self, rng: &mut Rng) -> $t {
+                assert!(self.start < self.end, "empty integer range");
+                let span = (self.end as u64).wrapping_sub(self.start as u64);
+                // Multiply-shift bounded draw (Lemire); bias is < 2^-64 * span,
+                // irrelevant for the span sizes used here.
+                let hi = ((rng.next_u64() as u128 * span as u128) >> 64) as u64;
+                (self.start as u64).wrapping_add(hi) as $t
+            }
+        }
+        impl SampleRange for std::ops::RangeInclusive<$t> {
+            type Output = $t;
+            #[inline]
+            fn sample(self, rng: &mut Rng) -> $t {
+                let (a, b) = (*self.start(), *self.end());
+                assert!(a <= b, "empty integer range");
+                let span = (b as u64).wrapping_sub(a as u64).wrapping_add(1);
+                if span == 0 {
+                    // Full-width range.
+                    return rng.next_u64() as $t;
+                }
+                let hi = ((rng.next_u64() as u128 * span as u128) >> 64) as u64;
+                (a as u64).wrapping_add(hi) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_range!(usize, u64, u32, u16, u8, i64, i32);
+
+/// Creates a deterministic RNG from a 64-bit seed.
+pub fn seeded(seed: u64) -> Rng {
+    Rng::from_seed(seed)
 }
 
 /// Derives an independent child seed from a parent seed and a stream index.
@@ -37,11 +205,10 @@ pub fn derive_seed(parent: u64, stream: u64) -> u64 {
 
 /// Draws a standard-normal sample via Box–Muller.
 ///
-/// `rand` 0.8 without `rand_distr` has no normal distribution; two uniforms
-/// suffice for weight init, where tail quality is irrelevant.
-pub fn standard_normal<R: Rng>(rng: &mut R) -> f32 {
+/// Two uniforms suffice for weight init, where tail quality is irrelevant.
+pub fn standard_normal(rng: &mut Rng) -> f32 {
     let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
-    let u2: f32 = rng.gen_range(0.0..1.0);
+    let u2: f32 = rng.gen_range(0.0..1.0f32);
     (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos()
 }
 
@@ -53,9 +220,18 @@ mod tests {
     fn seeded_is_deterministic() {
         let mut a = seeded(7);
         let mut b = seeded(7);
-        let av: Vec<u32> = (0..8).map(|_| a.gen()).collect();
-        let bv: Vec<u32> = (0..8).map(|_| b.gen()).collect();
+        let av: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let bv: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
         assert_eq!(av, bv);
+    }
+
+    #[test]
+    fn xoshiro_reference_vector() {
+        // xoshiro256++ from the all-ones state: first outputs computed from
+        // the reference C implementation's recurrence.
+        let mut r = Rng { s: [1, 2, 3, 4] };
+        // result = rotl(s0 + s3, 23) + s0 = rotl(5, 23) + 1
+        assert_eq!(r.next_u64(), (5u64).rotate_left(23) + 1);
     }
 
     #[test]
@@ -68,6 +244,42 @@ mod tests {
     }
 
     #[test]
+    fn gen_range_respects_bounds() {
+        let mut r = seeded(9);
+        for _ in 0..10_000 {
+            let x = r.gen_range(0.25f32..0.75);
+            assert!((0.25..0.75).contains(&x), "{x}");
+            let n = r.gen_range(3usize..17);
+            assert!((3..17).contains(&n), "{n}");
+            let m = r.gen_range(-5i32..=5);
+            assert!((-5..=5).contains(&m), "{m}");
+            let y = r.gen_range(-1.0f32..=1.0);
+            assert!((-1.0..=1.0).contains(&y), "{y}");
+        }
+    }
+
+    #[test]
+    fn gen_range_covers_span() {
+        let mut r = seeded(11);
+        let mut seen = [false; 8];
+        for _ in 0..1000 {
+            seen[r.gen_range(0usize..8)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "{seen:?}");
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut r = seeded(5);
+        let mut v: Vec<usize> = (0..100).collect();
+        r.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "shuffle left the slice sorted");
+    }
+
+    #[test]
     fn standard_normal_has_plausible_moments() {
         let mut rng = seeded(123);
         let n = 20_000;
@@ -76,5 +288,13 @@ mod tests {
         let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f32>() / n as f32;
         assert!(mean.abs() < 0.05, "mean {mean}");
         assert!((var - 1.0).abs() < 0.1, "var {var}");
+    }
+
+    #[test]
+    fn uniform_f32_has_plausible_mean() {
+        let mut rng = seeded(321);
+        let n = 50_000;
+        let mean: f64 = (0..n).map(|_| rng.next_f32() as f64).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
     }
 }

@@ -249,32 +249,49 @@ impl Tensor {
             .sum())
     }
 
-    /// Matrix product of two rank-2 tensors.
-    ///
-    /// Uses a cache-blocked i-k-j loop order; adequate for the ≤ few-MFLOP
-    /// matrices the paper's networks produce.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`TensorError::RankMismatch`] if either operand is not rank 2
-    /// and [`TensorError::ShapeMismatch`] if the inner dimensions differ.
-    pub fn matmul(&self, other: &Tensor) -> Result<Tensor, TensorError> {
+    /// Checks that `self` and `other` are rank 2 and extracts
+    /// `(rows₀, cols₀, rows₁, cols₁)`, reporting errors under `op`.
+    fn matmul_dims(
+        &self,
+        other: &Tensor,
+        op: &'static str,
+    ) -> Result<(usize, usize, usize, usize), TensorError> {
         if self.shape.rank() != 2 {
             return Err(TensorError::RankMismatch {
-                op: "matmul",
+                op,
                 expected: 2,
                 actual: self.shape.rank(),
             });
         }
         if other.shape.rank() != 2 {
             return Err(TensorError::RankMismatch {
-                op: "matmul",
+                op,
                 expected: 2,
                 actual: other.shape.rank(),
             });
         }
-        let (m, k) = (self.shape.dim(0), self.shape.dim(1));
-        let (k2, n) = (other.shape.dim(0), other.shape.dim(1));
+        Ok((
+            self.shape.dim(0),
+            self.shape.dim(1),
+            other.shape.dim(0),
+            other.shape.dim(1),
+        ))
+    }
+
+    /// Matrix product of two rank-2 tensors.
+    ///
+    /// Uses the blocked kernel in [`crate::gemm`]: packed panels, a 4×4
+    /// register microkernel, and row panels distributed over the
+    /// [`crate::par`] pool. Bit-identical to [`matmul_naive`](Self::matmul_naive)
+    /// at any thread count (each output element keeps a single accumulator
+    /// walking `k` in ascending order).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::RankMismatch`] if either operand is not rank 2
+    /// and [`TensorError::ShapeMismatch`] if the inner dimensions differ.
+    pub fn matmul(&self, other: &Tensor) -> Result<Tensor, TensorError> {
+        let (m, k, k2, n) = self.matmul_dims(other, "matmul")?;
         if k != k2 {
             return Err(TensorError::ShapeMismatch {
                 op: "matmul",
@@ -283,21 +300,85 @@ impl Tensor {
             });
         }
         let mut out = vec![0.0f32; m * n];
-        // i-k-j ordering keeps the innermost loop streaming over `other`'s
-        // rows and the output row, both contiguous.
+        crate::gemm::gemm_nn(m, k, n, &self.data, &other.data, &mut out);
+        Tensor::from_vec(Shape::d2(m, n), out)
+    }
+
+    /// Reference matrix product: the plain `i-j-k` triple loop.
+    ///
+    /// Kept as the oracle the blocked [`matmul`](Self::matmul) must match
+    /// bit-for-bit, and as the baseline the bench harness measures the
+    /// blocked kernel against.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`matmul`](Self::matmul).
+    pub fn matmul_naive(&self, other: &Tensor) -> Result<Tensor, TensorError> {
+        let (m, k, k2, n) = self.matmul_dims(other, "matmul")?;
+        if k != k2 {
+            return Err(TensorError::ShapeMismatch {
+                op: "matmul",
+                lhs: self.shape.clone(),
+                rhs: other.shape.clone(),
+            });
+        }
+        let mut out = vec![0.0f32; m * n];
         for i in 0..m {
             let arow = &self.data[i * k..(i + 1) * k];
-            let orow = &mut out[i * n..(i + 1) * n];
-            for (kk, &a) in arow.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
+            for j in 0..n {
+                let mut acc = 0.0f32;
+                for (kk, &a) in arow.iter().enumerate() {
+                    acc += a * other.data[kk * n + j];
                 }
-                let brow = &other.data[kk * n..(kk + 1) * n];
-                for (o, &b) in orow.iter_mut().zip(brow.iter()) {
-                    *o += a * b;
-                }
+                out[i * n + j] = acc;
             }
         }
+        Tensor::from_vec(Shape::d2(m, n), out)
+    }
+
+    /// `self · otherᵀ` without materialising the transpose.
+    ///
+    /// `self` is `m×k`, `other` is `n×k`; the result is `m×n`. This is the
+    /// dense-layer forward product `x·Wᵀ`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::RankMismatch`] for non-rank-2 operands and
+    /// [`TensorError::ShapeMismatch`] if the `k` dimensions differ.
+    pub fn matmul_nt(&self, other: &Tensor) -> Result<Tensor, TensorError> {
+        let (m, k, n, k2) = self.matmul_dims(other, "matmul_nt")?;
+        if k != k2 {
+            return Err(TensorError::ShapeMismatch {
+                op: "matmul_nt",
+                lhs: self.shape.clone(),
+                rhs: other.shape.clone(),
+            });
+        }
+        let mut out = vec![0.0f32; m * n];
+        crate::gemm::gemm_nt(m, k, n, &self.data, &other.data, &mut out);
+        Tensor::from_vec(Shape::d2(m, n), out)
+    }
+
+    /// `selfᵀ · other` without materialising the transpose.
+    ///
+    /// `self` is `k×m`, `other` is `k×n`; the result is `m×n`. This is the
+    /// dense-layer weight gradient `dYᵀ·X`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::RankMismatch`] for non-rank-2 operands and
+    /// [`TensorError::ShapeMismatch`] if the `k` dimensions differ.
+    pub fn matmul_tn(&self, other: &Tensor) -> Result<Tensor, TensorError> {
+        let (k, m, k2, n) = self.matmul_dims(other, "matmul_tn")?;
+        if k != k2 {
+            return Err(TensorError::ShapeMismatch {
+                op: "matmul_tn",
+                lhs: self.shape.clone(),
+                rhs: other.shape.clone(),
+            });
+        }
+        let mut out = vec![0.0f32; m * n];
+        crate::gemm::gemm_tn(m, k, n, &self.data, &other.data, &mut out);
         Tensor::from_vec(Shape::d2(m, n), out)
     }
 
@@ -393,6 +474,58 @@ mod tests {
         let id = Tensor::from_vec(Shape::d2(2, 2), vec![1., 0., 0., 1.]).unwrap();
         assert_eq!(a.matmul(&id).unwrap(), a);
         assert_eq!(id.matmul(&a).unwrap(), a);
+    }
+
+    #[test]
+    fn matmul_matches_naive_bitwise() {
+        let mut r = crate::rng::seeded(0xA11CE);
+        for &(m, k, n) in &[
+            (1usize, 1usize, 1usize),
+            (5, 7, 3),
+            (16, 16, 16),
+            (9, 33, 17),
+        ] {
+            let a = crate::init::uniform(Shape::d2(m, k), -2.0, 2.0, &mut r);
+            let b = crate::init::uniform(Shape::d2(k, n), -2.0, 2.0, &mut r);
+            assert_eq!(a.matmul(&b).unwrap(), a.matmul_naive(&b).unwrap());
+        }
+    }
+
+    #[test]
+    fn matmul_nt_tn_match_explicit_transpose() {
+        let mut r = crate::rng::seeded(0xBEE);
+        let a = crate::init::uniform(Shape::d2(6, 11), -1.0, 1.0, &mut r);
+        let b = crate::init::uniform(Shape::d2(9, 11), -1.0, 1.0, &mut r);
+        assert_eq!(
+            a.matmul_nt(&b).unwrap(),
+            a.matmul(&b.transpose().unwrap()).unwrap()
+        );
+        let x = crate::init::uniform(Shape::d2(11, 6), -1.0, 1.0, &mut r);
+        let y = crate::init::uniform(Shape::d2(11, 9), -1.0, 1.0, &mut r);
+        assert_eq!(
+            x.matmul_tn(&y).unwrap(),
+            x.transpose().unwrap().matmul(&y).unwrap()
+        );
+    }
+
+    #[test]
+    fn matmul_nt_rejects_mismatched_inner_dim() {
+        let a = Tensor::zeros(Shape::d2(2, 3));
+        let b = Tensor::zeros(Shape::d2(4, 5));
+        assert!(matches!(
+            a.matmul_nt(&b).unwrap_err(),
+            TensorError::ShapeMismatch {
+                op: "matmul_nt",
+                ..
+            }
+        ));
+        assert!(matches!(
+            a.matmul_tn(&b).unwrap_err(),
+            TensorError::ShapeMismatch {
+                op: "matmul_tn",
+                ..
+            }
+        ));
     }
 
     #[test]

@@ -1,45 +1,58 @@
-//! Property-based tests for the tensor substrate.
+//! Property-style tests for the tensor substrate, run as deterministic
+//! seeded loops (≥256 cases each) so the suite needs no external
+//! property-testing dependency and is reproducible bit-for-bit.
 
-use proptest::prelude::*;
 use qnn_tensor::conv::{col2im, conv2d, conv2d_backward, im2col, Geometry};
 use qnn_tensor::pool::{avg_pool2d, max_pool2d, max_pool2d_backward};
+use qnn_tensor::rng::{derive_seed, seeded, Rng};
 use qnn_tensor::{Shape, Tensor};
 
-fn small_matrix() -> impl Strategy<Value = Tensor> {
-    (1usize..6, 1usize..6).prop_flat_map(|(m, n)| {
-        proptest::collection::vec(-10.0f32..10.0, m * n)
-            .prop_map(move |v| Tensor::from_vec(Shape::d2(m, n), v).unwrap())
-    })
+const CASES: u64 = 256;
+
+/// Runs `f` once per case with an independent child-stream RNG.
+fn cases(suite_seed: u64, f: impl Fn(&mut Rng)) {
+    for case in 0..CASES {
+        let mut rng = seeded(derive_seed(suite_seed, case));
+        f(&mut rng);
+    }
 }
 
-fn image(c: usize, h: usize, w: usize) -> impl Strategy<Value = Tensor> {
-    proptest::collection::vec(-5.0f32..5.0, c * h * w)
-        .prop_map(move |v| Tensor::from_vec(Shape::d3(c, h, w), v).unwrap())
+fn tensor(shape: Shape, lo: f32, hi: f32, rng: &mut Rng) -> Tensor {
+    let data = (0..shape.len()).map(|_| rng.gen_range(lo..hi)).collect();
+    Tensor::from_vec(shape, data).unwrap()
 }
 
-fn batch(n: usize, c: usize, h: usize, w: usize) -> impl Strategy<Value = Tensor> {
-    proptest::collection::vec(-5.0f32..5.0, n * c * h * w)
-        .prop_map(move |v| Tensor::from_vec(Shape::d4(n, c, h, w), v).unwrap())
+fn small_matrix(rng: &mut Rng) -> Tensor {
+    let m = rng.gen_range(1usize..6);
+    let n = rng.gen_range(1usize..6);
+    tensor(Shape::d2(m, n), -10.0, 10.0, rng)
 }
 
-proptest! {
-    #[test]
-    fn add_commutes(a in small_matrix()) {
+#[test]
+fn add_commutes() {
+    cases(0x01, |rng| {
+        let a = small_matrix(rng);
         let b = a.map(|x| x * 0.5 - 1.0);
         let ab = a.add(&b).unwrap();
         let ba = b.add(&a).unwrap();
-        prop_assert_eq!(ab, ba);
-    }
+        assert_eq!(ab, ba);
+    });
+}
 
-    #[test]
-    fn transpose_is_involution(a in small_matrix()) {
-        prop_assert_eq!(a.transpose().unwrap().transpose().unwrap(), a);
-    }
+#[test]
+fn transpose_is_involution() {
+    cases(0x02, |rng| {
+        let a = small_matrix(rng);
+        assert_eq!(a.transpose().unwrap().transpose().unwrap(), a);
+    });
+}
 
-    #[test]
-    fn matmul_distributes_over_add(a in small_matrix()) {
+#[test]
+fn matmul_distributes_over_add() {
+    cases(0x03, |rng| {
         // (A + A) · I == A·I + A·I (structure check with exact arithmetic on
         // identity to avoid float-association noise).
+        let a = small_matrix(rng);
         let n = a.shape().dim(1);
         let mut id = Tensor::zeros(Shape::d2(n, n));
         for i in 0..n {
@@ -47,76 +60,147 @@ proptest! {
         }
         let lhs = a.add(&a).unwrap().matmul(&id).unwrap();
         let rhs = a.matmul(&id).unwrap().add(&a.matmul(&id).unwrap()).unwrap();
-        prop_assert_eq!(lhs, rhs);
-    }
+        assert_eq!(lhs, rhs);
+    });
+}
 
-    #[test]
-    fn scale_then_sum_is_linear(a in small_matrix(), k in -3.0f32..3.0) {
+#[test]
+fn matmul_matches_naive_on_random_shapes() {
+    cases(0x0A, |rng| {
+        let m = rng.gen_range(1usize..24);
+        let k = rng.gen_range(1usize..24);
+        let n = rng.gen_range(1usize..24);
+        let a = tensor(Shape::d2(m, k), -4.0, 4.0, rng);
+        let b = tensor(Shape::d2(k, n), -4.0, 4.0, rng);
+        // Bit-identical, not approximately equal: the blocked kernel keeps
+        // the naive accumulation order per output element.
+        assert_eq!(a.matmul(&b).unwrap(), a.matmul_naive(&b).unwrap());
+    });
+}
+
+#[test]
+fn matmul_nt_tn_match_transposed_naive() {
+    cases(0x0B, |rng| {
+        let m = rng.gen_range(1usize..12);
+        let k = rng.gen_range(1usize..12);
+        let n = rng.gen_range(1usize..12);
+        let a = tensor(Shape::d2(m, k), -4.0, 4.0, rng);
+        let bt = tensor(Shape::d2(n, k), -4.0, 4.0, rng);
+        assert_eq!(
+            a.matmul_nt(&bt).unwrap(),
+            a.matmul_naive(&bt.transpose().unwrap()).unwrap()
+        );
+        let at = tensor(Shape::d2(k, m), -4.0, 4.0, rng);
+        let b = tensor(Shape::d2(k, n), -4.0, 4.0, rng);
+        assert_eq!(
+            at.matmul_tn(&b).unwrap(),
+            at.transpose().unwrap().matmul_naive(&b).unwrap()
+        );
+    });
+}
+
+#[test]
+fn scale_then_sum_is_linear() {
+    cases(0x04, |rng| {
+        let a = small_matrix(rng);
+        let k = rng.gen_range(-3.0f32..3.0);
         let lhs = a.scale(k).sum();
         let rhs = a.sum() * k;
-        prop_assert!((lhs - rhs).abs() <= 1e-3 * (1.0 + rhs.abs()));
-    }
+        assert!((lhs - rhs).abs() <= 1e-3 * (1.0 + rhs.abs()));
+    });
+}
 
-    #[test]
-    fn im2col_col2im_adjoint(x in image(2, 6, 6), k in 1usize..4, s in 1usize..3, p in 0usize..2) {
-        let geom = Geometry { kh: k, kw: k, stride: s, pad: p, ceil: false };
-        if geom.output_hw(6, 6).is_err() { return Ok(()); }
+#[test]
+fn im2col_col2im_adjoint() {
+    cases(0x05, |rng| {
+        let x = tensor(Shape::d3(2, 6, 6), -5.0, 5.0, rng);
+        let k = rng.gen_range(1usize..4);
+        let s = rng.gen_range(1usize..3);
+        let p = rng.gen_range(0usize..2);
+        let geom = Geometry {
+            kh: k,
+            kw: k,
+            stride: s,
+            pad: p,
+            ceil: false,
+        };
+        if geom.output_hw(6, 6).is_err() {
+            return;
+        }
         let cols = im2col(&x, geom).unwrap();
-        // y = some function of cols
         let y = cols.map(|v| v * 0.7 + 0.1);
         let lhs = cols.dot(&y).unwrap();
         let rhs = x.dot(&col2im(&y, 2, 6, 6, geom).unwrap()).unwrap();
-        prop_assert!((lhs - rhs).abs() < 1e-2 * (1.0 + lhs.abs()), "lhs={} rhs={}", lhs, rhs);
-    }
+        assert!(
+            (lhs - rhs).abs() < 1e-2 * (1.0 + lhs.abs()),
+            "lhs={lhs} rhs={rhs}"
+        );
+    });
+}
 
-    #[test]
-    fn conv_linearity_in_input(x in batch(1, 1, 5, 5), k in -2.0f32..2.0) {
+#[test]
+fn conv_linearity_in_input() {
+    cases(0x06, |rng| {
+        let x = tensor(Shape::d4(1, 1, 5, 5), -5.0, 5.0, rng);
+        let k = rng.gen_range(-2.0f32..2.0);
         let w = Tensor::ones(Shape::d4(2, 1, 3, 3));
         let b = Tensor::zeros(Shape::d1(2));
         let geom = Geometry::square(3, 1, 1);
         let y1 = conv2d(&x.scale(k), &w, &b, geom).unwrap();
         let y2 = conv2d(&x, &w, &b, geom).unwrap().scale(k);
         for (a, b) in y1.as_slice().iter().zip(y2.as_slice()) {
-            prop_assert!((a - b).abs() < 1e-3 * (1.0 + b.abs()));
+            assert!((a - b).abs() < 1e-3 * (1.0 + b.abs()));
         }
-    }
+    });
+}
 
-    #[test]
-    fn conv_grad_bias_counts_pixels(x in batch(2, 1, 4, 4)) {
+#[test]
+fn conv_grad_bias_counts_pixels() {
+    cases(0x07, |rng| {
+        let x = tensor(Shape::d4(2, 1, 4, 4), -5.0, 5.0, rng);
         let w = Tensor::ones(Shape::d4(1, 1, 3, 3));
         let geom = Geometry::square(3, 1, 0);
         let y = conv2d(&x, &w, &Tensor::zeros(Shape::d1(1)), geom).unwrap();
         let gout = Tensor::ones(y.shape().clone());
         let (_, _, gb) = conv2d_backward(&x, &w, &gout, geom).unwrap();
         // 2 samples × 2×2 output pixels each
-        prop_assert_eq!(gb.as_slice(), &[8.0]);
-    }
+        assert_eq!(gb.as_slice(), &[8.0]);
+    });
+}
 
-    #[test]
-    fn max_pool_output_bounded_by_input(x in batch(1, 2, 6, 6)) {
+#[test]
+fn max_pool_output_bounded_by_input() {
+    cases(0x08, |rng| {
+        let x = tensor(Shape::d4(1, 2, 6, 6), -5.0, 5.0, rng);
         let p = max_pool2d(&x, Geometry::square(2, 2, 0)).unwrap();
         let (lo, hi) = qnn_tensor::stats::min_max(&x).unwrap();
         for &v in p.output.as_slice() {
-            prop_assert!(v >= lo && v <= hi);
+            assert!(v >= lo && v <= hi);
         }
-    }
+    });
+}
 
-    #[test]
-    fn max_pool_backward_preserves_grad_mass(x in batch(1, 1, 4, 4)) {
+#[test]
+fn max_pool_backward_preserves_grad_mass() {
+    cases(0x09, |rng| {
+        let x = tensor(Shape::d4(1, 1, 4, 4), -5.0, 5.0, rng);
         let p = max_pool2d(&x, Geometry::square(2, 2, 0)).unwrap();
         let gout = Tensor::ones(p.output.shape().clone());
         let gx = max_pool2d_backward(x.shape(), &p.argmax, &gout).unwrap();
-        prop_assert!((gx.sum() - gout.sum()).abs() < 1e-4);
-    }
+        assert!((gx.sum() - gout.sum()).abs() < 1e-4);
+    });
+}
 
-    #[test]
-    fn avg_pool_of_constant_is_constant(c in -4.0f32..4.0) {
+#[test]
+fn avg_pool_of_constant_is_constant() {
+    cases(0x0C, |rng| {
+        let c = rng.gen_range(-4.0f32..4.0);
         let x = Tensor::full(Shape::d4(1, 1, 4, 4), c);
         let y = avg_pool2d(&x, Geometry::square(2, 2, 0)).unwrap();
         for &v in y.as_slice() {
-            prop_assert!((v - c).abs() < 1e-5);
+            assert!((v - c).abs() < 1e-5);
         }
-    }
+    });
 }
 
 /// Batched (threaded) convolution must equal per-sample (serial) results

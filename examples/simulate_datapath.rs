@@ -13,17 +13,16 @@
 use qnn_accel::sim::{SimPrecision, TileSimulator};
 use qnn_quant::{Binary, Fixed, PowerOfTwo};
 use qnn_tensor::rng;
-use rand::Rng;
 
 fn main() {
     let mut r = rng::seeded(2024);
     let fan_in = 200;
     let neurons = 40;
-    let inputs: Vec<f32> = (0..fan_in).map(|_| r.gen_range(-2.0..2.0)).collect();
+    let inputs: Vec<f32> = (0..fan_in).map(|_| r.gen_range(-2.0f32..2.0)).collect();
     let weights: Vec<f32> = (0..fan_in * neurons)
-        .map(|_| r.gen_range(-1.0..1.0))
+        .map(|_| r.gen_range(-1.0f32..1.0))
         .collect();
-    let bias: Vec<f32> = (0..neurons).map(|_| r.gen_range(-0.5..0.5)).collect();
+    let bias: Vec<f32> = (0..neurons).map(|_| r.gen_range(-0.5f32..0.5)).collect();
 
     let variants: Vec<(&str, SimPrecision)> = vec![
         (
