@@ -1,21 +1,42 @@
 #!/usr/bin/env sh
-# Offline CI gate: formatting, lints, release build, full test suite.
-# Everything runs with --offline — the workspace has zero external
-# dependencies, so no network access is ever needed.
+# Offline CI gate: formatting, lints, release build, full test suite,
+# and the kernel-benchmark regression check. Everything runs with
+# --offline — the workspace has zero external dependencies, so no
+# network access is ever needed.
+#
+# Mirrored stage-for-stage by .github/workflows/ci.yml; keep the two in
+# sync when adding stages.
 set -eu
 
 cd "$(dirname "$0")"
 
-echo "== cargo fmt --check =="
-cargo fmt --all -- --check
+STAGE="(startup)"
+STAGES_RUN=""
 
-echo "== cargo clippy (-D warnings) =="
-cargo clippy --workspace --all-targets --offline -- -D warnings
+on_exit() {
+    code=$?
+    echo ""
+    if [ "$code" -eq 0 ]; then
+        echo "CI gate passed:$STAGES_RUN"
+    else
+        echo "CI gate FAILED in stage: $STAGE"
+    fi
+}
+trap on_exit EXIT
 
-echo "== cargo build --release =="
-cargo build --workspace --release --offline
+stage() {
+    STAGE="$1"
+    shift
+    echo "== $STAGE =="
+    start=$(date +%s)
+    "$@"
+    end=$(date +%s)
+    echo "-- $STAGE: $((end - start))s"
+    STAGES_RUN="$STAGES_RUN $STAGE($((end - start))s)"
+}
 
-echo "== cargo test =="
-cargo test --workspace -q --offline
-
-echo "CI gate passed."
+stage fmt          cargo fmt --all -- --check
+stage clippy       cargo clippy --workspace --all-targets --offline -- -D warnings
+stage build        cargo build --workspace --release --offline
+stage test         cargo test --workspace -q --offline
+stage bench-check  cargo run -p qnn-bench --release --offline -- bench-check

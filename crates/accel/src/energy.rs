@@ -37,11 +37,31 @@ impl AcceleratorDesign {
     /// Energy to infer one image of `workload` on this design.
     pub fn energy_per_image(&self, workload: &Workload) -> EnergyBreakdown {
         let cycles = workload_cycles(workload, self.config(), self.pipeline_stages());
-        EnergyBreakdown {
+        let out = EnergyBreakdown {
             cycles,
             power_mw: self.synthesize().power_mw(),
             clock_hz: self.config().clock_hz,
+        };
+        if qnn_trace::enabled() {
+            // Cycle-stage attribution: where an image's runtime goes, and
+            // the energy each stage class accounts for (power × stage
+            // share of runtime) — the Figure 3-style breakdown.
+            let c = &out.cycles;
+            qnn_trace::counter!("accel.cycles.compute", c.compute());
+            qnn_trace::counter!("accel.cycles.dma_stall", c.dma_stall());
+            let fill: u64 = c.layers.iter().map(|l| l.fill).sum();
+            qnn_trace::counter!("accel.cycles.fill", fill);
+            let total = c.total().max(1) as f64;
+            let uj = out.total_uj();
+            qnn_trace::gauge!("accel.energy.total_uj", uj);
+            qnn_trace::gauge!("accel.energy.compute_uj", uj * c.compute() as f64 / total);
+            qnn_trace::gauge!(
+                "accel.energy.dma_stall_uj",
+                uj * c.dma_stall() as f64 / total
+            );
+            qnn_trace::gauge!("accel.energy.fill_uj", uj * fill as f64 / total);
         }
+        out
     }
 }
 

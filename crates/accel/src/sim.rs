@@ -227,6 +227,11 @@ impl TileSimulator {
                 outputs[tile_base + n] = in_fmt.quantize_value(y as f32);
             }
         }
+        qnn_trace::counter!("accel.nfu.cycles", cycles);
+        qnn_trace::counter!("accel.sb.reads", sb_reads);
+        qnn_trace::counter!("accel.bin.reads", bin_reads);
+        qnn_trace::counter!("accel.bout.writes", bout_writes);
+        qnn_trace::counter!("accel.dma.values", (bin.len() + sb.len()) as u64);
         SimOutput {
             outputs,
             cycles,
@@ -354,13 +359,18 @@ impl TileSimulator {
         }
         let n_out = (c * oh * ow) as u64;
         let tn = self.config.neurons as u64;
-        SimOutput {
+        let out = SimOutput {
             outputs,
             cycles: n_out.div_ceil(tn),
             sb_reads: 0,
             bin_reads: (raw.len() as u64).div_ceil(tn),
             bout_writes: n_out.div_ceil(tn),
-        }
+        };
+        qnn_trace::counter!("accel.nfu.cycles", out.cycles);
+        qnn_trace::counter!("accel.bin.reads", out.bin_reads);
+        qnn_trace::counter!("accel.bout.writes", out.bout_writes);
+        qnn_trace::counter!("accel.dma.values", raw.len() as u64);
+        out
     }
 
     /// The f32 reference the simulation must reproduce: fake-quantize

@@ -43,7 +43,22 @@ fn entry(m: &Measurement, flops_per_op: Option<f64>) -> Json {
 /// Printed progress goes to stdout; the caller decides whether to also
 /// write the artifact file.
 pub fn run() -> Json {
-    let b = Bencher::default();
+    run_with(false)
+}
+
+/// Runs the kernel suite; `quick` trades precision for speed (shorter
+/// repetitions, the end-to-end mini-sweep skipped) for CI gating, where
+/// the regression tolerance absorbs the extra timing noise.
+pub fn run_with(quick: bool) -> Json {
+    let b = if quick {
+        Bencher {
+            warmup_reps: 1,
+            reps: 3,
+            target_rep_ns: 20_000_000,
+        }
+    } else {
+        Bencher::default()
+    };
     let mut entries: Vec<Json> = Vec::new();
     let mut push = |e: Json| {
         println!(
@@ -154,23 +169,25 @@ pub fn run() -> Json {
     });
     push(entry(&m, None));
 
-    println!("== Table IV mini-sweep (smoke scale, float32 + fixed(8,8)) ==");
-    let once = Bencher::once();
-    let splits = standard_splits(DatasetKind::Glyphs28, 240, 200, 3);
-    let spec = zoo::lenet_small();
-    let m = once.run("table4/mini_sweep_smoke_2_precisions", || {
-        black_box(
-            accuracy_sweep(
-                &spec,
-                &splits,
-                &[Precision::float32(), Precision::fixed(8, 8)],
-                ExperimentScale::Smoke,
-                7,
-            )
-            .unwrap(),
-        );
-    });
-    push(entry(&m, None));
+    if !quick {
+        println!("== Table IV mini-sweep (smoke scale, float32 + fixed(8,8)) ==");
+        let once = Bencher::once();
+        let splits = standard_splits(DatasetKind::Glyphs28, 240, 200, 3);
+        let spec = zoo::lenet_small();
+        let m = once.run("table4/mini_sweep_smoke_2_precisions", || {
+            black_box(
+                accuracy_sweep(
+                    &spec,
+                    &splits,
+                    &[Precision::float32(), Precision::fixed(8, 8)],
+                    ExperimentScale::Smoke,
+                    7,
+                )
+                .unwrap(),
+            );
+        });
+        push(entry(&m, None));
+    }
 
     Json::obj(vec![
         ("schema", Json::str("qnn-bench/kernels/v1")),

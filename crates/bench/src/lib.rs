@@ -6,6 +6,8 @@
 //! warmup + median-of-N timer, [`kernels`] benchmarks the compute core's
 //! hot paths (blocked vs naive GEMM, convolution, quantization, a full
 //! training step) and emits the committed `BENCH_kernels.json` artifact,
+//! [`regression`] gates CI against that committed baseline
+//! (`bench-check`), [`tracereport`] summarizes `qnn-trace` JSONL files,
 //! and [`artifacts`] regenerates every table/figure of the paper
 //! (see DESIGN.md §5 for the index).
 //!
@@ -16,7 +18,9 @@
 pub mod artifacts;
 pub mod json;
 pub mod kernels;
+pub mod regression;
 pub mod timer;
+pub mod tracereport;
 
 /// Scale selector shared by the heavy (training-based) artifacts: set
 /// `QNN_BENCH_SCALE=smoke|reduced|full` (default `reduced`).

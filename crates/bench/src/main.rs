@@ -2,44 +2,180 @@
 //!
 //! With no arguments it runs the kernel suite and writes
 //! `BENCH_kernels.json` to the current directory. Subcommands regenerate
-//! individual paper artifacts; `all` chains every one of them.
+//! individual paper artifacts; `all` chains every one of them;
+//! `bench-check` gates against the committed kernel baseline and
+//! `trace-summary` reads back a `--trace` JSONL file.
 
-use qnn_bench::{artifacts, kernels};
+use qnn_bench::json::Json;
+use qnn_bench::{artifacts, kernels, regression, tracereport};
 
 const USAGE: &str = "\
-usage: qnn-bench [SUBCOMMAND]
+usage: qnn-bench [--quick] [--trace <path>] [SUBCOMMAND]
 
-  kernels    kernel benchmarks; writes BENCH_kernels.json (default)
-  table3     Table III  — design metrics per precision
-  table4     Table IV   — MNIST/SVHN-class accuracy + energy
-  table5     Table V    — CIFAR-class accuracy + energy
-  fig3       Figure 3   — area/power breakdown, buffer dominance
-  fig4       Figure 4   — accuracy-vs-energy Pareto frontier
-  memory     §V-B       — parameter memory per network per precision
-  ablations  QAT-vs-PTQ, STE clip, calibration, radix ablations
-  all        every artifact above, then the kernel suite
+  kernels        kernel benchmarks; writes BENCH_kernels.json (default)
+  bench-check [--baseline <path>]
+                 quick kernel run compared against the committed
+                 BENCH_kernels.json; exits 1 on any >25% regression
+                 (tolerance factor via QNN_BENCH_TOLERANCE, e.g. 1.25)
+  trace-summary <path>
+                 summarize a qnn-trace JSONL file written by --trace
+  table3         Table III  — design metrics per precision
+  table4         Table IV   — MNIST/SVHN-class accuracy + energy
+  table5         Table V    — CIFAR-class accuracy + energy
+  fig3           Figure 3   — area/power breakdown, buffer dominance
+  fig4           Figure 4   — accuracy-vs-energy Pareto frontier
+  memory         \u{a7}V-B       — parameter memory per network per precision
+  ablations      QAT-vs-PTQ, STE clip, calibration, radix ablations
+  all            every artifact above, then the kernel suite
+
+Flags:
+  --quick        shorter kernel repetitions, mini-sweep skipped
+  --trace <path> record a qnn-trace JSONL of the run to <path>
 
 Training-based artifacts honour QNN_BENCH_SCALE=smoke|reduced|full
 (default reduced) and QNN_THREADS=<n>.";
 
-fn run_kernels() {
-    let report = kernels::run();
+fn run_kernels(quick: bool) {
+    let report = kernels::run_with(quick);
     let path = "BENCH_kernels.json";
     std::fs::write(path, report.render()).expect("write BENCH_kernels.json");
     println!("\nwrote {path}");
 }
 
+fn bench_check(baseline_path: &str) -> i32 {
+    let text = match std::fs::read_to_string(baseline_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("bench-check: cannot read baseline {baseline_path}: {e}");
+            return 1;
+        }
+    };
+    let baseline = match Json::parse(&text) {
+        Ok(j) => j,
+        Err(e) => {
+            eprintln!("bench-check: baseline {baseline_path} is not valid JSON: {e}");
+            return 1;
+        }
+    };
+    println!("bench-check: quick kernel run vs {baseline_path}");
+    let current = kernels::run_with(true);
+    let tolerance = regression::tolerance_from_env();
+    match regression::check(&baseline, &current, tolerance) {
+        Ok(outcome) => {
+            print!("\n{}", outcome.render());
+            i32::from(!outcome.passed())
+        }
+        Err(e) => {
+            eprintln!("bench-check: {e}");
+            1
+        }
+    }
+}
+
+fn trace_summary(path: &str) -> i32 {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("trace-summary: cannot read {path}: {e}");
+            return 1;
+        }
+    };
+    match tracereport::summarize(&text) {
+        Ok(report) => {
+            print!("{report}");
+            0
+        }
+        Err(e) => {
+            eprintln!("trace-summary: {path}: {e}");
+            1
+        }
+    }
+}
+
 fn main() {
-    let arg = std::env::args().nth(1);
-    match arg.as_deref() {
-        None | Some("kernels") => run_kernels(),
-        Some("table3") => artifacts::table3(),
-        Some("table4") => artifacts::table4_artifact(),
-        Some("table5") => artifacts::table5_artifact(),
-        Some("fig3") => artifacts::fig3(),
-        Some("fig4") => artifacts::fig4(),
-        Some("memory") => artifacts::memory_artifact(),
-        Some("ablations") => artifacts::ablations(),
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut quick = false;
+    let mut trace_path: Option<String> = None;
+    let mut rest: Vec<String> = Vec::new();
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--quick" => quick = true,
+            "--trace" => match it.next() {
+                Some(p) => trace_path = Some(p),
+                None => {
+                    eprintln!("--trace needs a path\n\n{USAGE}");
+                    std::process::exit(2);
+                }
+            },
+            "-h" | "--help" => {
+                println!("{USAGE}");
+                return;
+            }
+            _ => rest.push(a),
+        }
+    }
+
+    if trace_path.is_some() {
+        qnn_trace::start();
+    }
+    let code = match rest.first().map(String::as_str) {
+        None | Some("kernels") => {
+            run_kernels(quick);
+            0
+        }
+        Some("bench-check") => {
+            let baseline = match rest.get(1).map(String::as_str) {
+                None => "BENCH_kernels.json",
+                Some("--baseline") => match rest.get(2) {
+                    Some(p) => p.as_str(),
+                    None => {
+                        eprintln!("bench-check --baseline needs a path\n\n{USAGE}");
+                        std::process::exit(2);
+                    }
+                },
+                Some(other) => {
+                    eprintln!("unknown bench-check argument: {other}\n\n{USAGE}");
+                    std::process::exit(2);
+                }
+            };
+            bench_check(baseline)
+        }
+        Some("trace-summary") => match rest.get(1) {
+            Some(p) => trace_summary(p),
+            None => {
+                eprintln!("trace-summary needs a path\n\n{USAGE}");
+                std::process::exit(2);
+            }
+        },
+        Some("table3") => {
+            artifacts::table3();
+            0
+        }
+        Some("table4") => {
+            artifacts::table4_artifact();
+            0
+        }
+        Some("table5") => {
+            artifacts::table5_artifact();
+            0
+        }
+        Some("fig3") => {
+            artifacts::fig3();
+            0
+        }
+        Some("fig4") => {
+            artifacts::fig4();
+            0
+        }
+        Some("memory") => {
+            artifacts::memory_artifact();
+            0
+        }
+        Some("ablations") => {
+            artifacts::ablations();
+            0
+        }
         Some("all") => {
             artifacts::table3();
             artifacts::fig3();
@@ -48,12 +184,20 @@ fn main() {
             artifacts::table4_artifact();
             artifacts::table5_artifact();
             artifacts::ablations();
-            run_kernels();
+            run_kernels(quick);
+            0
         }
-        Some("-h") | Some("--help") => println!("{USAGE}"),
         Some(other) => {
             eprintln!("unknown subcommand: {other}\n\n{USAGE}");
             std::process::exit(2);
         }
+    };
+    if let Some(path) = trace_path {
+        let trace = qnn_trace::stop();
+        std::fs::write(&path, trace.to_jsonl()).expect("write trace JSONL");
+        println!("wrote trace to {path}");
+    }
+    if code != 0 {
+        std::process::exit(code);
     }
 }

@@ -1,0 +1,307 @@
+//! Benchmark regression gate behind `qnn-bench bench-check`.
+//!
+//! Compares a freshly measured kernel report against the committed
+//! `BENCH_kernels.json` baseline and fails when any shared benchmark's
+//! median slowed down by more than the tolerance factor.
+//!
+//! Only entries carrying `ns_per_op` in *both* reports are compared:
+//! that automatically skips derived ratio-only entries (e.g. the
+//! blocked-vs-naive speedup) and machine-dependent names (the threaded
+//! GEMM embeds the worker count in its name), and tolerates suites that
+//! add or drop benchmarks between revisions — those show up as
+//! informational `only_*` lists, never as failures.
+
+use crate::json::Json;
+
+/// Default slowdown tolerance: fail when `current > baseline * 1.25`
+/// (a >25 % regression of the median).
+pub const DEFAULT_TOLERANCE: f64 = 1.25;
+
+/// One benchmark present in both reports.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Comparison {
+    /// Benchmark name (`group/case`).
+    pub name: String,
+    /// Baseline median, ns/op.
+    pub baseline_ns: f64,
+    /// Current median, ns/op.
+    pub current_ns: f64,
+}
+
+impl Comparison {
+    /// Current-over-baseline slowdown factor (>1 = slower now).
+    pub fn factor(&self) -> f64 {
+        self.current_ns / self.baseline_ns
+    }
+}
+
+/// The result of one baseline-vs-current comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CheckOutcome {
+    /// Every benchmark present (with `ns_per_op`) in both reports.
+    pub compared: Vec<Comparison>,
+    /// The subset of `compared` exceeding the tolerance.
+    pub regressions: Vec<Comparison>,
+    /// Names with timings only in the baseline report.
+    pub only_baseline: Vec<String>,
+    /// Names with timings only in the current report.
+    pub only_current: Vec<String>,
+    /// The slowdown factor the check ran with.
+    pub tolerance: f64,
+}
+
+impl CheckOutcome {
+    /// Whether the gate passes (no benchmark regressed past tolerance).
+    pub fn passed(&self) -> bool {
+        self.regressions.is_empty()
+    }
+
+    /// Human-readable report, one line per compared benchmark, with
+    /// regressions called out by name and percentage.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let pct = |f: f64| (f - 1.0) * 100.0;
+        for c in &self.compared {
+            let f = c.factor();
+            let verdict = if f > self.tolerance {
+                "REGRESSED"
+            } else {
+                "ok"
+            };
+            out.push_str(&format!(
+                "  {verdict:9} {:44} {:>12.0} -> {:>12.0} ns/op ({:+.1}%)\n",
+                c.name,
+                c.baseline_ns,
+                c.current_ns,
+                pct(f)
+            ));
+        }
+        for n in &self.only_baseline {
+            out.push_str(&format!("  skipped   {n:44} (baseline only)\n"));
+        }
+        for n in &self.only_current {
+            out.push_str(&format!("  skipped   {n:44} (current only)\n"));
+        }
+        if self.passed() {
+            out.push_str(&format!(
+                "bench-check passed: {} benchmarks within {:.0}% of baseline\n",
+                self.compared.len(),
+                pct(self.tolerance)
+            ));
+        } else {
+            out.push_str(&format!(
+                "bench-check FAILED: {} of {} benchmarks regressed more than {:.0}%:\n",
+                self.regressions.len(),
+                self.compared.len(),
+                pct(self.tolerance)
+            ));
+            for c in &self.regressions {
+                out.push_str(&format!(
+                    "  {} is {:.1}% slower than the committed baseline\n",
+                    c.name,
+                    pct(c.factor())
+                ));
+            }
+        }
+        out
+    }
+}
+
+/// Extracts `name -> ns_per_op` from a kernels report, ignoring entries
+/// without a timing (ratio-only rows).
+fn timings(report: &Json) -> Result<Vec<(String, f64)>, String> {
+    let benches = report
+        .get("benchmarks")
+        .and_then(Json::as_arr)
+        .ok_or("report has no \"benchmarks\" array")?;
+    let mut out = Vec::new();
+    for b in benches {
+        let name = b
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or("benchmark entry without a \"name\"")?;
+        if let Some(ns) = b.get("ns_per_op").and_then(Json::as_f64) {
+            out.push((name.to_string(), ns));
+        }
+    }
+    Ok(out)
+}
+
+/// Compares two kernel reports (parsed `qnn-bench/kernels/v1` JSON).
+///
+/// # Errors
+///
+/// Returns a message when either report is structurally not a kernels
+/// report, or when a baseline timing is non-positive (a corrupt
+/// baseline must not silently pass the gate).
+pub fn check(baseline: &Json, current: &Json, tolerance: f64) -> Result<CheckOutcome, String> {
+    if !(tolerance.is_finite() && tolerance > 0.0) {
+        return Err(format!(
+            "tolerance must be a positive factor, got {tolerance}"
+        ));
+    }
+    let base = timings(baseline).map_err(|e| format!("baseline: {e}"))?;
+    let cur = timings(current).map_err(|e| format!("current: {e}"))?;
+    let mut compared = Vec::new();
+    let mut only_baseline = Vec::new();
+    for (name, baseline_ns) in &base {
+        match cur.iter().find(|(n, _)| n == name) {
+            Some((_, current_ns)) => {
+                if *baseline_ns <= 0.0 {
+                    return Err(format!(
+                        "baseline: benchmark {name} has non-positive ns_per_op {baseline_ns}"
+                    ));
+                }
+                compared.push(Comparison {
+                    name: name.clone(),
+                    baseline_ns: *baseline_ns,
+                    current_ns: *current_ns,
+                });
+            }
+            None => only_baseline.push(name.clone()),
+        }
+    }
+    let only_current = cur
+        .iter()
+        .filter(|(n, _)| !base.iter().any(|(bn, _)| bn == n))
+        .map(|(n, _)| n.clone())
+        .collect();
+    let regressions = compared
+        .iter()
+        .filter(|c| c.factor() > tolerance)
+        .cloned()
+        .collect();
+    Ok(CheckOutcome {
+        compared,
+        regressions,
+        only_baseline,
+        only_current,
+        tolerance,
+    })
+}
+
+/// The tolerance to run with: `QNN_BENCH_TOLERANCE` (a slowdown factor,
+/// e.g. `1.5`) or [`DEFAULT_TOLERANCE`].
+pub fn tolerance_from_env() -> f64 {
+    std::env::var("QNN_BENCH_TOLERANCE")
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+        .filter(|t| t.is_finite() && *t > 0.0)
+        .unwrap_or(DEFAULT_TOLERANCE)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(entries: &[(&str, Option<f64>)]) -> Json {
+        Json::obj(vec![
+            ("schema", Json::str("qnn-bench/kernels/v1")),
+            (
+                "benchmarks",
+                Json::Arr(
+                    entries
+                        .iter()
+                        .map(|(name, ns)| {
+                            let mut pairs = vec![("name", Json::str(*name))];
+                            match ns {
+                                Some(ns) => pairs.push(("ns_per_op", Json::Num(*ns))),
+                                None => pairs.push(("ratio", Json::Num(10.0))),
+                            }
+                            Json::obj(pairs)
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    #[test]
+    fn passes_within_tolerance_fails_beyond() {
+        let base = report(&[("a", Some(100.0)), ("b", Some(100.0))]);
+        // 24% slower is within the 25% gate; 26% slower is not.
+        let ok = check(
+            &base,
+            &report(&[("a", Some(124.0)), ("b", Some(90.0))]),
+            1.25,
+        )
+        .unwrap();
+        assert!(ok.passed());
+        assert_eq!(ok.compared.len(), 2);
+        let bad = check(
+            &base,
+            &report(&[("a", Some(126.0)), ("b", Some(90.0))]),
+            1.25,
+        )
+        .unwrap();
+        assert!(!bad.passed());
+        assert_eq!(bad.regressions.len(), 1);
+        assert_eq!(bad.regressions[0].name, "a");
+    }
+
+    #[test]
+    fn boundary_factor_exactly_at_tolerance_passes() {
+        let base = report(&[("a", Some(100.0))]);
+        let out = check(&base, &report(&[("a", Some(125.0))]), 1.25).unwrap();
+        assert!(out.passed(), "gate is strict-greater-than");
+    }
+
+    #[test]
+    fn ratio_only_and_unmatched_entries_are_skipped_not_failed() {
+        let base = report(&[
+            ("a", Some(100.0)),
+            ("speedup", None),
+            ("pool_8t", Some(50.0)),
+        ]);
+        let cur = report(&[
+            ("a", Some(100.0)),
+            ("speedup", None),
+            ("pool_4t", Some(999999.0)),
+        ]);
+        let out = check(&base, &cur, 1.25).unwrap();
+        assert!(out.passed());
+        assert_eq!(out.compared.len(), 1);
+        assert_eq!(out.only_baseline, vec!["pool_8t".to_string()]);
+        assert_eq!(out.only_current, vec!["pool_4t".to_string()]);
+        let text = out.render();
+        assert!(text.contains("baseline only"));
+        assert!(text.contains("current only"));
+    }
+
+    #[test]
+    fn render_names_the_offender_and_percentage() {
+        let base = report(&[("gemm/blocked", Some(100.0))]);
+        let out = check(&base, &report(&[("gemm/blocked", Some(200.0))]), 1.25).unwrap();
+        let text = out.render();
+        assert!(text.contains("bench-check FAILED"));
+        assert!(text.contains("gemm/blocked is 100.0% slower"));
+    }
+
+    #[test]
+    fn structural_errors_are_reported() {
+        let not_a_report = Json::obj(vec![("schema", Json::str("x"))]);
+        let base = report(&[("a", Some(100.0))]);
+        assert!(check(&not_a_report, &base, 1.25)
+            .unwrap_err()
+            .contains("baseline"));
+        assert!(check(&base, &not_a_report, 1.25)
+            .unwrap_err()
+            .contains("current"));
+        assert!(check(&base, &base, 0.0).is_err());
+        let zero = report(&[("a", Some(0.0))]);
+        assert!(check(&zero, &base, 1.25)
+            .unwrap_err()
+            .contains("non-positive"));
+    }
+
+    #[test]
+    fn parses_committed_baseline_shape() {
+        // A miniature of the committed artifact: mixed ns_per_op and
+        // ratio entries parse and compare cleanly against themselves.
+        let text = report(&[("m/naive_1t", Some(123.0)), ("m/speedup", None)]).render();
+        let parsed = Json::parse(&text).unwrap();
+        let out = check(&parsed, &parsed, DEFAULT_TOLERANCE).unwrap();
+        assert!(out.passed());
+        assert_eq!(out.compared.len(), 1);
+    }
+}

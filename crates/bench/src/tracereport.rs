@@ -1,0 +1,189 @@
+//! Offline reader for `qnn-trace/v1` JSONL files, behind
+//! `qnn-bench trace-summary <path>`.
+//!
+//! A trace written with `qnn-bench --trace run.jsonl table4` can be
+//! summarized later (or on another machine) without re-running the
+//! experiment: spans aggregate by name, counters/gauges/histograms print
+//! as recorded.
+
+use std::collections::BTreeMap;
+
+use crate::json::Json;
+
+/// Per-span-name aggregate.
+#[derive(Debug, Default, Clone, Copy)]
+struct SpanAgg {
+    calls: u64,
+    total_ns: u64,
+}
+
+fn field_f64(obj: &Json, key: &str, line_no: usize) -> Result<f64, String> {
+    obj.get(key)
+        .and_then(Json::as_f64)
+        .ok_or_else(|| format!("line {line_no}: missing numeric field \"{key}\""))
+}
+
+fn field_str<'a>(obj: &'a Json, key: &str, line_no: usize) -> Result<&'a str, String> {
+    obj.get(key)
+        .and_then(Json::as_str)
+        .ok_or_else(|| format!("line {line_no}: missing string field \"{key}\""))
+}
+
+/// Parses a `qnn-trace/v1` JSONL document and renders an aggregate
+/// summary: spans by name (call count, total milliseconds), then
+/// counters, gauges, and histogram statistics.
+///
+/// # Errors
+///
+/// Returns a message naming the first malformed line: unparsable JSON,
+/// a missing field, an unknown event type, or a wrong/missing schema
+/// marker.
+pub fn summarize(jsonl: &str) -> Result<String, String> {
+    let mut spans: BTreeMap<String, SpanAgg> = BTreeMap::new();
+    let mut counters: BTreeMap<String, f64> = BTreeMap::new();
+    let mut gauges: BTreeMap<String, f64> = BTreeMap::new();
+    // name -> (count, sum, min, max)
+    let mut hists: BTreeMap<String, (f64, f64, f64, f64)> = BTreeMap::new();
+    let mut saw_meta = false;
+    let mut events = 0u64;
+
+    for (i, line) in jsonl.lines().enumerate() {
+        let line_no = i + 1;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let obj = Json::parse(line).map_err(|e| format!("line {line_no}: {e}"))?;
+        let ty = field_str(&obj, "type", line_no)?;
+        match ty {
+            "meta" => {
+                let schema = field_str(&obj, "schema", line_no)?;
+                if schema != "qnn-trace/v1" {
+                    return Err(format!("line {line_no}: unsupported schema \"{schema}\""));
+                }
+                saw_meta = true;
+            }
+            "span_start" => events += 1,
+            "span_end" => {
+                events += 1;
+                let name = field_str(&obj, "name", line_no)?.to_string();
+                let dur = field_f64(&obj, "dur_ns", line_no)?;
+                let agg = spans.entry(name).or_default();
+                agg.calls += 1;
+                agg.total_ns += dur as u64;
+            }
+            "counter" => {
+                let name = field_str(&obj, "name", line_no)?.to_string();
+                counters.insert(name, field_f64(&obj, "total", line_no)?);
+            }
+            "gauge" => {
+                let name = field_str(&obj, "name", line_no)?.to_string();
+                gauges.insert(name, field_f64(&obj, "value", line_no)?);
+            }
+            "hist" => {
+                let name = field_str(&obj, "name", line_no)?.to_string();
+                hists.insert(
+                    name,
+                    (
+                        field_f64(&obj, "count", line_no)?,
+                        field_f64(&obj, "sum", line_no)?,
+                        field_f64(&obj, "min", line_no)?,
+                        field_f64(&obj, "max", line_no)?,
+                    ),
+                );
+            }
+            other => return Err(format!("line {line_no}: unknown event type \"{other}\"")),
+        }
+    }
+    if !saw_meta {
+        return Err("no qnn-trace/v1 meta line found — is this a trace file?".into());
+    }
+
+    let mut out = String::new();
+    out.push_str(&format!(
+        "trace summary ({events} span events)\n\nspans by name (calls, total ms):\n"
+    ));
+    if spans.is_empty() {
+        out.push_str("  (none)\n");
+    }
+    for (name, agg) in &spans {
+        out.push_str(&format!(
+            "  {:40} {:>8} {:>12.3}\n",
+            name,
+            agg.calls,
+            agg.total_ns as f64 / 1e6
+        ));
+    }
+    out.push_str("\ncounters:\n");
+    if counters.is_empty() {
+        out.push_str("  (none)\n");
+    }
+    for (name, total) in &counters {
+        out.push_str(&format!("  {name:40} {total:>16.0}\n"));
+    }
+    out.push_str("\ngauges:\n");
+    if gauges.is_empty() {
+        out.push_str("  (none)\n");
+    }
+    for (name, value) in &gauges {
+        out.push_str(&format!("  {name:40} {value:>16.4}\n"));
+    }
+    out.push_str("\nhistograms (count, mean, min, max):\n");
+    if hists.is_empty() {
+        out.push_str("  (none)\n");
+    }
+    for (name, (count, sum, min, max)) in &hists {
+        let mean = if *count > 0.0 { sum / count } else { 0.0 };
+        out.push_str(&format!(
+            "  {name:40} {count:>8.0} {mean:>12.5} {min:>12.5} {max:>12.5}\n"
+        ));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summarizes_a_real_trace() {
+        // Build a trace through the real collector so the test pins the
+        // writer and the reader to the same schema.
+        qnn_trace::start();
+        {
+            qnn_trace::span!("outer");
+            {
+                qnn_trace::span!("inner");
+            }
+            {
+                qnn_trace::span!("inner");
+            }
+            qnn_trace::counter!("work.items", 42);
+            qnn_trace::gauge!("energy.uj", 1.5);
+            qnn_trace::observe!("err", 0.25);
+        }
+        let trace = qnn_trace::stop();
+        let text = summarize(&trace.to_jsonl()).unwrap();
+        assert!(text.contains("outer"), "{text}");
+        assert!(text.contains("inner"), "{text}");
+        assert!(text.contains("work.items"), "{text}");
+        assert!(text.contains("42"), "{text}");
+        assert!(text.contains("energy.uj"), "{text}");
+        assert!(text.contains("err"), "{text}");
+        // Two "inner" calls aggregate into one row.
+        assert_eq!(text.matches("inner").count(), 1, "{text}");
+    }
+
+    #[test]
+    fn rejects_non_trace_input() {
+        assert!(summarize("{\"type\": \"meta\", \"schema\": \"other/v9\"}")
+            .unwrap_err()
+            .contains("unsupported schema"));
+        assert!(summarize("{\"no_type\": 1}")
+            .unwrap_err()
+            .contains("line 1"));
+        assert!(summarize("not json").unwrap_err().contains("line 1"));
+        assert!(summarize("").unwrap_err().contains("meta"));
+        let unknown = "{\"type\": \"meta\", \"schema\": \"qnn-trace/v1\"}\n{\"type\": \"mystery\"}";
+        assert!(summarize(unknown).unwrap_err().contains("line 2"));
+    }
+}

@@ -98,6 +98,7 @@ pub fn pretrain_fp(
     scale: ExperimentScale,
     seed: u64,
 ) -> Result<(Trainer, Vec<Tensor>), NnError> {
+    qnn_trace::span!("pretrain:{}", spec.name());
     let base = scale.trainer(seed);
     let mut fp_net = Network::build(spec, seed)?;
     let mut trainer = Trainer::new(base);
@@ -137,6 +138,7 @@ pub fn qat_point(
     precision: Precision,
     seed: u64,
 ) -> Result<SweepPoint, NnError> {
+    qnn_trace::span!("qat:{}", precision.label());
     let mut net = Network::build(spec, seed)?;
     net.load_state(fp_state)?;
     let (report, acc) = if !precision.is_quantized() {
@@ -186,6 +188,7 @@ pub fn accuracy_sweep(
     scale: ExperimentScale,
     seed: u64,
 ) -> Result<Vec<SweepPoint>, NnError> {
+    qnn_trace::span!("sweep:{}", spec.name());
     let (trainer, fp_state) = pretrain_fp(spec, splits, scale, seed)?;
     par::map(precisions.len(), |i| {
         qat_point(spec, splits, &trainer, &fp_state, precisions[i], seed)

@@ -80,6 +80,7 @@ fn build_rows(
 ///
 /// Propagates training and workload errors.
 pub fn table4(scale: ExperimentScale, seed: u64) -> Result<Table4, NnError> {
+    qnn_trace::span!("table4");
     let precisions = Precision::paper_sweep();
     let (n_train, n_test) = scale.samples();
     let paper_rows = crate::paper::table4_accuracies();

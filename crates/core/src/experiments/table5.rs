@@ -55,6 +55,7 @@ fn precisions_for(network: &str) -> Vec<Precision> {
 ///
 /// Propagates training and workload errors.
 pub fn table5(scale: ExperimentScale, seed: u64) -> Result<Vec<Table5Row>, NnError> {
+    qnn_trace::span!("table5");
     let (n_train, n_test) = scale.samples();
     let splits = standard_splits(DatasetKind::TexturedObjects32, n_train, n_test, seed);
     let networks: Vec<(&str, NetworkSpec, NetworkSpec)> = match scale {

@@ -156,6 +156,7 @@ impl Network {
             None => batch.clone(),
         };
         for (i, layer) in self.layers.iter_mut().enumerate() {
+            qnn_trace::span!("fwd:{}:{}", i, layer.name());
             x = layer.forward(&x, mode)?;
             if let Some(q) = &self.act_q[i + 1] {
                 // Feature maps are the largest tensors in the pass; snap
@@ -202,7 +203,9 @@ impl Network {
     /// pass preceded this call.
     pub fn backward(&mut self, grad_logits: &Tensor) -> Result<(), NnError> {
         let mut g = grad_logits.clone();
-        for layer in self.layers.iter_mut().rev() {
+        let last = self.layers.len().saturating_sub(1);
+        for (j, layer) in self.layers.iter_mut().rev().enumerate() {
+            qnn_trace::span!("bwd:{}:{}", last - j, layer.name());
             g = layer.backward(&g)?;
         }
         Ok(())

@@ -163,6 +163,7 @@ impl Trainer {
         let mut final_correct = 0usize;
         let mut final_count = 0usize;
         for epoch in 0..self.config.epochs {
+            qnn_trace::span!("epoch");
             shuffle_rng.shuffle(&mut order);
             let mut loss_sum = 0.0f64;
             let mut batches = 0usize;
@@ -343,6 +344,7 @@ impl Trainer {
                 reason: format!("{} labels for {} images", labels.len(), n),
             });
         }
+        qnn_trace::span!("evaluate");
         let mut correct = 0usize;
         let idx: Vec<usize> = (0..n).collect();
         for chunk in idx.chunks(self.config.batch_size) {

@@ -23,12 +23,34 @@ pub trait Quantizer: std::fmt::Debug {
 
     /// Snaps every element of a tensor, producing a new tensor.
     fn quantize(&self, t: &Tensor) -> Tensor {
-        t.map(|x| self.quantize_value(x))
+        let out = t.map(|x| self.quantize_value(x));
+        if qnn_trace::enabled() {
+            observe_pass(
+                &self.describe(),
+                t.as_slice(),
+                out.as_slice(),
+                self.min_value(),
+                self.max_value(),
+            );
+        }
+        out
     }
 
     /// Snaps every element of a tensor in place.
     fn quantize_inplace(&self, t: &mut Tensor) {
-        t.map_inplace(|x| self.quantize_value(x));
+        if qnn_trace::enabled() {
+            let before = t.as_slice().to_vec();
+            t.map_inplace(|x| self.quantize_value(x));
+            observe_pass(
+                &self.describe(),
+                &before,
+                t.as_slice(),
+                self.min_value(),
+                self.max_value(),
+            );
+        } else {
+            t.map_inplace(|x| self.quantize_value(x));
+        }
     }
 
     /// Largest representable value (used for saturation-aware clipping in
@@ -65,11 +87,50 @@ const PAR_CHUNK: usize = 8192;
 /// from the pool while small ones stay on the calling thread (a single
 /// chunk never spawns).
 pub fn quantize_inplace_par<Q: Quantizer + Sync + ?Sized>(q: &Q, t: &mut Tensor) {
+    let before = if qnn_trace::enabled() {
+        Some(t.as_slice().to_vec())
+    } else {
+        None
+    };
     qnn_tensor::par::for_each_chunk_mut(t.as_mut_slice(), PAR_CHUNK, |_, chunk| {
         for v in chunk {
             *v = q.quantize_value(*v);
         }
     });
+    if let Some(before) = before {
+        observe_pass(
+            &q.describe(),
+            &before,
+            t.as_slice(),
+            q.min_value(),
+            q.max_value(),
+        );
+    }
+}
+
+/// Records one tensor pass of quantization telemetry, keyed by format
+/// label: the mean absolute snap error into `quant.abs_err/<label>` and
+/// the fraction of elements outside the representable range (clipped to
+/// the rails) into `quant.sat_rate/<label>`. One histogram sample each per
+/// pass — bounded cost regardless of tensor size. Callers gate on
+/// [`qnn_trace::enabled`]; the quantized values themselves are computed
+/// identically whether or not tracing is on.
+fn observe_pass(label: &str, before: &[f32], after: &[f32], lo: f32, hi: f32) {
+    debug_assert_eq!(before.len(), after.len());
+    if before.is_empty() {
+        return;
+    }
+    let mut abs_err = 0.0f64;
+    let mut saturated = 0usize;
+    for (&b, &a) in before.iter().zip(after) {
+        abs_err += f64::from((a - b).abs());
+        if b > hi || b < lo {
+            saturated += 1;
+        }
+    }
+    let n = before.len() as f64;
+    qnn_trace::observe!(format!("quant.abs_err/{label}"), abs_err / n);
+    qnn_trace::observe!(format!("quant.sat_rate/{label}"), saturated as f64 / n);
 }
 
 /// The identity quantizer: 32-bit float, i.e. no quantization.
@@ -163,5 +224,39 @@ mod tests {
     fn quantizer_is_object_safe() {
         let q: Box<dyn Quantizer> = Box::new(IdentityQuantizer);
         assert_eq!(q.bits(), 32);
+    }
+
+    #[test]
+    fn tracing_records_error_and_saturation_without_changing_values() {
+        // Serialize against any other test using the global collector.
+        static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+        let _g = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+
+        let q = crate::Fixed::new(8, 4).unwrap(); // Q3.4: range ±7.9375
+        let t = Tensor::from_vec(Shape::d1(4), vec![0.3, -1.27, 100.0, -0.02]).unwrap();
+        let plain = q.quantize(&t);
+
+        qnn_trace::start();
+        let traced = q.quantize(&t);
+        let mut inplace = t.clone();
+        q.quantize_inplace(&mut inplace);
+        let mut par = t.clone();
+        quantize_inplace_par(&q, &mut par);
+        let trace = qnn_trace::stop();
+
+        // Bit-identical outputs with tracing on.
+        assert_eq!(traced, plain);
+        assert_eq!(inplace, plain);
+        assert_eq!(par, plain);
+
+        let label = q.describe();
+        let err = &trace.hists[&format!("quant.abs_err/{label}")];
+        let sat = &trace.hists[&format!("quant.sat_rate/{label}")];
+        // Three passes → one sample each.
+        assert_eq!(err.count, 3);
+        assert_eq!(sat.count, 3);
+        // One of four elements (100.0) saturates.
+        assert!((sat.max - 0.25).abs() < 1e-12, "sat.max = {}", sat.max);
+        assert!(err.max > 0.0);
     }
 }

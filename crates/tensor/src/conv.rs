@@ -347,6 +347,8 @@ pub fn conv2d_with(
     let kdim = c * geom.kh * geom.kw;
     let csz = c * h * w;
     let sample_out = o * px;
+    qnn_trace::counter!("tensor.conv.fwd.calls", 1);
+    qnn_trace::counter!("tensor.conv.fwd.macs", (n * o * px * kdim) as u64);
     // Row-major (O, C, KH, KW) weights are already the (O, C·KH·KW) GEMM
     // operand; no reshape/copy needed.
     let wdata = weight.as_slice();
@@ -376,6 +378,7 @@ pub fn conv2d_with(
     } else {
         let ranges = par::partition(n, workers);
         std::thread::scope(|s| {
+            let mut handles = Vec::with_capacity(workers - 1);
             let mut rest: &mut [f32] = &mut out;
             let mut own = None;
             for (range, slot) in ranges.into_iter().zip(slots.iter_mut()) {
@@ -386,11 +389,14 @@ pub fn conv2d_with(
                     continue;
                 }
                 let run = &run;
-                s.spawn(move || par::mark_worker(|| run(range, slab, slot)));
+                handles.push(s.spawn(move || {
+                    par::mark_worker(|| qnn_trace::capture(|| run(range, slab, slot)).1)
+                }));
             }
             if let Some((range, slab, slot)) = own {
                 par::mark_worker(|| run(range, slab, slot));
             }
+            par::join_spliced(handles);
         });
     }
     Tensor::from_vec(Shape::d4(n, o, oh, ow), out)
@@ -444,6 +450,8 @@ pub fn conv2d_backward_with(
     let px = oh * ow;
     let kdim = c * geom.kh * geom.kw;
     let csz = c * h * w;
+    qnn_trace::counter!("tensor.conv.bwd.calls", 1);
+    qnn_trace::counter!("tensor.conv.bwd.macs", (2 * n * o * px * kdim) as u64);
     let wdata = weight.as_slice();
     let in_data = input.as_slice();
     let go_data = grad_out.as_slice();
@@ -506,6 +514,7 @@ pub fn conv2d_backward_with(
     } else {
         let ranges = par::partition(n_blocks, workers);
         std::thread::scope(|s| {
+            let mut handles = Vec::with_capacity(workers - 1);
             let mut gx_rest: &mut [f32] = &mut gx;
             let mut part_rest: &mut [(Vec<f32>, Vec<f32>)] = &mut partials;
             let mut own = None;
@@ -521,11 +530,14 @@ pub fn conv2d_backward_with(
                     continue;
                 }
                 let run = &run;
-                s.spawn(move || par::mark_worker(|| run(range, gx_slab, parts, slot)));
+                handles.push(s.spawn(move || {
+                    par::mark_worker(|| qnn_trace::capture(|| run(range, gx_slab, parts, slot)).1)
+                }));
             }
             if let Some((range, gx_slab, parts, slot)) = own {
                 par::mark_worker(|| run(range, gx_slab, parts, slot));
             }
+            par::join_spliced(handles);
         });
     }
 

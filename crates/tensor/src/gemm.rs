@@ -63,6 +63,7 @@ pub fn gemm_nn_with(
     debug_assert_eq!(a.len(), m * k);
     debug_assert_eq!(b.len(), k * n);
     debug_assert_eq!(c.len(), m * n);
+    count_gemm(m, k, n);
     pack_b_nn(scratch, k, n, b);
     driver(
         m,
@@ -87,6 +88,7 @@ pub fn gemm_nt_with(
     debug_assert_eq!(a.len(), m * k);
     debug_assert_eq!(b.len(), n * k);
     debug_assert_eq!(c.len(), m * n);
+    count_gemm(m, k, n);
     pack_b_nt(scratch, k, n, b);
     driver(
         m,
@@ -111,6 +113,7 @@ pub fn gemm_tn_with(
     debug_assert_eq!(a.len(), k * m);
     debug_assert_eq!(b.len(), k * n);
     debug_assert_eq!(c.len(), m * n);
+    count_gemm(m, k, n);
     pack_b_nn(scratch, k, n, b);
     driver(
         m,
@@ -120,6 +123,14 @@ pub fn gemm_tn_with(
         scratch,
         c,
     );
+}
+
+/// Telemetry hook shared by the three entry points: one call plus
+/// `2·m·k·n` flops per product.
+#[inline]
+fn count_gemm(m: usize, k: usize, n: usize) {
+    qnn_trace::counter!("tensor.gemm.calls", 1);
+    qnn_trace::counter!("tensor.gemm.flops", (2 * m * k * n) as u64);
 }
 
 /// Packs `B` (`k×n`, row-major) into `⌈n/NR⌉` column panels: panel `jp`

@@ -16,6 +16,13 @@
 //! `QNN_THREADS` environment variable, and can be overridden at runtime with
 //! [`set_threads`] (used by the determinism regression tests to compare
 //! 1-thread and N-thread execution on the same host).
+//!
+//! **Tracing.** When a `qnn_trace` session is active, every spawned worker
+//! records its telemetry into a [`qnn_trace::capture`] buffer and the
+//! owning thread [`qnn_trace::splice`]s the buffers back in range order
+//! after the join — so the trace event stream, like the numeric results,
+//! is bit-identical at any thread count. Disabled tracing costs one atomic
+//! load per region.
 
 use std::cell::Cell;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -74,6 +81,18 @@ pub fn mark_worker<R>(f: impl FnOnce() -> R) -> R {
     out
 }
 
+/// Joins worker handles in spawn order, splicing each worker's captured
+/// trace buffer back into the owning thread's stream. Spawn order equals
+/// range order, so the merged event stream is deterministic.
+pub(crate) fn join_spliced(handles: Vec<std::thread::ScopedJoinHandle<'_, qnn_trace::Buffer>>) {
+    for h in handles {
+        match h.join() {
+            Ok(buf) => qnn_trace::splice(buf),
+            Err(payload) => std::panic::resume_unwind(payload),
+        }
+    }
+}
+
 /// Effective worker count for a region of `n_units` independent units:
 /// 1 when nested or single-threaded, never more than `n_units`.
 pub fn workers_for(n_units: usize) -> usize {
@@ -116,21 +135,26 @@ where
     let mut ranges = partition(n, w).into_iter();
     let own = ranges.next().expect("w >= 1");
     std::thread::scope(|s| {
+        let mut handles = Vec::with_capacity(w - 1);
         for range in ranges {
             let f = &f;
-            s.spawn(move || {
+            handles.push(s.spawn(move || {
                 mark_worker(|| {
-                    for i in range {
-                        f(i);
-                    }
+                    qnn_trace::capture(|| {
+                        for i in range {
+                            f(i);
+                        }
+                    })
+                    .1
                 })
-            });
+            }));
         }
         mark_worker(|| {
             for i in own {
                 f(i);
             }
         });
+        join_spliced(handles);
     });
 }
 
@@ -153,6 +177,7 @@ where
     {
         let mut rest: &mut [Option<R>] = &mut slots;
         std::thread::scope(|s| {
+            let mut handles = Vec::with_capacity(w - 1);
             let mut first: Option<(std::ops::Range<usize>, &mut [Option<R>])> = None;
             for range in ranges {
                 let (slab, tail) = rest.split_at_mut(range.len());
@@ -162,13 +187,16 @@ where
                     continue;
                 }
                 let f = &f;
-                s.spawn(move || {
+                handles.push(s.spawn(move || {
                     mark_worker(|| {
-                        for (slot, i) in slab.iter_mut().zip(range) {
-                            *slot = Some(f(i));
-                        }
+                        qnn_trace::capture(|| {
+                            for (slot, i) in slab.iter_mut().zip(range) {
+                                *slot = Some(f(i));
+                            }
+                        })
+                        .1
                     })
-                });
+                }));
             }
             if let Some((range, slab)) = first {
                 mark_worker(|| {
@@ -177,6 +205,7 @@ where
                     }
                 });
             }
+            join_spliced(handles);
         });
     }
     slots
@@ -205,6 +234,7 @@ where
     let ranges = partition(n_chunks, w);
     let mut rest = data;
     std::thread::scope(|s| {
+        let mut handles = Vec::with_capacity(w - 1);
         let mut first: Option<(std::ops::Range<usize>, &mut [T])> = None;
         for range in ranges {
             let take = (range.len() * chunk_len).min(rest.len());
@@ -215,13 +245,16 @@ where
                 continue;
             }
             let f = &f;
-            s.spawn(move || {
+            handles.push(s.spawn(move || {
                 mark_worker(|| {
-                    for (off, chunk) in slab.chunks_mut(chunk_len).enumerate() {
-                        f(range.start + off, chunk);
-                    }
+                    qnn_trace::capture(|| {
+                        for (off, chunk) in slab.chunks_mut(chunk_len).enumerate() {
+                            f(range.start + off, chunk);
+                        }
+                    })
+                    .1
                 })
-            });
+            }));
         }
         if let Some((range, slab)) = first {
             mark_worker(|| {
@@ -230,6 +263,7 @@ where
                 }
             });
         }
+        join_spliced(handles);
     });
 }
 

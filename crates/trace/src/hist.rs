@@ -1,0 +1,181 @@
+//! Bounded histograms: fixed log₂ buckets, O(1) memory per metric.
+
+/// Number of buckets; covers magnitudes 2⁻⁴⁰ … 2²³ plus an underflow
+/// bucket, enough for quantization errors (≥ half an LSB of any shipped
+/// format) through cycle counts.
+pub(crate) const BUCKETS: usize = 64;
+/// Exponent of the underflow boundary: samples below 2^MIN_EXP land in
+/// bucket 0.
+pub(crate) const MIN_EXP: i32 = -40;
+
+/// A bounded histogram over non-negative samples.
+///
+/// Buckets are powers of two: bucket `i > 0` holds samples in
+/// `[2^(MIN_EXP+i-1), 2^(MIN_EXP+i))`; bucket 0 is the underflow bucket
+/// (including exact zeros). Memory is fixed regardless of sample count,
+/// and merging two histograms is element-wise addition — the properties
+/// the deterministic parallel collector needs.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Histogram {
+    /// Per-bucket sample counts.
+    pub counts: Vec<u64>,
+    /// Total samples observed.
+    pub count: u64,
+    /// Sum of all samples (exact fold order, hence deterministic).
+    pub sum: f64,
+    /// Smallest sample seen.
+    pub min: f64,
+    /// Largest sample seen.
+    pub max: f64,
+}
+
+fn bucket_of(value: f64) -> usize {
+    if !(value.is_finite()) || value <= 0.0 {
+        return 0;
+    }
+    let exp = value.log2().floor() as i64;
+    let idx = exp - i64::from(MIN_EXP) + 1;
+    idx.clamp(0, BUCKETS as i64 - 1) as usize
+}
+
+/// Lower edge of bucket `i` (0.0 for the underflow bucket).
+pub(crate) fn bucket_lower(i: usize) -> f64 {
+    if i == 0 {
+        0.0
+    } else {
+        ((MIN_EXP + i as i32 - 1) as f64).exp2()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Histogram {
+        Histogram {
+            counts: vec![0; BUCKETS],
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Records one sample. Negative or non-finite samples are clamped
+    /// into the underflow bucket but still tracked in `min`/`max`/`sum`
+    /// when finite.
+    pub fn observe(&mut self, value: f64) {
+        if self.counts.is_empty() {
+            *self = Histogram::new();
+        }
+        self.counts[bucket_of(value)] += 1;
+        self.count += 1;
+        if value.is_finite() {
+            self.sum += value;
+            self.min = self.min.min(value);
+            self.max = self.max.max(value);
+        }
+    }
+
+    /// Mean of all finite samples (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Approximate quantile: the lower edge of the bucket containing the
+    /// `q`-th sample (`q` in `[0, 1]`). Exact to within one power of two.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return bucket_lower(i);
+            }
+        }
+        self.max
+    }
+
+    /// Merges another histogram into this one (bucket-wise addition).
+    pub fn merge(&mut self, other: &Histogram) {
+        if self.counts.is_empty() {
+            *self = Histogram::new();
+        }
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_cover_magnitudes() {
+        assert_eq!(bucket_of(0.0), 0);
+        assert_eq!(bucket_of(-3.0), 0);
+        assert_eq!(bucket_of(f64::NAN), 0);
+        // 1.0 = 2^0 → exponent 0 → bucket 41.
+        assert_eq!(bucket_of(1.0), (0 - MIN_EXP + 1) as usize);
+        assert_eq!(bucket_of(1.5), bucket_of(1.0));
+        assert_eq!(bucket_of(2.0), bucket_of(1.0) + 1);
+        // Monstrous values clamp into the last bucket.
+        assert_eq!(bucket_of(1e300), BUCKETS - 1);
+        // Tiny values underflow into bucket 0.
+        assert_eq!(bucket_of(1e-30), 0);
+    }
+
+    #[test]
+    fn stats_track_samples() {
+        let mut h = Histogram::new();
+        for v in [0.5, 1.0, 2.0, 4.0] {
+            h.observe(v);
+        }
+        assert_eq!(h.count, 4);
+        assert_eq!(h.min, 0.5);
+        assert_eq!(h.max, 4.0);
+        assert!((h.mean() - 1.875).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantile_is_power_of_two_exact() {
+        let mut h = Histogram::new();
+        for _ in 0..99 {
+            h.observe(1.0);
+        }
+        h.observe(1024.0);
+        // p50 falls in the 1.0 bucket, p100 in the 1024.0 bucket.
+        assert_eq!(h.quantile(0.5), 1.0);
+        assert_eq!(h.quantile(1.0), 1024.0);
+    }
+
+    #[test]
+    fn merge_adds_bucketwise() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        a.observe(1.0);
+        b.observe(1.0);
+        b.observe(8.0);
+        a.merge(&b);
+        assert_eq!(a.count, 3);
+        assert_eq!(a.max, 8.0);
+        assert_eq!(a.counts[bucket_of(1.0)], 2);
+    }
+
+    #[test]
+    fn default_histogram_observes_safely() {
+        let mut h = Histogram::default();
+        h.observe(2.0);
+        assert_eq!(h.count, 1);
+    }
+}

@@ -1,0 +1,443 @@
+#![warn(missing_docs)]
+
+//! # qnn-trace — std-only structured telemetry
+//!
+//! The observability substrate of the workspace: every crate above
+//! `qnn-tensor` reports through this one. Four primitives:
+//!
+//! * **Spans** ([`span!`]) — hierarchical, monotonic wall-clock regions
+//!   ("this experiment", "this layer's forward pass"). Emitted as
+//!   start/end event pairs into an ordered stream.
+//! * **Counters** ([`counter!`]) — named monotonic `u64` sums (GEMM flops,
+//!   simulated NFU cycles, buffer reads).
+//! * **Gauges** ([`gauge!`]) — named `f64` last-value-wins samples
+//!   (per-stage energy attribution).
+//! * **Histograms** ([`observe!`]) — bounded log₂-bucketed distributions
+//!   (per-precision quantization error, saturation rates).
+//!
+//! ## Zero-cost when disabled
+//!
+//! Collection is off by default. Every macro checks [`enabled`] — a single
+//! relaxed atomic load — before evaluating its arguments, so a disabled
+//! build pays no formatting, no allocation, and no locking. Enabling
+//! tracing may never change a computed value: the collector only observes.
+//! (`crates/bench` holds the regression test that a traced Table IV run is
+//! bit-identical to an untraced one.)
+//!
+//! ## Deterministic parallel merge
+//!
+//! Events recorded inside `qnn_tensor::par` workers are buffered per work
+//! unit via [`capture`] and re-emitted in unit-index order via [`splice`]
+//! by the thread that owns the region. The event sequence and every
+//! counter/histogram total are therefore identical at any thread count —
+//! the same invariant the compute kernels already guarantee for their
+//! numeric results.
+//!
+//! ## Sessions and sinks
+//!
+//! ```
+//! qnn_trace::start();
+//! {
+//!     qnn_trace::span!("work");
+//!     qnn_trace::counter!("widgets", 3);
+//! }
+//! let trace = qnn_trace::stop();
+//! assert_eq!(trace.counters["widgets"], 3);
+//! println!("{}", trace.summary());
+//! ```
+//!
+//! A finished [`Trace`] feeds any [`sink::Sink`]: [`sink::MemorySink`]
+//! for tests, [`sink::JsonlSink`] for the `qnn-bench --trace` artifact,
+//! [`sink::SummarySink`] for a human-readable table.
+
+mod hist;
+mod trace;
+
+pub mod sink;
+
+pub use hist::Histogram;
+pub use trace::{SpanEvent, SummaryRow, Trace};
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+/// One raw telemetry record, as buffered before a [`Trace`] is folded.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum Op {
+    SpanStart {
+        name: String,
+        t_ns: u64,
+    },
+    SpanEnd {
+        name: String,
+        t_ns: u64,
+        dur_ns: u64,
+    },
+    CounterAdd {
+        name: String,
+        delta: u64,
+    },
+    GaugeSet {
+        name: String,
+        value: f64,
+    },
+    HistObserve {
+        name: String,
+        value: f64,
+    },
+}
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+/// Session start, in nanoseconds since the process epoch.
+static START_NS: AtomicU64 = AtomicU64::new(0);
+
+fn root() -> &'static Mutex<Vec<Op>> {
+    static ROOT: OnceLock<Mutex<Vec<Op>>> = OnceLock::new();
+    ROOT.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+/// Monotonic nanoseconds since the first call in this process.
+fn now_ns() -> u64 {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    EPOCH.get_or_init(Instant::now).elapsed().as_nanos() as u64
+}
+
+thread_local! {
+    /// Stack of capture buffers; the innermost open capture receives
+    /// this thread's events.
+    static LOCAL: RefCell<Vec<Vec<Op>>> = const { RefCell::new(Vec::new()) };
+}
+
+/// True while a trace session is collecting. Macros check this before
+/// doing any work; call sites with a non-trivial setup cost (cloning a
+/// tensor to compute a quantization error) should too.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+fn emit(op: Op) {
+    let handled = LOCAL.with(|stack| {
+        if let Some(top) = stack.borrow_mut().last_mut() {
+            top.push(op.clone());
+            true
+        } else {
+            false
+        }
+    });
+    if !handled {
+        root().lock().unwrap().push(op);
+    }
+}
+
+/// Starts a collection session, clearing any previous buffered events.
+///
+/// The collector is process-global; concurrent sessions are not supported
+/// (tests that trace must serialize on a lock).
+pub fn start() {
+    root().lock().unwrap().clear();
+    START_NS.store(now_ns(), Ordering::SeqCst);
+    ENABLED.store(true, Ordering::SeqCst);
+}
+
+/// Stops the session and folds everything recorded since [`start`] into a
+/// [`Trace`]. Events are dropped (not collected) once stopped.
+pub fn stop() -> Trace {
+    ENABLED.store(false, Ordering::SeqCst);
+    let ops = std::mem::take(&mut *root().lock().unwrap());
+    Trace::from_ops(ops, START_NS.load(Ordering::SeqCst))
+}
+
+/// Adds `delta` to the named counter.
+///
+/// Prefer the [`counter!`] macro, which guards on [`enabled`] first.
+pub fn add_counter(name: &str, delta: u64) {
+    if enabled() {
+        emit(Op::CounterAdd {
+            name: name.to_string(),
+            delta,
+        });
+    }
+}
+
+/// Sets the named gauge (last write wins).
+///
+/// Prefer the [`gauge!`] macro, which guards on [`enabled`] first.
+pub fn set_gauge(name: &str, value: f64) {
+    if enabled() {
+        emit(Op::GaugeSet {
+            name: name.to_string(),
+            value,
+        });
+    }
+}
+
+/// Records one sample into the named bounded histogram.
+///
+/// Prefer the [`observe!`] macro, which guards on [`enabled`] first.
+pub fn observe(name: &str, value: f64) {
+    if enabled() {
+        emit(Op::HistObserve {
+            name: name.to_string(),
+            value,
+        });
+    }
+}
+
+/// An open span; emits its end event (with monotonic duration) on drop.
+///
+/// Prefer the [`span!`] macro, which guards on [`enabled`] and scopes the
+/// guard to the enclosing block.
+#[derive(Debug)]
+pub struct SpanGuard {
+    name: String,
+    start: Instant,
+}
+
+impl SpanGuard {
+    /// Opens a span, emitting its start event.
+    pub fn begin(name: impl Into<String>) -> SpanGuard {
+        let name = name.into();
+        emit(Op::SpanStart {
+            name: name.clone(),
+            t_ns: now_ns(),
+        });
+        SpanGuard {
+            name,
+            start: Instant::now(),
+        }
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        emit(Op::SpanEnd {
+            name: std::mem::take(&mut self.name),
+            t_ns: now_ns(),
+            dur_ns: self.start.elapsed().as_nanos() as u64,
+        });
+    }
+}
+
+/// A batch of events captured on one thread, to be re-emitted in a
+/// deterministic order by [`splice`].
+#[derive(Debug, Default)]
+pub struct Buffer(pub(crate) Vec<Op>);
+
+impl Buffer {
+    /// True when nothing was recorded during the capture.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+}
+
+/// Runs `f` with this thread's events redirected into a fresh buffer.
+///
+/// This is the worker-side half of the deterministic merge:
+/// `qnn_tensor::par` captures each worker's range and the owning thread
+/// [`splice`]s the buffers back in range order, so the final event stream
+/// is independent of the thread count. When tracing is disabled this is a
+/// single atomic load and a direct call.
+pub fn capture<R>(f: impl FnOnce() -> R) -> (R, Buffer) {
+    if !enabled() {
+        return (f(), Buffer(Vec::new()));
+    }
+    LOCAL.with(|s| s.borrow_mut().push(Vec::new()));
+    let out = f();
+    let ops = LOCAL.with(|s| s.borrow_mut().pop()).unwrap_or_default();
+    (out, Buffer(ops))
+}
+
+/// Re-emits a captured buffer into the current thread's stream (the
+/// enclosing capture if one is open, else the session root).
+pub fn splice(buf: Buffer) {
+    if buf.0.is_empty() {
+        return;
+    }
+    let rest = LOCAL.with(|stack| {
+        if let Some(top) = stack.borrow_mut().last_mut() {
+            top.extend(buf.0);
+            None
+        } else {
+            Some(buf.0)
+        }
+    });
+    if let Some(ops) = rest {
+        root().lock().unwrap().extend(ops);
+    }
+}
+
+/// Opens a span scoped to the enclosing block. Arguments are
+/// `format!`-style and are not evaluated when tracing is disabled.
+///
+/// ```
+/// fn forward(layer: usize) {
+///     qnn_trace::span!("fwd:{layer}");
+///     // ... traced work ...
+/// } // span ends here
+/// ```
+#[macro_export]
+macro_rules! span {
+    ($($arg:tt)+) => {
+        let _qnn_trace_span_guard = if $crate::enabled() {
+            ::std::option::Option::Some($crate::SpanGuard::begin(::std::format!($($arg)+)))
+        } else {
+            ::std::option::Option::None
+        };
+    };
+}
+
+/// Adds to a named counter; the name expression and delta are not
+/// evaluated when tracing is disabled.
+#[macro_export]
+macro_rules! counter {
+    ($name:expr, $delta:expr) => {
+        if $crate::enabled() {
+            $crate::add_counter(&$name, $delta as u64);
+        }
+    };
+}
+
+/// Sets a named gauge; arguments are not evaluated when tracing is
+/// disabled.
+#[macro_export]
+macro_rules! gauge {
+    ($name:expr, $value:expr) => {
+        if $crate::enabled() {
+            $crate::set_gauge(&$name, $value as f64);
+        }
+    };
+}
+
+/// Records a histogram sample; arguments are not evaluated when tracing
+/// is disabled.
+#[macro_export]
+macro_rules! observe {
+    ($name:expr, $value:expr) => {
+        if $crate::enabled() {
+            $crate::observe(&$name, $value as f64);
+        }
+    };
+}
+
+#[cfg(test)]
+pub(crate) fn test_lock() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_collects_nothing() {
+        let _g = test_lock();
+        assert!(!enabled());
+        counter!("never", 1);
+        observe!("never", 1.0);
+        {
+            span!("never");
+        }
+        start();
+        let t = stop();
+        assert!(t.events.is_empty());
+        assert!(t.counters.is_empty());
+    }
+
+    #[test]
+    fn disabled_does_not_evaluate_arguments() {
+        let _g = test_lock();
+        let mut evaluated = false;
+        let mut probe = || {
+            evaluated = true;
+            1u64
+        };
+        counter!("probe", probe());
+        assert!(!evaluated, "disabled counter! must not evaluate its delta");
+    }
+
+    #[test]
+    fn spans_nest_and_counters_sum() {
+        let _g = test_lock();
+        start();
+        {
+            span!("outer");
+            counter!("n", 2);
+            {
+                span!("inner:{}", 1);
+                counter!("n", 3);
+            }
+        }
+        let t = stop();
+        assert_eq!(t.counters["n"], 5);
+        let sig = t.signature();
+        assert_eq!(sig, vec!["+outer", "+inner:1", "-inner:1", "-outer"]);
+    }
+
+    #[test]
+    fn capture_and_splice_preserve_unit_order() {
+        let _g = test_lock();
+        start();
+        // Simulate three workers finishing out of order.
+        let bufs: Vec<Buffer> = (0..3)
+            .map(|i| {
+                let ((), buf) = capture(|| {
+                    counter!("unit", 1);
+                    span!("unit:{i}");
+                });
+                buf
+            })
+            .collect();
+        // Splice in reverse creation order is the caller's choice; par
+        // always splices in range order — emulate that here.
+        for buf in bufs {
+            splice(buf);
+        }
+        let t = stop();
+        assert_eq!(t.counters["unit"], 3);
+        assert_eq!(
+            t.signature(),
+            vec!["+unit:0", "-unit:0", "+unit:1", "-unit:1", "+unit:2", "-unit:2"]
+        );
+    }
+
+    #[test]
+    fn capture_inside_capture_nests() {
+        let _g = test_lock();
+        start();
+        let ((), outer) = capture(|| {
+            counter!("k", 1);
+            let ((), inner) = capture(|| counter!("k", 10));
+            splice(inner);
+        });
+        splice(outer);
+        let t = stop();
+        assert_eq!(t.counters["k"], 11);
+    }
+
+    #[test]
+    fn gauge_last_write_wins() {
+        let _g = test_lock();
+        start();
+        gauge!("g", 1.5);
+        gauge!("g", 2.5);
+        let t = stop();
+        assert_eq!(t.gauges["g"], 2.5);
+    }
+
+    #[test]
+    fn stop_discards_later_events() {
+        let _g = test_lock();
+        start();
+        counter!("a", 1);
+        let t = stop();
+        counter!("a", 100);
+        assert_eq!(t.counters["a"], 1);
+        start();
+        let t2 = stop();
+        assert!(t2.counters.is_empty());
+    }
+}

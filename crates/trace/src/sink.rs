@@ -1,0 +1,141 @@
+//! Pluggable destinations for finished traces.
+//!
+//! A [`Trace`] is an in-memory value; a [`Sink`] is anywhere it can land.
+//! Shipped sinks: [`MemorySink`] (tests), [`JsonlSink`] (the
+//! `qnn-bench --trace` artifact), [`SummarySink`] (human-readable table to
+//! any writer).
+
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+use crate::Trace;
+
+/// A destination for a finished trace.
+pub trait Sink {
+    /// Delivers a trace to this sink.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from the underlying destination.
+    fn consume(&mut self, trace: &Trace) -> std::io::Result<()>;
+}
+
+/// Keeps the most recent trace in memory — the test sink.
+#[derive(Debug, Default)]
+pub struct MemorySink {
+    /// The last trace consumed, if any.
+    pub last: Option<Trace>,
+}
+
+impl Sink for MemorySink {
+    fn consume(&mut self, trace: &Trace) -> std::io::Result<()> {
+        self.last = Some(trace.clone());
+        Ok(())
+    }
+}
+
+/// Writes each consumed trace as a JSON Lines file (overwriting).
+#[derive(Debug)]
+pub struct JsonlSink {
+    path: PathBuf,
+}
+
+impl JsonlSink {
+    /// A sink writing to `path`.
+    pub fn new(path: impl AsRef<Path>) -> JsonlSink {
+        JsonlSink {
+            path: path.as_ref().to_path_buf(),
+        }
+    }
+
+    /// The destination path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl Sink for JsonlSink {
+    fn consume(&mut self, trace: &Trace) -> std::io::Result<()> {
+        std::fs::write(&self.path, trace.to_jsonl())
+    }
+}
+
+/// Renders the human-readable summary table to a writer.
+#[derive(Debug)]
+pub struct SummarySink<W: Write> {
+    writer: W,
+}
+
+impl<W: Write> SummarySink<W> {
+    /// A sink rendering into `writer`.
+    pub fn new(writer: W) -> SummarySink<W> {
+        SummarySink { writer }
+    }
+
+    /// Consumes the sink, returning the writer.
+    pub fn into_inner(self) -> W {
+        self.writer
+    }
+}
+
+impl<W: Write> Sink for SummarySink<W> {
+    fn consume(&mut self, trace: &Trace) -> std::io::Result<()> {
+        self.writer.write_all(trace.summary().as_bytes())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_lock;
+
+    fn tiny_trace() -> Trace {
+        let _g = test_lock();
+        crate::start();
+        crate::counter!("c", 7);
+        {
+            crate::span!("s");
+        }
+        crate::stop()
+    }
+
+    #[test]
+    fn memory_sink_stores_clone() {
+        let t = tiny_trace();
+        let mut sink = MemorySink::default();
+        sink.consume(&t).unwrap();
+        assert_eq!(sink.last.as_ref().unwrap().counters["c"], 7);
+    }
+
+    #[test]
+    fn jsonl_sink_writes_file() {
+        let t = tiny_trace();
+        let path = std::env::temp_dir().join("qnn_trace_sink_test.jsonl");
+        let mut sink = JsonlSink::new(&path);
+        sink.consume(&t).unwrap();
+        let body = std::fs::read_to_string(sink.path()).unwrap();
+        assert!(body.contains("\"counter\""));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn summary_sink_renders_table() {
+        let t = tiny_trace();
+        let mut sink = SummarySink::new(Vec::new());
+        sink.consume(&t).unwrap();
+        let out = String::from_utf8(sink.into_inner()).unwrap();
+        assert!(out.contains("counters:"));
+    }
+
+    #[test]
+    fn sinks_are_object_safe() {
+        let t = tiny_trace();
+        let mut sinks: Vec<Box<dyn Sink>> = vec![
+            Box::new(MemorySink::default()),
+            Box::new(SummarySink::new(Vec::new())),
+        ];
+        for s in &mut sinks {
+            s.consume(&t).unwrap();
+        }
+    }
+}

@@ -1,0 +1,412 @@
+//! The folded result of a collection session: an ordered span-event
+//! stream plus aggregated counters, gauges and histograms, with JSONL and
+//! summary-table renderers.
+
+use std::collections::BTreeMap;
+
+use crate::hist::{bucket_lower, Histogram};
+use crate::Op;
+
+/// One entry of the ordered span stream.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SpanEvent {
+    /// A span opened.
+    Start {
+        /// Span name.
+        name: String,
+        /// Nanoseconds since the session started.
+        t_ns: u64,
+    },
+    /// A span closed.
+    End {
+        /// Span name (matches the corresponding start).
+        name: String,
+        /// Nanoseconds since the session started.
+        t_ns: u64,
+        /// Monotonic duration of the span.
+        dur_ns: u64,
+    },
+}
+
+impl SpanEvent {
+    /// The span name.
+    pub fn name(&self) -> &str {
+        match self {
+            SpanEvent::Start { name, .. } | SpanEvent::End { name, .. } => name,
+        }
+    }
+}
+
+/// A finished trace: everything one session recorded.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Trace {
+    /// Span start/end events in deterministic stream order.
+    pub events: Vec<SpanEvent>,
+    /// Counter totals by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge values by name (last write wins).
+    pub gauges: BTreeMap<String, f64>,
+    /// Histograms by name.
+    pub hists: BTreeMap<String, Histogram>,
+}
+
+/// One row of the aggregated span summary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SummaryRow {
+    /// Slash-joined span path from the root, e.g. `table4/pretrain/epoch`.
+    pub path: String,
+    /// Number of completed spans at this path.
+    pub count: u64,
+    /// Total nanoseconds across those spans.
+    pub total_ns: u64,
+    /// Nanoseconds attributed to child spans at this path.
+    pub child_ns: u64,
+}
+
+impl SummaryRow {
+    /// Time not attributed to any child span.
+    pub fn self_ns(&self) -> u64 {
+        self.total_ns.saturating_sub(self.child_ns)
+    }
+}
+
+impl Trace {
+    pub(crate) fn from_ops(ops: Vec<Op>, start_ns: u64) -> Trace {
+        let mut t = Trace::default();
+        for op in ops {
+            match op {
+                Op::SpanStart { name, t_ns } => t.events.push(SpanEvent::Start {
+                    name,
+                    t_ns: t_ns.saturating_sub(start_ns),
+                }),
+                Op::SpanEnd { name, t_ns, dur_ns } => t.events.push(SpanEvent::End {
+                    name,
+                    t_ns: t_ns.saturating_sub(start_ns),
+                    dur_ns,
+                }),
+                Op::CounterAdd { name, delta } => {
+                    *t.counters.entry(name).or_insert(0) += delta;
+                }
+                Op::GaugeSet { name, value } => {
+                    t.gauges.insert(name, value);
+                }
+                Op::HistObserve { name, value } => {
+                    t.hists
+                        .entry(name)
+                        .or_insert_with(Histogram::new)
+                        .observe(value);
+                }
+            }
+        }
+        t
+    }
+
+    /// The timing-free shape of the span stream: `+name` for starts,
+    /// `-name` for ends. Two runs of the same deterministic workload have
+    /// equal signatures regardless of thread count — the property the
+    /// determinism regression test asserts.
+    pub fn signature(&self) -> Vec<String> {
+        self.events
+            .iter()
+            .map(|e| match e {
+                SpanEvent::Start { name, .. } => format!("+{name}"),
+                SpanEvent::End { name, .. } => format!("-{name}"),
+            })
+            .collect()
+    }
+
+    /// Aggregates the span stream by hierarchical path.
+    ///
+    /// Rows are sorted by path; a parent's `child_ns` accumulates the
+    /// durations of its direct children, so `self_ns` isolates time not
+    /// covered by any nested span. Unbalanced end events (no matching
+    /// start) are ignored.
+    pub fn summary_rows(&self) -> Vec<SummaryRow> {
+        let mut rows: BTreeMap<String, SummaryRow> = BTreeMap::new();
+        let mut stack: Vec<String> = Vec::new();
+        for ev in &self.events {
+            match ev {
+                SpanEvent::Start { name, .. } => stack.push(name.clone()),
+                SpanEvent::End { name, dur_ns, .. } => {
+                    if stack.last().map(String::as_str) != Some(name.as_str()) {
+                        continue;
+                    }
+                    stack.pop();
+                    let parent = stack.join("/");
+                    let path = if parent.is_empty() {
+                        name.clone()
+                    } else {
+                        format!("{parent}/{name}")
+                    };
+                    let row = rows.entry(path.clone()).or_insert(SummaryRow {
+                        path,
+                        count: 0,
+                        total_ns: 0,
+                        child_ns: 0,
+                    });
+                    row.count += 1;
+                    row.total_ns += dur_ns;
+                    if !parent.is_empty() {
+                        let prow = rows.entry(parent.clone()).or_insert(SummaryRow {
+                            path: parent,
+                            count: 0,
+                            total_ns: 0,
+                            child_ns: 0,
+                        });
+                        prow.child_ns += dur_ns;
+                    }
+                }
+            }
+        }
+        rows.into_values().collect()
+    }
+
+    /// Total duration recorded at an exact summary path, if present.
+    pub fn path_total_ns(&self, path: &str) -> Option<u64> {
+        self.summary_rows()
+            .into_iter()
+            .find(|r| r.path == path)
+            .map(|r| r.total_ns)
+    }
+
+    /// Renders the trace as JSON Lines: one `meta` line, then every span
+    /// event in stream order, then counters, gauges and histograms sorted
+    /// by name.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\"type\": \"meta\", \"schema\": \"qnn-trace/v1\"}\n");
+        for ev in &self.events {
+            match ev {
+                SpanEvent::Start { name, t_ns } => {
+                    out.push_str(&format!(
+                        "{{\"type\": \"span_start\", \"name\": {}, \"t_ns\": {t_ns}}}\n",
+                        json_str(name)
+                    ));
+                }
+                SpanEvent::End { name, t_ns, dur_ns } => {
+                    out.push_str(&format!(
+                        "{{\"type\": \"span_end\", \"name\": {}, \"t_ns\": {t_ns}, \"dur_ns\": {dur_ns}}}\n",
+                        json_str(name)
+                    ));
+                }
+            }
+        }
+        for (name, total) in &self.counters {
+            out.push_str(&format!(
+                "{{\"type\": \"counter\", \"name\": {}, \"total\": {total}}}\n",
+                json_str(name)
+            ));
+        }
+        for (name, value) in &self.gauges {
+            out.push_str(&format!(
+                "{{\"type\": \"gauge\", \"name\": {}, \"value\": {}}}\n",
+                json_str(name),
+                json_num(*value)
+            ));
+        }
+        for (name, h) in &self.hists {
+            // Sparse bucket encoding: only non-empty buckets, as
+            // [lower_edge, count] pairs.
+            let buckets: Vec<String> = h
+                .counts
+                .iter()
+                .enumerate()
+                .filter(|(_, &c)| c > 0)
+                .map(|(i, &c)| format!("[{}, {c}]", json_num(bucket_lower(i))))
+                .collect();
+            out.push_str(&format!(
+                "{{\"type\": \"hist\", \"name\": {}, \"count\": {}, \"sum\": {}, \"min\": {}, \"max\": {}, \"buckets\": [{}]}}\n",
+                json_str(name),
+                h.count,
+                json_num(h.sum),
+                json_num(if h.count == 0 { 0.0 } else { h.min }),
+                json_num(if h.count == 0 { 0.0 } else { h.max }),
+                buckets.join(", ")
+            ));
+        }
+        out
+    }
+
+    /// Renders a human-readable summary: the span table (calls, total,
+    /// self), counter totals, gauges, and histogram statistics.
+    pub fn summary(&self) -> String {
+        let mut out = String::new();
+        let rows = self.summary_rows();
+        if !rows.is_empty() {
+            out.push_str("spans (path, calls, total ms, self ms):\n");
+            for r in &rows {
+                let depth = r.path.matches('/').count();
+                let leaf = r.path.rsplit('/').next().unwrap_or(&r.path);
+                out.push_str(&format!(
+                    "  {:<52} {:>7} {:>12.3} {:>12.3}\n",
+                    format!("{}{}", "  ".repeat(depth), leaf),
+                    r.count,
+                    r.total_ns as f64 / 1e6,
+                    r.self_ns() as f64 / 1e6,
+                ));
+            }
+        }
+        if !self.counters.is_empty() {
+            out.push_str("counters:\n");
+            for (name, total) in &self.counters {
+                out.push_str(&format!("  {name:<52} {total:>16}\n"));
+            }
+        }
+        if !self.gauges.is_empty() {
+            out.push_str("gauges:\n");
+            for (name, value) in &self.gauges {
+                out.push_str(&format!("  {name:<52} {value:>16.6}\n"));
+            }
+        }
+        if !self.hists.is_empty() {
+            out.push_str("histograms (count, mean, p50, p99, max):\n");
+            for (name, h) in &self.hists {
+                out.push_str(&format!(
+                    "  {:<52} {:>9} {:>11.3e} {:>11.3e} {:>11.3e} {:>11.3e}\n",
+                    name,
+                    h.count,
+                    h.mean(),
+                    h.quantile(0.5),
+                    h.quantile(0.99),
+                    if h.count == 0 { 0.0 } else { h.max },
+                ));
+            }
+        }
+        if out.is_empty() {
+            out.push_str("(empty trace)\n");
+        }
+        out
+    }
+}
+
+/// Escapes a string as a JSON string literal.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Formats an f64 so it parses back to the same value (Rust's shortest
+/// round-trip `Display`); non-finite values become `null` as in
+/// `JSON.stringify`.
+fn json_num(x: f64) -> String {
+    if x.is_finite() {
+        if x == x.trunc() && x.abs() < 1e15 {
+            format!("{}", x as i64)
+        } else {
+            format!("{x}")
+        }
+    } else {
+        "null".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_lock;
+
+    fn sample_trace() -> Trace {
+        let _g = test_lock();
+        crate::start();
+        {
+            crate::span!("exp");
+            {
+                crate::span!("layer:0");
+                crate::counter!("flops", 100);
+            }
+            {
+                crate::span!("layer:1");
+                crate::counter!("flops", 50);
+            }
+            crate::gauge!("energy_uj", 1.25);
+            crate::observe!("err", 0.001);
+            crate::observe!("err", 0.004);
+        }
+        crate::stop()
+    }
+
+    #[test]
+    fn summary_rows_attribute_child_time() {
+        let t = sample_trace();
+        let rows = t.summary_rows();
+        let exp = rows.iter().find(|r| r.path == "exp").unwrap();
+        let l0 = rows.iter().find(|r| r.path == "exp/layer:0").unwrap();
+        let l1 = rows.iter().find(|r| r.path == "exp/layer:1").unwrap();
+        assert_eq!(exp.count, 1);
+        assert_eq!(l0.count, 1);
+        // Children are fully contained in the parent.
+        assert!(l0.total_ns + l1.total_ns <= exp.total_ns);
+        assert_eq!(exp.child_ns, l0.total_ns + l1.total_ns);
+        assert_eq!(exp.self_ns(), exp.total_ns - exp.child_ns);
+    }
+
+    #[test]
+    fn jsonl_contains_every_record_type() {
+        let t = sample_trace();
+        let jsonl = t.to_jsonl();
+        assert!(jsonl.starts_with("{\"type\": \"meta\""));
+        assert!(jsonl.contains("\"span_start\""));
+        assert!(jsonl.contains("\"span_end\""));
+        assert!(jsonl.contains("\"counter\""));
+        assert!(jsonl.contains("\"flops\", \"total\": 150"));
+        assert!(jsonl.contains("\"gauge\""));
+        assert!(jsonl.contains("\"hist\""));
+        // One JSON object per line, every line an object.
+        for line in jsonl.lines() {
+            assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+        }
+    }
+
+    #[test]
+    fn summary_renders_all_sections() {
+        let t = sample_trace();
+        let s = t.summary();
+        assert!(s.contains("spans"));
+        assert!(s.contains("layer:0"));
+        assert!(s.contains("counters:"));
+        assert!(s.contains("flops"));
+        assert!(s.contains("gauges:"));
+        assert!(s.contains("histograms"));
+    }
+
+    #[test]
+    fn path_total_finds_exact_path() {
+        let t = sample_trace();
+        assert!(t.path_total_ns("exp").is_some());
+        assert!(t.path_total_ns("exp/layer:0").is_some());
+        assert!(t.path_total_ns("missing").is_none());
+    }
+
+    #[test]
+    fn empty_trace_renders() {
+        let t = Trace::default();
+        assert_eq!(t.summary(), "(empty trace)\n");
+        assert!(t.to_jsonl().starts_with("{\"type\": \"meta\""));
+    }
+
+    #[test]
+    fn json_str_escapes() {
+        assert_eq!(json_str("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+        assert_eq!(json_str("\u{1}"), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn json_num_round_trip_shapes() {
+        assert_eq!(json_num(3.0), "3");
+        assert_eq!(json_num(0.125), "0.125");
+        assert_eq!(json_num(f64::NAN), "null");
+    }
+}
