@@ -35,8 +35,30 @@ stage() {
     STAGES_RUN="$STAGES_RUN $STAGE($((end - start))s)"
 }
 
+# Kill-and-resume gate: interrupt a crash-safe Table IV sweep after two
+# cells (exit 3 = partial, by contract), resume it to completion from
+# the checkpoint directory, and demand the output be byte-identical to
+# an uninterrupted run.
+kill_and_resume() {
+    dir=$(mktemp -d)
+    set +e
+    ./target/release/qnn table4 smoke --resume "$dir/ckpt" --max-cells 2 \
+        > "$dir/partial.txt"
+    code=$?
+    set -e
+    if [ "$code" -ne 3 ]; then
+        echo "interrupted sweep should exit 3, got $code" >&2
+        return 1
+    fi
+    ./target/release/qnn table4 smoke --resume "$dir/ckpt" > "$dir/resumed.txt"
+    ./target/release/qnn table4 smoke > "$dir/plain.txt"
+    cmp "$dir/resumed.txt" "$dir/plain.txt"
+    rm -rf "$dir"
+}
+
 stage fmt          cargo fmt --all -- --check
 stage clippy       cargo clippy --workspace --all-targets --offline -- -D warnings
 stage build        cargo build --workspace --release --offline
 stage test         cargo test --workspace -q --offline
 stage bench-check  cargo run -p qnn-bench --release --offline -- bench-check
+stage kill-resume  kill_and_resume

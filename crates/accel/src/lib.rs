@@ -53,3 +53,4 @@ pub use config::AcceleratorConfig;
 pub use cycles::{layer_cycles, workload_cycles, CyclesBreakdown, LayerCycles};
 pub use design::{AcceleratorDesign, DesignMetrics, WeightBlock};
 pub use energy::EnergyBreakdown;
+pub use sim::{SimFaults, SimOutput, SimPrecision, TileSimulator, ACC_BITS};

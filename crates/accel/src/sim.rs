@@ -13,9 +13,18 @@
 //!    analytical schedule of [`layer_cycles`](crate::layer_cycles) when
 //!    output channels fill the tile, and never beats it otherwise.
 
+use std::cell::Cell;
+
+use qnn_faults::{BufferKind, FaultError, FaultInjector};
 use qnn_quant::{Binary, Fixed, PowerOfTwo, Quantizer};
+use qnn_tensor::rng::derive_seed;
 
 use crate::config::AcceleratorConfig;
+
+/// Modelled width of the partial-sum accumulator registers. Wide enough
+/// that fault-free accumulation never wraps for the paper's formats and
+/// fan-ins, yet finite so high-order flips model real register damage.
+pub const ACC_BITS: u32 = 48;
 
 /// The operand formats a simulation runs under — one variant per weight
 /// block of Figure 2.
@@ -55,6 +64,39 @@ impl SimPrecision {
     }
 }
 
+/// Per-buffer per-bit fault rates for a simulated tile, modelling soft
+/// errors in the machine's SRAMs and datapath registers.
+///
+/// Each simulated layer call derives three independent fault streams
+/// (SB, Bin, accumulators) from `seed` and a per-call counter, so a
+/// sweep replays bit-identically for a given seed no matter how calls
+/// interleave with other simulators — and regardless of `QNN_THREADS`,
+/// since injection never touches the worker pool.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimFaults {
+    /// Per-bit flip rate in the SB (stored weight words).
+    pub weight_rate: f64,
+    /// Per-bit flip rate in Bin (input feature-map codes).
+    pub act_rate: f64,
+    /// Per-bit flip rate in the partial-sum accumulators
+    /// ([`ACC_BITS`]-bit two's-complement registers).
+    pub acc_rate: f64,
+    /// Base seed for the per-call fault streams.
+    pub seed: u64,
+}
+
+impl SimFaults {
+    /// The same per-bit rate across all three buffers.
+    pub fn uniform(rate: f64, seed: u64) -> Self {
+        SimFaults {
+            weight_rate: rate,
+            act_rate: rate,
+            acc_rate: rate,
+            seed,
+        }
+    }
+}
+
 /// Result of a simulated layer.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SimOutput {
@@ -69,6 +111,9 @@ pub struct SimOutput {
     pub bin_reads: u64,
     /// Output-buffer row writes.
     pub bout_writes: u64,
+    /// Bit flips injected into this layer's buffers (zero when the
+    /// simulator runs fault-free).
+    pub fault_flips: u64,
 }
 
 /// One weight's stored form, as the SB would hold it.
@@ -84,6 +129,11 @@ enum StoredWeight {
 pub struct TileSimulator {
     config: AcceleratorConfig,
     precision: SimPrecision,
+    faults: Option<SimFaults>,
+    /// Layer calls simulated so far — the stream index for per-call
+    /// fault-seed derivation. `Cell` because simulation methods take
+    /// `&self` and only this bookkeeping mutates.
+    fault_calls: Cell<u64>,
 }
 
 impl TileSimulator {
@@ -95,12 +145,132 @@ impl TileSimulator {
     /// [`AcceleratorConfig::validate`]).
     pub fn new(config: AcceleratorConfig, precision: SimPrecision) -> Self {
         config.validate();
-        TileSimulator { config, precision }
+        TileSimulator {
+            config,
+            precision,
+            faults: None,
+            fault_calls: Cell::new(0),
+        }
     }
 
     /// Simulator with the paper's default 16×16 tile.
     pub fn with_default_tile(precision: SimPrecision) -> Self {
         TileSimulator::new(AcceleratorConfig::default(), precision)
+    }
+
+    /// Creates a simulator that injects seeded bit flips into its
+    /// buffers at the given per-bit rates.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FaultError::InvalidRate`] if any rate is outside
+    /// `[0, 1]` or non-finite.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a degenerate configuration, as [`new`](Self::new) does.
+    pub fn with_faults(
+        config: AcceleratorConfig,
+        precision: SimPrecision,
+        faults: SimFaults,
+    ) -> Result<Self, FaultError> {
+        // Probe-construct one injector per rate so bad configurations
+        // surface here, not mid-sweep.
+        for rate in [faults.weight_rate, faults.act_rate, faults.acc_rate] {
+            FaultInjector::new(rate, 0)?;
+        }
+        let mut sim = TileSimulator::new(config, precision);
+        sim.faults = Some(faults);
+        Ok(sim)
+    }
+
+    /// Width in bits of one stored weight word, per the precision's
+    /// [`BitCodec`](qnn_quant::BitCodec) layout.
+    fn weight_width(&self) -> u32 {
+        match self.precision {
+            SimPrecision::Fixed { weights, .. } => weights.word_bits(),
+            SimPrecision::PowerOfTwo { weights, .. } => weights.bits(),
+            SimPrecision::Binary { .. } => 1,
+        }
+    }
+
+    /// The three per-call fault injectors (SB, Bin, accumulators), or
+    /// `None` when running fault-free. Consumes one stream index.
+    fn next_fault_streams(&self) -> Option<[FaultInjector; 3]> {
+        let f = self.faults?;
+        let call = self.fault_calls.get();
+        self.fault_calls.set(call + 1);
+        let make = |rate: f64, lane: u64| {
+            // Rates were validated in `with_faults`.
+            FaultInjector::new(rate, derive_seed(f.seed, call * 3 + lane))
+                .expect("rates validated at construction")
+        };
+        Some([
+            make(f.weight_rate, 0),
+            make(f.act_rate, 1),
+            make(f.acc_rate, 2),
+        ])
+    }
+
+    /// Flips stored-word bits of the SB image at the injector's sites.
+    fn corrupt_sb(&self, inj: &mut FaultInjector, sb: &mut [StoredWeight]) -> u64 {
+        let width = self.weight_width() as u64;
+        let sites: Vec<u64> = inj.sites(sb.len() as u64 * width).collect();
+        let flips = sites.len() as u64;
+        for site in sites {
+            let elem = (site / width) as usize;
+            sb[elem] = self.flip_stored(sb[elem], (site % width) as u32);
+        }
+        qnn_trace::counter!(BufferKind::Weight.counter(), flips);
+        flips
+    }
+
+    /// Flips one bit of a stored weight word, mirroring the format's
+    /// `BitCodec` layout (sign in the top bit, fields below).
+    fn flip_stored(&self, w: StoredWeight, bit: u32) -> StoredWeight {
+        match (self.precision, w) {
+            (SimPrecision::Fixed { weights, .. }, StoredWeight::Fixed(code)) => {
+                StoredWeight::Fixed(flip_fixed_code(code, bit, weights.word_bits()))
+            }
+            (SimPrecision::PowerOfTwo { weights, .. }, StoredWeight::Pow2 { sign, code }) => {
+                let b = weights.bits();
+                let word = ((sign as u64) << (b - 1)) | code as u64;
+                let word = word ^ (1u64 << bit);
+                StoredWeight::Pow2 {
+                    sign: word >> (b - 1) & 1 != 0,
+                    code: (word & low_mask(b - 1)) as u32,
+                }
+            }
+            (SimPrecision::Binary { .. }, StoredWeight::Sign(s)) => StoredWeight::Sign(!s),
+            _ => unreachable!("stored weight kind always matches precision"),
+        }
+    }
+
+    /// Flips input-code bits of the Bin image at the injector's sites.
+    fn corrupt_bin(&self, inj: &mut FaultInjector, bin: &mut [i64]) -> u64 {
+        let width = self.precision.input_format().word_bits() as u64;
+        let sites: Vec<u64> = inj.sites(bin.len() as u64 * width).collect();
+        let flips = sites.len() as u64;
+        for site in sites {
+            let elem = (site / width) as usize;
+            bin[elem] = flip_fixed_code(bin[elem], (site % width) as u32, width as u32);
+        }
+        qnn_trace::counter!(BufferKind::Act.counter(), flips);
+        flips
+    }
+
+    /// Flips partial-sum bits across one tile's accumulator registers,
+    /// modelled as [`ACC_BITS`]-bit two's-complement words.
+    fn corrupt_acc(inj: &mut FaultInjector, acc: &mut [i128]) -> u64 {
+        let width = ACC_BITS as u64;
+        let sites: Vec<u64> = inj.sites(acc.len() as u64 * width).collect();
+        let flips = sites.len() as u64;
+        for site in sites {
+            let elem = (site / width) as usize;
+            acc[elem] = flip_acc_word(acc[elem], (site % width) as u32);
+        }
+        qnn_trace::counter!(BufferKind::Acc.counter(), flips);
+        flips
     }
 
     fn store_weight(&self, w: f32) -> StoredWeight {
@@ -187,8 +357,20 @@ impl TileSimulator {
         let in_fmt = self.precision.input_format();
 
         // Fill the buffers with raw codes (the DMA's job).
-        let bin: Vec<i64> = inputs.iter().map(|&x| in_fmt.encode(x)).collect();
-        let sb: Vec<StoredWeight> = weights.iter().map(|&w| self.store_weight(w)).collect();
+        let mut bin: Vec<i64> = inputs.iter().map(|&x| in_fmt.encode(x)).collect();
+        let mut sb: Vec<StoredWeight> = weights.iter().map(|&w| self.store_weight(w)).collect();
+
+        // Damage the SRAM images before the controller reads them; the
+        // accumulator stream is held back until each tile's sums exist.
+        let mut fault_flips = 0u64;
+        let mut acc_inj = match self.next_fault_streams() {
+            Some([mut w_inj, mut a_inj, acc_inj]) => {
+                fault_flips += self.corrupt_sb(&mut w_inj, &mut sb);
+                fault_flips += self.corrupt_bin(&mut a_inj, &mut bin);
+                Some(acc_inj)
+            }
+            None => None,
+        };
 
         let scale = self.acc_scale();
         let mut outputs = vec![0.0f32; neurons];
@@ -216,6 +398,11 @@ impl TileSimulator {
                     }
                 }
             }
+            // Soft errors strike the partial sums after the last chunk
+            // folds in, before NFU-3 consumes them.
+            if let Some(inj) = acc_inj.as_mut() {
+                fault_flips += Self::corrupt_acc(inj, &mut acc);
+            }
             // NFU-3: bias add (accumulator precision), nonlinearity,
             // requantize to the feature-map format, write Bout.
             bout_writes += 1;
@@ -238,6 +425,7 @@ impl TileSimulator {
             sb_reads,
             bin_reads,
             bout_writes,
+            fault_flips,
         }
     }
 
@@ -281,6 +469,7 @@ impl TileSimulator {
         let mut sb_reads = 0u64;
         let mut bin_reads = 0u64;
         let mut bout_writes = 0u64;
+        let mut fault_flips = 0u64;
         let mut patch = vec![0.0f32; fan_in];
         for oi in 0..oh {
             for oj in 0..ow {
@@ -304,6 +493,7 @@ impl TileSimulator {
                 sb_reads += px.sb_reads;
                 bin_reads += px.bin_reads;
                 bout_writes += px.bout_writes;
+                fault_flips += px.fault_flips;
                 for (och, &v) in px.outputs.iter().enumerate() {
                     outputs[(och * oh + oi) * ow + oj] = v;
                 }
@@ -315,6 +505,7 @@ impl TileSimulator {
             sb_reads,
             bin_reads,
             bout_writes,
+            fault_flips,
         }
     }
 
@@ -339,7 +530,14 @@ impl TileSimulator {
         assert_eq!(input.len(), c * h * w, "input size mismatch");
         assert!(h >= kernel && w >= kernel, "kernel larger than input");
         let in_fmt = self.precision.input_format();
-        let raw: Vec<i64> = input.iter().map(|&x| in_fmt.encode(x)).collect();
+        let mut raw: Vec<i64> = input.iter().map(|&x| in_fmt.encode(x)).collect();
+        // Pooling touches only Bin codes; the SB and accumulator streams
+        // of this call are drawn and discarded to keep lane indexing
+        // uniform across layer kinds.
+        let mut fault_flips = 0u64;
+        if let Some([_, mut a_inj, _]) = self.next_fault_streams() {
+            fault_flips += self.corrupt_bin(&mut a_inj, &mut raw);
+        }
         let oh = (h - kernel) / stride + 1;
         let ow = (w - kernel) / stride + 1;
         let mut outputs = vec![0.0f32; c * oh * ow];
@@ -365,6 +563,7 @@ impl TileSimulator {
             sb_reads: 0,
             bin_reads: (raw.len() as u64).div_ceil(tn),
             bout_writes: n_out.div_ceil(tn),
+            fault_flips,
         };
         qnn_trace::counter!("accel.nfu.cycles", out.cycles);
         qnn_trace::counter!("accel.bin.reads", out.bin_reads);
@@ -409,6 +608,32 @@ impl TileSimulator {
             })
             .collect()
     }
+}
+
+/// Low-`n`-bits mask (`n <= 64`).
+fn low_mask(n: u32) -> u64 {
+    if n >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << n) - 1
+    }
+}
+
+/// Flips bit `bit` of a `width`-bit two's-complement code and
+/// sign-extends the result back to `i64`.
+fn flip_fixed_code(code: i64, bit: u32, width: u32) -> i64 {
+    let raw = (code as u64 ^ (1u64 << bit)) & low_mask(width);
+    let sign = 1u64 << (width - 1);
+    (raw ^ sign).wrapping_sub(sign) as i64
+}
+
+/// Flips bit `bit` of an [`ACC_BITS`]-bit two's-complement accumulator
+/// register. The struck register is re-read modulo the register width —
+/// bits a fault-free run never populates cannot hold damage.
+fn flip_acc_word(acc: i128, bit: u32) -> i128 {
+    let raw = (acc as u128 ^ (1u128 << bit)) & ((1u128 << ACC_BITS) - 1);
+    let sign = 1u128 << (ACC_BITS - 1);
+    (raw ^ sign).wrapping_sub(sign) as i128
 }
 
 #[cfg(test)]
@@ -540,6 +765,129 @@ mod tests {
     #[should_panic(expected = "neurons × fan_in")]
     fn shape_mismatch_panics() {
         fixed_sim().run_dense(&[1.0; 4], &[1.0; 7], &[0.0; 2], false);
+    }
+
+    #[test]
+    fn fault_free_simulator_reports_zero_flips() {
+        let sim = fixed_sim();
+        let out = sim.run_dense(&data(64, 30), &data(64 * 8, 31), &data(8, 32), true);
+        assert_eq!(out.fault_flips, 0);
+    }
+
+    #[test]
+    fn faulty_runs_are_deterministic_and_damage_outputs() {
+        let precision = SimPrecision::Fixed {
+            weights: Fixed::new(8, 6).unwrap(),
+            inputs: Fixed::new(16, 10).unwrap(),
+        };
+        let inputs = data(200, 40);
+        let weights = data(200 * 24, 41);
+        let bias = data(24, 42);
+        let clean = fixed_sim().run_dense(&inputs, &weights, &bias, false);
+        let run = || {
+            let sim = TileSimulator::with_faults(
+                AcceleratorConfig::default(),
+                precision,
+                SimFaults::uniform(2e-3, 99),
+            )
+            .unwrap();
+            sim.run_dense(&inputs, &weights, &bias, false)
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b, "same seed must replay the same damage");
+        assert!(a.fault_flips > 0);
+        assert_ne!(a.outputs, clean.outputs);
+        // Faults never change the schedule, only the data.
+        assert_eq!(a.cycles, clean.cycles);
+        assert_eq!(a.sb_reads, clean.sb_reads);
+    }
+
+    #[test]
+    fn successive_calls_draw_distinct_fault_streams() {
+        let sim = TileSimulator::with_faults(
+            AcceleratorConfig::default(),
+            SimPrecision::Fixed {
+                weights: Fixed::new(8, 6).unwrap(),
+                inputs: Fixed::new(16, 10).unwrap(),
+            },
+            SimFaults::uniform(5e-3, 7),
+        )
+        .unwrap();
+        let inputs = data(100, 50);
+        let weights = data(100 * 16, 51);
+        let bias = data(16, 52);
+        let first = sim.run_dense(&inputs, &weights, &bias, false);
+        let second = sim.run_dense(&inputs, &weights, &bias, false);
+        assert_ne!(
+            first.outputs, second.outputs,
+            "per-call streams must be independent"
+        );
+    }
+
+    #[test]
+    fn acc_only_faults_respect_the_register_width() {
+        // Accumulator-only damage: outputs differ from clean, weights and
+        // inputs stay untouched, so the schedule and buffer images agree.
+        let precision = SimPrecision::Binary {
+            weights: Binary::with_scale(0.5).unwrap(),
+            inputs: Fixed::new(16, 12).unwrap(),
+        };
+        // Small fan-in keeps clean outputs well inside the feature-map
+        // range, so accumulator damage cannot hide behind saturation.
+        let inputs = data(8, 60);
+        let weights = data(8 * 16, 61);
+        let bias = data(16, 62);
+        let sim = TileSimulator::with_faults(
+            AcceleratorConfig::default(),
+            precision,
+            SimFaults {
+                weight_rate: 0.0,
+                act_rate: 0.0,
+                acc_rate: 0.05,
+                seed: 12,
+            },
+        )
+        .unwrap();
+        let out = sim.run_dense(&inputs, &weights, &bias, false);
+        assert!(out.fault_flips > 0);
+        let clean =
+            TileSimulator::with_default_tile(precision).run_dense(&inputs, &weights, &bias, false);
+        assert_ne!(out.outputs, clean.outputs);
+        assert_eq!(out.cycles, clean.cycles);
+    }
+
+    #[test]
+    fn invalid_fault_rates_are_rejected() {
+        let precision = SimPrecision::Fixed {
+            weights: Fixed::new(8, 6).unwrap(),
+            inputs: Fixed::new(16, 10).unwrap(),
+        };
+        for rate in [-0.5, 1.5, f64::NAN] {
+            assert!(TileSimulator::with_faults(
+                AcceleratorConfig::default(),
+                precision,
+                SimFaults::uniform(rate, 0),
+            )
+            .is_err());
+        }
+    }
+
+    #[test]
+    fn fixed_code_flip_is_an_involution_within_the_word() {
+        for width in [8u32, 16, 24, 48] {
+            for &code in &[0i64, 1, -1, 57, -102, (1 << (width - 1)) - 1] {
+                for bit in 0..width {
+                    let once = flip_fixed_code(code, bit, width);
+                    assert_ne!(once, code);
+                    assert_eq!(flip_fixed_code(once, bit, width), code);
+                }
+            }
+        }
+        // Sign bit makes large negatives: flipping bit 7 of 0 in 8 bits
+        // lands on -128, the two's-complement extreme.
+        assert_eq!(flip_fixed_code(0, 7, 8), -128);
+        assert_eq!(flip_acc_word(0, ACC_BITS - 1), -(1i128 << (ACC_BITS - 1)));
     }
 
     #[test]

@@ -159,6 +159,7 @@ fn trainer(ste_clip: bool) -> Trainer {
         ste_clip,
         ..TrainerConfig::default()
     })
+    .unwrap()
 }
 
 /// Returns (fp_accuracy, pretrained net, trainer) on the glyphs benchmark.

@@ -1,0 +1,177 @@
+//! Per-cell isolation for sweep runners.
+//!
+//! A long Table IV/V sweep is a grid of independent (benchmark,
+//! precision) cells. One pathological cell — a panic out of a kernel, a
+//! typed training error — must degrade *that cell*, not abort the whole
+//! table. [`run_cell`] wraps a cell in `catch_unwind`, classifies the
+//! result as a typed [`CellOutcome`], and gives genuinely failed cells
+//! one retry with a derived seed before giving up.
+//!
+//! Divergence is *not* a failure: it is a deterministic measurement (the
+//! paper's NA rows) and is never retried — reseeding a diverged cell
+//! would be quietly changing the experiment.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use qnn_nn::NnError;
+use qnn_tensor::rng::derive_seed;
+
+/// Seed stream used when a failed cell is retried.
+const RETRY_STREAM: u64 = 0x5EED_CE11;
+
+/// The isolated result of one sweep cell.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CellOutcome<T> {
+    /// The cell produced a converged measurement.
+    Ok(T),
+    /// The cell ran to completion but training diverged; the carried
+    /// value is the cell's NA row. Deterministic, so never retried.
+    Diverged(T),
+    /// The cell panicked or returned an error on its original seed *and*
+    /// on one reseeded retry.
+    Failed {
+        /// What the final attempt reported.
+        reason: String,
+    },
+}
+
+impl<T> CellOutcome<T> {
+    /// The carried measurement, if the cell produced one.
+    pub fn value(&self) -> Option<&T> {
+        match self {
+            CellOutcome::Ok(v) | CellOutcome::Diverged(v) => Some(v),
+            CellOutcome::Failed { .. } => None,
+        }
+    }
+}
+
+/// One guarded attempt: panics and errors both become `Err(reason)`.
+fn attempt<T>(seed: u64, run: &dyn Fn(u64) -> Result<T, NnError>) -> Result<T, String> {
+    match catch_unwind(AssertUnwindSafe(|| run(seed))) {
+        Ok(Ok(v)) => Ok(v),
+        Ok(Err(e)) => Err(format!("error: {e}")),
+        Err(panic) => {
+            let msg = panic
+                .downcast_ref::<String>()
+                .map(String::as_str)
+                .or_else(|| panic.downcast_ref::<&str>().copied())
+                .unwrap_or("non-string panic payload");
+            Err(format!("panic: {msg}"))
+        }
+    }
+}
+
+/// Runs one sweep cell in isolation.
+///
+/// `run` receives the seed to use and produces the cell's measurement;
+/// `is_diverged` classifies a completed measurement as the paper's NA.
+/// A panicking or erroring cell is retried once with
+/// `derive_seed(seed, RETRY_STREAM)`; if the retry also fails the cell
+/// is reported as [`CellOutcome::Failed`] and the sweep moves on.
+///
+/// Outcomes are tallied under `sweep.cells.{ok,diverged,failed}` and
+/// retries under `sweep.cells.retries` when tracing is on.
+pub fn run_cell<T>(
+    label: &str,
+    seed: u64,
+    is_diverged: impl Fn(&T) -> bool,
+    run: impl Fn(u64) -> Result<T, NnError>,
+) -> CellOutcome<T> {
+    qnn_trace::span!("cell:{label}");
+    let first = attempt(seed, &run);
+    let result = match first {
+        Ok(v) => Ok(v),
+        Err(first_reason) => {
+            qnn_trace::counter!("sweep.cells.retries", 1);
+            attempt(derive_seed(seed, RETRY_STREAM), &run).map_err(|retry_reason| {
+                format!("{first_reason}; retry with reseed: {retry_reason}")
+            })
+        }
+    };
+    match result {
+        Ok(v) if is_diverged(&v) => {
+            qnn_trace::counter!("sweep.cells.diverged", 1);
+            CellOutcome::Diverged(v)
+        }
+        Ok(v) => {
+            qnn_trace::counter!("sweep.cells.ok", 1);
+            CellOutcome::Ok(v)
+        }
+        Err(reason) => {
+            qnn_trace::counter!("sweep.cells.failed", 1);
+            CellOutcome::Failed { reason }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn healthy_cell_is_ok() {
+        let out = run_cell("t", 7, |_| false, Ok);
+        assert_eq!(out, CellOutcome::Ok(7));
+    }
+
+    #[test]
+    fn diverged_cells_are_not_retried() {
+        let calls = AtomicU64::new(0);
+        let out = run_cell(
+            "t",
+            7,
+            |_| true,
+            |seed| {
+                calls.fetch_add(1, Ordering::SeqCst);
+                Ok(seed)
+            },
+        );
+        assert_eq!(out, CellOutcome::Diverged(7));
+        assert_eq!(calls.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn panic_gets_one_reseeded_retry() {
+        let calls = AtomicU64::new(0);
+        let out = run_cell(
+            "t",
+            7,
+            |_| false,
+            |seed| {
+                calls.fetch_add(1, Ordering::SeqCst);
+                if seed == 7 {
+                    panic!("kernel exploded");
+                }
+                Ok(seed)
+            },
+        );
+        assert_eq!(calls.load(Ordering::SeqCst), 2);
+        match out {
+            CellOutcome::Ok(reseeded) => assert_ne!(reseeded, 7),
+            other => panic!("expected Ok after retry, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn persistent_failure_reports_both_attempts() {
+        let out: CellOutcome<u64> = run_cell(
+            "t",
+            7,
+            |_| false,
+            |_| {
+                Err(NnError::InvalidConfig {
+                    reason: "bad cell".into(),
+                })
+            },
+        );
+        match out {
+            CellOutcome::Failed { ref reason } => {
+                assert!(reason.contains("bad cell"));
+                assert!(reason.contains("retry with reseed"));
+            }
+            other => panic!("expected Failed, got {other:?}"),
+        }
+        assert!(out.value().is_none());
+    }
+}

@@ -1,0 +1,204 @@
+//! Figure 3 energy-stage attribution, driven from recorded telemetry.
+//!
+//! The accelerator model already narrates every `energy_per_image`
+//! evaluation into `qnn_trace` — cycle counters per pipeline stage class
+//! (`accel.cycles.{compute,dma_stall,fill}`) and the energy each class
+//! accounts for (`accel.energy.*_uj`). This module closes the loop: the
+//! per-stage figure dataset is *decoded from a recorded trace* rather
+//! than recomputed from the analytical model, so the figure describes
+//! what the simulated hardware actually reported. The drift test in
+//! `crates/core/tests/energy_trace.rs` pins trace-derived rows to the
+//! recomputed attribution bit for bit.
+
+use qnn_accel::AcceleratorDesign;
+use qnn_nn::arch::NetworkSpec;
+use qnn_nn::NnError;
+use qnn_quant::Precision;
+use qnn_trace::Trace;
+
+use crate::report;
+
+/// Where one precision's per-image runtime and energy go, by pipeline
+/// stage class — one stacked bar of the energy-stage figure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EnergyStageRow {
+    /// The precision the bar describes.
+    pub precision: Precision,
+    /// Cycles the NFU pipeline spent computing.
+    pub compute_cycles: u64,
+    /// Cycles stalled on DMA (off-chip traffic).
+    pub dma_stall_cycles: u64,
+    /// Pipeline fill cycles across layers.
+    pub fill_cycles: u64,
+    /// Total per-image energy, µJ.
+    pub total_uj: f64,
+    /// Energy attributed to compute cycles, µJ.
+    pub compute_uj: f64,
+    /// Energy attributed to DMA stalls, µJ.
+    pub dma_stall_uj: f64,
+    /// Energy attributed to pipeline fill, µJ.
+    pub fill_uj: f64,
+}
+
+impl EnergyStageRow {
+    /// Sum of the attributed stage energies, µJ. Equals
+    /// [`total_uj`](EnergyStageRow::total_uj) up to rounding in the
+    /// stage shares.
+    pub fn stage_sum_uj(&self) -> f64 {
+        self.compute_uj + self.dma_stall_uj + self.fill_uj
+    }
+
+    /// Renders the figure dataset as markdown.
+    pub fn render(rows: &[EnergyStageRow]) -> String {
+        let body: Vec<Vec<String>> = rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.precision.label(),
+                    format!("{:.2}", r.total_uj),
+                    format!("{:.2}", r.compute_uj),
+                    format!("{:.2}", r.dma_stall_uj),
+                    format!("{:.2}", r.fill_uj),
+                    r.compute_cycles.to_string(),
+                    r.dma_stall_cycles.to_string(),
+                    r.fill_cycles.to_string(),
+                ]
+            })
+            .collect();
+        report::markdown_table(
+            &[
+                "Precision (w,in)",
+                "Energy µJ",
+                "Compute µJ",
+                "DMA stall µJ",
+                "Fill µJ",
+                "Compute cyc",
+                "Stall cyc",
+                "Fill cyc",
+            ],
+            &body,
+        )
+    }
+}
+
+fn missing(kind: &str, name: &str) -> NnError {
+    NnError::InvalidConfig {
+        reason: format!("trace has no {kind} `{name}` — record it around one energy_per_image run"),
+    }
+}
+
+/// Decodes one precision's stage attribution from a recorded trace.
+///
+/// The trace must cover exactly one `energy_per_image` evaluation:
+/// the cycle counters are monotonic sums, so a trace spanning several
+/// evaluations would silently merge their bars.
+///
+/// # Errors
+///
+/// Returns [`NnError::InvalidConfig`] when an expected counter or gauge
+/// is absent (the trace was recorded without an accelerator run in it).
+pub fn energy_stages_from_trace(
+    trace: &Trace,
+    precision: Precision,
+) -> Result<EnergyStageRow, NnError> {
+    let counter = |name: &str| {
+        trace
+            .counters
+            .get(name)
+            .copied()
+            .ok_or_else(|| missing("counter", name))
+    };
+    let gauge = |name: &str| {
+        trace
+            .gauges
+            .get(name)
+            .copied()
+            .ok_or_else(|| missing("gauge", name))
+    };
+    Ok(EnergyStageRow {
+        precision,
+        compute_cycles: counter("accel.cycles.compute")?,
+        dma_stall_cycles: counter("accel.cycles.dma_stall")?,
+        fill_cycles: counter("accel.cycles.fill")?,
+        total_uj: gauge("accel.energy.total_uj")?,
+        compute_uj: gauge("accel.energy.compute_uj")?,
+        dma_stall_uj: gauge("accel.energy.dma_stall_uj")?,
+        fill_uj: gauge("accel.energy.fill_uj")?,
+    })
+}
+
+/// Generates the energy-stage figure for `spec` over the paper's seven
+/// precisions, one short trace session per precision: run the
+/// accelerator model traced, then decode the bar from what it reported.
+///
+/// # Errors
+///
+/// Returns [`NnError::InvalidConfig`] when a trace session is already
+/// collecting (the collector is process-global and sessions cannot
+/// nest), and propagates workload errors.
+pub fn energy_stages(spec: &NetworkSpec) -> Result<Vec<EnergyStageRow>, NnError> {
+    if qnn_trace::enabled() {
+        return Err(NnError::InvalidConfig {
+            reason: "energy_stages needs the trace collector, but a session is already active"
+                .into(),
+        });
+    }
+    let wl = spec.workload()?;
+    Precision::paper_sweep()
+        .into_iter()
+        .map(|p| {
+            qnn_trace::start();
+            AcceleratorDesign::new(p).energy_per_image(&wl);
+            let trace = qnn_trace::stop();
+            energy_stages_from_trace(&trace, p)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn probe_trace() -> Trace {
+        let mut t = Trace::default();
+        t.counters.insert("accel.cycles.compute".into(), 100);
+        t.counters.insert("accel.cycles.dma_stall".into(), 20);
+        t.counters.insert("accel.cycles.fill".into(), 5);
+        t.gauges.insert("accel.energy.total_uj".into(), 12.5);
+        t.gauges.insert("accel.energy.compute_uj".into(), 10.0);
+        t.gauges.insert("accel.energy.dma_stall_uj".into(), 2.0);
+        t.gauges.insert("accel.energy.fill_uj".into(), 0.5);
+        t
+    }
+
+    #[test]
+    fn decodes_a_recorded_trace() {
+        let row = energy_stages_from_trace(&probe_trace(), Precision::binary()).unwrap();
+        assert_eq!(row.compute_cycles, 100);
+        assert_eq!(row.total_uj, 12.5);
+        assert!((row.stage_sum_uj() - row.total_uj).abs() < 1e-12);
+    }
+
+    #[test]
+    fn missing_telemetry_is_a_typed_error() {
+        let mut t = probe_trace();
+        t.gauges.remove("accel.energy.fill_uj");
+        let err = energy_stages_from_trace(&t, Precision::binary()).unwrap_err();
+        match err {
+            NnError::InvalidConfig { reason } => assert!(reason.contains("accel.energy.fill_uj")),
+            other => panic!("expected InvalidConfig, got {other:?}"),
+        }
+        assert!(matches!(
+            energy_stages_from_trace(&Trace::default(), Precision::binary()),
+            Err(NnError::InvalidConfig { .. })
+        ));
+    }
+
+    #[test]
+    fn render_lists_every_stage_column() {
+        let row = energy_stages_from_trace(&probe_trace(), Precision::fixed(8, 8)).unwrap();
+        let md = EnergyStageRow::render(&[row]);
+        assert!(md.contains("DMA stall µJ"));
+        assert!(md.contains("Fixed-Point (8,8)"));
+    }
+}

@@ -1,0 +1,220 @@
+//! Accuracy-vs-fault-rate curves — the fault-injection experiment.
+//!
+//! For every Table III precision, a network is QAT-trained once (the
+//! standard two-phase methodology), snapshotted, and then evaluated
+//! under increasing per-bit fault rates: weight faults flip stored bits
+//! of the SB (synaptic) buffer image through each layer's bit codec,
+//! activation faults strike every forward tensor at its quantization
+//! point (the Bin buffer model). The network is restored bit-identically
+//! from the snapshot between rates, so each point on the curve measures
+//! *only* its own fault rate.
+//!
+//! Injection draws from [`FaultInjector`] streams derived from the sweep
+//! seed, serially per tensor — the curve is reproducible at any
+//! `QNN_THREADS`.
+
+use qnn_data::{standard_splits, DatasetKind};
+use qnn_faults::FaultInjector;
+use qnn_nn::{zoo, Network, NnError, QatConfig, TrainOutcome, Trainer, TrainerConfig};
+use qnn_quant::Precision;
+use qnn_tensor::rng::derive_seed;
+
+use super::{pretrain_fp, ExperimentScale};
+use crate::report;
+
+/// One point of the fault curve: a precision evaluated at one rate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultCurveRow {
+    /// The precision whose trained network was corrupted.
+    pub precision: Precision,
+    /// Per-bit fault probability applied to weights and activations.
+    pub rate: f64,
+    /// Test accuracy under faults, percent (`None` = the precision
+    /// itself failed to converge during training, the paper's NA — no
+    /// fault measurement is meaningful there).
+    pub accuracy_pct: Option<f32>,
+    /// Weight bits actually flipped for this point.
+    pub weight_flips: u64,
+}
+
+impl FaultCurveRow {
+    /// Renders the curve as markdown, one row per (precision, rate).
+    pub fn render(rows: &[FaultCurveRow]) -> String {
+        let body: Vec<Vec<String>> = rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.precision.label(),
+                    format!("{:.0e}", r.rate),
+                    report::pct_or_na(r.accuracy_pct),
+                    r.weight_flips.to_string(),
+                ]
+            })
+            .collect();
+        report::markdown_table(
+            &["Precision (w,in)", "Fault rate", "Acc. %", "Weight flips"],
+            &body,
+        )
+    }
+}
+
+/// The default rate ladder: a clean reference point plus four decades.
+pub fn standard_fault_rates() -> Vec<f64> {
+    vec![0.0, 1e-5, 1e-4, 1e-3, 1e-2]
+}
+
+fn injector(rate: f64, seed: u64) -> Result<FaultInjector, NnError> {
+    FaultInjector::new(rate, seed).map_err(|e| NnError::InvalidConfig {
+        reason: format!("fault curve: {e}"),
+    })
+}
+
+/// Generates the accuracy-vs-fault-rate curve over the paper's seven
+/// precisions on the MNIST-class benchmark.
+///
+/// Each precision trains once; each rate then corrupts a fresh copy of
+/// the trained weights (and installs an activation injector for the
+/// evaluation pass) before the network is restored from its snapshot.
+/// Rows come out in `(precision, rate)` grid order. The whole curve is
+/// deterministic in `seed` and independent of the worker thread count.
+///
+/// # Errors
+///
+/// Rejects invalid fault rates up front and propagates training and
+/// evaluation errors.
+pub fn fault_curve(
+    scale: ExperimentScale,
+    seed: u64,
+    rates: &[f64],
+) -> Result<Vec<FaultCurveRow>, NnError> {
+    qnn_trace::span!("faultcurve");
+    // Validate the whole ladder before spending any training time.
+    for &r in rates {
+        if r > 0.0 {
+            injector(r, 0)?;
+        }
+    }
+    let (n_train, n_test) = scale.samples();
+    let splits = standard_splits(DatasetKind::Glyphs28, n_train, n_test, seed);
+    let spec = match scale {
+        ExperimentScale::Full => zoo::lenet(),
+        _ => zoo::lenet_small(),
+    };
+    let (trainer, fp_state) = pretrain_fp(&spec, &splits, scale, seed)?;
+
+    let mut rows = Vec::with_capacity(Precision::paper_sweep().len() * rates.len());
+    for (pi, p) in Precision::paper_sweep().into_iter().enumerate() {
+        qnn_trace::span!("faultcurve:{}", p.label());
+        let seed_p = derive_seed(seed, pi as u64);
+        let mut net = Network::build(&spec, seed)?;
+        net.load_state(&fp_state)?;
+        let outcome = if !p.is_quantized() {
+            let cfg = trainer.config();
+            let fine_tune = Trainer::new(TrainerConfig {
+                lr: cfg.lr * cfg.qat_lr_factor,
+                ..*cfg
+            })?;
+            fine_tune
+                .train(&mut net, splits.train.images(), splits.train.labels())?
+                .outcome
+        } else {
+            trainer
+                .train_qat(
+                    &mut net,
+                    &QatConfig::new(p),
+                    splits.train.images(),
+                    splits.train.labels(),
+                    64,
+                )?
+                .outcome
+        };
+        if outcome != TrainOutcome::Converged {
+            // The paper's NA: there is no trained network to corrupt.
+            rows.extend(rates.iter().map(|&rate| FaultCurveRow {
+                precision: p,
+                rate,
+                accuracy_pct: None,
+                weight_flips: 0,
+            }));
+            continue;
+        }
+        let snapshot = net.state_dict();
+        for (ri, &rate) in rates.iter().enumerate() {
+            let mut weight_flips = 0;
+            if rate > 0.0 {
+                // Streams 2k / 2k+1 of this precision's seed: weights,
+                // then activations.
+                let mut w_inj = injector(rate, derive_seed(seed_p, 2 * ri as u64))?;
+                weight_flips = net.inject_weight_faults(&mut w_inj);
+                net.set_activation_faults(Some(injector(
+                    rate,
+                    derive_seed(seed_p, 2 * ri as u64 + 1),
+                )?));
+            }
+            let acc = trainer.evaluate(&mut net, splits.test.images(), splits.test.labels())?;
+            rows.push(FaultCurveRow {
+                precision: p,
+                rate,
+                accuracy_pct: Some(acc * 100.0),
+                weight_flips,
+            });
+            net.set_activation_faults(None);
+            net.load_state(&snapshot)?;
+        }
+    }
+    Ok(rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_rates_start_clean_and_ascend() {
+        let rates = standard_fault_rates();
+        assert_eq!(rates[0], 0.0);
+        assert!(rates.windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(rates.len(), 5);
+    }
+
+    #[test]
+    fn bad_rates_are_rejected_before_training() {
+        assert!(matches!(
+            fault_curve(ExperimentScale::Smoke, 3, &[0.0, 1.5]),
+            Err(NnError::InvalidConfig { .. })
+        ));
+    }
+
+    #[test]
+    fn curve_is_deterministic_and_rate_zero_is_clean() {
+        let rates = [0.0, 1e-2];
+        let a = fault_curve(ExperimentScale::Smoke, 9, &rates).unwrap();
+        let b = fault_curve(ExperimentScale::Smoke, 9, &rates).unwrap();
+        assert_eq!(a, b, "fault curve must be bit-identical run to run");
+        assert_eq!(a.len(), Precision::paper_sweep().len() * rates.len());
+
+        // Rate 0 never flips a bit; converged rows report an accuracy.
+        for row in a.iter().filter(|r| r.rate == 0.0) {
+            assert_eq!(row.weight_flips, 0, "{}", row.precision.label());
+        }
+        // At 1e-2 the injector must actually strike converged networks.
+        let struck: u64 = a
+            .iter()
+            .filter(|r| r.rate > 0.0 && r.accuracy_pct.is_some())
+            .map(|r| r.weight_flips)
+            .sum();
+        assert!(struck > 0, "no weight faults landed at 1e-2");
+        // The easy benchmark converges at float precision even at smoke
+        // scale, and heavy corruption should not *improve* it.
+        let clean = a
+            .iter()
+            .find(|r| r.precision == Precision::float32() && r.rate == 0.0)
+            .unwrap();
+        let hit = a
+            .iter()
+            .find(|r| r.precision == Precision::float32() && r.rate == 1e-2)
+            .unwrap();
+        assert!(clean.accuracy_pct.unwrap() > 30.0);
+        assert!(hit.accuracy_pct.unwrap() <= clean.accuracy_pct.unwrap() + 1.0);
+    }
+}

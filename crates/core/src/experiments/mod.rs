@@ -1,20 +1,30 @@
 //! Experiment drivers, one submodule per paper artifact.
 
 mod breakdown;
+mod cell;
 mod design_metrics;
+mod energy_stages;
+mod fault_curve;
 mod memory_report;
 mod minifloat;
+mod resume;
 mod table4;
 mod table5;
 mod tile_scaling;
 
 pub use breakdown::{breakdown, BreakdownRow};
+pub use cell::{run_cell, CellOutcome};
 pub use design_metrics::{design_metrics, DesignRow};
+pub use energy_stages::{energy_stages, energy_stages_from_trace, EnergyStageRow};
+pub use fault_curve::{fault_curve, standard_fault_rates, FaultCurveRow};
 pub use memory_report::{memory_report, MemoryRow};
 pub use minifloat::{minifloat_sweep, standard_geometries, MinifloatRow};
-pub use table4::{table4, Table4, Table4Row};
-pub use table5::{table5, Table5Row};
+pub use resume::{CellRecord, SweepProgress, SweepState};
+pub use table4::{table4, table4_resumable, Table4, Table4Row};
+pub use table5::{table5, table5_resumable, Table5Row};
 pub use tile_scaling::{tile_scaling, TileRow};
+
+use std::path::Path;
 
 use qnn_data::Splits;
 use qnn_nn::arch::NetworkSpec;
@@ -101,13 +111,13 @@ pub fn pretrain_fp(
     qnn_trace::span!("pretrain:{}", spec.name());
     let base = scale.trainer(seed);
     let mut fp_net = Network::build(spec, seed)?;
-    let mut trainer = Trainer::new(base);
+    let mut trainer = Trainer::new(base)?;
     for attempt in 0..3 {
         let cfg = TrainerConfig {
             lr: base.lr * 0.5_f32.powi(attempt),
             ..base
         };
-        trainer = Trainer::new(cfg);
+        trainer = Trainer::new(cfg)?;
         let mut net = Network::build(spec, seed + attempt as u64)?;
         let report = trainer.train(&mut net, splits.train.images(), splits.train.labels())?;
         if report.outcome == TrainOutcome::Converged {
@@ -116,6 +126,36 @@ pub fn pretrain_fp(
         }
     }
     Ok((trainer, fp_net.state_dict()))
+}
+
+/// [`pretrain_fp`] with a crash-safe snapshot: when `snapshot` already
+/// holds a valid pre-training result, the backoff search is skipped and
+/// the stored weights (plus the learning rate the search settled on)
+/// are restored bit-identically; otherwise the pre-training runs and the
+/// result is persisted before returning.
+///
+/// # Errors
+///
+/// Propagates training errors; a present-but-corrupt snapshot is a
+/// typed [`NnError::Store`] rather than a silent retrain.
+pub fn pretrain_resumable(
+    spec: &NetworkSpec,
+    splits: &Splits,
+    scale: ExperimentScale,
+    seed: u64,
+    snapshot: &Path,
+) -> Result<(Trainer, Vec<Tensor>), NnError> {
+    if let Some((lr, state)) = resume::load_net_snapshot(snapshot)? {
+        let trainer = Trainer::new(TrainerConfig {
+            lr,
+            ..scale.trainer(seed)
+        })?;
+        qnn_trace::counter!("sweep.pretrain.restored", 1);
+        return Ok((trainer, state));
+    }
+    let (trainer, state) = pretrain_fp(spec, splits, scale, seed)?;
+    resume::save_net_snapshot(snapshot, trainer.config().lr, &state)?;
+    Ok((trainer, state))
 }
 
 /// Phase 2 for a single precision: retraining from the pre-trained
@@ -146,7 +186,7 @@ pub fn qat_point(
         let fine_tune = Trainer::new(TrainerConfig {
             lr: cfg.lr * cfg.qat_lr_factor,
             ..*cfg
-        });
+        })?;
         let report = fine_tune.train(&mut net, splits.train.images(), splits.train.labels())?;
         let acc = fine_tune.evaluate(&mut net, splits.test.images(), splits.test.labels())?;
         (report, acc)

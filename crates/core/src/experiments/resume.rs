@@ -1,0 +1,342 @@
+//! Crash-safe sweep state: which cells of a Table IV/V grid are done,
+//! and the pre-trained weights the remaining cells start from.
+//!
+//! Both artifacts ride in `QNNF` containers ([`qnn_faults::store`]):
+//! the cell ledger as [`KIND_SWEEP_STATE`], pre-training snapshots as
+//! [`KIND_NET_SNAPSHOT`]. Every write is atomic, every read is
+//! CRC-checked, and a state file recorded by a *different* sweep (other
+//! label, seed or scale) is rejected with a typed mismatch instead of
+//! silently mixing experiments.
+
+use std::path::Path;
+
+use qnn_faults::store::{self, wire, KIND_NET_SNAPSHOT, KIND_SWEEP_STATE};
+use qnn_faults::StoreError;
+use qnn_nn::NnError;
+use qnn_tensor::{Shape, Tensor};
+
+use super::cell::CellOutcome;
+
+/// Largest tensor rank a snapshot decoder accepts.
+const MAX_RANK: u64 = 8;
+
+/// One completed cell as persisted: the measured accuracy (the paper's
+/// NA encoded as absent) or the failure report.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CellRecord {
+    /// Converged measurement, accuracy in percent.
+    Ok(f32),
+    /// Ran but diverged — the paper's NA row.
+    Diverged,
+    /// Panicked/errored twice; the sweep degraded this cell.
+    Failed(String),
+}
+
+impl CellRecord {
+    /// The recorded accuracy, `None` for NA/failed cells.
+    pub fn accuracy_pct(&self) -> Option<f32> {
+        match self {
+            CellRecord::Ok(a) => Some(*a),
+            _ => None,
+        }
+    }
+
+    /// Collapses a cell outcome carrying an optional accuracy.
+    pub fn from_outcome(outcome: &CellOutcome<Option<f32>>) -> Self {
+        match outcome {
+            CellOutcome::Ok(Some(a)) => CellRecord::Ok(*a),
+            // A "converged" cell with no accuracy and a diverged cell
+            // persist the same way: NA.
+            CellOutcome::Ok(None) | CellOutcome::Diverged(_) => CellRecord::Diverged,
+            CellOutcome::Failed { reason } => CellRecord::Failed(reason.clone()),
+        }
+    }
+}
+
+/// How far a resumable sweep has come.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SweepProgress {
+    /// Grid cells with a persisted record.
+    pub completed: usize,
+    /// Grid cells in the whole sweep.
+    pub total: usize,
+}
+
+impl SweepProgress {
+    /// True when every cell has a record and the table can be assembled.
+    pub fn is_complete(&self) -> bool {
+        self.completed == self.total
+    }
+}
+
+/// The resumable ledger of one sweep run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepState {
+    /// Which sweep this ledger belongs to (e.g. `table4/smoke`).
+    pub label: String,
+    /// The sweep's seed; a ledger from another seed cannot be resumed.
+    pub seed: u64,
+    /// Completed cells in completion order: `(cell key, record)`.
+    cells: Vec<(String, CellRecord)>,
+}
+
+impl SweepState {
+    /// A fresh ledger with no completed cells.
+    pub fn new(label: &str, seed: u64) -> Self {
+        SweepState {
+            label: label.to_string(),
+            seed,
+            cells: Vec::new(),
+        }
+    }
+
+    /// Loads the ledger at `path`, or starts fresh when the file does
+    /// not exist yet.
+    ///
+    /// # Errors
+    ///
+    /// A present-but-corrupt file is a typed [`NnError::Store`]; a valid
+    /// ledger recorded by a different sweep (label or seed mismatch) is
+    /// [`NnError::CheckpointMismatch`].
+    pub fn load_or_new(path: &Path, label: &str, seed: u64) -> Result<Self, NnError> {
+        if !path.exists() {
+            return Ok(SweepState::new(label, seed));
+        }
+        let state = Self::decode(&store::read(path, KIND_SWEEP_STATE)?)?;
+        if state.label != label || state.seed != seed {
+            return Err(NnError::CheckpointMismatch {
+                reason: format!(
+                    "sweep state is for `{}` seed {}, this run is `{label}` seed {seed}",
+                    state.label, state.seed
+                ),
+            });
+        }
+        qnn_trace::counter!("sweep.resumes", 1);
+        Ok(state)
+    }
+
+    /// The record of a completed cell, if present.
+    pub fn get(&self, key: &str) -> Option<&CellRecord> {
+        self.cells.iter().find(|(k, _)| k == key).map(|(_, r)| r)
+    }
+
+    /// Number of completed cells.
+    pub fn completed(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Records a completed cell and persists the ledger atomically.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::Store`] on I/O failure.
+    pub fn record(&mut self, path: &Path, key: &str, record: CellRecord) -> Result<(), NnError> {
+        match self.cells.iter_mut().find(|(k, _)| k == key) {
+            Some((_, r)) => *r = record,
+            None => self.cells.push((key.to_string(), record)),
+        }
+        store::write_atomic(path, KIND_SWEEP_STATE, &self.encode())?;
+        Ok(())
+    }
+
+    fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::new();
+        wire::put_str(&mut buf, &self.label);
+        wire::put_u64(&mut buf, self.seed);
+        wire::put_u64(&mut buf, self.cells.len() as u64);
+        for (key, record) in &self.cells {
+            wire::put_str(&mut buf, key);
+            match record {
+                CellRecord::Ok(a) => {
+                    wire::put_u32(&mut buf, 0);
+                    wire::put_f32(&mut buf, *a);
+                }
+                CellRecord::Diverged => wire::put_u32(&mut buf, 1),
+                CellRecord::Failed(reason) => {
+                    wire::put_u32(&mut buf, 2);
+                    wire::put_str(&mut buf, reason);
+                }
+            }
+        }
+        buf
+    }
+
+    fn decode(payload: &[u8]) -> Result<Self, NnError> {
+        let mut r = wire::Reader::new(payload);
+        let label = r.str()?;
+        let seed = r.u64()?;
+        let n = r.count(1 << 20)?;
+        let mut cells = Vec::with_capacity(n);
+        for _ in 0..n {
+            let key = r.str()?;
+            let record = match r.u32()? {
+                0 => CellRecord::Ok(r.f32()?),
+                1 => CellRecord::Diverged,
+                2 => CellRecord::Failed(r.str()?),
+                tag => {
+                    return Err(StoreError::Malformed {
+                        reason: format!("unknown cell record tag {tag}"),
+                    }
+                    .into())
+                }
+            };
+            cells.push((key, record));
+        }
+        r.expect_end()?;
+        Ok(SweepState { label, seed, cells })
+    }
+}
+
+/// Persists a phase-1 pre-training result: the learning rate the backoff
+/// search settled on plus the full-precision `state_dict`.
+///
+/// # Errors
+///
+/// Returns [`NnError::Store`] on I/O failure.
+pub fn save_net_snapshot(path: &Path, lr: f32, state: &[Tensor]) -> Result<(), NnError> {
+    let mut buf = Vec::new();
+    wire::put_f32(&mut buf, lr);
+    wire::put_u64(&mut buf, state.len() as u64);
+    for t in state {
+        let dims = t.shape().dims();
+        wire::put_u64(&mut buf, dims.len() as u64);
+        for &d in dims {
+            wire::put_u64(&mut buf, d as u64);
+        }
+        for &v in t.as_slice() {
+            wire::put_f32(&mut buf, v);
+        }
+    }
+    store::write_atomic(path, KIND_NET_SNAPSHOT, &buf)?;
+    Ok(())
+}
+
+/// Loads a snapshot written by [`save_net_snapshot`], or `None` when the
+/// file does not exist yet.
+///
+/// # Errors
+///
+/// A present-but-corrupt snapshot is a typed [`NnError::Store`].
+pub fn load_net_snapshot(path: &Path) -> Result<Option<(f32, Vec<Tensor>)>, NnError> {
+    if !path.exists() {
+        return Ok(None);
+    }
+    let payload = store::read(path, KIND_NET_SNAPSHOT)?;
+    let mut r = wire::Reader::new(&payload);
+    let lr = r.f32()?;
+    let n = r.count(1 << 16)?;
+    let mut state = Vec::with_capacity(n);
+    for _ in 0..n {
+        let rank = r.count(MAX_RANK)?;
+        let mut dims = Vec::with_capacity(rank);
+        let mut len = 1usize;
+        for _ in 0..rank {
+            let d = r.count(u32::MAX as u64)?;
+            len = len.checked_mul(d).ok_or_else(|| StoreError::Malformed {
+                reason: "tensor element count overflows".to_string(),
+            })?;
+            dims.push(d);
+        }
+        if len > r.remaining() / 4 {
+            return Err(StoreError::Malformed {
+                reason: format!("tensor claims {len} elements, payload too short"),
+            }
+            .into());
+        }
+        let mut data = Vec::with_capacity(len);
+        for _ in 0..len {
+            data.push(r.f32()?);
+        }
+        state.push(Tensor::from_vec(Shape::new(&dims), data)?);
+    }
+    r.expect_end()?;
+    Ok(Some((lr, state)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn tmpdir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir()
+            .join("qnn-core-resume-tests")
+            .join(name);
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn ledger_round_trips_and_resumes() {
+        let dir = tmpdir("ledger");
+        let path = dir.join("state.qnnf");
+        let mut s = SweepState::load_or_new(&path, "table4/smoke", 42).unwrap();
+        assert_eq!(s.completed(), 0);
+        s.record(&path, "mnist/float32", CellRecord::Ok(91.5))
+            .unwrap();
+        s.record(&path, "mnist/fixed4", CellRecord::Diverged)
+            .unwrap();
+        s.record(&path, "svhn/binary", CellRecord::Failed("panic: x".into()))
+            .unwrap();
+
+        let back = SweepState::load_or_new(&path, "table4/smoke", 42).unwrap();
+        assert_eq!(back, s);
+        assert_eq!(back.get("mnist/float32"), Some(&CellRecord::Ok(91.5)));
+        assert_eq!(back.get("mnist/fixed4").unwrap().accuracy_pct(), None);
+        assert!(back.get("absent").is_none());
+    }
+
+    #[test]
+    fn foreign_ledger_is_rejected() {
+        let dir = tmpdir("foreign");
+        let path = dir.join("state.qnnf");
+        let mut s = SweepState::new("table5/smoke", 1);
+        s.record(&path, "alex/float32", CellRecord::Ok(70.0))
+            .unwrap();
+        assert!(matches!(
+            SweepState::load_or_new(&path, "table4/smoke", 1),
+            Err(NnError::CheckpointMismatch { .. })
+        ));
+        assert!(matches!(
+            SweepState::load_or_new(&path, "table5/smoke", 2),
+            Err(NnError::CheckpointMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn corrupt_ledger_is_typed() {
+        let dir = tmpdir("corrupt");
+        let path = dir.join("state.qnnf");
+        let mut s = SweepState::new("t", 0);
+        s.record(&path, "a", CellRecord::Ok(1.0)).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x10;
+        std::fs::write(&path, &bytes).unwrap();
+        match SweepState::load_or_new(&path, "t", 0) {
+            Err(NnError::Store(e)) => assert!(e.is_corruption()),
+            other => panic!("expected corruption, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn snapshot_round_trips_bit_identically() {
+        let dir = tmpdir("snapshot");
+        let path = dir.join("pre.qnnf");
+        assert!(load_net_snapshot(&path).unwrap().is_none());
+        let state = vec![
+            Tensor::from_vec(Shape::d2(2, 3), vec![0.1, -0.2, 0.3, 1.5e-7, -0.0, 4.0]).unwrap(),
+            Tensor::from_vec(Shape::d1(2), vec![f32::MIN_POSITIVE, -3.25]).unwrap(),
+        ];
+        save_net_snapshot(&path, 0.025, &state).unwrap();
+        let (lr, back) = load_net_snapshot(&path).unwrap().unwrap();
+        assert_eq!(lr.to_bits(), 0.025f32.to_bits());
+        assert_eq!(back.len(), state.len());
+        for (a, b) in back.iter().zip(&state) {
+            assert_eq!(a.shape(), b.shape());
+            let bits = |t: &Tensor| t.as_slice().iter().map(|v| v.to_bits()).collect::<Vec<_>>();
+            assert_eq!(bits(a), bits(b));
+        }
+    }
+}

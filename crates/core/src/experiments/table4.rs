@@ -1,13 +1,18 @@
 //! Table IV — accuracy, per-image energy and energy savings on the
 //! MNIST- and SVHN-class benchmarks.
 
+use std::path::Path;
+
 use qnn_accel::AcceleratorDesign;
 use qnn_data::{standard_splits, DatasetKind};
+use qnn_faults::StoreError;
 use qnn_nn::arch::NetworkSpec;
 use qnn_nn::{zoo, NnError};
 use qnn_quant::Precision;
 
-use super::{pretrain_fp, qat_point, ExperimentScale};
+use super::cell::run_cell;
+use super::resume::{CellRecord, SweepProgress, SweepState};
+use super::{pretrain_fp, pretrain_resumable, qat_point, ExperimentScale};
 use crate::report;
 use qnn_tensor::par;
 
@@ -139,6 +144,136 @@ pub fn table4(scale: ExperimentScale, seed: u64) -> Result<Table4, NnError> {
     Ok(Table4 { mnist, svhn })
 }
 
+/// Crash-safe Table IV: runs the (benchmark × precision) grid one cell
+/// at a time, persisting every completed cell (and each benchmark's
+/// phase-1 pre-training) to `QNNF` containers under `dir`, so an
+/// interrupted sweep resumed from the same directory skips finished
+/// cells and produces a table **bit-identical** to an uninterrupted run.
+///
+/// Cells run inside [`run_cell`] isolation: a panicking or erroring cell
+/// is retried once with a derived seed and, if it still fails, degrades
+/// to an NA row instead of aborting the sweep. `max_cells` bounds how
+/// many *new* cells this invocation computes (`None` = no bound), which
+/// is what the CI kill-and-resume stage uses to interrupt a sweep at a
+/// deterministic point.
+///
+/// Returns the assembled table once every cell has a record (`None`
+/// while the sweep is still partial) plus the grid progress.
+///
+/// # Errors
+///
+/// Propagates dataset/workload errors and typed store errors (corrupt
+/// ledger or snapshot, ledger from a different sweep).
+pub fn table4_resumable(
+    scale: ExperimentScale,
+    seed: u64,
+    dir: &Path,
+    max_cells: Option<usize>,
+) -> Result<(Option<Table4>, SweepProgress), NnError> {
+    qnn_trace::span!("table4:resumable");
+    std::fs::create_dir_all(dir).map_err(|e| StoreError::io("mkdir", dir, &e))?;
+    let state_path = dir.join("table4.state.qnnf");
+    let label = format!("table4/{scale:?}");
+    let mut state = SweepState::load_or_new(&state_path, &label, seed)?;
+
+    let precisions = Precision::paper_sweep();
+    let (n_train, n_test) = scale.samples();
+    let glyph_splits = standard_splits(DatasetKind::Glyphs28, n_train, n_test, seed);
+    let mnist_spec = match scale {
+        ExperimentScale::Full => zoo::lenet(),
+        _ => zoo::lenet_small(),
+    };
+    let house_splits = standard_splits(DatasetKind::HouseDigits32, n_train, n_test, seed + 1);
+    let svhn_spec = match scale {
+        ExperimentScale::Full => zoo::convnet(),
+        _ => zoo::convnet_small(),
+    };
+    let benches = [
+        ("mnist", &mnist_spec, &glyph_splits, seed),
+        ("svhn", &svhn_spec, &house_splits, seed + 1),
+    ];
+
+    // Phase-1 results are loaded (or trained and snapshotted) lazily, so
+    // a resume whose remaining cells all sit on one benchmark never
+    // redoes the other benchmark's pre-training.
+    let mut pre: Vec<Option<(qnn_nn::Trainer, Vec<qnn_tensor::Tensor>)>> = vec![None, None];
+    let mut budget = max_cells.unwrap_or(usize::MAX);
+    for (b, (name, spec, splits, s)) in benches.iter().enumerate() {
+        for &p in &precisions {
+            let key = format!("{name}/{}", p.label());
+            if state.get(&key).is_some() || budget == 0 {
+                continue;
+            }
+            budget -= 1;
+            if pre[b].is_none() {
+                let snapshot = dir.join(format!("table4.pre-{name}.qnnf"));
+                pre[b] = Some(pretrain_resumable(spec, splits, scale, *s, &snapshot)?);
+            }
+            let (trainer, fp_state) = pre[b].as_ref().expect("just populated");
+            let outcome = run_cell(
+                &key,
+                *s,
+                |acc: &Option<f32>| acc.is_none(),
+                |cell_seed| {
+                    qat_point(spec, splits, trainer, fp_state, p, cell_seed)
+                        .map(|pt| pt.accuracy_pct)
+                },
+            );
+            state.record(&state_path, &key, CellRecord::from_outcome(&outcome))?;
+        }
+    }
+
+    let total = benches.len() * precisions.len();
+    let completed = benches
+        .iter()
+        .flat_map(|(name, _, _, _)| {
+            precisions
+                .iter()
+                .map(move |p| format!("{name}/{}", p.label()))
+        })
+        .filter(|key| state.get(key).is_some())
+        .count();
+    let progress = SweepProgress { completed, total };
+    if !progress.is_complete() {
+        return Ok((None, progress));
+    }
+
+    let paper_rows = crate::paper::table4_accuracies();
+    let assemble = |name: &str,
+                    energy_spec: &NetworkSpec,
+                    paper_col: Vec<Option<f32>>|
+     -> Result<Vec<Table4Row>, NnError> {
+        let energies = energy_column(energy_spec, &precisions)?;
+        Ok(precisions
+            .iter()
+            .zip(energies)
+            .zip(paper_col)
+            .map(|((&p, (e, sv)), pa)| Table4Row {
+                precision: p,
+                accuracy_pct: state
+                    .get(&format!("{name}/{}", p.label()))
+                    .and_then(CellRecord::accuracy_pct),
+                paper_accuracy_pct: pa,
+                energy_uj: e,
+                energy_saving_pct: sv,
+            })
+            .collect())
+    };
+    let table = Table4 {
+        mnist: assemble(
+            "mnist",
+            &zoo::lenet(),
+            paper_rows.iter().map(|r| r.1).collect(),
+        )?,
+        svhn: assemble(
+            "svhn",
+            &zoo::convnet(),
+            paper_rows.iter().map(|r| r.2).collect(),
+        )?,
+    };
+    Ok((Some(table), progress))
+}
+
 impl Table4 {
     /// Renders both halves as markdown.
     pub fn render(&self) -> String {
@@ -196,6 +331,36 @@ mod tests {
         // The easy benchmark converges at float precision even at smoke
         // scale.
         assert!(t.mnist[0].accuracy_pct.unwrap_or(0.0) > 30.0);
+    }
+
+    #[test]
+    fn interrupted_resumable_sweep_matches_plain_table_bit_identically() {
+        let dir = std::env::temp_dir().join("qnn-core-table4-resume-test");
+        let _ = std::fs::remove_dir_all(&dir);
+
+        // Interrupt after three cells: partial, no table yet.
+        let (none, p1) = table4_resumable(ExperimentScale::Smoke, 11, &dir, Some(3)).unwrap();
+        assert!(none.is_none());
+        assert_eq!(p1.completed, 3);
+        assert_eq!(p1.total, 14);
+        assert!(!p1.is_complete());
+
+        // Resume to completion ("the crash" is the dropped state above).
+        let (resumed, p2) = table4_resumable(ExperimentScale::Smoke, 11, &dir, None).unwrap();
+        assert!(p2.is_complete());
+        let resumed = resumed.unwrap();
+
+        // Bit-identical to the uninterrupted parallel runner.
+        let plain = table4(ExperimentScale::Smoke, 11).unwrap();
+        assert_eq!(resumed, plain);
+        assert_eq!(resumed.render(), plain.render());
+
+        // A foreign ledger (different seed) is rejected, not mixed in.
+        assert!(matches!(
+            table4_resumable(ExperimentScale::Smoke, 12, &dir, None),
+            Err(NnError::CheckpointMismatch { .. })
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -1,13 +1,18 @@
 //! Table V — CIFAR-class accuracy/energy for ALEX and the expanded
 //! ALEX+ / ALEX++ networks, plus the Figure 4 point set.
 
+use std::path::Path;
+
 use qnn_accel::AcceleratorDesign;
 use qnn_data::{standard_splits, DatasetKind};
+use qnn_faults::StoreError;
 use qnn_nn::arch::NetworkSpec;
 use qnn_nn::{zoo, NnError};
 use qnn_quant::Precision;
 
-use super::{pretrain_fp, qat_point, ExperimentScale};
+use super::cell::run_cell;
+use super::resume::{CellRecord, SweepProgress, SweepState};
+use super::{pretrain_fp, pretrain_resumable, qat_point, ExperimentScale};
 use crate::pareto::DesignPoint;
 use crate::report;
 use qnn_tensor::par;
@@ -116,6 +121,114 @@ pub fn table5(scale: ExperimentScale, seed: u64) -> Result<Vec<Table5Row>, NnErr
         });
     }
     Ok(rows)
+}
+
+/// Crash-safe Table V: the (network × precision) grid with the same
+/// per-cell persistence, isolation and resume semantics as
+/// [`table4_resumable`](super::table4_resumable) — completed cells and
+/// per-network pre-trainings live in `QNNF` containers under `dir`, and
+/// a resumed sweep reproduces an uninterrupted one bit-identically.
+///
+/// # Errors
+///
+/// Propagates dataset/workload errors and typed store errors.
+pub fn table5_resumable(
+    scale: ExperimentScale,
+    seed: u64,
+    dir: &Path,
+    max_cells: Option<usize>,
+) -> Result<(Option<Vec<Table5Row>>, SweepProgress), NnError> {
+    qnn_trace::span!("table5:resumable");
+    std::fs::create_dir_all(dir).map_err(|e| StoreError::io("mkdir", dir, &e))?;
+    let state_path = dir.join("table5.state.qnnf");
+    let label = format!("table5/{scale:?}");
+    let mut state = SweepState::load_or_new(&state_path, &label, seed)?;
+
+    let (n_train, n_test) = scale.samples();
+    let splits = standard_splits(DatasetKind::TexturedObjects32, n_train, n_test, seed);
+    let networks: Vec<(&str, NetworkSpec, NetworkSpec)> = match scale {
+        ExperimentScale::Full => vec![
+            ("alex", zoo::alex(), zoo::alex()),
+            ("alex+", zoo::alex_plus(), zoo::alex_plus()),
+            ("alex++", zoo::alex_plus_plus(), zoo::alex_plus_plus()),
+        ],
+        _ => vec![
+            ("alex", zoo::alex_small(), zoo::alex()),
+            ("alex+", zoo::alex_plus_small(), zoo::alex_plus()),
+            ("alex++", zoo::alex_plus_plus_small(), zoo::alex_plus_plus()),
+        ],
+    };
+
+    let mut pre: Vec<Option<(qnn_nn::Trainer, Vec<qnn_tensor::Tensor>)>> =
+        vec![None; networks.len()];
+    let mut budget = max_cells.unwrap_or(usize::MAX);
+    for (ni, (name, train_spec, _)) in networks.iter().enumerate() {
+        for p in precisions_for(name) {
+            let key = format!("{name}/{}", p.label());
+            if state.get(&key).is_some() || budget == 0 {
+                continue;
+            }
+            budget -= 1;
+            if pre[ni].is_none() {
+                // '+' is filesystem-safe, so network names key snapshots.
+                let snapshot = dir.join(format!("table5.pre-{name}.qnnf"));
+                pre[ni] = Some(pretrain_resumable(
+                    train_spec, &splits, scale, seed, &snapshot,
+                )?);
+            }
+            let (trainer, fp_state) = pre[ni].as_ref().expect("just populated");
+            let outcome = run_cell(
+                &key,
+                seed,
+                |acc: &Option<f32>| acc.is_none(),
+                |cell_seed| {
+                    qat_point(train_spec, &splits, trainer, fp_state, p, cell_seed)
+                        .map(|pt| pt.accuracy_pct)
+                },
+            );
+            state.record(&state_path, &key, CellRecord::from_outcome(&outcome))?;
+        }
+    }
+
+    let grid: Vec<(usize, String, Precision)> = networks
+        .iter()
+        .enumerate()
+        .flat_map(|(ni, (name, _, _))| {
+            precisions_for(name)
+                .into_iter()
+                .map(move |p| (ni, format!("{name}/{}", p.label()), p))
+        })
+        .collect();
+    let completed = grid
+        .iter()
+        .filter(|(_, key, _)| state.get(key).is_some())
+        .count();
+    let progress = SweepProgress {
+        completed,
+        total: grid.len(),
+    };
+    if !progress.is_complete() {
+        return Ok((None, progress));
+    }
+
+    let alex_wl = zoo::alex().workload()?;
+    let base_uj = AcceleratorDesign::new(Precision::float32())
+        .energy_per_image(&alex_wl)
+        .total_uj();
+    let mut rows = Vec::with_capacity(grid.len());
+    for (ni, key, p) in &grid {
+        let (name, _, energy_spec) = &networks[*ni];
+        let wl = energy_spec.workload()?;
+        let e = AcceleratorDesign::new(*p).energy_per_image(&wl).total_uj();
+        rows.push(Table5Row {
+            network: name.to_string(),
+            precision: *p,
+            accuracy_pct: state.get(key).and_then(CellRecord::accuracy_pct),
+            energy_uj: e,
+            energy_saving_pct: (1.0 - e / base_uj) * 100.0,
+        });
+    }
+    Ok((Some(rows), progress))
 }
 
 impl Table5Row {

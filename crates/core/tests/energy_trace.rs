@@ -1,0 +1,59 @@
+//! Drift test for the trace-driven energy-stage figure: the dataset
+//! decoded from recorded telemetry must equal the one recomputed from
+//! the analytical model, bit for bit.
+//!
+//! Lives in its own integration binary because the trace collector is
+//! process-global — the core lib tests must never race a session.
+
+use qnn_accel::AcceleratorDesign;
+use qnn_core::experiments::{energy_stages, energy_stages_from_trace, EnergyStageRow};
+use qnn_nn::zoo;
+use qnn_quant::Precision;
+
+/// Recomputes one precision's stage attribution straight from the
+/// analytical model — the exact arithmetic `energy_per_image` narrates
+/// into the trace.
+fn recompute(p: Precision, wl: &qnn_nn::workload::Workload) -> EnergyStageRow {
+    let e = AcceleratorDesign::new(p).energy_per_image(wl);
+    let c = &e.cycles;
+    let fill: u64 = c.layers.iter().map(|l| l.fill).sum();
+    let total = c.total().max(1) as f64;
+    let uj = e.total_uj();
+    EnergyStageRow {
+        precision: p,
+        compute_cycles: c.compute(),
+        dma_stall_cycles: c.dma_stall(),
+        fill_cycles: fill,
+        total_uj: uj,
+        compute_uj: uj * c.compute() as f64 / total,
+        dma_stall_uj: uj * c.dma_stall() as f64 / total,
+        fill_uj: uj * fill as f64 / total,
+    }
+}
+
+#[test]
+fn figure_from_trace_matches_recompute_bit_for_bit() {
+    let spec = zoo::lenet();
+    let wl = spec.workload().unwrap();
+    let from_trace = energy_stages(&spec).unwrap();
+    assert_eq!(from_trace.len(), Precision::paper_sweep().len());
+    for row in &from_trace {
+        let direct = recompute(row.precision, &wl);
+        // PartialEq on the row is full f64 equality — any drift between
+        // what the model narrates and what it returns fails here.
+        assert_eq!(row, &direct, "{}", row.precision.label());
+    }
+
+    // Nested sessions are rejected, not silently merged.
+    qnn_trace::start();
+    let err = energy_stages(&spec).unwrap_err();
+    qnn_trace::stop();
+    assert!(matches!(err, qnn_nn::NnError::InvalidConfig { .. }));
+
+    // A single recorded session decodes to the same rows the driver saw.
+    qnn_trace::start();
+    AcceleratorDesign::new(Precision::binary()).energy_per_image(&wl);
+    let trace = qnn_trace::stop();
+    let decoded = energy_stages_from_trace(&trace, Precision::binary()).unwrap();
+    assert_eq!(&decoded, from_trace.last().unwrap());
+}

@@ -30,7 +30,8 @@ fn accuracy_after_training(kind: DatasetKind, n_train: usize, epochs: usize) -> 
         batch_size: 32,
         lr: 0.05,
         ..TrainerConfig::default()
-    });
+    })
+    .unwrap();
     let report = trainer
         .train(&mut net, splits.train.images(), splits.train.labels())
         .unwrap();

@@ -1,0 +1,116 @@
+//! CRC-32 (IEEE 802.3, reflected, polynomial `0xEDB88320`) — the checksum
+//! guarding every `QNNF` container against silent corruption.
+//!
+//! Hand-rolled so the workspace stays dependency-free; the single-table
+//! byte-at-a-time form is plenty for checkpoint-sized payloads.
+
+/// The reflected IEEE polynomial.
+const POLY: u32 = 0xEDB8_8320;
+
+/// Byte-indexed remainder table, built at compile time.
+const TABLE: [u32; 256] = build_table();
+
+const fn build_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ POLY
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+/// Streaming CRC-32 state.
+///
+/// ```
+/// use qnn_faults::crc32::Crc32;
+///
+/// let mut h = Crc32::new();
+/// h.update(b"123456789");
+/// // The canonical CRC-32 check value.
+/// assert_eq!(h.finish(), 0xCBF4_3926);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Crc32 {
+    state: u32,
+}
+
+impl Crc32 {
+    /// Fresh state (all-ones preset, per the standard).
+    pub fn new() -> Self {
+        Crc32 { state: !0 }
+    }
+
+    /// Folds `data` into the running checksum.
+    pub fn update(&mut self, data: &[u8]) {
+        let mut crc = self.state;
+        for &b in data {
+            crc = (crc >> 8) ^ TABLE[((crc ^ b as u32) & 0xFF) as usize];
+        }
+        self.state = crc;
+    }
+
+    /// Final (bit-inverted) checksum value.
+    pub fn finish(&self) -> u32 {
+        !self.state
+    }
+}
+
+impl Default for Crc32 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// One-shot checksum of a byte slice.
+pub fn checksum(data: &[u8]) -> u32 {
+    let mut h = Crc32::new();
+    h.update(data);
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_check_value() {
+        assert_eq!(checksum(b"123456789"), 0xCBF4_3926);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert_eq!(checksum(b""), 0);
+    }
+
+    #[test]
+    fn streaming_matches_one_shot() {
+        let data: Vec<u8> = (0..=255).collect();
+        let mut h = Crc32::new();
+        for chunk in data.chunks(7) {
+            h.update(chunk);
+        }
+        assert_eq!(h.finish(), checksum(&data));
+    }
+
+    #[test]
+    fn every_single_byte_change_is_detected() {
+        let data: Vec<u8> = (0u16..512).map(|i| (i * 7 + 3) as u8).collect();
+        let base = checksum(&data);
+        for i in 0..data.len() {
+            let mut damaged = data.clone();
+            damaged[i] ^= 0x40;
+            assert_ne!(checksum(&damaged), base, "flip at byte {i} undetected");
+        }
+    }
+}

@@ -1,0 +1,138 @@
+//! Typed errors for fault injection and checkpoint storage.
+
+use std::fmt;
+
+/// Errors constructing or driving a [`FaultInjector`](crate::FaultInjector).
+#[derive(Debug, Clone, PartialEq)]
+pub enum FaultError {
+    /// The per-bit fault rate is outside `[0, 1]` or not finite.
+    InvalidRate {
+        /// The offending rate.
+        rate: f64,
+    },
+}
+
+impl fmt::Display for FaultError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultError::InvalidRate { rate } => {
+                write!(f, "fault rate {rate} outside [0, 1]")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FaultError {}
+
+/// Errors reading or writing the `QNNF` checkpoint container.
+///
+/// Every way a file on disk can be wrong maps to a distinct variant, so
+/// callers can decide to fall back (e.g. to a `.bak` rotation) on
+/// corruption while still failing loudly on I/O trouble.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StoreError {
+    /// An OS-level I/O failure. The `io::Error` itself is flattened to
+    /// keep this type `Clone + PartialEq`.
+    Io {
+        /// Operation that failed (`"open"`, `"write"`, `"rename"`, ...).
+        op: &'static str,
+        /// Path involved.
+        path: String,
+        /// `io::Error` display text.
+        msg: String,
+    },
+    /// The file does not start with the `QNNF` magic bytes.
+    BadMagic,
+    /// The container version is newer than this build understands.
+    UnsupportedVersion {
+        /// Version found in the header.
+        found: u16,
+        /// Highest version this build supports.
+        supported: u16,
+    },
+    /// The container holds a different kind of payload than requested
+    /// (e.g. a sweep-state file passed where a trainer checkpoint was
+    /// expected).
+    WrongKind {
+        /// Kind the caller asked for.
+        expected: u16,
+        /// Kind found in the header.
+        found: u16,
+    },
+    /// The file is shorter than its header claims — an interrupted write.
+    Truncated {
+        /// Total byte length the header implies.
+        expected: u64,
+        /// Byte length actually on disk.
+        found: u64,
+    },
+    /// The CRC32 trailer does not match the bytes — silent corruption.
+    CrcMismatch {
+        /// Checksum stored in the trailer.
+        stored: u32,
+        /// Checksum recomputed over the file contents.
+        computed: u32,
+    },
+    /// The payload failed structural decoding (bad lengths, impossible
+    /// counts); carries a human-readable reason.
+    Malformed {
+        /// What was wrong.
+        reason: String,
+    },
+}
+
+impl StoreError {
+    /// Wraps an [`std::io::Error`] with the operation and path context.
+    pub fn io(op: &'static str, path: &std::path::Path, err: &std::io::Error) -> Self {
+        StoreError::Io {
+            op,
+            path: path.display().to_string(),
+            msg: err.to_string(),
+        }
+    }
+
+    /// True for variants that mean "the bytes on disk are damaged" (as
+    /// opposed to I/O failures or honest version/kind mismatches) — the
+    /// cases where falling back to an older checkpoint is sensible.
+    pub fn is_corruption(&self) -> bool {
+        matches!(
+            self,
+            StoreError::BadMagic
+                | StoreError::Truncated { .. }
+                | StoreError::CrcMismatch { .. }
+                | StoreError::Malformed { .. }
+        )
+    }
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io { op, path, msg } => {
+                write!(f, "{op} {path}: {msg}")
+            }
+            StoreError::BadMagic => write!(f, "not a QNNF container (bad magic)"),
+            StoreError::UnsupportedVersion { found, supported } => {
+                write!(
+                    f,
+                    "container version {found} newer than supported {supported}"
+                )
+            }
+            StoreError::WrongKind { expected, found } => {
+                write!(f, "container kind {found}, expected {expected}")
+            }
+            StoreError::Truncated { expected, found } => {
+                write!(f, "truncated container: {found} of {expected} bytes")
+            }
+            StoreError::CrcMismatch { stored, computed } => {
+                write!(
+                    f,
+                    "CRC mismatch: stored {stored:#010x}, computed {computed:#010x}"
+                )
+            }
+            StoreError::Malformed { reason } => write!(f, "malformed payload: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}

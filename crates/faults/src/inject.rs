@@ -1,0 +1,232 @@
+//! Seeded bit-flip injection over encoded words.
+//!
+//! Fault sites are drawn with **geometric-skip sampling**: instead of one
+//! Bernoulli draw per bit (O(bits) RNG work even at tiny rates), the gap
+//! to the next flipped bit is drawn directly from the geometric
+//! distribution, `gap = floor(ln(1-U) / ln(1-rate))` — O(flips) work
+//! total, which is what makes sweeping rates like 1e-7 over
+//! multi-million-bit weight buffers practical.
+//!
+//! Injection is strictly serial within one injector: the site sequence
+//! depends only on the seed and the order of calls, never on
+//! `QNN_THREADS`. Parallel experiments give each unit of work its own
+//! injector with a [`derive_seed`](qnn_tensor::rng::derive_seed)-derived
+//! stream, matching the determinism discipline of the rest of the
+//! workspace.
+
+use crate::error::FaultError;
+use qnn_quant::BitCodec;
+use qnn_tensor::rng::{seeded, Rng};
+
+/// Which hardware buffer a batch of flips models, per the paper's
+/// DianNao-style tile: weights live in `SB`, input activations in `Bin`,
+/// partial sums in the pipeline's accumulators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BufferKind {
+    /// Synapse buffer (stored weights).
+    Weight,
+    /// Input-neuron buffer (activations).
+    Act,
+    /// Partial-sum accumulator registers.
+    Acc,
+}
+
+impl BufferKind {
+    /// The `qnn_trace` counter this buffer's flips are tallied under.
+    pub fn counter(self) -> &'static str {
+        match self {
+            BufferKind::Weight => "fault.flips.weight",
+            BufferKind::Act => "fault.flips.act",
+            BufferKind::Acc => "fault.flips.acc",
+        }
+    }
+}
+
+/// A deterministic, seeded source of bit-flip fault sites at a fixed
+/// per-bit rate.
+///
+/// ```
+/// use qnn_faults::FaultInjector;
+///
+/// let mut inj = FaultInjector::new(0.01, 42)?;
+/// let a: Vec<u64> = inj.sites(10_000).collect();
+/// let mut again = FaultInjector::new(0.01, 42)?;
+/// let b: Vec<u64> = again.sites(10_000).collect();
+/// assert_eq!(a, b); // same seed, same sites
+/// # Ok::<(), qnn_faults::FaultError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct FaultInjector {
+    rate: f64,
+    rng: Rng,
+}
+
+impl FaultInjector {
+    /// Creates an injector flipping each bit independently with
+    /// probability `rate`, drawing from the stream seeded by `seed`.
+    pub fn new(rate: f64, seed: u64) -> Result<Self, FaultError> {
+        if !rate.is_finite() || !(0.0..=1.0).contains(&rate) {
+            return Err(FaultError::InvalidRate { rate });
+        }
+        Ok(FaultInjector {
+            rate,
+            rng: seeded(seed),
+        })
+    }
+
+    /// The per-bit fault rate.
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+
+    /// Iterates the flipped bit indices within a stream of `total_bits`
+    /// consecutive bits, in increasing order.
+    ///
+    /// Consumes RNG state: calling this repeatedly walks successive
+    /// independent windows, as if the buffers were laid out back-to-back.
+    pub fn sites(&mut self, total_bits: u64) -> Sites<'_> {
+        Sites {
+            inj: self,
+            pos: 0,
+            total_bits,
+        }
+    }
+
+    /// Gap (count of untouched bits) before the next flipped bit.
+    fn next_gap(&mut self) -> u64 {
+        if self.rate >= 1.0 {
+            return 0; // every bit flips
+        }
+        // 1-U is in (0, 1], so the log is finite and <= 0.
+        let u = self.rng.next_f64();
+        let g = ((1.0 - u).ln() / (1.0 - self.rate).ln()).floor();
+        if g >= u64::MAX as f64 {
+            u64::MAX
+        } else {
+            g as u64
+        }
+    }
+
+    /// Flips bits of `data` viewed through `codec` as packed stored
+    /// words, counting flips under `kind`'s trace counter. Returns the
+    /// number of flipped bits.
+    ///
+    /// Each element contributes `codec.width()` bits to the stream; a
+    /// site at global bit `i` flips bit `i % width` of element
+    /// `i / width`. Values are re-encoded per flip, so two hits on one
+    /// element compose exactly as two stored-word flips.
+    pub fn corrupt_slice(&mut self, codec: &BitCodec, kind: BufferKind, data: &mut [f32]) -> u64 {
+        let width = codec.width() as u64;
+        let total = data.len() as u64 * width;
+        let mut flips = 0u64;
+        // Collecting sites is fine: at realistic rates the list is tiny
+        // relative to the tensor.
+        let sites: Vec<u64> = self.sites(total).collect();
+        for site in sites {
+            let elem = (site / width) as usize;
+            let bit = (site % width) as u32;
+            data[elem] = codec.flip(data[elem], bit);
+            flips += 1;
+        }
+        qnn_trace::counter!(kind.counter(), flips);
+        flips
+    }
+}
+
+/// Iterator over fault sites; see [`FaultInjector::sites`].
+#[derive(Debug)]
+pub struct Sites<'a> {
+    inj: &'a mut FaultInjector,
+    pos: u64,
+    total_bits: u64,
+}
+
+impl Iterator for Sites<'_> {
+    type Item = u64;
+
+    fn next(&mut self) -> Option<u64> {
+        if self.inj.rate <= 0.0 {
+            return None;
+        }
+        let gap = self.inj.next_gap();
+        let site = self.pos.checked_add(gap)?;
+        if site >= self.total_bits {
+            // Exhausted the window; park the cursor so later calls also
+            // return None.
+            self.pos = self.total_bits;
+            return None;
+        }
+        self.pos = site + 1;
+        Some(site)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qnn_quant::Fixed;
+
+    #[test]
+    fn zero_rate_never_flips() {
+        let mut inj = FaultInjector::new(0.0, 1).unwrap();
+        assert_eq!(inj.sites(1_000_000).count(), 0);
+    }
+
+    #[test]
+    fn full_rate_flips_every_bit() {
+        let mut inj = FaultInjector::new(1.0, 1).unwrap();
+        let sites: Vec<u64> = inj.sites(16).collect();
+        assert_eq!(sites, (0..16).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn invalid_rates_rejected() {
+        for rate in [-0.1, 1.5, f64::NAN, f64::INFINITY] {
+            assert!(FaultInjector::new(rate, 0).is_err(), "rate {rate}");
+        }
+    }
+
+    #[test]
+    fn sites_are_strictly_increasing_and_in_bounds() {
+        let mut inj = FaultInjector::new(0.03, 99).unwrap();
+        let sites: Vec<u64> = inj.sites(50_000).collect();
+        assert!(!sites.is_empty());
+        for w in sites.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+        assert!(*sites.last().unwrap() < 50_000);
+    }
+
+    #[test]
+    fn flip_count_tracks_rate() {
+        // 10^6 bits at 1% → expect ~10_000 ± a few hundred.
+        let mut inj = FaultInjector::new(0.01, 7).unwrap();
+        let n = inj.sites(1_000_000).count() as f64;
+        assert!((9_000.0..11_000.0).contains(&n), "{n} flips");
+    }
+
+    #[test]
+    fn corrupt_slice_composes_flips_per_element() {
+        let codec = BitCodec::Fixed(Fixed::new(8, 4).unwrap());
+        let mut data = vec![0.5f32; 64];
+        let mut inj = FaultInjector::new(0.2, 3).unwrap();
+        let flips = inj.corrupt_slice(&codec, BufferKind::Weight, &mut data);
+        assert!(flips > 0);
+        // Every value must still be on the Q4.4 grid.
+        for &v in &data {
+            assert_eq!(codec.decode_bits(codec.encode_bits(v)), v);
+        }
+    }
+
+    #[test]
+    fn same_seed_same_damage() {
+        let codec = BitCodec::Fixed(Fixed::new(16, 8).unwrap());
+        let run = || {
+            let mut data: Vec<f32> = (0..512).map(|i| (i as f32 - 256.0) / 32.0).collect();
+            let mut inj = FaultInjector::new(0.001, 1234).unwrap();
+            inj.corrupt_slice(&codec, BufferKind::Act, &mut data);
+            data
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,32 @@
+#![warn(missing_docs)]
+
+//! # qnn-faults — fault injection and crash-safe storage for qnn
+//!
+//! The robustness layer of the reproduction, in two halves:
+//!
+//! * **Bit-flip injection** ([`FaultInjector`]): a deterministic, seeded
+//!   engine that flips bits of *encoded* stored words — via the
+//!   [`BitCodec`](qnn_quant::BitCodec)s of `qnn-quant` — at a configurable
+//!   per-bit rate, modelling SRAM soft errors in the accelerator's `SB`
+//!   (weights), `Bin` (activations) and accumulator structures. Sites are
+//!   drawn by geometric-skip sampling (O(flips), not O(bits)) and depend
+//!   only on the seed, never on the thread count.
+//!
+//! * **Crash-safe containers** ([`store`]): the versioned `QNNF` binary
+//!   format (magic + version header, little-endian payload, CRC32
+//!   trailer) written atomically via temp-file + rename, with every
+//!   corruption mode surfaced as a typed [`StoreError`]. Trainer
+//!   checkpoints and sweep resume state across the workspace are carried
+//!   in these containers.
+//!
+//! Like every crate in the workspace this is std-only — the CRC and the
+//! sampling are hand-rolled.
+
+mod error;
+mod inject;
+
+pub mod crc32;
+pub mod store;
+
+pub use error::{FaultError, StoreError};
+pub use inject::{BufferKind, FaultInjector, Sites};

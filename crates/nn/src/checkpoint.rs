@@ -1,0 +1,331 @@
+//! Crash-safe trainer checkpoints.
+//!
+//! A [`TrainCheckpoint`] freezes everything the epoch loop needs to
+//! continue bit-identically: completed-epoch count, the decayed learning
+//! rate, the shuffle RNG's raw state, per-epoch losses, and every
+//! parameter's value *and* momentum buffer (f32 bit patterns, so the
+//! round trip is exact). It rides in a `QNNF` container
+//! ([`qnn_faults::store`]): versioned header, little-endian payload,
+//! CRC32 trailer, written atomically.
+//!
+//! [`save`](TrainCheckpoint::save) rotates any existing file to `*.bak`
+//! first, and [`load_latest`](TrainCheckpoint::load_latest) falls back to
+//! that rotation when the primary file is corrupt — so a crash *during*
+//! checkpointing costs at most one epoch of progress, never the run.
+
+use std::path::{Path, PathBuf};
+
+use qnn_faults::store::{self, wire, KIND_TRAIN_CHECKPOINT};
+use qnn_faults::StoreError;
+use qnn_tensor::{Shape, Tensor};
+
+use crate::error::NnError;
+use crate::network::Network;
+
+/// Largest tensor rank the decoder accepts; real parameters are rank ≤ 4.
+const MAX_RANK: u64 = 8;
+
+/// A frozen snapshot of one training run between epochs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrainCheckpoint {
+    /// Epochs fully completed (the next epoch to run).
+    pub epoch: u32,
+    /// Learning rate in effect for the next epoch (post-decay).
+    pub lr: f32,
+    /// Training accuracy over the last completed epoch — what a finished
+    /// run reports, so resuming a checkpoint whose schedule is already
+    /// complete reproduces the original report exactly.
+    pub last_epoch_accuracy: f32,
+    /// Raw xoshiro state of the shuffle RNG at the epoch boundary.
+    pub rng_state: [u64; 4],
+    /// The sample-order permutation after the last epoch's shuffle —
+    /// each epoch shuffles the *previous* permutation in place, so the
+    /// resumed loop must continue from it, not from identity.
+    pub order: Vec<u32>,
+    /// Mean training loss of each completed epoch.
+    pub epoch_losses: Vec<f32>,
+    /// Per-parameter `(value, velocity)` pairs, in layer order.
+    pub params: Vec<(Tensor, Tensor)>,
+}
+
+impl TrainCheckpoint {
+    /// Captures the current state of `net` plus the trainer's loop state.
+    pub fn capture(
+        net: &Network,
+        epoch: u32,
+        lr: f32,
+        last_epoch_accuracy: f32,
+        rng_state: [u64; 4],
+        order: &[usize],
+        epoch_losses: &[f32],
+    ) -> Self {
+        TrainCheckpoint {
+            epoch,
+            lr,
+            last_epoch_accuracy,
+            rng_state,
+            order: order.iter().map(|&i| i as u32).collect(),
+            epoch_losses: epoch_losses.to_vec(),
+            params: net
+                .params()
+                .iter()
+                .map(|p| (p.value.clone(), p.velocity.clone()))
+                .collect(),
+        }
+    }
+
+    /// Restores parameter values and momentum buffers into `net`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::CheckpointMismatch`] if the parameter list does
+    /// not line up with this network.
+    pub fn apply(&self, net: &mut Network) -> Result<(), NnError> {
+        let mut params = net.params_mut();
+        if params.len() != self.params.len() {
+            return Err(NnError::CheckpointMismatch {
+                reason: format!(
+                    "{} parameter tensors for a network with {}",
+                    self.params.len(),
+                    params.len()
+                ),
+            });
+        }
+        for (p, (value, velocity)) in params.iter_mut().zip(self.params.iter()) {
+            if p.value.shape() != value.shape() {
+                return Err(NnError::CheckpointMismatch {
+                    reason: format!(
+                        "parameter shape {} vs checkpoint {}",
+                        p.value.shape(),
+                        value.shape()
+                    ),
+                });
+            }
+            p.value = value.clone();
+            p.velocity = velocity.clone();
+        }
+        Ok(())
+    }
+
+    /// Serializes to the `QNNF` payload encoding.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::new();
+        wire::put_u32(&mut buf, self.epoch);
+        wire::put_f32(&mut buf, self.lr);
+        wire::put_f32(&mut buf, self.last_epoch_accuracy);
+        for s in self.rng_state {
+            wire::put_u64(&mut buf, s);
+        }
+        wire::put_u64(&mut buf, self.order.len() as u64);
+        for &i in &self.order {
+            wire::put_u32(&mut buf, i);
+        }
+        wire::put_f32_slice(&mut buf, &self.epoch_losses);
+        wire::put_u64(&mut buf, self.params.len() as u64);
+        for (value, velocity) in &self.params {
+            put_tensor(&mut buf, value);
+            put_tensor(&mut buf, velocity);
+        }
+        buf
+    }
+
+    /// Decodes a `QNNF` payload produced by [`encode`](Self::encode).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::Store`] ([`StoreError::Malformed`]) on any
+    /// structural inconsistency.
+    pub fn decode(payload: &[u8]) -> Result<Self, NnError> {
+        let mut r = wire::Reader::new(payload);
+        let epoch = r.u32()?;
+        let lr = r.f32()?;
+        let last_epoch_accuracy = r.f32()?;
+        let rng_state = [r.u64()?, r.u64()?, r.u64()?, r.u64()?];
+        let n_order = r.count(r.remaining() as u64 / 4)?;
+        let mut order = Vec::with_capacity(n_order);
+        for _ in 0..n_order {
+            order.push(r.u32()?);
+        }
+        let epoch_losses = r.f32_vec()?;
+        let n_params = r.count(1 << 20)?;
+        let mut params = Vec::with_capacity(n_params);
+        for _ in 0..n_params {
+            let value = read_tensor(&mut r)?;
+            let velocity = read_tensor(&mut r)?;
+            if value.shape() != velocity.shape() {
+                return Err(StoreError::Malformed {
+                    reason: format!(
+                        "value shape {} disagrees with velocity shape {}",
+                        value.shape(),
+                        velocity.shape()
+                    ),
+                }
+                .into());
+            }
+            params.push((value, velocity));
+        }
+        r.expect_end()?;
+        Ok(TrainCheckpoint {
+            epoch,
+            lr,
+            last_epoch_accuracy,
+            rng_state,
+            order,
+            epoch_losses,
+            params,
+        })
+    }
+
+    /// Writes the checkpoint to `path` atomically, first rotating any
+    /// existing file to `<path>.bak`.
+    ///
+    /// The rotation means a corrupted primary file (torn disk, injected
+    /// fault) still leaves the previous epoch's state recoverable via
+    /// [`load_latest`](Self::load_latest).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::Store`] on I/O failure.
+    pub fn save(&self, path: &Path) -> Result<(), NnError> {
+        if path.exists() {
+            std::fs::rename(path, bak_path(path))
+                .map_err(|e| StoreError::io("rotate", path, &e))?;
+        }
+        store::write_atomic(path, KIND_TRAIN_CHECKPOINT, &self.encode())?;
+        Ok(())
+    }
+
+    /// Loads and validates the checkpoint at `path`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::Store`] on missing, truncated or corrupted
+    /// files.
+    pub fn load(path: &Path) -> Result<Self, NnError> {
+        Self::decode(&store::read(path, KIND_TRAIN_CHECKPOINT)?)
+    }
+
+    /// Loads `path`, falling back to its `.bak` rotation when the
+    /// primary is corrupt. Returns the checkpoint and whether the
+    /// fallback was used.
+    ///
+    /// # Errors
+    ///
+    /// Returns the *primary* file's error when no fallback rescues the
+    /// load (so "file not found" surfaces as such, not as a `.bak`
+    /// error).
+    pub fn load_latest(path: &Path) -> Result<(Self, bool), NnError> {
+        match Self::load(path) {
+            Ok(cp) => Ok((cp, false)),
+            Err(primary) => {
+                // Any primary failure is worth a rescue attempt: corruption
+                // obviously, but also a *missing* primary — save() rotates
+                // before writing, so a crash in that window leaves only the
+                // `.bak` file behind.
+                if let Ok(cp) = Self::load(&bak_path(path)) {
+                    return Ok((cp, true));
+                }
+                Err(primary)
+            }
+        }
+    }
+}
+
+/// `<path>.bak` — the rotation target used by [`TrainCheckpoint::save`].
+pub fn bak_path(path: &Path) -> PathBuf {
+    let mut name = path.file_name().unwrap_or_default().to_os_string();
+    name.push(".bak");
+    path.with_file_name(name)
+}
+
+/// Appends a tensor: rank, dims, then raw f32 bit patterns.
+fn put_tensor(buf: &mut Vec<u8>, t: &Tensor) {
+    let dims = t.shape().dims();
+    wire::put_u64(buf, dims.len() as u64);
+    for &d in dims {
+        wire::put_u64(buf, d as u64);
+    }
+    for &v in t.as_slice() {
+        wire::put_f32(buf, v);
+    }
+}
+
+/// Reads a tensor written by [`put_tensor`].
+fn read_tensor(r: &mut wire::Reader<'_>) -> Result<Tensor, NnError> {
+    let rank = r.count(MAX_RANK)?;
+    let mut dims = Vec::with_capacity(rank);
+    let mut len = 1usize;
+    for _ in 0..rank {
+        let d = r.count(u32::MAX as u64)?;
+        len = len.checked_mul(d).ok_or_else(|| StoreError::Malformed {
+            reason: "tensor element count overflows".to_string(),
+        })?;
+        dims.push(d);
+    }
+    if len > r.remaining() / 4 {
+        return Err(StoreError::Malformed {
+            reason: format!("tensor claims {len} elements, payload too short"),
+        }
+        .into());
+    }
+    let mut data = Vec::with_capacity(len);
+    for _ in 0..len {
+        data.push(r.f32()?);
+    }
+    Ok(Tensor::from_vec(Shape::new(&dims), data)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arch::NetworkSpec;
+
+    fn net(seed: u64) -> Network {
+        Network::build(
+            &NetworkSpec::new("cp", (1, 4, 4)).dense(6).relu().dense(3),
+            seed,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn encode_decode_round_trips() {
+        let n = net(5);
+        let cp = TrainCheckpoint::capture(
+            &n,
+            3,
+            0.025,
+            0.75,
+            [9, 8, 7, 6],
+            &[2, 0, 1],
+            &[1.5, 1.2, 0.9],
+        );
+        let back = TrainCheckpoint::decode(&cp.encode()).unwrap();
+        assert_eq!(back, cp);
+    }
+
+    #[test]
+    fn apply_rejects_wrong_network() {
+        let a = net(1);
+        let cp = TrainCheckpoint::capture(&a, 0, 0.1, 0.0, [0; 4], &[], &[]);
+        let mut other =
+            Network::build(&NetworkSpec::new("other", (1, 4, 4)).dense(4).dense(3), 2).unwrap();
+        assert!(matches!(
+            cp.apply(&mut other),
+            Err(NnError::CheckpointMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn decode_rejects_mismatched_velocity_shape() {
+        let n = net(2);
+        let cp = TrainCheckpoint::capture(&n, 0, 0.1, 0.0, [0; 4], &[], &[]);
+        let mut payload = cp.encode();
+        // Truncating the tail breaks the last tensor mid-stream.
+        payload.truncate(payload.len() - 3);
+        assert!(matches!(
+            TrainCheckpoint::decode(&payload),
+            Err(NnError::Store(StoreError::Malformed { .. }))
+        ));
+    }
+}

@@ -1,6 +1,7 @@
 use std::error::Error;
 use std::fmt;
 
+use qnn_faults::StoreError;
 use qnn_quant::FormatError;
 use qnn_tensor::TensorError;
 
@@ -36,6 +37,21 @@ pub enum NnError {
         /// Human-readable description of the inconsistency.
         reason: String,
     },
+    /// A configuration value is unusable (zero batch size, zero epochs,
+    /// non-finite learning rate, ...).
+    InvalidConfig {
+        /// Human-readable description of the bad value.
+        reason: String,
+    },
+    /// Reading or writing a checkpoint container failed; see the wrapped
+    /// [`StoreError`] for whether the file was corrupt or merely absent.
+    Store(StoreError),
+    /// A checkpoint decoded cleanly but does not fit this network or
+    /// trainer (wrong parameter count/shapes, epoch beyond the schedule).
+    CheckpointMismatch {
+        /// Human-readable description of the mismatch.
+        reason: String,
+    },
 }
 
 impl fmt::Display for NnError {
@@ -55,6 +71,11 @@ impl fmt::Display for NnError {
                 write!(f, "backward called on `{layer}` without a cached forward")
             }
             NnError::InvalidLabels { reason } => write!(f, "invalid labels: {reason}"),
+            NnError::InvalidConfig { reason } => write!(f, "invalid configuration: {reason}"),
+            NnError::Store(e) => write!(f, "checkpoint store error: {e}"),
+            NnError::CheckpointMismatch { reason } => {
+                write!(f, "checkpoint does not match: {reason}")
+            }
         }
     }
 }
@@ -64,6 +85,7 @@ impl Error for NnError {
         match self {
             NnError::Tensor(e) => Some(e),
             NnError::Format(e) => Some(e),
+            NnError::Store(e) => Some(e),
             _ => None,
         }
     }
@@ -78,6 +100,12 @@ impl From<TensorError> for NnError {
 impl From<FormatError> for NnError {
     fn from(e: FormatError) -> Self {
         NnError::Format(e)
+    }
+}
+
+impl From<StoreError> for NnError {
+    fn from(e: StoreError) -> Self {
+        NnError::Store(e)
     }
 }
 

@@ -43,12 +43,14 @@ mod param;
 mod trainer;
 
 pub mod arch;
+pub mod checkpoint;
 pub mod layers;
 pub mod loss;
 pub mod memory;
 pub mod workload;
 pub mod zoo;
 
+pub use checkpoint::TrainCheckpoint;
 pub use error::NnError;
 pub use network::{ActivationCalibration, Mode, Network};
 pub use optim::Sgd;

@@ -1,6 +1,7 @@
 use std::sync::Arc;
 
-use qnn_quant::{calibrate, Precision, Scheme};
+use qnn_faults::{BufferKind, FaultInjector};
+use qnn_quant::{calibrate, BitCodec, Precision, Scheme};
 use qnn_tensor::Tensor;
 
 use crate::arch::{LayerSpec, NetworkSpec};
@@ -45,6 +46,9 @@ pub struct Network {
     /// layer `i`. All `None` when running full precision.
     act_q: Vec<Option<QuantizerHandle>>,
     precision: Option<Precision>,
+    /// When set, every forward pass corrupts each activation tensor after
+    /// its quantization step — the `Bin` buffer fault model.
+    act_faults: Option<FaultInjector>,
 }
 
 impl std::fmt::Debug for Network {
@@ -106,6 +110,7 @@ impl Network {
             layers,
             act_q: vec![None; n + 1],
             precision: None,
+            act_faults: None,
         })
     }
 
@@ -155,6 +160,7 @@ impl Network {
             Some(q) => q.quantize(batch),
             None => batch.clone(),
         };
+        corrupt_activations(&mut self.act_faults, &self.act_q[0], &mut x);
         for (i, layer) in self.layers.iter_mut().enumerate() {
             qnn_trace::span!("fwd:{}:{}", i, layer.name());
             x = layer.forward(&x, mode)?;
@@ -163,6 +169,7 @@ impl Network {
                 // them across the worker pool (bit-identical to serial).
                 qnn_quant::quantize_inplace_par(q.as_ref(), &mut x);
             }
+            corrupt_activations(&mut self.act_faults, &self.act_q[i + 1], &mut x);
         }
         Ok(x)
     }
@@ -389,6 +396,46 @@ impl Network {
         Ok(())
     }
 
+    /// Flips bits of every weighted layer's stored weights through the
+    /// layer's encoded representation, modelling soft errors in the
+    /// accelerator's `SB` (synapse) buffer. Returns the flip count.
+    ///
+    /// Each layer's weight quantizer supplies the [`BitCodec`] targeted
+    /// by the flips (sign/exponent/mantissa for float, integer bits for
+    /// fixed point, exponent code for pow2, the sign bit for binary); an
+    /// unquantized layer is treated as IEEE-754 binary32. Corrupted
+    /// values land exactly on the format's grid, so subsequent
+    /// fake-quantize passes leave the damage untouched. Biases are
+    /// spared, matching the quantization scheme (only `decay` parameters
+    /// are quantized).
+    ///
+    /// Injection is serial and draws only from `inj`, so the damage is
+    /// reproducible at any thread count.
+    pub fn inject_weight_faults(&mut self, inj: &mut FaultInjector) -> u64 {
+        let mut flips = 0u64;
+        for layer in &mut self.layers {
+            let codec = layer
+                .weight_quantizer()
+                .and_then(|q| q.bit_codec())
+                .unwrap_or(BitCodec::Float32);
+            for p in layer.params_mut() {
+                if !p.decay {
+                    continue;
+                }
+                flips += inj.corrupt_slice(&codec, BufferKind::Weight, p.value.as_mut_slice());
+            }
+        }
+        flips
+    }
+
+    /// Installs (or clears) the activation fault injector: when set,
+    /// every forward pass corrupts each activation tensor right after
+    /// its quantization point — the `Bin` (input-neuron) buffer fault
+    /// model. Pass `None` to restore clean inference.
+    pub fn set_activation_faults(&mut self, inj: Option<FaultInjector>) {
+        self.act_faults = inj;
+    }
+
     /// Per-layer weight quantizer descriptions (for reports); `None`
     /// entries are unquantized layers.
     pub fn weight_quantizer_descriptions(&self) -> Vec<Option<String>> {
@@ -396,6 +443,22 @@ impl Network {
             .iter()
             .map(|l| l.weight_quantizer().map(|q| q.describe()))
             .collect()
+    }
+}
+
+/// Applies the activation fault model to one tensor: flips stored-word
+/// bits through the slot's quantizer codec (binary32 when unquantized).
+fn corrupt_activations(
+    inj: &mut Option<FaultInjector>,
+    q: &Option<QuantizerHandle>,
+    x: &mut Tensor,
+) {
+    if let Some(inj) = inj {
+        let codec = q
+            .as_ref()
+            .and_then(|q| q.bit_codec())
+            .unwrap_or(BitCodec::Float32);
+        inj.corrupt_slice(&codec, BufferKind::Act, x.as_mut_slice());
     }
 }
 

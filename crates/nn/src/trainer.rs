@@ -1,7 +1,10 @@
+use std::path::Path;
+
 use qnn_quant::calibrate::Method;
 use qnn_quant::Precision;
 use qnn_tensor::{rng, Shape, Tensor};
 
+use crate::checkpoint::TrainCheckpoint;
 use crate::error::NnError;
 use crate::loss::softmax_cross_entropy;
 use crate::network::{ActivationCalibration, Mode, Network};
@@ -63,6 +66,26 @@ pub enum TrainOutcome {
     Diverged,
 }
 
+impl TrainOutcome {
+    /// The single numeric-failure predicate used everywhere in the
+    /// trainer: `NaN`, `+inf` and `-inf` (overflow in either direction)
+    /// all count as failed.
+    pub fn loss_failed(loss: f32) -> bool {
+        !loss.is_finite()
+    }
+
+    /// The consolidated divergence judgement: any numerically failed
+    /// epoch loss, or an accuracy not clearly above `chance`, is
+    /// [`Diverged`](TrainOutcome::Diverged).
+    pub fn judge(epoch_losses: &[f32], accuracy: f32, chance: f32) -> TrainOutcome {
+        if epoch_losses.iter().copied().any(Self::loss_failed) || accuracy < chance * 1.5 {
+            TrainOutcome::Diverged
+        } else {
+            TrainOutcome::Converged
+        }
+    }
+}
+
 /// Summary of a training run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct TrainReport {
@@ -118,13 +141,27 @@ pub struct Trainer {
 impl Trainer {
     /// Creates a trainer.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `batch_size == 0` or `epochs == 0`.
-    pub fn new(config: TrainerConfig) -> Self {
-        assert!(config.batch_size > 0, "batch size must be positive");
-        assert!(config.epochs > 0, "epochs must be positive");
-        Trainer { config }
+    /// Returns [`NnError::InvalidConfig`] if `batch_size == 0`,
+    /// `epochs == 0`, or the learning rate is not finite and positive.
+    pub fn new(config: TrainerConfig) -> Result<Self, NnError> {
+        if config.batch_size == 0 {
+            return Err(NnError::InvalidConfig {
+                reason: "batch size must be positive".to_string(),
+            });
+        }
+        if config.epochs == 0 {
+            return Err(NnError::InvalidConfig {
+                reason: "epochs must be positive".to_string(),
+            });
+        }
+        if !config.lr.is_finite() || config.lr <= 0.0 {
+            return Err(NnError::InvalidConfig {
+                reason: format!("learning rate {} must be finite and positive", config.lr),
+            });
+        }
+        Ok(Trainer { config })
     }
 
     /// The active configuration.
@@ -147,6 +184,65 @@ impl Trainer {
         images: &Tensor,
         labels: &[usize],
     ) -> Result<TrainReport, NnError> {
+        self.train_from(net, images, labels, None, None)
+    }
+
+    /// Trains like [`train`](Trainer::train) while checkpointing to
+    /// `checkpoint` after every epoch, resuming from that file (or its
+    /// `.bak` rotation) when it already holds a usable snapshot.
+    ///
+    /// An interrupted run resumed through this method produces a report
+    /// and final weights **bit-identical** to an uninterrupted one: the
+    /// checkpoint carries parameter values, momentum buffers, the decayed
+    /// learning rate and the raw shuffle-RNG state.
+    ///
+    /// # Errors
+    ///
+    /// Propagates training errors; an existing-but-damaged checkpoint
+    /// with no usable `.bak` fallback is a typed [`NnError::Store`], a
+    /// snapshot from a different network or schedule is
+    /// [`NnError::CheckpointMismatch`]. A checkpoint that is simply
+    /// absent starts a fresh run.
+    pub fn train_resumable(
+        &self,
+        net: &mut Network,
+        images: &Tensor,
+        labels: &[usize],
+        checkpoint: &Path,
+    ) -> Result<TrainReport, NnError> {
+        let resume = match TrainCheckpoint::load_latest(checkpoint) {
+            Ok((cp, fell_back)) => {
+                qnn_trace::counter!("checkpoint.resumes", 1);
+                if fell_back {
+                    qnn_trace::counter!("checkpoint.fallbacks", 1);
+                }
+                Some(cp)
+            }
+            Err(e) => {
+                let present =
+                    checkpoint.exists() || crate::checkpoint::bak_path(checkpoint).exists();
+                if present {
+                    // A file is there but unusable: surface the typed
+                    // error instead of silently restarting (which would
+                    // discard real progress).
+                    return Err(e);
+                }
+                None
+            }
+        };
+        self.train_from(net, images, labels, resume, Some(checkpoint))
+    }
+
+    /// The single epoch-loop engine behind [`train`](Trainer::train) and
+    /// [`train_resumable`](Trainer::train_resumable).
+    fn train_from(
+        &self,
+        net: &mut Network,
+        images: &Tensor,
+        labels: &[usize],
+        resume: Option<TrainCheckpoint>,
+        save_to: Option<&Path>,
+    ) -> Result<TrainReport, NnError> {
         let n = images.shape().dim(0);
         if labels.len() != n {
             return Err(NnError::InvalidLabels {
@@ -154,15 +250,67 @@ impl Trainer {
             });
         }
         let quantized = net.precision().is_some();
-        let mut opt = Sgd::new(self.config.lr)
-            .momentum(self.config.momentum)
-            .weight_decay(self.config.weight_decay);
-        let mut shuffle_rng = rng::seeded(self.config.seed);
         let mut order: Vec<usize> = (0..n).collect();
-        let mut epoch_losses = Vec::with_capacity(self.config.epochs);
-        let mut final_correct = 0usize;
-        let mut final_count = 0usize;
-        for epoch in 0..self.config.epochs {
+        let (start_epoch, mut opt, mut shuffle_rng, mut epoch_losses, mut last_accuracy) =
+            match resume {
+                Some(cp) => {
+                    if cp.epoch as usize > self.config.epochs {
+                        return Err(NnError::CheckpointMismatch {
+                            reason: format!(
+                                "checkpoint at epoch {} beyond the {}-epoch schedule",
+                                cp.epoch, self.config.epochs
+                            ),
+                        });
+                    }
+                    if cp.epoch_losses.len() != cp.epoch as usize {
+                        return Err(NnError::CheckpointMismatch {
+                            reason: format!(
+                                "{} epoch losses recorded for {} completed epochs",
+                                cp.epoch_losses.len(),
+                                cp.epoch
+                            ),
+                        });
+                    }
+                    if !cp.lr.is_finite() || cp.lr <= 0.0 {
+                        return Err(NnError::CheckpointMismatch {
+                            reason: format!("checkpoint learning rate {} unusable", cp.lr),
+                        });
+                    }
+                    if cp.epoch > 0 {
+                        if cp.order.len() != n {
+                            return Err(NnError::CheckpointMismatch {
+                                reason: format!(
+                                    "shuffle order over {} samples for a {}-sample set",
+                                    cp.order.len(),
+                                    n
+                                ),
+                            });
+                        }
+                        order = cp.order.iter().map(|&i| i as usize).collect();
+                    }
+                    cp.apply(net)?;
+                    let opt = Sgd::new(cp.lr)
+                        .momentum(self.config.momentum)
+                        .weight_decay(self.config.weight_decay);
+                    (
+                        cp.epoch as usize,
+                        opt,
+                        rng::Rng::from_state(cp.rng_state),
+                        cp.epoch_losses,
+                        cp.last_epoch_accuracy,
+                    )
+                }
+                None => (
+                    0,
+                    Sgd::new(self.config.lr)
+                        .momentum(self.config.momentum)
+                        .weight_decay(self.config.weight_decay),
+                    rng::seeded(self.config.seed),
+                    Vec::with_capacity(self.config.epochs),
+                    0.0,
+                ),
+            };
+        for epoch in start_epoch..self.config.epochs {
             qnn_trace::span!("epoch");
             shuffle_rng.shuffle(&mut order);
             let mut loss_sum = 0.0f64;
@@ -173,7 +321,7 @@ impl Trainer {
                 net.zero_grads();
                 let logits = net.forward(&bx, Mode::Train)?;
                 let out = softmax_cross_entropy(&logits, &by)?;
-                if !out.loss.is_finite() {
+                if TrainOutcome::loss_failed(out.loss) {
                     return Ok(TrainReport {
                         epoch_losses,
                         train_accuracy: 0.0,
@@ -193,24 +341,26 @@ impl Trainer {
             }
             let mean_loss = (loss_sum / batches.max(1) as f64) as f32;
             epoch_losses.push(mean_loss);
-            if epoch + 1 == self.config.epochs {
-                final_correct = correct;
-                final_count = n;
-            }
+            last_accuracy = correct as f32 / n.max(1) as f32;
             opt.set_lr((opt.lr() * self.config.lr_decay).max(1e-6));
+            if let Some(path) = save_to {
+                TrainCheckpoint::capture(
+                    net,
+                    (epoch + 1) as u32,
+                    opt.lr(),
+                    last_accuracy,
+                    shuffle_rng.state(),
+                    &order,
+                    &epoch_losses,
+                )
+                .save(path)?;
+            }
         }
-        let train_accuracy = final_correct as f32 / final_count.max(1) as f32;
         let classes = net.spec().num_classes().unwrap_or(2) as f32;
-        let chance = 1.0 / classes;
-        let outcome =
-            if epoch_losses.iter().any(|l| !l.is_finite()) || train_accuracy < chance * 1.5 {
-                TrainOutcome::Diverged
-            } else {
-                TrainOutcome::Converged
-            };
+        let outcome = TrainOutcome::judge(&epoch_losses, last_accuracy, 1.0 / classes);
         Ok(TrainReport {
             epoch_losses,
-            train_accuracy,
+            train_accuracy: last_accuracy,
             outcome,
             val_accuracies: Vec::new(),
             best_epoch: None,
@@ -244,14 +394,22 @@ impl Trainer {
         let mut best: Option<(usize, f32, Vec<Tensor>)> = None;
         let mut last_train_acc = 0.0f32;
         for epoch in 0..self.config.epochs {
-            let one = Trainer::new(TrainerConfig {
-                epochs: 1,
-                lr: self.config.lr * self.config.lr_decay.powi(epoch as i32),
-                seed: self.config.seed.wrapping_add(epoch as u64),
-                ..self.config
-            });
+            // Built directly: the parent config is already validated and
+            // the per-epoch overrides cannot invalidate it.
+            let one = Trainer {
+                config: TrainerConfig {
+                    epochs: 1,
+                    lr: self.config.lr * self.config.lr_decay.powi(epoch as i32),
+                    seed: self.config.seed.wrapping_add(epoch as u64),
+                    ..self.config
+                },
+            };
             let report = one.train(net, images, labels)?;
-            let numeric_failure = report.epoch_losses.iter().any(|l| !l.is_finite())
+            let numeric_failure = report
+                .epoch_losses
+                .iter()
+                .copied()
+                .any(TrainOutcome::loss_failed)
                 || report.epoch_losses.is_empty();
             epoch_losses.extend(report.epoch_losses);
             last_train_acc = report.train_accuracy;
@@ -277,11 +435,7 @@ impl Trainer {
         } else {
             (None, 0.0)
         };
-        let outcome = if best_val > 1.5 / classes {
-            TrainOutcome::Converged
-        } else {
-            TrainOutcome::Diverged
-        };
+        let outcome = TrainOutcome::judge(&[], best_val, 1.0 / classes);
         Ok(TrainReport {
             epoch_losses,
             train_accuracy: last_train_acc,
@@ -363,6 +517,14 @@ fn gather_batch(
     index: &[usize],
 ) -> Result<(Tensor, Vec<usize>), NnError> {
     let dims = images.shape().dims();
+    if dims.len() != 4 {
+        return Err(NnError::InvalidConfig {
+            reason: format!(
+                "image batch must be rank 4 (N, C, H, W), got {}",
+                images.shape()
+            ),
+        });
+    }
     let (c, h, w) = (dims[1], dims[2], dims[3]);
     let sample = c * h * w;
     let mut data = Vec::with_capacity(index.len() * sample);
@@ -421,7 +583,8 @@ mod tests {
             batch_size: 16,
             lr: 0.1,
             ..TrainerConfig::default()
-        });
+        })
+        .unwrap();
         let report = trainer.train(&mut net, &x, &y).unwrap();
         assert_eq!(report.outcome, TrainOutcome::Converged);
         let acc = trainer.evaluate(&mut net, &x, &y).unwrap();
@@ -439,7 +602,8 @@ mod tests {
             batch_size: 16,
             lr: 0.1,
             ..TrainerConfig::default()
-        });
+        })
+        .unwrap();
         trainer.train(&mut net, &x, &y).unwrap();
         let fp_acc = trainer.evaluate(&mut net, &x, &y).unwrap();
         let qat = QatConfig::new(Precision::fixed(8, 8));
@@ -456,7 +620,7 @@ mod tests {
     fn evaluate_validates_labels() {
         let (x, _) = toy_data(8, 1);
         let mut net = toy_net(1);
-        let trainer = Trainer::new(TrainerConfig::default());
+        let trainer = Trainer::new(TrainerConfig::default()).unwrap();
         assert!(trainer.evaluate(&mut net, &x, &[0, 1]).is_err());
     }
 
@@ -467,7 +631,7 @@ mod tests {
             epochs: 3,
             ..TrainerConfig::default()
         };
-        let trainer = Trainer::new(cfg);
+        let trainer = Trainer::new(cfg).unwrap();
         let mut a = toy_net(7);
         let mut b = toy_net(7);
         let ra = trainer.train(&mut a, &x, &y).unwrap();
@@ -485,7 +649,8 @@ mod tests {
             batch_size: 16,
             lr: 0.1,
             ..TrainerConfig::default()
-        });
+        })
+        .unwrap();
         let report = trainer
             .train_with_validation(&mut net, &x, &y, &vx, &vy)
             .unwrap();
@@ -502,11 +667,52 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "batch size")]
-    fn zero_batch_size_panics() {
-        Trainer::new(TrainerConfig {
+    fn zero_batch_size_rejected() {
+        let err = Trainer::new(TrainerConfig {
             batch_size: 0,
             ..TrainerConfig::default()
-        });
+        })
+        .unwrap_err();
+        assert!(matches!(err, NnError::InvalidConfig { .. }), "{err:?}");
+        assert!(Trainer::new(TrainerConfig {
+            epochs: 0,
+            ..TrainerConfig::default()
+        })
+        .is_err());
+        assert!(Trainer::new(TrainerConfig {
+            lr: f32::NAN,
+            ..TrainerConfig::default()
+        })
+        .is_err());
+    }
+
+    #[test]
+    fn divergence_guard_covers_both_infinities() {
+        // Regression: -inf and overflow-to-+inf losses must classify as
+        // diverged through the one shared guard, not just NaN.
+        for bad in [f32::NAN, f32::INFINITY, f32::NEG_INFINITY] {
+            assert!(TrainOutcome::loss_failed(bad), "{bad} not failed");
+            assert_eq!(
+                TrainOutcome::judge(&[1.0, bad], 0.9, 0.1),
+                TrainOutcome::Diverged
+            );
+        }
+        assert!(!TrainOutcome::loss_failed(3.25));
+        assert_eq!(
+            TrainOutcome::judge(&[1.0, 0.5], 0.9, 0.1),
+            TrainOutcome::Converged
+        );
+        // Chance-level accuracy diverges even with finite losses.
+        assert_eq!(
+            TrainOutcome::judge(&[0.5], 0.12, 0.1),
+            TrainOutcome::Diverged
+        );
+    }
+
+    #[test]
+    fn gather_batch_rejects_non_4d_images() {
+        let images = Tensor::zeros(Shape::d2(4, 16));
+        let err = gather_batch(&images, &[0, 1, 0, 1], &[0, 1]).unwrap_err();
+        assert!(matches!(err, NnError::InvalidConfig { .. }), "{err:?}");
     }
 }

@@ -1,0 +1,224 @@
+//! Checkpoint/resume integration tests: 256-case seeded round-trip
+//! property, bit-identical interrupted-vs-uninterrupted training, typed
+//! corruption errors with `.bak` fallback, and deterministic bit-flip
+//! fault injection through the network hooks.
+
+use std::path::PathBuf;
+
+use qnn_faults::{FaultInjector, StoreError};
+use qnn_nn::arch::NetworkSpec;
+use qnn_nn::checkpoint::bak_path;
+use qnn_nn::{
+    ActivationCalibration, Mode, Network, NnError, TrainCheckpoint, Trainer, TrainerConfig,
+};
+use qnn_quant::calibrate::Method;
+use qnn_quant::Precision;
+use qnn_tensor::{rng, Shape, Tensor};
+
+fn spec() -> NetworkSpec {
+    NetworkSpec::new("cp", (1, 4, 4)).dense(8).relu().dense(2)
+}
+
+fn tmpdir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir()
+        .join("qnn-nn-checkpoint-tests")
+        .join(name);
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Linearly separable toy problem (same construction as the trainer's
+/// unit tests).
+fn toy_data(n: usize, seed: u64) -> (Tensor, Vec<usize>) {
+    let mut r = rng::seeded(seed);
+    let mut data = Vec::with_capacity(n * 16);
+    let mut labels = Vec::with_capacity(n);
+    for _ in 0..n {
+        let class = r.gen_range(0..2usize);
+        for _ in 0..4 {
+            for col in 0..4 {
+                let lit = if class == 0 { col < 2 } else { col >= 2 };
+                let base = if lit { 0.8 } else { 0.1 };
+                data.push(base + r.gen_range(-0.05f32..0.05));
+            }
+        }
+        labels.push(class);
+    }
+    (
+        Tensor::from_vec(Shape::d4(n, 1, 4, 4), data).unwrap(),
+        labels,
+    )
+}
+
+fn state_bits(net: &Network) -> Vec<Vec<u32>> {
+    net.state_dict()
+        .iter()
+        .map(|t| t.as_slice().iter().map(|v| v.to_bits()).collect())
+        .collect()
+}
+
+#[test]
+fn checkpoint_round_trip_is_bit_identical_256_cases() {
+    let dir = tmpdir("roundtrip");
+    let path = dir.join("cp.qnnf");
+    let mut r = rng::seeded(0xC0FFEE);
+    let mut net = Network::build(&spec(), 1).unwrap();
+    for case in 0..256u32 {
+        // Scramble every parameter and velocity with fresh random bits,
+        // including values no training run would produce.
+        for p in net.params_mut() {
+            for v in p.value.as_mut_slice() {
+                *v = r.gen_range(-8.0f32..8.0);
+            }
+            for v in p.velocity.as_mut_slice() {
+                *v = r.gen_range(-1.0f32..1.0);
+            }
+        }
+        let cp = TrainCheckpoint::capture(
+            &net,
+            case,
+            r.gen_range(1e-6f32..1.0),
+            r.gen_range(0.0f32..=1.0),
+            [r.next_u64(), r.next_u64(), r.next_u64(), r.next_u64()],
+            &[r.gen_range(0..64usize), r.gen_range(0..64usize)],
+            &[r.gen_range(0.0f32..4.0), r.gen_range(0.0f32..4.0)],
+        );
+        cp.save(&path).unwrap();
+        let (loaded, fell_back) = TrainCheckpoint::load_latest(&path).unwrap();
+        assert!(!fell_back);
+        assert_eq!(loaded, cp, "case {case} not bit-identical");
+        let mut fresh = Network::build(&spec(), 2).unwrap();
+        loaded.apply(&mut fresh).unwrap();
+        assert_eq!(state_bits(&fresh), state_bits(&net), "case {case}");
+    }
+}
+
+#[test]
+fn interrupted_training_resumes_bit_identically() {
+    let (x, y) = toy_data(96, 11);
+    let cfg = TrainerConfig {
+        epochs: 6,
+        batch_size: 16,
+        lr: 0.1,
+        ..TrainerConfig::default()
+    };
+    let trainer = Trainer::new(cfg).unwrap();
+
+    // Uninterrupted reference.
+    let mut ref_net = Network::build(&spec(), 5).unwrap();
+    let ref_report = trainer.train(&mut ref_net, &x, &y).unwrap();
+
+    // Interrupted: run 2 epochs, "crash", then resume to completion with
+    // a fresh network object.
+    let dir = tmpdir("resume");
+    let path = dir.join("train.qnnf");
+    let mut first = Network::build(&spec(), 5).unwrap();
+    let two = Trainer::new(TrainerConfig { epochs: 2, ..cfg }).unwrap();
+    two.train_resumable(&mut first, &x, &y, &path).unwrap();
+    drop(first); // the crash
+
+    let mut resumed = Network::build(&spec(), 5).unwrap();
+    let resumed_report = trainer
+        .train_resumable(&mut resumed, &x, &y, &path)
+        .unwrap();
+
+    assert_eq!(resumed_report, ref_report);
+    assert_eq!(state_bits(&resumed), state_bits(&ref_net));
+
+    // Resuming a finished schedule re-reports without retraining.
+    let mut again = Network::build(&spec(), 5).unwrap();
+    let again_report = trainer.train_resumable(&mut again, &x, &y, &path).unwrap();
+    assert_eq!(again_report, ref_report);
+    assert_eq!(state_bits(&again), state_bits(&ref_net));
+}
+
+#[test]
+fn corrupt_checkpoint_surfaces_typed_error_and_bak_rescues() {
+    let (x, y) = toy_data(48, 3);
+    let cfg = TrainerConfig {
+        epochs: 2,
+        batch_size: 16,
+        lr: 0.1,
+        ..TrainerConfig::default()
+    };
+    let dir = tmpdir("corrupt");
+    let path = dir.join("train.qnnf");
+    let mut net = Network::build(&spec(), 7).unwrap();
+    Trainer::new(cfg)
+        .unwrap()
+        .train_resumable(&mut net, &x, &y, &path)
+        .unwrap();
+
+    // Two epochs ran, so the epoch-1 checkpoint was rotated to .bak.
+    assert!(bak_path(&path).exists());
+
+    // Damage the primary: load_latest falls back to the rotation.
+    let mut bytes = std::fs::read(&path).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0xA5;
+    std::fs::write(&path, &bytes).unwrap();
+    let direct = TrainCheckpoint::load(&path).unwrap_err();
+    assert!(
+        matches!(&direct, NnError::Store(e) if e.is_corruption()),
+        "{direct:?}"
+    );
+    let (rescued, fell_back) = TrainCheckpoint::load_latest(&path).unwrap();
+    assert!(fell_back);
+    assert_eq!(rescued.epoch, 1);
+
+    // Damage the rotation too: now the typed error propagates out of
+    // train_resumable instead of silently restarting.
+    std::fs::write(bak_path(&path), b"QNNFgarbage").unwrap();
+    let err = Trainer::new(cfg)
+        .unwrap()
+        .train_resumable(&mut net, &x, &y, &path)
+        .unwrap_err();
+    assert!(matches!(
+        err,
+        NnError::Store(StoreError::CrcMismatch { .. })
+    ));
+}
+
+#[test]
+fn weight_fault_injection_is_deterministic_and_on_grid() {
+    let (x, _) = toy_data(8, 9);
+    let run = || {
+        let mut net = Network::build(&spec(), 21).unwrap();
+        net.set_precision(
+            Precision::fixed(8, 8),
+            Method::MaxAbs,
+            &x,
+            ActivationCalibration::PerLayer,
+        )
+        .unwrap();
+        let mut inj = FaultInjector::new(0.02, 555).unwrap();
+        let flips = net.inject_weight_faults(&mut inj);
+        let y = net.forward(&x, Mode::Eval).unwrap();
+        (flips, y)
+    };
+    let (flips_a, ya) = run();
+    let (flips_b, yb) = run();
+    assert!(flips_a > 0);
+    assert_eq!(flips_a, flips_b);
+    assert_eq!(ya, yb);
+}
+
+#[test]
+fn activation_faults_perturb_forward_and_clear_cleanly() {
+    let (x, _) = toy_data(8, 13);
+    let mut net = Network::build(&spec(), 31).unwrap();
+    net.set_precision(
+        Precision::fixed(8, 8),
+        Method::MaxAbs,
+        &x,
+        ActivationCalibration::PerLayer,
+    )
+    .unwrap();
+    let clean = net.forward(&x, Mode::Eval).unwrap();
+    net.set_activation_faults(Some(FaultInjector::new(0.01, 77).unwrap()));
+    let faulty = net.forward(&x, Mode::Eval).unwrap();
+    assert_ne!(clean, faulty, "1% per-bit faults must perturb the output");
+    net.set_activation_faults(None);
+    assert_eq!(net.forward(&x, Mode::Eval).unwrap(), clean);
+}

@@ -60,7 +60,8 @@ fn qat_epoch(threads: usize) -> (Vec<f32>, Vec<Tensor>) {
         batch_size: 16,
         lr: 0.05,
         ..TrainerConfig::default()
-    });
+    })
+    .unwrap();
     let mut net = Network::build(&lenet_spec(), 13).unwrap();
     let report = trainer
         .train_qat(

@@ -33,7 +33,8 @@ fn nan_in_training_batch_reports_divergence() {
         epochs: 2,
         batch_size: 8,
         ..TrainerConfig::default()
-    });
+    })
+    .unwrap();
     let report = trainer.train(&mut net, &x, &labels).unwrap();
     assert_eq!(report.outcome, TrainOutcome::Diverged);
 }

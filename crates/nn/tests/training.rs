@@ -130,7 +130,8 @@ fn fp32_then_qat_precision_ladder() {
         batch_size: 16,
         lr: 0.08,
         ..TrainerConfig::default()
-    });
+    })
+    .unwrap();
     let mut net = Network::build(&two_class_spec(), 33).unwrap();
     let report = trainer.train(&mut net, &x, &y).unwrap();
     assert_eq!(report.outcome, TrainOutcome::Converged);
@@ -163,7 +164,8 @@ fn binary_qat_trains_on_easy_problem() {
         batch_size: 16,
         lr: 0.05,
         ..TrainerConfig::default()
-    });
+    })
+    .unwrap();
     let mut net = Network::build(&two_class_spec(), 35).unwrap();
     trainer.train(&mut net, &x, &y).unwrap();
     let r = trainer
@@ -183,7 +185,8 @@ fn shadow_weights_stay_full_precision_under_qat() {
         epochs: 2,
         batch_size: 16,
         ..TrainerConfig::default()
-    });
+    })
+    .unwrap();
     let mut net = Network::build(&two_class_spec(), 1).unwrap();
     trainer
         .train_qat(&mut net, &QatConfig::new(Precision::binary()), &x, &y, 16)

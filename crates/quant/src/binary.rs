@@ -76,6 +76,10 @@ impl Default for Binary {
 }
 
 impl Quantizer for Binary {
+    fn bit_codec(&self) -> Option<crate::codec::BitCodec> {
+        Some(crate::codec::BitCodec::Binary(*self))
+    }
+
     fn quantize_value(&self, x: f32) -> f32 {
         self.decode(self.encode(x))
     }

@@ -202,6 +202,10 @@ fn round_ties_even(x: f64) -> f64 {
 }
 
 impl Quantizer for Fixed {
+    fn bit_codec(&self) -> Option<crate::codec::BitCodec> {
+        Some(crate::codec::BitCodec::Fixed(*self))
+    }
+
     fn quantize_value(&self, x: f32) -> f32 {
         self.decode(self.encode(x))
     }

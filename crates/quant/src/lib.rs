@@ -41,6 +41,7 @@
 //! ```
 
 mod binary;
+mod codec;
 mod error;
 mod fixed;
 mod minifloat;
@@ -52,6 +53,7 @@ pub mod calibrate;
 pub mod ste;
 
 pub use binary::Binary;
+pub use codec::BitCodec;
 pub use error::FormatError;
 pub use fixed::{Fixed, RoundMode};
 pub use minifloat::Minifloat;

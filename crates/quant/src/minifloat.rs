@@ -91,6 +91,10 @@ impl Minifloat {
 }
 
 impl Quantizer for Minifloat {
+    fn bit_codec(&self) -> Option<crate::codec::BitCodec> {
+        Some(crate::codec::BitCodec::Minifloat(*self))
+    }
+
     fn quantize_value(&self, x: f32) -> f32 {
         if x == 0.0 || x.is_nan() {
             return 0.0;

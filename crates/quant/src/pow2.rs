@@ -146,6 +146,10 @@ fn nearest_exponent(m: f32) -> Option<i32> {
 }
 
 impl Quantizer for PowerOfTwo {
+    fn bit_codec(&self) -> Option<crate::codec::BitCodec> {
+        Some(crate::codec::BitCodec::PowerOfTwo(*self))
+    }
+
     fn quantize_value(&self, x: f32) -> f32 {
         let (s, c) = self.encode(x);
         self.decode(s, c)

@@ -69,6 +69,13 @@ pub trait Quantizer: std::fmt::Debug {
     fn ste_clip_range(&self) -> (f32, f32) {
         (self.min_value(), self.max_value())
     }
+
+    /// The bit-level codec behind this quantizer's grid, if the format
+    /// has a defined stored-word layout (all shipped formats do). Fault
+    /// injection uses this to flip bits in the *encoded* representation.
+    fn bit_codec(&self) -> Option<crate::codec::BitCodec> {
+        None
+    }
 }
 
 /// Chunk length of parallel fake-quantize passes. Fixed (never derived from
@@ -148,6 +155,10 @@ fn observe_pass(label: &str, before: &[f32], after: &[f32], lo: f32, hi: f32) {
 pub struct IdentityQuantizer;
 
 impl Quantizer for IdentityQuantizer {
+    fn bit_codec(&self) -> Option<crate::codec::BitCodec> {
+        Some(crate::codec::BitCodec::Float32)
+    }
+
     fn quantize_value(&self, x: f32) -> f32 {
         x
     }

@@ -48,6 +48,17 @@ impl Rng {
         Rng { s }
     }
 
+    /// Snapshot of the raw 256-bit generator state, for checkpointing.
+    pub fn state(&self) -> [u64; 4] {
+        self.s
+    }
+
+    /// Rebuilds a generator from a [`state`](Rng::state) snapshot, resuming
+    /// the stream exactly where the snapshot was taken.
+    pub fn from_state(s: [u64; 4]) -> Self {
+        Rng { s }
+    }
+
     /// The core xoshiro256++ step: 64 fresh bits.
     #[inline]
     pub fn next_u64(&mut self) -> u64 {

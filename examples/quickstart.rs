@@ -35,7 +35,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         batch_size: 32,
         lr: 0.05,
         ..TrainerConfig::default()
-    });
+    })
+    .unwrap();
     let mut net = Network::build(&spec, 7)?;
     trainer.train(&mut net, splits.train.images(), splits.train.labels())?;
     let fp_acc = trainer.evaluate(&mut net, splits.test.images(), splits.test.labels())?;

@@ -72,7 +72,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         batch_size: 32,
         lr: 0.05,
         ..TrainerConfig::default()
-    });
+    })
+    .unwrap();
 
     let mut net = Network::build(&spec, 3)?;
     let fp_report = trainer.train(&mut net, splits.train.images(), splits.train.labels())?;

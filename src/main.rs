@@ -6,6 +6,8 @@
 //! qnn table4 [scale]          # MNIST/SVHN-class accuracy+energy (Table IV)
 //! qnn table5 [scale]          # CIFAR-class + expanded networks (Table V)
 //! qnn fig4 [scale]            # Pareto frontier (Figure 4)
+//! qnn energy                  # per-stage energy figure from a recorded trace
+//! qnn faultcurve [scale]      # accuracy vs. bit-fault rate per precision
 //! qnn memory                  # §V-B parameter-memory report
 //! qnn minifloat               # future-work custom-float sweep
 //! qnn tiles                   # tile-size design-space extension
@@ -15,23 +17,82 @@
 //! `scale` ∈ `smoke` (seconds) | `reduced` (default, minutes) | `full`
 //! (hours); it affects only the *training* side — hardware numbers always
 //! use the full Table I/II architectures.
+//!
+//! `table4` and `table5` additionally accept:
+//!
+//! * `--resume DIR` — run crash-safe: every completed (benchmark,
+//!   precision) cell and each pre-training is checkpointed under `DIR`,
+//!   and a rerun with the same `DIR` skips finished cells. The resumed
+//!   table is bit-identical to an uninterrupted run.
+//! * `--max-cells N` — compute at most `N` new cells this invocation
+//!   (requires `--resume`). A partial sweep prints its progress and
+//!   exits with code **3** so scripts can tell "more to do" from done.
+
+use std::path::PathBuf;
 
 use qnn_core::experiments::{
-    breakdown, design_metrics, memory_report, minifloat_sweep, table4, table5, tile_scaling,
-    BreakdownRow, DesignRow, ExperimentScale, MemoryRow, MinifloatRow, Table5Row, TileRow,
+    breakdown, design_metrics, energy_stages, fault_curve, memory_report, minifloat_sweep,
+    standard_fault_rates, table4, table4_resumable, table5, table5_resumable, tile_scaling,
+    BreakdownRow, DesignRow, EnergyStageRow, ExperimentScale, FaultCurveRow, MemoryRow,
+    MinifloatRow, SweepProgress, Table5Row, TileRow,
 };
 use qnn_core::pareto::pareto_frontier;
+use qnn_nn::zoo;
 use qnn_quant::Precision;
 
-fn parse_scale(arg: Option<&str>) -> ExperimentScale {
-    match arg {
-        Some("smoke") => ExperimentScale::Smoke,
-        Some("full") => ExperimentScale::Full,
-        _ => ExperimentScale::Reduced,
-    }
+/// Exit code for an interrupted (still partial) resumable sweep.
+const EXIT_PARTIAL: i32 = 3;
+
+/// Options shared by every experiment command.
+struct Opts {
+    scale: ExperimentScale,
+    resume: Option<PathBuf>,
+    max_cells: Option<usize>,
 }
 
-fn run(cmd: &str, scale: ExperimentScale) -> Result<(), Box<dyn std::error::Error>> {
+fn parse_opts(args: &[String]) -> Result<Opts, String> {
+    let mut opts = Opts {
+        scale: ExperimentScale::Reduced,
+        resume: None,
+        max_cells: None,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "smoke" => opts.scale = ExperimentScale::Smoke,
+            "reduced" => opts.scale = ExperimentScale::Reduced,
+            "full" => opts.scale = ExperimentScale::Full,
+            "--resume" => {
+                let dir = it.next().ok_or("--resume needs a directory")?;
+                opts.resume = Some(PathBuf::from(dir));
+            }
+            "--max-cells" => {
+                let n = it.next().ok_or("--max-cells needs a count")?;
+                let n: usize = n
+                    .parse()
+                    .map_err(|_| format!("--max-cells: `{n}` is not a count"))?;
+                opts.max_cells = Some(n);
+            }
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    if opts.max_cells.is_some() && opts.resume.is_none() {
+        return Err("--max-cells only makes sense with --resume".into());
+    }
+    Ok(opts)
+}
+
+/// Reports a still-partial resumable sweep and exits with code 3.
+fn partial_exit(progress: &SweepProgress) -> ! {
+    println!(
+        "sweep interrupted at {}/{} cells; rerun with the same --resume dir to continue",
+        progress.completed, progress.total
+    );
+    std::process::exit(EXIT_PARTIAL);
+}
+
+fn run(cmd: &str, opts: &Opts) -> Result<(), Box<dyn std::error::Error>> {
+    let scale = opts.scale;
     match cmd {
         "table3" => println!("{}", DesignRow::render(&design_metrics())),
         "fig3" => println!("{}", BreakdownRow::render(&breakdown())),
@@ -44,8 +105,31 @@ fn run(cmd: &str, scale: ExperimentScale) -> Result<(), Box<dyn std::error::Erro
             "{}",
             TileRow::render(&tile_scaling(Precision::fixed(16, 16))?)
         ),
-        "table4" => println!("{}", table4(scale, 42)?.render()),
-        "table5" => println!("{}", Table5Row::render(&table5(scale, 42)?)),
+        "energy" => println!("{}", EnergyStageRow::render(&energy_stages(&zoo::alex())?)),
+        "faultcurve" => println!(
+            "{}",
+            FaultCurveRow::render(&fault_curve(scale, 42, &standard_fault_rates())?)
+        ),
+        "table4" => match &opts.resume {
+            None => println!("{}", table4(scale, 42)?.render()),
+            Some(dir) => {
+                let (table, progress) = table4_resumable(scale, 42, dir, opts.max_cells)?;
+                match table {
+                    Some(t) => println!("{}", t.render()),
+                    None => partial_exit(&progress),
+                }
+            }
+        },
+        "table5" => match &opts.resume {
+            None => println!("{}", Table5Row::render(&table5(scale, 42)?)),
+            Some(dir) => {
+                let (rows, progress) = table5_resumable(scale, 42, dir, opts.max_cells)?;
+                match rows {
+                    Some(r) => println!("{}", Table5Row::render(&r)),
+                    None => partial_exit(&progress),
+                }
+            }
+        },
         "fig4" => {
             let rows = table5(scale, 42)?;
             let pts = Table5Row::to_design_points(&rows);
@@ -68,28 +152,38 @@ fn run(cmd: &str, scale: ExperimentScale) -> Result<(), Box<dyn std::error::Erro
                 "memory",
                 "minifloat",
                 "tiles",
+                "energy",
                 "table4",
                 "table5",
                 "fig4",
             ] {
                 println!("\n== {c} ==\n");
-                run(c, scale)?;
+                run(c, opts)?;
             }
         }
         other => {
             eprintln!("unknown command `{other}`");
-            eprintln!(
-                "usage: qnn <table3|fig3|table4|table5|fig4|memory|minifloat|tiles|all> [smoke|reduced|full]"
-            );
+            usage();
             std::process::exit(2);
         }
     }
     Ok(())
 }
 
+fn usage() {
+    eprintln!(
+        "usage: qnn <table3|fig3|table4|table5|fig4|energy|faultcurve|memory|minifloat|tiles|all> \
+         [smoke|reduced|full] [--resume DIR [--max-cells N]]"
+    );
+}
+
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let args: Vec<String> = std::env::args().collect();
     let cmd = args.get(1).map(String::as_str).unwrap_or("table3");
-    let scale = parse_scale(args.get(2).map(String::as_str));
-    run(cmd, scale)
+    let opts = parse_opts(&args[2.min(args.len())..]).unwrap_or_else(|e| {
+        eprintln!("{e}");
+        usage();
+        std::process::exit(2);
+    });
+    run(cmd, &opts)
 }

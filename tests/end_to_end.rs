@@ -57,7 +57,8 @@ fn binary_qat_on_easy_set_via_facade() {
         batch_size: 32,
         lr: 0.05,
         ..Default::default()
-    });
+    })
+    .unwrap();
     let mut net = Network::build(&zoo::lenet_small(), 5).unwrap();
     trainer
         .train(&mut net, splits.train.images(), splits.train.labels())
