@@ -61,4 +61,5 @@ stage clippy       cargo clippy --workspace --all-targets --offline -- -D warnin
 stage build        cargo build --workspace --release --offline
 stage test         cargo test --workspace -q --offline
 stage bench-check  cargo run -p qnn-bench --release --offline -- bench-check
+stage qkernels     cargo run -p qnn-bench --release --offline -- --quick qkernels
 stage kill-resume  kill_and_resume

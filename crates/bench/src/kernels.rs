@@ -12,7 +12,8 @@ use qnn_core::experiments::{accuracy_sweep, ExperimentScale};
 use qnn_data::{standard_splits, DatasetKind};
 use qnn_nn::loss::softmax_cross_entropy;
 use qnn_nn::{zoo, Mode, Network, Sgd};
-use qnn_quant::{Binary, Fixed, PowerOfTwo, Precision, Quantizer};
+use qnn_quant::packed::{matmul_on_grid, PackedWeights};
+use qnn_quant::{Binary, BitCodec, Fixed, PowerOfTwo, Precision, Quantizer};
 use qnn_tensor::conv::{conv2d, conv2d_backward, Geometry};
 use qnn_tensor::pool::max_pool2d;
 use qnn_tensor::{par, rng, Shape, Tensor};
@@ -21,6 +22,16 @@ fn random(shape: Shape, seed: u64) -> Tensor {
     let mut r = rng::seeded(seed);
     let n = shape.len();
     Tensor::from_vec(shape, (0..n).map(|_| r.gen_range(-1.0f32..1.0)).collect()).unwrap()
+}
+
+/// On-grid fixed-point values with raw magnitude ≤ `max_raw`, so the
+/// native certificate holds and both GEMM paths compute the identical
+/// product — making the timed ratio a true like-for-like speedup.
+fn grid_fixed(f: &Fixed, len: usize, max_raw: i64, seed: u64) -> Vec<f32> {
+    let mut r = rng::seeded(seed);
+    (0..len)
+        .map(|_| f.decode(r.gen_range(-max_raw..max_raw + 1)))
+        .collect()
 }
 
 /// One entry of the kernels report: a measurement plus optional
@@ -99,6 +110,180 @@ pub fn run_with(quick: bool) -> Json {
         ("name", Json::str("matmul_256/speedup_blocked_vs_naive_1t")),
         ("ratio", Json::Num(naive_ns / blocked_ns)),
     ]));
+
+    println!("== quantized GEMM 256x256x256 (native kernels vs simulated f32, 1 thread) ==");
+    // Every operand below sits on its format's grid with raw magnitudes
+    // inside the exactness certificate, so the native kernels produce
+    // bit-identical output to the f32 baseline — the sanity asserts pin
+    // that before anything is timed. Timings include the per-batch work a
+    // real forward pays (activation packing, certificate check,
+    // requantize); weight packing is excluded, matching the per-layer
+    // plan cache.
+    par::set_threads(Some(1));
+    let q = 256usize;
+    let flops_q = 2.0 * (q as f64).powi(3);
+    let mut out = vec![0.0f32; q * q];
+
+    let f8 = Fixed::new(8, 7).unwrap();
+    let acts8 = grid_fixed(&f8, q * q, 127, 11);
+    let w8 = grid_fixed(&f8, q * q, 127, 12);
+    let m = b.run("qgemm_256/f32_nt_1t", || {
+        qnn_tensor::gemm::gemm_nt(
+            q,
+            q,
+            q,
+            black_box(&acts8),
+            black_box(&w8),
+            black_box(&mut out),
+        );
+    });
+    let f32_ns = m.ns_per_op;
+    push(entry(&m, Some(flops_q)));
+
+    let codec8 = BitCodec::Fixed(f8);
+    let plan8 = PackedWeights::pack(&codec8, q, q, &w8).expect("fixed8 weights pack");
+    assert!(
+        matmul_on_grid(&codec8, &acts8, q, q, false, &plan8, &mut out),
+        "fixed8 certificate must hold at 256^3"
+    );
+    let m = b.run("qgemm_256/fixed8_native_1t", || {
+        black_box(matmul_on_grid(
+            &codec8,
+            black_box(&acts8),
+            q,
+            q,
+            false,
+            &plan8,
+            black_box(&mut out),
+        ));
+    });
+    let fixed8_ns = m.ns_per_op;
+    push(entry(&m, Some(flops_q)));
+
+    // Raw magnitudes ≤ 256: 256·256·256 = 2^24, the certificate's edge.
+    let f16 = Fixed::new(16, 12).unwrap();
+    let acts16 = grid_fixed(&f16, q * q, 255, 13);
+    let w16 = grid_fixed(&f16, q * q, 255, 14);
+    let codec16 = BitCodec::Fixed(f16);
+    let plan16 = PackedWeights::pack(&codec16, q, q, &w16).expect("fixed16 weights pack");
+    assert!(
+        matmul_on_grid(&codec16, &acts16, q, q, false, &plan16, &mut out),
+        "fixed16 certificate must hold at 256^3 with raws <= 255"
+    );
+    let m = b.run("qgemm_256/fixed16_native_1t", || {
+        black_box(matmul_on_grid(
+            &codec16,
+            black_box(&acts16),
+            q,
+            q,
+            false,
+            &plan16,
+            black_box(&mut out),
+        ));
+    });
+    let fixed16_ns = m.ns_per_op;
+    push(entry(&m, Some(flops_q)));
+
+    let bin = Binary::new();
+    let bcodec = BitCodec::Binary(bin);
+    let mut r = rng::seeded(15);
+    let bacts: Vec<f32> = (0..q * q).map(|_| bin.decode(r.gen_bool(0.5))).collect();
+    let bw: Vec<f32> = (0..q * q).map(|_| bin.decode(r.gen_bool(0.5))).collect();
+    let bplan = PackedWeights::pack(&bcodec, q, q, &bw).expect("binary weights pack");
+    assert!(
+        matmul_on_grid(&bcodec, &bacts, q, q, false, &bplan, &mut out),
+        "binary certificate must hold at 256^3"
+    );
+    let m = b.run("qgemm_256/binary_xnor_1t", || {
+        black_box(matmul_on_grid(
+            &bcodec,
+            black_box(&bacts),
+            q,
+            q,
+            false,
+            &bplan,
+            black_box(&mut out),
+        ));
+    });
+    let binary_ns = m.ns_per_op;
+    push(entry(&m, Some(flops_q)));
+
+    // Pow2 weights in a narrow exponent band (span ≤ 6) against fixed8
+    // activations with raws ≤ 64, keeping the shifted products certified.
+    let p2 = PowerOfTwo::new(6, 0).unwrap();
+    let mut r = rng::seeded(16);
+    let span = p2.max_exp() - p2.min_exp();
+    let low_code = (span + 1 - 6).max(0) as u32 + 1;
+    let hi_code = span as u32 + 1;
+    let pw: Vec<f32> = (0..q * q)
+        .map(|_| p2.decode(r.gen_bool(0.5), r.gen_range(low_code..hi_code + 1)))
+        .collect();
+    let pacts = grid_fixed(&f8, q * q, 64, 17);
+    let pplan = PackedWeights::pack(&BitCodec::PowerOfTwo(p2), q, q, &pw).expect("pow2 pack");
+    assert!(
+        matmul_on_grid(&codec8, &pacts, q, q, false, &pplan, &mut out),
+        "pow2 certificate must hold at 256^3 with a narrow exponent band"
+    );
+    let m = b.run("qgemm_256/pow2_native_1t", || {
+        black_box(matmul_on_grid(
+            &codec8,
+            black_box(&pacts),
+            q,
+            q,
+            false,
+            &pplan,
+            black_box(&mut out),
+        ));
+    });
+    let pow2_ns = m.ns_per_op;
+    push(entry(&m, Some(flops_q)));
+
+    // A 15-exponent span (codes 1..=16) forces the true shift-add kernel
+    // (the i16 view only covers spans ≤ 14). Certification at 256³ then
+    // requires unit activation raws: 2·2^15·256 = 2^24, the certificate's
+    // edge.
+    let mut r = rng::seeded(18);
+    let ww: Vec<f32> = (0..q * q)
+        .map(|_| p2.decode(r.gen_bool(0.5), r.gen_range(1u32..17)))
+        .collect();
+    let funit = Fixed::new(8, 0).unwrap();
+    let ucodec = BitCodec::Fixed(funit);
+    let uacts: Vec<f32> = (0..q * q)
+        .map(|_| if r.gen_bool(0.5) { 1.0 } else { -1.0 })
+        .collect();
+    let wplan = PackedWeights::pack(&BitCodec::PowerOfTwo(p2), q, q, &ww).expect("pow2 wide pack");
+    if let PackedWeights::Pow2(p) = &wplan {
+        assert!(p.words16().is_none(), "wide span must use the shift kernel");
+    }
+    assert!(
+        matmul_on_grid(&ucodec, &uacts, q, q, false, &wplan, &mut out),
+        "wide-span pow2 certificate must hold at 256^3 with unit acts"
+    );
+    let m = b.run("qgemm_256/pow2_shift_wide_1t", || {
+        black_box(matmul_on_grid(
+            &ucodec,
+            black_box(&uacts),
+            q,
+            q,
+            false,
+            &wplan,
+            black_box(&mut out),
+        ));
+    });
+    push(entry(&m, Some(flops_q)));
+
+    for (name, ns) in [
+        ("qgemm_256/speedup_fixed8_vs_f32_1t", fixed8_ns),
+        ("qgemm_256/speedup_fixed16_vs_f32_1t", fixed16_ns),
+        ("qgemm_256/speedup_binary_vs_f32_1t", binary_ns),
+        ("qgemm_256/speedup_pow2_vs_f32_1t", pow2_ns),
+    ] {
+        push(Json::obj(vec![
+            ("name", Json::str(name)),
+            ("ratio", Json::Num(f32_ns / ns)),
+        ]));
+    }
+    par::set_threads(None);
 
     println!("== conv2d LeNet conv2 (50x(20,5,5) over (20,12,12), batch 4) ==");
     let x = random(Shape::d4(4, 20, 12, 12), 3);

@@ -18,6 +18,7 @@
 pub mod artifacts;
 pub mod json;
 pub mod kernels;
+pub mod qcheck;
 pub mod regression;
 pub mod timer;
 pub mod tracereport;

@@ -7,7 +7,7 @@
 //! `trace-summary` reads back a `--trace` JSONL file.
 
 use qnn_bench::json::Json;
-use qnn_bench::{artifacts, kernels, regression, tracereport};
+use qnn_bench::{artifacts, kernels, qcheck, regression, tracereport};
 
 const USAGE: &str = "\
 usage: qnn-bench [--quick] [--trace <path>] [SUBCOMMAND]
@@ -17,6 +17,9 @@ usage: qnn-bench [--quick] [--trace <path>] [SUBCOMMAND]
                  quick kernel run compared against the committed
                  BENCH_kernels.json; exits 1 on any >25% regression
                  (tolerance factor via QNN_BENCH_TOLERANCE, e.g. 1.25)
+  qkernels       native-vs-simulated bit-identity self-check of the
+                 quantized fast path on this host's CPU; exits 1 on any
+                 mismatch or never-dispatched packable precision
   trace-summary <path>
                  summarize a qnn-trace JSONL file written by --trace
   table3         Table III  — design metrics per precision
@@ -141,6 +144,7 @@ fn main() {
             };
             bench_check(baseline)
         }
+        Some("qkernels") => i32::from(!qcheck::run(quick)),
         Some("trace-summary") => match rest.get(1) {
             Some(p) => trace_summary(p),
             None => {

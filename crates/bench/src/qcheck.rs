@@ -1,0 +1,137 @@
+//! `qkernels` — release-binary self-check of the native quantized kernels.
+//!
+//! Runs a LeNet-style conv/pool/dense network under every Table III
+//! precision with native dispatch forced off and forced on, and demands
+//! **bit-identical** logits, at 1 and 4 worker threads. This is the same
+//! invariant the `qnn-nn` integration tests pin, packaged as a subcommand
+//! so CI (and any user) can verify the fast path on the *installed*
+//! release binary and CPU — the dispatch is feature-detected at runtime,
+//! so the test suite's machine proves nothing about the deployment host.
+//!
+//! The check also reports what fraction of forward MAC flops actually took
+//! the native path (from the `nn.fwd.flops.*` trace counters) and fails if
+//! a precision with a packable format never dispatched natively: bitwise
+//! equality alone would hold vacuously if the fast path never fired.
+
+use qnn_nn::arch::NetworkSpec;
+use qnn_nn::{set_native, ActivationCalibration, Mode, Network};
+use qnn_quant::{calibrate::Method, Precision, Scheme};
+use qnn_tensor::rng::{derive_seed, seeded};
+use qnn_tensor::{par, Shape, Tensor};
+
+/// Precisions whose Eval inference is expected to route at least some MACs
+/// through the native kernels on a certified LeNet-scale network. Narrow
+/// fixed formats always certify; the other packable schemes depend on
+/// calibration outcomes (a binary scale must land on a power of two, a
+/// pow2 exponent span must fit the certificate), so they are reported but
+/// not required.
+fn expects_native(p: &Precision) -> bool {
+    matches!(p.weights(), Scheme::Fixed { bits } if bits <= 8)
+        && matches!(p.activations(), Scheme::Fixed { bits } if bits <= 8)
+}
+
+fn spec() -> NetworkSpec {
+    NetworkSpec::new("qcheck-lenet-8", (1, 8, 8))
+        .conv(6, 3, 1, 1)
+        .relu()
+        .max_pool(2, 2)
+        .conv(10, 3, 1, 1)
+        .relu()
+        .max_pool(2, 2)
+        .dense(3)
+}
+
+fn batch(n: usize, seed: u64) -> Tensor {
+    let mut r = seeded(seed);
+    let data: Vec<f32> = (0..n * 64).map(|_| r.gen_range(-1.0f32..1.0)).collect();
+    Tensor::from_vec(Shape::d4(n, 1, 8, 8), data).unwrap()
+}
+
+/// Forwards `x` through `net` twice — native off, then on — returning the
+/// bit-mismatch count and the (native, simulated) MAC flop counters of the
+/// native-enabled pass.
+fn compare_paths(net: &mut Network, x: &Tensor) -> (usize, u64, u64) {
+    set_native(Some(false));
+    let simulated = net.forward(x, Mode::Eval).unwrap();
+    set_native(Some(true));
+    qnn_trace::start();
+    let native = net.forward(x, Mode::Eval).unwrap();
+    let trace = qnn_trace::stop();
+    let mismatches = simulated
+        .as_slice()
+        .iter()
+        .zip(native.as_slice().iter())
+        .filter(|(a, b)| a.to_bits() != b.to_bits())
+        .count();
+    let nat = trace
+        .counters
+        .get("nn.fwd.flops.native")
+        .copied()
+        .unwrap_or(0);
+    let sim = trace
+        .counters
+        .get("nn.fwd.flops.simulated")
+        .copied()
+        .unwrap_or(0);
+    (mismatches, nat, sim)
+}
+
+/// Runs the self-check; returns `true` when every precision passed. With
+/// `quick`, one seed instead of three (the thread sweep is kept — the
+/// parallel partition is the part a host difference could break).
+pub fn run(quick: bool) -> bool {
+    let seeds = if quick { 1u64 } else { 3 };
+    let mut ok = true;
+    println!("qkernels: native-vs-simulated bit-identity on a LeNet-style conv/pool/dense net");
+    for precision in Precision::paper_sweep() {
+        let mut mismatches = 0usize;
+        let mut nat_total = 0u64;
+        let mut sim_total = 0u64;
+        for seed in 0..seeds {
+            let mut net = Network::build(&spec(), derive_seed(0x9c, seed)).unwrap();
+            net.set_precision(
+                precision,
+                Method::MaxAbs,
+                &batch(8, derive_seed(0xca, seed)),
+                ActivationCalibration::PerLayer,
+            )
+            .unwrap();
+            let x = batch(4, derive_seed(0xba, seed));
+            for threads in [1usize, 4] {
+                par::set_threads(Some(threads));
+                let (m, nat, sim) = compare_paths(&mut net, &x);
+                mismatches += m;
+                nat_total += nat;
+                sim_total += sim;
+            }
+        }
+        set_native(None);
+        par::set_threads(None);
+        let total = nat_total + sim_total;
+        let pct = if total == 0 {
+            0.0
+        } else {
+            100.0 * nat_total as f64 / total as f64
+        };
+        let vacuous = expects_native(&precision) && nat_total == 0;
+        let verdict = if mismatches > 0 {
+            "MISMATCH"
+        } else if vacuous {
+            "NEVER-DISPATCHED"
+        } else {
+            "ok"
+        };
+        ok &= mismatches == 0 && !vacuous;
+        let label = precision.label();
+        println!("  {label:<22} {verdict:<16} native MACs {pct:5.1}% ({nat_total}/{total})");
+        if mismatches > 0 {
+            println!("    {mismatches} logit(s) differ between simulated and native paths");
+        }
+    }
+    if ok {
+        println!("qkernels: all precisions bit-identical across paths");
+    } else {
+        println!("qkernels: FAILED");
+    }
+    ok
+}

@@ -120,6 +120,24 @@ pub fn summarize(jsonl: &str) -> Result<String, String> {
     for (name, total) in &counters {
         out.push_str(&format!("  {name:40} {total:>16.0}\n"));
     }
+    // Derived line: what fraction of forward MAC flops took the native
+    // quantized fast path. The two counters are emitted by qnn-nn's Eval
+    // dispatch, so any trace of an inference run carries them.
+    let native = counters.get("nn.fwd.flops.native").copied();
+    let simulated = counters.get("nn.fwd.flops.simulated").copied();
+    if native.is_some() || simulated.is_some() {
+        let native = native.unwrap_or(0.0);
+        let total = native + simulated.unwrap_or(0.0);
+        let pct = if total > 0.0 {
+            100.0 * native / total
+        } else {
+            0.0
+        };
+        out.push_str(&format!(
+            "  {:40} {pct:>15.1}%\n",
+            "fwd MACs on native fast path"
+        ));
+    }
     out.push_str("\ngauges:\n");
     if gauges.is_empty() {
         out.push_str("  (none)\n");
@@ -171,6 +189,32 @@ mod tests {
         assert!(text.contains("err"), "{text}");
         // Two "inner" calls aggregate into one row.
         assert_eq!(text.matches("inner").count(), 1, "{text}");
+    }
+
+    #[test]
+    fn derives_native_fast_path_fraction() {
+        let jsonl = "\
+{\"type\": \"meta\", \"schema\": \"qnn-trace/v1\"}\n\
+{\"type\": \"counter\", \"name\": \"nn.fwd.flops.native\", \"total\": 300}\n\
+{\"type\": \"counter\", \"name\": \"nn.fwd.flops.simulated\", \"total\": 100}";
+        let text = summarize(jsonl).unwrap();
+        assert!(text.contains("fwd MACs on native fast path"), "{text}");
+        assert!(text.contains("75.0%"), "{text}");
+
+        // One counter alone still yields the line (all-simulated run).
+        let sim_only = "\
+{\"type\": \"meta\", \"schema\": \"qnn-trace/v1\"}\n\
+{\"type\": \"counter\", \"name\": \"nn.fwd.flops.simulated\", \"total\": 100}";
+        let text = summarize(sim_only).unwrap();
+        assert!(text.contains("fwd MACs on native fast path"), "{text}");
+        assert!(text.contains("0.0%"), "{text}");
+
+        // No MAC counters at all: no derived line.
+        let unrelated = "\
+{\"type\": \"meta\", \"schema\": \"qnn-trace/v1\"}\n\
+{\"type\": \"counter\", \"name\": \"work.items\", \"total\": 7}";
+        let text = summarize(unrelated).unwrap();
+        assert!(!text.contains("fast path"), "{text}");
     }
 
     #[test]

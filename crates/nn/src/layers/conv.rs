@@ -1,8 +1,10 @@
-use qnn_tensor::conv::{conv2d_backward_with, conv2d_with, ConvScratch, Geometry};
+use qnn_tensor::conv::{conv2d_backward_with, conv2d_with, im2col_into, ConvScratch, Geometry};
+use qnn_tensor::gemm::gemm_nn;
 use qnn_tensor::{init, rng, Shape, Tensor};
 
 use crate::error::NnError;
 use crate::layers::{Layer, QuantizerHandle};
+use crate::native::{self, PlanCache};
 use crate::network::Mode;
 use crate::param::Param;
 
@@ -26,7 +28,11 @@ pub struct Conv2d {
     in_channels: usize,
     out_channels: usize,
     weight_q: Option<QuantizerHandle>,
+    input_q: Option<QuantizerHandle>,
     cache: Option<ConvCache>,
+    /// Packed-weight cache for the native quantized fast path, keyed on
+    /// the exact bits of the quantized weights.
+    plan: PlanCache,
     /// Per-layer im2col / gradient buffers, allocated once and reused by
     /// every forward/backward call (see [`ConvScratch`]).
     scratch: ConvScratch,
@@ -66,7 +72,9 @@ impl Conv2d {
             in_channels,
             out_channels,
             weight_q: None,
+            input_q: None,
             cache: None,
+            plan: PlanCache::default(),
             scratch: ConvScratch::new(),
         }
     }
@@ -89,6 +97,71 @@ impl Conv2d {
             None => self.weight.value.clone(),
         }
     }
+
+    /// The native quantized forward pass: per sample, im2col then the
+    /// integer kernels with the exactness certificate, falling back to the
+    /// same per-sample f32 GEMM [`conv2d_with`] runs when a sample's
+    /// activations fail the certificate. Returns `None` (and the caller
+    /// runs the simulated whole-batch path) when the layer's weights have
+    /// no packable plan or the input shape is unexpected.
+    ///
+    /// Both branches replicate the reference computation exactly — the
+    /// same im2col, the same GEMM semantics, the same per-channel bias add
+    /// in the same order — so the output is bit-identical to
+    /// [`conv2d_with`] regardless of which samples went native.
+    fn forward_native(&mut self, input: &Tensor, qw: &Tensor) -> Option<Tensor> {
+        let iq = self.input_q.as_ref()?;
+        let wq = self.weight_q.as_ref()?;
+        let codec = iq.bit_codec()?;
+        let shape = input.shape();
+        if shape.rank() != 4 || shape.dim(1) != self.in_channels {
+            return None;
+        }
+        let (n, c, h, w) = (shape.dim(0), shape.dim(1), shape.dim(2), shape.dim(3));
+        let (oh, ow) = self.geom.output_hw(h, w).ok()?;
+        let px = oh * ow;
+        let kdim = c * self.geom.kh * self.geom.kw;
+        let o = self.out_channels;
+        let plan = self.plan.plan_for(wq.as_ref(), o, kdim, qw.as_slice())?;
+        let sample_flops = (2 * o * px * kdim) as u64;
+        let mut cols = vec![0.0f32; kdim * px];
+        // The kernels put activations on the row side, so the native
+        // product lands transposed (px×o); `tmp` holds it per sample.
+        let mut tmp = vec![0.0f32; px * o];
+        let mut out = vec![0.0f32; n * o * px];
+        let bias = self.bias.value.as_slice();
+        let in_stride = c * h * w;
+        let (mut native_flops, mut simulated_flops) = (0u64, 0u64);
+        for s in 0..n {
+            let image = &input.as_slice()[s * in_stride..(s + 1) * in_stride];
+            im2col_into(image, c, h, w, self.geom, &mut cols).ok()?;
+            let dst = &mut out[s * o * px..(s + 1) * o * px];
+            if qnn_quant::packed::matmul_on_grid(&codec, &cols, px, kdim, true, plan, &mut tmp) {
+                for (oi, row) in dst.chunks_exact_mut(px).enumerate() {
+                    for (p, v) in row.iter_mut().enumerate() {
+                        *v = tmp[p * o + oi];
+                    }
+                }
+                native_flops += sample_flops;
+            } else {
+                gemm_nn(o, kdim, px, qw.as_slice(), &cols, dst);
+                simulated_flops += sample_flops;
+            }
+            for (oi, row) in dst.chunks_exact_mut(px).enumerate() {
+                let b = bias[oi];
+                for v in row {
+                    *v += b;
+                }
+            }
+        }
+        if native_flops > 0 {
+            qnn_trace::counter!(native::CTR_FLOPS_NATIVE, native_flops);
+        }
+        if simulated_flops > 0 {
+            qnn_trace::counter!(native::CTR_FLOPS_SIMULATED, simulated_flops);
+        }
+        Tensor::from_vec(Shape::d4(n, o, oh, ow), out).ok()
+    }
 }
 
 impl Layer for Conv2d {
@@ -98,7 +171,23 @@ impl Layer for Conv2d {
 
     fn forward(&mut self, input: &Tensor, mode: Mode) -> Result<Tensor, NnError> {
         let qw = self.effective_weight();
-        let out = conv2d_with(&mut self.scratch, input, &qw, &self.bias.value, self.geom)?;
+        let native_out = if mode == Mode::Eval && native::native_enabled() {
+            self.forward_native(input, &qw)
+        } else {
+            None
+        };
+        let out = match native_out {
+            Some(out) => out,
+            None => {
+                let out = conv2d_with(&mut self.scratch, input, &qw, &self.bias.value, self.geom)?;
+                let s = out.shape();
+                let px = s.dim(2) * s.dim(3);
+                let kdim = self.in_channels * self.geom.kh * self.geom.kw;
+                let flops = (2 * s.dim(0) * self.out_channels * px * kdim) as u64;
+                qnn_trace::counter!(native::CTR_FLOPS_SIMULATED, flops);
+                out
+            }
+        };
         if mode == Mode::Train {
             self.cache = Some(ConvCache {
                 input: input.clone(),
@@ -155,10 +244,15 @@ impl Layer for Conv2d {
 
     fn set_weight_quantizer(&mut self, q: Option<QuantizerHandle>) {
         self.weight_q = q;
+        self.plan.clear();
     }
 
     fn weight_quantizer(&self) -> Option<&QuantizerHandle> {
         self.weight_q.as_ref()
+    }
+
+    fn set_input_quantizer(&mut self, q: Option<QuantizerHandle>) {
+        self.input_q = q;
     }
 }
 

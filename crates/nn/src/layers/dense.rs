@@ -3,6 +3,7 @@ use qnn_tensor::{init, rng, Shape, Tensor};
 
 use crate::error::NnError;
 use crate::layers::{flatten_batch, Layer, QuantizerHandle};
+use crate::native::{self, PlanCache};
 use crate::network::Mode;
 use crate::param::Param;
 
@@ -20,7 +21,11 @@ pub struct Dense {
     in_features: usize,
     out_features: usize,
     weight_q: Option<QuantizerHandle>,
+    input_q: Option<QuantizerHandle>,
     cache: Option<DenseCache>,
+    /// Packed-weight cache for the native quantized fast path, keyed on
+    /// the exact bits of the quantized weights.
+    plan: PlanCache,
     /// Per-layer GEMM packing buffers, allocated once and reused by every
     /// forward/backward call.
     scratch: GemmScratch,
@@ -44,7 +49,9 @@ impl Dense {
             in_features,
             out_features,
             weight_q: None,
+            input_q: None,
             cache: None,
+            plan: PlanCache::default(),
             scratch: GemmScratch::default(),
         }
     }
@@ -91,15 +98,50 @@ impl Layer for Dense {
         // an NT product, so no transpose is ever materialised.
         let n = x.shape().dim(0);
         let mut out = vec![0.0f32; n * self.out_features];
-        gemm_nt_with(
-            &mut self.scratch,
-            n,
-            self.in_features,
-            self.out_features,
-            x.as_slice(),
-            qw.as_slice(),
-            &mut out,
-        );
+        let flops = (2 * n * self.in_features * self.out_features) as u64;
+        // Native quantized fast path (Eval only): runs the integer kernels
+        // when the exactness certificate guarantees bit-identity with the
+        // simulated GEMM below.
+        let went_native = mode == Mode::Eval
+            && native::native_enabled()
+            && match (&self.input_q, &self.weight_q) {
+                (Some(iq), Some(wq)) => {
+                    let codec = iq.bit_codec();
+                    let plan = self.plan.plan_for(
+                        wq.as_ref(),
+                        self.out_features,
+                        self.in_features,
+                        qw.as_slice(),
+                    );
+                    match (codec, plan) {
+                        (Some(codec), Some(plan)) => qnn_quant::packed::matmul_on_grid(
+                            &codec,
+                            x.as_slice(),
+                            n,
+                            self.in_features,
+                            false,
+                            plan,
+                            &mut out,
+                        ),
+                        _ => false,
+                    }
+                }
+                _ => false,
+            };
+        if went_native {
+            qnn_trace::counter!(native::CTR_FLOPS_NATIVE, flops);
+        } else {
+            qnn_trace::counter!(native::CTR_FLOPS_SIMULATED, flops);
+            gemm_nt_with(
+                &mut self.scratch,
+                n,
+                self.in_features,
+                self.out_features,
+                x.as_slice(),
+                qw.as_slice(),
+                &mut out,
+            );
+        }
         let b = self.bias.value.as_slice();
         for i in 0..n {
             for j in 0..self.out_features {
@@ -184,10 +226,15 @@ impl Layer for Dense {
 
     fn set_weight_quantizer(&mut self, q: Option<QuantizerHandle>) {
         self.weight_q = q;
+        self.plan.clear();
     }
 
     fn weight_quantizer(&self) -> Option<&QuantizerHandle> {
         self.weight_q.as_ref()
+    }
+
+    fn set_input_quantizer(&mut self, q: Option<QuantizerHandle>) {
+        self.input_q = q;
     }
 }
 

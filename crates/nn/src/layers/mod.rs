@@ -77,6 +77,13 @@ pub trait Layer: std::fmt::Debug + Send {
     fn weight_quantizer(&self) -> Option<&QuantizerHandle> {
         None
     }
+
+    /// Installs (or clears) the quantizer that produced this layer's
+    /// *input* activations — [`Network`](crate::Network) wires in the
+    /// activation quantizer of the preceding slot so Dense/Conv2d know the
+    /// input grid and can dispatch to the native quantized kernels. No-op
+    /// for layers without a fast path.
+    fn set_input_quantizer(&mut self, _q: Option<QuantizerHandle>) {}
 }
 
 /// Flattens a batch `(N, C, H, W)` (or passes through `(N, D)`) into

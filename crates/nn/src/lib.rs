@@ -37,6 +37,7 @@
 //! ```
 
 mod error;
+mod native;
 mod network;
 mod optim;
 mod param;
@@ -52,6 +53,7 @@ pub mod zoo;
 
 pub use checkpoint::TrainCheckpoint;
 pub use error::NnError;
+pub use native::{native_enabled, set_native};
 pub use network::{ActivationCalibration, Mode, Network};
 pub use optim::Sgd;
 pub use param::Param;

@@ -1,0 +1,151 @@
+//! Native low-precision fast-path dispatch for inference.
+//!
+//! When a layer's inputs and weights are both quantized to formats with a
+//! packable [`BitCodec`], the Eval-mode forward pass can skip the simulated
+//! f32 GEMM and run the integer kernels in `qnn_tensor::qgemm` instead:
+//! fixed-point i8/i16 multiply-accumulate, XNOR+popcount for binary×binary,
+//! and shift-add for power-of-two weights.
+//!
+//! **The fast path never changes results.** Dispatch goes through
+//! [`qnn_quant::packed::matmul_on_grid`], which is gated on the exactness
+//! certificate: the kernels run only when every product and partial sum is
+//! exactly representable in both the integer accumulator and f32, in which
+//! case the simulated path's f32 arithmetic is itself exact and the two
+//! agree bit for bit. Anything else — off-grid values, formats wider than
+//! 16 bits, non-power-of-two binary scales, certificate overflow — falls
+//! back to the simulated GEMM. The trace counters `nn.fwd.flops.native` /
+//! `nn.fwd.flops.simulated` record which path each layer's MACs took.
+//!
+//! The toggle: set `QNN_NATIVE=0` (or `off`/`false`) to disable dispatch
+//! globally, or call [`set_native`] at runtime (used by the equivalence
+//! tests to compare both paths in-process).
+
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::OnceLock;
+
+use qnn_quant::packed::PackedWeights;
+use qnn_quant::Quantizer;
+
+/// Trace counter: forward MAC flops executed by native integer kernels.
+pub(crate) const CTR_FLOPS_NATIVE: &str = "nn.fwd.flops.native";
+/// Trace counter: forward MAC flops executed by the simulated f32 path.
+pub(crate) const CTR_FLOPS_SIMULATED: &str = "nn.fwd.flops.simulated";
+
+/// Runtime override: 0 = none (env/default), 1 = force on, 2 = force off.
+static OVERRIDE: AtomicU8 = AtomicU8::new(0);
+
+fn env_default() -> bool {
+    static DEFAULT: OnceLock<bool> = OnceLock::new();
+    *DEFAULT.get_or_init(|| {
+        !matches!(
+            std::env::var("QNN_NATIVE").as_deref().map(str::trim),
+            Ok("0") | Ok("off") | Ok("false")
+        )
+    })
+}
+
+/// Overrides native dispatch at runtime: `Some(true)` forces it on,
+/// `Some(false)` forces it off, `None` restores the `QNN_NATIVE`
+/// environment default (enabled unless set to `0`/`off`/`false`).
+pub fn set_native(on: Option<bool>) {
+    let v = match on {
+        None => 0,
+        Some(true) => 1,
+        Some(false) => 2,
+    };
+    OVERRIDE.store(v, Ordering::Relaxed);
+}
+
+/// Whether layers may dispatch to the native quantized kernels.
+pub fn native_enabled() -> bool {
+    match OVERRIDE.load(Ordering::Relaxed) {
+        1 => true,
+        2 => false,
+        _ => env_default(),
+    }
+}
+
+/// Cached packed weights for one layer, invalidated by comparing the exact
+/// bit pattern of the quantized weights (and the quantizer's identity) —
+/// an SGD step, a swapped quantizer or an injected weight fault all change
+/// the bits and force a repack. `plan == None` caches "known unpackable"
+/// so hopeless formats don't re-run the packer every batch.
+#[derive(Debug, Default)]
+pub(crate) struct PlanCache {
+    src_bits: Vec<u32>,
+    quant_desc: String,
+    plan: Option<PackedWeights>,
+    populated: bool,
+}
+
+impl PlanCache {
+    /// Drops any cached plan (e.g. when the quantizer is replaced).
+    pub(crate) fn clear(&mut self) {
+        self.src_bits.clear();
+        self.quant_desc.clear();
+        self.plan = None;
+        self.populated = false;
+    }
+
+    /// The plan for quantized weights `qw` (`rows×cols` row-major) under
+    /// quantizer `q`, rebuilding the pack only when the bits changed.
+    pub(crate) fn plan_for(
+        &mut self,
+        q: &dyn Quantizer,
+        rows: usize,
+        cols: usize,
+        qw: &[f32],
+    ) -> Option<&PackedWeights> {
+        let desc = q.describe();
+        let fresh = self.populated
+            && self.quant_desc == desc
+            && self.src_bits.len() == qw.len()
+            && self
+                .src_bits
+                .iter()
+                .zip(qw.iter())
+                .all(|(&b, &v)| b == v.to_bits());
+        if !fresh {
+            self.src_bits.clear();
+            self.src_bits.extend(qw.iter().map(|v| v.to_bits()));
+            self.quant_desc = desc;
+            self.plan = q
+                .bit_codec()
+                .and_then(|codec| PackedWeights::pack(&codec, rows, cols, qw));
+            self.populated = true;
+        }
+        self.plan.as_ref()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qnn_quant::Fixed;
+    use std::sync::Arc;
+
+    #[test]
+    fn toggle_round_trips() {
+        set_native(Some(false));
+        assert!(!native_enabled());
+        set_native(Some(true));
+        assert!(native_enabled());
+        set_native(None);
+    }
+
+    #[test]
+    fn plan_cache_invalidates_on_bit_change() {
+        let f = Fixed::new(8, 4).unwrap();
+        let q: Arc<dyn Quantizer + Send + Sync> = Arc::new(f);
+        let mut cache = PlanCache::default();
+        let w = [0.5f32, -0.25, 1.0, 0.0];
+        assert!(cache.plan_for(q.as_ref(), 2, 2, &w).is_some());
+        // Same bits → cached plan survives.
+        assert!(cache.plan_for(q.as_ref(), 2, 2, &w).is_some());
+        // Changed bits → repack; off-grid value → plan gone.
+        let bad = [0.5f32, -0.25, 1.0, 0.1];
+        assert!(cache.plan_for(q.as_ref(), 2, 2, &bad).is_none());
+        // And recovers when bits return to the grid.
+        assert!(cache.plan_for(q.as_ref(), 2, 2, &w).is_some());
+    }
+}

@@ -355,6 +355,12 @@ impl Network {
                 }
             },
         }
+        // Tell each layer which quantizer produced its input (`act_q[i]`
+        // quantizes layer `i`'s input), so Dense/Conv2d can dispatch to the
+        // native integer kernels when the format and certificate allow.
+        for (i, layer) in self.layers.iter_mut().enumerate() {
+            layer.set_input_quantizer(self.act_q[i].clone());
+        }
         self.precision = Some(precision);
         Ok(())
     }
@@ -364,6 +370,7 @@ impl Network {
     pub fn clear_precision(&mut self) {
         for layer in &mut self.layers {
             layer.set_weight_quantizer(None);
+            layer.set_input_quantizer(None);
         }
         for slot in &mut self.act_q {
             *slot = None;

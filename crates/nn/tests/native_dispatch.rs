@@ -1,0 +1,177 @@
+//! End-to-end bit-identity tests for the native quantized fast path.
+//!
+//! The property suites in `qnn-quant` pin `matmul_on_grid` against a
+//! reference dot product; these tests pin the *whole* inference stack: a
+//! LeNet-style conv/pool/dense network under every Table III precision
+//! must produce bit-identical logits with native dispatch forced off and
+//! forced on, at 1 and 4 worker threads. A trace assertion then confirms
+//! the fast path actually runs for the narrow fixed formats (so the
+//! equality isn't vacuous), and a weight-mutation test confirms the packed
+//! plan cache notices changed bits.
+
+use qnn_nn::arch::NetworkSpec;
+use qnn_nn::{set_native, ActivationCalibration, Mode, Network};
+use qnn_quant::{calibrate::Method, Precision};
+use qnn_tensor::rng::{derive_seed, seeded};
+use qnn_tensor::{par, Shape, Tensor};
+
+/// Restores global toggles when a test body panics.
+struct Restore;
+impl Drop for Restore {
+    fn drop(&mut self) {
+        set_native(None);
+        par::set_threads(None);
+    }
+}
+
+fn lenet_spec() -> NetworkSpec {
+    NetworkSpec::new("lenet-8", (1, 8, 8))
+        .conv(6, 3, 1, 1)
+        .relu()
+        .max_pool(2, 2)
+        .conv(10, 3, 1, 1)
+        .relu()
+        .max_pool(2, 2)
+        .dense(3)
+}
+
+fn batch(n: usize, seed: u64) -> Tensor {
+    let mut r = seeded(seed);
+    let data: Vec<f32> = (0..n * 64).map(|_| r.gen_range(-1.0f32..1.0)).collect();
+    Tensor::from_vec(Shape::d4(n, 1, 8, 8), data).unwrap()
+}
+
+/// Forward `x` through a calibrated net twice — native forced off, then
+/// forced on — and assert the logits agree bit for bit.
+fn assert_paths_agree(net: &mut Network, x: &Tensor, ctx: &str) {
+    set_native(Some(false));
+    let simulated = net.forward(x, Mode::Eval).unwrap();
+    set_native(Some(true));
+    let native = net.forward(x, Mode::Eval).unwrap();
+    assert_eq!(simulated.shape(), native.shape(), "{ctx}: shape mismatch");
+    for (i, (a, b)) in simulated
+        .as_slice()
+        .iter()
+        .zip(native.as_slice().iter())
+        .enumerate()
+    {
+        assert_eq!(
+            a.to_bits(),
+            b.to_bits(),
+            "{ctx}: logit[{i}] simulated {a} != native {b}"
+        );
+    }
+}
+
+#[test]
+fn every_sweep_precision_is_bit_identical_across_paths() {
+    let _restore = Restore;
+    for precision in Precision::paper_sweep() {
+        for seed in 0..3u64 {
+            let mut net = Network::build(&lenet_spec(), derive_seed(0xd15, seed)).unwrap();
+            let calib = batch(8, derive_seed(0xca1, seed));
+            net.set_precision(
+                precision,
+                Method::MaxAbs,
+                &calib,
+                ActivationCalibration::PerLayer,
+            )
+            .unwrap();
+            let x = batch(4, derive_seed(0xe7a, seed));
+            for threads in [1usize, 4] {
+                par::set_threads(Some(threads));
+                assert_paths_agree(&mut net, &x, &format!("{precision} @ {threads}t"));
+            }
+        }
+    }
+}
+
+#[test]
+fn narrow_fixed_formats_actually_dispatch_native() {
+    // Bit equality alone would hold vacuously if the fast path never
+    // fired; the trace counters prove it carries real forward MACs.
+    let _restore = Restore;
+    par::set_threads(Some(1));
+    let mut net = Network::build(&lenet_spec(), 11).unwrap();
+    let calib = batch(8, 21);
+    net.set_precision(
+        Precision::fixed(4, 4),
+        Method::MaxAbs,
+        &calib,
+        ActivationCalibration::PerLayer,
+    )
+    .unwrap();
+    set_native(Some(true));
+    qnn_trace::start();
+    net.forward(&batch(4, 31), Mode::Eval).unwrap();
+    let trace = qnn_trace::stop();
+    let native = trace
+        .counters
+        .get("nn.fwd.flops.native")
+        .copied()
+        .unwrap_or(0);
+    assert!(
+        native > 0,
+        "fixed(4,4) inference must route MACs through the native kernels, got {:?}",
+        trace.counters
+    );
+}
+
+#[test]
+fn train_mode_and_cleared_precision_stay_simulated() {
+    let _restore = Restore;
+    let mut net = Network::build(&lenet_spec(), 13).unwrap();
+    let calib = batch(8, 23);
+    net.set_precision(
+        Precision::fixed(8, 8),
+        Method::MaxAbs,
+        &calib,
+        ActivationCalibration::PerLayer,
+    )
+    .unwrap();
+    set_native(Some(true));
+    // Train-mode forward must never take the native path (backward needs
+    // the simulated caches and STE semantics).
+    qnn_trace::start();
+    net.forward(&batch(2, 33), Mode::Train).unwrap();
+    let train_trace = qnn_trace::stop();
+    assert_eq!(
+        train_trace.counters.get("nn.fwd.flops.native"),
+        None,
+        "Train mode must not dispatch natively"
+    );
+    // A cleared network has no quantizers, so Eval stays simulated too.
+    net.clear_precision();
+    qnn_trace::start();
+    net.forward(&batch(2, 33), Mode::Eval).unwrap();
+    let clear_trace = qnn_trace::stop();
+    assert_eq!(
+        clear_trace.counters.get("nn.fwd.flops.native"),
+        None,
+        "full-precision inference must not dispatch natively"
+    );
+}
+
+#[test]
+fn weight_mutation_invalidates_packed_plans() {
+    // After loading different weights the cached packs must be rebuilt —
+    // both paths have to agree on the *new* weights, not the packed old
+    // ones. (Recalibration is not required for bit-identity: the packers
+    // re-verify the quantized weights on-grid either way.)
+    let _restore = Restore;
+    par::set_threads(Some(1));
+    let mut net = Network::build(&lenet_spec(), 17).unwrap();
+    let donor = Network::build(&lenet_spec(), 18).unwrap();
+    let calib = batch(8, 27);
+    net.set_precision(
+        Precision::fixed(4, 4),
+        Method::MaxAbs,
+        &calib,
+        ActivationCalibration::PerLayer,
+    )
+    .unwrap();
+    let x = batch(4, 37);
+    assert_paths_agree(&mut net, &x, "before mutation");
+    net.load_state(&donor.state_dict()).unwrap();
+    assert_paths_agree(&mut net, &x, "after mutation");
+}

@@ -15,6 +15,16 @@ pub enum RoundMode {
     Floor,
 }
 
+impl RoundMode {
+    /// Discriminant of [`RoundMode::NearestAway`] for const-generic encode
+    /// specialization (see [`Fixed::encode_f64_mode`]).
+    pub(crate) const AWAY: u8 = RoundMode::NearestAway as u8;
+    /// Discriminant of [`RoundMode::NearestEven`].
+    pub(crate) const EVEN: u8 = RoundMode::NearestEven as u8;
+    /// Discriminant of [`RoundMode::Floor`].
+    pub(crate) const FLOOR: u8 = RoundMode::Floor as u8;
+}
+
 /// Two's-complement fixed-point format: `word_bits` total bits with
 /// `frac_bits` of them after the radix point.
 ///
@@ -123,20 +133,93 @@ impl Fixed {
         -(1i64 << (self.word_bits - 1))
     }
 
+    /// `2^frac_bits` as f64 — the scale both [`encode`](Self::encode) and
+    /// [`decode`](Self::decode) apply. Exposed so batch loops (the packers)
+    /// can hoist the `exp2` libm call out of their per-element loop.
+    #[inline(always)]
+    pub(crate) fn scale_f64(&self) -> f64 {
+        (self.frac_bits as f64).exp2()
+    }
+
+    /// The saturated raw code as an *integral f64* — the encode kernel that
+    /// [`encode_with_scale`](Self::encode_with_scale) (and through it every
+    /// codec path) narrows to i64. The packers consume the f64 form
+    /// directly: AVX2 has no vectorized f64→i64 convert, so staying in f64
+    /// lets their hot loop vectorize, while `as i64` on the same value is
+    /// exact (the result is integral and within ±2^31).
+    #[inline(always)]
+    pub(crate) fn encode_f64_with_scale(&self, x: f32, scale: f64) -> f64 {
+        match self.round {
+            RoundMode::NearestAway => self.encode_f64_mode::<{ RoundMode::AWAY }>(x, scale),
+            RoundMode::NearestEven => self.encode_f64_mode::<{ RoundMode::EVEN }>(x, scale),
+            RoundMode::Floor => self.encode_f64_mode::<{ RoundMode::FLOOR }>(x, scale),
+        }
+    }
+
+    /// The encode kernel with the rounding mode lifted to a compile-time
+    /// constant (one of [`RoundMode::AWAY`]/[`RoundMode::EVEN`]/
+    /// [`RoundMode::FLOOR`], which must match `self.round`). Batch loops
+    /// monomorphize over `M` so their bodies contain no switch — a switch
+    /// in the loop is the one shape the auto-vectorizer refuses outright.
+    #[inline(always)]
+    pub(crate) fn encode_f64_mode<const M: u8>(&self, x: f32, scale: f64) -> f64 {
+        debug_assert_eq!(M, self.round as u8, "const mode must mirror self.round");
+        let scaled = x as f64 * scale;
+        let rounded = match M {
+            RoundMode::AWAY => scaled.round(),
+            RoundMode::EVEN => round_ties_even(scaled),
+            _ => scaled.floor(),
+        };
+        if rounded.is_nan() {
+            return 0.0;
+        }
+        // Clamping in f64 equals converting to i64 and clamping there:
+        // `rounded` is integral or ±∞, and both rails are exact in f64.
+        // `max().min()` rather than `clamp()`: for the non-NaN values that
+        // reach it they agree, but `clamp` carries a `min <= max` assert
+        // whose potential panic keeps the packers' loops from vectorizing.
+        // Adding +0.0 collapses a `-0.0` result to `+0.0`, matching the
+        // sign-less integer zero the i64 form produces (so a `-0.0` input
+        // still fails the packers' round-trip check).
+        rounded
+            .max(self.raw_min() as f64)
+            .min(self.raw_max() as f64)
+            + 0.0
+    }
+
+    /// [`encode`](Self::encode) with the `2^frac_bits` scale precomputed by
+    /// [`scale_f64`](Self::scale_f64); bit-identical to `encode`.
+    #[inline(always)]
+    pub(crate) fn encode_with_scale(&self, x: f32, scale: f64) -> i64 {
+        self.encode_f64_with_scale(x, scale) as i64
+    }
+
+    /// [`decode`](Self::decode) with the scale precomputed (and the range
+    /// assertion skipped — callers pass raws they just encoded).
+    #[inline(always)]
+    pub(crate) fn decode_with_scale(&self, raw: i64, scale: f64) -> f32 {
+        self.decode_f64_with_scale(raw as f64, scale)
+    }
+
+    /// [`decode_with_scale`](Self::decode_with_scale) on the integral-f64
+    /// raw form produced by
+    /// [`encode_f64_with_scale`](Self::encode_f64_with_scale).
+    #[inline(always)]
+    pub(crate) fn decode_f64_with_scale(&self, raw: f64, scale: f64) -> f32 {
+        // `scale` is an exact power of two well inside f64's normal range,
+        // so its reciprocal is exact and multiplying by it is bit-identical
+        // to dividing by it (both yield the exact product `raw · 2^-frac`,
+        // since a 32-bit raw times a power of two never rounds in f64) —
+        // but the multiply pipelines where `vdivpd` stalls, and the
+        // reciprocal hoists out of the packers' per-element loops.
+        (raw * scale.recip()) as f32
+    }
+
     /// Encodes a value into its raw two's-complement integer, saturating.
     ///
     /// `decode(encode(x))` equals `quantize_value(x)` exactly.
     pub fn encode(&self, x: f32) -> i64 {
-        let scaled = x as f64 * (self.frac_bits as f64).exp2();
-        let rounded = match self.round {
-            RoundMode::NearestAway => scaled.round(),
-            RoundMode::NearestEven => round_ties_even(scaled),
-            RoundMode::Floor => scaled.floor(),
-        };
-        if rounded.is_nan() {
-            return 0;
-        }
-        (rounded as i64).clamp(self.raw_min(), self.raw_max())
+        self.encode_with_scale(x, self.scale_f64())
     }
 
     /// Encodes with *stochastic rounding* (Gupta et al., "Deep Learning
@@ -182,7 +265,7 @@ impl Fixed {
             "raw code {raw} out of range for {}-bit word",
             self.word_bits
         );
-        (raw as f64 / (self.frac_bits as f64).exp2()) as f32
+        self.decode_with_scale(raw, self.scale_f64())
     }
 }
 

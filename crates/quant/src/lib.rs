@@ -50,6 +50,7 @@ mod precision;
 mod quantizer;
 
 pub mod calibrate;
+pub mod packed;
 pub mod ste;
 
 pub use binary::Binary;

@@ -1,0 +1,956 @@
+//! Packed integer representations and the exactness certificate behind the
+//! native low-precision fast path.
+//!
+//! The simulated path (`Quantizer::quantize` + f32 GEMM) is the semantic
+//! reference for every artifact in this repo, so the native kernels in
+//! `qnn_tensor::qgemm` may only be used when they provably produce the
+//! **same f32 bits**. This module supplies the three pieces that make that
+//! a theorem rather than a hope:
+//!
+//! 1. **Packers** that re-encode quantized f32 tensors into integer words
+//!    *through [`BitCodec`]* — the same encode/decode the fault injectors
+//!    use — and verify round-trip bit-identity per element. A value that is
+//!    not exactly on the format grid (or a format too wide to pack) makes
+//!    the packer return `None`, and the caller falls back to the simulated
+//!    path. No drift between fault encoding and kernel encoding is possible
+//!    because there is only one encoding.
+//! 2. **The certificate** [`dot_exact`]: native dispatch fires only when
+//!    every product and partial sum of the dot is exactly representable in
+//!    both the integer accumulator and f32. Then the sequential f32 dot the
+//!    simulated path computes *is* the integer dot times the scale, bit for
+//!    bit — see the function docs for the argument.
+//! 3. **Requantizers** that convert the integer accumulators back to f32
+//!    exactly (a single multiply by a power of two per element).
+//!
+//! All packed layouts are row-major with `k` (the reduction dimension)
+//! contiguous, matching the NT kernels in `qnn_tensor::qgemm`.
+
+use crate::{Binary, BitCodec, Fixed, PowerOfTwo, RoundMode};
+use qnn_tensor::qgemm;
+
+/// Trace counter: requantize (integer accumulator → f32) passes.
+const CTR_REQUANT: &str = "quant.requantize.calls";
+
+/// True when the AVX2 clones of the packing loops may run on this CPU.
+/// Mirrors the dispatch in `qnn_tensor::qgemm`: this crate targets baseline
+/// x86-64, so vector widths beyond SSE2 are only reachable through
+/// `#[target_feature]` wrappers selected at runtime. Both instantiations
+/// compile the *same* element-wise body, so results are bit-identical.
+#[cfg(target_arch = "x86_64")]
+fn simd_ok() -> bool {
+    static OK: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *OK.get_or_init(|| std::arch::is_x86_feature_detected!("avx2"))
+}
+
+/// Runtime-dispatched call of an `#[inline(always)]` loop body: through its
+/// AVX2 `#[target_feature]` clone when the CPU allows, else the plain
+/// instantiation.
+macro_rules! dispatch {
+    ($body:ident, $avx2:ident, ($($arg:expr),*)) => {{
+        #[cfg(target_arch = "x86_64")]
+        {
+            if simd_ok() {
+                // SAFETY: `simd_ok` verified AVX2 on this CPU, the only
+                // precondition of the target_feature wrapper.
+                unsafe { $avx2($($arg),*) }
+            } else {
+                $body($($arg),*)
+            }
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        {
+            $body($($arg),*)
+        }
+    }};
+}
+
+/// Declares the AVX2 clone of a loop body.
+macro_rules! avx2_clone {
+    ($name:ident = $body:ident ( $($arg:ident : $ty:ty),* ) -> $ret:ty) => {
+        #[cfg(target_arch = "x86_64")]
+        #[target_feature(enable = "avx2")]
+        unsafe fn $name($($arg: $ty),*) -> $ret {
+            $body($($arg),*)
+        }
+    };
+}
+
+/// The exponent `e` such that `s == 2^e` exactly, if `s` is a positive
+/// normal power of two. Binary scales that are not powers of two (e.g. the
+/// calibrated mean-|w| scale) make the fast path inexact, so they return
+/// `None` and the caller falls back.
+pub fn pow2_scale_exp(s: f32) -> Option<i32> {
+    let bits = s.to_bits();
+    let exp = (bits >> 23) & 0xff;
+    let mantissa = bits & 0x7f_ffff;
+    if s > 0.0 && mantissa == 0 && exp != 0 && exp != 0xff {
+        Some(exp as i32 - 127)
+    } else {
+        None
+    }
+}
+
+/// The exactness certificate: may a dot product of length `k` between
+/// integer raws bounded by `max_a_raw`/`max_w_raw`, whose value is
+/// `S · 2^lsb_exp`, run natively and still match the simulated f32 path
+/// bit for bit?
+///
+/// Requires `max_a_raw · max_w_raw · k <= 2^24` and `-149 <= lsb_exp <= 103`.
+/// Under those bounds:
+///
+/// * every product and every partial sum is an integer `S_j` with
+///   `|S_j| <= 2^24`, so the i32 accumulator cannot overflow — not even
+///   reassociated SIMD partials, since the bound is on `Σ|products|`;
+/// * every intermediate value `S_j · 2^lsb_exp` is exactly representable
+///   in f32: its significand fits 24 bits, its least bit `2^lsb_exp` is on
+///   or above the subnormal grid (`lsb_exp >= -149`), and its magnitude is
+///   at most `2^24 · 2^103 = 2^127 < f32::MAX`;
+/// * IEEE-754 multiplies and adds are correctly rounded, so when the true
+///   result is representable they return it exactly.
+///
+/// Hence the simulated path's sequential f32 dot equals the integer dot
+/// scaled by `2^lsb_exp` — which is exactly what [`requantize_i32`]
+/// computes — and the two paths agree bit for bit.
+pub fn dot_exact(max_a_raw: i64, max_w_raw: i64, k: usize, lsb_exp: i32) -> bool {
+    if !(-149..=103).contains(&lsb_exp) || max_a_raw < 0 || max_w_raw < 0 {
+        return false;
+    }
+    let Ok(k) = i64::try_from(k) else {
+        return false;
+    };
+    max_a_raw
+        .checked_mul(max_w_raw)
+        .and_then(|p| p.checked_mul(k))
+        .is_some_and(|total| total <= 1 << 24)
+}
+
+/// Converts i32 accumulators to f32 by scaling with `2^lsb_exp`. Exact
+/// under the [`dot_exact`] certificate: the product is computed in f64
+/// (24-bit significand × exact power of two) and narrowed to an f32 that
+/// represents it exactly.
+pub fn requantize_i32(acc: &[i32], lsb_exp: i32, out: &mut [f32]) {
+    let step = (lsb_exp as f64).exp2();
+    dispatch!(requant_body, requant_avx2, (acc, step, out));
+    qnn_trace::counter!(CTR_REQUANT, 1);
+}
+
+#[inline(always)]
+fn requant_body(acc: &[i32], step: f64, out: &mut [f32]) {
+    for (o, &s) in out.iter_mut().zip(acc.iter()) {
+        *o = (s as f64 * step) as f32;
+    }
+}
+avx2_clone!(requant_avx2 = requant_body(acc: &[i32], step: f64, out: &mut [f32]) -> ());
+
+/// [`requantize_i32`] for the i64 accumulators of the pow2 kernel.
+pub fn requantize_i64(acc: &[i64], lsb_exp: i32, out: &mut [f32]) {
+    let step = (lsb_exp as f64).exp2();
+    for (o, &s) in out.iter_mut().zip(acc.iter()) {
+        *o = (s as f64 * step) as f32;
+    }
+    qnn_trace::counter!(CTR_REQUANT, 1);
+}
+
+/// Encodes one value through `codec` and demands exact round-trip: the
+/// stored word must decode back to the *same bits*. Off-grid values (and
+/// `-0.0`, which no codec produces) yield `None`.
+#[inline]
+fn encode_on_grid(codec: &BitCodec, x: f32) -> Option<u64> {
+    let bits = codec.encode_bits(x);
+    if codec.decode_bits(bits).to_bits() == x.to_bits() {
+        Some(bits)
+    } else {
+        None
+    }
+}
+
+/// A fixed-point tensor packed as two's-complement i16 raws (the widest
+/// packable fixed format is 16 bits). Narrower formats use the same i16
+/// words: the `vpmaddwd`-shaped i16 kernel outruns a dedicated i8 kernel,
+/// so a second storage width would only add packing cost.
+#[derive(Debug, Clone)]
+pub struct PackedFixed {
+    rows: usize,
+    cols: usize,
+    frac_bits: i32,
+    max_abs_raw: i64,
+    words16: Vec<i16>,
+}
+
+impl PackedFixed {
+    /// Packs a `rows×cols` row-major tensor of values already on the grid
+    /// of `format`. Returns `None` if the format is wider than 16 bits or
+    /// any value fails the round-trip check.
+    pub fn pack(format: &Fixed, rows: usize, cols: usize, data: &[f32]) -> Option<Self> {
+        Self::pack_with(format, rows, cols, data, false)
+    }
+
+    /// Packs the **transpose** of a `rows×cols` row-major tensor: packed
+    /// row `j` holds source column `j`. Used for im2col patch matrices,
+    /// whose reduction dimension is the *row* index.
+    pub fn pack_transposed(format: &Fixed, rows: usize, cols: usize, data: &[f32]) -> Option<Self> {
+        Self::pack_with(format, rows, cols, data, true)
+    }
+
+    fn pack_with(
+        format: &Fixed,
+        rows: usize,
+        cols: usize,
+        data: &[f32],
+        transpose: bool,
+    ) -> Option<Self> {
+        assert_eq!(data.len(), rows * cols, "packed tensor shape mismatch");
+        let width = format.word_bits();
+        if width > 16 {
+            return None;
+        }
+        let (prows, pcols) = if transpose {
+            (cols, rows)
+        } else {
+            (rows, cols)
+        };
+        let mut words16 = vec![0i16; data.len()];
+        // The loop bodies below do a per-element encode + round-trip check
+        // through `encode_f64_with_scale` / `decode_f64_with_scale` — the
+        // very kernels `BitCodec::Fixed`'s encode/decode narrow to i64, so
+        // this is still the single fault-codec encoding (see
+        // `packers_share_the_fault_codec`). The format's 2^frac scale is
+        // hoisted here so the `exp2` libm call runs once, not per element.
+        // One switch-free monomorphization of the loops per rounding mode —
+        // a switch inside the loop body is the one control-flow shape the
+        // auto-vectorizer rejects outright (see `Fixed::encode_f64_mode`).
+        let scale = format.scale_f64();
+        let off_grid = match format.round_mode() {
+            RoundMode::NearestAway => run_pack::<{ RoundMode::AWAY }>(
+                format,
+                scale,
+                cols,
+                pcols,
+                data,
+                &mut words16,
+                transpose,
+            ),
+            RoundMode::NearestEven => run_pack::<{ RoundMode::EVEN }>(
+                format,
+                scale,
+                cols,
+                pcols,
+                data,
+                &mut words16,
+                transpose,
+            ),
+            RoundMode::Floor => run_pack::<{ RoundMode::FLOOR }>(
+                format,
+                scale,
+                cols,
+                pcols,
+                data,
+                &mut words16,
+                transpose,
+            ),
+        };
+        if off_grid {
+            return None;
+        }
+        let max_abs_raw = words16
+            .iter()
+            .map(|&w| (w as i32).unsigned_abs())
+            .max()
+            .unwrap_or(0) as i64;
+        Some(PackedFixed {
+            rows: prows,
+            cols: pcols,
+            frac_bits: format.frac_bits(),
+            max_abs_raw,
+            words16,
+        })
+    }
+
+    /// Builds the ±1 fixed-point view of a sign tensor: raw `+1` or `-1`
+    /// with `frac_bits = -scale_exp`, so a binary weight `±2^scale_exp`
+    /// participates in the fixed-point kernels unchanged.
+    fn from_signs(rows: usize, cols: usize, signs: &[bool], scale_exp: i32) -> Self {
+        let words16: Vec<i16> = signs.iter().map(|&neg| if neg { -1 } else { 1 }).collect();
+        PackedFixed {
+            rows,
+            cols,
+            frac_bits: -scale_exp,
+            max_abs_raw: 1,
+            words16,
+        }
+    }
+
+    /// Packed row count (the reduction dimension is [`Self::cols`]).
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Packed column count — the length of each contiguous dot operand.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Fractional bits of the packed format: a raw `r` means `r · 2^-frac`.
+    pub fn frac_bits(&self) -> i32 {
+        self.frac_bits
+    }
+
+    /// Largest `|raw|` actually present — the certificate's operand bound.
+    pub fn max_abs_raw(&self) -> i64 {
+        self.max_abs_raw
+    }
+
+    /// The i16 words, row-major.
+    pub fn words16(&self) -> &[i16] {
+        &self.words16
+    }
+}
+
+/// Runtime-dispatched fixed-point pack loop, monomorphized over the
+/// rounding mode `M` (see [`Fixed::encode_f64_mode`]): through the AVX2
+/// `#[target_feature]` clone when the CPU allows, else the plain
+/// instantiation of the identical body.
+#[allow(clippy::too_many_arguments)]
+fn run_pack<const M: u8>(
+    format: &Fixed,
+    scale: f64,
+    cols: usize,
+    pcols: usize,
+    data: &[f32],
+    words: &mut [i16],
+    transpose: bool,
+) -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if simd_ok() {
+            // SAFETY: `simd_ok` verified AVX2 on this CPU, the only
+            // precondition of the target_feature wrapper.
+            unsafe { pack_avx2::<M>(format, scale, cols, pcols, data, words, transpose) }
+        } else {
+            pack_body::<M>(format, scale, cols, pcols, data, words, transpose)
+        }
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        pack_body::<M>(format, scale, cols, pcols, data, words, transpose)
+    }
+}
+
+/// Fixed-point pack loop: encode each value, fold round-trip failures into
+/// the returned flag (no early exit — a data-dependent branch would defeat
+/// vectorization), store the i16 word. The raw stays in its integral-f64
+/// form throughout: AVX2 has no vectorized f64→i64 convert, while f64→i16
+/// lowers through `vcvttpd2dq`. The max-|raw| reduction happens in a
+/// separate pass over the words so the only loop-carried state here is the
+/// or-flag. With `transpose`, packed row `j` is source column `j` of the
+/// `cols`-wide row-major `data`: the writes stay linear and the strided
+/// reads are the price of the im2col layout.
+#[allow(clippy::too_many_arguments)]
+#[inline(always)]
+fn pack_body<const M: u8>(
+    format: &Fixed,
+    scale: f64,
+    cols: usize,
+    pcols: usize,
+    data: &[f32],
+    words: &mut [i16],
+    transpose: bool,
+) -> bool {
+    let mut off_grid = false;
+    if transpose {
+        for (pr, w_row) in words.chunks_exact_mut(pcols).enumerate() {
+            for (pc, w) in w_row.iter_mut().enumerate() {
+                let x = data[pc * cols + pr];
+                let raw = format.encode_f64_mode::<M>(x, scale);
+                off_grid |= format.decode_f64_with_scale(raw, scale).to_bits() != x.to_bits();
+                *w = raw as i16;
+            }
+        }
+    } else {
+        for (w, &x) in words.iter_mut().zip(data) {
+            let raw = format.encode_f64_mode::<M>(x, scale);
+            off_grid |= format.decode_f64_with_scale(raw, scale).to_bits() != x.to_bits();
+            *w = raw as i16;
+        }
+    }
+    off_grid
+}
+
+/// The AVX2 clone of [`pack_body`].
+#[allow(clippy::too_many_arguments)]
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn pack_avx2<const M: u8>(
+    format: &Fixed,
+    scale: f64,
+    cols: usize,
+    pcols: usize,
+    data: &[f32],
+    words: &mut [i16],
+    transpose: bool,
+) -> bool {
+    pack_body::<M>(format, scale, cols, pcols, data, words, transpose)
+}
+
+/// A binary (±scale) tensor packed both as XNOR sign planes and as ±1
+/// fixed-point words, so it can meet either a binary or a fixed-point
+/// opposite operand. Only power-of-two scales pack (see [`pow2_scale_exp`]).
+#[derive(Debug, Clone)]
+pub struct PackedBinary {
+    rows: usize,
+    cols: usize,
+    words_per_row: usize,
+    scale_exp: i32,
+    planes: Vec<u64>,
+    as_fixed: PackedFixed,
+}
+
+impl PackedBinary {
+    /// Packs a `rows×cols` row-major tensor of values that are exactly
+    /// `±scale` with `scale = 2^e`. Returns `None` for non-power-of-two
+    /// scales or off-grid values.
+    pub fn pack(format: &Binary, rows: usize, cols: usize, data: &[f32]) -> Option<Self> {
+        assert_eq!(data.len(), rows * cols, "packed tensor shape mismatch");
+        let scale_exp = pow2_scale_exp(format.scale())?;
+        // On-grid for a binary codec means bit-equal to `+scale` or
+        // `-scale` (the only two values `BitCodec::Binary` can decode);
+        // comparing bit patterns directly is the same check as the
+        // encode/decode round trip without the per-element calls.
+        let pos_bits = format.scale().to_bits();
+        let neg_bits = (-format.scale()).to_bits();
+        let mut signs = Vec::with_capacity(data.len());
+        for &x in data {
+            let bits = x.to_bits();
+            if bits == neg_bits {
+                signs.push(true);
+            } else if bits == pos_bits {
+                signs.push(false);
+            } else {
+                return None;
+            }
+        }
+        let words_per_row = cols.div_ceil(64);
+        let mut planes = vec![0u64; rows * words_per_row];
+        for (r, row) in signs.chunks_exact(cols.max(1)).enumerate().take(rows) {
+            qnn_tensor::qgemm::pack_sign_row(
+                row.iter().copied(),
+                &mut planes[r * words_per_row..(r + 1) * words_per_row],
+            );
+        }
+        let as_fixed = PackedFixed::from_signs(rows, cols, &signs, scale_exp);
+        Some(PackedBinary {
+            rows,
+            cols,
+            words_per_row,
+            scale_exp,
+            planes,
+            as_fixed,
+        })
+    }
+
+    /// Packed row count.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Elements per row (sign bits used per plane row).
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `u64` words per plane row.
+    pub fn words_per_row(&self) -> usize {
+        self.words_per_row
+    }
+
+    /// The scale exponent: values are `±2^scale_exp`.
+    pub fn scale_exp(&self) -> i32 {
+        self.scale_exp
+    }
+
+    /// The packed sign planes, row-major (1 = negative).
+    pub fn planes(&self) -> &[u64] {
+        &self.planes
+    }
+
+    /// The ±1 fixed-point view for mixed binary×fixed dispatch.
+    pub fn as_fixed(&self) -> &PackedFixed {
+        &self.as_fixed
+    }
+}
+
+/// A power-of-two weight tensor packed as relative exponent codes for the
+/// shift-add kernel: code `0` is a zero weight, `±q` is `±2^(q-1)` in units
+/// of `2^emin_used`.
+#[derive(Debug, Clone)]
+pub struct PackedPow2 {
+    rows: usize,
+    cols: usize,
+    emin_used: i32,
+    max_w_raw: i64,
+    codes: Vec<i8>,
+    words16: Option<Vec<i16>>,
+}
+
+impl PackedPow2 {
+    /// Packs a `rows×cols` row-major tensor of values on the grid of
+    /// `format`. Returns `None` if any value fails the round-trip check or
+    /// the used exponent span exceeds the kernel's shift budget (31).
+    pub fn pack(format: &PowerOfTwo, rows: usize, cols: usize, data: &[f32]) -> Option<Self> {
+        assert_eq!(data.len(), rows * cols, "packed tensor shape mismatch");
+        let codec = BitCodec::PowerOfTwo(*format);
+        let width = codec.width();
+        // First pass: validate and find the used exponent window.
+        let mut raws = Vec::with_capacity(data.len());
+        let mut emin_used = i32::MAX;
+        let mut emax_used = i32::MIN;
+        for &x in data {
+            let bits = encode_on_grid(&codec, x)?;
+            let sign = (bits >> (width - 1)) & 1 == 1;
+            let code = (bits & ((1u64 << (width - 1)) - 1)) as u32;
+            if code != 0 {
+                let e = format.min_exp() + code as i32 - 1;
+                emin_used = emin_used.min(e);
+                emax_used = emax_used.max(e);
+            }
+            raws.push((sign, code));
+        }
+        if emin_used > emax_used {
+            // All-zero tensor: any unit works, every code is 0.
+            emin_used = 0;
+            emax_used = 0;
+        }
+        let span = emax_used - emin_used;
+        if span > 31 {
+            return None;
+        }
+        let codes: Vec<i8> = raws
+            .into_iter()
+            .map(|(sign, code)| {
+                if code == 0 {
+                    0i8
+                } else {
+                    let q = (format.min_exp() + code as i32 - 1 - emin_used + 1) as i8;
+                    if sign {
+                        -q
+                    } else {
+                        q
+                    }
+                }
+            })
+            .collect();
+        let max_w_raw = if span == 0 && emin_used == 0 && emax_used == 0 {
+            // Either all-zero or genuinely single-exponent at e=0; 2^span
+            // is correct for both (zero tensor gives a zero dot anyway).
+            1
+        } else {
+            1i64 << span
+        };
+        // When every weight magnitude fits an i16 (span ≤ 14), also
+        // materialize the codes as plain fixed-point raws `±2^(q-1)`: the
+        // same integers the shift-add kernel would produce on the fly, but
+        // eligible for the far faster `vpmaddwd` i16 kernel. The 2^24
+        // certificate caps `acts·2^span·k`, so realistic dispatches satisfy
+        // this and the shift-add kernel serves only the wide-span tail.
+        let words16 = (span <= 14).then(|| {
+            codes
+                .iter()
+                .map(|&q| {
+                    let mag = 1i32 << (q.unsigned_abs().wrapping_sub(1) & 31);
+                    (if q == 0 {
+                        0
+                    } else if q < 0 {
+                        -mag
+                    } else {
+                        mag
+                    }) as i16
+                })
+                .collect()
+        });
+        Some(PackedPow2 {
+            rows,
+            cols,
+            emin_used,
+            max_w_raw,
+            codes,
+            words16,
+        })
+    }
+
+    /// Packed row count.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Elements per row.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// The exponent of the code unit: a code `±q` means `±2^(q-1+emin_used)`.
+    pub fn emin_used(&self) -> i32 {
+        self.emin_used
+    }
+
+    /// Largest weight magnitude in units of `2^emin_used` (`2^span`) — the
+    /// certificate's weight bound.
+    pub fn max_w_raw(&self) -> i64 {
+        self.max_w_raw
+    }
+
+    /// The relative exponent codes, row-major.
+    pub fn codes(&self) -> &[i8] {
+        &self.codes
+    }
+
+    /// The codes materialized as fixed-point raws `±2^(q-1)` in units of
+    /// `2^emin_used`, when the span fits an i16 word (span ≤ 14).
+    pub fn words16(&self) -> Option<&[i16]> {
+        self.words16.as_deref()
+    }
+}
+
+/// A weight tensor packed for the native kernels in one of the three
+/// packed forms. Rows are output units; `cols` is the reduction length.
+#[derive(Debug, Clone)]
+pub enum PackedWeights {
+    /// Two's-complement fixed-point raws (16 bits or narrower).
+    Fixed(PackedFixed),
+    /// Binary ±2^e weights: sign planes plus a ±1 fixed view.
+    Binary(PackedBinary),
+    /// Power-of-two weights as relative exponent codes.
+    Pow2(PackedPow2),
+}
+
+impl PackedWeights {
+    /// Packs quantized weights under their codec. `None` when the codec
+    /// has no packed form (float32, minifloat, wide fixed) or any value
+    /// fails the on-grid round trip.
+    pub fn pack(codec: &BitCodec, rows: usize, cols: usize, data: &[f32]) -> Option<Self> {
+        match codec {
+            BitCodec::Fixed(f) => PackedFixed::pack(f, rows, cols, data).map(PackedWeights::Fixed),
+            BitCodec::Binary(b) => {
+                PackedBinary::pack(b, rows, cols, data).map(PackedWeights::Binary)
+            }
+            BitCodec::PowerOfTwo(p) => {
+                PackedPow2::pack(p, rows, cols, data).map(PackedWeights::Pow2)
+            }
+            _ => None,
+        }
+    }
+
+    /// Output-unit (row) count.
+    pub fn rows(&self) -> usize {
+        match self {
+            PackedWeights::Fixed(p) => p.rows(),
+            PackedWeights::Binary(p) => p.rows(),
+            PackedWeights::Pow2(p) => p.rows(),
+        }
+    }
+
+    /// Reduction length each row dots against.
+    pub fn cols(&self) -> usize {
+        match self {
+            PackedWeights::Fixed(p) => p.cols(),
+            PackedWeights::Binary(p) => p.cols(),
+            PackedWeights::Pow2(p) => p.cols(),
+        }
+    }
+}
+
+/// Conservative upper bound on the raw magnitude the activations will
+/// encode to — `min(ceil(max|x|·2^frac)+1, 2^(w-1))` — computed without
+/// encoding, so a certificate that cannot pass (e.g. fixed16 at realistic
+/// reduction lengths) is rejected before any packing work is spent.
+fn acts_raw_bound(f: &Fixed, acts: &[f32]) -> i64 {
+    // Eight independent accumulators so the reduction vectorizes (a single
+    // running max is a loop-carried dependency the compiler must honor).
+    let mut lanes = [0.0f32; 8];
+    let mut chunks = acts.chunks_exact(8);
+    for c in &mut chunks {
+        for (m, &v) in lanes.iter_mut().zip(c) {
+            *m = m.max(v.abs());
+        }
+    }
+    let mut max = 0.0f32;
+    for &v in chunks.remainder() {
+        max = max.max(v.abs());
+    }
+    for m in lanes {
+        max = max.max(m);
+    }
+    let rail = 1i64 << (f.word_bits() - 1);
+    let est = (max as f64 * (f.frac_bits() as f64).exp2()).ceil() + 1.0;
+    if est >= rail as f64 {
+        rail
+    } else {
+        est as i64
+    }
+}
+
+fn pack_fixed_acts(
+    f: &Fixed,
+    acts: &[f32],
+    m: usize,
+    k: usize,
+    transposed: bool,
+) -> Option<PackedFixed> {
+    if transposed {
+        PackedFixed::pack_transposed(f, k, m, acts)
+    } else {
+        PackedFixed::pack(f, m, k, acts)
+    }
+}
+
+fn fixed_times_fixed(
+    f: &Fixed,
+    acts: &[f32],
+    m: usize,
+    k: usize,
+    transposed: bool,
+    pw: &PackedFixed,
+    out: &mut [f32],
+) -> bool {
+    let n = pw.rows();
+    let lsb = -(f.frac_bits() + pw.frac_bits());
+    if !dot_exact(acts_raw_bound(f, acts), pw.max_abs_raw(), k, lsb) {
+        return false;
+    }
+    let Some(pa) = pack_fixed_acts(f, acts, m, k, transposed) else {
+        return false;
+    };
+    let mut acc = vec![0i32; m * n];
+    // The i16 kernel is the faster of the two on x86-64 (its widening dot
+    // compiles to `vpmaddwd`, 16 MACs per instruction, which the i8 kernel's
+    // sign-extension-heavy codegen never reaches), so it serves both widths;
+    // integer arithmetic makes the choice invisible to results.
+    qgemm::gemm_nt_i16(m, k, n, pa.words16(), pw.words16(), &mut acc);
+    requantize_i32(&acc, lsb, out);
+    true
+}
+
+/// Packs binary activations (`±scale` only) straight into XNOR sign
+/// planes — the act side of the fully-binarized arm needs neither the ±1
+/// fixed view nor a `PackedBinary`, and skipping both keeps the per-batch
+/// cost at one bit test per element.
+fn pack_act_planes(b: &Binary, m: usize, k: usize, acts: &[f32]) -> Option<Vec<u64>> {
+    let words = k.div_ceil(64);
+    let mut planes = vec![0u64; m * words];
+    let pos_bits = b.scale().to_bits();
+    let neg_bits = (-b.scale()).to_bits();
+    for (r, row) in acts.chunks_exact(k.max(1)).enumerate().take(m) {
+        let dst = &mut planes[r * words..(r + 1) * words];
+        for (i, &x) in row.iter().enumerate() {
+            let bits = x.to_bits();
+            if bits == neg_bits {
+                dst[i / 64] |= 1u64 << (i % 64);
+            } else if bits != pos_bits {
+                return None;
+            }
+        }
+    }
+    Some(planes)
+}
+
+/// Computes `out[i·n + j] = dot(acts_row_i, weight_row_j)` on the native
+/// kernels, **bit-identical** to the simulated sequential-f32 product, or
+/// returns `false` leaving `out` unspecified (caller must fall back).
+///
+/// `acts` is the already-quantized activation slice: `m×k` row-major, or
+/// `k×m` when `acts_transposed` (the im2col patch layout — either way the
+/// reduction dimension is packed contiguous). `act_codec` is the codec of
+/// the quantizer that produced it. Dispatch fires only when [`dot_exact`]
+/// certifies the whole computation; everything else — off-grid values,
+/// unpackable formats, non-power-of-two binary activation scales —
+/// returns `false`.
+pub fn matmul_on_grid(
+    act_codec: &BitCodec,
+    acts: &[f32],
+    m: usize,
+    k: usize,
+    acts_transposed: bool,
+    plan: &PackedWeights,
+    out: &mut [f32],
+) -> bool {
+    let n = plan.rows();
+    if plan.cols() != k || out.len() != m * n || acts.len() != m * k {
+        return false;
+    }
+    match (act_codec, plan) {
+        (BitCodec::Fixed(f), PackedWeights::Fixed(pw)) => {
+            fixed_times_fixed(f, acts, m, k, acts_transposed, pw, out)
+        }
+        (BitCodec::Fixed(f), PackedWeights::Binary(pb)) => {
+            fixed_times_fixed(f, acts, m, k, acts_transposed, pb.as_fixed(), out)
+        }
+        (BitCodec::Fixed(f), PackedWeights::Pow2(pp)) => {
+            let lsb = pp.emin_used() - f.frac_bits();
+            if !dot_exact(acts_raw_bound(f, acts), pp.max_w_raw(), k, lsb) {
+                return false;
+            }
+            let Some(pa) = pack_fixed_acts(f, acts, m, k, acts_transposed) else {
+                return false;
+            };
+            let mut acc = vec![0i32; m * n];
+            // Same integers either way (the i16 view is the shift-add
+            // result precomputed per weight), so the choice is purely a
+            // throughput one: `vpmaddwd` when the span fits i16, the
+            // shift-add kernel for the wide-span tail.
+            match pp.words16() {
+                Some(w16) => qgemm::gemm_nt_i16(m, k, n, pa.words16(), w16, &mut acc),
+                None => qgemm::gemm_nt_pow2(m, k, n, pa.words16(), pp.codes(), &mut acc),
+            }
+            requantize_i32(&acc, lsb, out);
+            true
+        }
+        (BitCodec::Binary(ab), PackedWeights::Binary(pb)) => {
+            // Binary activations only pack row-major (there is no
+            // transposed sign packer); the im2col path falls back, which
+            // the paper's sweeps never hit (binary uses fixed16 acts).
+            if acts_transposed {
+                return false;
+            }
+            let Some(ea) = pow2_scale_exp(ab.scale()) else {
+                return false;
+            };
+            let lsb = ea + pb.scale_exp();
+            if !dot_exact(1, 1, k, lsb) {
+                return false;
+            }
+            let Some(planes) = pack_act_planes(ab, m, k, acts) else {
+                return false;
+            };
+            let mut acc = vec![0i32; m * n];
+            qgemm::gemm_nt_xnor(m, k, n, &planes, pb.planes(), &mut acc);
+            requantize_i32(&acc, lsb, out);
+            true
+        }
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pow2_scale_exp_accepts_only_powers_of_two() {
+        assert_eq!(pow2_scale_exp(1.0), Some(0));
+        assert_eq!(pow2_scale_exp(0.5), Some(-1));
+        assert_eq!(pow2_scale_exp(4.0), Some(2));
+        assert_eq!(pow2_scale_exp(0.3), None);
+        assert_eq!(pow2_scale_exp(-1.0), None);
+        assert_eq!(pow2_scale_exp(0.0), None);
+        assert_eq!(pow2_scale_exp(f32::INFINITY), None);
+    }
+
+    #[test]
+    fn certificate_bounds() {
+        assert!(dot_exact(127, 127, 100, -8));
+        assert!(!dot_exact(127, 127, 10_000_000, -8)); // magnitude
+        assert!(!dot_exact(127, 127, 100, -150)); // below subnormal grid
+        assert!(!dot_exact(127, 127, 100, 104)); // overflow risk
+        assert!(dot_exact(0, 0, 1 << 40, 0)); // zero operands, huge k
+        assert!(dot_exact(1 << 12, 1 << 12, 1, 0)); // exactly 2^24
+        assert!(!dot_exact((1 << 12) + 1, 1 << 12, 1, 0));
+    }
+
+    #[test]
+    fn fixed_pack_round_trips_and_rejects_off_grid() {
+        let f = Fixed::new(8, 4).unwrap();
+        let vals: Vec<f32> = (-8i64..8).map(|i| f.decode(i * 3)).collect();
+        let p = PackedFixed::pack(&f, 4, 4, &vals).unwrap();
+        assert_eq!(p.frac_bits(), 4);
+        assert_eq!(p.max_abs_raw(), 24);
+        for (i, &v) in vals.iter().enumerate() {
+            assert_eq!(p.words16()[i] as f32 / 16.0, v);
+        }
+        // 0.1 is not on the Q4.4 grid.
+        let mut bad = vals.clone();
+        bad[3] = 0.1;
+        assert!(PackedFixed::pack(&f, 4, 4, &bad).is_none());
+        // -0.0 is not a codec output.
+        let mut negz = vals;
+        negz[0] = -0.0;
+        assert!(PackedFixed::pack(&f, 4, 4, &negz).is_none());
+    }
+
+    #[test]
+    fn fixed_pack_rejects_wide_formats_but_packs_16() {
+        let f32fmt = Fixed::new(32, 16).unwrap();
+        assert!(PackedFixed::pack(&f32fmt, 1, 1, &[1.0]).is_none());
+        let f16 = Fixed::new(16, 8).unwrap();
+        let p = PackedFixed::pack(&f16, 1, 2, &[1.5, -2.0]).unwrap();
+        assert_eq!(p.words16(), &[384, -512]);
+    }
+
+    #[test]
+    fn fixed_pack_transposed_swaps_axes() {
+        let f = Fixed::new(8, 2).unwrap();
+        // 2×3 row-major: [a b c; d e f] → packed rows are columns.
+        let vals = [1.0, 2.0, 3.0, -1.0, -2.0, -3.0];
+        let p = PackedFixed::pack_transposed(&f, 2, 3, &vals).unwrap();
+        assert_eq!((p.rows(), p.cols()), (3, 2));
+        assert_eq!(p.words16(), &[4, -4, 8, -8, 12, -12]);
+    }
+
+    #[test]
+    fn binary_pack_planes_and_fixed_view_agree() {
+        let b = Binary::with_scale(0.5).unwrap();
+        let vals = [0.5, -0.5, -0.5, 0.5, 0.5, 0.5];
+        let p = PackedBinary::pack(&b, 2, 3, &vals).unwrap();
+        assert_eq!(p.scale_exp(), -1);
+        assert_eq!(p.words_per_row(), 1);
+        assert_eq!(p.planes()[0], 0b110);
+        assert_eq!(p.planes()[1], 0b000);
+        assert_eq!(p.as_fixed().words16(), &[1, -1, -1, 1, 1, 1]);
+        assert_eq!(p.as_fixed().frac_bits(), 1);
+        // Non-power-of-two scale cannot pack.
+        let b2 = Binary::with_scale(0.3).unwrap();
+        assert!(PackedBinary::pack(&b2, 1, 1, &[0.3]).is_none());
+    }
+
+    #[test]
+    fn pow2_pack_codes_are_relative_to_used_window() {
+        let p2 = PowerOfTwo::new(6, 0).unwrap();
+        // Values 2^0, -2^-2, 0 → emin_used = -2, codes 3, -1, 0.
+        let vals = [1.0, -0.25, 0.0];
+        let p = PackedPow2::pack(&p2, 1, 3, &vals).unwrap();
+        assert_eq!(p.emin_used(), -2);
+        assert_eq!(p.max_w_raw(), 4);
+        assert_eq!(p.codes(), &[3, -1, 0]);
+    }
+
+    #[test]
+    fn requantize_is_exact_under_certificate() {
+        let acc = [3i32, -5, 0, (1 << 24), -(1 << 24)];
+        let mut out = [0.0f32; 5];
+        requantize_i32(&acc, -10, &mut out);
+        for (i, &a) in acc.iter().enumerate() {
+            assert_eq!(out[i].to_bits(), (a as f32 / 1024.0).to_bits());
+        }
+        // Subnormal edge: 3 · 2^-149.
+        let mut tiny = [0.0f32; 1];
+        requantize_i32(&[3], -149, &mut tiny);
+        assert_eq!(tiny[0].to_bits(), f32::from_bits(3).to_bits());
+        let mut big = [0.0f32; 1];
+        requantize_i64(&[1 << 24], 103, &mut big);
+        assert!(big[0].is_finite());
+    }
+
+    #[test]
+    fn packers_share_the_fault_codec() {
+        // The packer stores exactly the words BitCodec encodes — flip a bit
+        // through the codec and the packed word flips identically.
+        let f = Fixed::new(8, 4).unwrap();
+        let codec = BitCodec::Fixed(f);
+        let v = f.decode(37);
+        let flipped = codec.flip(v, 2);
+        let p = PackedFixed::pack(&f, 1, 2, &[v, flipped]).unwrap();
+        assert_eq!(
+            p.words16()[0] ^ p.words16()[1],
+            0b100,
+            "packed words must differ in exactly the flipped stored bit"
+        );
+    }
+}

@@ -216,6 +216,35 @@ pub fn im2col(image: &Tensor, geom: Geometry) -> Result<Tensor, TensorError> {
     Tensor::from_vec(Shape::d2(rows, cols), out)
 }
 
+/// Raw-slice [`im2col`]: unfolds one `(c, h, w)` image held in `image`
+/// into `dst`, which must be exactly `c·kh·kw × oh·ow` long (row-major,
+/// overwritten entirely). Exposed so callers that re-unfold per sample —
+/// the quantized fast path in `qnn-nn` packs the patch matrix into integer
+/// words — can reuse a scratch buffer instead of allocating a `Tensor`.
+///
+/// # Errors
+///
+/// Returns an error if the geometry is impossible for `(h, w)`; panics if
+/// the slice lengths disagree with the derived dimensions.
+pub fn im2col_into(
+    image: &[f32],
+    c: usize,
+    h: usize,
+    w: usize,
+    geom: Geometry,
+    dst: &mut [f32],
+) -> Result<(usize, usize), TensorError> {
+    let (oh, ow) = geom.output_hw(h, w)?;
+    assert_eq!(image.len(), c * h * w, "image slice length mismatch");
+    assert_eq!(
+        dst.len(),
+        c * geom.kh * geom.kw * oh * ow,
+        "im2col_into dst length mismatch"
+    );
+    im2col_kernel(image, c, h, w, geom, oh, ow, dst);
+    Ok((oh, ow))
+}
+
 /// Folds a `(C·KH·KW, OH·OW)` patch matrix back onto a `(C, H, W)` image,
 /// accumulating overlapping taps — the adjoint of [`im2col`], used for the
 /// input gradient of convolution.

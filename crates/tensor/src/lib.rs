@@ -36,6 +36,7 @@ pub mod gemm;
 pub mod init;
 pub mod par;
 pub mod pool;
+pub mod qgemm;
 pub mod rng;
 pub mod stats;
 

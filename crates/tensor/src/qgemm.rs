@@ -1,0 +1,421 @@
+//! Native low-precision GEMM kernels over pre-encoded integer words.
+//!
+//! These are the compute cores behind the quantized fast path: instead of
+//! snapping values to the format grid and multiplying in f32 (the
+//! Ristretto-style simulation in `qnn-quant`), callers pre-encode both
+//! operands into narrow two's-complement words (or bit planes / exponent
+//! codes) and the kernels accumulate in wide integers — i8×i8 and i16×i16
+//! into i32, power-of-two shift-add into i64, and binary×binary as
+//! XNOR + `count_ones` over packed `u64` planes.
+//!
+//! All kernels compute the **NT** product `C[i][j] = dot(A.row(i), B.row(j))`
+//! — both operands are k-contiguous, which is the layout the dense layer
+//! (activations × weightsᵀ) and the im2col'd convolution (weights × colsᵀ)
+//! both want, and the one the auto-vectorizer handles best.
+//!
+//! ## Exactness contract
+//!
+//! Integer arithmetic is associative, so unlike the f32 GEMM in
+//! [`crate::gemm`] these kernels are bit-identical at any thread count *and*
+//! any summation order by construction. The caller must guarantee
+//! `Σ_k |A[i][k] · B[j][k]| <= i32::MAX` for every output of the i8/i16
+//! kernels (the quantized dispatch enforces the far stricter `<= 2^24`
+//! certificate from `qnn_quant::packed`, which also makes the final
+//! requantize-to-f32 exact). Under that bound no partial sum can overflow —
+//! not even reassociated SIMD partials — so debug and release builds agree.
+//!
+//! ## SIMD dispatch
+//!
+//! rustc's default x86-64 baseline is SSE2 with no hardware `popcnt`, which
+//! leaves ~5x on the table for the XNOR kernel and ~2x for the i16 kernel.
+//! Each inner loop is written once as a safe `#[inline(always)]` body and
+//! instantiated twice: a plain safe wrapper, and a
+//! `#[target_feature(enable = "avx2,popcnt")]` wrapper selected at runtime
+//! via `is_x86_feature_detected!`. Both wrappers run the *same* Rust code on
+//! the same integers, so feature detection can never change results. The
+//! `unsafe` at the call site is the narrow, standard obligation of
+//! `target_feature` dispatch: the features were verified on this CPU.
+
+use crate::par;
+
+/// Trace counter: kernel invocations.
+const CTR_CALLS: &str = "tensor.qgemm.calls";
+/// Trace counter: packed multiply-accumulate operations (`m·k·n`).
+const CTR_PACKED_OPS: &str = "tensor.qgemm.packed_ops";
+/// Trace counter: `u64` popcount operations issued by the XNOR kernel.
+const CTR_POPCOUNTS: &str = "tensor.qgemm.popcounts";
+
+/// Output rows per parallel work unit. Fixed (not derived from the thread
+/// count) so the partition is deterministic; integer math makes any
+/// partition bit-identical anyway.
+const ROWS_PER_TASK: usize = 8;
+
+/// True when the AVX2 + POPCNT fast wrappers may be used on this CPU.
+#[cfg(target_arch = "x86_64")]
+fn simd_ok() -> bool {
+    static OK: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *OK.get_or_init(|| {
+        std::arch::is_x86_feature_detected!("avx2") && std::arch::is_x86_feature_detected!("popcnt")
+    })
+}
+
+/// Expands to a runtime-dispatched call of an `#[inline(always)]` kernel
+/// body: on x86-64 with AVX2+POPCNT, through a `#[target_feature]` clone of
+/// the body; otherwise the plain safe instantiation. Same code either way.
+macro_rules! dispatch {
+    ($body:ident, $avx2:ident, ($($arg:expr),*)) => {{
+        #[cfg(target_arch = "x86_64")]
+        {
+            if simd_ok() {
+                // SAFETY: `simd_ok` verified avx2+popcnt on this CPU, which
+                // is the only precondition of the target_feature wrapper.
+                unsafe { $avx2($($arg),*) }
+            } else {
+                $body($($arg),*)
+            }
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        {
+            $body($($arg),*)
+        }
+    }};
+}
+
+/// Declares the AVX2+POPCNT clone of a kernel body.
+macro_rules! avx2_clone {
+    ($name:ident = $body:ident ( $($arg:ident : $ty:ty),* )) => {
+        #[cfg(target_arch = "x86_64")]
+        #[target_feature(enable = "avx2,popcnt")]
+        unsafe fn $name($($arg: $ty),*) {
+            $body($($arg),*);
+        }
+    };
+}
+
+fn check_nt_dims<A, B, C>(m: usize, k: usize, n: usize, a: &[A], b: &[B], c: &[C]) {
+    assert_eq!(a.len(), m * k, "A must be m*k");
+    assert_eq!(b.len(), n * k, "B must be n*k (row-major transposed)");
+    assert_eq!(c.len(), m * n, "C must be m*n");
+}
+
+// ---------------------------------------------------------------------------
+// i8 / i16 fixed-point kernels
+// ---------------------------------------------------------------------------
+
+/// Widening dot-product rows body, shared by the i8 and i16 kernels.
+/// Processes the row-chunk `a_rows` (each row `k` long) against all `n`
+/// rows of `b`, writing into the matching chunk of `c`.
+macro_rules! int_rows_body {
+    ($name:ident, $t:ty) => {
+        #[inline(always)]
+        fn $name(k: usize, n: usize, a_rows: &[$t], b: &[$t], c: &mut [i32]) {
+            for (ar, crow) in a_rows.chunks_exact(k).zip(c.chunks_exact_mut(n)) {
+                for (cv, br) in crow.iter_mut().zip(b.chunks_exact(k)) {
+                    let mut acc = 0i32;
+                    for (&x, &y) in ar.iter().zip(br.iter()) {
+                        acc += x as i32 * y as i32;
+                    }
+                    *cv = acc;
+                }
+            }
+        }
+    };
+}
+
+int_rows_body!(rows_i8, i8);
+int_rows_body!(rows_i16, i16);
+avx2_clone!(rows_i8_avx2 = rows_i8(k: usize, n: usize, a_rows: &[i8], b: &[i8], c: &mut [i32]));
+avx2_clone!(rows_i16_avx2 = rows_i16(k: usize, n: usize, a_rows: &[i16], b: &[i16], c: &mut [i32]));
+
+macro_rules! int_gemm {
+    ($(#[$doc:meta])* $name:ident, $t:ty, $body:ident, $avx2:ident) => {
+        $(#[$doc])*
+        pub fn $name(m: usize, k: usize, n: usize, a: &[$t], b: &[$t], c: &mut [i32]) {
+            check_nt_dims(m, k, n, a, b, c);
+            qnn_trace::counter!(CTR_CALLS, 1);
+            qnn_trace::counter!(CTR_PACKED_OPS, (m * k * n) as u64);
+            if k == 0 {
+                c.fill(0);
+                return;
+            }
+            par::for_each_chunk_mut(c, ROWS_PER_TASK * n, |ci, chunk| {
+                let rows = chunk.len() / n;
+                let start = ci * ROWS_PER_TASK;
+                let a_rows = &a[start * k..(start + rows) * k];
+                dispatch!($body, $avx2, (k, n, a_rows, b, chunk));
+            });
+        }
+    };
+}
+
+int_gemm!(
+    /// `C[i][j] = Σ_k A[i][k]·B[j][k]` over i8 words with i32 accumulation.
+    ///
+    /// `a` is `m×k` row-major, `b` is `n×k` row-major (i.e. Bᵀ), `c` is
+    /// `m×n`. Caller contract: `Σ_k |A[i][k]·B[j][k]| <= i32::MAX` for every
+    /// output (see module docs).
+    gemm_nt_i8, i8, rows_i8, rows_i8_avx2
+);
+int_gemm!(
+    /// `C[i][j] = Σ_k A[i][k]·B[j][k]` over i16 words with i32 accumulation.
+    ///
+    /// Same layout and caller contract as [`gemm_nt_i8`].
+    gemm_nt_i16, i16, rows_i16, rows_i16_avx2
+);
+
+// ---------------------------------------------------------------------------
+// Binary XNOR-popcount kernel
+// ---------------------------------------------------------------------------
+
+#[inline(always)]
+fn rows_xnor(words: usize, n: usize, k_bits: i32, a_rows: &[u64], b: &[u64], c: &mut [i32]) {
+    for (ar, crow) in a_rows.chunks_exact(words).zip(c.chunks_exact_mut(n)) {
+        for (cv, br) in crow.iter_mut().zip(b.chunks_exact(words)) {
+            let mut diff = 0u32;
+            for (&x, &y) in ar.iter().zip(br.iter()) {
+                diff += (x ^ y).count_ones();
+            }
+            *cv = k_bits - 2 * diff as i32;
+        }
+    }
+}
+avx2_clone!(
+    rows_xnor_avx2 =
+        rows_xnor(words: usize, n: usize, k_bits: i32, a_rows: &[u64], b: &[u64], c: &mut [i32])
+);
+
+/// Binary×binary GEMM over sign planes: `C[i][j] = Σ_k s(A)·s(B)` where
+/// each element is ±1, stored as one bit per element (1 = negative).
+///
+/// `a` is `m×words` and `b` is `n×words` of packed `u64` planes, each row
+/// holding `k_bits` sign bits little-endian within words; `c` is `m×n`.
+/// The dot product of ±1 vectors is `k - 2·popcount(a XOR b)`. Padding
+/// bits beyond `k_bits` must be **equal** in both operands (the packers
+/// zero them), so they XOR to 0 and contribute nothing.
+///
+/// The result is the dot product in units of `scale_a · scale_b`; the
+/// caller applies that scale in the requantize step.
+pub fn gemm_nt_xnor(m: usize, k_bits: usize, n: usize, a: &[u64], b: &[u64], c: &mut [i32]) {
+    let words = k_bits.div_ceil(64);
+    assert_eq!(a.len(), m * words, "A must be m*ceil(k/64) words");
+    assert_eq!(b.len(), n * words, "B must be n*ceil(k/64) words");
+    assert_eq!(c.len(), m * n, "C must be m*n");
+    assert!(k_bits <= i32::MAX as usize, "k_bits too large");
+    qnn_trace::counter!(CTR_CALLS, 1);
+    qnn_trace::counter!(CTR_PACKED_OPS, (m * k_bits * n) as u64);
+    qnn_trace::counter!(CTR_POPCOUNTS, (m * n * words) as u64);
+    if words == 0 {
+        c.fill(0);
+        return;
+    }
+    let kb = k_bits as i32;
+    par::for_each_chunk_mut(c, ROWS_PER_TASK * n, |ci, chunk| {
+        let rows = chunk.len() / n;
+        let start = ci * ROWS_PER_TASK;
+        let a_rows = &a[start * words..(start + rows) * words];
+        dispatch!(rows_xnor, rows_xnor_avx2, (words, n, kb, a_rows, b, chunk));
+    });
+}
+
+// ---------------------------------------------------------------------------
+// Power-of-two shift-add kernel
+// ---------------------------------------------------------------------------
+
+#[inline(always)]
+fn rows_pow2(k: usize, n: usize, a_rows: &[i16], codes: &[i8], c: &mut [i32]) {
+    for (ar, crow) in a_rows.chunks_exact(k).zip(c.chunks_exact_mut(n)) {
+        for (cv, wr) in crow.iter_mut().zip(codes.chunks_exact(k)) {
+            let mut acc = 0i32;
+            for (&x, &q) in ar.iter().zip(wr.iter()) {
+                // q = 0 encodes a zero weight; q > 0 is +2^(q-1) relative
+                // to the window floor, q < 0 the negated magnitude.
+                // Branch-free select chain: random exponent codes make the
+                // branchy form mispredict nearly every element, and this
+                // shape vectorizes (AVX2 `vpsllvd` + blends). For q = 0 the
+                // shift amount is a masked don't-care; the final select
+                // discards the lane, and `<<` on i32 drops overflowed
+                // value bits deterministically either way.
+                let code = q as i32;
+                let sh = code.unsigned_abs().wrapping_sub(1) & 31;
+                let shifted = (x as i32) << sh;
+                let signed = if code < 0 { -shifted } else { shifted };
+                acc += if code == 0 { 0 } else { signed };
+            }
+            *cv = acc;
+        }
+    }
+}
+avx2_clone!(
+    rows_pow2_avx2 = rows_pow2(k: usize, n: usize, a_rows: &[i16], codes: &[i8], c: &mut [i32])
+);
+
+/// Fixed-point × power-of-two GEMM as shift-add — the software mirror of
+/// the paper's shifter/sign-mux WB variant (no multiplier at all).
+///
+/// `a` is `m×k` fixed-point raws; `codes` is `n×k` relative exponent codes
+/// (`0` → weight is exactly zero, `±q` → weight is `±2^(q-1)` in units of
+/// `2^emin_used`, with `q-1 <= 31`). `c` is `m×n`, in units of
+/// `step_a · 2^emin_used`. Caller contract: `Σ_k |A[i][k]| · 2^(q-1)` must
+/// stay `<= i32::MAX` for every output (the dispatch certificate bounds it
+/// by `2^24`), so the i32 accumulator is exact under any summation order.
+pub fn gemm_nt_pow2(m: usize, k: usize, n: usize, a: &[i16], codes: &[i8], c: &mut [i32]) {
+    check_nt_dims(m, k, n, a, codes, c);
+    qnn_trace::counter!(CTR_CALLS, 1);
+    qnn_trace::counter!(CTR_PACKED_OPS, (m * k * n) as u64);
+    if k == 0 {
+        c.fill(0);
+        return;
+    }
+    par::for_each_chunk_mut(c, ROWS_PER_TASK * n, |ci, chunk| {
+        let rows = chunk.len() / n;
+        let start = ci * ROWS_PER_TASK;
+        let a_rows = &a[start * k..(start + rows) * k];
+        dispatch!(rows_pow2, rows_pow2_avx2, (k, n, a_rows, codes, chunk));
+    });
+}
+
+/// Packs one row of `±1` signs (`true` = negative) into little-endian
+/// `u64` plane words, zero-padding the tail. Shared by the weight/act
+/// packers in `qnn-quant` and the benches.
+pub fn pack_sign_row(signs: impl ExactSizeIterator<Item = bool>, out: &mut [u64]) {
+    out.fill(0);
+    let n = signs.len();
+    assert_eq!(out.len(), n.div_ceil(64), "plane row length mismatch");
+    for (i, neg) in signs.enumerate() {
+        if neg {
+            out[i / 64] |= 1u64 << (i % 64);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::seeded;
+
+    fn ref_nt_i32<T: Copy + Into<i32>>(m: usize, k: usize, n: usize, a: &[T], b: &[T]) -> Vec<i32> {
+        let mut c = vec![0i32; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = 0i32;
+                for kk in 0..k {
+                    acc += a[i * k + kk].into() * b[j * k + kk].into();
+                }
+                c[i * n + j] = acc;
+            }
+        }
+        c
+    }
+
+    #[test]
+    fn i8_matches_reference() {
+        let mut rng = seeded(11);
+        let (m, k, n) = (13, 37, 9);
+        let a: Vec<i8> = (0..m * k)
+            .map(|_| rng.gen_range(-127i64..128) as i8)
+            .collect();
+        let b: Vec<i8> = (0..n * k)
+            .map(|_| rng.gen_range(-127i64..128) as i8)
+            .collect();
+        let mut c = vec![0i32; m * n];
+        gemm_nt_i8(m, k, n, &a, &b, &mut c);
+        assert_eq!(c, ref_nt_i32(m, k, n, &a, &b));
+    }
+
+    #[test]
+    fn i16_matches_reference_and_threads_agree() {
+        let mut rng = seeded(12);
+        let (m, k, n) = (33, 64, 17);
+        let a: Vec<i16> = (0..m * k)
+            .map(|_| rng.gen_range(-255i64..256) as i16)
+            .collect();
+        let b: Vec<i16> = (0..n * k)
+            .map(|_| rng.gen_range(-255i64..256) as i16)
+            .collect();
+        let reference = ref_nt_i32(m, k, n, &a, &b);
+        for t in [1usize, 4] {
+            crate::par::set_threads(Some(t));
+            let mut c = vec![0i32; m * n];
+            gemm_nt_i16(m, k, n, &a, &b, &mut c);
+            assert_eq!(c, reference, "threads={t}");
+        }
+        crate::par::set_threads(None);
+    }
+
+    #[test]
+    fn xnor_matches_sign_dot() {
+        let mut rng = seeded(13);
+        for &k in &[1usize, 63, 64, 65, 130] {
+            let (m, n) = (6, 5);
+            let sa: Vec<bool> = (0..m * k).map(|_| rng.gen_range(0i64..2) == 1).collect();
+            let sb: Vec<bool> = (0..n * k).map(|_| rng.gen_range(0i64..2) == 1).collect();
+            let words = k.div_ceil(64);
+            let mut a = vec![0u64; m * words];
+            let mut b = vec![0u64; n * words];
+            for i in 0..m {
+                pack_sign_row(
+                    sa[i * k..(i + 1) * k].iter().copied(),
+                    &mut a[i * words..(i + 1) * words],
+                );
+            }
+            for j in 0..n {
+                pack_sign_row(
+                    sb[j * k..(j + 1) * k].iter().copied(),
+                    &mut b[j * words..(j + 1) * words],
+                );
+            }
+            let mut c = vec![0i32; m * n];
+            gemm_nt_xnor(m, k, n, &a, &b, &mut c);
+            for i in 0..m {
+                for j in 0..n {
+                    let mut acc = 0i32;
+                    for kk in 0..k {
+                        let x = if sa[i * k + kk] { -1 } else { 1 };
+                        let y = if sb[j * k + kk] { -1 } else { 1 };
+                        acc += x * y;
+                    }
+                    assert_eq!(c[i * n + j], acc, "k={k} i={i} j={j}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pow2_matches_reference() {
+        let mut rng = seeded(14);
+        // Ranges sized so every |Σ x·2^(q-1)| stays well under i32::MAX,
+        // matching the caller contract (the dispatch certificate is far
+        // stricter still).
+        let (m, k, n) = (7, 29, 11);
+        let a: Vec<i16> = (0..m * k)
+            .map(|_| rng.gen_range(-500i64..501) as i16)
+            .collect();
+        let codes: Vec<i8> = (0..n * k)
+            .map(|_| rng.gen_range(-15i64..16) as i8)
+            .collect();
+        let mut c = vec![0i32; m * n];
+        gemm_nt_pow2(m, k, n, &a, &codes, &mut c);
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = 0i64;
+                for kk in 0..k {
+                    let q = codes[j * k + kk] as i64;
+                    let x = a[i * k + kk] as i64;
+                    acc += match q.cmp(&0) {
+                        std::cmp::Ordering::Greater => x << (q - 1),
+                        std::cmp::Ordering::Less => -(x << (-q - 1)),
+                        std::cmp::Ordering::Equal => 0,
+                    };
+                }
+                assert_eq!(c[i * n + j] as i64, acc, "i={i} j={j}");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_k_zeroes_output() {
+        let mut c = vec![7i32; 6];
+        gemm_nt_i16(2, 0, 3, &[], &[], &mut c);
+        assert!(c.iter().all(|&v| v == 0));
+    }
+}
