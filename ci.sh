@@ -56,10 +56,69 @@ kill_and_resume() {
     rm -rf "$dir"
 }
 
-stage fmt          cargo fmt --all -- --check
-stage clippy       cargo clippy --workspace --all-targets --offline -- -D warnings
-stage build        cargo build --workspace --release --offline
-stage test         cargo test --workspace -q --offline
-stage bench-check  cargo run -p qnn-bench --release --offline -- bench-check
-stage qkernels     cargo run -p qnn-bench --release --offline -- --quick qkernels
-stage kill-resume  kill_and_resume
+# Thread-determinism gate: the same smoke-scale Table IV sweep must be
+# byte-identical at 1 and 4 worker threads — the invariant the parallel
+# compute core promises.
+thread_determinism() {
+    dir=$(mktemp -d)
+    QNN_THREADS=1 ./target/release/qnn table4 smoke > "$dir/t1.txt"
+    QNN_THREADS=4 ./target/release/qnn table4 smoke > "$dir/t4.txt"
+    cmp "$dir/t1.txt" "$dir/t4.txt"
+    rm -rf "$dir"
+}
+
+# Serve-soak gate: run the release inference server in the background,
+# hammer it from 4 client threads with 256 requests cycling through all
+# Table III precisions, and demand every response be bit-identical to a
+# single-shot forward. The server records a qnn-trace JSONL
+# (serve-trace.jsonl, summarized into serve-trace-summary.txt); the
+# server process is always torn down, pass or fail.
+serve_soak() {
+    dir=$(mktemp -d)
+    ./target/release/qnn serve --addr 127.0.0.1:0 --port-file "$dir/port" \
+        --trace serve-trace.jsonl > "$dir/server.log" 2>&1 &
+    server_pid=$!
+    code=1
+    tries=0
+    while [ "$tries" -lt 100 ]; do
+        [ -s "$dir/port" ] && break
+        kill -0 "$server_pid" 2>/dev/null || break
+        sleep 0.1
+        tries=$((tries + 1))
+    done
+    set +e
+    if [ -s "$dir/port" ]; then
+        ./target/release/qnn-bench serve-soak --addr "$(cat "$dir/port")" \
+            --clients 4 --requests 256 --shutdown
+        code=$?
+        # --shutdown drained the server; reap it and require a clean exit.
+        if [ "$code" -eq 0 ]; then
+            wait "$server_pid"
+            code=$?
+        fi
+    else
+        echo "serve-soak: server never wrote its port file" >&2
+    fi
+    # Teardown even on failure: nothing may outlive the stage.
+    kill "$server_pid" 2>/dev/null
+    wait "$server_pid" 2>/dev/null
+    set -e
+    cat "$dir/server.log"
+    rm -rf "$dir"
+    if [ "$code" -eq 0 ]; then
+        ./target/release/qnn-bench trace-summary serve-trace.jsonl \
+            | tee serve-trace-summary.txt
+    fi
+    return "$code"
+}
+
+stage fmt                 cargo fmt --all -- --check
+stage clippy              cargo clippy --workspace --all-targets --offline -- -D warnings
+stage build               cargo build --workspace --release --offline
+stage test                cargo test --workspace -q --offline
+stage bench-check         cargo run -p qnn-bench --release --offline -- bench-check
+stage qkernels            cargo run -p qnn-bench --release --offline -- --quick qkernels
+stage kill-resume         kill_and_resume
+stage thread-determinism  thread_determinism
+stage serve-soak          serve_soak
+stage sync-check          cargo run -p qnn-bench --release --offline -- sync-check

@@ -8,8 +8,11 @@
 //! training step) and emits the committed `BENCH_kernels.json` artifact,
 //! [`regression`] gates CI against that committed baseline
 //! (`bench-check`), [`tracereport`] summarizes `qnn-trace` JSONL files,
-//! and [`artifacts`] regenerates every table/figure of the paper
-//! (see DESIGN.md §5 for the index).
+//! [`soak`] is the `serve-soak` load generator that proves every
+//! `qnn-serve` response bit-identical to a single-shot forward,
+//! [`sync`] is the `sync-check` gate that `ci.sh` and the workflow file
+//! mirror each other, and [`artifacts`] regenerates every table/figure
+//! of the paper (see DESIGN.md §5 for the index).
 //!
 //! Run the kernel suite (and write `BENCH_kernels.json`) with
 //! `cargo run -p qnn-bench --release --bin qnn-bench`, or a single
@@ -20,6 +23,8 @@ pub mod json;
 pub mod kernels;
 pub mod qcheck;
 pub mod regression;
+pub mod soak;
+pub mod sync;
 pub mod timer;
 pub mod tracereport;
 

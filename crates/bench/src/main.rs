@@ -7,7 +7,7 @@
 //! `trace-summary` reads back a `--trace` JSONL file.
 
 use qnn_bench::json::Json;
-use qnn_bench::{artifacts, kernels, qcheck, regression, tracereport};
+use qnn_bench::{artifacts, kernels, qcheck, regression, soak, sync, tracereport};
 
 const USAGE: &str = "\
 usage: qnn-bench [--quick] [--trace <path>] [SUBCOMMAND]
@@ -22,6 +22,13 @@ usage: qnn-bench [--quick] [--trace <path>] [SUBCOMMAND]
                  mismatch or never-dispatched packable precision
   trace-summary <path>
                  summarize a qnn-trace JSONL file written by --trace
+  serve-soak --addr HOST:PORT [--clients N] [--requests M] [--shutdown]
+                 load-generate against a running `qnn serve` and verify
+                 every response bit-identical to a single-shot forward;
+                 --shutdown drains and stops the server afterwards
+  sync-check [--sh PATH] [--yml PATH]
+                 fail if ci.sh stages and ci.yml jobs have drifted
+                 (defaults: ci.sh, .github/workflows/ci.yml)
   table3         Table III  — design metrics per precision
   table4         Table IV   — MNIST/SVHN-class accuracy + energy
   table5         Table V    — CIFAR-class accuracy + energy
@@ -95,6 +102,75 @@ fn trace_summary(path: &str) -> i32 {
     }
 }
 
+fn serve_soak(args: &[String]) -> i32 {
+    let mut cfg = soak::SoakConfig::default();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut next = |flag: &str| -> String {
+            it.next().cloned().unwrap_or_else(|| {
+                eprintln!("serve-soak: {flag} needs a value\n\n{USAGE}");
+                std::process::exit(2);
+            })
+        };
+        match arg.as_str() {
+            "--addr" => cfg.addr = next("--addr"),
+            "--shutdown" => cfg.shutdown = true,
+            "--clients" => {
+                let v = next("--clients");
+                cfg.clients = v.parse().unwrap_or_else(|_| {
+                    eprintln!("serve-soak: --clients `{v}` is not a count");
+                    std::process::exit(2);
+                });
+            }
+            "--requests" => {
+                let v = next("--requests");
+                cfg.requests = v.parse().unwrap_or_else(|_| {
+                    eprintln!("serve-soak: --requests `{v}` is not a count");
+                    std::process::exit(2);
+                });
+            }
+            other => {
+                eprintln!("serve-soak: unknown argument {other}\n\n{USAGE}");
+                std::process::exit(2);
+            }
+        }
+    }
+    if cfg.addr.is_empty() {
+        eprintln!("serve-soak: --addr is required\n\n{USAGE}");
+        std::process::exit(2);
+    }
+    match soak::run(&cfg) {
+        Ok(outcome) => i32::from(!outcome.passed(&cfg)),
+        Err(e) => {
+            eprintln!("serve-soak: {e}");
+            1
+        }
+    }
+}
+
+fn sync_check(args: &[String]) -> i32 {
+    let mut sh_path = "ci.sh".to_string();
+    let mut yml_path = ".github/workflows/ci.yml".to_string();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut next = |flag: &str| -> String {
+            it.next().cloned().unwrap_or_else(|| {
+                eprintln!("sync-check: {flag} needs a value\n\n{USAGE}");
+                std::process::exit(2);
+            })
+        };
+        match arg.as_str() {
+            "--sh" => sh_path = next("--sh"),
+            "--yml" => yml_path = next("--yml"),
+            other => {
+                eprintln!("sync-check: unknown argument {other}\n\n{USAGE}");
+                std::process::exit(2);
+            }
+        }
+    }
+    sync::run(&sh_path, &yml_path)
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut quick = false;
@@ -145,6 +221,8 @@ fn main() {
             bench_check(baseline)
         }
         Some("qkernels") => i32::from(!qcheck::run(quick)),
+        Some("serve-soak") => serve_soak(&rest[1..]),
+        Some("sync-check") => sync_check(&rest[1..]),
         Some("trace-summary") => match rest.get(1) {
             Some(p) => trace_summary(p),
             None => {

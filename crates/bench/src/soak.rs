@@ -1,0 +1,213 @@
+//! `serve-soak` — the load generator behind the serve-soak CI stage.
+//!
+//! Hammers a running `qnn serve` instance from several client threads,
+//! cycling every request through all Table III precisions, and verifies
+//! each response is **bit-identical** to a single-shot forward of the
+//! same image computed locally from the shared [`qnn_serve::MODEL_SEED`]
+//! model bank. `Busy` rejections are retried after the server's hint
+//! (that is the backpressure contract working, and the run reports how
+//! often it engaged); any other error frame, any logits mismatch, or any
+//! missing response fails the run.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use qnn_serve::{ModelBank, ServeClient, MODEL_SEED, NUM_PRECISIONS};
+
+/// Load-generator knobs, filled from `qnn-bench serve-soak` flags.
+#[derive(Debug, Clone)]
+pub struct SoakConfig {
+    /// Server address, e.g. `127.0.0.1:7117` (usually read from the
+    /// server's `--port-file`).
+    pub addr: String,
+    /// Concurrent client threads.
+    pub clients: usize,
+    /// Total requests, striped across the client threads.
+    pub requests: usize,
+    /// Send a `Shutdown` frame when the soak is done (the CI stage uses
+    /// this to bring the background server down and collect its trace).
+    pub shutdown: bool,
+    /// Model-bank seed; must match the server's.
+    pub seed: u64,
+}
+
+impl Default for SoakConfig {
+    fn default() -> Self {
+        SoakConfig {
+            addr: String::new(),
+            clients: 4,
+            requests: 256,
+            shutdown: false,
+            seed: MODEL_SEED,
+        }
+    }
+}
+
+/// What one soak run did.
+#[derive(Debug)]
+pub struct SoakOutcome {
+    /// Responses verified bit-identical to their single-shot forward.
+    pub verified: usize,
+    /// Total `Busy` retries across all threads (backpressure engaging).
+    pub busy_retries: usize,
+    /// Human-readable failures; empty iff the run passed.
+    pub failures: Vec<String>,
+}
+
+impl SoakOutcome {
+    /// True when every request was answered and bit-identical.
+    pub fn passed(&self, cfg: &SoakConfig) -> bool {
+        self.failures.is_empty() && self.verified == cfg.requests
+    }
+}
+
+/// Precision tag for the `i`-th soak request: round-robin through the
+/// whole Table III sweep so every precision is exercised.
+fn tag_for(i: usize) -> u8 {
+    (i % NUM_PRECISIONS as usize) as u8
+}
+
+/// Runs the soak. Prints a progress line per thread and a summary;
+/// returns the outcome for the caller to turn into an exit code.
+///
+/// # Errors
+///
+/// A `String` describing setup failures (model bank construction); the
+/// per-request failures land in [`SoakOutcome::failures`] instead so one
+/// bad response does not mask the rest of the report.
+pub fn run(cfg: &SoakConfig) -> Result<SoakOutcome, String> {
+    let started = Instant::now();
+    let mut bank = ModelBank::build(cfg.seed).map_err(|e| format!("model bank: {e}"))?;
+    let input_len = bank.input_len();
+
+    // Expected logits, computed single-shot up front: the soak threads
+    // themselves only move bytes and compare bits.
+    let images: Vec<Vec<f32>> = (0..cfg.requests)
+        .map(|i| qnn_serve::model::test_image(cfg.seed, i as u64, input_len))
+        .collect();
+    let mut expected: Vec<Vec<u32>> = Vec::with_capacity(cfg.requests);
+    for (i, img) in images.iter().enumerate() {
+        let logits = bank
+            .forward_single(tag_for(i), img)
+            .map_err(|e| format!("single-shot forward {i}: {e}"))?;
+        expected.push(logits.iter().map(|x| x.to_bits()).collect());
+    }
+    println!(
+        "serve-soak: {} request(s) x {} precision(s), {} client thread(s) -> {}",
+        cfg.requests, NUM_PRECISIONS, cfg.clients, cfg.addr
+    );
+
+    let shared = Arc::new((images, expected));
+    let clients = cfg.clients.max(1);
+    let mut threads = Vec::new();
+    for t in 0..clients {
+        let shared = Arc::clone(&shared);
+        let addr = cfg.addr.clone();
+        let total = cfg.requests;
+        threads.push(std::thread::spawn(move || {
+            let (images, expected) = &*shared;
+            let mut verified = 0usize;
+            let mut busy_retries = 0usize;
+            let mut failures: Vec<String> = Vec::new();
+            let mut client = match ServeClient::connect(&addr) {
+                Ok(c) => c,
+                Err(e) => {
+                    failures.push(format!("thread {t}: connect: {e}"));
+                    return (verified, busy_retries, failures);
+                }
+            };
+            for i in (t..total).step_by(clients) {
+                let tag = tag_for(i);
+                match client.infer_retry(tag, &images[i], 10_000) {
+                    Ok((logits, retries)) => {
+                        busy_retries += retries;
+                        let got: Vec<u32> = logits.iter().map(|x| x.to_bits()).collect();
+                        if got == expected[i] {
+                            verified += 1;
+                        } else {
+                            failures.push(format!(
+                                "request {i} (tag {tag}): logits differ from single-shot forward"
+                            ));
+                        }
+                    }
+                    Err(e) => failures.push(format!("request {i} (tag {tag}): {e}")),
+                }
+            }
+            (verified, busy_retries, failures)
+        }));
+    }
+
+    let mut outcome = SoakOutcome {
+        verified: 0,
+        busy_retries: 0,
+        failures: Vec::new(),
+    };
+    for (t, th) in threads.into_iter().enumerate() {
+        match th.join() {
+            Ok((verified, busy, fails)) => {
+                outcome.verified += verified;
+                outcome.busy_retries += busy;
+                outcome.failures.extend(fails);
+            }
+            Err(_) => outcome.failures.push(format!("thread {t} panicked")),
+        }
+    }
+
+    if cfg.shutdown {
+        match ServeClient::connect(&cfg.addr).and_then(|mut c| c.shutdown_server()) {
+            Ok(()) => println!("serve-soak: server drained and shut down"),
+            Err(e) => outcome.failures.push(format!("shutdown: {e}")),
+        }
+    }
+
+    println!(
+        "serve-soak: {}/{} bit-identical, {} busy retr{}, {:.2}s",
+        outcome.verified,
+        cfg.requests,
+        outcome.busy_retries,
+        if outcome.busy_retries == 1 {
+            "y"
+        } else {
+            "ies"
+        },
+        started.elapsed().as_secs_f64()
+    );
+    for f in &outcome.failures {
+        eprintln!("serve-soak: FAIL: {f}");
+    }
+    Ok(outcome)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qnn_serve::{ServeConfig, Server};
+    use std::time::Duration;
+
+    #[test]
+    fn mini_soak_against_in_process_server() {
+        let server = Server::start(ServeConfig {
+            // A small queue so the soak exercises the Busy-retry path at
+            // least plausibly, without making the test slow.
+            max_batch: 8,
+            max_wait: Duration::from_micros(500),
+            queue_cap: 8,
+            ..ServeConfig::default()
+        })
+        .unwrap();
+        let cfg = SoakConfig {
+            addr: server.local_addr().to_string(),
+            clients: 3,
+            requests: 21,
+            shutdown: true,
+            ..SoakConfig::default()
+        };
+        let outcome = run(&cfg).unwrap();
+        assert!(outcome.passed(&cfg), "failures: {:?}", outcome.failures);
+        let stats = server.join();
+        // Retries mean a request may be *submitted* more than once, but
+        // the engine answers each exactly once on its successful pass.
+        assert_eq!(stats.requests, 21);
+        assert_eq!(stats.rejected_busy as usize, outcome.busy_retries);
+    }
+}

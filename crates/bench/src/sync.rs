@@ -1,0 +1,184 @@
+//! `sync-check` — proves `ci.sh` and `.github/workflows/ci.yml` agree.
+//!
+//! Both files promise, in their own header comments, to mirror each
+//! other stage-for-stage. This module makes that promise a gate: it
+//! parses the ordered list of `stage NAME ...` invocations out of the
+//! shell script and the ordered list of job ids out of the workflow's
+//! `jobs:` mapping, and fails on any drift — a stage missing from either
+//! side, or the two lists disagreeing on order.
+
+use std::fmt::Write as _;
+
+/// Stage names from a `ci.sh`-style script: the second token of every
+/// line whose first token is `stage`, in file order.
+pub fn sh_stages(text: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    for line in text.lines() {
+        let mut tokens = line.split_whitespace();
+        if tokens.next() == Some("stage") {
+            if let Some(name) = tokens.next() {
+                out.push(name.to_string());
+            }
+        }
+    }
+    out
+}
+
+/// Job ids from a GitHub-Actions workflow: the keys indented exactly two
+/// spaces under the top-level `jobs:` mapping, in file order. This is a
+/// deliberately narrow parser — it understands the one YAML shape our
+/// workflow uses, not YAML.
+pub fn yml_jobs(text: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut in_jobs = false;
+    for line in text.lines() {
+        if line.trim_end() == "jobs:" {
+            in_jobs = true;
+            continue;
+        }
+        if !in_jobs {
+            continue;
+        }
+        // Another top-level key ends the jobs mapping.
+        if !line.is_empty() && !line.starts_with(' ') && !line.starts_with('#') {
+            break;
+        }
+        // A job id: exactly two spaces of indent, `name:` with nothing
+        // after the colon but trailing space/comment.
+        if let Some(rest) = line.strip_prefix("  ") {
+            if rest.starts_with(' ') || rest.starts_with('#') {
+                continue;
+            }
+            if let Some(key) = rest.trim_end().strip_suffix(':') {
+                if !key.is_empty() && !key.contains(' ') {
+                    out.push(key.to_string());
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Compares the two ordered stage lists; `Ok` holds the report for a
+/// matching pair, `Err` the drift diagnosis.
+///
+/// # Errors
+///
+/// A rendered report naming every stage missing from either side (or the
+/// order mismatch), ready to print.
+pub fn compare(sh: &[String], yml: &[String]) -> Result<String, String> {
+    if sh == yml {
+        let mut report = format!("sync-check: {} stage(s) in lockstep\n", sh.len());
+        for name in sh {
+            let _ = writeln!(report, "  {name}");
+        }
+        return Ok(report);
+    }
+    let mut report = String::from("sync-check: ci.sh and ci.yml have drifted\n");
+    for name in sh {
+        if !yml.contains(name) {
+            let _ = writeln!(report, "  missing from ci.yml jobs: {name}");
+        }
+    }
+    for name in yml {
+        if !sh.contains(name) {
+            let _ = writeln!(report, "  missing from ci.sh stages: {name}");
+        }
+    }
+    if sh
+        .iter()
+        .filter(|n| yml.contains(*n))
+        .ne(yml.iter().filter(|n| sh.contains(*n)))
+    {
+        let _ = writeln!(report, "  shared stages are ordered differently");
+    }
+    let _ = writeln!(report, "  ci.sh : {}", sh.join(" "));
+    let _ = writeln!(report, "  ci.yml: {}", yml.join(" "));
+    Err(report)
+}
+
+/// Reads both files, parses, compares, prints; returns the process exit
+/// code (0 in sync, 1 on drift or unreadable files).
+pub fn run(sh_path: &str, yml_path: &str) -> i32 {
+    let sh_text = match std::fs::read_to_string(sh_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("sync-check: cannot read {sh_path}: {e}");
+            return 1;
+        }
+    };
+    let yml_text = match std::fs::read_to_string(yml_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("sync-check: cannot read {yml_path}: {e}");
+            return 1;
+        }
+    };
+    let sh = sh_stages(&sh_text);
+    let yml = yml_jobs(&yml_text);
+    if sh.is_empty() {
+        eprintln!("sync-check: no `stage NAME` lines found in {sh_path}");
+        return 1;
+    }
+    match compare(&sh, &yml) {
+        Ok(report) => {
+            print!("{report}");
+            0
+        }
+        Err(report) => {
+            eprint!("{report}");
+            1
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(names: &[&str]) -> Vec<String> {
+        names.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn sh_parser_takes_the_second_token_of_stage_lines() {
+        let text = "#!/bin/sh\nstage fmt cargo fmt\n  indented stage not-counted\n\
+                    stage build cargo build\nSTAGES=\"x\"\n";
+        assert_eq!(sh_stages(text), v(&["fmt", "build"]));
+    }
+
+    #[test]
+    fn yml_parser_takes_two_space_keys_under_jobs() {
+        let text = "name: ci\non:\n  push:\njobs:\n  fmt:\n    name: fmt\n    steps:\n\
+                    \x20     - run: x\n  build:\n    runs-on: ubuntu\nextra: 1\n  straggler:\n";
+        assert_eq!(yml_jobs(text), v(&["fmt", "build"]));
+    }
+
+    #[test]
+    fn matching_lists_pass() {
+        assert!(compare(&v(&["a", "b"]), &v(&["a", "b"])).is_ok());
+    }
+
+    #[test]
+    fn missing_stage_is_named() {
+        let err = compare(&v(&["a", "b"]), &v(&["a"])).unwrap_err();
+        assert!(err.contains("missing from ci.yml jobs: b"), "{err}");
+    }
+
+    #[test]
+    fn order_drift_is_detected() {
+        let err = compare(&v(&["a", "b"]), &v(&["b", "a"])).unwrap_err();
+        assert!(err.contains("ordered differently"), "{err}");
+    }
+
+    #[test]
+    fn the_repo_ci_files_are_actually_in_sync() {
+        // The gate, run as a unit test too: the committed ci.sh and
+        // ci.yml must agree right now, not just when the CI stage runs.
+        let root = concat!(env!("CARGO_MANIFEST_DIR"), "/../..");
+        let sh = std::fs::read_to_string(format!("{root}/ci.sh")).unwrap();
+        let yml = std::fs::read_to_string(format!("{root}/.github/workflows/ci.yml")).unwrap();
+        let report = compare(&sh_stages(&sh), &yml_jobs(&yml));
+        assert!(report.is_ok(), "{}", report.unwrap_err());
+    }
+}

@@ -8,6 +8,8 @@
 
 use std::collections::BTreeMap;
 
+use qnn_trace::Histogram;
+
 use crate::json::Json;
 
 /// Per-span-name aggregate.
@@ -42,8 +44,7 @@ pub fn summarize(jsonl: &str) -> Result<String, String> {
     let mut spans: BTreeMap<String, SpanAgg> = BTreeMap::new();
     let mut counters: BTreeMap<String, f64> = BTreeMap::new();
     let mut gauges: BTreeMap<String, f64> = BTreeMap::new();
-    // name -> (count, sum, min, max)
-    let mut hists: BTreeMap<String, (f64, f64, f64, f64)> = BTreeMap::new();
+    let mut hists: BTreeMap<String, Histogram> = BTreeMap::new();
     let mut saw_meta = false;
     let mut events = 0u64;
 
@@ -81,15 +82,40 @@ pub fn summarize(jsonl: &str) -> Result<String, String> {
             }
             "hist" => {
                 let name = field_str(&obj, "name", line_no)?.to_string();
-                hists.insert(
-                    name,
-                    (
-                        field_f64(&obj, "count", line_no)?,
-                        field_f64(&obj, "sum", line_no)?,
-                        field_f64(&obj, "min", line_no)?,
-                        field_f64(&obj, "max", line_no)?,
-                    ),
+                // Sparse [lower_edge, count] pairs reconstruct the full
+                // log2-bucket histogram, so quantiles come back exact.
+                let mut buckets: Vec<(f64, u64)> = Vec::new();
+                let arr = obj
+                    .get("buckets")
+                    .and_then(Json::as_arr)
+                    .ok_or_else(|| format!("line {line_no}: missing array field \"buckets\""))?;
+                for pair in arr {
+                    let pair = pair
+                        .as_arr()
+                        .filter(|p| p.len() == 2)
+                        .ok_or_else(|| format!("line {line_no}: bucket is not a pair"))?;
+                    let lower = pair[0]
+                        .as_f64()
+                        .ok_or_else(|| format!("line {line_no}: bucket edge not numeric"))?;
+                    let count = pair[1]
+                        .as_f64()
+                        .ok_or_else(|| format!("line {line_no}: bucket count not numeric"))?;
+                    buckets.push((lower, count as u64));
+                }
+                let h = Histogram::from_sparse(
+                    &buckets,
+                    field_f64(&obj, "sum", line_no)?,
+                    field_f64(&obj, "min", line_no)?,
+                    field_f64(&obj, "max", line_no)?,
                 );
+                let declared = field_f64(&obj, "count", line_no)? as u64;
+                if h.count != declared {
+                    return Err(format!(
+                        "line {line_no}: bucket counts sum to {}, \"count\" says {declared}",
+                        h.count
+                    ));
+                }
+                hists.insert(name, h);
             }
             other => return Err(format!("line {line_no}: unknown event type \"{other}\"")),
         }
@@ -145,14 +171,22 @@ pub fn summarize(jsonl: &str) -> Result<String, String> {
     for (name, value) in &gauges {
         out.push_str(&format!("  {name:40} {value:>16.4}\n"));
     }
-    out.push_str("\nhistograms (count, mean, min, max):\n");
+    out.push_str("\nhistograms (count, mean, p50, p99, min, max):\n");
     if hists.is_empty() {
         out.push_str("  (none)\n");
     }
-    for (name, (count, sum, min, max)) in &hists {
-        let mean = if *count > 0.0 { sum / count } else { 0.0 };
+    for (name, h) in &hists {
+        let (min, max) = if h.count == 0 {
+            (0.0, 0.0)
+        } else {
+            (h.min, h.max)
+        };
         out.push_str(&format!(
-            "  {name:40} {count:>8.0} {mean:>12.5} {min:>12.5} {max:>12.5}\n"
+            "  {name:40} {:>8} {:>12.5} {:>12.5} {:>12.5} {min:>12.5} {max:>12.5}\n",
+            h.count,
+            h.mean(),
+            h.quantile(0.5),
+            h.quantile(0.99),
         ));
     }
     Ok(out)
@@ -215,6 +249,28 @@ mod tests {
 {\"type\": \"counter\", \"name\": \"work.items\", \"total\": 7}";
         let text = summarize(unrelated).unwrap();
         assert!(!text.contains("fast path"), "{text}");
+    }
+
+    #[test]
+    fn histogram_quantiles_recovered_from_sparse_buckets() {
+        // 9 samples near 100 (bucket lower edge 64) and one at 100000
+        // (bucket lower edge 65536): p50 sits in the low bucket, p99 in
+        // the high one — recovered offline from the sparse encoding.
+        let jsonl = "\
+{\"type\": \"meta\", \"schema\": \"qnn-trace/v1\"}\n\
+{\"type\": \"hist\", \"name\": \"lat.us\", \"count\": 10, \"sum\": 100900, \
+\"min\": 100, \"max\": 100000, \"buckets\": [[64, 9], [65536, 1]]}";
+        let text = summarize(jsonl).unwrap();
+        assert!(text.contains("p50"), "{text}");
+        assert!(text.contains("64.00000"), "p50 bucket edge: {text}");
+        assert!(text.contains("65536.00000"), "p99 bucket edge: {text}");
+
+        // A count that disagrees with the buckets is a corrupt trace.
+        let bad = "\
+{\"type\": \"meta\", \"schema\": \"qnn-trace/v1\"}\n\
+{\"type\": \"hist\", \"name\": \"lat.us\", \"count\": 3, \"sum\": 1, \
+\"min\": 1, \"max\": 1, \"buckets\": [[64, 9]]}";
+        assert!(summarize(bad).unwrap_err().contains("bucket counts"), "");
     }
 
     #[test]

@@ -156,6 +156,7 @@ impl Network {
     /// layer error.
     pub fn forward(&mut self, batch: &Tensor, mode: Mode) -> Result<Tensor, NnError> {
         self.check_input(batch)?;
+        qnn_trace::counter!("nn.fwd.images", batch.shape().dim(0) as u64);
         let mut x = match &self.act_q[0] {
             Some(q) => q.quantize(batch),
             None => batch.clone(),

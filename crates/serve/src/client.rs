@@ -1,0 +1,209 @@
+//! A small blocking client for the `QSRV` protocol — what the
+//! `qnn-bench serve-soak` load generator, the e2e tests, and scripts
+//! drive the server with.
+
+use std::io::Write;
+use std::net::TcpStream;
+use std::time::Duration;
+
+use crate::proto::{read_frame, Frame, FrameKind};
+use crate::ServeError;
+
+/// One connection to a `qnn-serve` server.
+#[derive(Debug)]
+pub struct ServeClient {
+    stream: TcpStream,
+    next_id: u64,
+}
+
+impl ServeClient {
+    /// Connects to `addr` (e.g. `"127.0.0.1:7117"`). Reads time out
+    /// after 30 s so a wedged server surfaces as an error, not a hang.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Io`] on connect failure.
+    pub fn connect(addr: &str) -> Result<ServeClient, ServeError> {
+        let stream = TcpStream::connect(addr).map_err(|e| ServeError::io(&e))?;
+        stream
+            .set_read_timeout(Some(Duration::from_secs(30)))
+            .map_err(|e| ServeError::io(&e))?;
+        Ok(ServeClient { stream, next_id: 1 })
+    }
+
+    fn send(&mut self, frame: &Frame) -> Result<(), ServeError> {
+        self.stream
+            .write_all(&frame.encode())
+            .and_then(|()| self.stream.flush())
+            .map_err(|e| ServeError::io(&e))
+    }
+
+    fn next_id(&mut self) -> u64 {
+        let id = self.next_id;
+        self.next_id += 1;
+        id
+    }
+
+    /// Reads response frames until one matches `req_id` (responses to
+    /// pipelined requests may interleave; strays are dropped).
+    fn recv_for(&mut self, req_id: u64) -> Result<Frame, ServeError> {
+        loop {
+            let frame = read_frame(&mut self.stream)?;
+            if frame.req_id == req_id {
+                return Ok(frame);
+            }
+        }
+    }
+
+    /// Sends one inference request and blocks for its response.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Rejected`] carrying the server's typed error frame
+    /// (check [`is_busy`](ServeError::is_busy) for retryable
+    /// backpressure), [`ServeError::Proto`]/[`ServeError::Io`] on
+    /// transport trouble.
+    pub fn infer(&mut self, tag: u8, image: &[f32]) -> Result<Vec<f32>, ServeError> {
+        let id = self.next_id();
+        self.send(&Frame::infer(id, tag, image))?;
+        let frame = self.recv_for(id)?;
+        match frame.kind {
+            FrameKind::InferOk => Ok(frame.payload_f32s()?),
+            FrameKind::Error => {
+                let (code, retry_after_us, msg) = frame.error_info()?;
+                Err(ServeError::Rejected {
+                    code,
+                    retry_after_us,
+                    msg,
+                })
+            }
+            other => Err(ServeError::UnexpectedFrame(other)),
+        }
+    }
+
+    /// [`infer`](ServeClient::infer), retrying `Busy` rejections after
+    /// each one's hinted delay, up to `max_retries` times. Returns the
+    /// logits and how many retries it took.
+    ///
+    /// # Errors
+    ///
+    /// The final error once retries are exhausted, or any non-`Busy`
+    /// failure immediately.
+    pub fn infer_retry(
+        &mut self,
+        tag: u8,
+        image: &[f32],
+        max_retries: usize,
+    ) -> Result<(Vec<f32>, usize), ServeError> {
+        let mut retries = 0;
+        loop {
+            match self.infer(tag, image) {
+                Ok(logits) => return Ok((logits, retries)),
+                Err(e) if e.is_busy() && retries < max_retries => {
+                    let hint = match &e {
+                        ServeError::Rejected { retry_after_us, .. } => *retry_after_us,
+                        _ => 0,
+                    };
+                    std::thread::sleep(Duration::from_micros(u64::from(hint.clamp(100, 50_000))));
+                    retries += 1;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Asks the server to drain and stop; blocks until the post-drain
+    /// `ShutdownAck` arrives.
+    ///
+    /// # Errors
+    ///
+    /// Transport errors, or [`ServeError::UnexpectedFrame`] /
+    /// [`ServeError::Rejected`] if the server answers anything else.
+    pub fn shutdown_server(&mut self) -> Result<(), ServeError> {
+        let id = self.next_id();
+        self.send(&Frame::shutdown(id))?;
+        let frame = self.recv_for(id)?;
+        match frame.kind {
+            FrameKind::ShutdownAck => Ok(()),
+            FrameKind::Error => {
+                let (code, retry_after_us, msg) = frame.error_info()?;
+                Err(ServeError::Rejected {
+                    code,
+                    retry_after_us,
+                    msg,
+                })
+            }
+            other => Err(ServeError::UnexpectedFrame(other)),
+        }
+    }
+
+    /// Sends raw bytes down the socket — the malformed-input hammer the
+    /// protocol tests use. Not part of the polite API.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Io`] on write failure.
+    pub fn send_raw(&mut self, bytes: &[u8]) -> Result<(), ServeError> {
+        self.stream
+            .write_all(bytes)
+            .and_then(|()| self.stream.flush())
+            .map_err(|e| ServeError::io(&e))
+    }
+
+    /// Reads one frame off the socket (for tests driving `send_raw`).
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Proto`] with the decode failure.
+    pub fn recv_frame(&mut self) -> Result<Frame, ServeError> {
+        Ok(read_frame(&mut self.stream)?)
+    }
+
+    /// Half-closes the write side, so the server sees EOF while this end
+    /// can still read any final response (used by truncation tests).
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Io`] on failure.
+    pub fn finish_writes(&mut self) -> Result<(), ServeError> {
+        self.stream
+            .shutdown(std::net::Shutdown::Write)
+            .map_err(|e| ServeError::io(&e))
+    }
+
+    /// Tightens the read timeout (tests use short ones to prove the
+    /// server answers promptly rather than hanging).
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Io`] on failure.
+    pub fn set_read_timeout(&mut self, timeout: Duration) -> Result<(), ServeError> {
+        self.stream
+            .set_read_timeout(Some(timeout))
+            .map_err(|e| ServeError::io(&e))
+    }
+
+    /// Fire-and-forget pipelining: send an inference request without
+    /// waiting, returning its request id for a later
+    /// [`recv_frame`](ServeClient::recv_frame) match-up.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Io`] on write failure.
+    pub fn send_infer(&mut self, tag: u8, image: &[f32]) -> Result<u64, ServeError> {
+        let id = self.next_id();
+        self.send(&Frame::infer(id, tag, image))?;
+        Ok(id)
+    }
+
+    /// Pipelined shutdown: send without waiting for the ack.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Io`] on write failure.
+    pub fn send_shutdown(&mut self) -> Result<u64, ServeError> {
+        let id = self.next_id();
+        self.send(&Frame::shutdown(id))?;
+        Ok(id)
+    }
+}

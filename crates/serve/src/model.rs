@@ -1,0 +1,233 @@
+//! The model bank: one ready-to-serve [`Network`] per Table III precision.
+//!
+//! The serving contract is *bit-identity*: a response computed inside a
+//! dynamic batch must equal, bit for bit, a single-shot forward of the
+//! same image. That holds because every kernel in the forward path
+//! computes each output element from its own image's inputs in a fixed
+//! association order — the same invariant the compute core guarantees for
+//! thread counts — and [`tests::batched_equals_single_shot`] pins it.
+//!
+//! Both sides of the wire build the same bank from the same seed
+//! ([`MODEL_SEED`]), so a load generator can verify responses against its
+//! own local single-shot forwards without any weight exchange.
+
+use qnn_nn::arch::NetworkSpec;
+use qnn_nn::{ActivationCalibration, Mode, Network, NnError};
+use qnn_quant::{calibrate::Method, Precision};
+use qnn_tensor::rng::{derive_seed, seeded};
+use qnn_tensor::{Shape, Tensor};
+
+/// Seed both the server and the soak client build their banks from.
+pub const MODEL_SEED: u64 = 0x51AB;
+
+/// Number of precision tags — the seven rows of Table III, in order.
+pub const NUM_PRECISIONS: u8 = 7;
+
+/// Maps a wire precision tag to its Table III precision (tag = row index).
+pub fn precision_for_tag(tag: u8) -> Option<Precision> {
+    Precision::paper_sweep().into_iter().nth(tag as usize)
+}
+
+/// The served architecture: a LeNet-style conv/pool/dense stack on an
+/// `8×8` single-channel input, small enough that a CI soak run with
+/// hundreds of requests per precision finishes in seconds while still
+/// exercising conv, pooling and dense layers plus the native-kernel
+/// dispatch.
+pub fn serve_spec() -> NetworkSpec {
+    NetworkSpec::new("serve-lenet-8", (1, 8, 8))
+        .conv(6, 3, 1, 1)
+        .relu()
+        .max_pool(2, 2)
+        .conv(10, 3, 1, 1)
+        .relu()
+        .max_pool(2, 2)
+        .dense(10)
+}
+
+/// A deterministic synthetic image for request `i` of a run seeded with
+/// `seed` — what the soak load generator sends and what it forwards
+/// locally to compute the expected logits.
+pub fn test_image(seed: u64, i: u64, len: usize) -> Vec<f32> {
+    let mut r = seeded(derive_seed(seed, i));
+    (0..len).map(|_| r.gen_range(-1.0f32..1.0)).collect()
+}
+
+/// One network per Table III precision, all sharing the same base
+/// weights, calibrated once at construction.
+pub struct ModelBank {
+    nets: Vec<Network>,
+    input: (usize, usize, usize),
+    classes: usize,
+}
+
+impl std::fmt::Debug for ModelBank {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ModelBank")
+            .field("precisions", &self.nets.len())
+            .field("input", &self.input)
+            .finish()
+    }
+}
+
+impl ModelBank {
+    /// Builds and calibrates the bank from `seed`: every precision gets a
+    /// network with identical base weights (same build seed), quantized
+    /// against the same deterministic calibration batch.
+    ///
+    /// # Errors
+    ///
+    /// Propagates network construction and calibration errors.
+    pub fn build(seed: u64) -> Result<ModelBank, NnError> {
+        let spec = serve_spec();
+        let input = spec.input();
+        let calib = Self::calib_batch(seed, input);
+        let mut nets = Vec::with_capacity(NUM_PRECISIONS as usize);
+        for precision in Precision::paper_sweep() {
+            let mut net = Network::build(&spec, derive_seed(seed, 0x9e7))?;
+            net.set_precision(
+                precision,
+                Method::MaxAbs,
+                &calib,
+                ActivationCalibration::PerLayer,
+            )?;
+            nets.push(net);
+        }
+        let classes = spec.num_classes().unwrap_or(0);
+        Ok(ModelBank {
+            nets,
+            input,
+            classes,
+        })
+    }
+
+    /// The bank every shipped binary uses ([`MODEL_SEED`]).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`build`](ModelBank::build).
+    pub fn default_bank() -> Result<ModelBank, NnError> {
+        ModelBank::build(MODEL_SEED)
+    }
+
+    fn calib_batch(seed: u64, (c, h, w): (usize, usize, usize)) -> Tensor {
+        let n = 8;
+        let mut r = seeded(derive_seed(seed, 0xca11));
+        let data: Vec<f32> = (0..n * c * h * w)
+            .map(|_| r.gen_range(-1.0f32..1.0))
+            .collect();
+        Tensor::from_vec(Shape::d4(n, c, h, w), data).expect("calibration batch shape")
+    }
+
+    /// Floats per request image (`c*h*w`).
+    pub fn input_len(&self) -> usize {
+        let (c, h, w) = self.input;
+        c * h * w
+    }
+
+    /// Floats per response (`classes`).
+    pub fn num_classes(&self) -> usize {
+        self.classes
+    }
+
+    /// Runs one stacked Eval forward over `images` (each of
+    /// [`input_len`](ModelBank::input_len) floats) under the precision of
+    /// `tag`, returning one logits row per image.
+    ///
+    /// # Errors
+    ///
+    /// Returns `None`-tag errors as [`NnError::InvalidSpec`]; propagates
+    /// forward-pass errors.
+    pub fn forward_batch(&mut self, tag: u8, images: &[&[f32]]) -> Result<Vec<Vec<f32>>, NnError> {
+        let net = self
+            .nets
+            .get_mut(tag as usize)
+            .ok_or_else(|| NnError::InvalidSpec {
+                network: "serve".to_string(),
+                reason: format!("unknown precision tag {tag}"),
+            })?;
+        let (c, h, w) = self.input;
+        let per = c * h * w;
+        let n = images.len();
+        let mut data = Vec::with_capacity(n * per);
+        for img in images {
+            debug_assert_eq!(img.len(), per);
+            data.extend_from_slice(img);
+        }
+        let batch = Tensor::from_vec(Shape::d4(n, c, h, w), data).map_err(NnError::from)?;
+        let logits = net.forward(&batch, Mode::Eval)?;
+        let k = logits.shape().dim(1);
+        let flat = logits.as_slice();
+        Ok((0..n).map(|i| flat[i * k..(i + 1) * k].to_vec()).collect())
+    }
+
+    /// Single-shot forward of one image — the reference the soak client
+    /// compares every batched response against.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`forward_batch`](ModelBank::forward_batch).
+    pub fn forward_single(&mut self, tag: u8, image: &[f32]) -> Result<Vec<f32>, NnError> {
+        Ok(self.forward_batch(tag, &[image])?.remove(0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tags_cover_the_paper_sweep() {
+        assert_eq!(
+            Precision::paper_sweep().len(),
+            NUM_PRECISIONS as usize,
+            "tag space must match Table III"
+        );
+        assert_eq!(precision_for_tag(0), Some(Precision::float32()));
+        assert_eq!(precision_for_tag(6), Some(Precision::binary()));
+        assert_eq!(precision_for_tag(NUM_PRECISIONS), None);
+    }
+
+    #[test]
+    fn batched_equals_single_shot() {
+        // The serving contract: any image's logits are independent of the
+        // batch it rode in, bit for bit, under every precision.
+        let mut bank = ModelBank::build(7).unwrap();
+        let per = bank.input_len();
+        let images: Vec<Vec<f32>> = (0..5).map(|i| test_image(7, i, per)).collect();
+        let refs: Vec<&[f32]> = images.iter().map(Vec::as_slice).collect();
+        for tag in 0..NUM_PRECISIONS {
+            let batched = bank.forward_batch(tag, &refs).unwrap();
+            for (i, img) in images.iter().enumerate() {
+                let single = bank.forward_single(tag, img).unwrap();
+                let same = single
+                    .iter()
+                    .zip(&batched[i])
+                    .all(|(a, b)| a.to_bits() == b.to_bits());
+                assert!(same, "tag {tag} image {i}: batched != single-shot");
+            }
+        }
+    }
+
+    #[test]
+    fn same_seed_builds_identical_banks() {
+        let mut a = ModelBank::default_bank().unwrap();
+        let mut b = ModelBank::default_bank().unwrap();
+        let img = test_image(MODEL_SEED, 3, a.input_len());
+        for tag in 0..NUM_PRECISIONS {
+            assert_eq!(
+                a.forward_single(tag, &img).unwrap(),
+                b.forward_single(tag, &img).unwrap(),
+                "tag {tag}"
+            );
+        }
+    }
+
+    #[test]
+    fn distinct_precisions_actually_differ() {
+        let mut bank = ModelBank::default_bank().unwrap();
+        let img = test_image(MODEL_SEED, 1, bank.input_len());
+        let fp = bank.forward_single(0, &img).unwrap();
+        let q4 = bank.forward_single(4, &img).unwrap();
+        assert_ne!(fp, q4, "fixed(4,4) must perturb logits vs float32");
+    }
+}

@@ -1,0 +1,605 @@
+//! The `QSRV` wire format: length-prefixed binary frames with a CRC32
+//! trailer.
+//!
+//! Every frame is laid out as (all integers little-endian):
+//!
+//! ```text
+//! offset  size  field
+//!      0     4  magic        "QSRV"
+//!      4     2  version      1
+//!      6     1  kind         Infer | InferOk | Error | Shutdown | ShutdownAck
+//!      7     1  tag          precision tag (Infer) / error code (Error) / 0
+//!      8     8  req_id       echoed verbatim in the response
+//!     16     4  payload_len  bytes to follow, ≤ MAX_PAYLOAD
+//!     20     n  payload      f32 LE image (Infer) / f32 LE logits (InferOk)
+//!                            / retry_after_us:u32 + utf-8 detail (Error)
+//!   20+n     4  crc32        qnn_faults::crc32 over bytes [0, 20+n)
+//! ```
+//!
+//! Decoding is total: every malformed input — truncation at any prefix
+//! length, wrong magic/version/kind, an oversized length, a corrupted
+//! CRC — maps to a typed [`ProtoError`], never a panic. The property
+//! tests in `tests/proto_props.rs` drive ≥256 seeded mutations through
+//! [`read_frame`] to hold that line.
+
+use std::fmt;
+use std::io::Read;
+
+use qnn_faults::crc32;
+
+/// Frame magic: `"QSRV"` as a little-endian `u32`.
+pub const MAGIC: u32 = u32::from_le_bytes(*b"QSRV");
+
+/// Highest protocol version this build speaks.
+pub const VERSION: u16 = 1;
+
+/// Fixed header size in bytes (everything before the payload).
+pub const HEADER_LEN: usize = 20;
+
+/// Hard cap on `payload_len`: a frame larger than this is rejected
+/// before any payload allocation happens.
+pub const MAX_PAYLOAD: u32 = 1 << 20;
+
+/// What a frame is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum FrameKind {
+    /// Client → server: run inference on the payload image.
+    Infer = 1,
+    /// Server → client: the logits for a request.
+    InferOk = 2,
+    /// Server → client: a typed rejection (code in `tag`).
+    Error = 3,
+    /// Client → server: drain in-flight work and stop.
+    Shutdown = 4,
+    /// Server → client: the drain finished; the server is exiting.
+    ShutdownAck = 5,
+}
+
+impl FrameKind {
+    /// Parses the `kind` header byte.
+    pub fn from_u8(b: u8) -> Option<FrameKind> {
+        Some(match b {
+            1 => FrameKind::Infer,
+            2 => FrameKind::InferOk,
+            3 => FrameKind::Error,
+            4 => FrameKind::Shutdown,
+            5 => FrameKind::ShutdownAck,
+            _ => return None,
+        })
+    }
+}
+
+/// Machine-readable reason carried in an [`FrameKind::Error`] frame's
+/// `tag` byte.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum ErrorCode {
+    /// The stream did not start with the `QSRV` magic.
+    BadMagic = 1,
+    /// The version field is newer than this build speaks.
+    BadVersion = 2,
+    /// The kind byte is not a known frame kind.
+    BadKind = 3,
+    /// The CRC32 trailer did not match the frame bytes.
+    BadCrc = 4,
+    /// `payload_len` exceeds [`MAX_PAYLOAD`].
+    Oversized = 5,
+    /// The precision tag does not name a Table III row.
+    BadPrecision = 6,
+    /// The payload is not a whole number of floats, or its length does
+    /// not match the served model's input.
+    BadPayload = 7,
+    /// The batching queue is full — backpressure. Retry after the hint.
+    Busy = 8,
+    /// The server is draining for shutdown and accepts no new work.
+    ShuttingDown = 9,
+    /// The forward pass itself failed (should not happen after payload
+    /// validation; reported rather than panicking the engine).
+    Internal = 10,
+    /// The stream ended mid-frame. The server answers on the write half
+    /// (still open under a half-close) before hanging up.
+    Truncated = 11,
+}
+
+impl ErrorCode {
+    /// Parses the `tag` byte of an error frame.
+    pub fn from_u8(b: u8) -> Option<ErrorCode> {
+        Some(match b {
+            1 => ErrorCode::BadMagic,
+            2 => ErrorCode::BadVersion,
+            3 => ErrorCode::BadKind,
+            4 => ErrorCode::BadCrc,
+            5 => ErrorCode::Oversized,
+            6 => ErrorCode::BadPrecision,
+            7 => ErrorCode::BadPayload,
+            8 => ErrorCode::Busy,
+            9 => ErrorCode::ShuttingDown,
+            10 => ErrorCode::Internal,
+            11 => ErrorCode::Truncated,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for ErrorCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self:?}")
+    }
+}
+
+/// Every way a byte stream can fail to be a `QSRV` frame.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ProtoError {
+    /// Clean end of stream before the first header byte — not an error
+    /// on a connection, just "the peer is done".
+    Eof,
+    /// The stream ended (or an I/O error cut it) inside a frame.
+    Truncated {
+        /// Bytes of the frame that did arrive.
+        got: usize,
+    },
+    /// The first four bytes are not `"QSRV"`.
+    BadMagic {
+        /// The value found.
+        found: u32,
+    },
+    /// The version field is not one this build speaks.
+    BadVersion {
+        /// The value found.
+        found: u16,
+    },
+    /// The kind byte is unknown.
+    BadKind {
+        /// The value found.
+        found: u8,
+    },
+    /// `payload_len` exceeds [`MAX_PAYLOAD`].
+    Oversized {
+        /// The declared payload length.
+        declared: u32,
+    },
+    /// The CRC32 trailer does not match the received bytes.
+    BadCrc {
+        /// Checksum in the trailer.
+        stored: u32,
+        /// Checksum recomputed over the frame.
+        computed: u32,
+    },
+    /// The payload did not decode as its kind demands (e.g. not a whole
+    /// number of floats).
+    BadPayload {
+        /// What was wrong.
+        reason: String,
+    },
+    /// An OS-level read/write failure, flattened to keep this `Clone`.
+    Io {
+        /// `io::Error` display text.
+        msg: String,
+    },
+}
+
+impl ProtoError {
+    /// The error frame a server should answer with, if the connection is
+    /// still usable enough to answer at all. [`ProtoError::Eof`] (a clean
+    /// close, nothing to reject) and [`ProtoError::Io`] (the transport
+    /// itself failed) are not answerable; truncation *is* — the peer may
+    /// have only half-closed, leaving the server's write half open for a
+    /// parting [`ErrorCode::Truncated`] frame.
+    pub fn as_error_code(&self) -> Option<ErrorCode> {
+        Some(match self {
+            ProtoError::Eof | ProtoError::Io { .. } => return None,
+            ProtoError::Truncated { .. } => ErrorCode::Truncated,
+            ProtoError::BadMagic { .. } => ErrorCode::BadMagic,
+            ProtoError::BadVersion { .. } => ErrorCode::BadVersion,
+            ProtoError::BadKind { .. } => ErrorCode::BadKind,
+            ProtoError::Oversized { .. } => ErrorCode::Oversized,
+            ProtoError::BadCrc { .. } => ErrorCode::BadCrc,
+            ProtoError::BadPayload { .. } => ErrorCode::BadPayload,
+        })
+    }
+}
+
+impl fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtoError::Eof => write!(f, "end of stream"),
+            ProtoError::Truncated { got } => write!(f, "frame truncated after {got} bytes"),
+            ProtoError::BadMagic { found } => write!(f, "bad magic {found:#010x}"),
+            ProtoError::BadVersion { found } => write!(f, "unsupported version {found}"),
+            ProtoError::BadKind { found } => write!(f, "unknown frame kind {found}"),
+            ProtoError::Oversized { declared } => {
+                write!(f, "payload {declared} bytes exceeds cap {MAX_PAYLOAD}")
+            }
+            ProtoError::BadCrc { stored, computed } => {
+                write!(
+                    f,
+                    "CRC mismatch: stored {stored:#010x}, computed {computed:#010x}"
+                )
+            }
+            ProtoError::BadPayload { reason } => write!(f, "bad payload: {reason}"),
+            ProtoError::Io { msg } => write!(f, "i/o: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ProtoError {}
+
+/// A decoded frame.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Frame {
+    /// What the frame is.
+    pub kind: FrameKind,
+    /// Precision tag (Infer) or error code (Error); 0 otherwise.
+    pub tag: u8,
+    /// Request id, echoed verbatim in responses.
+    pub req_id: u64,
+    /// Kind-specific payload bytes.
+    pub payload: Vec<u8>,
+}
+
+fn f32s_to_bytes(values: &[f32]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(values.len() * 4);
+    for v in values {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    out
+}
+
+impl Frame {
+    /// An inference request for `image` under precision `tag`.
+    pub fn infer(req_id: u64, tag: u8, image: &[f32]) -> Frame {
+        Frame {
+            kind: FrameKind::Infer,
+            tag,
+            req_id,
+            payload: f32s_to_bytes(image),
+        }
+    }
+
+    /// The logits response to request `req_id`.
+    pub fn infer_ok(req_id: u64, logits: &[f32]) -> Frame {
+        Frame {
+            kind: FrameKind::InferOk,
+            tag: 0,
+            req_id,
+            payload: f32s_to_bytes(logits),
+        }
+    }
+
+    /// A typed rejection of request `req_id`.
+    pub fn error(req_id: u64, code: ErrorCode, retry_after_us: u32, msg: &str) -> Frame {
+        let mut payload = retry_after_us.to_le_bytes().to_vec();
+        payload.extend_from_slice(msg.as_bytes());
+        Frame {
+            kind: FrameKind::Error,
+            tag: code as u8,
+            req_id,
+            payload,
+        }
+    }
+
+    /// A graceful-shutdown request.
+    pub fn shutdown(req_id: u64) -> Frame {
+        Frame {
+            kind: FrameKind::Shutdown,
+            tag: 0,
+            req_id,
+            payload: Vec::new(),
+        }
+    }
+
+    /// The drain-complete acknowledgement of a shutdown request.
+    pub fn shutdown_ack(req_id: u64) -> Frame {
+        Frame {
+            kind: FrameKind::ShutdownAck,
+            tag: 0,
+            req_id,
+            payload: Vec::new(),
+        }
+    }
+
+    /// Interprets the payload as little-endian `f32`s.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtoError::BadPayload`] when the length is not a multiple of 4.
+    pub fn payload_f32s(&self) -> Result<Vec<f32>, ProtoError> {
+        if !self.payload.len().is_multiple_of(4) {
+            return Err(ProtoError::BadPayload {
+                reason: format!("{} bytes is not a whole number of f32s", self.payload.len()),
+            });
+        }
+        Ok(self
+            .payload
+            .chunks_exact(4)
+            .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+            .collect())
+    }
+
+    /// Decodes an [`FrameKind::Error`] payload into
+    /// `(code, retry_after_us, message)`.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtoError::BadPayload`] when the frame is not an error frame,
+    /// the code byte is unknown, or the payload is too short.
+    pub fn error_info(&self) -> Result<(ErrorCode, u32, String), ProtoError> {
+        if self.kind != FrameKind::Error {
+            return Err(ProtoError::BadPayload {
+                reason: format!("{:?} is not an error frame", self.kind),
+            });
+        }
+        let code = ErrorCode::from_u8(self.tag).ok_or_else(|| ProtoError::BadPayload {
+            reason: format!("unknown error code {}", self.tag),
+        })?;
+        if self.payload.len() < 4 {
+            return Err(ProtoError::BadPayload {
+                reason: "error payload shorter than its retry hint".to_string(),
+            });
+        }
+        let retry = u32::from_le_bytes([
+            self.payload[0],
+            self.payload[1],
+            self.payload[2],
+            self.payload[3],
+        ]);
+        let msg = String::from_utf8_lossy(&self.payload[4..]).into_owned();
+        Ok((code, retry, msg))
+    }
+
+    /// Serializes the frame: header, payload, CRC32 trailer.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(HEADER_LEN + self.payload.len() + 4);
+        out.extend_from_slice(&MAGIC.to_le_bytes());
+        out.extend_from_slice(&VERSION.to_le_bytes());
+        out.push(self.kind as u8);
+        out.push(self.tag);
+        out.extend_from_slice(&self.req_id.to_le_bytes());
+        out.extend_from_slice(&(self.payload.len() as u32).to_le_bytes());
+        out.extend_from_slice(&self.payload);
+        let crc = crc32::checksum(&out);
+        out.extend_from_slice(&crc.to_le_bytes());
+        out
+    }
+}
+
+/// A validated header: what [`parse_header`] hands back before the
+/// payload is read.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Header {
+    /// Frame kind.
+    pub kind: FrameKind,
+    /// Tag byte (precision or error code).
+    pub tag: u8,
+    /// Request id.
+    pub req_id: u64,
+    /// Declared payload length (already checked against [`MAX_PAYLOAD`]).
+    pub payload_len: u32,
+}
+
+/// Validates a fixed-size header block: magic, version, kind, and the
+/// payload-length cap. The cap check runs *before* any payload
+/// allocation, so a hostile length cannot balloon memory.
+///
+/// # Errors
+///
+/// The corresponding [`ProtoError`] for each malformed field, checked in
+/// wire order.
+pub fn parse_header(h: &[u8; HEADER_LEN]) -> Result<Header, ProtoError> {
+    let magic = u32::from_le_bytes([h[0], h[1], h[2], h[3]]);
+    if magic != MAGIC {
+        return Err(ProtoError::BadMagic { found: magic });
+    }
+    let version = u16::from_le_bytes([h[4], h[5]]);
+    if version != VERSION {
+        return Err(ProtoError::BadVersion { found: version });
+    }
+    let kind = FrameKind::from_u8(h[6]).ok_or(ProtoError::BadKind { found: h[6] })?;
+    let tag = h[7];
+    let req_id = u64::from_le_bytes([h[8], h[9], h[10], h[11], h[12], h[13], h[14], h[15]]);
+    let payload_len = u32::from_le_bytes([h[16], h[17], h[18], h[19]]);
+    if payload_len > MAX_PAYLOAD {
+        return Err(ProtoError::Oversized {
+            declared: payload_len,
+        });
+    }
+    Ok(Header {
+        kind,
+        tag,
+        req_id,
+        payload_len,
+    })
+}
+
+/// Verifies the CRC32 trailer against the received header + payload and
+/// assembles the [`Frame`].
+///
+/// # Errors
+///
+/// [`ProtoError::BadCrc`] on mismatch.
+pub fn finish_frame(
+    header_bytes: &[u8; HEADER_LEN],
+    header: Header,
+    payload: Vec<u8>,
+    stored_crc: u32,
+) -> Result<Frame, ProtoError> {
+    let mut h = crc32::Crc32::new();
+    h.update(header_bytes);
+    h.update(&payload);
+    let computed = h.finish();
+    if computed != stored_crc {
+        return Err(ProtoError::BadCrc {
+            stored: stored_crc,
+            computed,
+        });
+    }
+    Ok(Frame {
+        kind: header.kind,
+        tag: header.tag,
+        req_id: header.req_id,
+        payload,
+    })
+}
+
+/// Reads exactly `buf.len()` bytes, mapping a clean EOF to
+/// [`ProtoError::Eof`] when nothing of the frame had arrived yet
+/// (`got == 0`) and to [`ProtoError::Truncated`] otherwise.
+fn read_exact_at(r: &mut impl Read, buf: &mut [u8], got_so_far: usize) -> Result<(), ProtoError> {
+    let mut off = 0;
+    while off < buf.len() {
+        match r.read(&mut buf[off..]) {
+            Ok(0) => {
+                return if got_so_far + off == 0 {
+                    Err(ProtoError::Eof)
+                } else {
+                    Err(ProtoError::Truncated {
+                        got: got_so_far + off,
+                    })
+                };
+            }
+            Ok(n) => off += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(ProtoError::Io { msg: e.to_string() }),
+        }
+    }
+    Ok(())
+}
+
+/// Reads and validates one frame from a blocking reader.
+///
+/// Total: every malformed stream yields a typed [`ProtoError`]; only a
+/// clean close exactly on a frame boundary is [`ProtoError::Eof`].
+///
+/// # Errors
+///
+/// See [`ProtoError`].
+pub fn read_frame(r: &mut impl Read) -> Result<Frame, ProtoError> {
+    let mut header_bytes = [0u8; HEADER_LEN];
+    read_exact_at(r, &mut header_bytes, 0)?;
+    let header = parse_header(&header_bytes)?;
+    let mut payload = vec![0u8; header.payload_len as usize];
+    read_exact_at(r, &mut payload, HEADER_LEN)?;
+    let mut crc = [0u8; 4];
+    read_exact_at(r, &mut crc, HEADER_LEN + payload.len())?;
+    finish_frame(&header_bytes, header, payload, u32::from_le_bytes(crc))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn round_trip_every_kind() {
+        let frames = [
+            Frame::infer(7, 3, &[1.0, -0.5, 0.25]),
+            Frame::infer_ok(7, &[0.1, 0.9]),
+            Frame::error(9, ErrorCode::Busy, 1500, "queue full"),
+            Frame::shutdown(11),
+            Frame::shutdown_ack(11),
+        ];
+        for f in frames {
+            let bytes = f.encode();
+            let back = read_frame(&mut Cursor::new(&bytes)).unwrap();
+            assert_eq!(back, f);
+        }
+    }
+
+    #[test]
+    fn payload_codecs_round_trip() {
+        let f = Frame::infer(1, 2, &[3.5, -0.0, f32::MIN_POSITIVE]);
+        assert_eq!(
+            f.payload_f32s().unwrap(),
+            vec![3.5, -0.0, f32::MIN_POSITIVE]
+        );
+        let e = Frame::error(2, ErrorCode::ShuttingDown, 0, "bye");
+        assert_eq!(
+            e.error_info().unwrap(),
+            (ErrorCode::ShuttingDown, 0, "bye".to_string())
+        );
+    }
+
+    #[test]
+    fn empty_stream_is_eof_not_truncated() {
+        assert_eq!(read_frame(&mut Cursor::new(&[][..])), Err(ProtoError::Eof));
+    }
+
+    #[test]
+    fn each_header_field_is_checked_in_order() {
+        let good = Frame::shutdown(1).encode();
+
+        let mut bad_magic = good.clone();
+        bad_magic[0] ^= 0xFF;
+        assert!(matches!(
+            read_frame(&mut Cursor::new(&bad_magic)),
+            Err(ProtoError::BadMagic { .. })
+        ));
+
+        let mut bad_version = good.clone();
+        bad_version[4] = 99;
+        assert!(matches!(
+            read_frame(&mut Cursor::new(&bad_version)),
+            Err(ProtoError::BadVersion { found: 99 })
+        ));
+
+        let mut bad_kind = good.clone();
+        bad_kind[6] = 42;
+        assert!(matches!(
+            read_frame(&mut Cursor::new(&bad_kind)),
+            Err(ProtoError::BadKind { found: 42 })
+        ));
+
+        let mut oversized = good;
+        oversized[16..20].copy_from_slice(&(MAX_PAYLOAD + 1).to_le_bytes());
+        assert!(matches!(
+            read_frame(&mut Cursor::new(&oversized)),
+            Err(ProtoError::Oversized { .. })
+        ));
+    }
+
+    #[test]
+    fn corrupted_payload_fails_crc() {
+        let mut bytes = Frame::infer(1, 0, &[1.0, 2.0]).encode();
+        let mid = HEADER_LEN + 2;
+        bytes[mid] ^= 0x10;
+        assert!(matches!(
+            read_frame(&mut Cursor::new(&bytes)),
+            Err(ProtoError::BadCrc { .. })
+        ));
+    }
+
+    #[test]
+    fn truncation_reports_received_byte_count() {
+        let bytes = Frame::infer(1, 0, &[1.0]).encode();
+        let cut = bytes.len() - 3;
+        match read_frame(&mut Cursor::new(&bytes[..cut])) {
+            Err(ProtoError::Truncated { got }) => assert_eq!(got, cut),
+            other => panic!("expected Truncated, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unanswerable_errors_have_no_code() {
+        assert_eq!(ProtoError::Eof.as_error_code(), None);
+        assert_eq!(
+            ProtoError::Io {
+                msg: "reset".to_string()
+            }
+            .as_error_code(),
+            None
+        );
+        assert_eq!(
+            ProtoError::Truncated { got: 3 }.as_error_code(),
+            Some(ErrorCode::Truncated)
+        );
+        assert_eq!(
+            ProtoError::BadCrc {
+                stored: 1,
+                computed: 2
+            }
+            .as_error_code(),
+            Some(ErrorCode::BadCrc)
+        );
+    }
+}

@@ -1,0 +1,627 @@
+//! The server: an accept loop, one reader + one writer thread per
+//! connection, and a single inference engine thread draining the
+//! batching queue.
+//!
+//! ## Thread structure
+//!
+//! * **accept** — blocks in `TcpListener::accept`, spawns a handler per
+//!   connection, exits when the stop flag rises (woken by a loopback
+//!   self-connect).
+//! * **handler** (per connection) — decodes frames with a 50 ms poll so
+//!   it can observe the stop flag, validates them, and enqueues
+//!   [`Request`]s. Malformed input answers with a typed error frame
+//!   where the stream is still answerable, and never panics the server.
+//! * **writer** (per connection) — owns the write half; everything sent
+//!   to a connection (engine responses and handler rejections alike)
+//!   funnels through one mpsc channel, so frames never interleave
+//!   mid-write.
+//! * **engine** — the only thread touching the [`ModelBank`]: drains
+//!   batches, groups them by precision tag, runs one stacked Eval
+//!   forward per group, and routes each logits row back. Because the
+//!   engine is single-threaded, per-batch `qnn-trace` spans nest
+//!   correctly; the data-parallel kernels inside the forward still fan
+//!   out across the worker pool.
+//!
+//! ## Graceful shutdown
+//!
+//! A `Shutdown` frame (or [`Server::shutdown`]) closes the queue: new
+//! work is refused with `ShuttingDown`, the engine drains every request
+//! already accepted, acknowledges each shutdown requester with
+//! `ShutdownAck` *after* the drain, raises the stop flag and wakes the
+//! accept loop. [`Server::join`] then reaps every thread and returns the
+//! run's [`ServeStats`].
+
+use std::collections::BTreeMap;
+use std::io::Write;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use qnn_trace::Histogram;
+
+use crate::model::{ModelBank, MODEL_SEED, NUM_PRECISIONS};
+use crate::proto::{self, ErrorCode, Frame, FrameKind, ProtoError, HEADER_LEN};
+use crate::queue::{BatchQueue, PushError, Request};
+use crate::ServeError;
+
+/// Tuning knobs for a server instance.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address; port 0 picks a free port (report it via
+    /// [`Server::local_addr`]).
+    pub addr: String,
+    /// Flush a batch as soon as this many requests are waiting.
+    pub max_batch: usize,
+    /// ... or when the oldest request has waited this long.
+    pub max_wait: Duration,
+    /// Queue capacity; pushes beyond it are rejected with `Busy`.
+    pub queue_cap: usize,
+    /// Model-bank seed (both ends of a soak run must agree).
+    pub seed: u64,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            max_batch: 16,
+            max_wait: Duration::from_micros(2000),
+            queue_cap: 256,
+            seed: MODEL_SEED,
+        }
+    }
+}
+
+/// What a finished server run did, returned by [`Server::join`].
+#[derive(Debug, Clone)]
+pub struct ServeStats {
+    /// Inference requests answered with logits.
+    pub requests: u64,
+    /// Batches flushed through the engine.
+    pub batches: u64,
+    /// Requests rejected with `Busy` (backpressure).
+    pub rejected_busy: u64,
+    /// Connections accepted.
+    pub connections: u64,
+    /// Per-request queue→response latency, microseconds.
+    pub latency_us: Histogram,
+    /// Requests per flushed batch.
+    pub batch_size: Histogram,
+}
+
+impl ServeStats {
+    /// A human-readable run summary (printed by `qnn serve` at exit).
+    pub fn render(&self) -> String {
+        format!(
+            "served {} request(s) in {} batch(es) over {} connection(s); \
+             {} busy rejection(s)\n\
+             batch size  mean {:.2}  p50 {:.0}  p99 {:.0}  max {:.0}\n\
+             latency us  mean {:.0}  p50 {:.0}  p99 {:.0}  max {:.0}\n",
+            self.requests,
+            self.batches,
+            self.connections,
+            self.rejected_busy,
+            self.batch_size.mean(),
+            self.batch_size.quantile(0.5),
+            self.batch_size.quantile(0.99),
+            if self.batch_size.count == 0 {
+                0.0
+            } else {
+                self.batch_size.max
+            },
+            self.latency_us.mean(),
+            self.latency_us.quantile(0.5),
+            self.latency_us.quantile(0.99),
+            if self.latency_us.count == 0 {
+                0.0
+            } else {
+                self.latency_us.max
+            },
+        )
+    }
+}
+
+/// Shared control state.
+struct Ctl {
+    queue: BatchQueue,
+    /// Everything exits when this rises (set by the engine after drain).
+    stop: AtomicBool,
+    /// Connections that asked for shutdown, acked after the drain.
+    shutdown_waiters: Mutex<Vec<(u64, mpsc::Sender<Frame>)>>,
+    /// Busy rejections (handlers increment, engine folds into stats).
+    rejected_busy: AtomicU64,
+    /// Accepted connections.
+    connections: AtomicU64,
+    /// Expected image length in floats, for request validation.
+    input_len: usize,
+    /// Retry hint handed out with `Busy` rejections, microseconds.
+    retry_hint_us: u32,
+}
+
+impl Ctl {
+    fn begin_shutdown(&self) {
+        self.queue.close();
+    }
+}
+
+/// A running server; dropping it does *not* stop it — call
+/// [`shutdown`](Server::shutdown) + [`join`](Server::join) (or have a
+/// client send a `Shutdown` frame).
+pub struct Server {
+    addr: SocketAddr,
+    ctl: Arc<Ctl>,
+    engine: Option<JoinHandle<ServeStats>>,
+    accept: Option<JoinHandle<()>>,
+    handlers: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl Server {
+    /// Binds, builds the model bank, and spawns the thread structure.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Io`] on bind failure, and model-bank construction
+    /// errors flattened into [`ServeError::Io`].
+    pub fn start(cfg: ServeConfig) -> Result<Server, ServeError> {
+        let bank =
+            ModelBank::build(cfg.seed).map_err(|e| ServeError::Io(format!("model bank: {e}")))?;
+        let listener = TcpListener::bind(&cfg.addr).map_err(|e| ServeError::io(&e))?;
+        let addr = listener.local_addr().map_err(|e| ServeError::io(&e))?;
+        let retry_hint_us = (cfg.max_wait.as_micros() as u32).max(100);
+        let ctl = Arc::new(Ctl {
+            queue: BatchQueue::new(cfg.queue_cap),
+            stop: AtomicBool::new(false),
+            shutdown_waiters: Mutex::new(Vec::new()),
+            rejected_busy: AtomicU64::new(0),
+            connections: AtomicU64::new(0),
+            input_len: bank.input_len(),
+            retry_hint_us,
+        });
+
+        let engine = {
+            let ctl = Arc::clone(&ctl);
+            let cfg = cfg.clone();
+            std::thread::Builder::new()
+                .name("qnn-serve-engine".to_string())
+                .spawn(move || engine_loop(bank, &ctl, &cfg, addr))
+                .map_err(|e| ServeError::io(&e))?
+        };
+
+        let handlers: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+        let accept = {
+            let ctl = Arc::clone(&ctl);
+            let handlers = Arc::clone(&handlers);
+            std::thread::Builder::new()
+                .name("qnn-serve-accept".to_string())
+                .spawn(move || accept_loop(&listener, &ctl, &handlers))
+                .map_err(|e| ServeError::io(&e))?
+        };
+
+        Ok(Server {
+            addr,
+            ctl,
+            engine: Some(engine),
+            accept: Some(accept),
+            handlers,
+        })
+    }
+
+    /// The actually-bound address (resolves a port-0 bind).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Requests a graceful shutdown: stop accepting work, drain what is
+    /// queued. Pair with [`join`](Server::join).
+    pub fn shutdown(&self) {
+        self.ctl.begin_shutdown();
+    }
+
+    /// Blocks until the server has fully shut down (triggered by a
+    /// client `Shutdown` frame or [`shutdown`](Server::shutdown)) and
+    /// every thread is reaped; returns the run's stats.
+    pub fn join(mut self) -> ServeStats {
+        let stats = self
+            .engine
+            .take()
+            .expect("join called once")
+            .join()
+            .unwrap_or_else(|_| ServeStats {
+                requests: 0,
+                batches: 0,
+                rejected_busy: 0,
+                connections: 0,
+                latency_us: Histogram::new(),
+                batch_size: Histogram::new(),
+            });
+        // The engine wakes the accept loop itself, but a second nudge is
+        // harmless and covers an engine that panicked before its wake.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(a) = self.accept.take() {
+            let _ = a.join();
+        }
+        let handles: Vec<JoinHandle<()>> = std::mem::take(&mut *self.handlers.lock().unwrap());
+        for h in handles {
+            let _ = h.join();
+        }
+        stats
+    }
+}
+
+fn accept_loop(listener: &TcpListener, ctl: &Arc<Ctl>, handlers: &Arc<Mutex<Vec<JoinHandle<()>>>>) {
+    loop {
+        let (stream, _) = match listener.accept() {
+            Ok(pair) => pair,
+            Err(_) => {
+                if ctl.stop.load(Ordering::SeqCst) {
+                    return;
+                }
+                continue;
+            }
+        };
+        if ctl.stop.load(Ordering::SeqCst) {
+            return; // the wake-up self-connect, or a straggler
+        }
+        ctl.connections.fetch_add(1, Ordering::Relaxed);
+        qnn_trace::counter!("serve.connections", 1);
+        let ctl = Arc::clone(ctl);
+        if let Ok(h) = std::thread::Builder::new()
+            .name("qnn-serve-conn".to_string())
+            .spawn(move || handle_connection(stream, &ctl))
+        {
+            handlers.lock().unwrap().push(h);
+        }
+    }
+}
+
+/// Outcome of one interruptible frame read.
+enum ReadEvent {
+    Frame(Frame),
+    /// Peer closed cleanly on a frame boundary.
+    Eof,
+    /// The stop flag rose while waiting.
+    Stopped,
+    /// Malformed input; `req_id` is best-effort (0 when unrecoverable).
+    Bad {
+        err: ProtoError,
+        req_id: u64,
+    },
+}
+
+/// Reads exactly `buf.len()` bytes through the connection's poll
+/// timeout, bailing out when the stop flag rises.
+fn fill(
+    stream: &mut TcpStream,
+    buf: &mut [u8],
+    got_before: usize,
+    ctl: &Ctl,
+) -> Result<(), ReadEvent> {
+    use std::io::Read;
+    let mut off = 0;
+    while off < buf.len() {
+        match stream.read(&mut buf[off..]) {
+            Ok(0) => {
+                return Err(if got_before + off == 0 {
+                    ReadEvent::Eof
+                } else {
+                    ReadEvent::Bad {
+                        err: ProtoError::Truncated {
+                            got: got_before + off,
+                        },
+                        req_id: 0,
+                    }
+                });
+            }
+            Ok(n) => off += n,
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                if ctl.stop.load(Ordering::SeqCst) {
+                    return Err(ReadEvent::Stopped);
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => {
+                return Err(ReadEvent::Bad {
+                    err: ProtoError::Io { msg: e.to_string() },
+                    req_id: 0,
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+fn read_frame_interruptible(stream: &mut TcpStream, ctl: &Ctl) -> ReadEvent {
+    let mut header_bytes = [0u8; HEADER_LEN];
+    if let Err(ev) = fill(stream, &mut header_bytes, 0, ctl) {
+        return ev;
+    }
+    // Best-effort request id for error replies: only meaningful once the
+    // magic checks out.
+    let magic_ok = header_bytes[..4] == proto::MAGIC.to_le_bytes();
+    let req_id = if magic_ok {
+        u64::from_le_bytes(header_bytes[8..16].try_into().unwrap())
+    } else {
+        0
+    };
+    let header = match proto::parse_header(&header_bytes) {
+        Ok(h) => h,
+        Err(err) => return ReadEvent::Bad { err, req_id },
+    };
+    // Past the header, the request id is known: stamp it onto any
+    // mid-frame failure so the error frame can echo it.
+    let stamp = |ev: ReadEvent| match ev {
+        ReadEvent::Eof => ReadEvent::Bad {
+            err: ProtoError::Truncated { got: HEADER_LEN },
+            req_id,
+        },
+        ReadEvent::Bad { err, .. } => ReadEvent::Bad { err, req_id },
+        other => other,
+    };
+    let mut payload = vec![0u8; header.payload_len as usize];
+    if let Err(ev) = fill(stream, &mut payload, HEADER_LEN, ctl) {
+        return stamp(ev);
+    }
+    let mut crc = [0u8; 4];
+    if let Err(ev) = fill(stream, &mut crc, HEADER_LEN + payload.len(), ctl) {
+        return stamp(ev);
+    }
+    match proto::finish_frame(&header_bytes, header, payload, u32::from_le_bytes(crc)) {
+        Ok(frame) => ReadEvent::Frame(frame),
+        Err(err) => ReadEvent::Bad { err, req_id },
+    }
+}
+
+/// Whether a decode error poisons the stream (respond, then close) or
+/// leaves it answerable and framed (respond, keep reading).
+fn is_fatal(err: &ProtoError) -> bool {
+    !matches!(err, ProtoError::BadPayload { .. })
+}
+
+fn handle_connection(stream: TcpStream, ctl: &Arc<Ctl>) {
+    if stream
+        .set_read_timeout(Some(Duration::from_millis(50)))
+        .is_err()
+    {
+        return;
+    }
+    let write_half = match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    };
+    let (tx, rx) = mpsc::channel::<Frame>();
+    let writer = std::thread::Builder::new()
+        .name("qnn-serve-write".to_string())
+        .spawn(move || writer_loop(write_half, &rx));
+    let mut stream = stream;
+
+    loop {
+        match read_frame_interruptible(&mut stream, ctl) {
+            ReadEvent::Eof | ReadEvent::Stopped => break,
+            ReadEvent::Bad { err, req_id } => {
+                qnn_trace::counter!("serve.rx.bad_frames", 1);
+                if let Some(code) = err.as_error_code() {
+                    let _ = tx.send(Frame::error(req_id, code, 0, &err.to_string()));
+                }
+                if is_fatal(&err) {
+                    break;
+                }
+            }
+            ReadEvent::Frame(frame) => match frame.kind {
+                FrameKind::Infer => handle_infer(frame, &tx, ctl),
+                FrameKind::Shutdown => {
+                    ctl.shutdown_waiters
+                        .lock()
+                        .unwrap()
+                        .push((frame.req_id, tx.clone()));
+                    ctl.begin_shutdown();
+                }
+                // Server-bound streams carry requests only; a response
+                // kind here is protocol misuse, answered but survivable.
+                FrameKind::InferOk | FrameKind::Error | FrameKind::ShutdownAck => {
+                    let _ = tx.send(Frame::error(
+                        frame.req_id,
+                        ErrorCode::BadKind,
+                        0,
+                        &format!("{:?} is not a request frame", frame.kind),
+                    ));
+                }
+            },
+        }
+    }
+    // Dropping tx lets the writer flush engine responses still in flight
+    // for this connection (their Request clones keep the channel alive)
+    // and exit once the last one is delivered.
+    drop(tx);
+    if let Ok(w) = writer {
+        let _ = w.join();
+    }
+}
+
+fn handle_infer(frame: Frame, tx: &mpsc::Sender<Frame>, ctl: &Ctl) {
+    let req_id = frame.req_id;
+    if frame.tag >= NUM_PRECISIONS {
+        let _ = tx.send(Frame::error(
+            req_id,
+            ErrorCode::BadPrecision,
+            0,
+            &format!(
+                "precision tag {} outside Table III (0..{})",
+                frame.tag, NUM_PRECISIONS
+            ),
+        ));
+        return;
+    }
+    let image = match frame.payload_f32s() {
+        Ok(v) => v,
+        Err(e) => {
+            let _ = tx.send(Frame::error(
+                req_id,
+                ErrorCode::BadPayload,
+                0,
+                &e.to_string(),
+            ));
+            return;
+        }
+    };
+    if image.len() != ctl.input_len {
+        let _ = tx.send(Frame::error(
+            req_id,
+            ErrorCode::BadPayload,
+            0,
+            &format!(
+                "image has {} floats, model wants {}",
+                image.len(),
+                ctl.input_len
+            ),
+        ));
+        return;
+    }
+    let req = Request {
+        id: req_id,
+        tag: frame.tag,
+        image,
+        reply: tx.clone(),
+        enqueued: Instant::now(),
+    };
+    match ctl.queue.try_push(req) {
+        Ok(()) => {}
+        Err(PushError::Full) => {
+            ctl.rejected_busy.fetch_add(1, Ordering::Relaxed);
+            qnn_trace::counter!("serve.rejected.busy", 1);
+            let _ = tx.send(Frame::error(
+                req_id,
+                ErrorCode::Busy,
+                ctl.retry_hint_us,
+                "batching queue full",
+            ));
+        }
+        Err(PushError::Closed) => {
+            let _ = tx.send(Frame::error(
+                req_id,
+                ErrorCode::ShuttingDown,
+                0,
+                "server is draining",
+            ));
+        }
+    }
+}
+
+fn writer_loop(mut stream: TcpStream, rx: &mpsc::Receiver<Frame>) {
+    while let Ok(frame) = rx.recv() {
+        let bytes = frame.encode();
+        if stream
+            .write_all(&bytes)
+            .and_then(|()| stream.flush())
+            .is_err()
+        {
+            return; // peer gone; remaining responses have nowhere to go
+        }
+        qnn_trace::counter!("serve.tx.frames", 1);
+    }
+}
+
+fn engine_loop(
+    mut bank: ModelBank,
+    ctl: &Arc<Ctl>,
+    cfg: &ServeConfig,
+    addr: SocketAddr,
+) -> ServeStats {
+    let mut stats = ServeStats {
+        requests: 0,
+        batches: 0,
+        rejected_busy: 0,
+        connections: 0,
+        latency_us: Histogram::new(),
+        batch_size: Histogram::new(),
+    };
+    while let Some(batch) = ctl.queue.next_batch(cfg.max_batch, cfg.max_wait) {
+        qnn_trace::span!("serve.batch");
+        qnn_trace::counter!("serve.batches", 1);
+        qnn_trace::counter!("serve.requests", batch.len() as u64);
+        qnn_trace::observe!("serve.batch.size", batch.len() as f64);
+        qnn_trace::gauge!("serve.queue.depth", ctl.queue.depth() as f64);
+        stats.batches += 1;
+        stats.batch_size.observe(batch.len() as f64);
+
+        // Group by precision tag; one stacked forward per group.
+        let mut groups: BTreeMap<u8, Vec<usize>> = BTreeMap::new();
+        for (i, req) in batch.iter().enumerate() {
+            groups.entry(req.tag).or_default().push(i);
+        }
+        for (tag, idxs) in groups {
+            qnn_trace::span!("serve.infer:{}", tag);
+            let images: Vec<&[f32]> = idxs.iter().map(|&i| batch[i].image.as_slice()).collect();
+            match bank.forward_batch(tag, &images) {
+                Ok(rows) => {
+                    for (&i, row) in idxs.iter().zip(rows.iter()) {
+                        let req = &batch[i];
+                        qnn_trace::span!("serve.request");
+                        let us = req.enqueued.elapsed().as_micros() as f64;
+                        qnn_trace::observe!("serve.latency.us", us);
+                        stats.latency_us.observe(us);
+                        stats.requests += 1;
+                        let _ = req.reply.send(Frame::infer_ok(req.id, row));
+                    }
+                }
+                Err(e) => {
+                    for &i in &idxs {
+                        let req = &batch[i];
+                        let _ = req.reply.send(Frame::error(
+                            req.id,
+                            ErrorCode::Internal,
+                            0,
+                            &format!("forward failed: {e}"),
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    // Drain complete: acknowledge every shutdown requester, then bring
+    // the rest of the thread structure down.
+    for (req_id, tx) in ctl.shutdown_waiters.lock().unwrap().drain(..) {
+        let _ = tx.send(Frame::shutdown_ack(req_id));
+    }
+    ctl.stop.store(true, Ordering::SeqCst);
+    let _ = TcpStream::connect(addr); // wake the accept loop
+    stats.rejected_busy = ctl.rejected_busy.load(Ordering::Relaxed);
+    stats.connections = ctl.connections.load(Ordering::Relaxed);
+    qnn_trace::gauge!("serve.queue.depth", 0.0);
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_render_mentions_every_line() {
+        let mut s = ServeStats {
+            requests: 3,
+            batches: 2,
+            rejected_busy: 1,
+            connections: 4,
+            latency_us: Histogram::new(),
+            batch_size: Histogram::new(),
+        };
+        s.latency_us.observe(100.0);
+        s.batch_size.observe(2.0);
+        let text = s.render();
+        assert!(text.contains("served 3 request(s)"), "{text}");
+        assert!(text.contains("batch size"), "{text}");
+        assert!(text.contains("latency us"), "{text}");
+    }
+
+    #[test]
+    fn default_config_is_sane() {
+        let c = ServeConfig::default();
+        assert!(c.max_batch >= 1);
+        assert!(c.queue_cap >= c.max_batch);
+        assert_eq!(c.seed, MODEL_SEED);
+    }
+}

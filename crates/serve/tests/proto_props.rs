@@ -1,0 +1,169 @@
+//! Protocol fuzz-ish property tests: seeded malformed-frame generation.
+//!
+//! Builds valid frames from seeded randomness, then damages them every
+//! way the wire can — truncation at *every* prefix length, single-byte
+//! CRC-breaking corruption, unknown precision tags riding valid frames,
+//! oversized payload declarations — and demands each case decode to a
+//! typed [`ProtoError`] (or, for in-protocol misuse like a bad tag,
+//! decode cleanly for the server to reject with a typed error frame).
+//! Never a panic; and because decoding is driven off an in-memory
+//! cursor, never a hang.
+
+use std::io::Cursor;
+
+use qnn_serve::proto::{
+    parse_header, read_frame, Frame, FrameKind, ProtoError, HEADER_LEN, MAX_PAYLOAD,
+};
+use qnn_serve::NUM_PRECISIONS;
+use qnn_tensor::rng::{derive_seed, seeded};
+
+/// A random-but-valid frame of each kind, seeded.
+fn arbitrary_frame(seed: u64) -> Frame {
+    let mut r = seeded(seed);
+    let req_id = r.next_u64();
+    match r.gen_range(0..4u32) {
+        0 => {
+            let n = r.gen_range(1..96usize);
+            let img: Vec<f32> = (0..n).map(|_| r.gen_range(-1.0f32..1.0)).collect();
+            Frame::infer(
+                req_id,
+                (r.next_u32() % u32::from(NUM_PRECISIONS)) as u8,
+                &img,
+            )
+        }
+        1 => {
+            let n = r.gen_range(1..16usize);
+            let logits: Vec<f32> = (0..n).map(|_| r.gen_range(-4.0f32..4.0)).collect();
+            Frame::infer_ok(req_id, &logits)
+        }
+        2 => Frame::error(
+            req_id,
+            qnn_serve::ErrorCode::Busy,
+            r.next_u32() % 10_000,
+            "synthetic",
+        ),
+        _ => Frame::shutdown(req_id),
+    }
+}
+
+#[test]
+fn valid_frames_round_trip_256_cases() {
+    for case in 0..256u64 {
+        let f = arbitrary_frame(derive_seed(0xF00D, case));
+        let back = read_frame(&mut Cursor::new(f.encode())).expect("valid frame must decode");
+        assert_eq!(back, f, "case {case}");
+    }
+}
+
+#[test]
+fn truncation_at_every_prefix_length_is_typed_256_cases() {
+    // 256 seeded frames; for each, every proper prefix must decode to
+    // Eof (empty) or Truncated (anything shorter than the full frame) —
+    // never a panic, never a bogus success.
+    for case in 0..256u64 {
+        let bytes = arbitrary_frame(derive_seed(0xCAFE, case)).encode();
+        for cut in 0..bytes.len() {
+            match read_frame(&mut Cursor::new(&bytes[..cut])) {
+                Err(ProtoError::Eof) => assert_eq!(cut, 0, "case {case}: Eof only at 0 bytes"),
+                Err(ProtoError::Truncated { got }) => {
+                    assert_eq!(got, cut, "case {case} cut {cut}: wrong byte count")
+                }
+                other => panic!("case {case} cut {cut}: expected truncation, got {other:?}"),
+            }
+        }
+    }
+}
+
+#[test]
+fn single_byte_corruption_never_decodes_to_the_original_256_cases() {
+    // Flip one random byte per case. Whatever field it lands in, decode
+    // must either fail typed or (if it landed in `tag`, whose value is
+    // not CRC-recoverable... it is — CRC covers the whole header) fail.
+    // The CRC trailer itself flipped ⇒ BadCrc; header fields flipped ⇒
+    // their typed error or BadCrc.
+    for case in 0..256u64 {
+        let mut r = seeded(derive_seed(0xBEEF, case));
+        let frame = arbitrary_frame(derive_seed(0xFACE, case));
+        let mut bytes = frame.encode();
+        let pos = r.gen_range(0..bytes.len());
+        let bit = 1u8 << r.gen_range(0..8u32);
+        bytes[pos] ^= bit;
+        match read_frame(&mut Cursor::new(&bytes)) {
+            Ok(decoded) => {
+                panic!("case {case}: corrupt byte {pos} (bit {bit:#04x}) decoded as {decoded:?}")
+            }
+            Err(
+                ProtoError::BadMagic { .. }
+                | ProtoError::BadVersion { .. }
+                | ProtoError::BadKind { .. }
+                | ProtoError::Oversized { .. }
+                | ProtoError::BadCrc { .. }
+                | ProtoError::Truncated { .. },
+            ) => {}
+            Err(other) => panic!("case {case}: unexpected error {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn oversized_payload_rejected_before_allocation_256_cases() {
+    // Hostile payload_len values up to u32::MAX must be refused from the
+    // header alone — read_frame never tries to allocate or read them.
+    for case in 0..256u64 {
+        let mut r = seeded(derive_seed(0x0B0E, case));
+        let mut bytes = Frame::shutdown(case).encode();
+        let declared = MAX_PAYLOAD + 1 + (r.next_u32() % (u32::MAX - MAX_PAYLOAD - 1));
+        bytes[16..20].copy_from_slice(&declared.to_le_bytes());
+        match read_frame(&mut Cursor::new(&bytes)) {
+            Err(ProtoError::Oversized { declared: d }) => assert_eq!(d, declared),
+            other => panic!("case {case}: expected Oversized, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn unknown_precision_tags_still_frame_cleanly_256_cases() {
+    // A bad tag is an application-level rejection, not a framing error:
+    // the frame must decode (so the server can answer BadPrecision and
+    // keep the connection) for every out-of-range tag value.
+    for case in 0..256u64 {
+        let mut r = seeded(derive_seed(0x7A6, case));
+        let tag = NUM_PRECISIONS + (r.next_u32() % (256 - u32::from(NUM_PRECISIONS))) as u8;
+        let img: Vec<f32> = (0..8).map(|_| r.gen_range(-1.0f32..1.0)).collect();
+        let f = Frame::infer(case, tag, &img);
+        let back = read_frame(&mut Cursor::new(f.encode())).expect("framing is tag-agnostic");
+        assert_eq!(back.tag, tag);
+        assert_eq!(back.kind, FrameKind::Infer);
+    }
+}
+
+#[test]
+fn random_garbage_streams_never_panic_256_cases() {
+    for case in 0..256u64 {
+        let mut r = seeded(derive_seed(0x6A5BA6E, case));
+        let len = r.gen_range(0..256usize);
+        let bytes: Vec<u8> = (0..len).map(|_| (r.next_u32() & 0xFF) as u8).collect();
+        // Any result is fine as long as it is a typed Result, not a
+        // panic. (Random bytes opening with "QSRV"+v1 are astronomically
+        // unlikely, but even then the CRC holds the line.)
+        let _ = read_frame(&mut Cursor::new(&bytes));
+    }
+}
+
+#[test]
+fn header_parser_accepts_exactly_the_known_kinds() {
+    for kind_byte in 0u8..=255 {
+        let f = Frame::shutdown(1);
+        let mut bytes = f.encode();
+        bytes[6] = kind_byte;
+        let mut header = [0u8; HEADER_LEN];
+        header.copy_from_slice(&bytes[..HEADER_LEN]);
+        let parsed = parse_header(&header);
+        match FrameKind::from_u8(kind_byte) {
+            Some(k) => assert_eq!(parsed.unwrap().kind, k),
+            None => {
+                assert!(matches!(parsed, Err(ProtoError::BadKind { found }) if found == kind_byte))
+            }
+        }
+    }
+}

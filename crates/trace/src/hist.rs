@@ -101,6 +101,34 @@ impl Histogram {
         self.max
     }
 
+    /// Rebuilds a histogram from the sparse `[lower_edge, count]` pairs
+    /// a `qnn-trace/v1` JSONL `hist` event carries (the inverse of the
+    /// encoding in `Trace::to_jsonl`). Each lower edge is mapped back to
+    /// its bucket, so [`quantile`](Histogram::quantile) on the
+    /// reconstruction answers exactly what it would have on the
+    /// original — this is how `qnn-bench trace-summary` recovers p50/p99
+    /// offline.
+    pub fn from_sparse(buckets: &[(f64, u64)], sum: f64, min: f64, max: f64) -> Histogram {
+        let mut h = Histogram::new();
+        for &(lower, c) in buckets {
+            let idx = if lower <= 0.0 || !lower.is_finite() {
+                0
+            } else {
+                // Invert bucket_lower: lower = 2^(MIN_EXP + i - 1).
+                let i = lower.log2().round() as i64 - i64::from(MIN_EXP) + 1;
+                i.clamp(0, BUCKETS as i64 - 1) as usize
+            };
+            h.counts[idx] += c;
+            h.count += c;
+        }
+        h.sum = sum;
+        if h.count > 0 {
+            h.min = min;
+            h.max = max;
+        }
+        h
+    }
+
     /// Merges another histogram into this one (bucket-wise addition).
     pub fn merge(&mut self, other: &Histogram) {
         if self.counts.is_empty() {
@@ -170,6 +198,26 @@ mod tests {
         assert_eq!(a.count, 3);
         assert_eq!(a.max, 8.0);
         assert_eq!(a.counts[bucket_of(1.0)], 2);
+    }
+
+    #[test]
+    fn sparse_round_trip_preserves_quantiles() {
+        let mut h = Histogram::new();
+        for v in [0.5, 1.0, 2.0, 4.0, 4.0, 1024.0] {
+            h.observe(v);
+        }
+        let sparse: Vec<(f64, u64)> = h
+            .counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (bucket_lower(i), c))
+            .collect();
+        let back = Histogram::from_sparse(&sparse, h.sum, h.min, h.max);
+        assert_eq!(back, h, "sparse encode/decode is lossless");
+        for q in [0.0, 0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(back.quantile(q), h.quantile(q));
+        }
     }
 
     #[test]

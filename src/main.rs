@@ -12,6 +12,7 @@
 //! qnn minifloat               # future-work custom-float sweep
 //! qnn tiles                   # tile-size design-space extension
 //! qnn all [scale]             # everything, in paper order
+//! qnn serve [flags]           # batched inference server (qnn-serve)
 //! ```
 //!
 //! `scale` ∈ `smoke` (seconds) | `reduced` (default, minutes) | `full`
@@ -27,6 +28,12 @@
 //! * `--max-cells N` — compute at most `N` new cells this invocation
 //!   (requires `--resume`). A partial sweep prints its progress and
 //!   exits with code **3** so scripts can tell "more to do" from done.
+//!
+//! `serve` runs the `qnn-serve` batched-inference server and takes its
+//! own flags (see [`run_serve`]): `--addr`, `--port-file`, `--max-batch`,
+//! `--max-wait-us`, `--queue-cap`, `--trace`. The server runs until a
+//! client sends a `Shutdown` frame (`qnn-bench serve-soak --shutdown`
+//! does), then prints its run stats.
 
 use std::path::PathBuf;
 
@@ -80,6 +87,78 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
         return Err("--max-cells only makes sense with --resume".into());
     }
     Ok(opts)
+}
+
+/// Runs the `qnn-serve` batched-inference server until a client shuts it
+/// down, then prints the run's [`qnn_serve::ServeStats`].
+///
+/// Flags (all optional):
+///
+/// * `--addr HOST:PORT` — bind address; port 0 picks a free port
+///   (default `127.0.0.1:0`).
+/// * `--port-file PATH` — write the actually-bound `host:port` to `PATH`
+///   once listening, so scripts can connect to a port-0 bind.
+/// * `--max-batch N` / `--max-wait-us N` — the dynamic-batching flush
+///   policy: flush when `N` requests are waiting or the oldest has
+///   waited `N` microseconds, whichever comes first.
+/// * `--queue-cap N` — bounded-queue capacity; pushes beyond it are
+///   rejected with a `Busy` error frame carrying a retry-after hint.
+/// * `--trace PATH` — record a `qnn-trace` JSONL of the run (per-batch
+///   spans, queue-depth gauge, batch-size and latency histograms).
+fn run_serve(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    let mut cfg = qnn_serve::ServeConfig::default();
+    let mut port_file: Option<PathBuf> = None;
+    let mut trace_path: Option<PathBuf> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut next = |flag: &str| -> Result<String, String> {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match arg.as_str() {
+            "--addr" => cfg.addr = next("--addr")?,
+            "--port-file" => port_file = Some(PathBuf::from(next("--port-file")?)),
+            "--trace" => trace_path = Some(PathBuf::from(next("--trace")?)),
+            "--max-batch" => {
+                let v = next("--max-batch")?;
+                cfg.max_batch = v
+                    .parse()
+                    .map_err(|_| format!("--max-batch: `{v}` is not a count"))?;
+            }
+            "--max-wait-us" => {
+                let v = next("--max-wait-us")?;
+                let us: u64 = v
+                    .parse()
+                    .map_err(|_| format!("--max-wait-us: `{v}` is not microseconds"))?;
+                cfg.max_wait = std::time::Duration::from_micros(us);
+            }
+            "--queue-cap" => {
+                let v = next("--queue-cap")?;
+                cfg.queue_cap = v
+                    .parse()
+                    .map_err(|_| format!("--queue-cap: `{v}` is not a count"))?;
+            }
+            other => return Err(format!("serve: unknown argument `{other}`").into()),
+        }
+    }
+    if trace_path.is_some() {
+        qnn_trace::start();
+    }
+    let server = qnn_serve::Server::start(cfg)?;
+    let addr = server.local_addr();
+    println!("qnn-serve listening on {addr}");
+    if let Some(path) = &port_file {
+        std::fs::write(path, addr.to_string())?;
+    }
+    let stats = server.join();
+    print!("{}", stats.render());
+    if let Some(path) = &trace_path {
+        let trace = qnn_trace::stop();
+        std::fs::write(path, trace.to_jsonl())?;
+        println!("wrote trace to {}", path.display());
+    }
+    Ok(())
 }
 
 /// Reports a still-partial resumable sweep and exits with code 3.
@@ -173,13 +252,23 @@ fn run(cmd: &str, opts: &Opts) -> Result<(), Box<dyn std::error::Error>> {
 fn usage() {
     eprintln!(
         "usage: qnn <table3|fig3|table4|table5|fig4|energy|faultcurve|memory|minifloat|tiles|all> \
-         [smoke|reduced|full] [--resume DIR [--max-cells N]]"
+         [smoke|reduced|full] [--resume DIR [--max-cells N]]\n\
+         \x20      qnn serve [--addr HOST:PORT] [--port-file PATH] [--max-batch N] \
+         [--max-wait-us N] [--queue-cap N] [--trace PATH]"
     );
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let args: Vec<String> = std::env::args().collect();
     let cmd = args.get(1).map(String::as_str).unwrap_or("table3");
+    if cmd == "serve" {
+        // serve has its own flag set; don't route it through parse_opts.
+        return run_serve(&args[2..]).map_err(|e| {
+            eprintln!("{e}");
+            usage();
+            std::process::exit(2);
+        });
+    }
     let opts = parse_opts(&args[2.min(args.len())..]).unwrap_or_else(|e| {
         eprintln!("{e}");
         usage();
