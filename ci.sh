@@ -121,4 +121,5 @@ stage qkernels            cargo run -p qnn-bench --release --offline -- --quick 
 stage kill-resume         kill_and_resume
 stage thread-determinism  thread_determinism
 stage serve-soak          serve_soak
+stage serve-bench         cargo run -p qnn-bench --release --offline -- --quick serve-bench
 stage sync-check          cargo run -p qnn-bench --release --offline -- sync-check

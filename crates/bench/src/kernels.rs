@@ -238,8 +238,8 @@ pub fn run_with(quick: bool) -> Json {
     let pow2_ns = m.ns_per_op;
     push(entry(&m, Some(flops_q)));
 
-    // A 15-exponent span (codes 1..=16) forces the true shift-add kernel
-    // (the i16 view only covers spans ≤ 14). Certification at 256³ then
+    // A 15-exponent span (codes 1..=16) is past the i16 view (spans ≤ 14)
+    // and lands on the i32 wide kernel. Certification at 256³ then
     // requires unit activation raws: 2·2^15·256 = 2^24, the certificate's
     // edge.
     let mut r = rng::seeded(18);
@@ -253,7 +253,10 @@ pub fn run_with(quick: bool) -> Json {
         .collect();
     let wplan = PackedWeights::pack(&BitCodec::PowerOfTwo(p2), q, q, &ww).expect("pow2 wide pack");
     if let PackedWeights::Pow2(p) = &wplan {
-        assert!(p.words16().is_none(), "wide span must use the shift kernel");
+        assert!(
+            p.words16().is_none() && p.words32().is_some(),
+            "span 15 must use the i32 wide kernel"
+        );
     }
     assert!(
         matmul_on_grid(&ucodec, &uacts, q, q, false, &wplan, &mut out),
@@ -270,6 +273,7 @@ pub fn run_with(quick: bool) -> Json {
             black_box(&mut out),
         ));
     });
+    let pow2_wide_ns = m.ns_per_op;
     push(entry(&m, Some(flops_q)));
 
     for (name, ns) in [
@@ -277,6 +281,7 @@ pub fn run_with(quick: bool) -> Json {
         ("qgemm_256/speedup_fixed16_vs_f32_1t", fixed16_ns),
         ("qgemm_256/speedup_binary_vs_f32_1t", binary_ns),
         ("qgemm_256/speedup_pow2_vs_f32_1t", pow2_ns),
+        ("qgemm_256/speedup_pow2_wide_vs_f32_1t", pow2_wide_ns),
     ] {
         push(Json::obj(vec![
             ("name", Json::str(name)),

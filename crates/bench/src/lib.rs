@@ -10,6 +10,8 @@
 //! (`bench-check`), [`tracereport`] summarizes `qnn-trace` JSONL files,
 //! [`soak`] is the `serve-soak` load generator that proves every
 //! `qnn-serve` response bit-identical to a single-shot forward,
+//! [`servebench`] is the `serve-bench` serving-throughput benchmark that
+//! emits and gates the committed `BENCH_serve.json` artifact,
 //! [`sync`] is the `sync-check` gate that `ci.sh` and the workflow file
 //! mirror each other, and [`artifacts`] regenerates every table/figure
 //! of the paper (see DESIGN.md §5 for the index).
@@ -23,6 +25,7 @@ pub mod json;
 pub mod kernels;
 pub mod qcheck;
 pub mod regression;
+pub mod servebench;
 pub mod soak;
 pub mod sync;
 pub mod timer;

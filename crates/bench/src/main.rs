@@ -7,7 +7,7 @@
 //! `trace-summary` reads back a `--trace` JSONL file.
 
 use qnn_bench::json::Json;
-use qnn_bench::{artifacts, kernels, qcheck, regression, soak, sync, tracereport};
+use qnn_bench::{artifacts, kernels, qcheck, regression, servebench, soak, sync, tracereport};
 
 const USAGE: &str = "\
 usage: qnn-bench [--quick] [--trace <path>] [SUBCOMMAND]
@@ -26,6 +26,13 @@ usage: qnn-bench [--quick] [--trace <path>] [SUBCOMMAND]
                  load-generate against a running `qnn serve` and verify
                  every response bit-identical to a single-shot forward;
                  --shutdown drains and stops the server afterwards
+  serve-bench [--write] [--attach HOST:PORT] [--baseline <path>]
+                 serving-throughput benchmark: loopback servers at 1 and
+                 4 engine threads, every Table III precision, pipelined
+                 client; default mode gates against the committed
+                 BENCH_serve.json (exit 1 on >25% regression), --write
+                 regenerates it, --attach also measures an externally
+                 started server (recorded as *_attached entries)
   sync-check [--sh PATH] [--yml PATH]
                  fail if ci.sh stages and ci.yml jobs have drifted
                  (defaults: ci.sh, .github/workflows/ci.yml)
@@ -148,6 +155,32 @@ fn serve_soak(args: &[String]) -> i32 {
     }
 }
 
+fn serve_bench(quick: bool, args: &[String]) -> i32 {
+    let mut cfg = servebench::ServeBenchConfig {
+        quick,
+        ..Default::default()
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut next = |flag: &str| -> String {
+            it.next().cloned().unwrap_or_else(|| {
+                eprintln!("serve-bench: {flag} needs a value\n\n{USAGE}");
+                std::process::exit(2);
+            })
+        };
+        match arg.as_str() {
+            "--write" => cfg.write = true,
+            "--attach" => cfg.attach = Some(next("--attach")),
+            "--baseline" => cfg.baseline = Some(next("--baseline")),
+            other => {
+                eprintln!("serve-bench: unknown argument {other}\n\n{USAGE}");
+                std::process::exit(2);
+            }
+        }
+    }
+    servebench::run(&cfg)
+}
+
 fn sync_check(args: &[String]) -> i32 {
     let mut sh_path = "ci.sh".to_string();
     let mut yml_path = ".github/workflows/ci.yml".to_string();
@@ -221,6 +254,7 @@ fn main() {
             bench_check(baseline)
         }
         Some("qkernels") => i32::from(!qcheck::run(quick)),
+        Some("serve-bench") => serve_bench(quick, &rest[1..]),
         Some("serve-soak") => serve_soak(&rest[1..]),
         Some("sync-check") => sync_check(&rest[1..]),
         Some("trace-summary") => match rest.get(1) {

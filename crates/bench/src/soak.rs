@@ -160,8 +160,9 @@ pub fn run(cfg: &SoakConfig) -> Result<SoakOutcome, String> {
         }
     }
 
+    let secs = started.elapsed().as_secs_f64();
     println!(
-        "serve-soak: {}/{} bit-identical, {} busy retr{}, {:.2}s",
+        "serve-soak: {}/{} bit-identical, {} busy retr{}, {:.2}s ({:.0} images/sec achieved)",
         outcome.verified,
         cfg.requests,
         outcome.busy_retries,
@@ -170,7 +171,12 @@ pub fn run(cfg: &SoakConfig) -> Result<SoakOutcome, String> {
         } else {
             "ies"
         },
-        started.elapsed().as_secs_f64()
+        secs,
+        if secs > 0.0 {
+            outcome.verified as f64 / secs
+        } else {
+            0.0
+        },
     );
     for f in &outcome.failures {
         eprintln!("serve-soak: FAIL: {f}");

@@ -164,6 +164,19 @@ pub fn summarize(jsonl: &str) -> Result<String, String> {
             "fwd MACs on native fast path"
         ));
     }
+    // Derived line: achieved serving throughput — requests the engine
+    // answered per second of engine batch time. Any serve trace carries
+    // both inputs (the `serve.requests` counter and the `serve.batch`
+    // span), so serve-soak's summary reports images/sec for free.
+    if let (Some(reqs), Some(batch)) = (counters.get("serve.requests"), spans.get("serve.batch")) {
+        if batch.total_ns > 0 {
+            let ips = reqs / (batch.total_ns as f64 / 1e9);
+            out.push_str(&format!(
+                "  {:40} {ips:>16.1}\n",
+                "serve images/sec (engine busy time)"
+            ));
+        }
+    }
     out.push_str("\ngauges:\n");
     if gauges.is_empty() {
         out.push_str("  (none)\n");
@@ -249,6 +262,22 @@ mod tests {
 {\"type\": \"counter\", \"name\": \"work.items\", \"total\": 7}";
         let text = summarize(unrelated).unwrap();
         assert!(!text.contains("fast path"), "{text}");
+    }
+
+    #[test]
+    fn derives_achieved_serving_throughput() {
+        // 500 requests over 0.25 s of engine batch time = 2000 images/sec.
+        let jsonl = "\
+{\"type\": \"meta\", \"schema\": \"qnn-trace/v1\"}\n\
+{\"type\": \"counter\", \"name\": \"serve.requests\", \"total\": 500}\n\
+{\"type\": \"span_end\", \"name\": \"serve.batch\", \"dur_ns\": 250000000}";
+        let text = summarize(jsonl).unwrap();
+        assert!(text.contains("serve images/sec"), "{text}");
+        assert!(text.contains("2000.0"), "{text}");
+
+        // A trace with no serve events has no derived throughput line.
+        let other = "{\"type\": \"meta\", \"schema\": \"qnn-trace/v1\"}";
+        assert!(!summarize(other).unwrap().contains("images/sec"));
     }
 
     #[test]

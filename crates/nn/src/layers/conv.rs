@@ -30,6 +30,12 @@ pub struct Conv2d {
     weight_q: Option<QuantizerHandle>,
     input_q: Option<QuantizerHandle>,
     cache: Option<ConvCache>,
+    /// Eval-mode quantized-weight cache. Shadow weights only change
+    /// through [`Layer::params_mut`] (optimizer, state load, fault
+    /// injection) or [`Layer::set_weight_quantizer`], both of which clear
+    /// this — so between mutations, re-quantizing the whole weight tensor
+    /// every forward is pure waste on the serving hot path.
+    frozen_qw: Option<Tensor>,
     /// Packed-weight cache for the native quantized fast path, keyed on
     /// the exact bits of the quantized weights.
     plan: PlanCache,
@@ -74,6 +80,7 @@ impl Conv2d {
             weight_q: None,
             input_q: None,
             cache: None,
+            frozen_qw: None,
             plan: PlanCache::default(),
             scratch: ConvScratch::new(),
         }
@@ -170,7 +177,12 @@ impl Layer for Conv2d {
     }
 
     fn forward(&mut self, input: &Tensor, mode: Mode) -> Result<Tensor, NnError> {
-        let qw = self.effective_weight();
+        // Eval reuses the frozen quantized weights (taken here, put back
+        // below); training always re-quantizes the live shadow copy.
+        let qw = match (mode, self.frozen_qw.take()) {
+            (Mode::Eval, Some(w)) => w,
+            _ => self.effective_weight(),
+        };
         let native_out = if mode == Mode::Eval && native::native_enabled() {
             self.forward_native(input, &qw)
         } else {
@@ -195,6 +207,7 @@ impl Layer for Conv2d {
             });
         } else {
             self.cache = None;
+            self.frozen_qw = Some(qw);
         }
         Ok(out)
     }
@@ -235,6 +248,8 @@ impl Layer for Conv2d {
     }
 
     fn params_mut(&mut self) -> Vec<&mut Param> {
+        // The caller may mutate the shadow weights through these refs.
+        self.frozen_qw = None;
         vec![&mut self.weight, &mut self.bias]
     }
 
@@ -244,6 +259,7 @@ impl Layer for Conv2d {
 
     fn set_weight_quantizer(&mut self, q: Option<QuantizerHandle>) {
         self.weight_q = q;
+        self.frozen_qw = None;
         self.plan.clear();
     }
 
@@ -316,6 +332,26 @@ mod tests {
         l.backward(&g).unwrap();
         assert!(l.params()[0].grad.sum() != 0.0);
         assert!(l.params()[1].grad.sum() != 0.0);
+    }
+
+    #[test]
+    fn eval_weight_freeze_tracks_mutation() {
+        let mut l = Conv2d::new(1, 1, 2, 1, 0, 7);
+        l.set_weight_quantizer(Some(Arc::new(Binary::new())));
+        let x = Tensor::ones(Shape::d4(1, 1, 3, 3));
+        let y0 = l.forward(&x, Mode::Eval).unwrap();
+        assert_eq!(l.forward(&x, Mode::Eval).unwrap(), y0);
+        // Negate every shadow weight through params_mut; the frozen
+        // quantized copy must be rebuilt, flipping the (bias-free) output.
+        let mut params = l.params_mut();
+        for v in params[0].value.as_mut_slice() {
+            *v = -*v;
+        }
+        drop(params);
+        let y1 = l.forward(&x, Mode::Eval).unwrap();
+        for (a, b) in y0.as_slice().iter().zip(y1.as_slice()) {
+            assert_eq!(*b, -*a);
+        }
     }
 
     #[test]

@@ -23,6 +23,9 @@ pub struct Dense {
     weight_q: Option<QuantizerHandle>,
     input_q: Option<QuantizerHandle>,
     cache: Option<DenseCache>,
+    /// Eval-mode quantized-weight cache; see the field of the same name on
+    /// [`Conv2d`](crate::layers::Conv2d) for the invalidation contract.
+    frozen_qw: Option<Tensor>,
     /// Packed-weight cache for the native quantized fast path, keyed on
     /// the exact bits of the quantized weights.
     plan: PlanCache,
@@ -51,6 +54,7 @@ impl Dense {
             weight_q: None,
             input_q: None,
             cache: None,
+            frozen_qw: None,
             plan: PlanCache::default(),
             scratch: GemmScratch::default(),
         }
@@ -93,7 +97,12 @@ impl Layer for Dense {
                 ),
             });
         }
-        let qw = self.effective_weight();
+        // Eval reuses the frozen quantized weights (taken here, put back
+        // below); training always re-quantizes the live shadow copy.
+        let qw = match (mode, self.frozen_qw.take()) {
+            (Mode::Eval, Some(w)) => w,
+            _ => self.effective_weight(),
+        };
         // y = x · Wᵀ + b — the (out, in) weight matrix is the B operand of
         // an NT product, so no transpose is ever materialised.
         let n = x.shape().dim(0);
@@ -157,6 +166,7 @@ impl Layer for Dense {
             });
         } else {
             self.cache = None;
+            self.frozen_qw = Some(qw);
         }
         Ok(out)
     }
@@ -217,6 +227,8 @@ impl Layer for Dense {
     }
 
     fn params_mut(&mut self) -> Vec<&mut Param> {
+        // The caller may mutate the shadow weights through these refs.
+        self.frozen_qw = None;
         vec![&mut self.weight, &mut self.bias]
     }
 
@@ -226,6 +238,7 @@ impl Layer for Dense {
 
     fn set_weight_quantizer(&mut self, q: Option<QuantizerHandle>) {
         self.weight_q = q;
+        self.frozen_qw = None;
         self.plan.clear();
     }
 
@@ -273,13 +286,15 @@ mod tests {
         for idx in [0usize, 3, 5] {
             let mut wp = w0.clone();
             wp.as_mut_slice()[idx] += eps;
-            l.weight.value = wp;
+            // Through params_mut, like real callers — direct field writes
+            // would bypass the eval-weight freeze invalidation.
+            l.params_mut()[0].value = wp;
             let yp = l.forward(&x, Mode::Eval).unwrap().sum();
             let mut wm = w0.clone();
             wm.as_mut_slice()[idx] -= eps;
-            l.weight.value = wm;
+            l.params_mut()[0].value = wm;
             let ym = l.forward(&x, Mode::Eval).unwrap().sum();
-            l.weight.value = w0.clone();
+            l.params_mut()[0].value = w0.clone();
             let num = (yp - ym) / (2.0 * eps);
             assert!((num - l.weight.grad.as_slice()[idx]).abs() < 1e-2);
         }
@@ -295,6 +310,17 @@ mod tests {
                 assert!((gx.as_slice()[i * 3 + j] - e).abs() < 1e-5);
             }
         }
+    }
+
+    #[test]
+    fn eval_weight_freeze_invalidated_by_params_mut() {
+        let mut l = Dense::new(2, 1, 9);
+        let x = Tensor::from_vec(Shape::d2(1, 2), vec![1., 1.]).unwrap();
+        let y0 = l.forward(&x, Mode::Eval).unwrap().sum();
+        l.params_mut()[0].value = Tensor::ones(Shape::d2(1, 2));
+        // Second Eval forward must see the new weights, not the frozen copy.
+        assert_eq!(l.forward(&x, Mode::Eval).unwrap().sum(), 2.0);
+        assert_ne!(y0, 2.0);
     }
 
     #[test]

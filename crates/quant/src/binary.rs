@@ -84,6 +84,16 @@ impl Quantizer for Binary {
         self.decode(self.encode(x))
     }
 
+    fn quantize_slice(&self, data: &mut [f32]) {
+        // Branch-free sign select (a `< 0.0` compare and two constants) so
+        // the activation fake-quantize pass vectorizes; same NaN/±0.0
+        // convention as `encode` (both pick +scale).
+        let scale = self.scale;
+        for v in data {
+            *v = if *v < 0.0 { -scale } else { scale };
+        }
+    }
+
     fn bits(&self) -> u32 {
         1
     }

@@ -252,6 +252,19 @@ impl Fixed {
         self.decode(self.encode_stochastic(x, u))
     }
 
+    /// The slice-snap kernel with the rounding mode monomorphized (see
+    /// [`encode_f64_mode`](Self::encode_f64_mode) for why the switch must
+    /// leave the loop body). Stays on the integral-f64 raw form the whole
+    /// way: `encode` narrows it through i64, which is the identity on
+    /// these values (integral, within ±2^31), so skipping the round-trip
+    /// is bit-identical to `decode(encode(x))` per element.
+    #[inline(always)]
+    fn quantize_slice_mode<const M: u8>(&self, data: &mut [f32], scale: f64, inv: f64) {
+        for v in data {
+            *v = (self.encode_f64_mode::<M>(*v, scale) * inv) as f32;
+        }
+    }
+
     /// Decodes a raw two's-complement integer back into the represented
     /// value.
     ///
@@ -291,6 +304,25 @@ impl Quantizer for Fixed {
 
     fn quantize_value(&self, x: f32) -> f32 {
         self.decode(self.encode(x))
+    }
+
+    fn quantize_slice(&self, data: &mut [f32]) {
+        // The per-value path pays two `exp2` libm calls per element (one
+        // inside `encode`, one inside `decode`); hoisting the scale and its
+        // reciprocal — both exact, see `decode_f64_with_scale` — leaves a
+        // branch-free body the auto-vectorizer handles. Bit-identical to
+        // the default (the property tests pin this).
+        let scale = self.scale_f64();
+        let inv = scale.recip();
+        match self.round {
+            RoundMode::NearestAway => {
+                self.quantize_slice_mode::<{ RoundMode::AWAY }>(data, scale, inv)
+            }
+            RoundMode::NearestEven => {
+                self.quantize_slice_mode::<{ RoundMode::EVEN }>(data, scale, inv)
+            }
+            RoundMode::Floor => self.quantize_slice_mode::<{ RoundMode::FLOOR }>(data, scale, inv),
+        }
     }
 
     fn bits(&self) -> u32 {

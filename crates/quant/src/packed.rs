@@ -490,6 +490,7 @@ pub struct PackedPow2 {
     max_w_raw: i64,
     codes: Vec<i8>,
     words16: Option<Vec<i16>>,
+    words32: Option<Vec<i32>>,
 }
 
 impl PackedPow2 {
@@ -567,6 +568,24 @@ impl PackedPow2 {
                 })
                 .collect()
         });
+        // Spans past the i16 view but within i32 (15..=30) materialize as
+        // i32 raws for the one-multiply wide kernel; only span 31 (where
+        // +2^31 has no i32 representation) is left to shift-add.
+        let words32 = (words16.is_none() && span <= 30).then(|| {
+            codes
+                .iter()
+                .map(|&q| {
+                    let mag = 1i32 << (q.unsigned_abs().wrapping_sub(1) & 31);
+                    if q == 0 {
+                        0
+                    } else if q < 0 {
+                        -mag
+                    } else {
+                        mag
+                    }
+                })
+                .collect()
+        });
         Some(PackedPow2 {
             rows,
             cols,
@@ -574,6 +593,7 @@ impl PackedPow2 {
             max_w_raw,
             codes,
             words16,
+            words32,
         })
     }
 
@@ -607,6 +627,13 @@ impl PackedPow2 {
     /// `2^emin_used`, when the span fits an i16 word (span ≤ 14).
     pub fn words16(&self) -> Option<&[i16]> {
         self.words16.as_deref()
+    }
+
+    /// The wide-span materialization: the same raws in i32 words, present
+    /// exactly when the span is 15..=30 (too wide for the i16 view, still
+    /// representable in i32).
+    pub fn words32(&self) -> Option<&[i32]> {
+        self.words32.as_deref()
     }
 }
 
@@ -792,13 +819,17 @@ pub fn matmul_on_grid(
                 return false;
             };
             let mut acc = vec![0i32; m * n];
-            // Same integers either way (the i16 view is the shift-add
+            // Same integers every way (both word views are the shift-add
             // result precomputed per weight), so the choice is purely a
-            // throughput one: `vpmaddwd` when the span fits i16, the
-            // shift-add kernel for the wide-span tail.
-            match pp.words16() {
-                Some(w16) => qgemm::gemm_nt_i16(m, k, n, pa.words16(), w16, &mut acc),
-                None => qgemm::gemm_nt_pow2(m, k, n, pa.words16(), pp.codes(), &mut acc),
+            // throughput one: `vpmaddwd` when the span fits i16, one
+            // i32 multiply per element when it fits i32, and the
+            // shift-add chain only for the span-31 edge.
+            match (pp.words16(), pp.words32()) {
+                (Some(w16), _) => qgemm::gemm_nt_i16(m, k, n, pa.words16(), w16, &mut acc),
+                (None, Some(w32)) => {
+                    qgemm::gemm_nt_pow2_wide(m, k, n, pa.words16(), w32, &mut acc);
+                }
+                (None, None) => qgemm::gemm_nt_pow2(m, k, n, pa.words16(), pp.codes(), &mut acc),
             }
             requantize_i32(&acc, lsb, out);
             true
@@ -919,6 +950,26 @@ mod tests {
         assert_eq!(p.emin_used(), -2);
         assert_eq!(p.max_w_raw(), 4);
         assert_eq!(p.codes(), &[3, -1, 0]);
+    }
+
+    #[test]
+    fn pow2_pack_materializes_by_span() {
+        // Span ≤ 14 → i16 view; 15..=30 → i32 view; 31 → codes only
+        // (+2^31 has no i32 representation); > 31 → refuses to pack.
+        let p6 = PowerOfTwo::new(6, 30).unwrap();
+        let narrow = PackedPow2::pack(&p6, 1, 2, &[1.0, 1024.0]).unwrap(); // span 10
+        assert!(narrow.words16().is_some() && narrow.words32().is_none());
+
+        let mid = PackedPow2::pack(&p6, 1, 2, &[1.0, (20f32).exp2()]).unwrap(); // span 20
+        assert!(mid.words16().is_none());
+        assert_eq!(mid.words32(), Some(&[1i32, 1 << 20][..]));
+
+        let p7 = PowerOfTwo::new(7, 32).unwrap();
+        let edge = PackedPow2::pack(&p7, 1, 2, &[1.0, (31f32).exp2()]).unwrap(); // span 31
+        assert!(edge.words16().is_none() && edge.words32().is_none());
+        assert_eq!(edge.codes(), &[1, 32]);
+
+        assert!(PackedPow2::pack(&p7, 1, 2, &[1.0, (32f32).exp2()]).is_none()); // span 32
     }
 
     #[test]

@@ -155,6 +155,61 @@ impl Quantizer for PowerOfTwo {
         self.decode(s, c)
     }
 
+    fn quantize_slice(&self, data: &mut [f32]) {
+        // The per-value path pays a `log2` plus two `exp2` libm calls per
+        // element; this loop reads the exponent straight from the f32 bit
+        // pattern instead. Bit-identical to the default (pinned by the
+        // slice-vs-scalar property test):
+        //
+        // * A normal `m = 2^fl·(1+f)` with `f = mant/2^23` sits between
+        //   `2^fl` and `2^(fl+1)`, whose linear midpoint is `1.5·2^fl` —
+        //   so `nearest_exponent`'s tie comparison (`m - lo` is exact by
+        //   Sterbenz' lemma) reduces to `mant <= 0x40_0000`.
+        // * Subnormals lie below `2^-126`, at least five octaves under the
+        //   lowest window bottom (`min_exp >= -120`), so they always take
+        //   the deep-underflow branch to 0.0.
+        // * Zero, NaN, and infinity encode to code 0, which decodes to
+        //   +0.0 regardless of sign.
+        let min_exp = self.min_exp();
+        let max_exp = self.max_exp;
+        let half_smallest = (min_exp as f32).exp2() * 0.5;
+        for v in data {
+            let x = *v;
+            let m = x.abs();
+            let bits = m.to_bits();
+            let exp_field = (bits >> 23) as i32;
+            if exp_field == 0 || exp_field == 0xff {
+                *v = 0.0;
+                continue;
+            }
+            let mant = bits & 0x7f_ffff;
+            let e = (exp_field - 127) + i32::from(mant > 0x40_0000);
+            *v = if e < min_exp {
+                if m < half_smallest {
+                    0.0
+                } else {
+                    // Shallow underflow clamps to the window bottom.
+                    let mag = f32::from_bits(((min_exp + 127) as u32) << 23);
+                    if x < 0.0 {
+                        -mag
+                    } else {
+                        mag
+                    }
+                }
+            } else {
+                let e = e.min(max_exp);
+                // `2^e` for integral e in the window is a normal f32, so
+                // its bit pattern is just the biased exponent field.
+                let mag = f32::from_bits(((e + 127) as u32) << 23);
+                if x < 0.0 {
+                    -mag
+                } else {
+                    mag
+                }
+            };
+        }
+    }
+
     fn bits(&self) -> u32 {
         self.total_bits
     }

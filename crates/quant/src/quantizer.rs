@@ -21,9 +21,26 @@ pub trait Quantizer: std::fmt::Debug {
     /// Short human-readable format name, e.g. `"Q3.4"` or `"pow2[6b]"`.
     fn describe(&self) -> String;
 
+    /// Snaps every element of a slice in place — the batch form of
+    /// [`quantize_value`](Quantizer::quantize_value), and the entry point
+    /// every tensor-level pass funnels through.
+    ///
+    /// The default loops over `quantize_value`; formats with per-element
+    /// libm calls (fixed point's `exp2`, pow2's `log2`) override it with a
+    /// loop that hoists the format constants so the body vectorizes.
+    /// **Overrides must be bit-identical to the default** — the serving
+    /// stack's bit-identity contract rides on every element snapping the
+    /// same way no matter which path ran.
+    fn quantize_slice(&self, data: &mut [f32]) {
+        for v in data {
+            *v = self.quantize_value(*v);
+        }
+    }
+
     /// Snaps every element of a tensor, producing a new tensor.
     fn quantize(&self, t: &Tensor) -> Tensor {
-        let out = t.map(|x| self.quantize_value(x));
+        let mut out = t.clone();
+        self.quantize_slice(out.as_mut_slice());
         if qnn_trace::enabled() {
             observe_pass(
                 &self.describe(),
@@ -40,7 +57,7 @@ pub trait Quantizer: std::fmt::Debug {
     fn quantize_inplace(&self, t: &mut Tensor) {
         if qnn_trace::enabled() {
             let before = t.as_slice().to_vec();
-            t.map_inplace(|x| self.quantize_value(x));
+            self.quantize_slice(t.as_mut_slice());
             observe_pass(
                 &self.describe(),
                 &before,
@@ -49,7 +66,7 @@ pub trait Quantizer: std::fmt::Debug {
                 self.max_value(),
             );
         } else {
-            t.map_inplace(|x| self.quantize_value(x));
+            self.quantize_slice(t.as_mut_slice());
         }
     }
 
@@ -100,9 +117,7 @@ pub fn quantize_inplace_par<Q: Quantizer + Sync + ?Sized>(q: &Q, t: &mut Tensor)
         None
     };
     qnn_tensor::par::for_each_chunk_mut(t.as_mut_slice(), PAR_CHUNK, |_, chunk| {
-        for v in chunk {
-            *v = q.quantize_value(*v);
-        }
+        q.quantize_slice(chunk);
     });
     if let Some(before) = before {
         observe_pass(

@@ -231,6 +231,53 @@ fn paper_sweep_quantizers_bounded_by_bits() {
     });
 }
 
+/// Every `quantize_slice` override must equal the per-value default
+/// bit-for-bit — the serving stack's bit-identity contract rides on the
+/// slice fast paths snapping exactly like `quantize_value`. Exercises all
+/// overriding formats across random parameters, every rounding mode, and
+/// arbitrary bit patterns (±0, subnormals, infinities, NaN payloads).
+#[test]
+fn slice_quantize_matches_scalar_bitwise() {
+    use qnn_quant::RoundMode;
+    cases(0x21, |rng| {
+        let mode = match rng.gen_range(0u32..3) {
+            0 => RoundMode::NearestAway,
+            1 => RoundMode::NearestEven,
+            _ => RoundMode::Floor,
+        };
+        let fixed =
+            Fixed::with_rounding(rng.gen_range(2u32..=32), rng.gen_range(-8i32..24), mode).unwrap();
+        let pow2 = pow2_format(rng);
+        let binary = Binary::with_scale(rng.gen_range(0.01f32..10.0)).unwrap();
+        let quants: [&dyn Quantizer; 3] = [&fixed, &pow2, &binary];
+        let n = rng.gen_range(1usize..40);
+        let data: Vec<f32> = (0..n)
+            .map(|_| {
+                if rng.gen_bool(0.25) {
+                    any_f32(rng)
+                } else {
+                    rng.gen_range(-1e4f32..1e4)
+                }
+            })
+            .collect();
+        for q in quants {
+            let mut fast = data.clone();
+            q.quantize_slice(&mut fast);
+            for (i, &x) in data.iter().enumerate() {
+                let slow = q.quantize_value(x);
+                assert_eq!(
+                    fast[i].to_bits(),
+                    slow.to_bits(),
+                    "{}: x={x:?} ({:#010x}) slice={:?} scalar={slow:?}",
+                    q.describe(),
+                    x.to_bits(),
+                    fast[i],
+                );
+            }
+        }
+    });
+}
+
 /// The parallel fake-quantize pass must equal the serial pass bit-for-bit
 /// at any thread count.
 #[test]

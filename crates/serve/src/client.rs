@@ -2,7 +2,7 @@
 //! `qnn-bench serve-soak` load generator, the e2e tests, and scripts
 //! drive the server with.
 
-use std::io::Write;
+use std::io::{BufReader, Write};
 use std::net::TcpStream;
 use std::time::Duration;
 
@@ -10,9 +10,15 @@ use crate::proto::{read_frame, Frame, FrameKind};
 use crate::ServeError;
 
 /// One connection to a `qnn-serve` server.
+///
+/// Writes go straight to the socket with `TCP_NODELAY` set (request
+/// frames are small; Nagle coalescing would stall the pipelined path
+/// behind delayed ACKs), reads come through a buffer so each frame costs
+/// one `read` syscall instead of three.
 #[derive(Debug)]
 pub struct ServeClient {
     stream: TcpStream,
+    reader: BufReader<TcpStream>,
     next_id: u64,
 }
 
@@ -28,7 +34,15 @@ impl ServeClient {
         stream
             .set_read_timeout(Some(Duration::from_secs(30)))
             .map_err(|e| ServeError::io(&e))?;
-        Ok(ServeClient { stream, next_id: 1 })
+        stream.set_nodelay(true).map_err(|e| ServeError::io(&e))?;
+        // The clone shares the socket (and its options) with `stream`;
+        // it exists only to give the reader its own buffered handle.
+        let reader = BufReader::new(stream.try_clone().map_err(|e| ServeError::io(&e))?);
+        Ok(ServeClient {
+            stream,
+            reader,
+            next_id: 1,
+        })
     }
 
     fn send(&mut self, frame: &Frame) -> Result<(), ServeError> {
@@ -48,7 +62,7 @@ impl ServeClient {
     /// pipelined requests may interleave; strays are dropped).
     fn recv_for(&mut self, req_id: u64) -> Result<Frame, ServeError> {
         loop {
-            let frame = read_frame(&mut self.stream)?;
+            let frame = read_frame(&mut self.reader)?;
             if frame.req_id == req_id {
                 return Ok(frame);
             }
@@ -156,7 +170,7 @@ impl ServeClient {
     ///
     /// [`ServeError::Proto`] with the decode failure.
     pub fn recv_frame(&mut self) -> Result<Frame, ServeError> {
-        Ok(read_frame(&mut self.stream)?)
+        Ok(read_frame(&mut self.reader)?)
     }
 
     /// Half-closes the write side, so the server sees EOF while this end

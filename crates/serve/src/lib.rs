@@ -15,6 +15,9 @@
 //!   length), payload, CRC32 trailer (reusing `qnn_faults::crc32`).
 //!   Every way a frame can be wrong decodes to a typed [`ProtoError`],
 //!   never a panic.
+//! * [`arena`] — the recycled-slab float arena the zero-copy decode path
+//!   draws request buffers from; steady-state serving allocates nothing
+//!   per request (the `serve.alloc.bytes` counter goes flat).
 //! * [`model`] — the [`ModelBank`]: one calibrated network per Table III
 //!   precision, shared by server and load generator via [`MODEL_SEED`].
 //! * [`queue`] — the bounded dynamic-batching queue: flush on
@@ -46,12 +49,14 @@
 //! server.join();
 //! ```
 
+pub mod arena;
 pub mod client;
 pub mod model;
 pub mod proto;
 pub mod queue;
 pub mod server;
 
+pub use arena::{Arena, Slab};
 pub use client::ServeClient;
 pub use model::{ModelBank, MODEL_SEED, NUM_PRECISIONS};
 pub use proto::{ErrorCode, Frame, FrameKind, ProtoError};

@@ -58,6 +58,14 @@ pub struct ModelBank {
     nets: Vec<Network>,
     input: (usize, usize, usize),
     classes: usize,
+    /// Reusable batch-assembly buffer: taken before each forward,
+    /// recovered from the input tensor afterwards, so steady-state
+    /// serving never re-allocates the staging copy.
+    batch_buf: Vec<f32>,
+    /// The last forward's logits, kept so
+    /// [`forward_batch_flat`](ModelBank::forward_batch_flat) can hand out
+    /// a borrowed row-major slice without a per-row copy.
+    logits: Option<Tensor>,
 }
 
 impl std::fmt::Debug for ModelBank {
@@ -97,6 +105,8 @@ impl ModelBank {
             nets,
             input,
             classes,
+            batch_buf: Vec::new(),
+            logits: None,
         })
     }
 
@@ -131,13 +141,20 @@ impl ModelBank {
 
     /// Runs one stacked Eval forward over `images` (each of
     /// [`input_len`](ModelBank::input_len) floats) under the precision of
-    /// `tag`, returning one logits row per image.
+    /// `tag`, returning the row-major logits `(flat, row_len)` — `flat`
+    /// holds `images.len()` rows of `row_len` floats each, borrowed until
+    /// the next forward. This is the copy-free form the serving engine
+    /// uses: response frames are built straight off the returned rows.
     ///
     /// # Errors
     ///
     /// Returns `None`-tag errors as [`NnError::InvalidSpec`]; propagates
     /// forward-pass errors.
-    pub fn forward_batch(&mut self, tag: u8, images: &[&[f32]]) -> Result<Vec<Vec<f32>>, NnError> {
+    pub fn forward_batch_flat(
+        &mut self,
+        tag: u8,
+        images: &[&[f32]],
+    ) -> Result<(&[f32], usize), NnError> {
         let net = self
             .nets
             .get_mut(tag as usize)
@@ -148,16 +165,32 @@ impl ModelBank {
         let (c, h, w) = self.input;
         let per = c * h * w;
         let n = images.len();
-        let mut data = Vec::with_capacity(n * per);
+        let mut data = std::mem::take(&mut self.batch_buf);
+        data.clear();
+        data.reserve(n * per);
         for img in images {
             debug_assert_eq!(img.len(), per);
             data.extend_from_slice(img);
         }
         let batch = Tensor::from_vec(Shape::d4(n, c, h, w), data).map_err(NnError::from)?;
         let logits = net.forward(&batch, Mode::Eval)?;
+        // Recover the staging buffer (and its capacity) for the next call.
+        self.batch_buf = batch.into_vec();
         let k = logits.shape().dim(1);
-        let flat = logits.as_slice();
-        Ok((0..n).map(|i| flat[i * k..(i + 1) * k].to_vec()).collect())
+        let flat = self.logits.insert(logits).as_slice();
+        Ok((flat, k))
+    }
+
+    /// [`forward_batch_flat`](ModelBank::forward_batch_flat) with each
+    /// logits row copied into its own vector — the convenient form the
+    /// soak client and tests use.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`forward_batch_flat`](ModelBank::forward_batch_flat).
+    pub fn forward_batch(&mut self, tag: u8, images: &[&[f32]]) -> Result<Vec<Vec<f32>>, NnError> {
+        let (flat, k) = self.forward_batch_flat(tag, images)?;
+        Ok(flat.chunks_exact(k).map(<[f32]>::to_vec).collect())
     }
 
     /// Single-shot forward of one image — the reference the soak client

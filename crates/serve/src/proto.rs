@@ -305,16 +305,9 @@ impl Frame {
     ///
     /// [`ProtoError::BadPayload`] when the length is not a multiple of 4.
     pub fn payload_f32s(&self) -> Result<Vec<f32>, ProtoError> {
-        if !self.payload.len().is_multiple_of(4) {
-            return Err(ProtoError::BadPayload {
-                reason: format!("{} bytes is not a whole number of f32s", self.payload.len()),
-            });
-        }
-        Ok(self
-            .payload
-            .chunks_exact(4)
-            .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
-            .collect())
+        let mut out = Vec::new();
+        decode_f32s_into(&self.payload, &mut out)?;
+        Ok(out)
     }
 
     /// Decodes an [`FrameKind::Error`] payload into
@@ -412,8 +405,54 @@ pub fn parse_header(h: &[u8; HEADER_LEN]) -> Result<Header, ProtoError> {
     })
 }
 
-/// Verifies the CRC32 trailer against the received header + payload and
-/// assembles the [`Frame`].
+/// Decodes a little-endian `f32` byte payload into a caller-owned buffer
+/// (cleared first) — the allocation-free form of
+/// [`Frame::payload_f32s`], used by the server to decode straight into a
+/// recycled arena slab.
+///
+/// # Errors
+///
+/// [`ProtoError::BadPayload`] when the length is not a multiple of 4.
+pub fn decode_f32s_into(bytes: &[u8], out: &mut Vec<f32>) -> Result<(), ProtoError> {
+    if !bytes.len().is_multiple_of(4) {
+        return Err(ProtoError::BadPayload {
+            reason: format!("{} bytes is not a whole number of f32s", bytes.len()),
+        });
+    }
+    out.clear();
+    out.extend(
+        bytes
+            .chunks_exact(4)
+            .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]])),
+    );
+    Ok(())
+}
+
+/// Verifies the CRC32 trailer against the received header + payload.
+///
+/// # Errors
+///
+/// [`ProtoError::BadCrc`] on mismatch.
+pub fn verify_crc(
+    header_bytes: &[u8; HEADER_LEN],
+    payload: &[u8],
+    stored_crc: u32,
+) -> Result<(), ProtoError> {
+    let mut h = crc32::Crc32::new();
+    h.update(header_bytes);
+    h.update(payload);
+    let computed = h.finish();
+    if computed != stored_crc {
+        return Err(ProtoError::BadCrc {
+            stored: stored_crc,
+            computed,
+        });
+    }
+    Ok(())
+}
+
+/// Verifies the CRC32 trailer (see [`verify_crc`]) and assembles the
+/// [`Frame`].
 ///
 /// # Errors
 ///
@@ -424,16 +463,7 @@ pub fn finish_frame(
     payload: Vec<u8>,
     stored_crc: u32,
 ) -> Result<Frame, ProtoError> {
-    let mut h = crc32::Crc32::new();
-    h.update(header_bytes);
-    h.update(&payload);
-    let computed = h.finish();
-    if computed != stored_crc {
-        return Err(ProtoError::BadCrc {
-            stored: stored_crc,
-            computed,
-        });
-    }
+    verify_crc(header_bytes, &payload, stored_crc)?;
     Ok(Frame {
         kind: header.kind,
         tag: header.tag,

@@ -19,6 +19,7 @@ use std::sync::mpsc;
 use std::sync::{Condvar, Mutex};
 use std::time::{Duration, Instant};
 
+use crate::arena::Slab;
 use crate::proto::Frame;
 
 /// One queued inference request, carrying everything the engine needs to
@@ -29,12 +30,32 @@ pub struct Request {
     pub id: u64,
     /// Precision tag (already validated against the model bank).
     pub tag: u8,
-    /// The image, decoded to floats.
-    pub image: Vec<f32>,
+    /// The image, decoded to floats into a recycled arena slab — the
+    /// slab returns to its pool when this request is dropped after its
+    /// response is sent.
+    pub image: Slab,
     /// The owning connection's writer channel.
     pub reply: mpsc::Sender<Frame>,
     /// When the request entered the queue (for the latency histogram).
     pub enqueued: Instant,
+}
+
+/// Adaptive `Busy` retry hint: how long a rejected client should back
+/// off, given the queue depth it was rejected at and the engine's
+/// recently observed per-request drain time.
+///
+/// The hint estimates how long the engine needs to work through the
+/// backlog (`depth · drain_ns_per_req`), clamped below by `floor_us`
+/// (so an idle or freshly started server still spreads retries out) and
+/// above by one second (so a measurement glitch cannot park clients
+/// indefinitely). **Contract:** for a fixed drain rate the hint grows
+/// monotonically with depth — a deeper queue never shortens the
+/// suggested backoff. Pinned by `retry_hint_grows_with_depth`.
+pub fn retry_hint_us(depth: usize, drain_ns_per_req: u64, floor_us: u32) -> u32 {
+    const MAX_US: u64 = 1_000_000;
+    let est_us = (depth as u64).saturating_mul(drain_ns_per_req) / 1_000;
+    let hi = MAX_US.max(u64::from(floor_us));
+    est_us.clamp(u64::from(floor_us), hi) as u32
 }
 
 /// Why a push was refused.
@@ -154,16 +175,47 @@ mod tests {
 
     fn req(id: u64) -> (Request, mpsc::Receiver<Frame>) {
         let (tx, rx) = channel();
+        let arena = crate::arena::Arena::new();
+        let mut image = arena.take(1);
+        image.as_mut_vec().push(0.0);
         (
             Request {
                 id,
                 tag: 0,
-                image: vec![0.0],
+                image,
                 reply: tx,
                 enqueued: Instant::now(),
             },
             rx,
         )
+    }
+
+    #[test]
+    fn retry_hint_grows_with_depth() {
+        // The adaptive-backpressure contract: for a fixed drain rate the
+        // hint is monotone non-decreasing in depth.
+        for &drain_ns in &[0u64, 10_000, 150_000, 2_000_000] {
+            let mut last = 0;
+            for depth in 0..512 {
+                let hint = retry_hint_us(depth, drain_ns, 100);
+                assert!(
+                    hint >= last,
+                    "hint shrank: depth {depth} drain {drain_ns} {hint} < {last}"
+                );
+                assert!(hint >= 100, "floor violated at depth {depth}");
+                last = hint;
+            }
+        }
+    }
+
+    #[test]
+    fn retry_hint_floor_and_ceiling() {
+        // Empty queue: the floor applies whatever the drain rate says.
+        assert_eq!(retry_hint_us(0, 1_000_000, 250), 250);
+        // Backlog estimate dominates once it exceeds the floor.
+        assert_eq!(retry_hint_us(8, 500_000, 100), 4_000);
+        // A pathological estimate is capped at one second.
+        assert_eq!(retry_hint_us(10_000, u64::MAX, 100), 1_000_000);
     }
 
     #[test]

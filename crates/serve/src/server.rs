@@ -1,6 +1,6 @@
 //! The server: an accept loop, one reader + one writer thread per
-//! connection, and a single inference engine thread draining the
-//! batching queue.
+//! connection, and an inference engine draining the batching queue with
+//! a bounded fan-out of parallel forwards.
 //!
 //! ## Thread structure
 //!
@@ -9,18 +9,25 @@
 //!   self-connect).
 //! * **handler** (per connection) — decodes frames with a 50 ms poll so
 //!   it can observe the stop flag, validates them, and enqueues
-//!   [`Request`]s. Malformed input answers with a typed error frame
-//!   where the stream is still answerable, and never panics the server.
+//!   [`Request`]s. Inference payloads decode straight into recycled
+//!   [`Arena`] slabs — steady-state request intake allocates nothing.
+//!   Malformed input answers with a typed error frame where the stream
+//!   is still answerable, and never panics the server.
 //! * **writer** (per connection) — owns the write half; everything sent
 //!   to a connection (engine responses and handler rejections alike)
 //!   funnels through one mpsc channel, so frames never interleave
 //!   mid-write.
-//! * **engine** — the only thread touching the [`ModelBank`]: drains
-//!   batches, groups them by precision tag, runs one stacked Eval
-//!   forward per group, and routes each logits row back. Because the
-//!   engine is single-threaded, per-batch `qnn-trace` spans nest
-//!   correctly; the data-parallel kernels inside the forward still fan
-//!   out across the worker pool.
+//! * **engine** — drains batches, groups them by precision tag, splits
+//!   each group into at most `engine_threads` contiguous sub-batches,
+//!   and fans the stacked Eval forwards out over
+//!   [`qnn_tensor::par::map_capped`] against a pool of identical
+//!   [`ModelBank`] replicas. Each sub-batch's logits depend only on
+//!   `(seed, tag, images)` — never on which replica or thread ran it —
+//!   so responses stay bit-identical to single-shot at any
+//!   `engine_threads` (and any `QNN_THREADS`: engine workers are pool
+//!   workers, so kernels inside them run serial rather than nesting).
+//!   With `engine_threads = 1` the fan-out collapses to the plain
+//!   sequential loop and kernels keep their own data-parallelism.
 //!
 //! ## Graceful shutdown
 //!
@@ -34,16 +41,18 @@
 use std::collections::BTreeMap;
 use std::io::Write;
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{mpsc, Arc, Mutex};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex, MutexGuard};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+use qnn_tensor::par;
 use qnn_trace::Histogram;
 
+use crate::arena::{Arena, Slab};
 use crate::model::{ModelBank, MODEL_SEED, NUM_PRECISIONS};
 use crate::proto::{self, ErrorCode, Frame, FrameKind, ProtoError, HEADER_LEN};
-use crate::queue::{BatchQueue, PushError, Request};
+use crate::queue::{self, BatchQueue, PushError, Request};
 use crate::ServeError;
 
 /// Tuning knobs for a server instance.
@@ -60,6 +69,10 @@ pub struct ServeConfig {
     pub queue_cap: usize,
     /// Model-bank seed (both ends of a soak run must agree).
     pub seed: u64,
+    /// Maximum parallel engine forwards per batch (`--engine-threads`).
+    /// Responses are bit-identical at any setting; 1 restores the
+    /// sequential engine.
+    pub engine_threads: usize,
 }
 
 impl Default for ServeConfig {
@@ -70,6 +83,7 @@ impl Default for ServeConfig {
             max_wait: Duration::from_micros(2000),
             queue_cap: 256,
             seed: MODEL_SEED,
+            engine_threads: 1,
         }
     }
 }
@@ -136,8 +150,15 @@ struct Ctl {
     connections: AtomicU64,
     /// Expected image length in floats, for request validation.
     input_len: usize,
-    /// Retry hint handed out with `Busy` rejections, microseconds.
-    retry_hint_us: u32,
+    /// Retry hint handed out with `Busy` rejections, microseconds. The
+    /// engine re-derives it after every batch from the queue depth and
+    /// its recent drain rate ([`queue::retry_hint_us`]); handlers read
+    /// the latest value when rejecting.
+    retry_hint_us: AtomicU32,
+    /// Floor for the adaptive hint (the engine's batch window).
+    hint_floor_us: u32,
+    /// Recycled-slab pool every connection decodes images into.
+    arena: Arena,
 }
 
 impl Ctl {
@@ -165,19 +186,31 @@ impl Server {
     /// [`ServeError::Io`] on bind failure, and model-bank construction
     /// errors flattened into [`ServeError::Io`].
     pub fn start(cfg: ServeConfig) -> Result<Server, ServeError> {
-        let bank =
-            ModelBank::build(cfg.seed).map_err(|e| ServeError::Io(format!("model bank: {e}")))?;
+        // One identical bank replica per engine thread — all built from
+        // the same seed, so any replica answers any request with the
+        // same bits.
+        let replicas = cfg.engine_threads.max(1);
+        let mut banks = Vec::with_capacity(replicas);
+        for _ in 0..replicas {
+            banks.push(Mutex::new(
+                ModelBank::build(cfg.seed)
+                    .map_err(|e| ServeError::Io(format!("model bank: {e}")))?,
+            ));
+        }
+        let input_len = banks[0].lock().unwrap().input_len();
         let listener = TcpListener::bind(&cfg.addr).map_err(|e| ServeError::io(&e))?;
         let addr = listener.local_addr().map_err(|e| ServeError::io(&e))?;
-        let retry_hint_us = (cfg.max_wait.as_micros() as u32).max(100);
+        let hint_floor_us = (cfg.max_wait.as_micros() as u32).max(100);
         let ctl = Arc::new(Ctl {
             queue: BatchQueue::new(cfg.queue_cap),
             stop: AtomicBool::new(false),
             shutdown_waiters: Mutex::new(Vec::new()),
             rejected_busy: AtomicU64::new(0),
             connections: AtomicU64::new(0),
-            input_len: bank.input_len(),
-            retry_hint_us,
+            input_len,
+            retry_hint_us: AtomicU32::new(hint_floor_us),
+            hint_floor_us,
+            arena: Arena::new(),
         });
 
         let engine = {
@@ -185,7 +218,7 @@ impl Server {
             let cfg = cfg.clone();
             std::thread::Builder::new()
                 .name("qnn-serve-engine".to_string())
-                .spawn(move || engine_loop(bank, &ctl, &cfg, addr))
+                .spawn(move || engine_loop(banks, &ctl, &cfg, addr))
                 .map_err(|e| ServeError::io(&e))?
         };
 
@@ -211,6 +244,13 @@ impl Server {
     /// The actually-bound address (resolves a port-0 bind).
     pub fn local_addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// Bytes the request arena has genuinely allocated so far. Flat
+    /// once the slab pool reaches its working set — the observable the
+    /// arena-reuse e2e test asserts on.
+    pub fn arena_allocated_bytes(&self) -> u64 {
+        self.ctl.arena.allocated_bytes()
     }
 
     /// Requests a graceful shutdown: stop accepting work, drain what is
@@ -278,27 +318,30 @@ fn accept_loop(listener: &TcpListener, ctl: &Arc<Ctl>, handlers: &Arc<Mutex<Vec<
 
 /// Outcome of one interruptible frame read.
 enum ReadEvent {
+    /// A non-inference frame (shutdown, protocol misuse), materialised
+    /// the ordinary owned way — rare, so the copy is irrelevant.
     Frame(Frame),
+    /// An inference request, its payload already decoded into an arena
+    /// slab — the zero-copy hot path: the image bytes went straight from
+    /// the socket buffer into the floats the engine will read, with no
+    /// intermediate `Frame`/`Vec` materialisation.
+    Infer { req_id: u64, tag: u8, image: Slab },
     /// Peer closed cleanly on a frame boundary.
     Eof,
     /// The stop flag rose while waiting.
     Stopped,
     /// Malformed input; `req_id` is best-effort (0 when unrecoverable).
-    Bad {
-        err: ProtoError,
-        req_id: u64,
-    },
+    Bad { err: ProtoError, req_id: u64 },
 }
 
 /// Reads exactly `buf.len()` bytes through the connection's poll
 /// timeout, bailing out when the stop flag rises.
 fn fill(
-    stream: &mut TcpStream,
+    stream: &mut impl std::io::Read,
     buf: &mut [u8],
     got_before: usize,
     ctl: &Ctl,
 ) -> Result<(), ReadEvent> {
-    use std::io::Read;
     let mut off = 0;
     while off < buf.len() {
         match stream.read(&mut buf[off..]) {
@@ -335,7 +378,15 @@ fn fill(
     Ok(())
 }
 
-fn read_frame_interruptible(stream: &mut TcpStream, ctl: &Ctl) -> ReadEvent {
+/// Reads one frame, decoding inference payloads into the connection's
+/// reusable `payload_buf` and then an arena slab — the per-request
+/// allocations the naive path would make (payload `Vec<u8>`, image
+/// `Vec<f32>`) are both recycled buffers here.
+fn read_frame_interruptible(
+    stream: &mut impl std::io::Read,
+    ctl: &Ctl,
+    payload_buf: &mut Vec<u8>,
+) -> ReadEvent {
     let mut header_bytes = [0u8; HEADER_LEN];
     if let Err(ev) = fill(stream, &mut header_bytes, 0, ctl) {
         return ev;
@@ -362,18 +413,35 @@ fn read_frame_interruptible(stream: &mut TcpStream, ctl: &Ctl) -> ReadEvent {
         ReadEvent::Bad { err, .. } => ReadEvent::Bad { err, req_id },
         other => other,
     };
-    let mut payload = vec![0u8; header.payload_len as usize];
-    if let Err(ev) = fill(stream, &mut payload, HEADER_LEN, ctl) {
+    payload_buf.clear();
+    payload_buf.resize(header.payload_len as usize, 0);
+    if let Err(ev) = fill(stream, payload_buf, HEADER_LEN, ctl) {
         return stamp(ev);
     }
     let mut crc = [0u8; 4];
-    if let Err(ev) = fill(stream, &mut crc, HEADER_LEN + payload.len(), ctl) {
+    if let Err(ev) = fill(stream, &mut crc, HEADER_LEN + payload_buf.len(), ctl) {
         return stamp(ev);
     }
-    match proto::finish_frame(&header_bytes, header, payload, u32::from_le_bytes(crc)) {
-        Ok(frame) => ReadEvent::Frame(frame),
-        Err(err) => ReadEvent::Bad { err, req_id },
+    if let Err(err) = proto::verify_crc(&header_bytes, payload_buf, u32::from_le_bytes(crc)) {
+        return ReadEvent::Bad { err, req_id };
     }
+    if header.kind == FrameKind::Infer {
+        let mut image = ctl.arena.take(payload_buf.len() / 4);
+        return match proto::decode_f32s_into(payload_buf, image.as_mut_vec()) {
+            Ok(()) => ReadEvent::Infer {
+                req_id,
+                tag: header.tag,
+                image,
+            },
+            Err(err) => ReadEvent::Bad { err, req_id },
+        };
+    }
+    ReadEvent::Frame(Frame {
+        kind: header.kind,
+        tag: header.tag,
+        req_id: header.req_id,
+        payload: std::mem::take(payload_buf),
+    })
 }
 
 /// Whether a decode error poisons the stream (respond, then close) or
@@ -389,6 +457,10 @@ fn handle_connection(stream: TcpStream, ctl: &Arc<Ctl>) {
     {
         return;
     }
+    // Response frames are small; Nagle would hold each one hostage to
+    // the peer's delayed ACK (tens of ms per stall) — the single biggest
+    // serving-throughput lever on a loopback benchmark.
+    let _ = stream.set_nodelay(true);
     let write_half = match stream.try_clone() {
         Ok(s) => s,
         Err(_) => return,
@@ -397,10 +469,17 @@ fn handle_connection(stream: TcpStream, ctl: &Arc<Ctl>) {
     let writer = std::thread::Builder::new()
         .name("qnn-serve-write".to_string())
         .spawn(move || writer_loop(write_half, &rx));
-    let mut stream = stream;
+    // Buffered so a frame costs one `read` syscall, not three. The
+    // 50 ms poll timeout still applies: an empty buffer surfaces the
+    // underlying `WouldBlock` untouched.
+    let mut stream = std::io::BufReader::new(stream);
+    // Reused across frames: the raw-payload staging buffer. After the
+    // first request, steady-state intake on this connection performs no
+    // heap allocation (pinned by the arena-reuse e2e test).
+    let mut payload_buf: Vec<u8> = Vec::new();
 
     loop {
-        match read_frame_interruptible(&mut stream, ctl) {
+        match read_frame_interruptible(&mut stream, ctl, &mut payload_buf) {
             ReadEvent::Eof | ReadEvent::Stopped => break,
             ReadEvent::Bad { err, req_id } => {
                 qnn_trace::counter!("serve.rx.bad_frames", 1);
@@ -411,8 +490,8 @@ fn handle_connection(stream: TcpStream, ctl: &Arc<Ctl>) {
                     break;
                 }
             }
+            ReadEvent::Infer { req_id, tag, image } => handle_infer(req_id, tag, image, &tx, ctl),
             ReadEvent::Frame(frame) => match frame.kind {
-                FrameKind::Infer => handle_infer(frame, &tx, ctl),
                 FrameKind::Shutdown => {
                     ctl.shutdown_waiters
                         .lock()
@@ -422,7 +501,12 @@ fn handle_connection(stream: TcpStream, ctl: &Arc<Ctl>) {
                 }
                 // Server-bound streams carry requests only; a response
                 // kind here is protocol misuse, answered but survivable.
-                FrameKind::InferOk | FrameKind::Error | FrameKind::ShutdownAck => {
+                // (Infer never reaches this arm — the reader decodes it
+                // straight to `ReadEvent::Infer` — but stays total.)
+                FrameKind::Infer
+                | FrameKind::InferOk
+                | FrameKind::Error
+                | FrameKind::ShutdownAck => {
                     let _ = tx.send(Frame::error(
                         frame.req_id,
                         ErrorCode::BadKind,
@@ -442,32 +526,16 @@ fn handle_connection(stream: TcpStream, ctl: &Arc<Ctl>) {
     }
 }
 
-fn handle_infer(frame: Frame, tx: &mpsc::Sender<Frame>, ctl: &Ctl) {
-    let req_id = frame.req_id;
-    if frame.tag >= NUM_PRECISIONS {
+fn handle_infer(req_id: u64, tag: u8, image: Slab, tx: &mpsc::Sender<Frame>, ctl: &Ctl) {
+    if tag >= NUM_PRECISIONS {
         let _ = tx.send(Frame::error(
             req_id,
             ErrorCode::BadPrecision,
             0,
-            &format!(
-                "precision tag {} outside Table III (0..{})",
-                frame.tag, NUM_PRECISIONS
-            ),
+            &format!("precision tag {tag} outside Table III (0..{NUM_PRECISIONS})"),
         ));
         return;
     }
-    let image = match frame.payload_f32s() {
-        Ok(v) => v,
-        Err(e) => {
-            let _ = tx.send(Frame::error(
-                req_id,
-                ErrorCode::BadPayload,
-                0,
-                &e.to_string(),
-            ));
-            return;
-        }
-    };
     if image.len() != ctl.input_len {
         let _ = tx.send(Frame::error(
             req_id,
@@ -483,7 +551,7 @@ fn handle_infer(frame: Frame, tx: &mpsc::Sender<Frame>, ctl: &Ctl) {
     }
     let req = Request {
         id: req_id,
-        tag: frame.tag,
+        tag,
         image,
         reply: tx.clone(),
         enqueued: Instant::now(),
@@ -496,7 +564,7 @@ fn handle_infer(frame: Frame, tx: &mpsc::Sender<Frame>, ctl: &Ctl) {
             let _ = tx.send(Frame::error(
                 req_id,
                 ErrorCode::Busy,
-                ctl.retry_hint_us,
+                ctl.retry_hint_us.load(Ordering::Relaxed),
                 "batching queue full",
             ));
         }
@@ -512,25 +580,47 @@ fn handle_infer(frame: Frame, tx: &mpsc::Sender<Frame>, ctl: &Ctl) {
 }
 
 fn writer_loop(mut stream: TcpStream, rx: &mpsc::Receiver<Frame>) {
+    // Coalesce whatever responses are already queued into one write, so
+    // a drained batch costs one syscall/packet instead of one per frame.
+    let mut out: Vec<u8> = Vec::new();
     while let Ok(frame) = rx.recv() {
-        let bytes = frame.encode();
+        out.clear();
+        out.extend_from_slice(&frame.encode());
+        let mut frames = 1u64;
+        while let Ok(next) = rx.try_recv() {
+            out.extend_from_slice(&next.encode());
+            frames += 1;
+        }
         if stream
-            .write_all(&bytes)
+            .write_all(&out)
             .and_then(|()| stream.flush())
             .is_err()
         {
             return; // peer gone; remaining responses have nowhere to go
         }
-        qnn_trace::counter!("serve.tx.frames", 1);
+        qnn_trace::counter!("serve.tx.frames", frames);
     }
 }
 
+/// Checks a bank replica out of the pool: first replica whose lock is
+/// free, else block on the unit's home replica. Any replica computes the
+/// same bits, so the choice only affects timing.
+fn checkout(banks: &[Mutex<ModelBank>], unit: usize) -> MutexGuard<'_, ModelBank> {
+    for bank in banks {
+        if let Ok(guard) = bank.try_lock() {
+            return guard;
+        }
+    }
+    banks[unit % banks.len()].lock().unwrap()
+}
+
 fn engine_loop(
-    mut bank: ModelBank,
+    banks: Vec<Mutex<ModelBank>>,
     ctl: &Arc<Ctl>,
     cfg: &ServeConfig,
     addr: SocketAddr,
 ) -> ServeStats {
+    let engine_threads = banks.len();
     let mut stats = ServeStats {
         requests: 0,
         batches: 0,
@@ -539,6 +629,9 @@ fn engine_loop(
         latency_us: Histogram::new(),
         batch_size: Histogram::new(),
     };
+    // Recent drain cost, EWMA-smoothed nanoseconds per request — feeds
+    // the adaptive Busy retry hint. 0 until the first batch lands.
+    let mut drain_ewma_ns: u64 = 0;
     while let Some(batch) = ctl.queue.next_batch(cfg.max_batch, cfg.max_wait) {
         qnn_trace::span!("serve.batch");
         qnn_trace::counter!("serve.batches", 1);
@@ -547,29 +640,50 @@ fn engine_loop(
         qnn_trace::gauge!("serve.queue.depth", ctl.queue.depth() as f64);
         stats.batches += 1;
         stats.batch_size.observe(batch.len() as f64);
+        let drain_start = Instant::now();
 
-        // Group by precision tag; one stacked forward per group.
+        // Group by precision tag, then split each group into at most
+        // `engine_threads` contiguous sub-batches — the work units the
+        // fan-out schedules. Unit boundaries depend only on the batch
+        // composition and the thread count, never on timing.
         let mut groups: BTreeMap<u8, Vec<usize>> = BTreeMap::new();
         for (i, req) in batch.iter().enumerate() {
             groups.entry(req.tag).or_default().push(i);
         }
+        let mut units: Vec<(u8, Vec<usize>)> = Vec::new();
         for (tag, idxs) in groups {
+            for range in par::partition(idxs.len(), engine_threads.min(idxs.len()).max(1)) {
+                if !range.is_empty() {
+                    units.push((tag, idxs[range].to_vec()));
+                }
+            }
+        }
+
+        // Fan the units out over at most `engine_threads` workers. Each
+        // worker checks a bank replica out, runs the stacked forward,
+        // and sends its responses directly — per-request latencies come
+        // back for the stats fold. Workers are pool workers, so kernels
+        // inside them run serial instead of nesting.
+        let unit_latencies = par::map_capped(units.len(), engine_threads, |u| {
+            let (tag, idxs) = &units[u];
+            let mut bank = checkout(&banks, u);
             qnn_trace::span!("serve.infer:{}", tag);
-            let images: Vec<&[f32]> = idxs.iter().map(|&i| batch[i].image.as_slice()).collect();
-            match bank.forward_batch(tag, &images) {
-                Ok(rows) => {
-                    for (&i, row) in idxs.iter().zip(rows.iter()) {
+            let images: Vec<&[f32]> = idxs.iter().map(|&i| &*batch[i].image).collect();
+            match bank.forward_batch_flat(*tag, &images) {
+                Ok((flat, k)) => {
+                    let mut latencies = Vec::with_capacity(idxs.len());
+                    for (&i, row) in idxs.iter().zip(flat.chunks_exact(k)) {
                         let req = &batch[i];
                         qnn_trace::span!("serve.request");
                         let us = req.enqueued.elapsed().as_micros() as f64;
                         qnn_trace::observe!("serve.latency.us", us);
-                        stats.latency_us.observe(us);
-                        stats.requests += 1;
+                        latencies.push(us);
                         let _ = req.reply.send(Frame::infer_ok(req.id, row));
                     }
+                    latencies
                 }
                 Err(e) => {
-                    for &i in &idxs {
+                    for &i in idxs {
                         let req = &batch[i];
                         let _ = req.reply.send(Frame::error(
                             req.id,
@@ -578,9 +692,26 @@ fn engine_loop(
                             &format!("forward failed: {e}"),
                         ));
                     }
+                    Vec::new()
                 }
             }
+        });
+        for us in unit_latencies.into_iter().flatten() {
+            stats.latency_us.observe(us);
+            stats.requests += 1;
         }
+
+        // Refresh the adaptive backpressure hint from this batch's
+        // measured drain rate and the depth left behind.
+        let per_req_ns = (drain_start.elapsed().as_nanos() as u64) / batch.len().max(1) as u64;
+        drain_ewma_ns = if drain_ewma_ns == 0 {
+            per_req_ns
+        } else {
+            (3 * drain_ewma_ns + per_req_ns) / 4
+        };
+        let hint = queue::retry_hint_us(ctl.queue.depth(), drain_ewma_ns, ctl.hint_floor_us);
+        ctl.retry_hint_us.store(hint, Ordering::Relaxed);
+        qnn_trace::gauge!("serve.retry_hint.us", f64::from(hint));
     }
     // Drain complete: acknowledge every shutdown requester, then bring
     // the rest of the thread structure down.

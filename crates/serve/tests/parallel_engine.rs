@@ -1,0 +1,136 @@
+//! Pins the two serving hot-path contracts this crate's raw-speed work
+//! rests on:
+//!
+//! 1. **Parallel-engine bit-identity** — batched forwards fanned out
+//!    over `--engine-threads` replicas return, bit for bit, the logits a
+//!    single-shot forward computes, at every compute-pool thread count
+//!    (`QNN_THREADS` 1/2/8), engine-threads 1 vs 4, across all seven
+//!    Table III precisions, over ≥256 seeded requests.
+//! 2. **Arena reuse** — steady-state request intake performs no arena
+//!    allocation: after a short warmup, `serve.alloc.bytes` (surfaced as
+//!    [`Server::arena_allocated_bytes`]) stays flat no matter how many
+//!    more requests flow.
+
+use std::collections::HashMap;
+use std::time::Duration;
+
+use qnn_serve::proto::FrameKind;
+use qnn_serve::{ModelBank, ServeClient, ServeConfig, Server, MODEL_SEED, NUM_PRECISIONS};
+use qnn_tensor::par::set_threads;
+
+/// Distinct from the images other e2e tests send, so failures point here.
+const CASE_BASE: u64 = 0x9000;
+const CASES: usize = 256;
+
+/// Runs `CASES` pipelined requests against `server` on one connection and
+/// returns `req_id → logits bits`.
+fn drive(addr: &str, images: &[Vec<f32>]) -> HashMap<u64, Vec<u32>> {
+    let mut c = ServeClient::connect(addr).expect("connect");
+    c.set_read_timeout(Duration::from_secs(30)).unwrap();
+    // Window the pipeline below the queue capacity so nothing bounces
+    // with Busy — this test pins bit-identity, not backpressure.
+    let window = 64usize;
+    let mut id_to_case: HashMap<u64, usize> = HashMap::new();
+    let mut out = HashMap::new();
+    let mut next_case = 0usize;
+    let mut in_flight = 0usize;
+    while out.len() < images.len() {
+        while in_flight < window && next_case < images.len() {
+            let tag = (next_case % NUM_PRECISIONS as usize) as u8;
+            let id = c.send_infer(tag, &images[next_case]).expect("send");
+            id_to_case.insert(id, next_case);
+            next_case += 1;
+            in_flight += 1;
+        }
+        let f = c.recv_frame().expect("response");
+        assert_eq!(f.kind, FrameKind::InferOk, "unexpected {:?}", f.kind);
+        let bits: Vec<u32> = f
+            .payload_f32s()
+            .unwrap()
+            .iter()
+            .map(|x| x.to_bits())
+            .collect();
+        out.insert(f.req_id, bits);
+        in_flight -= 1;
+    }
+    // Map req_id space back to case space.
+    out.into_iter()
+        .map(|(id, bits)| (id_to_case[&id] as u64, bits))
+        .collect()
+}
+
+#[test]
+fn parallel_engine_bit_identical_to_single_shot_256_cases() {
+    // Reference: single-shot forwards on a local bank at one compute
+    // thread — the ground truth every served configuration must match.
+    set_threads(Some(1));
+    let mut reference = ModelBank::default_bank().unwrap();
+    let per = reference.input_len();
+    let images: Vec<Vec<f32>> = (0..CASES)
+        .map(|i| qnn_serve::model::test_image(MODEL_SEED, CASE_BASE + i as u64, per))
+        .collect();
+    let expected: Vec<Vec<u32>> = images
+        .iter()
+        .enumerate()
+        .map(|(i, img)| {
+            let tag = (i % NUM_PRECISIONS as usize) as u8;
+            reference
+                .forward_single(tag, img)
+                .unwrap()
+                .iter()
+                .map(|x| x.to_bits())
+                .collect()
+        })
+        .collect();
+
+    for &pool_threads in &[1usize, 2, 8] {
+        set_threads(Some(pool_threads));
+        for &engine_threads in &[1usize, 4] {
+            let server = Server::start(ServeConfig {
+                engine_threads,
+                max_batch: 32,
+                ..ServeConfig::default()
+            })
+            .expect("server start");
+            let got = drive(&server.local_addr().to_string(), &images);
+            for (case, want) in expected.iter().enumerate() {
+                assert_eq!(
+                    &got[&(case as u64)],
+                    want,
+                    "case {case} drifted at QNN_THREADS={pool_threads} \
+                     engine-threads={engine_threads}"
+                );
+            }
+            server.shutdown();
+            server.join();
+        }
+    }
+    set_threads(None);
+}
+
+#[test]
+fn steady_state_requests_allocate_nothing_in_the_arena() {
+    let server = Server::start(ServeConfig::default()).unwrap();
+    let addr = server.local_addr().to_string();
+    let bank = ModelBank::default_bank().unwrap();
+    let img = qnn_serve::model::test_image(MODEL_SEED, CASE_BASE, bank.input_len());
+
+    let mut c = ServeClient::connect(&addr).unwrap();
+    // Warmup: populate the slab pool's working set.
+    for _ in 0..32 {
+        c.infer(0, &img).unwrap();
+    }
+    let after_warmup = server.arena_allocated_bytes();
+    assert!(after_warmup > 0, "warmup must have allocated slabs");
+    for i in 0..200 {
+        let tag = (i % NUM_PRECISIONS as usize) as u8;
+        c.infer(tag, &img).unwrap();
+        assert_eq!(
+            server.arena_allocated_bytes(),
+            after_warmup,
+            "request {i} allocated in steady state"
+        );
+    }
+    c.shutdown_server().unwrap();
+    server.join();
+}

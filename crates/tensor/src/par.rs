@@ -167,7 +167,32 @@ where
     R: Send,
     F: Fn(usize) -> R + Sync,
 {
-    let w = workers_for(n);
+    map_with_workers(n, workers_for(n), f)
+}
+
+/// [`map`] with an explicit worker cap, decoupled from the global
+/// [`threads`] setting: uses at most `max_workers` threads (still 1 when
+/// nested, never more than `n`). Callers with their own concurrency knob
+/// — the serving engine's `--engine-threads` — fan out through this so
+/// the compute pool's `QNN_THREADS` setting keeps its meaning.
+pub fn map_capped<R, F>(n: usize, max_workers: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    let w = if is_nested() {
+        1
+    } else {
+        max_workers.min(n).max(1)
+    };
+    map_with_workers(n, w, f)
+}
+
+fn map_with_workers<R, F>(n: usize, w: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
     if w <= 1 {
         return (0..n).map(f).collect();
     }
@@ -301,6 +326,19 @@ mod tests {
             assert_eq!(out, (0..57).map(|i| i * i).collect::<Vec<_>>());
         }
         set_threads(None);
+    }
+
+    #[test]
+    fn map_capped_ignores_the_global_setting() {
+        set_threads(Some(1));
+        // Even at QNN_THREADS=1, an explicit cap of 4 parallelises — and
+        // still returns results in index order.
+        let out = map_capped(10, 4, |i| i + 1);
+        assert_eq!(out, (1..=10).collect::<Vec<_>>());
+        // Nested regions stay serial regardless of the cap.
+        let nested = map_capped(2, 2, |_| map_capped(2, 2, |_| is_nested()));
+        set_threads(None);
+        assert!(nested.iter().flatten().all(|&n| n));
     }
 
     #[test]

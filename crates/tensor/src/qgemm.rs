@@ -274,6 +274,85 @@ pub fn gemm_nt_pow2(m: usize, k: usize, n: usize, a: &[i16], codes: &[i8], c: &m
     });
 }
 
+#[inline(always)]
+fn rows_pow2_wide(k: usize, n: usize, a_rows: &[i16], w: &[i32], c: &mut [i32]) {
+    // Weight-row outer loop: each 4-byte-wide `w` row is read once and
+    // reused against the whole (≤ ROWS_PER_TASK-row, L1-resident) A
+    // chunk, instead of streaming all of `w` per A row — the i32 words
+    // are twice the traffic of the i16 kernels. The chunk is widened to
+    // i32 once up front (no per-element sign-extension inside the hot
+    // loop), and four A rows share each weight load through four
+    // independent accumulators, which the vectorizer keeps in registers.
+    // Integer adds reassociate freely, so none of this can change bits.
+    let rows = a_rows.len().checked_div(k).unwrap_or(0);
+    let aw: Vec<i32> = a_rows.iter().map(|&x| x as i32).collect();
+    for (j, wr) in w.chunks_exact(k).enumerate() {
+        let mut r = 0;
+        while r + 4 <= rows {
+            let a0 = &aw[r * k..(r + 1) * k];
+            let a1 = &aw[(r + 1) * k..(r + 2) * k];
+            let a2 = &aw[(r + 2) * k..(r + 3) * k];
+            let a3 = &aw[(r + 3) * k..(r + 4) * k];
+            let (mut s0, mut s1, mut s2, mut s3) = (0i32, 0i32, 0i32, 0i32);
+            let quads = a0.iter().zip(a1.iter()).zip(a2.iter().zip(a3.iter()));
+            for (((&x0, &x1), (&x2, &x3)), &wv) in quads.zip(wr.iter()) {
+                s0 += x0 * wv;
+                s1 += x1 * wv;
+                s2 += x2 * wv;
+                s3 += x3 * wv;
+            }
+            c[r * n + j] = s0;
+            c[(r + 1) * n + j] = s1;
+            c[(r + 2) * n + j] = s2;
+            c[(r + 3) * n + j] = s3;
+            r += 4;
+        }
+        while r < rows {
+            let ar = &aw[r * k..(r + 1) * k];
+            let mut acc = 0i32;
+            for (&x, &wv) in ar.iter().zip(wr.iter()) {
+                acc += x * wv;
+            }
+            c[r * n + j] = acc;
+            r += 1;
+        }
+    }
+}
+avx2_clone!(
+    rows_pow2_wide_avx2 =
+        rows_pow2_wide(k: usize, n: usize, a_rows: &[i16], w: &[i32], c: &mut [i32])
+);
+
+/// Fixed-point × wide-span power-of-two GEMM over *materialised* weight
+/// raws: `w` holds each weight as `±2^(q-1)` in an `i32` word (exponents
+/// up to 30, which the `i8` code form can't widen into an `i16` view).
+///
+/// One multiply per element — `vpmovsxwd` + `vpmulld` under AVX2 —
+/// instead of the shift/negate/select chain of [`gemm_nt_pow2`], which
+/// this replaces for every span the raws fit (≤ 30); the shift-add
+/// kernel remains only for span 31. Same layout and caller contract as
+/// [`gemm_nt_pow2`]: `Σ_k |A[i][k]·w[j][k]| <= i32::MAX` per output, so
+/// the i32 accumulation is exact under any summation order.
+pub fn gemm_nt_pow2_wide(m: usize, k: usize, n: usize, a: &[i16], w: &[i32], c: &mut [i32]) {
+    check_nt_dims(m, k, n, a, w, c);
+    qnn_trace::counter!(CTR_CALLS, 1);
+    qnn_trace::counter!(CTR_PACKED_OPS, (m * k * n) as u64);
+    if k == 0 {
+        c.fill(0);
+        return;
+    }
+    par::for_each_chunk_mut(c, ROWS_PER_TASK * n, |ci, chunk| {
+        let rows = chunk.len() / n;
+        let start = ci * ROWS_PER_TASK;
+        let a_rows = &a[start * k..(start + rows) * k];
+        dispatch!(
+            rows_pow2_wide,
+            rows_pow2_wide_avx2,
+            (k, n, a_rows, w, chunk)
+        );
+    });
+}
+
 /// Packs one row of `±1` signs (`true` = negative) into little-endian
 /// `u64` plane words, zero-padding the tail. Shared by the weight/act
 /// packers in `qnn-quant` and the benches.
@@ -410,6 +489,35 @@ mod tests {
                 assert_eq!(c[i * n + j] as i64, acc, "i={i} j={j}");
             }
         }
+    }
+
+    #[test]
+    fn pow2_wide_matches_the_shift_add_kernel() {
+        // The materialised-raw kernel and the shift-add kernel are two
+        // evaluations of the same integer dot product — equal outputs on
+        // any certified input, including exponents past the i16 range.
+        let mut rng = seeded(19);
+        let (m, k, n) = (9, 31, 8);
+        let a: Vec<i16> = (0..m * k).map(|_| rng.gen_range(-2i64..3) as i16).collect();
+        let codes: Vec<i8> = (0..n * k)
+            .map(|_| rng.gen_range(-20i64..21) as i8)
+            .collect();
+        let w: Vec<i32> = codes
+            .iter()
+            .map(|&q| {
+                let mag = 1i32 << (q.unsigned_abs().wrapping_sub(1) & 31);
+                match q.cmp(&0) {
+                    std::cmp::Ordering::Greater => mag,
+                    std::cmp::Ordering::Less => -mag,
+                    std::cmp::Ordering::Equal => 0,
+                }
+            })
+            .collect();
+        let mut shift = vec![0i32; m * n];
+        gemm_nt_pow2(m, k, n, &a, &codes, &mut shift);
+        let mut wide = vec![0i32; m * n];
+        gemm_nt_pow2_wide(m, k, n, &a, &w, &mut wide);
+        assert_eq!(wide, shift);
     }
 
     #[test]

@@ -31,7 +31,8 @@
 //!
 //! `serve` runs the `qnn-serve` batched-inference server and takes its
 //! own flags (see [`run_serve`]): `--addr`, `--port-file`, `--max-batch`,
-//! `--max-wait-us`, `--queue-cap`, `--trace`. The server runs until a
+//! `--max-wait-us`, `--queue-cap`, `--engine-threads`, `--trace`. The
+//! server runs until a
 //! client sends a `Shutdown` frame (`qnn-bench serve-soak --shutdown`
 //! does), then prints its run stats.
 
@@ -103,6 +104,8 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
 ///   waited `N` microseconds, whichever comes first.
 /// * `--queue-cap N` — bounded-queue capacity; pushes beyond it are
 ///   rejected with a `Busy` error frame carrying a retry-after hint.
+/// * `--engine-threads N` — parallel engine forwards per batch (default
+///   1). Responses are bit-identical at any setting.
 /// * `--trace PATH` — record a `qnn-trace` JSONL of the run (per-batch
 ///   spans, queue-depth gauge, batch-size and latency histograms).
 fn run_serve(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
@@ -138,6 +141,14 @@ fn run_serve(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
                 cfg.queue_cap = v
                     .parse()
                     .map_err(|_| format!("--queue-cap: `{v}` is not a count"))?;
+            }
+            "--engine-threads" => {
+                let v = next("--engine-threads")?;
+                cfg.engine_threads = v
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .ok_or_else(|| format!("--engine-threads: `{v}` is not a thread count"))?;
             }
             other => return Err(format!("serve: unknown argument `{other}`").into()),
         }
@@ -254,7 +265,7 @@ fn usage() {
         "usage: qnn <table3|fig3|table4|table5|fig4|energy|faultcurve|memory|minifloat|tiles|all> \
          [smoke|reduced|full] [--resume DIR [--max-cells N]]\n\
          \x20      qnn serve [--addr HOST:PORT] [--port-file PATH] [--max-batch N] \
-         [--max-wait-us N] [--queue-cap N] [--trace PATH]"
+         [--max-wait-us N] [--queue-cap N] [--engine-threads N] [--trace PATH]"
     );
 }
 
