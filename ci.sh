@@ -1,21 +1,51 @@
 #!/usr/bin/env sh
 # Offline CI gate: formatting, lints, release build, full test suite,
-# and the kernel-benchmark regression check. Everything runs with
-# --offline — the workspace has zero external dependencies, so no
-# network access is ever needed.
+# the kernel-benchmark regression check, and the serving soak stages
+# (single-node and cluster). Everything runs with --offline — the
+# workspace has zero external dependencies, so no network access is
+# ever needed.
 #
 # Mirrored stage-for-stage by .github/workflows/ci.yml; keep the two in
-# sync when adding stages.
+# sync when adding stages (the sync-check stage enforces it).
+#
+# Usage:
+#   ./ci.sh                 run every stage, in order
+#   ./ci.sh --stage NAME    reproduce a single stage locally (e.g.
+#                           `./ci.sh --stage cluster-soak`); stages that
+#                           run ./target/release binaries assume a prior
+#                           `./ci.sh --stage build`
+#
+# Every run ends by writing ci-timings.json (machine-readable per-stage
+# wall-clock seconds) and printing the slowest stages first.
 set -eu
 
 cd "$(dirname "$0")"
 
+SELECT=""
+SELECT_FOUND=0
+if [ "${1:-}" = "--stage" ]; then
+    if [ -z "${2:-}" ]; then
+        echo "--stage needs a stage name" >&2
+        exit 2
+    fi
+    SELECT="$2"
+elif [ -n "${1:-}" ]; then
+    echo "unknown argument: $1 (only --stage NAME is supported)" >&2
+    exit 2
+fi
+
 STAGE="(startup)"
 STAGES_RUN=""
+TIMINGS=""
 
 on_exit() {
     code=$?
     echo ""
+    if [ "$code" -eq 0 ] && [ -n "$SELECT" ] && [ "$SELECT_FOUND" -eq 0 ]; then
+        echo "no stage named '$SELECT'; stages are:" >&2
+        grep '^stage ' "$0" | awk '{print "  " $2}' >&2
+        exit 2
+    fi
     if [ "$code" -eq 0 ]; then
         echo "CI gate passed:$STAGES_RUN"
     else
@@ -25,14 +55,20 @@ on_exit() {
 trap on_exit EXIT
 
 stage() {
-    STAGE="$1"
+    name="$1"
     shift
+    if [ -n "$SELECT" ] && [ "$name" != "$SELECT" ]; then
+        return 0
+    fi
+    SELECT_FOUND=1
+    STAGE="$name"
     echo "== $STAGE =="
     start=$(date +%s)
     "$@"
     end=$(date +%s)
     echo "-- $STAGE: $((end - start))s"
     STAGES_RUN="$STAGES_RUN $STAGE($((end - start))s)"
+    TIMINGS="$TIMINGS $STAGE:$((end - start))"
 }
 
 # Kill-and-resume gate: interrupt a crash-safe Table IV sweep after two
@@ -112,6 +148,103 @@ serve_soak() {
     return "$code"
 }
 
+# Cluster-soak gate: boot a router over three shard workers on loopback,
+# soak it from 4 client threads, and SIGKILL one shard at a seed-derived
+# point mid-soak. Passes only if every response is bit-identical to a
+# local single-shot forward (typed retryable rejections are retried,
+# never excused into wrong answers), the victim died by SIGKILL (exit
+# 137), the survivors and the router drain cleanly, and the router's
+# trace (router-trace.jsonl / cluster-trace-summary.txt) is collected.
+cluster_soak() {
+    dir=$(mktemp -d)
+    for i in 1 2 3; do
+        ./target/release/qnn shard --addr 127.0.0.1:0 \
+            --port-file "$dir/s$i.port" > "$dir/s$i.log" 2>&1 &
+        eval "s$i=\$!"
+    done
+    tries=0
+    while [ "$tries" -lt 100 ]; do
+        [ -s "$dir/s1.port" ] && [ -s "$dir/s2.port" ] && [ -s "$dir/s3.port" ] && break
+        sleep 0.1
+        tries=$((tries + 1))
+    done
+    code=1
+    if [ -s "$dir/s3.port" ]; then
+        ./target/release/qnn router \
+            --shards "$(cat "$dir/s1.port"),$(cat "$dir/s2.port"),$(cat "$dir/s3.port")" \
+            --addr 127.0.0.1:0 --port-file "$dir/r.port" \
+            --heartbeat-ms 50 --k-misses 2 \
+            --trace router-trace.jsonl > "$dir/router.log" 2>&1 &
+        router=$!
+        tries=0
+        while [ "$tries" -lt 100 ]; do
+            [ -s "$dir/r.port" ] && break
+            kill -0 "$router" 2>/dev/null || break
+            sleep 0.1
+            tries=$((tries + 1))
+        done
+    else
+        echo "cluster-soak: shards never wrote their port files" >&2
+        router=""
+    fi
+    set +e
+    if [ -n "$router" ] && [ -s "$dir/r.port" ]; then
+        # Victim is shard 2; the kill point inside the soak is derived
+        # from the soak seed, so the schedule is reproducible.
+        ./target/release/qnn-bench cluster-soak --addr "$(cat "$dir/r.port")" \
+            --clients 4 --requests 252 --kill-pid "$s2" --shutdown
+        code=$?
+        if [ "$code" -eq 0 ]; then
+            # --shutdown drained the cluster: router and surviving
+            # shards must exit 0, the victim must have died of SIGKILL.
+            wait "$router" && wait "$s1" && wait "$s3"
+            code=$?
+            wait "$s2"
+            victim=$?
+            if [ "$code" -eq 0 ] && [ "$victim" -ne 137 ]; then
+                echo "cluster-soak: victim shard exited $victim, expected 137 (SIGKILL)" >&2
+                code=1
+            fi
+        fi
+    elif [ -n "$router" ]; then
+        echo "cluster-soak: router never wrote its port file" >&2
+    fi
+    # Teardown even on failure: nothing may outlive the stage.
+    kill "$s1" "$s2" "$s3" 2>/dev/null
+    [ -n "$router" ] && kill "$router" 2>/dev/null
+    wait 2>/dev/null
+    set -e
+    cat "$dir"/*.log
+    rm -rf "$dir"
+    if [ "$code" -eq 0 ]; then
+        ./target/release/qnn-bench trace-summary router-trace.jsonl \
+            | tee cluster-trace-summary.txt
+    fi
+    return "$code"
+}
+
+# Writes ci-timings.json ({"stage","seconds"} per stage run, in run
+# order) and prints the slowest stages first — the same table the
+# workflow's timing-summary job posts to the job summary.
+timing_summary() {
+    {
+        printf '{"schema": "qnn-ci/timings/v1", "stages": ['
+        first=1
+        for entry in $TIMINGS; do
+            [ "$first" -eq 1 ] || printf ', '
+            first=0
+            printf '{"stage": "%s", "seconds": %s}' \
+                "${entry%:*}" "${entry##*:}"
+        done
+        printf ']}\n'
+    } > ci-timings.json
+    echo "wrote ci-timings.json"
+    echo "slowest stages first (seconds):"
+    for entry in $TIMINGS; do
+        printf '%6s  %s\n' "${entry##*:}" "${entry%:*}"
+    done | sort -rn
+}
+
 stage fmt                 cargo fmt --all -- --check
 stage clippy              cargo clippy --workspace --all-targets --offline -- -D warnings
 stage build               cargo build --workspace --release --offline
@@ -122,4 +255,6 @@ stage kill-resume         kill_and_resume
 stage thread-determinism  thread_determinism
 stage serve-soak          serve_soak
 stage serve-bench         cargo run -p qnn-bench --release --offline -- --quick serve-bench
+stage cluster-soak        cluster_soak
 stage sync-check          cargo run -p qnn-bench --release --offline -- sync-check
+stage timing-summary      timing_summary

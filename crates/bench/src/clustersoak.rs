@@ -1,0 +1,424 @@
+//! `cluster-soak` — the chaos-capable load generator behind the
+//! cluster-soak CI stage, plus the informational `cluster-bench`
+//! throughput measurement.
+//!
+//! Like [`crate::soak`], but aimed at a `qnn router` fronting N shard
+//! workers, and with one extra move: a **deterministic mid-soak kill**.
+//! When `--kill-pid` names a shard process, a killer thread delivers
+//! `SIGKILL` the moment the soak's verified-response counter crosses a
+//! seed-derived kill point (`qnn-faults` seeding discipline: the point
+//! is a pure function of `--seed`, not of timing). The pass criterion is
+//! the cluster contract verbatim: every request returns bits identical
+//! to a local single-shot forward — possibly after typed retryable
+//! rejections, which are counted, never excused into wrong answers — and
+//! nothing hangs.
+//!
+//! With three shards and one kill, failover is normally invisible to
+//! clients (the router re-routes to a live replica); `ShardDown`
+//! rejections only surface in the window where a request's whole
+//! candidate set is dead, and the summary reports how often that
+//! happened.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use qnn_serve::{ModelBank, ServeClient, MODEL_SEED, NUM_PRECISIONS};
+use qnn_tensor::rng::derive_seed;
+
+/// Retry budget per request: generous, because a retry loop that gives
+/// up during a failover window would fail the soak for the wrong reason.
+const MAX_RETRIES: usize = 10_000;
+
+/// Load-generator knobs, filled from `qnn-bench cluster-soak` flags.
+#[derive(Debug, Clone)]
+pub struct ClusterSoakConfig {
+    /// Router address (usually read from the router's `--port-file`).
+    pub addr: String,
+    /// Concurrent client threads.
+    pub clients: usize,
+    /// Total requests, striped across the client threads.
+    pub requests: usize,
+    /// Send a `Shutdown` frame when done — the router drains the whole
+    /// cluster, so the CI stage's shard processes exit too.
+    pub shutdown: bool,
+    /// Model-bank seed; must match the shards'. Also seeds the kill
+    /// point.
+    pub seed: u64,
+    /// OS pid of a shard worker to `SIGKILL` mid-soak.
+    pub kill_pid: Option<u32>,
+    /// Explicit kill point (verified responses before the kill fires);
+    /// defaults to a seed-derived point in the middle half of the soak.
+    pub kill_after: Option<usize>,
+}
+
+impl Default for ClusterSoakConfig {
+    fn default() -> Self {
+        ClusterSoakConfig {
+            addr: String::new(),
+            clients: 4,
+            requests: 256,
+            shutdown: false,
+            seed: MODEL_SEED,
+            kill_pid: None,
+            kill_after: None,
+        }
+    }
+}
+
+impl ClusterSoakConfig {
+    /// The kill point this run will use: the explicit `--kill-after`, or
+    /// a point in the middle half of the soak derived from the seed
+    /// (never the very first or last response, so the kill lands
+    /// mid-traffic).
+    pub fn kill_point(&self) -> usize {
+        self.kill_after.unwrap_or_else(|| {
+            let quarter = (self.requests / 4).max(1);
+            let span = (self.requests / 2).max(1) as u64;
+            quarter + (derive_seed(self.seed, 0xC1A0) % span) as usize
+        })
+    }
+}
+
+/// What one cluster soak did.
+#[derive(Debug)]
+pub struct ClusterSoakOutcome {
+    /// Responses verified bit-identical to their single-shot forward.
+    pub verified: usize,
+    /// Total `Busy` retries across all threads.
+    pub busy_retries: usize,
+    /// Total `ShardDown` retries across all threads (failover windows
+    /// where a request's whole candidate set was dead).
+    pub shard_down_retries: usize,
+    /// Whether the killer thread delivered its signal.
+    pub killed: bool,
+    /// Human-readable failures; empty iff the run passed.
+    pub failures: Vec<String>,
+}
+
+impl ClusterSoakOutcome {
+    /// True when every request was answered bit-identically and the
+    /// requested kill (if any) actually fired inside the soak.
+    pub fn passed(&self, cfg: &ClusterSoakConfig) -> bool {
+        self.failures.is_empty()
+            && self.verified == cfg.requests
+            && (cfg.kill_pid.is_none() || self.killed)
+    }
+}
+
+/// Precision tag for the `i`-th request: round-robin through the whole
+/// Table III sweep, same as `serve-soak`.
+fn tag_for(i: usize) -> u8 {
+    (i % NUM_PRECISIONS as usize) as u8
+}
+
+/// Runs the cluster soak. Prints a summary; returns the outcome for the
+/// caller to turn into an exit code.
+///
+/// # Errors
+///
+/// A `String` for setup failures (model bank construction); per-request
+/// failures land in [`ClusterSoakOutcome::failures`] instead.
+pub fn run(cfg: &ClusterSoakConfig) -> Result<ClusterSoakOutcome, String> {
+    let started = Instant::now();
+    let mut bank = ModelBank::build(cfg.seed).map_err(|e| format!("model bank: {e}"))?;
+    let input_len = bank.input_len();
+
+    let images: Vec<Vec<f32>> = (0..cfg.requests)
+        .map(|i| qnn_serve::model::test_image(cfg.seed, i as u64, input_len))
+        .collect();
+    let mut expected: Vec<Vec<u32>> = Vec::with_capacity(cfg.requests);
+    for (i, img) in images.iter().enumerate() {
+        let logits = bank
+            .forward_single(tag_for(i), img)
+            .map_err(|e| format!("single-shot forward {i}: {e}"))?;
+        expected.push(logits.iter().map(|x| x.to_bits()).collect());
+    }
+    println!(
+        "cluster-soak: {} request(s) x {} precision(s), {} client thread(s) -> router {}",
+        cfg.requests, NUM_PRECISIONS, cfg.clients, cfg.addr
+    );
+
+    // The kill schedule: a killer thread watches the shared
+    // verified-response counter and SIGKILLs the victim the moment it
+    // crosses the seed-derived point. Progress-based, not time-based, so
+    // the kill lands at the same place in the request stream regardless
+    // of machine speed.
+    let done = Arc::new(AtomicUsize::new(0));
+    let killed = Arc::new(AtomicUsize::new(0));
+    let killer = cfg.kill_pid.map(|pid| {
+        let done = Arc::clone(&done);
+        let killed = Arc::clone(&killed);
+        let kill_point = cfg.kill_point().min(cfg.requests.saturating_sub(1));
+        let total = cfg.requests;
+        println!(
+            "cluster-soak: will SIGKILL shard pid {pid} after {kill_point} verified responses"
+        );
+        std::thread::spawn(move || {
+            while done.load(Ordering::SeqCst) < kill_point {
+                if done.load(Ordering::SeqCst) >= total {
+                    return; // soak finished early (config error); don't kill post-hoc
+                }
+                std::thread::sleep(std::time::Duration::from_micros(200));
+            }
+            let status = std::process::Command::new("kill")
+                .args(["-9", &pid.to_string()])
+                .status();
+            match status {
+                Ok(s) if s.success() => {
+                    killed.store(1, Ordering::SeqCst);
+                    println!("cluster-soak: SIGKILL delivered to shard pid {pid}");
+                }
+                Ok(s) => eprintln!("cluster-soak: kill -9 {pid} exited with {s}"),
+                Err(e) => eprintln!("cluster-soak: kill -9 {pid}: {e}"),
+            }
+        })
+    });
+
+    let shared = Arc::new((images, expected));
+    let clients = cfg.clients.max(1);
+    let mut threads = Vec::new();
+    for t in 0..clients {
+        let shared = Arc::clone(&shared);
+        let done = Arc::clone(&done);
+        let addr = cfg.addr.clone();
+        let total = cfg.requests;
+        threads.push(std::thread::spawn(move || {
+            let (images, expected) = &*shared;
+            let mut verified = 0usize;
+            let (mut busy, mut down) = (0usize, 0usize);
+            let mut failures: Vec<String> = Vec::new();
+            let mut client = match ServeClient::connect(&addr) {
+                Ok(c) => c,
+                Err(e) => {
+                    failures.push(format!("thread {t}: connect: {e}"));
+                    return (verified, busy, down, failures);
+                }
+            };
+            // A hang is a failure, not a wait: any single request
+            // stalled past this deadline fails loudly.
+            if let Err(e) = client.set_read_timeout(std::time::Duration::from_secs(30)) {
+                failures.push(format!("thread {t}: read timeout: {e}"));
+                return (verified, busy, down, failures);
+            }
+            for i in (t..total).step_by(clients) {
+                let tag = tag_for(i);
+                match client.infer_retry_routed(tag, &images[i], MAX_RETRIES) {
+                    Ok((logits, b, d)) => {
+                        busy += b;
+                        down += d;
+                        let got: Vec<u32> = logits.iter().map(|x| x.to_bits()).collect();
+                        if got == expected[i] {
+                            verified += 1;
+                            done.fetch_add(1, Ordering::SeqCst);
+                        } else {
+                            failures.push(format!(
+                                "request {i} (tag {tag}): logits differ from single-shot forward"
+                            ));
+                        }
+                    }
+                    Err(e) => failures.push(format!("request {i} (tag {tag}): {e}")),
+                }
+            }
+            (verified, busy, down, failures)
+        }));
+    }
+
+    let mut outcome = ClusterSoakOutcome {
+        verified: 0,
+        busy_retries: 0,
+        shard_down_retries: 0,
+        killed: false,
+        failures: Vec::new(),
+    };
+    for (t, th) in threads.into_iter().enumerate() {
+        match th.join() {
+            Ok((verified, busy, down, fails)) => {
+                outcome.verified += verified;
+                outcome.busy_retries += busy;
+                outcome.shard_down_retries += down;
+                outcome.failures.extend(fails);
+            }
+            Err(_) => outcome.failures.push(format!("thread {t} panicked")),
+        }
+    }
+    if let Some(k) = killer {
+        let _ = k.join();
+    }
+    outcome.killed = killed.load(Ordering::SeqCst) == 1;
+    if cfg.kill_pid.is_some() && !outcome.killed {
+        outcome
+            .failures
+            .push("the seeded kill never fired inside the soak".to_string());
+    }
+
+    if cfg.shutdown {
+        match ServeClient::connect(&cfg.addr).and_then(|mut c| c.shutdown_server()) {
+            Ok(()) => println!("cluster-soak: cluster drained and shut down"),
+            Err(e) => outcome.failures.push(format!("shutdown: {e}")),
+        }
+    }
+
+    let secs = started.elapsed().as_secs_f64();
+    println!(
+        "cluster-soak: {}/{} bit-identical, {} busy / {} shard-down retries, {:.2}s \
+         ({:.0} images/sec achieved through the router)",
+        outcome.verified,
+        cfg.requests,
+        outcome.busy_retries,
+        outcome.shard_down_retries,
+        secs,
+        if secs > 0.0 {
+            outcome.verified as f64 / secs
+        } else {
+            0.0
+        },
+    );
+    for f in &outcome.failures {
+        eprintln!("cluster-soak: FAIL: {f}");
+    }
+    Ok(outcome)
+}
+
+/// `cluster-bench` — an informational routed-vs-direct throughput
+/// measurement over an in-process 3-shard cluster. Not baseline-gated:
+/// router throughput on a shared loopback host is dominated by how the
+/// scheduler interleaves 3 shard engines with the router and client
+/// threads, which is exactly the kind of number the regression gate's
+/// tolerance cannot hold. The cluster-soak CI stage records the gated
+/// contract (bit-identity under a kill); this prints the speed.
+pub fn bench(quick: bool) -> i32 {
+    use qnn_serve::cluster::{Router, RouterConfig};
+    use qnn_serve::{ServeConfig, Server};
+
+    let requests = if quick { 128 } else { 512 };
+    let shards: Vec<Server> = (0..3)
+        .map(|_| {
+            Server::start(ServeConfig {
+                addr: "127.0.0.1:0".to_string(),
+                ..ServeConfig::default()
+            })
+        })
+        .collect::<Result<_, _>>()
+        .map_err(|e| eprintln!("cluster-bench: shard start: {e}"))
+        .unwrap_or_default();
+    if shards.len() != 3 {
+        return 1;
+    }
+    let shard_addrs: Vec<String> = shards.iter().map(|s| s.local_addr().to_string()).collect();
+    let direct_addr = shard_addrs[0].clone();
+    let router = match Router::start(RouterConfig {
+        shards: shard_addrs,
+        ..RouterConfig::default()
+    }) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("cluster-bench: router start: {e}");
+            return 1;
+        }
+    };
+
+    // Routed leg: the full soak verifier through the router.
+    let cfg = ClusterSoakConfig {
+        addr: router.local_addr().to_string(),
+        clients: 4,
+        requests,
+        ..ClusterSoakConfig::default()
+    };
+    let routed = match run(&cfg) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("cluster-bench: {e}");
+            return 1;
+        }
+    };
+    // Direct leg: the same load straight at one shard, for the
+    // router-hop comparison line.
+    let direct_cfg = crate::soak::SoakConfig {
+        addr: direct_addr,
+        clients: 4,
+        requests,
+        ..crate::soak::SoakConfig::default()
+    };
+    let direct_started = Instant::now();
+    let direct = match crate::soak::run(&direct_cfg) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("cluster-bench: direct leg: {e}");
+            return 1;
+        }
+    };
+    let direct_secs = direct_started.elapsed().as_secs_f64();
+    println!(
+        "cluster-bench: routed {} and direct {} of {} verified; \
+         direct single-shard leg took {:.2}s (informational, not gated)",
+        routed.verified, direct.verified, requests, direct_secs
+    );
+
+    router.shutdown();
+    let stats = router.join();
+    print!("{}", stats.render());
+    for s in shards {
+        s.shutdown();
+        s.join();
+    }
+    i32::from(!(routed.passed(&cfg) && direct.passed(&direct_cfg)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qnn_serve::cluster::{Router, RouterConfig};
+    use qnn_serve::{ServeConfig, Server};
+
+    #[test]
+    fn kill_point_is_seeded_and_mid_soak() {
+        let cfg = ClusterSoakConfig {
+            requests: 256,
+            ..ClusterSoakConfig::default()
+        };
+        let p = cfg.kill_point();
+        assert_eq!(p, cfg.kill_point(), "pure function of the seed");
+        assert!((64..192).contains(&p), "middle half, got {p}");
+        let explicit = ClusterSoakConfig {
+            kill_after: Some(7),
+            ..cfg
+        };
+        assert_eq!(explicit.kill_point(), 7);
+    }
+
+    #[test]
+    fn mini_cluster_soak_against_in_process_cluster() {
+        // No OS-level kill here (that needs real processes — the CI
+        // stage covers it); this pins the striped verifier, the retry
+        // accounting, and the whole-cluster drain against a real router.
+        let shards: Vec<Server> = (0..2)
+            .map(|_| {
+                Server::start(ServeConfig {
+                    addr: "127.0.0.1:0".to_string(),
+                    ..ServeConfig::default()
+                })
+                .unwrap()
+            })
+            .collect();
+        let router = Router::start(RouterConfig {
+            shards: shards.iter().map(|s| s.local_addr().to_string()).collect(),
+            ..RouterConfig::default()
+        })
+        .unwrap();
+        let cfg = ClusterSoakConfig {
+            addr: router.local_addr().to_string(),
+            clients: 3,
+            requests: 21,
+            shutdown: true,
+            ..ClusterSoakConfig::default()
+        };
+        let outcome = run(&cfg).unwrap();
+        assert!(outcome.passed(&cfg), "failures: {:?}", outcome.failures);
+        assert!(!outcome.killed);
+        let stats = router.join();
+        assert_eq!(stats.requests, 21);
+        let served: u64 = shards.into_iter().map(|s| s.join().requests).sum();
+        assert_eq!(served, 21, "every request served by exactly one shard");
+    }
+}

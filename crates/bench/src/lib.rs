@@ -10,6 +10,9 @@
 //! (`bench-check`), [`tracereport`] summarizes `qnn-trace` JSONL files,
 //! [`soak`] is the `serve-soak` load generator that proves every
 //! `qnn-serve` response bit-identical to a single-shot forward,
+//! [`clustersoak`] is its cluster-level sibling (`cluster-soak`): the
+//! same bit-identity verifier aimed at a `qnn router`, with a
+//! deterministic mid-soak `SIGKILL` of a shard worker,
 //! [`servebench`] is the `serve-bench` serving-throughput benchmark that
 //! emits and gates the committed `BENCH_serve.json` artifact,
 //! [`sync`] is the `sync-check` gate that `ci.sh` and the workflow file
@@ -21,6 +24,7 @@
 //! artifact with e.g. `cargo run -p qnn-bench --release -- table3`.
 
 pub mod artifacts;
+pub mod clustersoak;
 pub mod json;
 pub mod kernels;
 pub mod qcheck;

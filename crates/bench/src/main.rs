@@ -7,7 +7,9 @@
 //! `trace-summary` reads back a `--trace` JSONL file.
 
 use qnn_bench::json::Json;
-use qnn_bench::{artifacts, kernels, qcheck, regression, servebench, soak, sync, tracereport};
+use qnn_bench::{
+    artifacts, clustersoak, kernels, qcheck, regression, servebench, soak, sync, tracereport,
+};
 
 const USAGE: &str = "\
 usage: qnn-bench [--quick] [--trace <path>] [SUBCOMMAND]
@@ -26,6 +28,15 @@ usage: qnn-bench [--quick] [--trace <path>] [SUBCOMMAND]
                  load-generate against a running `qnn serve` and verify
                  every response bit-identical to a single-shot forward;
                  --shutdown drains and stops the server afterwards
+  cluster-soak --addr HOST:PORT [--clients N] [--requests M]
+               [--kill-pid PID] [--kill-after K] [--shutdown]
+                 load-generate against a running `qnn router` and verify
+                 every response bit-identical to a single-shot forward;
+                 --kill-pid SIGKILLs that shard worker at a seed-derived
+                 point mid-soak (override with --kill-after), --shutdown
+                 drains the whole cluster afterwards
+  cluster-bench  informational routed-vs-direct throughput over an
+                 in-process 3-shard cluster (honours --quick; not gated)
   serve-bench [--write] [--attach HOST:PORT] [--baseline <path>]
                  serving-throughput benchmark: loopback servers at 1 and
                  4 engine threads, every Table III precision, pipelined
@@ -77,7 +88,9 @@ fn bench_check(baseline_path: &str) -> i32 {
     println!("bench-check: quick kernel run vs {baseline_path}");
     let current = kernels::run_with(true);
     let tolerance = regression::tolerance_from_env();
-    match regression::check(&baseline, &current, tolerance) {
+    // The quick run deliberately skips the mini-sweep; everything else
+    // in the committed baseline must show up or the check fails.
+    match regression::check_with(&baseline, &current, tolerance, &["table4/*"]) {
         Ok(outcome) => {
             print!("\n{}", outcome.render());
             i32::from(!outcome.passed())
@@ -150,6 +163,54 @@ fn serve_soak(args: &[String]) -> i32 {
         Ok(outcome) => i32::from(!outcome.passed(&cfg)),
         Err(e) => {
             eprintln!("serve-soak: {e}");
+            1
+        }
+    }
+}
+
+fn cluster_soak(args: &[String]) -> i32 {
+    let mut cfg = clustersoak::ClusterSoakConfig::default();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut next = |flag: &str| -> String {
+            it.next().cloned().unwrap_or_else(|| {
+                eprintln!("cluster-soak: {flag} needs a value\n\n{USAGE}");
+                std::process::exit(2);
+            })
+        };
+        let parse = |flag: &str, v: String| -> usize {
+            v.parse().unwrap_or_else(|_| {
+                eprintln!("cluster-soak: {flag} `{v}` is not a count");
+                std::process::exit(2);
+            })
+        };
+        match arg.as_str() {
+            "--addr" => cfg.addr = next("--addr"),
+            "--shutdown" => cfg.shutdown = true,
+            "--clients" => cfg.clients = parse("--clients", next("--clients")),
+            "--requests" => cfg.requests = parse("--requests", next("--requests")),
+            "--kill-after" => cfg.kill_after = Some(parse("--kill-after", next("--kill-after"))),
+            "--kill-pid" => {
+                let v = next("--kill-pid");
+                cfg.kill_pid = Some(v.parse().unwrap_or_else(|_| {
+                    eprintln!("cluster-soak: --kill-pid `{v}` is not a pid");
+                    std::process::exit(2);
+                }));
+            }
+            other => {
+                eprintln!("cluster-soak: unknown argument {other}\n\n{USAGE}");
+                std::process::exit(2);
+            }
+        }
+    }
+    if cfg.addr.is_empty() {
+        eprintln!("cluster-soak: --addr is required\n\n{USAGE}");
+        std::process::exit(2);
+    }
+    match clustersoak::run(&cfg) {
+        Ok(outcome) => i32::from(!outcome.passed(&cfg)),
+        Err(e) => {
+            eprintln!("cluster-soak: {e}");
             1
         }
     }
@@ -256,6 +317,8 @@ fn main() {
         Some("qkernels") => i32::from(!qcheck::run(quick)),
         Some("serve-bench") => serve_bench(quick, &rest[1..]),
         Some("serve-soak") => serve_soak(&rest[1..]),
+        Some("cluster-soak") => cluster_soak(&rest[1..]),
+        Some("cluster-bench") => clustersoak::bench(quick),
         Some("sync-check") => sync_check(&rest[1..]),
         Some("trace-summary") => match rest.get(1) {
             Some(p) => trace_summary(p),

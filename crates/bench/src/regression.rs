@@ -7,9 +7,17 @@
 //! Only entries carrying `ns_per_op` in *both* reports are compared:
 //! that automatically skips derived ratio-only entries (e.g. the
 //! blocked-vs-naive speedup) and machine-dependent names (the threaded
-//! GEMM embeds the worker count in its name), and tolerates suites that
-//! add or drop benchmarks between revisions — those show up as
-//! informational `only_*` lists, never as failures.
+//! GEMM embeds the worker count in its name).
+//!
+//! A baseline entry that the fresh run did not produce is a **failure**
+//! (`missing_gated`) unless the caller allowlists it via
+//! [`check_with`]'s single-`*` wildcard patterns — a gate that silently
+//! skips a vanished suite is not a gate. Expected gaps (quick CI runs
+//! skip the mini-sweep; no attached server during bench-check) are
+//! declared at the call site, e.g. `table4/*` or `serve/*_attached`,
+//! and render as `allowed` rather than `MISSING`. Entries only in the
+//! current run stay informational. The rendered report ends with a
+//! one-line verdict per suite (the name segment before the first `/`).
 
 use crate::json::Json;
 
@@ -44,6 +52,10 @@ pub struct CheckOutcome {
     pub regressions: Vec<Comparison>,
     /// Names with timings only in the baseline report.
     pub only_baseline: Vec<String>,
+    /// The subset of `only_baseline` NOT covered by an allowed-missing
+    /// pattern: gated benchmarks the fresh run failed to produce. Any
+    /// entry here fails the check.
+    pub missing_gated: Vec<String>,
     /// Names with timings only in the current report.
     pub only_current: Vec<String>,
     /// The slowdown factor the check ran with.
@@ -51,13 +63,55 @@ pub struct CheckOutcome {
 }
 
 impl CheckOutcome {
-    /// Whether the gate passes (no benchmark regressed past tolerance).
+    /// Whether the gate passes: no benchmark regressed past tolerance
+    /// AND every gated baseline entry was produced by the fresh run.
     pub fn passed(&self) -> bool {
-        self.regressions.is_empty()
+        self.regressions.is_empty() && self.missing_gated.is_empty()
+    }
+
+    /// One verdict line per suite (the name segment before the first
+    /// `/`): `REGRESSED` beats `MISSING` beats `ok` beats `allowed`.
+    fn suite_verdicts(&self) -> Vec<String> {
+        // suite -> (compared, regressed, missing, allowed)
+        let mut suites: std::collections::BTreeMap<&str, (u64, u64, u64, u64)> =
+            std::collections::BTreeMap::new();
+        fn suite_of(name: &str) -> &str {
+            name.split('/').next().unwrap_or(name)
+        }
+        for c in &self.compared {
+            suites.entry(suite_of(&c.name)).or_default().0 += 1;
+        }
+        for c in &self.regressions {
+            suites.entry(suite_of(&c.name)).or_default().1 += 1;
+        }
+        for n in &self.missing_gated {
+            suites.entry(suite_of(n)).or_default().2 += 1;
+        }
+        for n in &self.only_baseline {
+            if !self.missing_gated.contains(n) {
+                suites.entry(suite_of(n)).or_default().3 += 1;
+            }
+        }
+        suites
+            .iter()
+            .map(|(suite, &(compared, regressed, missing, allowed))| {
+                let verdict = if regressed > 0 {
+                    format!("REGRESSED ({regressed} of {compared})")
+                } else if missing > 0 {
+                    format!("MISSING ({missing} gated entr{} absent)", plural_y(missing))
+                } else if compared > 0 {
+                    format!("ok ({compared} compared)")
+                } else {
+                    format!("allowed-skip ({allowed} baseline-only)")
+                };
+                format!("  {suite:<24} {verdict}\n")
+            })
+            .collect()
     }
 
     /// Human-readable report, one line per compared benchmark, with
-    /// regressions called out by name and percentage.
+    /// regressions and gated-but-missing entries called out by name, and
+    /// a per-suite verdict summary at the end.
     pub fn render(&self) -> String {
         let mut out = String::new();
         let pct = |f: f64| (f - 1.0) * 100.0;
@@ -77,10 +131,22 @@ impl CheckOutcome {
             ));
         }
         for n in &self.only_baseline {
-            out.push_str(&format!("  skipped   {n:44} (baseline only)\n"));
+            if self.missing_gated.contains(n) {
+                out.push_str(&format!(
+                    "  MISSING   {n:44} (in baseline, absent from this run)\n"
+                ));
+            } else {
+                out.push_str(&format!(
+                    "  allowed   {n:44} (baseline only, allowlisted)\n"
+                ));
+            }
         }
         for n in &self.only_current {
             out.push_str(&format!("  skipped   {n:44} (current only)\n"));
+        }
+        out.push_str("suite verdicts:\n");
+        for line in self.suite_verdicts() {
+            out.push_str(&line);
         }
         if self.passed() {
             out.push_str(&format!(
@@ -90,10 +156,12 @@ impl CheckOutcome {
             ));
         } else {
             out.push_str(&format!(
-                "bench-check FAILED: {} of {} benchmarks regressed more than {:.0}%:\n",
+                "bench-check FAILED: {} of {} benchmarks regressed more than {:.0}%, \
+                 {} gated benchmark(s) missing from this run:\n",
                 self.regressions.len(),
                 self.compared.len(),
-                pct(self.tolerance)
+                pct(self.tolerance),
+                self.missing_gated.len()
             ));
             for c in &self.regressions {
                 out.push_str(&format!(
@@ -102,8 +170,36 @@ impl CheckOutcome {
                     pct(c.factor())
                 ));
             }
+            for n in &self.missing_gated {
+                out.push_str(&format!(
+                    "  {n} is in the committed baseline but this run did not produce it\n"
+                ));
+            }
         }
         out
+    }
+}
+
+fn plural_y(n: u64) -> &'static str {
+    if n == 1 {
+        "y"
+    } else {
+        "ies"
+    }
+}
+
+/// Single-`*` glob used by the allowed-missing lists: `table4/*` matches
+/// any name under that prefix, `serve/*_attached` a prefix and a suffix,
+/// a pattern without `*` matches exactly. One wildcard is all the
+/// allowlists need; a second `*` is treated literally.
+pub fn wildcard_match(pattern: &str, name: &str) -> bool {
+    match pattern.split_once('*') {
+        None => pattern == name,
+        Some((prefix, suffix)) => {
+            name.len() >= prefix.len() + suffix.len()
+                && name.starts_with(prefix)
+                && name.ends_with(suffix)
+        }
     }
 }
 
@@ -127,14 +223,30 @@ fn timings(report: &Json) -> Result<Vec<(String, f64)>, String> {
     Ok(out)
 }
 
+/// [`check_with`] and an empty allowlist: every baseline entry the
+/// fresh run did not produce fails the gate.
+pub fn check(baseline: &Json, current: &Json, tolerance: f64) -> Result<CheckOutcome, String> {
+    check_with(baseline, current, tolerance, &[])
+}
+
 /// Compares two kernel reports (parsed `qnn-bench/kernels/v1` JSON).
+///
+/// `allowed_missing` is a list of [`wildcard_match`] patterns naming
+/// baseline entries the fresh run is excused from producing; any other
+/// baseline-only entry lands in [`CheckOutcome::missing_gated`] and
+/// fails the check.
 ///
 /// # Errors
 ///
 /// Returns a message when either report is structurally not a kernels
 /// report, or when a baseline timing is non-positive (a corrupt
 /// baseline must not silently pass the gate).
-pub fn check(baseline: &Json, current: &Json, tolerance: f64) -> Result<CheckOutcome, String> {
+pub fn check_with(
+    baseline: &Json,
+    current: &Json,
+    tolerance: f64,
+    allowed_missing: &[&str],
+) -> Result<CheckOutcome, String> {
     if !(tolerance.is_finite() && tolerance > 0.0) {
         return Err(format!(
             "tolerance must be a positive factor, got {tolerance}"
@@ -171,10 +283,16 @@ pub fn check(baseline: &Json, current: &Json, tolerance: f64) -> Result<CheckOut
         .filter(|c| c.factor() > tolerance)
         .cloned()
         .collect();
+    let missing_gated = only_baseline
+        .iter()
+        .filter(|n| !allowed_missing.iter().any(|p| wildcard_match(p, n)))
+        .cloned()
+        .collect();
     Ok(CheckOutcome {
         compared,
         regressions,
         only_baseline,
+        missing_gated,
         only_current,
         tolerance,
     })
@@ -247,12 +365,8 @@ mod tests {
     }
 
     #[test]
-    fn ratio_only_and_unmatched_entries_are_skipped_not_failed() {
-        let base = report(&[
-            ("a", Some(100.0)),
-            ("speedup", None),
-            ("pool_8t", Some(50.0)),
-        ]);
+    fn ratio_only_and_current_only_entries_are_skipped_not_failed() {
+        let base = report(&[("a", Some(100.0)), ("speedup", None)]);
         let cur = report(&[
             ("a", Some(100.0)),
             ("speedup", None),
@@ -261,11 +375,61 @@ mod tests {
         let out = check(&base, &cur, 1.25).unwrap();
         assert!(out.passed());
         assert_eq!(out.compared.len(), 1);
-        assert_eq!(out.only_baseline, vec!["pool_8t".to_string()]);
         assert_eq!(out.only_current, vec!["pool_4t".to_string()]);
+        assert!(out.render().contains("current only"));
+    }
+
+    #[test]
+    fn baseline_only_entries_fail_unless_allowlisted() {
+        // The bug this pins: a gated suite vanishing from the fresh run
+        // used to render as "skipped" and pass. It must fail now.
+        let base = report(&[("a", Some(100.0)), ("serve/soak", Some(50.0))]);
+        let cur = report(&[("a", Some(100.0))]);
+        let out = check(&base, &cur, 1.25).unwrap();
+        assert!(!out.passed());
+        assert_eq!(out.missing_gated, vec!["serve/soak".to_string()]);
         let text = out.render();
-        assert!(text.contains("baseline only"));
-        assert!(text.contains("current only"));
+        assert!(text.contains("MISSING"), "{text}");
+        assert!(text.contains("did not produce"), "{text}");
+
+        // The same gap, declared at the call site, is an allowed skip.
+        let out = check_with(&base, &cur, 1.25, &["serve/*"]).unwrap();
+        assert!(out.passed());
+        assert!(out.missing_gated.is_empty());
+        assert_eq!(out.only_baseline, vec!["serve/soak".to_string()]);
+        assert!(out.render().contains("allowlisted"), "{}", out.render());
+    }
+
+    #[test]
+    fn wildcard_patterns_match_prefix_suffix_and_exact() {
+        assert!(wildcard_match("table4/*", "table4/mini_sweep"));
+        assert!(!wildcard_match("table4/*", "table5/mini_sweep"));
+        assert!(wildcard_match("serve/*_attached", "serve/p50_attached"));
+        assert!(!wildcard_match("serve/*_attached", "serve/p50_local"));
+        assert!(wildcard_match("exact/name", "exact/name"));
+        assert!(!wildcard_match("exact/name", "exact/name2"));
+        // The pattern's fixed parts may not overlap in the name.
+        assert!(!wildcard_match("abc*bcd", "abcd"));
+    }
+
+    #[test]
+    fn per_suite_verdicts_rank_regressed_over_missing_over_ok() {
+        let base = report(&[
+            ("gemm/a", Some(100.0)),
+            ("gemm/b", Some(100.0)),
+            ("serve/x", Some(100.0)),
+            ("table4/y", Some(100.0)),
+        ]);
+        let cur = report(&[("gemm/a", Some(200.0)), ("gemm/b", Some(100.0))]);
+        let out = check_with(&base, &cur, 1.25, &["table4/*"]).unwrap();
+        let text = out.render();
+        assert!(text.contains("suite verdicts:"), "{text}");
+        assert!(
+            text.contains("gemm") && text.contains("REGRESSED (1 of 2)"),
+            "{text}"
+        );
+        assert!(text.contains("MISSING (1 gated entry absent)"), "{text}");
+        assert!(text.contains("allowed-skip (1 baseline-only)"), "{text}");
     }
 
     #[test]

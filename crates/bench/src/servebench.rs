@@ -14,8 +14,8 @@
 //! an externally started server (e.g. a pre-change build from a git
 //! worktree) and records it under `*_attached` names — those entries ride
 //! along in the committed baseline as an honest historical comparison and
-//! are skipped by the gate (the checking run has no attached server, so
-//! they fall into the informational `only_baseline` list).
+//! are excused from the gate via the `serve/*_attached` allowlist (the
+//! checking run has no attached server to re-measure them against).
 //!
 //! `--write` regenerates `BENCH_serve.json`; the default mode re-measures
 //! and fails (exit 1) when any shared entry regressed by more than the
@@ -335,7 +335,15 @@ pub fn run(cfg: &ServeBenchConfig) -> i32 {
         }
     };
     println!("serve-bench: gating against {baseline_path}");
-    match regression::check(&baseline, &current, regression::tolerance_from_env()) {
+    // A checking run has no attached server, so `*_attached` baseline
+    // entries are excused; any other gated entry must be re-measured.
+    let allowed = ["serve/*_attached"];
+    match regression::check_with(
+        &baseline,
+        &current,
+        regression::tolerance_from_env(),
+        &allowed,
+    ) {
         Ok(outcome) => {
             print!("\n{}", outcome.render());
             i32::from(!outcome.passed())

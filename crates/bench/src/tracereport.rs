@@ -177,6 +177,29 @@ pub fn summarize(jsonl: &str) -> Result<String, String> {
             ));
         }
     }
+    // Derived lines: cluster failover health. A router trace carries
+    // `router.requests` (successful relays) plus the failure-path
+    // counters; surfacing them as rates makes a cluster-soak artifact
+    // readable at a glance — a healthy kill-one-shard run shows a small
+    // failover count and zero (or few) ShardDown rejections.
+    if let Some(reqs) = counters.get("router.requests").copied() {
+        let failovers = counters.get("router.failover").copied().unwrap_or(0.0);
+        let down = counters.get("router.shard_down").copied().unwrap_or(0.0);
+        out.push_str(&format!(
+            "  {:40} {failovers:>13.0} ({:.2}%)\n",
+            "router failovers (vs requests)",
+            if reqs > 0.0 {
+                100.0 * failovers / reqs
+            } else {
+                0.0
+            }
+        ));
+        out.push_str(&format!(
+            "  {:40} {down:>13.0} ({:.2}%)\n",
+            "router ShardDown rejections",
+            if reqs > 0.0 { 100.0 * down / reqs } else { 0.0 }
+        ));
+    }
     out.push_str("\ngauges:\n");
     if gauges.is_empty() {
         out.push_str("  (none)\n");
@@ -278,6 +301,25 @@ mod tests {
         // A trace with no serve events has no derived throughput line.
         let other = "{\"type\": \"meta\", \"schema\": \"qnn-trace/v1\"}";
         assert!(!summarize(other).unwrap().contains("images/sec"));
+    }
+
+    #[test]
+    fn derives_router_failover_health() {
+        // 200 routed requests, 4 failovers, 1 ShardDown rejection.
+        let jsonl = "\
+{\"type\": \"meta\", \"schema\": \"qnn-trace/v1\"}\n\
+{\"type\": \"counter\", \"name\": \"router.requests\", \"total\": 200}\n\
+{\"type\": \"counter\", \"name\": \"router.failover\", \"total\": 4}\n\
+{\"type\": \"counter\", \"name\": \"router.shard_down\", \"total\": 1}";
+        let text = summarize(jsonl).unwrap();
+        assert!(text.contains("router failovers"), "{text}");
+        assert!(text.contains("(2.00%)"), "{text}");
+        assert!(text.contains("router ShardDown rejections"), "{text}");
+        assert!(text.contains("(0.50%)"), "{text}");
+
+        // A non-router trace has no cluster lines.
+        let other = "{\"type\": \"meta\", \"schema\": \"qnn-trace/v1\"}";
+        assert!(!summarize(other).unwrap().contains("failover"));
     }
 
     #[test]

@@ -126,6 +126,69 @@ impl ServeClient {
         }
     }
 
+    /// [`infer`](ServeClient::infer) against a router, retrying every
+    /// *retryable* rejection — `Busy` (backpressure) and `ShardDown`
+    /// (failover in progress) — after each one's hinted delay, up to
+    /// `max_retries` times. Returns the logits and how many retries of
+    /// each kind it took, `(busy, shard_down)`.
+    ///
+    /// # Errors
+    ///
+    /// The final error once retries are exhausted, or any non-retryable
+    /// failure immediately.
+    pub fn infer_retry_routed(
+        &mut self,
+        tag: u8,
+        image: &[f32],
+        max_retries: usize,
+    ) -> Result<(Vec<f32>, usize, usize), ServeError> {
+        let (mut busy, mut shard_down) = (0usize, 0usize);
+        loop {
+            match self.infer(tag, image) {
+                Ok(logits) => return Ok((logits, busy, shard_down)),
+                Err(ServeError::Rejected {
+                    code,
+                    retry_after_us,
+                    ..
+                }) if code.is_retryable() && busy + shard_down < max_retries => {
+                    if code == crate::ErrorCode::Busy {
+                        busy += 1;
+                    } else {
+                        shard_down += 1;
+                    }
+                    std::thread::sleep(Duration::from_micros(u64::from(
+                        retry_after_us.clamp(100, 50_000),
+                    )));
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Sends a liveness probe and blocks for the matching `Pong`.
+    ///
+    /// # Errors
+    ///
+    /// Transport errors, or [`ServeError::UnexpectedFrame`] /
+    /// [`ServeError::Rejected`] if the peer answers anything else.
+    pub fn ping(&mut self) -> Result<(), ServeError> {
+        let id = self.next_id();
+        self.send(&Frame::ping(id))?;
+        let frame = self.recv_for(id)?;
+        match frame.kind {
+            FrameKind::Pong => Ok(()),
+            FrameKind::Error => {
+                let (code, retry_after_us, msg) = frame.error_info()?;
+                Err(ServeError::Rejected {
+                    code,
+                    retry_after_us,
+                    msg,
+                })
+            }
+            other => Err(ServeError::UnexpectedFrame(other)),
+        }
+    }
+
     /// Asks the server to drain and stop; blocks until the post-drain
     /// `ShutdownAck` arrives.
     ///

@@ -1,0 +1,813 @@
+//! The cluster router: one `QSRV` endpoint in front of N shard workers.
+//!
+//! A [`Router`] accepts ordinary `QSRV` connections on the edge and
+//! speaks the same protocol shard-side, so a shard is just a stock
+//! `qnn-serve` [`crate::Server`] — every shard builds the identical
+//! [`crate::ModelBank`] from the shared seed, which is what makes
+//! failover invisible: any replica answers any request with the same
+//! bits.
+//!
+//! ## Routing
+//!
+//! Each request hashes by `(req_id, precision)` onto a consistent-hash
+//! ring ([`HashRing`]) of virtual nodes, mixed with
+//! [`qnn_tensor::rng::derive_seed`] — the same SplitMix64 finalizer the
+//! sweeps seed streams with, so placement is deterministic, uniform,
+//! and stable: removing one shard only moves the keys that lived on it.
+//! The ring-walk order doubles as the failover order:
+//! [`HashRing::candidates`] lists every shard, primary first, and the
+//! router tries them in sequence, skipping shards its
+//! [`Membership`](crate::membership::Membership) table says are down.
+//!
+//! ## Liveness and failover
+//!
+//! One heartbeat thread per shard sends a `Ping` every interval and
+//! feeds the membership table; `k_misses` unanswered beats mark a shard
+//! down, a single `Pong` revives it. A forward that finds a dead
+//! connection mid-request marks the shard down immediately and fails
+//! over to the next ring candidate — the client sees a bit-identical
+//! answer from a replica, or, when no candidate is live, a typed
+//! retryable [`ErrorCode::ShardDown`] frame with a retry hint sized to
+//! the membership convergence time. Never a hang: every shard-side read
+//! is bounded by `forward_timeout`.
+//!
+//! ## Shutdown
+//!
+//! A client `Shutdown` frame drains the whole cluster: the router
+//! propagates it to every live shard, waits for their post-drain acks,
+//! acks the client, and stops. [`Router::shutdown`] is the programmatic
+//! variant that stops routing *without* touching the shards (tests use
+//! it to tear the edge down while shards keep running).
+
+use std::io::Write;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use qnn_tensor::rng::derive_seed;
+use qnn_trace::Histogram;
+
+use crate::membership::{Membership, ShardId, Transition};
+use crate::proto::{read_frame, ErrorCode, Frame, FrameKind, ProtoError, HEADER_LEN};
+use crate::server::{fill, ReadEvent};
+use crate::ServeError;
+
+/// Seed domain for ring point placement, fed through `derive_seed` so
+/// ring layout is a pure function of `(shard, vnode)`.
+const RING_SEED: u64 = u64::from_le_bytes(*b"qnn-ring");
+
+/// Stray frames a forward will skip (stale pongs, late responses from
+/// an abandoned exchange) before treating the connection as confused.
+const FORWARD_STRAY_BUDGET: usize = 32;
+
+/// A consistent-hash ring of virtual nodes over `shards` shards.
+///
+/// Placement is uniform (each shard owns `vnodes` points whose
+/// positions are `derive_seed` outputs — effectively uniform on `u64`)
+/// and consistent: a shard's points are a function of its index alone,
+/// so adding or removing a shard never moves keys between the others.
+pub struct HashRing {
+    /// `(position, shard)` sorted by position.
+    points: Vec<(u64, ShardId)>,
+    shards: usize,
+}
+
+impl HashRing {
+    /// A ring of `shards · vnodes` points (`vnodes` clamped to ≥ 1).
+    pub fn new(shards: usize, vnodes: usize) -> HashRing {
+        let vnodes = vnodes.max(1);
+        let mut points = Vec::with_capacity(shards * vnodes);
+        for s in 0..shards {
+            let shard_seed = derive_seed(RING_SEED, s as u64);
+            for v in 0..vnodes {
+                points.push((derive_seed(shard_seed, v as u64), s));
+            }
+        }
+        points.sort_unstable();
+        HashRing { points, shards }
+    }
+
+    /// Number of shards the ring spans.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// The routing key for a request: `(req_id, precision)` mixed
+    /// through the same SplitMix64 finalizer as every other seed stream
+    /// in the workspace.
+    pub fn key(req_id: u64, tag: u8) -> u64 {
+        derive_seed(req_id, u64::from(tag))
+    }
+
+    /// Every shard in ring-walk order from `key`: the primary first,
+    /// then each successive distinct shard — the failover order. Empty
+    /// only for a zero-shard ring.
+    pub fn candidates(&self, key: u64) -> Vec<ShardId> {
+        if self.points.is_empty() {
+            return Vec::new();
+        }
+        let start = self.points.partition_point(|&(pos, _)| pos < key) % self.points.len();
+        let mut seen = vec![false; self.shards];
+        let mut out = Vec::with_capacity(self.shards);
+        for i in 0..self.points.len() {
+            let (_, s) = self.points[(start + i) % self.points.len()];
+            if !seen[s] {
+                seen[s] = true;
+                out.push(s);
+                if out.len() == self.shards {
+                    break;
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Tuning knobs for a [`Router`].
+#[derive(Debug, Clone)]
+pub struct RouterConfig {
+    /// Edge bind address; port 0 picks a free port (report it via
+    /// [`Router::local_addr`]).
+    pub addr: String,
+    /// Shard addresses, in the index order membership and the ring use.
+    pub shards: Vec<String>,
+    /// Virtual nodes per shard on the hash ring.
+    pub vnodes: usize,
+    /// Heartbeat interval per shard.
+    pub heartbeat: Duration,
+    /// Consecutive missed beats before a shard is marked down.
+    pub k_misses: u32,
+    /// Read deadline for one Ping/Pong exchange.
+    pub probe_timeout: Duration,
+    /// Read deadline for one forwarded request (bounds every shard-side
+    /// wait — the "never a hang" half of the failover contract).
+    pub forward_timeout: Duration,
+}
+
+impl Default for RouterConfig {
+    fn default() -> Self {
+        RouterConfig {
+            addr: "127.0.0.1:0".to_string(),
+            shards: Vec::new(),
+            vnodes: 64,
+            heartbeat: Duration::from_millis(100),
+            k_misses: 3,
+            probe_timeout: Duration::from_millis(500),
+            forward_timeout: Duration::from_secs(10),
+        }
+    }
+}
+
+/// What a finished router run did, returned by [`Router::join`].
+#[derive(Debug, Clone)]
+pub struct RouterStats {
+    /// Requests answered with relayed logits.
+    pub requests: u64,
+    /// Typed shard error frames relayed verbatim (Busy, BadPrecision…).
+    pub relayed_errors: u64,
+    /// Forward attempts abandoned on a dead connection (each one moved
+    /// the request to the next ring candidate).
+    pub failovers: u64,
+    /// Requests rejected `ShardDown` because no candidate answered.
+    pub shard_down: u64,
+    /// Edge connections accepted.
+    pub connections: u64,
+    /// Shards that went down (membership transitions, not shards).
+    pub went_down: u64,
+    /// Shards that came back up.
+    pub came_up: u64,
+    /// Per-forward shard round-trip, microseconds (successful forwards).
+    pub forward_us: Histogram,
+}
+
+impl RouterStats {
+    /// A human-readable run summary (printed by `qnn router` at exit).
+    pub fn render(&self) -> String {
+        format!(
+            "routed {} request(s) over {} connection(s); \
+             {} failover(s), {} shard-down rejection(s), {} shard error(s) relayed\n\
+             membership: {} down transition(s), {} up transition(s)\n\
+             forward us  mean {:.0}  p50 {:.0}  p99 {:.0}  max {:.0}\n",
+            self.requests,
+            self.connections,
+            self.failovers,
+            self.shard_down,
+            self.relayed_errors,
+            self.went_down,
+            self.came_up,
+            self.forward_us.mean(),
+            self.forward_us.quantile(0.5),
+            self.forward_us.quantile(0.99),
+            if self.forward_us.count == 0 {
+                0.0
+            } else {
+                self.forward_us.max
+            },
+        )
+    }
+}
+
+/// Shared router control state.
+struct RCtl {
+    shards: Vec<String>,
+    ring: HashRing,
+    membership: Mutex<Membership>,
+    stop: AtomicBool,
+    forward_timeout: Duration,
+    /// Retry hint handed out with `ShardDown`: the membership
+    /// convergence budget (heartbeat · k_misses), microseconds.
+    shard_down_hint_us: u32,
+    requests: AtomicU64,
+    relayed_errors: AtomicU64,
+    failovers: AtomicU64,
+    shard_down: AtomicU64,
+    connections: AtomicU64,
+    went_down: AtomicU64,
+    came_up: AtomicU64,
+    forward_us: Mutex<Histogram>,
+}
+
+impl RCtl {
+    /// Folds a membership transition into stats and telemetry.
+    fn apply_transition(&self, t: Option<Transition>) {
+        let Some(t) = t else { return };
+        match t {
+            Transition::CameUp(s) => {
+                self.came_up.fetch_add(1, Ordering::Relaxed);
+                qnn_trace::counter!("router.shard.up", 1);
+                qnn_trace::gauge!(format!("router.shard{s}.up"), 1.0);
+            }
+            Transition::WentDown(s, reason) => {
+                self.went_down.fetch_add(1, Ordering::Relaxed);
+                qnn_trace::counter!("router.shard.down", 1);
+                qnn_trace::counter!(format!("router.shard.down.{reason:?}"), 1);
+                qnn_trace::gauge!(format!("router.shard{s}.up"), 0.0);
+            }
+        }
+        let live = self.membership.lock().unwrap().live_count();
+        qnn_trace::gauge!("router.shards.live", live as f64);
+    }
+}
+
+/// A running cluster router; like [`crate::Server`], dropping it does
+/// not stop it — have a client send `Shutdown`, or call
+/// [`shutdown`](Router::shutdown) + [`join`](Router::join).
+pub struct Router {
+    addr: SocketAddr,
+    ctl: Arc<RCtl>,
+    accept: Option<JoinHandle<()>>,
+    heartbeats: Vec<JoinHandle<()>>,
+    handlers: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl Router {
+    /// Binds the edge listener and spawns the accept loop plus one
+    /// heartbeat thread per shard.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Io`] on a bind failure or an empty shard list.
+    pub fn start(cfg: RouterConfig) -> Result<Router, ServeError> {
+        if cfg.shards.is_empty() {
+            return Err(ServeError::Io("router needs at least one shard".into()));
+        }
+        let listener = TcpListener::bind(&cfg.addr).map_err(|e| ServeError::io(&e))?;
+        let addr = listener.local_addr().map_err(|e| ServeError::io(&e))?;
+        let hint_us = (cfg.heartbeat.as_micros() as u64)
+            .saturating_mul(u64::from(cfg.k_misses.max(1)))
+            .clamp(1_000, 1_000_000) as u32;
+        let ctl = Arc::new(RCtl {
+            ring: HashRing::new(cfg.shards.len(), cfg.vnodes),
+            membership: Mutex::new(Membership::new(cfg.shards.len(), cfg.k_misses)),
+            shards: cfg.shards.clone(),
+            stop: AtomicBool::new(false),
+            forward_timeout: cfg.forward_timeout,
+            shard_down_hint_us: hint_us,
+            requests: AtomicU64::new(0),
+            relayed_errors: AtomicU64::new(0),
+            failovers: AtomicU64::new(0),
+            shard_down: AtomicU64::new(0),
+            connections: AtomicU64::new(0),
+            went_down: AtomicU64::new(0),
+            came_up: AtomicU64::new(0),
+            forward_us: Mutex::new(Histogram::new()),
+        });
+        qnn_trace::gauge!("router.shards.live", cfg.shards.len() as f64);
+
+        let mut heartbeats = Vec::with_capacity(cfg.shards.len());
+        for shard in 0..cfg.shards.len() {
+            let ctl = Arc::clone(&ctl);
+            let interval = cfg.heartbeat;
+            let probe_timeout = cfg.probe_timeout;
+            heartbeats.push(
+                std::thread::Builder::new()
+                    .name(format!("qnn-router-beat{shard}"))
+                    .spawn(move || heartbeat_loop(&ctl, shard, interval, probe_timeout))
+                    .map_err(|e| ServeError::io(&e))?,
+            );
+        }
+
+        let handlers: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+        let accept = {
+            let ctl = Arc::clone(&ctl);
+            let handlers = Arc::clone(&handlers);
+            std::thread::Builder::new()
+                .name("qnn-router-accept".to_string())
+                .spawn(move || accept_loop(&listener, addr, &ctl, &handlers))
+                .map_err(|e| ServeError::io(&e))?
+        };
+
+        Ok(Router {
+            addr,
+            ctl,
+            accept: Some(accept),
+            heartbeats,
+            handlers,
+        })
+    }
+
+    /// The actually-bound edge address (resolves a port-0 bind).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// How many shards membership currently counts as live.
+    pub fn live_shards(&self) -> usize {
+        self.ctl.membership.lock().unwrap().live_count()
+    }
+
+    /// Stops routing without touching the shards. Pair with
+    /// [`join`](Router::join). (A client `Shutdown` frame is the whole-
+    /// cluster drain; this is just the edge.)
+    pub fn shutdown(&self) {
+        self.ctl.stop.store(true, Ordering::SeqCst);
+        let _ = TcpStream::connect(self.addr); // wake the accept loop
+    }
+
+    /// Blocks until the router has stopped (client-driven or via
+    /// [`shutdown`](Router::shutdown)) and every thread is reaped;
+    /// returns the run's stats.
+    pub fn join(mut self) -> RouterStats {
+        if let Some(a) = self.accept.take() {
+            let _ = a.join();
+        }
+        for h in self.heartbeats.drain(..) {
+            let _ = h.join();
+        }
+        let handles: Vec<JoinHandle<()>> = std::mem::take(&mut *self.handlers.lock().unwrap());
+        for h in handles {
+            let _ = h.join();
+        }
+        RouterStats {
+            requests: self.ctl.requests.load(Ordering::Relaxed),
+            relayed_errors: self.ctl.relayed_errors.load(Ordering::Relaxed),
+            failovers: self.ctl.failovers.load(Ordering::Relaxed),
+            shard_down: self.ctl.shard_down.load(Ordering::Relaxed),
+            connections: self.ctl.connections.load(Ordering::Relaxed),
+            went_down: self.ctl.went_down.load(Ordering::Relaxed),
+            came_up: self.ctl.came_up.load(Ordering::Relaxed),
+            forward_us: self.ctl.forward_us.lock().unwrap().clone(),
+        }
+    }
+}
+
+/// One shard's heartbeat: probe, feed membership, keep a persistent
+/// probe connection (re-dialed after any failure).
+fn heartbeat_loop(ctl: &Arc<RCtl>, shard: ShardId, interval: Duration, probe_timeout: Duration) {
+    let mut conn: Option<TcpStream> = None;
+    let mut seq: u64 = 1;
+    while !ctl.stop.load(Ordering::SeqCst) {
+        if conn.is_none() {
+            conn = TcpStream::connect(&ctl.shards[shard]).ok().and_then(|c| {
+                c.set_read_timeout(Some(probe_timeout)).ok()?;
+                let _ = c.set_nodelay(true);
+                Some(c)
+            });
+        }
+        let ok = match conn.as_mut() {
+            Some(c) => crate::membership::ping_shard(c, seq).is_ok(),
+            None => false,
+        };
+        if !ok {
+            conn = None;
+        }
+        seq += 1;
+        let transition = {
+            let mut m = ctl.membership.lock().unwrap();
+            if ok {
+                m.on_pong(shard)
+            } else {
+                m.on_miss(shard)
+            }
+        }
+        .unwrap_or(None);
+        ctl.apply_transition(transition);
+        std::thread::sleep(interval);
+    }
+}
+
+fn accept_loop(
+    listener: &TcpListener,
+    addr: SocketAddr,
+    ctl: &Arc<RCtl>,
+    handlers: &Arc<Mutex<Vec<JoinHandle<()>>>>,
+) {
+    loop {
+        let (stream, _) = match listener.accept() {
+            Ok(pair) => pair,
+            Err(_) => {
+                if ctl.stop.load(Ordering::SeqCst) {
+                    return;
+                }
+                continue;
+            }
+        };
+        if ctl.stop.load(Ordering::SeqCst) {
+            return; // the wake-up self-connect, or a straggler
+        }
+        ctl.connections.fetch_add(1, Ordering::Relaxed);
+        qnn_trace::counter!("router.connections", 1);
+        let ctl = Arc::clone(ctl);
+        if let Ok(h) = std::thread::Builder::new()
+            .name("qnn-router-conn".to_string())
+            .spawn(move || handle_connection(stream, addr, &ctl))
+        {
+            handlers.lock().unwrap().push(h);
+        }
+    }
+}
+
+/// Reads one whole owned frame through the 50 ms stop-flag poll —
+/// the router relays payloads opaquely, so unlike the shard server
+/// there is no arena decode path here.
+fn read_frame_stoppable(
+    stream: &mut impl std::io::Read,
+    stop: &AtomicBool,
+    payload_buf: &mut Vec<u8>,
+) -> ReadEvent {
+    let mut header_bytes = [0u8; HEADER_LEN];
+    if let Err(ev) = fill(stream, &mut header_bytes, 0, stop) {
+        return ev;
+    }
+    let magic_ok = header_bytes[..4] == crate::proto::MAGIC.to_le_bytes();
+    let req_id = if magic_ok {
+        u64::from_le_bytes(header_bytes[8..16].try_into().unwrap())
+    } else {
+        0
+    };
+    let header = match crate::proto::parse_header(&header_bytes) {
+        Ok(h) => h,
+        Err(err) => return ReadEvent::Bad { err, req_id },
+    };
+    let stamp = |ev: ReadEvent| match ev {
+        ReadEvent::Eof => ReadEvent::Bad {
+            err: ProtoError::Truncated { got: HEADER_LEN },
+            req_id,
+        },
+        ReadEvent::Bad { err, .. } => ReadEvent::Bad { err, req_id },
+        other => other,
+    };
+    payload_buf.clear();
+    payload_buf.resize(header.payload_len as usize, 0);
+    if let Err(ev) = fill(stream, payload_buf, HEADER_LEN, stop) {
+        return stamp(ev);
+    }
+    let mut crc = [0u8; 4];
+    if let Err(ev) = fill(stream, &mut crc, HEADER_LEN + payload_buf.len(), stop) {
+        return stamp(ev);
+    }
+    if let Err(err) = crate::proto::verify_crc(&header_bytes, payload_buf, u32::from_le_bytes(crc))
+    {
+        return ReadEvent::Bad { err, req_id };
+    }
+    ReadEvent::Frame(Frame {
+        kind: header.kind,
+        tag: header.tag,
+        req_id: header.req_id,
+        payload: std::mem::take(payload_buf),
+    })
+}
+
+/// One edge connection: synchronous request → route → relay. A single
+/// thread owns both halves, so responses never interleave mid-write.
+fn handle_connection(stream: TcpStream, router_addr: SocketAddr, ctl: &Arc<RCtl>) {
+    if stream
+        .set_read_timeout(Some(Duration::from_millis(50)))
+        .is_err()
+    {
+        return;
+    }
+    let _ = stream.set_nodelay(true);
+    let mut write_half = match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    };
+    let mut reader = std::io::BufReader::new(stream);
+    let mut payload_buf: Vec<u8> = Vec::new();
+    // Lazy per-shard forward connections owned by this handler — no
+    // multiplexing, so a response always belongs to the request this
+    // handler just wrote.
+    let mut conns: Vec<Option<TcpStream>> = (0..ctl.shards.len()).map(|_| None).collect();
+
+    let send = |w: &mut TcpStream, frame: &Frame| -> bool {
+        w.write_all(&frame.encode())
+            .and_then(|()| w.flush())
+            .is_ok()
+    };
+
+    loop {
+        // Same between-frames stop check as the shard server: a chatty
+        // peer keeps the in-read poll from ever seeing the flag.
+        if ctl.stop.load(Ordering::SeqCst) {
+            break;
+        }
+        match read_frame_stoppable(&mut reader, &ctl.stop, &mut payload_buf) {
+            ReadEvent::Eof | ReadEvent::Stopped => break,
+            ReadEvent::Infer { .. } => unreachable!("router reader yields owned frames"),
+            ReadEvent::Bad { err, req_id } => {
+                qnn_trace::counter!("router.rx.bad_frames", 1);
+                if let Some(code) = err.as_error_code() {
+                    let _ = send(
+                        &mut write_half,
+                        &Frame::error(req_id, code, 0, &err.to_string()),
+                    );
+                }
+                // Same fatal/answerable split as the shard server: only
+                // a framed-but-undecodable payload leaves the stream
+                // usable.
+                if !matches!(err, ProtoError::BadPayload { .. }) {
+                    break;
+                }
+            }
+            ReadEvent::Frame(frame) => match frame.kind {
+                FrameKind::Infer => {
+                    let reply = route_and_forward(ctl, &mut conns, &frame);
+                    if !send(&mut write_half, &reply) {
+                        break;
+                    }
+                }
+                FrameKind::Ping => {
+                    if !send(&mut write_half, &Frame::pong(frame.req_id)) {
+                        break;
+                    }
+                }
+                FrameKind::Shutdown => {
+                    shutdown_cluster(ctl, frame.req_id);
+                    let _ = send(&mut write_half, &Frame::shutdown_ack(frame.req_id));
+                    ctl.stop.store(true, Ordering::SeqCst);
+                    let _ = TcpStream::connect(router_addr); // wake accept
+                    break;
+                }
+                FrameKind::InferOk
+                | FrameKind::Error
+                | FrameKind::ShutdownAck
+                | FrameKind::Pong => {
+                    let _ = send(
+                        &mut write_half,
+                        &Frame::error(
+                            frame.req_id,
+                            ErrorCode::BadKind,
+                            0,
+                            &format!("{:?} is not a request frame", frame.kind),
+                        ),
+                    );
+                }
+            },
+        }
+    }
+}
+
+/// Routes one inference request: walk the ring candidates, skip dead
+/// shards, forward to the first live one, fail over on transport death.
+/// Always returns a reply frame — logits, a relayed shard error, or a
+/// retryable `ShardDown`.
+fn route_and_forward(ctl: &RCtl, conns: &mut [Option<TcpStream>], frame: &Frame) -> Frame {
+    qnn_trace::span!("router.route:{}", frame.tag);
+    let key = HashRing::key(frame.req_id, frame.tag);
+    for &shard in &ctl.ring.candidates(key) {
+        if !ctl.membership.lock().unwrap().is_up(shard) {
+            continue;
+        }
+        match forward_once(ctl, conns, shard, frame) {
+            Ok(reply) => {
+                // A draining shard refuses work that a replica can still
+                // serve: treat its ShuttingDown like a dead connection
+                // and fail over (membership is left to the heartbeat —
+                // a killed shard stops ponging, a graceful drain keeps
+                // answering and simply gets skipped here every time).
+                if reply.kind == FrameKind::Error && reply.tag == ErrorCode::ShuttingDown as u8 {
+                    ctl.failovers.fetch_add(1, Ordering::Relaxed);
+                    qnn_trace::counter!("router.failover", 1);
+                    continue;
+                }
+                if reply.kind == FrameKind::InferOk {
+                    ctl.requests.fetch_add(1, Ordering::Relaxed);
+                    qnn_trace::counter!("router.requests", 1);
+                } else {
+                    ctl.relayed_errors.fetch_add(1, Ordering::Relaxed);
+                    qnn_trace::counter!("router.relayed.errors", 1);
+                }
+                return reply;
+            }
+            Err(()) => {
+                // The connection died under the request: mark the shard
+                // down now (the heartbeat would take k beats to notice)
+                // and fail over to the next ring candidate.
+                let t = ctl
+                    .membership
+                    .lock()
+                    .unwrap()
+                    .on_transport_failure(shard)
+                    .unwrap_or(None);
+                ctl.apply_transition(t);
+                ctl.failovers.fetch_add(1, Ordering::Relaxed);
+                qnn_trace::counter!("router.failover", 1);
+            }
+        }
+    }
+    ctl.shard_down.fetch_add(1, Ordering::Relaxed);
+    qnn_trace::counter!("router.shard_down", 1);
+    Frame::error(
+        frame.req_id,
+        ErrorCode::ShardDown,
+        ctl.shard_down_hint_us,
+        "no live replica for this request; retry after the hint",
+    )
+}
+
+/// One forward attempt over this handler's pooled connection to
+/// `shard`. `Err(())` means the transport died (connect/write/read
+/// failure, timeout, or a nonsensical reply) — the connection is
+/// dropped and the caller fails over.
+fn forward_once(
+    ctl: &RCtl,
+    conns: &mut [Option<TcpStream>],
+    shard: ShardId,
+    frame: &Frame,
+) -> Result<Frame, ()> {
+    if conns[shard].is_none() {
+        let c = TcpStream::connect(&ctl.shards[shard]).map_err(|_| ())?;
+        c.set_read_timeout(Some(ctl.forward_timeout))
+            .map_err(|_| ())?;
+        let _ = c.set_nodelay(true);
+        conns[shard] = Some(c);
+    }
+    let conn = conns[shard].as_mut().expect("just ensured");
+    let start = Instant::now();
+    let result = (|| {
+        conn.write_all(&frame.encode())
+            .and_then(|()| conn.flush())
+            .map_err(|_| ())?;
+        for _ in 0..FORWARD_STRAY_BUDGET {
+            let reply = read_frame(conn).map_err(|_| ())?;
+            if reply.req_id != frame.req_id {
+                continue; // stale response from an abandoned exchange
+            }
+            return match reply.kind {
+                FrameKind::InferOk | FrameKind::Error => Ok(reply),
+                _ => Err(()),
+            };
+        }
+        Err(())
+    })();
+    match result {
+        Ok(reply) => {
+            let us = start.elapsed().as_micros() as f64;
+            qnn_trace::observe!("router.forward.us", us);
+            ctl.forward_us.lock().unwrap().observe(us);
+            Ok(reply)
+        }
+        Err(()) => {
+            conns[shard] = None;
+            Err(())
+        }
+    }
+}
+
+/// Whole-cluster drain: propagate `Shutdown` to every live shard and
+/// wait for each post-drain ack (dead shards are skipped; a shard that
+/// dies mid-drain is ignored — it has nothing left to drain).
+fn shutdown_cluster(ctl: &RCtl, req_id: u64) {
+    qnn_trace::counter!("router.shutdown", 1);
+    for shard in 0..ctl.shards.len() {
+        if !ctl.membership.lock().unwrap().is_up(shard) {
+            continue;
+        }
+        let Ok(conn) = TcpStream::connect(&ctl.shards[shard]) else {
+            continue;
+        };
+        if conn.set_read_timeout(Some(ctl.forward_timeout)).is_err() {
+            continue;
+        }
+        let mut conn = conn;
+        if conn
+            .write_all(&Frame::shutdown(req_id).encode())
+            .and_then(|()| conn.flush())
+            .is_err()
+        {
+            continue;
+        }
+        for _ in 0..FORWARD_STRAY_BUDGET {
+            match read_frame(&mut conn) {
+                Ok(f) if f.kind == FrameKind::ShutdownAck && f.req_id == req_id => break,
+                Ok(_) => continue,
+                Err(_) => break,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_is_deterministic_and_covers_every_shard() {
+        let a = HashRing::new(3, 64);
+        let b = HashRing::new(3, 64);
+        for req_id in 0..64u64 {
+            for tag in 0..7u8 {
+                let key = HashRing::key(req_id, tag);
+                let ca = a.candidates(key);
+                assert_eq!(ca, b.candidates(key), "placement must be deterministic");
+                let mut sorted = ca.clone();
+                sorted.sort_unstable();
+                assert_eq!(sorted, vec![0, 1, 2], "every shard appears exactly once");
+            }
+        }
+    }
+
+    #[test]
+    fn ring_distribution_is_roughly_uniform() {
+        let ring = HashRing::new(3, 64);
+        let mut counts = [0usize; 3];
+        for req_id in 0..3000u64 {
+            let key = HashRing::key(req_id, (req_id % 7) as u8);
+            counts[ring.candidates(key)[0]] += 1;
+        }
+        for (s, &c) in counts.iter().enumerate() {
+            assert!(
+                (500..=1500).contains(&c),
+                "shard {s} owns {c} of 3000 keys — ring badly skewed: {counts:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn removing_a_shard_only_moves_its_own_keys() {
+        // The consistent-hashing property, phrased as failover: when the
+        // primary is skipped, the key lands on its ring-walk successor,
+        // and keys whose primary survives do not move at all.
+        let ring = HashRing::new(3, 64);
+        let dead = 1usize;
+        for req_id in 0..512u64 {
+            let key = HashRing::key(req_id, 0);
+            let cands = ring.candidates(key);
+            let with_dead: Vec<ShardId> = cands.iter().copied().filter(|&s| s != dead).collect();
+            if cands[0] != dead {
+                assert_eq!(with_dead[0], cands[0], "surviving primary must not move");
+            } else {
+                assert_eq!(with_dead[0], cands[1], "dead primary fails to successor");
+            }
+        }
+    }
+
+    #[test]
+    fn zero_vnodes_clamps_to_one() {
+        let ring = HashRing::new(2, 0);
+        assert_eq!(ring.candidates(42).len(), 2);
+    }
+
+    #[test]
+    fn empty_ring_has_no_candidates() {
+        let ring = HashRing::new(0, 8);
+        assert!(ring.candidates(7).is_empty());
+    }
+
+    #[test]
+    fn router_refuses_an_empty_shard_list() {
+        assert!(Router::start(RouterConfig::default()).is_err());
+    }
+
+    #[test]
+    fn stats_render_mentions_every_line() {
+        let mut s = RouterStats {
+            requests: 5,
+            relayed_errors: 1,
+            failovers: 2,
+            shard_down: 1,
+            connections: 3,
+            went_down: 1,
+            came_up: 1,
+            forward_us: Histogram::new(),
+        };
+        s.forward_us.observe(120.0);
+        let text = s.render();
+        assert!(text.contains("routed 5 request(s)"), "{text}");
+        assert!(text.contains("2 failover(s)"), "{text}");
+        assert!(text.contains("membership"), "{text}");
+        assert!(text.contains("forward us"), "{text}");
+    }
+}

@@ -31,6 +31,14 @@
 //! * [`client`] — a small blocking client used by the `qnn-bench
 //!   serve-soak` load generator, the e2e tests, and anyone scripting
 //!   against the server.
+//! * [`membership`] — the heartbeat-driven liveness table: a pure state
+//!   machine (mark-dead after `k_misses` unanswered `Ping`s, one `Pong`
+//!   revives) plus the typed-error probe that feeds it.
+//! * [`cluster`] — the [`Router`]: consistent-hashes `(req_id,
+//!   precision)` across N shard workers (each a stock [`Server`]),
+//!   fails over to the ring successor when a shard dies mid-request,
+//!   and answers `ShardDown` — typed, retryable — when nothing is live.
+//!   Bit-identical answers from any replica, never a hang.
 //!
 //! ## Example (in-process round trip)
 //!
@@ -51,6 +59,8 @@
 
 pub mod arena;
 pub mod client;
+pub mod cluster;
+pub mod membership;
 pub mod model;
 pub mod proto;
 pub mod queue;
@@ -58,6 +68,8 @@ pub mod server;
 
 pub use arena::{Arena, Slab};
 pub use client::ServeClient;
+pub use cluster::{HashRing, Router, RouterConfig, RouterStats};
+pub use membership::{DownReason, Membership, ProbeError, ShardState, Transition};
 pub use model::{ModelBank, MODEL_SEED, NUM_PRECISIONS};
 pub use proto::{ErrorCode, Frame, FrameKind, ProtoError};
 pub use server::{ServeConfig, ServeStats, Server};
@@ -97,6 +109,13 @@ impl ServeError {
                 ..
             }
         )
+    }
+
+    /// True for any retryable rejection: `Busy` backpressure or a
+    /// router's `ShardDown` failover window (see
+    /// [`ErrorCode::is_retryable`]).
+    pub fn is_retryable(&self) -> bool {
+        matches!(self, ServeError::Rejected { code, .. } if code.is_retryable())
     }
 
     pub(crate) fn io(e: &std::io::Error) -> ServeError {

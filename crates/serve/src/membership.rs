@@ -1,0 +1,383 @@
+//! Shard membership: who is alive, decided by heartbeats.
+//!
+//! The router probes every shard with a `QSRV` `Ping` frame once per
+//! heartbeat interval. The bookkeeping lives in [`Membership`], a pure
+//! state machine with no sockets, threads, or clocks — the router's
+//! heartbeat threads feed it [`on_pong`](Membership::on_pong) /
+//! [`on_miss`](Membership::on_miss) events, and the forwarding path
+//! feeds it [`on_transport_failure`](Membership::on_transport_failure)
+//! when a shard connection dies mid-request. Keeping it pure is what
+//! lets `tests/membership_props.rs` drive ≥256 seeded event schedules
+//! (misses at every offset, duplicated and reordered pongs, flapping)
+//! through it and assert the transition contract exhaustively.
+//!
+//! ## Contract
+//!
+//! * A shard starts [`ShardState::Up`] with zero misses.
+//! * [`on_pong`](Membership::on_pong) resets the miss count; on a
+//!   [`ShardState::Down`] shard it also revives it (the *only* way back
+//!   up), yielding [`Transition::CameUp`]. Duplicate pongs are idempotent.
+//! * [`on_miss`](Membership::on_miss) increments the miss count; the
+//!   `k_misses`-th consecutive miss on an `Up` shard yields
+//!   [`Transition::WentDown`]. Further misses accumulate silently.
+//! * [`on_transport_failure`](Membership::on_transport_failure) marks an
+//!   `Up` shard down *immediately* — a request already found the corpse,
+//!   no need to wait out the heartbeat budget.
+//! * Every event on a shard index outside the cluster is a typed
+//!   [`MembershipError::UnknownShard`]. Nothing here panics.
+//!
+//! The probe half — [`ping_shard`] — does one Ping/Pong exchange over a
+//! caller-owned connection, mapping every failure mode (timeout, EOF,
+//! garbage bytes, a typed error frame, the wrong frame kind) to a typed
+//! [`ProbeError`]. Its read deadline comes from the socket's read
+//! timeout, so a silent peer costs one timeout, never a hang.
+
+use std::fmt;
+use std::io::Write;
+use std::net::TcpStream;
+
+use crate::proto::{read_frame, Frame, FrameKind, ProtoError};
+
+/// Index of a shard in the router's configuration order.
+pub type ShardId = usize;
+
+/// Why a shard is considered dead.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DownReason {
+    /// `k_misses` consecutive heartbeats went unanswered.
+    MissedBeats,
+    /// A forwarded request hit a dead connection (EOF, reset, timeout) —
+    /// faster than waiting out the heartbeat budget.
+    TransportFailure,
+}
+
+/// Liveness of one shard.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShardState {
+    /// Answering heartbeats; eligible for routing.
+    Up,
+    /// Marked dead; skipped by the router until a pong revives it.
+    Down(DownReason),
+}
+
+/// A state change produced by a membership event — what the router
+/// turns into `router.shard.{up,down}` trace counters and gauges.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Transition {
+    /// A down shard answered a heartbeat again.
+    CameUp(ShardId),
+    /// An up shard was marked dead.
+    WentDown(ShardId, DownReason),
+}
+
+/// The typed failure of a membership event: the shard index does not
+/// exist. (The only way to misuse the pure state machine.)
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MembershipError {
+    /// The out-of-range index.
+    pub shard: ShardId,
+    /// How many shards the cluster actually has.
+    pub cluster_size: usize,
+}
+
+impl fmt::Display for MembershipError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "shard {} outside cluster of {}",
+            self.shard, self.cluster_size
+        )
+    }
+}
+
+impl std::error::Error for MembershipError {}
+
+struct Slot {
+    state: ShardState,
+    misses: u32,
+}
+
+/// The pure membership state machine: per-shard liveness driven by
+/// heartbeat events. See the module docs for the transition contract.
+pub struct Membership {
+    slots: Vec<Slot>,
+    k_misses: u32,
+}
+
+impl Membership {
+    /// A cluster of `n` shards, all starting `Up`, marked dead after
+    /// `k_misses` consecutive unanswered heartbeats (clamped to ≥ 1).
+    pub fn new(n: usize, k_misses: u32) -> Membership {
+        Membership {
+            slots: (0..n)
+                .map(|_| Slot {
+                    state: ShardState::Up,
+                    misses: 0,
+                })
+                .collect(),
+            k_misses: k_misses.max(1),
+        }
+    }
+
+    /// Number of shards in the cluster.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// True for a zero-shard cluster (nothing can ever be routed).
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// The configured consecutive-miss budget.
+    pub fn k_misses(&self) -> u32 {
+        self.k_misses
+    }
+
+    /// Current state of `shard`.
+    ///
+    /// # Errors
+    ///
+    /// [`MembershipError`] for an out-of-range index.
+    pub fn state(&self, shard: ShardId) -> Result<ShardState, MembershipError> {
+        self.slot(shard).map(|s| s.state)
+    }
+
+    /// True when `shard` is in range and currently `Up`. (The routing
+    /// fast path: an out-of-range index is simply not live.)
+    pub fn is_up(&self, shard: ShardId) -> bool {
+        matches!(self.state(shard), Ok(ShardState::Up))
+    }
+
+    /// How many shards are currently `Up`.
+    pub fn live_count(&self) -> usize {
+        self.slots
+            .iter()
+            .filter(|s| s.state == ShardState::Up)
+            .count()
+    }
+
+    /// A heartbeat answered: reset the miss count, revive if down.
+    ///
+    /// # Errors
+    ///
+    /// [`MembershipError`] for an out-of-range index.
+    pub fn on_pong(&mut self, shard: ShardId) -> Result<Option<Transition>, MembershipError> {
+        let slot = self.slot_mut(shard)?;
+        slot.misses = 0;
+        if matches!(slot.state, ShardState::Down(_)) {
+            slot.state = ShardState::Up;
+            return Ok(Some(Transition::CameUp(shard)));
+        }
+        Ok(None)
+    }
+
+    /// A heartbeat went unanswered: one more consecutive miss. The
+    /// `k_misses`-th miss on an `Up` shard marks it down.
+    ///
+    /// # Errors
+    ///
+    /// [`MembershipError`] for an out-of-range index.
+    pub fn on_miss(&mut self, shard: ShardId) -> Result<Option<Transition>, MembershipError> {
+        let k = self.k_misses;
+        let slot = self.slot_mut(shard)?;
+        slot.misses = slot.misses.saturating_add(1);
+        if slot.state == ShardState::Up && slot.misses >= k {
+            slot.state = ShardState::Down(DownReason::MissedBeats);
+            return Ok(Some(Transition::WentDown(shard, DownReason::MissedBeats)));
+        }
+        Ok(None)
+    }
+
+    /// A forwarded request found the shard's connection dead: mark it
+    /// down immediately (an `Up` shard only; a dead one stays dead with
+    /// its original reason).
+    ///
+    /// # Errors
+    ///
+    /// [`MembershipError`] for an out-of-range index.
+    pub fn on_transport_failure(
+        &mut self,
+        shard: ShardId,
+    ) -> Result<Option<Transition>, MembershipError> {
+        let k = self.k_misses;
+        let slot = self.slot_mut(shard)?;
+        if slot.state == ShardState::Up {
+            // Charge the full miss budget so a single pong revives it
+            // (misses reset to 0) rather than leaving a half-spent count.
+            slot.misses = k;
+            slot.state = ShardState::Down(DownReason::TransportFailure);
+            return Ok(Some(Transition::WentDown(
+                shard,
+                DownReason::TransportFailure,
+            )));
+        }
+        Ok(None)
+    }
+
+    fn slot(&self, shard: ShardId) -> Result<&Slot, MembershipError> {
+        self.slots.get(shard).ok_or(MembershipError {
+            shard,
+            cluster_size: self.slots.len(),
+        })
+    }
+
+    fn slot_mut(&mut self, shard: ShardId) -> Result<&mut Slot, MembershipError> {
+        let n = self.slots.len();
+        self.slots.get_mut(shard).ok_or(MembershipError {
+            shard,
+            cluster_size: n,
+        })
+    }
+}
+
+/// Every way a single Ping/Pong probe can fail. All of them count as a
+/// miss; none of them panic or hang (the socket's read timeout bounds
+/// the wait).
+#[derive(Debug, Clone, PartialEq)]
+pub enum ProbeError {
+    /// The Ping could not be written (connection already dead).
+    Send(String),
+    /// The answer did not decode as a `QSRV` frame — garbage bytes, a
+    /// truncated stream, a timeout, EOF.
+    Recv(ProtoError),
+    /// A well-formed frame arrived, but not a `Pong` (a typed error
+    /// frame or protocol misuse).
+    Unexpected(FrameKind),
+    /// Well-formed `Pong`s arrived, but none echoed our request id
+    /// within the stray-frame budget.
+    WrongId {
+        /// The id the Ping carried.
+        sent: u64,
+        /// The id on the last frame seen.
+        got: u64,
+    },
+}
+
+impl fmt::Display for ProbeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProbeError::Send(msg) => write!(f, "ping send failed: {msg}"),
+            ProbeError::Recv(e) => write!(f, "ping answer unreadable: {e}"),
+            ProbeError::Unexpected(kind) => write!(f, "expected Pong, got {kind:?}"),
+            ProbeError::WrongId { sent, got } => {
+                write!(f, "pong id mismatch: sent {sent}, last saw {got}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ProbeError {}
+
+/// Stray frames a probe will skip before giving up on finding its Pong.
+const PROBE_STRAY_BUDGET: usize = 8;
+
+/// One Ping/Pong exchange over a caller-owned connection. The caller
+/// sets the socket's read timeout (that deadline is what bounds a
+/// silent peer) and owns reconnect policy; any `Err` means "count a
+/// miss and drop this connection".
+///
+/// # Errors
+///
+/// A typed [`ProbeError`] for every failure mode — garbage bytes,
+/// truncation, timeout, a non-Pong frame, an id mismatch. Never panics,
+/// never blocks past the socket timeout.
+pub fn ping_shard(conn: &mut TcpStream, req_id: u64) -> Result<(), ProbeError> {
+    let ping = Frame::ping(req_id).encode();
+    conn.write_all(&ping)
+        .and_then(|()| conn.flush())
+        .map_err(|e| ProbeError::Send(e.to_string()))?;
+    let mut last_id = 0;
+    for _ in 0..PROBE_STRAY_BUDGET {
+        let frame = read_frame(conn).map_err(ProbeError::Recv)?;
+        last_id = frame.req_id;
+        if frame.kind != FrameKind::Pong {
+            return Err(ProbeError::Unexpected(frame.kind));
+        }
+        if frame.req_id == req_id {
+            return Ok(());
+        }
+        // A stale Pong from an earlier timed-out probe: skip it.
+    }
+    Err(ProbeError::WrongId {
+        sent: req_id,
+        got: last_id,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn k_misses_marks_down_and_one_pong_revives() {
+        let mut m = Membership::new(2, 3);
+        assert_eq!(m.on_miss(0).unwrap(), None);
+        assert_eq!(m.on_miss(0).unwrap(), None);
+        assert_eq!(
+            m.on_miss(0).unwrap(),
+            Some(Transition::WentDown(0, DownReason::MissedBeats))
+        );
+        assert_eq!(
+            m.state(0).unwrap(),
+            ShardState::Down(DownReason::MissedBeats)
+        );
+        assert!(m.is_up(1), "shard 1 untouched");
+        assert_eq!(m.live_count(), 1);
+        // Further misses are silent; one pong revives.
+        assert_eq!(m.on_miss(0).unwrap(), None);
+        assert_eq!(m.on_pong(0).unwrap(), Some(Transition::CameUp(0)));
+        assert!(m.is_up(0));
+    }
+
+    #[test]
+    fn pong_resets_the_miss_count() {
+        let mut m = Membership::new(1, 2);
+        m.on_miss(0).unwrap();
+        m.on_pong(0).unwrap();
+        // The earlier miss no longer counts toward the budget.
+        assert_eq!(m.on_miss(0).unwrap(), None);
+        assert!(m.is_up(0));
+    }
+
+    #[test]
+    fn transport_failure_is_immediate_but_only_once() {
+        let mut m = Membership::new(1, 5);
+        assert_eq!(
+            m.on_transport_failure(0).unwrap(),
+            Some(Transition::WentDown(0, DownReason::TransportFailure))
+        );
+        // Already down: no second transition, reason unchanged.
+        assert_eq!(m.on_transport_failure(0).unwrap(), None);
+        assert_eq!(
+            m.state(0).unwrap(),
+            ShardState::Down(DownReason::TransportFailure)
+        );
+        // One pong is enough to come back.
+        assert_eq!(m.on_pong(0).unwrap(), Some(Transition::CameUp(0)));
+    }
+
+    #[test]
+    fn unknown_shard_is_a_typed_error_everywhere() {
+        let mut m = Membership::new(2, 3);
+        let err = MembershipError {
+            shard: 2,
+            cluster_size: 2,
+        };
+        assert_eq!(m.state(2).unwrap_err(), err);
+        assert_eq!(m.on_pong(2).unwrap_err(), err);
+        assert_eq!(m.on_miss(2).unwrap_err(), err);
+        assert_eq!(m.on_transport_failure(2).unwrap_err(), err);
+        assert!(!m.is_up(2));
+    }
+
+    #[test]
+    fn k_misses_is_clamped_to_one() {
+        let mut m = Membership::new(1, 0);
+        assert_eq!(m.k_misses(), 1);
+        assert_eq!(
+            m.on_miss(0).unwrap(),
+            Some(Transition::WentDown(0, DownReason::MissedBeats))
+        );
+    }
+}

@@ -54,6 +54,13 @@ pub enum FrameKind {
     Shutdown = 4,
     /// Server → client: the drain finished; the server is exiting.
     ShutdownAck = 5,
+    /// Peer → server: liveness probe. Answered directly by the
+    /// connection handler — a heartbeat measures "is the process alive
+    /// and reading its sockets", so it never enters the batching queue.
+    Ping = 6,
+    /// Server → peer: the answer to a [`FrameKind::Ping`], echoing its
+    /// request id.
+    Pong = 7,
 }
 
 impl FrameKind {
@@ -65,6 +72,8 @@ impl FrameKind {
             3 => FrameKind::Error,
             4 => FrameKind::Shutdown,
             5 => FrameKind::ShutdownAck,
+            6 => FrameKind::Ping,
+            7 => FrameKind::Pong,
             _ => return None,
         })
     }
@@ -100,6 +109,10 @@ pub enum ErrorCode {
     /// The stream ended mid-frame. The server answers on the write half
     /// (still open under a half-close) before hanging up.
     Truncated = 11,
+    /// A router could not reach any live replica for the request's hash
+    /// ring candidates. Retryable: membership converges within
+    /// `k_misses` heartbeats, so retry after the hinted delay.
+    ShardDown = 12,
 }
 
 impl ErrorCode {
@@ -117,8 +130,18 @@ impl ErrorCode {
             9 => ErrorCode::ShuttingDown,
             10 => ErrorCode::Internal,
             11 => ErrorCode::Truncated,
+            12 => ErrorCode::ShardDown,
             _ => return None,
         })
+    }
+
+    /// True for rejections a well-behaved client should retry after the
+    /// frame's `retry_after_us` hint: [`ErrorCode::Busy`] (backpressure)
+    /// and [`ErrorCode::ShardDown`] (failover in progress). Everything
+    /// else reports a malformed or unserviceable request and retrying
+    /// verbatim would only repeat the rejection.
+    pub fn is_retryable(self) -> bool {
+        matches!(self, ErrorCode::Busy | ErrorCode::ShardDown)
     }
 }
 
@@ -293,6 +316,27 @@ impl Frame {
     pub fn shutdown_ack(req_id: u64) -> Frame {
         Frame {
             kind: FrameKind::ShutdownAck,
+            tag: 0,
+            req_id,
+            payload: Vec::new(),
+        }
+    }
+
+    /// A liveness probe. The peer answers with a [`Frame::pong`] echoing
+    /// `req_id`.
+    pub fn ping(req_id: u64) -> Frame {
+        Frame {
+            kind: FrameKind::Ping,
+            tag: 0,
+            req_id,
+            payload: Vec::new(),
+        }
+    }
+
+    /// The answer to a [`Frame::ping`].
+    pub fn pong(req_id: u64) -> Frame {
+        Frame {
+            kind: FrameKind::Pong,
             tag: 0,
             req_id,
             payload: Vec::new(),
@@ -528,6 +572,9 @@ mod tests {
             Frame::error(9, ErrorCode::Busy, 1500, "queue full"),
             Frame::shutdown(11),
             Frame::shutdown_ack(11),
+            Frame::ping(13),
+            Frame::pong(13),
+            Frame::error(15, ErrorCode::ShardDown, 9000, "no live replica"),
         ];
         for f in frames {
             let bytes = f.encode();
@@ -607,6 +654,19 @@ mod tests {
             Err(ProtoError::Truncated { got }) => assert_eq!(got, cut),
             other => panic!("expected Truncated, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn only_backpressure_and_failover_are_retryable() {
+        for code in 1..=12u8 {
+            let code = ErrorCode::from_u8(code).unwrap();
+            assert_eq!(
+                code.is_retryable(),
+                matches!(code, ErrorCode::Busy | ErrorCode::ShardDown),
+                "{code:?}"
+            );
+        }
+        assert_eq!(ErrorCode::from_u8(13), None);
     }
 
     #[test]

@@ -126,6 +126,20 @@ impl BatchQueue {
         self.nonempty.notify_all();
     }
 
+    /// The crash-simulation variant of [`close`](BatchQueue::close):
+    /// stops accepting work *and discards everything still queued*, so
+    /// queued requests are dropped without a response — exactly what a
+    /// `kill -9` does to a real process's backlog. Used by
+    /// `Server::kill` so chaos tests can crash an in-process shard.
+    /// Idempotent.
+    pub fn close_discarding(&self) {
+        let mut inner = self.inner.lock().unwrap();
+        inner.closed = true;
+        inner.items.clear();
+        drop(inner);
+        self.nonempty.notify_all();
+    }
+
     /// True once [`close`](BatchQueue::close) has been called.
     pub fn is_closed(&self) -> bool {
         self.inner.lock().unwrap().closed
@@ -244,6 +258,20 @@ mod tests {
         let batch = q.next_batch(16, Duration::from_millis(1)).unwrap();
         assert_eq!(batch.len(), 1);
         assert!(q.next_batch(16, Duration::from_millis(1)).is_none());
+    }
+
+    #[test]
+    fn close_discarding_drops_the_backlog_unanswered() {
+        let q = BatchQueue::new(8);
+        let (r, rx) = req(0);
+        q.try_push(r).unwrap();
+        q.close_discarding();
+        assert!(q.is_closed());
+        assert_eq!(q.depth(), 0);
+        // The engine sees an immediate end-of-work, and the queued
+        // request's reply channel is simply dropped — no response.
+        assert!(q.next_batch(16, Duration::from_millis(1)).is_none());
+        assert!(rx.recv().is_err());
     }
 
     #[test]

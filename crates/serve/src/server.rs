@@ -142,6 +142,11 @@ struct Ctl {
     queue: BatchQueue,
     /// Everything exits when this rises (set by the engine after drain).
     stop: AtomicBool,
+    /// Raised only by [`Server::kill`]: handlers abandon their peers
+    /// between frames even when traffic keeps the socket hot. Graceful
+    /// shutdown leaves this low so handlers keep answering typed
+    /// refusals (and heartbeats) until their peer hangs up.
+    killed: AtomicBool,
     /// Connections that asked for shutdown, acked after the drain.
     shutdown_waiters: Mutex<Vec<(u64, mpsc::Sender<Frame>)>>,
     /// Busy rejections (handlers increment, engine folds into stats).
@@ -204,6 +209,7 @@ impl Server {
         let ctl = Arc::new(Ctl {
             queue: BatchQueue::new(cfg.queue_cap),
             stop: AtomicBool::new(false),
+            killed: AtomicBool::new(false),
             shutdown_waiters: Mutex::new(Vec::new()),
             rejected_busy: AtomicU64::new(0),
             connections: AtomicU64::new(0),
@@ -257,6 +263,20 @@ impl Server {
     /// queued. Pair with [`join`](Server::join).
     pub fn shutdown(&self) {
         self.ctl.begin_shutdown();
+    }
+
+    /// Simulates an abrupt crash for chaos tests: the queued backlog is
+    /// discarded *without responses*, the stop flag rises, and every
+    /// socket closes as its threads exit — peers see EOF mid-request,
+    /// exactly what a `kill -9` leaves behind. A batch already inside
+    /// the engine may still answer (or not escape before the connection
+    /// drops); that ambiguity is the point. Pair with
+    /// [`join`](Server::join) to reap threads.
+    pub fn kill(&self) {
+        self.ctl.queue.close_discarding();
+        self.ctl.killed.store(true, Ordering::SeqCst);
+        self.ctl.stop.store(true, Ordering::SeqCst);
+        let _ = TcpStream::connect(self.addr); // wake the accept loop
     }
 
     /// Blocks until the server has fully shut down (triggered by a
@@ -317,7 +337,7 @@ fn accept_loop(listener: &TcpListener, ctl: &Arc<Ctl>, handlers: &Arc<Mutex<Vec<
 }
 
 /// Outcome of one interruptible frame read.
-enum ReadEvent {
+pub(crate) enum ReadEvent {
     /// A non-inference frame (shutdown, protocol misuse), materialised
     /// the ordinary owned way — rare, so the copy is irrelevant.
     Frame(Frame),
@@ -335,12 +355,13 @@ enum ReadEvent {
 }
 
 /// Reads exactly `buf.len()` bytes through the connection's poll
-/// timeout, bailing out when the stop flag rises.
-fn fill(
+/// timeout, bailing out when the stop flag rises. Shared with the
+/// router's edge-side reader in [`crate::cluster`].
+pub(crate) fn fill(
     stream: &mut impl std::io::Read,
     buf: &mut [u8],
     got_before: usize,
-    ctl: &Ctl,
+    stop: &AtomicBool,
 ) -> Result<(), ReadEvent> {
     let mut off = 0;
     while off < buf.len() {
@@ -362,7 +383,7 @@ fn fill(
                 if e.kind() == std::io::ErrorKind::WouldBlock
                     || e.kind() == std::io::ErrorKind::TimedOut =>
             {
-                if ctl.stop.load(Ordering::SeqCst) {
+                if stop.load(Ordering::SeqCst) {
                     return Err(ReadEvent::Stopped);
                 }
             }
@@ -388,7 +409,7 @@ fn read_frame_interruptible(
     payload_buf: &mut Vec<u8>,
 ) -> ReadEvent {
     let mut header_bytes = [0u8; HEADER_LEN];
-    if let Err(ev) = fill(stream, &mut header_bytes, 0, ctl) {
+    if let Err(ev) = fill(stream, &mut header_bytes, 0, &ctl.stop) {
         return ev;
     }
     // Best-effort request id for error replies: only meaningful once the
@@ -415,11 +436,11 @@ fn read_frame_interruptible(
     };
     payload_buf.clear();
     payload_buf.resize(header.payload_len as usize, 0);
-    if let Err(ev) = fill(stream, payload_buf, HEADER_LEN, ctl) {
+    if let Err(ev) = fill(stream, payload_buf, HEADER_LEN, &ctl.stop) {
         return stamp(ev);
     }
     let mut crc = [0u8; 4];
-    if let Err(ev) = fill(stream, &mut crc, HEADER_LEN + payload_buf.len(), ctl) {
+    if let Err(ev) = fill(stream, &mut crc, HEADER_LEN + payload_buf.len(), &ctl.stop) {
         return stamp(ev);
     }
     if let Err(err) = proto::verify_crc(&header_bytes, payload_buf, u32::from_le_bytes(crc)) {
@@ -479,6 +500,15 @@ fn handle_connection(stream: TcpStream, ctl: &Arc<Ctl>) {
     let mut payload_buf: Vec<u8> = Vec::new();
 
     loop {
+        // The in-read poll only observes the stop flag when the socket
+        // goes idle; a steadily chatty peer (e.g. a 20 ms heartbeat)
+        // never times out, so check between frames too — otherwise a
+        // killed server keeps answering pings forever. Only a kill
+        // breaks here: graceful shutdown keeps answering typed
+        // refusals until the peer hangs up.
+        if ctl.killed.load(Ordering::SeqCst) {
+            break;
+        }
         match read_frame_interruptible(&mut stream, ctl, &mut payload_buf) {
             ReadEvent::Eof | ReadEvent::Stopped => break,
             ReadEvent::Bad { err, req_id } => {
@@ -499,6 +529,13 @@ fn handle_connection(stream: TcpStream, ctl: &Arc<Ctl>) {
                         .push((frame.req_id, tx.clone()));
                     ctl.begin_shutdown();
                 }
+                // Heartbeats are answered here, not through the engine:
+                // a Ping measures "is the process alive and reading its
+                // sockets", so it must not queue behind inference work —
+                // and must keep answering during a graceful drain.
+                FrameKind::Ping => {
+                    let _ = tx.send(Frame::pong(frame.req_id));
+                }
                 // Server-bound streams carry requests only; a response
                 // kind here is protocol misuse, answered but survivable.
                 // (Infer never reaches this arm — the reader decodes it
@@ -506,7 +543,8 @@ fn handle_connection(stream: TcpStream, ctl: &Arc<Ctl>) {
                 FrameKind::Infer
                 | FrameKind::InferOk
                 | FrameKind::Error
-                | FrameKind::ShutdownAck => {
+                | FrameKind::ShutdownAck
+                | FrameKind::Pong => {
                     let _ = tx.send(Frame::error(
                         frame.req_id,
                         ErrorCode::BadKind,

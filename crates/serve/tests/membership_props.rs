@@ -1,0 +1,330 @@
+//! Seeded property tests for the membership layer — the satellite
+//! contract: heartbeat loss at every offset, duplicate and reordered
+//! pings, shard flapping, and garbage frames on the shard-side socket
+//! all land on a typed error or a clean state transition. Never a
+//! panic, never a hang (every socket read in here is timeout-bounded).
+
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::time::Duration;
+
+use qnn_serve::client::ServeClient;
+use qnn_serve::membership::{
+    ping_shard, DownReason, Membership, ProbeError, ShardState, Transition,
+};
+use qnn_serve::proto::{Frame, FrameKind, ProtoError};
+use qnn_serve::server::{ServeConfig, Server};
+use qnn_tensor::rng::{derive_seed, seeded};
+
+#[test]
+fn heartbeat_loss_at_every_offset_marks_down_on_the_kth_miss_256_cases() {
+    // A healthy pong stream of arbitrary length, then consecutive
+    // misses: the down transition must fire on exactly the k-th miss —
+    // not earlier, not later, whatever the offset.
+    for case in 0..256u64 {
+        let mut r = seeded(derive_seed(0xBEA7, case));
+        let n = r.gen_range(1..5usize);
+        let shard = r.gen_range(0..n);
+        let k = r.gen_range(1..6u32);
+        let offset = r.gen_range(0..32usize);
+        let mut m = Membership::new(n, k);
+        for _ in 0..offset {
+            assert_eq!(m.on_pong(shard).unwrap(), None, "case {case}: healthy pong");
+        }
+        for miss in 1..=k {
+            let t = m.on_miss(shard).unwrap();
+            if miss < k {
+                assert_eq!(t, None, "case {case}: down before miss {k} (at {miss})");
+                assert_eq!(m.state(shard).unwrap(), ShardState::Up);
+            } else {
+                assert_eq!(
+                    t,
+                    Some(Transition::WentDown(shard, DownReason::MissedBeats)),
+                    "case {case}: k-th miss must mark down"
+                );
+            }
+        }
+        assert!(!m.is_up(shard), "case {case}");
+        // Every other shard is untouched.
+        assert_eq!(m.live_count(), n - 1, "case {case}");
+    }
+}
+
+#[test]
+fn random_event_schedules_match_the_oracle_256_cases() {
+    // Arbitrary interleavings of pongs, misses, and transport failures
+    // across shards — duplicated pongs, reordered events, the lot. An
+    // inline oracle tracks consecutive misses per shard; the machine
+    // must agree with it after every event, and transitions must only
+    // ever be Up→Down or Down→Up.
+    for case in 0..256u64 {
+        let mut r = seeded(derive_seed(0x0DD5, case));
+        let n = r.gen_range(1..6usize);
+        let k = r.gen_range(1..5u32);
+        let mut m = Membership::new(n, k);
+        let mut oracle_up = vec![true; n];
+        let mut oracle_misses = vec![0u32; n];
+        for step in 0..64 {
+            let shard = r.gen_range(0..n);
+            let was_up = oracle_up[shard];
+            let ev = r.gen_range(0..4u32); // pong twice as likely as the rest
+            let t = match ev {
+                0 | 1 => {
+                    oracle_misses[shard] = 0;
+                    oracle_up[shard] = true;
+                    m.on_pong(shard).unwrap()
+                }
+                2 => {
+                    oracle_misses[shard] += 1;
+                    if oracle_misses[shard] >= k {
+                        oracle_up[shard] = false;
+                    }
+                    m.on_miss(shard).unwrap()
+                }
+                _ => {
+                    oracle_misses[shard] = k;
+                    oracle_up[shard] = false;
+                    m.on_transport_failure(shard).unwrap()
+                }
+            };
+            assert_eq!(
+                m.is_up(shard),
+                oracle_up[shard],
+                "case {case} step {step}: machine disagrees with oracle"
+            );
+            // A transition is exactly an up/down flip of this shard.
+            match t {
+                Some(Transition::CameUp(s)) => {
+                    assert_eq!(s, shard);
+                    assert!(!was_up && oracle_up[shard], "case {case} step {step}");
+                }
+                Some(Transition::WentDown(s, _)) => {
+                    assert_eq!(s, shard);
+                    assert!(was_up && !oracle_up[shard], "case {case} step {step}");
+                }
+                None => assert_eq!(
+                    was_up, oracle_up[shard],
+                    "case {case} step {step}: silent flip"
+                ),
+            }
+        }
+        assert_eq!(
+            m.live_count(),
+            oracle_up.iter().filter(|&&u| u).count(),
+            "case {case}"
+        );
+    }
+}
+
+#[test]
+fn flapping_down_then_up_transitions_cleanly_256_cases() {
+    // Kill and revive the same shard over and over: each round must
+    // yield exactly one WentDown and one CameUp, with the miss budget
+    // fully recharged by the reviving pong.
+    for case in 0..256u64 {
+        let mut r = seeded(derive_seed(0xF1A9, case));
+        let k = r.gen_range(1..5u32);
+        let rounds = r.gen_range(2..6usize);
+        let mut m = Membership::new(1, k);
+        for round in 0..rounds {
+            for miss in 1..=k {
+                let t = m.on_miss(0).unwrap();
+                assert_eq!(
+                    t.is_some(),
+                    miss == k,
+                    "case {case} round {round}: transition at miss {miss}/{k}"
+                );
+            }
+            // Extra misses beyond the budget stay silent.
+            for _ in 0..r.gen_range(0..3u32) {
+                assert_eq!(m.on_miss(0).unwrap(), None, "case {case} round {round}");
+            }
+            assert_eq!(
+                m.on_pong(0).unwrap(),
+                Some(Transition::CameUp(0)),
+                "case {case} round {round}: revive"
+            );
+            assert!(m.is_up(0));
+        }
+    }
+}
+
+#[test]
+fn unknown_shard_indices_are_typed_errors_256_cases() {
+    for case in 0..256u64 {
+        let mut r = seeded(derive_seed(0xBAD5, case));
+        let n = r.gen_range(1..8usize);
+        let bad = n + r.gen_range(0..1000usize);
+        let mut m = Membership::new(n, 3);
+        let err = m.on_pong(bad).unwrap_err();
+        assert_eq!(err.shard, bad, "case {case}");
+        assert_eq!(err.cluster_size, n, "case {case}");
+        assert!(m.on_miss(bad).is_err(), "case {case}");
+        assert!(m.on_transport_failure(bad).is_err(), "case {case}");
+        assert!(m.state(bad).is_err(), "case {case}");
+        assert_eq!(m.live_count(), n, "case {case}: no state damage");
+    }
+}
+
+/// What the fake shard answers a probe with.
+enum Malice {
+    /// Seeded garbage bytes, then close.
+    Garbage(Vec<u8>),
+    /// A well-formed frame of the wrong kind, then close.
+    WrongKind(Frame),
+    /// A well-formed pong with the wrong request id, then close.
+    WrongId(u64),
+    /// Close without writing anything.
+    SlamShut,
+    /// A valid header declaring a payload that never comes.
+    TruncatedFrame,
+}
+
+impl Malice {
+    fn arbitrary(case: u64) -> Malice {
+        let mut r = seeded(derive_seed(0x6A5B, case));
+        match r.gen_range(0..8u32) {
+            // Garbage dominates: it is the widest input space.
+            0..=3 => {
+                let n = r.gen_range(1..200usize);
+                Malice::Garbage((0..n).map(|_| (r.next_u32() & 0xFF) as u8).collect())
+            }
+            4 => Malice::WrongKind(Frame::error(
+                r.next_u64(),
+                qnn_serve::ErrorCode::Internal,
+                0,
+                "synthetic",
+            )),
+            5 => Malice::WrongId(r.next_u64() | 0x8000_0000_0000_0000),
+            6 => Malice::SlamShut,
+            _ => Malice::TruncatedFrame,
+        }
+    }
+}
+
+#[test]
+fn garbage_frames_on_the_shard_socket_are_typed_probe_errors_256_cases() {
+    // A fake shard that answers probes maliciously. Every case must end
+    // in a typed ProbeError — never a panic, and never a hang (the
+    // probe connection carries a read timeout; the malicious peer also
+    // closes after answering, so most cases fail instantly on EOF).
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr");
+    let server = std::thread::spawn(move || {
+        for case in 0..256u64 {
+            let (mut conn, _) = listener.accept().expect("accept");
+            // Drain the incoming ping so the client's write never errors
+            // before the malicious answer lands.
+            let mut ping_buf = [0u8; 24];
+            let _ = conn.read_exact(&mut ping_buf);
+            match Malice::arbitrary(case) {
+                Malice::Garbage(bytes) => {
+                    let _ = conn.write_all(&bytes);
+                }
+                Malice::WrongKind(frame) => {
+                    let _ = conn.write_all(&frame.encode());
+                }
+                Malice::WrongId(id) => {
+                    let _ = conn.write_all(&Frame::pong(id).encode());
+                }
+                Malice::SlamShut => {}
+                Malice::TruncatedFrame => {
+                    let bytes = Frame::infer_ok(1, &[1.0, 2.0, 3.0]).encode();
+                    let _ = conn.write_all(&bytes[..bytes.len() - 7]);
+                }
+            }
+            // Drop closes the socket; the probe sees EOF where the
+            // malicious answer left off.
+        }
+    });
+
+    for case in 0..256u64 {
+        let mut conn = TcpStream::connect(addr).expect("connect");
+        conn.set_read_timeout(Some(Duration::from_secs(5)))
+            .expect("timeout");
+        let req_id = derive_seed(0x9109, case);
+        let err = ping_shard(&mut conn, req_id).expect_err(&format!(
+            "case {case}: a malicious answer must not probe Ok"
+        ));
+        match (Malice::arbitrary(case), err) {
+            (Malice::Garbage(_), ProbeError::Recv(_)) => {}
+            (Malice::WrongKind(_), ProbeError::Unexpected(kind)) => {
+                assert_eq!(kind, FrameKind::Error, "case {case}")
+            }
+            // The stray-pong budget runs out at EOF (connection closed
+            // after the single wrong-id pong).
+            (Malice::WrongId(_), ProbeError::Recv(ProtoError::Eof)) => {}
+            (Malice::SlamShut, ProbeError::Recv(ProtoError::Eof)) => {}
+            (Malice::TruncatedFrame, ProbeError::Recv(ProtoError::Truncated { .. })) => {}
+            (_, err) => panic!("case {case}: unexpected probe error {err:?}"),
+        }
+    }
+    server.join().expect("malicious shard thread");
+}
+
+#[test]
+fn a_silent_peer_costs_one_timeout_not_a_hang() {
+    // The one failure mode the malicious-answer sweep can't cover with
+    // closed sockets: a peer that accepts, stays open, and says
+    // nothing. The probe must come back within its read timeout.
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr");
+    let hold = std::thread::spawn(move || listener.accept());
+    let mut conn = TcpStream::connect(addr).expect("connect");
+    conn.set_read_timeout(Some(Duration::from_millis(100)))
+        .expect("timeout");
+    let start = std::time::Instant::now();
+    match ping_shard(&mut conn, 7) {
+        Err(ProbeError::Recv(ProtoError::Io { .. })) => {}
+        other => panic!("expected an Io timeout, got {other:?}"),
+    }
+    assert!(
+        start.elapsed() < Duration::from_secs(2),
+        "probe must respect the socket timeout"
+    );
+    drop(conn);
+    let _ = hold.join();
+}
+
+#[test]
+fn duplicate_and_reordered_pings_on_a_live_server_each_get_their_pong() {
+    // Protocol-level duplicates/reordering: fire pings with repeated
+    // and out-of-order ids at a real shard server in one burst; every
+    // single one must come back as a pong with its id — including
+    // duplicates, and including while the server is draining.
+    let server = Server::start(ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        ..ServeConfig::default()
+    })
+    .expect("server");
+    let mut client = ServeClient::connect(&server.local_addr().to_string()).expect("connect");
+    client
+        .set_read_timeout(Duration::from_secs(5))
+        .expect("timeout");
+
+    let ids: Vec<u64> = vec![9, 3, 3, 7, 1, 9, 9, 2, 1000, 3];
+    let mut burst = Vec::new();
+    for &id in &ids {
+        burst.extend_from_slice(&Frame::ping(id).encode());
+    }
+    client.send_raw(&burst).expect("burst");
+    let mut got: Vec<u64> = (0..ids.len())
+        .map(|_| {
+            let f = client.recv_frame().expect("pong");
+            assert_eq!(f.kind, FrameKind::Pong);
+            f.req_id
+        })
+        .collect();
+    // Pongs for one connection come back in order today, but the
+    // contract is only "every ping is answered with its id".
+    got.sort_unstable();
+    let mut want = ids.clone();
+    want.sort_unstable();
+    assert_eq!(got, want);
+
+    // Heartbeats keep answering during a graceful drain.
+    server.shutdown();
+    client.ping().expect("ping during drain");
+    // Drain completes (queue empty) and the server exits.
+    let _ = server.join();
+}

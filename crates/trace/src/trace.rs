@@ -101,6 +101,17 @@ impl Trace {
         t
     }
 
+    /// Total of the named counter, `0` when it was never incremented —
+    /// the common "how many X happened" read, without an `Option` dance.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Last recorded value of the named gauge, if it was ever set.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.get(name).copied()
+    }
+
     /// The timing-free shape of the span stream: `+name` for starts,
     /// `-name` for ends. Two runs of the same deterministic workload have
     /// equal signatures regardless of thread count — the property the

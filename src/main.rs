@@ -13,6 +13,8 @@
 //! qnn tiles                   # tile-size design-space extension
 //! qnn all [scale]             # everything, in paper order
 //! qnn serve [flags]           # batched inference server (qnn-serve)
+//! qnn shard [flags]           # a cluster shard worker (= serve)
+//! qnn router [flags]          # consistent-hash router over N shards
 //! ```
 //!
 //! `scale` ∈ `smoke` (seconds) | `reduced` (default, minutes) | `full`
@@ -35,6 +37,12 @@
 //! server runs until a
 //! client sends a `Shutdown` frame (`qnn-bench serve-soak --shutdown`
 //! does), then prints its run stats.
+//!
+//! `shard` is an alias for `serve` — a cluster worker is a stock
+//! batched-inference server. `router` fronts N shards with consistent
+//! hashing, heartbeat-driven membership, and replica failover (see
+//! [`run_router`]); a `Shutdown` frame at the router drains the whole
+//! cluster.
 
 use std::path::PathBuf;
 
@@ -172,6 +180,106 @@ fn run_serve(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     Ok(())
 }
 
+/// Runs the `qnn-serve` cluster router until a client shuts the cluster
+/// down, then prints the run's [`qnn_serve::RouterStats`].
+///
+/// Flags:
+///
+/// * `--shards A:P,B:P,...` — comma-separated shard addresses
+///   (required). Each shard is a `qnn shard` (or `qnn serve`) process.
+/// * `--addr HOST:PORT` — edge bind address; port 0 picks a free port
+///   (default `127.0.0.1:0`).
+/// * `--port-file PATH` — write the actually-bound `host:port` once
+///   listening.
+/// * `--heartbeat-ms N` — liveness probe interval (default 100).
+/// * `--k-misses N` — consecutive missed beats before a shard is marked
+///   down (default 3).
+/// * `--probe-timeout-ms N` — per-probe read deadline (default 500).
+/// * `--forward-timeout-ms N` — shard-side forward read deadline
+///   (default 10000).
+/// * `--vnodes N` — virtual nodes per shard on the hash ring
+///   (default 64).
+/// * `--trace PATH` — record a `qnn-trace` JSONL of the run
+///   (`router.route` spans, per-shard up/down gauges and counters,
+///   forward-latency histogram).
+fn run_router(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    let mut cfg = qnn_serve::RouterConfig::default();
+    let mut port_file: Option<PathBuf> = None;
+    let mut trace_path: Option<PathBuf> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut next = |flag: &str| -> Result<String, String> {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        let parse_ms = |flag: &str, v: String| -> Result<std::time::Duration, String> {
+            v.parse::<u64>()
+                .map(std::time::Duration::from_millis)
+                .map_err(|_| format!("{flag}: `{v}` is not milliseconds"))
+        };
+        match arg.as_str() {
+            "--addr" => cfg.addr = next("--addr")?,
+            "--shards" => {
+                cfg.shards = next("--shards")?
+                    .split(',')
+                    .filter(|s| !s.is_empty())
+                    .map(str::to_string)
+                    .collect();
+            }
+            "--port-file" => port_file = Some(PathBuf::from(next("--port-file")?)),
+            "--trace" => trace_path = Some(PathBuf::from(next("--trace")?)),
+            "--heartbeat-ms" => {
+                cfg.heartbeat = parse_ms("--heartbeat-ms", next("--heartbeat-ms")?)?
+            }
+            "--probe-timeout-ms" => {
+                cfg.probe_timeout = parse_ms("--probe-timeout-ms", next("--probe-timeout-ms")?)?;
+            }
+            "--forward-timeout-ms" => {
+                cfg.forward_timeout =
+                    parse_ms("--forward-timeout-ms", next("--forward-timeout-ms")?)?;
+            }
+            "--k-misses" => {
+                let v = next("--k-misses")?;
+                cfg.k_misses = v
+                    .parse::<u32>()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .ok_or_else(|| format!("--k-misses: `{v}` is not a count"))?;
+            }
+            "--vnodes" => {
+                let v = next("--vnodes")?;
+                cfg.vnodes = v
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .ok_or_else(|| format!("--vnodes: `{v}` is not a count"))?;
+            }
+            other => return Err(format!("router: unknown argument `{other}`").into()),
+        }
+    }
+    if cfg.shards.is_empty() {
+        return Err("router: --shards A:P[,B:P...] is required".into());
+    }
+    if trace_path.is_some() {
+        qnn_trace::start();
+    }
+    let router = qnn_serve::Router::start(cfg)?;
+    let addr = router.local_addr();
+    println!("qnn-router listening on {addr}");
+    if let Some(path) = &port_file {
+        std::fs::write(path, addr.to_string())?;
+    }
+    let stats = router.join();
+    print!("{}", stats.render());
+    if let Some(path) = &trace_path {
+        let trace = qnn_trace::stop();
+        std::fs::write(path, trace.to_jsonl())?;
+        println!("wrote trace to {}", path.display());
+    }
+    Ok(())
+}
+
 /// Reports a still-partial resumable sweep and exits with code 3.
 fn partial_exit(progress: &SweepProgress) -> ! {
     println!(
@@ -264,17 +372,28 @@ fn usage() {
     eprintln!(
         "usage: qnn <table3|fig3|table4|table5|fig4|energy|faultcurve|memory|minifloat|tiles|all> \
          [smoke|reduced|full] [--resume DIR [--max-cells N]]\n\
-         \x20      qnn serve [--addr HOST:PORT] [--port-file PATH] [--max-batch N] \
-         [--max-wait-us N] [--queue-cap N] [--engine-threads N] [--trace PATH]"
+         \x20      qnn serve|shard [--addr HOST:PORT] [--port-file PATH] [--max-batch N] \
+         [--max-wait-us N] [--queue-cap N] [--engine-threads N] [--trace PATH]\n\
+         \x20      qnn router --shards A:P[,B:P...] [--addr HOST:PORT] [--port-file PATH] \
+         [--heartbeat-ms N] [--k-misses N] [--probe-timeout-ms N] [--forward-timeout-ms N] \
+         [--vnodes N] [--trace PATH]"
     );
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let args: Vec<String> = std::env::args().collect();
     let cmd = args.get(1).map(String::as_str).unwrap_or("table3");
-    if cmd == "serve" {
+    if cmd == "serve" || cmd == "shard" {
         // serve has its own flag set; don't route it through parse_opts.
+        // `shard` is the same server wearing its cluster-worker hat.
         return run_serve(&args[2..]).map_err(|e| {
+            eprintln!("{e}");
+            usage();
+            std::process::exit(2);
+        });
+    }
+    if cmd == "router" {
+        return run_router(&args[2..]).map_err(|e| {
             eprintln!("{e}");
             usage();
             std::process::exit(2);
