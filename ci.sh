@@ -223,6 +223,147 @@ cluster_soak() {
     return "$code"
 }
 
+# Reload-soak gate: run the release server in the background and hammer
+# it from 4 client threads with 256 requests while the soak harness
+# cycles 8 live hot-reloads through it. Every response must be
+# bit-identical to a local forward on whichever model version the
+# server accepted it under — across every swap, with zero drops or
+# hangs. The server's trace (reload-trace.jsonl, summarized into
+# reload-trace-summary.txt) records the reload lifecycle counters.
+reload_soak() {
+    dir=$(mktemp -d)
+    ./target/release/qnn serve --addr 127.0.0.1:0 --port-file "$dir/port" \
+        --trace reload-trace.jsonl > "$dir/server.log" 2>&1 &
+    server_pid=$!
+    code=1
+    tries=0
+    while [ "$tries" -lt 100 ]; do
+        [ -s "$dir/port" ] && break
+        kill -0 "$server_pid" 2>/dev/null || break
+        sleep 0.1
+        tries=$((tries + 1))
+    done
+    set +e
+    if [ -s "$dir/port" ]; then
+        ./target/release/qnn-bench reload-soak --addr "$(cat "$dir/port")" \
+            --clients 4 --requests 256 --cycles 8 --dir "$dir/ckpts" --shutdown
+        code=$?
+        # --shutdown drained the server; reap it and require a clean exit.
+        if [ "$code" -eq 0 ]; then
+            wait "$server_pid"
+            code=$?
+        fi
+    else
+        echo "reload-soak: server never wrote its port file" >&2
+    fi
+    # Teardown even on failure: nothing may outlive the stage.
+    kill "$server_pid" 2>/dev/null
+    wait "$server_pid" 2>/dev/null
+    set -e
+    cat "$dir/server.log"
+    rm -rf "$dir"
+    if [ "$code" -eq 0 ]; then
+        ./target/release/qnn-bench trace-summary reload-trace.jsonl \
+            | tee reload-trace-summary.txt
+    fi
+    return "$code"
+}
+
+# Reload-chaos gate: boot a durable server (--checkpoint), soak it with
+# live reloads, and SIGKILL it at a seed-chosen cycle so the kill lands
+# inside the load/canary/persist/swap window. The server must die by
+# SIGKILL (exit 137), restart from its checkpoint chain, and serve
+# exactly one complete candidate bank bit-identically — never a torn
+# one. A second leg truncates the primary checkpoint and demands the
+# restart fall back to the .bak rotation, still complete.
+reload_chaos() {
+    dir=$(mktemp -d)
+    code=1
+    ./target/release/qnn serve --addr 127.0.0.1:0 --port-file "$dir/port" \
+        --checkpoint "$dir/bank.qnnf" > "$dir/server.log" 2>&1 &
+    server_pid=$!
+    tries=0
+    while [ "$tries" -lt 100 ]; do
+        [ -s "$dir/port" ] && break
+        kill -0 "$server_pid" 2>/dev/null || break
+        sleep 0.1
+        tries=$((tries + 1))
+    done
+    set +e
+    if [ -s "$dir/port" ]; then
+        ./target/release/qnn-bench reload-soak --addr "$(cat "$dir/port")" \
+            --clients 4 --requests 192 --cycles 7 --dir "$dir/ckpts" \
+            --kill-pid "$server_pid"
+        code=$?
+        if [ "$code" -eq 0 ]; then
+            wait "$server_pid"
+            victim=$?
+            if [ "$victim" -ne 137 ]; then
+                echo "reload-chaos: server exited $victim, expected 137 (SIGKILL)" >&2
+                code=1
+            fi
+        fi
+    else
+        echo "reload-chaos: server never wrote its port file" >&2
+    fi
+    kill "$server_pid" 2>/dev/null
+    wait "$server_pid" 2>/dev/null
+    # Restart from the checkpoint chain and prove the bank is complete.
+    if [ "$code" -eq 0 ]; then
+        : > "$dir/port"
+        ./target/release/qnn serve --addr 127.0.0.1:0 --port-file "$dir/port" \
+            --checkpoint "$dir/bank.qnnf" > "$dir/restart.log" 2>&1 &
+        server_pid=$!
+        tries=0
+        while [ "$tries" -lt 100 ]; do
+            [ -s "$dir/port" ] && break
+            kill -0 "$server_pid" 2>/dev/null || break
+            sleep 0.1
+            tries=$((tries + 1))
+        done
+        if [ -s "$dir/port" ]; then
+            ./target/release/qnn-bench reload-verify --addr "$(cat "$dir/port")" \
+                --base 0x51AB --cycles 7
+            code=$?
+        else
+            echo "reload-chaos: restarted server never wrote its port file" >&2
+            code=1
+        fi
+        kill "$server_pid" 2>/dev/null
+        wait "$server_pid" 2>/dev/null
+    fi
+    # Corrupt-primary leg: only meaningful once a promote rotated a .bak.
+    if [ "$code" -eq 0 ] && [ -f "$dir/bank.qnnf.bak" ]; then
+        printf 'torn by a crash' > "$dir/bank.qnnf"
+        : > "$dir/port"
+        ./target/release/qnn serve --addr 127.0.0.1:0 --port-file "$dir/port" \
+            --checkpoint "$dir/bank.qnnf" > "$dir/fallback.log" 2>&1 &
+        server_pid=$!
+        tries=0
+        while [ "$tries" -lt 100 ]; do
+            [ -s "$dir/port" ] && break
+            kill -0 "$server_pid" 2>/dev/null || break
+            sleep 0.1
+            tries=$((tries + 1))
+        done
+        if [ -s "$dir/port" ]; then
+            ./target/release/qnn-bench reload-verify --addr "$(cat "$dir/port")" \
+                --base 0x51AB --cycles 7 \
+            && grep -q 'recovered from' "$dir/fallback.log"
+            code=$?
+        else
+            echo "reload-chaos: fallback server never wrote its port file" >&2
+            code=1
+        fi
+        kill "$server_pid" 2>/dev/null
+        wait "$server_pid" 2>/dev/null
+    fi
+    set -e
+    cat "$dir"/*.log
+    rm -rf "$dir"
+    return "$code"
+}
+
 # Writes ci-timings.json ({"stage","seconds"} per stage run, in run
 # order) and prints the slowest stages first — the same table the
 # workflow's timing-summary job posts to the job summary.
@@ -256,5 +397,7 @@ stage thread-determinism  thread_determinism
 stage serve-soak          serve_soak
 stage serve-bench         cargo run -p qnn-bench --release --offline -- --quick serve-bench
 stage cluster-soak        cluster_soak
+stage reload-soak         reload_soak
+stage reload-chaos        reload_chaos
 stage sync-check          cargo run -p qnn-bench --release --offline -- sync-check
 stage timing-summary      timing_summary

@@ -29,6 +29,7 @@ pub mod json;
 pub mod kernels;
 pub mod qcheck;
 pub mod regression;
+pub mod reloadsoak;
 pub mod servebench;
 pub mod soak;
 pub mod sync;

@@ -8,7 +8,8 @@
 
 use qnn_bench::json::Json;
 use qnn_bench::{
-    artifacts, clustersoak, kernels, qcheck, regression, servebench, soak, sync, tracereport,
+    artifacts, clustersoak, kernels, qcheck, regression, reloadsoak, servebench, soak, sync,
+    tracereport,
 };
 
 const USAGE: &str = "\
@@ -37,6 +38,21 @@ usage: qnn-bench [--quick] [--trace <path>] [SUBCOMMAND]
                  drains the whole cluster afterwards
   cluster-bench  informational routed-vs-direct throughput over an
                  in-process 3-shard cluster (honours --quick; not gated)
+  reload-soak --addr HOST:PORT [--clients N] [--requests M] [--cycles K]
+              [--dir DIR] [--seed S] [--kill-pid PID] [--shutdown]
+                 hammer a running `qnn serve` while cycling K live model
+                 reloads through it; every response is verified
+                 bit-identical against a local bank of whichever model
+                 version the server accepted it under; --kill-pid
+                 SIGKILLs the server mid-reload at a seed-chosen cycle
+                 (the reload-chaos stage's crash injection)
+  reload-verify --addr HOST:PORT [--seeds A,B,...] [--base S --cycles K]
+                 probe a (restarted) server across every precision and
+                 prove it serves exactly one complete candidate seed
+                 bit-identically — never a torn bank; seeds are decimal
+                 or 0x-hex, and --base/--cycles expands to the same
+                 cycle-seed schedule reload-soak used (base plus K
+                 derived reload seeds)
   serve-bench [--write] [--attach HOST:PORT] [--baseline <path>]
                  serving-throughput benchmark: loopback servers at 1 and
                  4 engine threads, every Table III precision, pipelined
@@ -216,6 +232,126 @@ fn cluster_soak(args: &[String]) -> i32 {
     }
 }
 
+fn parse_seed_arg(ctx: &str, v: &str) -> u64 {
+    let parsed = if let Some(hex) = v.strip_prefix("0x").or_else(|| v.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16).ok()
+    } else {
+        v.parse().ok()
+    };
+    parsed.unwrap_or_else(|| {
+        eprintln!("{ctx}: `{v}` is not a seed (decimal or 0x-hex)");
+        std::process::exit(2);
+    })
+}
+
+fn reload_soak(args: &[String]) -> i32 {
+    let mut cfg = reloadsoak::ReloadSoakConfig::default();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut next = |flag: &str| -> String {
+            it.next().cloned().unwrap_or_else(|| {
+                eprintln!("reload-soak: {flag} needs a value\n\n{USAGE}");
+                std::process::exit(2);
+            })
+        };
+        let parse = |flag: &str, v: String| -> usize {
+            v.parse().unwrap_or_else(|_| {
+                eprintln!("reload-soak: {flag} `{v}` is not a count");
+                std::process::exit(2);
+            })
+        };
+        match arg.as_str() {
+            "--addr" => cfg.addr = next("--addr"),
+            "--shutdown" => cfg.shutdown = true,
+            "--clients" => cfg.clients = parse("--clients", next("--clients")),
+            "--requests" => cfg.requests = parse("--requests", next("--requests")),
+            "--cycles" => cfg.cycles = parse("--cycles", next("--cycles")),
+            "--dir" => cfg.dir = std::path::PathBuf::from(next("--dir")),
+            "--seed" => cfg.seed = parse_seed_arg("reload-soak: --seed", &next("--seed")),
+            "--kill-pid" => {
+                let v = next("--kill-pid");
+                cfg.kill_pid = Some(v.parse().unwrap_or_else(|_| {
+                    eprintln!("reload-soak: --kill-pid `{v}` is not a pid");
+                    std::process::exit(2);
+                }));
+            }
+            other => {
+                eprintln!("reload-soak: unknown argument {other}\n\n{USAGE}");
+                std::process::exit(2);
+            }
+        }
+    }
+    if cfg.addr.is_empty() {
+        eprintln!("reload-soak: --addr is required\n\n{USAGE}");
+        std::process::exit(2);
+    }
+    match reloadsoak::run(&cfg) {
+        Ok(outcome) => i32::from(!outcome.passed(&cfg)),
+        Err(e) => {
+            eprintln!("reload-soak: {e}");
+            1
+        }
+    }
+}
+
+fn reload_verify(args: &[String]) -> i32 {
+    let mut addr = String::new();
+    let mut seeds: Vec<u64> = Vec::new();
+    let mut base: Option<u64> = None;
+    let mut cycles = 0usize;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut next = |flag: &str| -> String {
+            it.next().cloned().unwrap_or_else(|| {
+                eprintln!("reload-verify: {flag} needs a value\n\n{USAGE}");
+                std::process::exit(2);
+            })
+        };
+        match arg.as_str() {
+            "--addr" => addr = next("--addr"),
+            "--seeds" => {
+                seeds = next("--seeds")
+                    .split(',')
+                    .filter(|s| !s.is_empty())
+                    .map(|s| parse_seed_arg("reload-verify: --seeds", s))
+                    .collect();
+            }
+            "--base" => base = Some(parse_seed_arg("reload-verify: --base", &next("--base"))),
+            "--cycles" => {
+                let v = next("--cycles");
+                cycles = v.parse().unwrap_or_else(|_| {
+                    eprintln!("reload-verify: --cycles `{v}` is not a count");
+                    std::process::exit(2);
+                });
+            }
+            other => {
+                eprintln!("reload-verify: unknown argument {other}\n\n{USAGE}");
+                std::process::exit(2);
+            }
+        }
+    }
+    if let Some(b) = base {
+        // Expand the same pure cycle-seed schedule reload-soak walked:
+        // the base bank plus one derived seed per reload cycle.
+        seeds.extend((0..=cycles).map(|k| reloadsoak::cycle_seed(b, k)));
+        seeds.dedup();
+    }
+    if addr.is_empty() || seeds.is_empty() {
+        eprintln!("reload-verify: --addr plus --seeds or --base is required\n\n{USAGE}");
+        std::process::exit(2);
+    }
+    match reloadsoak::verify(&addr, &seeds) {
+        Ok(seed) => {
+            println!("reload-verify: server is complete on seed {seed:#x}");
+            0
+        }
+        Err(e) => {
+            eprintln!("{e}");
+            1
+        }
+    }
+}
+
 fn serve_bench(quick: bool, args: &[String]) -> i32 {
     let mut cfg = servebench::ServeBenchConfig {
         quick,
@@ -319,6 +455,8 @@ fn main() {
         Some("serve-soak") => serve_soak(&rest[1..]),
         Some("cluster-soak") => cluster_soak(&rest[1..]),
         Some("cluster-bench") => clustersoak::bench(quick),
+        Some("reload-soak") => reload_soak(&rest[1..]),
+        Some("reload-verify") => reload_verify(&rest[1..]),
         Some("sync-check") => sync_check(&rest[1..]),
         Some("trace-summary") => match rest.get(1) {
             Some(p) => trace_summary(p),

@@ -1,0 +1,637 @@
+//! `reload-soak` — the live-reload chaos harness behind the reload-soak
+//! and reload-chaos CI stages.
+//!
+//! Like [`crate::soak`], but while the client threads hammer inference,
+//! a control thread cycles the server through **live model reloads**:
+//! it authors a fresh `QNNF` bank checkpoint per cycle (seed derived
+//! from the base seed, so both ends can reconstruct it), asks the
+//! server to hot-swap to it, and records the promoted `(version, seed)`
+//! from the `ReloadOk` ack. Every inference response carries the model
+//! version that computed it in the `InferOk` tag byte, so each client
+//! verifies every response **bit-identically against a locally built
+//! bank of whichever version the server accepted that request under** —
+//! a response computed on version 3 must match a local version-3
+//! forward even if version 5 is live by the time it is checked. No
+//! dropped or hung request, no torn answer, ever.
+//!
+//! The chaos variant (`--kill-pid`) fires `SIGKILL` at the server
+//! immediately after *sending* one seed-chosen cycle's reload request —
+//! landing inside the load/canary/persist/swap window. The process dies
+//! mid-lifecycle; [`verify`] then probes the restarted server and
+//! proves it serves exactly one complete version from the candidate
+//! set (old or new, never a torn hybrid).
+
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use qnn_serve::{BankCheckpoint, ModelBank, ServeClient, MODEL_SEED, NUM_PRECISIONS};
+use qnn_tensor::rng::derive_seed;
+
+/// Retry budget per request (`Busy` backpressure is retried, never
+/// excused into a failure).
+const MAX_RETRIES: usize = 10_000;
+
+/// Seed domain for per-cycle checkpoint seeds.
+const CYCLE_DOMAIN: u64 = 0x7E10AD;
+
+/// How long a client will wait for the version map to learn a version
+/// byte it has not seen yet (the tiny window between the server's swap
+/// and the control thread's receipt of the `ReloadOk` ack).
+const VERSION_WAIT: Duration = Duration::from_secs(30);
+
+/// The checkpoint seed for reload cycle `k` (cycle 0 is the base seed
+/// the server booted with). Pure function of the base seed, so
+/// [`verify`] can reconstruct the full candidate set after a crash.
+pub fn cycle_seed(base: u64, k: usize) -> u64 {
+    if k == 0 {
+        base
+    } else {
+        derive_seed(base, CYCLE_DOMAIN + k as u64)
+    }
+}
+
+/// Load-generator knobs, filled from `qnn-bench reload-soak` flags.
+#[derive(Debug, Clone)]
+pub struct ReloadSoakConfig {
+    /// Server address (usually read from the server's `--port-file`).
+    pub addr: String,
+    /// Concurrent client threads.
+    pub clients: usize,
+    /// Total requests, striped across the client threads.
+    pub requests: usize,
+    /// Live reload cycles to run mid-soak.
+    pub cycles: usize,
+    /// Directory the per-cycle checkpoint files are written to.
+    pub dir: PathBuf,
+    /// Base model-bank seed; must match the server's.
+    pub seed: u64,
+    /// Send a `Shutdown` frame when done.
+    pub shutdown: bool,
+    /// Chaos mode: OS pid of the server to `SIGKILL` immediately after
+    /// sending one seed-chosen cycle's reload request.
+    pub kill_pid: Option<u32>,
+}
+
+impl Default for ReloadSoakConfig {
+    fn default() -> Self {
+        ReloadSoakConfig {
+            addr: String::new(),
+            clients: 4,
+            requests: 256,
+            cycles: 8,
+            dir: std::env::temp_dir().join(format!("qnn-reload-soak-{}", std::process::id())),
+            seed: MODEL_SEED,
+            shutdown: false,
+            kill_pid: None,
+        }
+    }
+}
+
+impl ReloadSoakConfig {
+    /// The cycle whose reload the chaos kill rides on: seed-derived,
+    /// never cycle 0 (there must be a version to roll back to).
+    pub fn kill_cycle(&self) -> usize {
+        1 + (derive_seed(self.seed, 0xC1A0) % self.cycles.max(1) as u64) as usize
+    }
+}
+
+/// What one reload soak did.
+#[derive(Debug)]
+pub struct ReloadSoakOutcome {
+    /// Responses verified bit-identical to their version's local bank.
+    pub verified: usize,
+    /// Requests abandoned because the server was deliberately killed
+    /// (chaos mode only; zero otherwise).
+    pub aborted_after_kill: usize,
+    /// Total `Busy` retries across all threads.
+    pub busy_retries: usize,
+    /// Reload cycles the server promoted.
+    pub promoted: usize,
+    /// Distinct model versions observed in responses.
+    pub versions_seen: usize,
+    /// Whether the chaos kill fired.
+    pub killed: bool,
+    /// Human-readable failures; empty iff the run passed.
+    pub failures: Vec<String>,
+}
+
+impl ReloadSoakOutcome {
+    /// Pass criteria. Normal mode: every request answered and verified,
+    /// every cycle promoted, more than one version actually observed.
+    /// Chaos mode: the kill fired, and everything answered *before* the
+    /// kill verified bit-identically (completeness is impossible — the
+    /// server is dead).
+    pub fn passed(&self, cfg: &ReloadSoakConfig) -> bool {
+        if !self.failures.is_empty() {
+            return false;
+        }
+        if cfg.kill_pid.is_some() {
+            self.killed && self.verified + self.aborted_after_kill == cfg.requests
+        } else {
+            self.verified == cfg.requests && self.promoted == cfg.cycles && self.versions_seen > 1
+        }
+    }
+}
+
+/// Precision tag for the `i`-th request: round-robin through the whole
+/// Table III sweep, same as `serve-soak`.
+fn tag_for(i: usize) -> u8 {
+    (i % NUM_PRECISIONS as usize) as u8
+}
+
+/// Shared version ledger: `InferOk` version byte → bank seed. Clients
+/// block (briefly) on bytes the control thread has not recorded yet.
+struct VersionMap {
+    seeds: Mutex<HashMap<u8, u64>>,
+}
+
+impl VersionMap {
+    fn new(initial_version: u8, seed: u64) -> VersionMap {
+        VersionMap {
+            seeds: Mutex::new(HashMap::from([(initial_version, seed)])),
+        }
+    }
+
+    fn record(&self, version: u32, seed: u64) {
+        self.seeds
+            .lock()
+            .unwrap()
+            .insert((version & 0xFF) as u8, seed);
+    }
+
+    /// The seed for `version`, waiting up to [`VERSION_WAIT`] for the
+    /// control thread to learn it (the swap happens before the ack is
+    /// sent, so a response can beat the ledger by a frame or two).
+    fn seed_for(&self, version: u8) -> Option<u64> {
+        let deadline = Instant::now() + VERSION_WAIT;
+        loop {
+            if let Some(&s) = self.seeds.lock().unwrap().get(&version) {
+                return Some(s);
+            }
+            if Instant::now() >= deadline {
+                return None;
+            }
+            std::thread::sleep(Duration::from_micros(200));
+        }
+    }
+}
+
+/// Runs the reload soak. Prints a summary; returns the outcome for the
+/// caller to turn into an exit code.
+///
+/// # Errors
+///
+/// A `String` for setup failures (checkpoint dir, initial bank);
+/// per-request and per-cycle failures land in
+/// [`ReloadSoakOutcome::failures`] instead.
+pub fn run(cfg: &ReloadSoakConfig) -> Result<ReloadSoakOutcome, String> {
+    let started = Instant::now();
+    std::fs::create_dir_all(&cfg.dir).map_err(|e| format!("checkpoint dir: {e}"))?;
+    let input_len = ModelBank::build(cfg.seed)
+        .map_err(|e| format!("model bank: {e}"))?
+        .input_len();
+    let images: Arc<Vec<Vec<f32>>> = Arc::new(
+        (0..cfg.requests)
+            .map(|i| qnn_serve::model::test_image(cfg.seed, i as u64, input_len))
+            .collect(),
+    );
+    println!(
+        "reload-soak: {} request(s) x {} client thread(s) across {} live reload cycle(s) -> {}",
+        cfg.requests, cfg.clients, cfg.cycles, cfg.addr
+    );
+
+    // Version 1 is live at boot with the base seed; each promoted cycle
+    // k becomes version k+1. The ledger maps the wire's version *byte*.
+    let versions = Arc::new(VersionMap::new(1, cfg.seed));
+    let done = Arc::new(AtomicUsize::new(0));
+    let killed = Arc::new(AtomicBool::new(false));
+    let promoted = Arc::new(AtomicUsize::new(0));
+    let finished = Arc::new(AtomicBool::new(false));
+
+    // Control thread: spread the reload cycles across the soak by
+    // progress (not time), firing cycle k once k/(cycles+1) of the
+    // requests have completed — every cycle lands mid-traffic.
+    let control = {
+        let versions = Arc::clone(&versions);
+        let done = Arc::clone(&done);
+        let killed = Arc::clone(&killed);
+        let promoted = Arc::clone(&promoted);
+        let finished = Arc::clone(&finished);
+        let cfg = cfg.clone();
+        std::thread::spawn(move || -> Vec<String> {
+            let mut failures = Vec::new();
+            let mut client = match ServeClient::connect(&cfg.addr) {
+                Ok(c) => c,
+                Err(e) => return vec![format!("control: connect: {e}")],
+            };
+            let kill_cycle = cfg.kill_pid.map(|_| cfg.kill_cycle());
+            for k in 1..=cfg.cycles {
+                let gate = k * cfg.requests / (cfg.cycles + 1);
+                while done.load(Ordering::SeqCst) < gate {
+                    if finished.load(Ordering::SeqCst)
+                        || done.load(Ordering::SeqCst) >= cfg.requests
+                    {
+                        break; // soak over (or dead) before this gate
+                    }
+                    std::thread::sleep(Duration::from_micros(200));
+                }
+                if finished.load(Ordering::SeqCst) && done.load(Ordering::SeqCst) < gate {
+                    failures.push(format!("cycle {k}: soak ended before its gate"));
+                    break;
+                }
+                let path = cfg.dir.join(format!("cycle-{k}.qnnf"));
+                let cp = match BankCheckpoint::capture(cycle_seed(cfg.seed, k)) {
+                    Ok(cp) => cp,
+                    Err(e) => {
+                        failures.push(format!("cycle {k}: capture: {e}"));
+                        continue;
+                    }
+                };
+                if let Err(e) = cp.save(&path) {
+                    failures.push(format!("cycle {k}: save: {e}"));
+                    continue;
+                }
+                if kill_cycle == Some(k) {
+                    // Chaos: get the reload in flight, then kill the
+                    // server under it. No ack will come.
+                    let pid = cfg.kill_pid.expect("kill_cycle implies kill_pid");
+                    let frame = qnn_serve::Frame::reload(u64::MAX, &path.display().to_string());
+                    let _ = client.send_raw(&frame.encode());
+                    // Record the intent *before* the signal lands: the
+                    // server can die (and clients can see broken pipes)
+                    // before the kill command even returns. A failed
+                    // kill still fails the run via `failures`.
+                    killed.store(true, Ordering::SeqCst);
+                    let status = std::process::Command::new("kill")
+                        .args(["-9", &pid.to_string()])
+                        .status();
+                    match status {
+                        Ok(s) if s.success() => {
+                            println!(
+                                "reload-soak: SIGKILL delivered to pid {pid} \
+                                 mid-reload (cycle {k})"
+                            );
+                        }
+                        Ok(s) => failures.push(format!("kill -9 {pid} exited with {s}")),
+                        Err(e) => failures.push(format!("kill -9 {pid}: {e}")),
+                    }
+                    return failures;
+                }
+                match client.reload(&path.display().to_string()) {
+                    Ok((version, seed)) => {
+                        versions.record(version, seed);
+                        promoted.fetch_add(1, Ordering::SeqCst);
+                        println!(
+                            "reload-soak: cycle {k} promoted as version {version} \
+                             (seed {seed:#x}) at {} completed",
+                            done.load(Ordering::SeqCst)
+                        );
+                    }
+                    Err(e) => failures.push(format!("cycle {k}: reload: {e}")),
+                }
+            }
+            failures
+        })
+    };
+
+    let clients = cfg.clients.max(1);
+    let mut threads = Vec::new();
+    for t in 0..clients {
+        let images = Arc::clone(&images);
+        let versions = Arc::clone(&versions);
+        let done = Arc::clone(&done);
+        let killed = Arc::clone(&killed);
+        let addr = cfg.addr.clone();
+        let total = cfg.requests;
+        threads.push(std::thread::spawn(move || {
+            let mut verified = 0usize;
+            let mut aborted = 0usize;
+            let mut busy = 0usize;
+            let mut failures: Vec<String> = Vec::new();
+            // Version byte → locally built bank of that version's seed.
+            // Built lazily: most threads only ever see a handful of
+            // versions, and every build is deterministic from the seed.
+            let mut banks: HashMap<u8, ModelBank> = HashMap::new();
+            let mut seen: std::collections::BTreeSet<u8> = std::collections::BTreeSet::new();
+            // Version bytes that already timed out of the ledger once:
+            // fail the rest fast instead of paying the full wait per
+            // request (the server is on a version this soak never
+            // promoted — a seed mismatch, not a transient race).
+            let mut unknown: std::collections::BTreeSet<u8> = std::collections::BTreeSet::new();
+            let mut client = match ServeClient::connect(&addr) {
+                Ok(c) => c,
+                Err(e) => {
+                    failures.push(format!("thread {t}: connect: {e}"));
+                    return (verified, aborted, busy, seen, failures);
+                }
+            };
+            'requests: for i in (t..total).step_by(clients) {
+                let tag = tag_for(i);
+                let mut retries = 0usize;
+                let (version, logits) = loop {
+                    match client.infer_versioned(tag, &images[i]) {
+                        Ok(ok) => break ok,
+                        Err(e) if e.is_busy() && retries < MAX_RETRIES => {
+                            busy += 1;
+                            retries += 1;
+                            let hint = match &e {
+                                qnn_serve::ServeError::Rejected { retry_after_us, .. } => {
+                                    *retry_after_us
+                                }
+                                _ => 0,
+                            };
+                            std::thread::sleep(Duration::from_micros(u64::from(
+                                hint.clamp(100, 50_000),
+                            )));
+                        }
+                        Err(e) => {
+                            if killed.load(Ordering::SeqCst) {
+                                // Chaos: the server is gone by design;
+                                // everything unanswered is aborted, not
+                                // failed.
+                                aborted += 1 + (i + clients..total).step_by(clients).count();
+                                break 'requests;
+                            }
+                            failures.push(format!("request {i} (tag {tag}): {e}"));
+                            done.fetch_add(1, Ordering::SeqCst);
+                            continue 'requests;
+                        }
+                    }
+                };
+                seen.insert(version);
+                if unknown.contains(&version) {
+                    failures.push(format!(
+                        "request {i}: version byte {version} already known-unpromoted"
+                    ));
+                    done.fetch_add(1, Ordering::SeqCst);
+                    continue;
+                }
+                let Some(seed) = versions.seed_for(version) else {
+                    unknown.insert(version);
+                    failures.push(format!(
+                        "request {i}: response claims version byte {version} but no \
+                         promoted reload ever acked that version"
+                    ));
+                    done.fetch_add(1, Ordering::SeqCst);
+                    continue;
+                };
+                let bank = match banks.entry(version) {
+                    std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
+                    std::collections::hash_map::Entry::Vacant(e) => match ModelBank::build(seed) {
+                        Ok(b) => e.insert(b),
+                        Err(err) => {
+                            failures.push(format!("local bank for version {version}: {err}"));
+                            done.fetch_add(1, Ordering::SeqCst);
+                            continue;
+                        }
+                    },
+                };
+                match bank.forward_single(tag, &images[i]) {
+                    Ok(expect) => {
+                        let same = expect.len() == logits.len()
+                            && expect
+                                .iter()
+                                .zip(&logits)
+                                .all(|(a, b)| a.to_bits() == b.to_bits());
+                        if same {
+                            verified += 1;
+                        } else {
+                            failures.push(format!(
+                                "request {i} (tag {tag}): logits differ from the \
+                                 version-{version} bank the server accepted it under"
+                            ));
+                        }
+                    }
+                    Err(e) => failures.push(format!("request {i}: local forward: {e}")),
+                }
+                done.fetch_add(1, Ordering::SeqCst);
+            }
+            (verified, aborted, busy, seen, failures)
+        }));
+    }
+
+    let mut outcome = ReloadSoakOutcome {
+        verified: 0,
+        aborted_after_kill: 0,
+        busy_retries: 0,
+        promoted: 0,
+        versions_seen: 0,
+        killed: false,
+        failures: Vec::new(),
+    };
+    let mut all_seen: std::collections::BTreeSet<u8> = std::collections::BTreeSet::new();
+    for (t, th) in threads.into_iter().enumerate() {
+        match th.join() {
+            Ok((verified, aborted, busy, seen, fails)) => {
+                outcome.verified += verified;
+                outcome.aborted_after_kill += aborted;
+                outcome.busy_retries += busy;
+                all_seen.extend(seen);
+                outcome.failures.extend(fails);
+            }
+            Err(_) => outcome.failures.push(format!("thread {t} panicked")),
+        }
+    }
+    // Unstick the control thread if the clients bailed out before any
+    // cycle's progress gate was reached (it reports the starved cycle).
+    finished.store(true, Ordering::SeqCst);
+    match control.join() {
+        Ok(fails) => outcome.failures.extend(fails),
+        Err(_) => outcome.failures.push("control thread panicked".to_string()),
+    }
+    outcome.versions_seen = all_seen.len();
+    outcome.promoted = promoted.load(Ordering::SeqCst);
+    outcome.killed = killed.load(Ordering::SeqCst);
+    if cfg.kill_pid.is_some() && !outcome.killed {
+        outcome
+            .failures
+            .push("the seeded mid-reload kill never fired".to_string());
+    }
+
+    if cfg.shutdown && !outcome.killed {
+        match ServeClient::connect(&cfg.addr).and_then(|mut c| c.shutdown_server()) {
+            Ok(()) => println!("reload-soak: server drained and shut down"),
+            Err(e) => outcome.failures.push(format!("shutdown: {e}")),
+        }
+    }
+
+    let secs = started.elapsed().as_secs_f64();
+    println!(
+        "reload-soak: {}/{} bit-identical across version(s) {:?}, {} reload(s) promoted, \
+         {} busy retries, {} aborted-after-kill, {:.2}s",
+        outcome.verified,
+        cfg.requests,
+        all_seen,
+        outcome.promoted,
+        outcome.busy_retries,
+        outcome.aborted_after_kill,
+        secs,
+    );
+    for f in &outcome.failures {
+        eprintln!("reload-soak: FAIL: {f}");
+    }
+    Ok(outcome)
+}
+
+/// `reload-verify` — the post-crash probe: proves a restarted server is
+/// serving exactly one *complete* version out of `candidates` (seed
+/// values), bit-identically across every precision tag. A torn bank —
+/// some tags answering one version, some another, or logits matching no
+/// candidate — fails. Returns the matching seed.
+///
+/// # Errors
+///
+/// A `String` naming what went wrong: no candidate matched, more than
+/// one matched (candidate seeds collide — a config error), a mixed
+/// match across tags, or transport trouble.
+pub fn verify(addr: &str, candidates: &[u64]) -> Result<u64, String> {
+    if candidates.is_empty() {
+        return Err("reload-verify: no candidate seeds given".to_string());
+    }
+    let mut client =
+        ServeClient::connect(addr).map_err(|e| format!("reload-verify: connect: {e}"))?;
+    let mut banks: Vec<(u64, ModelBank)> = Vec::with_capacity(candidates.len());
+    for &seed in candidates {
+        banks.push((
+            seed,
+            ModelBank::build(seed).map_err(|e| format!("bank {seed:#x}: {e}"))?,
+        ));
+    }
+    let input_len = banks[0].1.input_len();
+    // Still-matching candidates; probes across every tag narrow it.
+    let mut alive: Vec<bool> = vec![true; banks.len()];
+    for tag in 0..NUM_PRECISIONS {
+        for probe in 0..2u64 {
+            let image =
+                qnn_serve::model::test_image(0xFE11F, u64::from(tag) * 16 + probe, input_len);
+            let got = client
+                .infer(tag, &image)
+                .map_err(|e| format!("probe tag {tag}: {e}"))?;
+            let got_bits: Vec<u32> = got.iter().map(|x| x.to_bits()).collect();
+            for (i, (_, bank)) in banks.iter_mut().enumerate() {
+                if !alive[i] {
+                    continue;
+                }
+                let local = bank
+                    .forward_single(tag, &image)
+                    .map_err(|e| format!("local forward: {e}"))?;
+                let local_bits: Vec<u32> = local.iter().map(|x| x.to_bits()).collect();
+                if local_bits != got_bits {
+                    alive[i] = false;
+                }
+            }
+        }
+    }
+    let matches: Vec<u64> = banks
+        .iter()
+        .zip(&alive)
+        .filter(|(_, &a)| a)
+        .map(|((s, _), _)| *s)
+        .collect();
+    match matches.as_slice() {
+        [seed] => {
+            println!(
+                "reload-verify: server at {addr} serves seed {seed:#x} completely \
+                 and bit-identically across all {NUM_PRECISIONS} precisions"
+            );
+            Ok(*seed)
+        }
+        [] => Err(format!(
+            "reload-verify: server matches NO candidate ({candidates:#x?}) — \
+             torn or unknown bank"
+        )),
+        many => Err(format!(
+            "reload-verify: server matches {} candidates {many:#x?} — \
+             candidate seeds collide",
+            many.len()
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qnn_serve::{ServeConfig, Server};
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("qnn-reloadsoak-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    #[test]
+    fn cycle_seeds_are_distinct_and_pure() {
+        let base = 7u64;
+        let mut seen = std::collections::BTreeSet::new();
+        for k in 0..=12 {
+            assert_eq!(cycle_seed(base, k), cycle_seed(base, k), "pure");
+            assert!(seen.insert(cycle_seed(base, k)), "distinct at k={k}");
+        }
+        assert_eq!(cycle_seed(base, 0), base, "cycle 0 is the base seed");
+    }
+
+    #[test]
+    fn kill_cycle_is_seeded_and_never_zero() {
+        let cfg = ReloadSoakConfig {
+            cycles: 8,
+            ..ReloadSoakConfig::default()
+        };
+        let k = cfg.kill_cycle();
+        assert_eq!(k, cfg.kill_cycle(), "pure function of the seed");
+        assert!((1..=8).contains(&k), "got {k}");
+    }
+
+    #[test]
+    fn mini_reload_soak_against_in_process_server() {
+        // The whole loop in miniature: 3 clients, 2 live reload cycles,
+        // every response verified against the version that accepted it.
+        let dir = temp_dir("mini");
+        let server = Server::start(ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            seed: 11,
+            ..ServeConfig::default()
+        })
+        .unwrap();
+        let cfg = ReloadSoakConfig {
+            addr: server.local_addr().to_string(),
+            clients: 3,
+            requests: 48,
+            cycles: 2,
+            dir: dir.clone(),
+            seed: 11,
+            shutdown: true,
+            kill_pid: None,
+        };
+        let outcome = run(&cfg).unwrap();
+        assert!(outcome.passed(&cfg), "failures: {:?}", outcome.failures);
+        assert_eq!(outcome.promoted, 2);
+        assert!(outcome.versions_seen >= 2, "swap must be visible mid-soak");
+        let stats = server.join();
+        assert_eq!(stats.requests, 48);
+        assert_eq!(stats.reloads_promoted, 2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn verify_finds_the_live_seed_among_candidates() {
+        let server = Server::start(ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            seed: 21,
+            ..ServeConfig::default()
+        })
+        .unwrap();
+        let addr = server.local_addr().to_string();
+        let found = verify(&addr, &[19, 21, 23]).unwrap();
+        assert_eq!(found, 21);
+        // A candidate set that excludes the live seed is a typed miss.
+        let err = verify(&addr, &[19, 23]).unwrap_err();
+        assert!(err.contains("NO candidate"), "{err}");
+        let mut c = ServeClient::connect(&addr).unwrap();
+        c.shutdown_server().unwrap();
+        server.join();
+    }
+}

@@ -200,6 +200,36 @@ pub fn summarize(jsonl: &str) -> Result<String, String> {
             if reqs > 0.0 { 100.0 * down / reqs } else { 0.0 }
         ));
     }
+    // Derived lines: model-lifecycle health. A trace from a server that
+    // saw hot-reload traffic carries `serve.reload.attempted` plus the
+    // promoted/rejected split and the promote-latency histogram — the
+    // reload-soak artifact's one-glance answer to "did the lifecycle
+    // behave": attempts reconcile with outcomes, and time-to-promote
+    // stays bounded.
+    if let Some(attempted) = counters.get("serve.reload.attempted").copied() {
+        let promoted = counters
+            .get("serve.reload.promoted")
+            .copied()
+            .unwrap_or(0.0);
+        let rejected = counters
+            .get("serve.reload.rejected")
+            .copied()
+            .unwrap_or(0.0);
+        out.push_str(&format!(
+            "  {:40} {attempted:>5.0} attempted: {promoted:.0} promoted, {rejected:.0} rejected\n",
+            "model reloads"
+        ));
+        if let Some(h) = hists.get("serve.reload.promote_us") {
+            if h.count > 0 {
+                out.push_str(&format!(
+                    "  {:40} {:>9.0}us p50 {:>9.0}us p99\n",
+                    "time to promote",
+                    h.quantile(0.5),
+                    h.quantile(0.99),
+                ));
+            }
+        }
+    }
     out.push_str("\ngauges:\n");
     if gauges.is_empty() {
         out.push_str("  (none)\n");
@@ -320,6 +350,42 @@ mod tests {
         // A non-router trace has no cluster lines.
         let other = "{\"type\": \"meta\", \"schema\": \"qnn-trace/v1\"}";
         assert!(!summarize(other).unwrap().contains("failover"));
+    }
+
+    #[test]
+    fn derives_reload_lifecycle_health() {
+        // 5 reload attempts: 3 promoted, 2 rejected, with a promote
+        // histogram for the time-to-promote line.
+        let jsonl = "\
+{\"type\": \"meta\", \"schema\": \"qnn-trace/v1\"}\n\
+{\"type\": \"counter\", \"name\": \"serve.reload.attempted\", \"total\": 5}\n\
+{\"type\": \"counter\", \"name\": \"serve.reload.promoted\", \"total\": 3}\n\
+{\"type\": \"counter\", \"name\": \"serve.reload.rejected\", \"total\": 2}\n\
+{\"type\": \"hist\", \"name\": \"serve.reload.promote_us\", \"count\": 3, \"sum\": 3600, \
+\"min\": 1000, \"max\": 1400, \"buckets\": [[1024, 3]]}";
+        let text = summarize(jsonl).unwrap();
+        assert!(text.contains("model reloads"), "{text}");
+        assert!(
+            text.contains("5 attempted: 3 promoted, 2 rejected"),
+            "{text}"
+        );
+        assert!(text.contains("time to promote"), "{text}");
+
+        // Attempts without the histogram still yield the summary line.
+        let no_hist = "\
+{\"type\": \"meta\", \"schema\": \"qnn-trace/v1\"}\n\
+{\"type\": \"counter\", \"name\": \"serve.reload.attempted\", \"total\": 1}\n\
+{\"type\": \"counter\", \"name\": \"serve.reload.rejected\", \"total\": 1}";
+        let text = summarize(no_hist).unwrap();
+        assert!(
+            text.contains("1 attempted: 0 promoted, 1 rejected"),
+            "{text}"
+        );
+        assert!(!text.contains("time to promote"), "{text}");
+
+        // A trace with no reload traffic has no lifecycle lines.
+        let other = "{\"type\": \"meta\", \"schema\": \"qnn-trace/v1\"}";
+        assert!(!summarize(other).unwrap().contains("model reloads"));
     }
 
     #[test]

@@ -46,6 +46,11 @@ pub const KIND_SWEEP_STATE: u16 = 2;
 /// Payload kind for pretrained network snapshots (`qnn-core`).
 pub const KIND_NET_SNAPSHOT: u16 = 3;
 
+/// Payload kind for serving model-bank checkpoints (`qnn-serve`): the
+/// bank seed plus the base-network weights every precision variant is
+/// calibrated from.
+pub const KIND_MODEL_BANK: u16 = 4;
+
 /// Writes `payload` as a `kind` container at `path`, atomically.
 ///
 /// The bytes land in `path` only after the temp file is fully written and

@@ -239,7 +239,10 @@ pub fn bak_path(path: &Path) -> PathBuf {
 }
 
 /// Appends a tensor: rank, dims, then raw f32 bit patterns.
-fn put_tensor(buf: &mut Vec<u8>, t: &Tensor) {
+///
+/// Public because the serving model-bank checkpoint (`qnn-serve`) rides
+/// the same tensor encoding inside its own QNNF payload kind.
+pub fn put_tensor(buf: &mut Vec<u8>, t: &Tensor) {
     let dims = t.shape().dims();
     wire::put_u64(buf, dims.len() as u64);
     for &d in dims {
@@ -251,7 +254,7 @@ fn put_tensor(buf: &mut Vec<u8>, t: &Tensor) {
 }
 
 /// Reads a tensor written by [`put_tensor`].
-fn read_tensor(r: &mut wire::Reader<'_>) -> Result<Tensor, NnError> {
+pub fn read_tensor(r: &mut wire::Reader<'_>) -> Result<Tensor, NnError> {
     let rank = r.count(MAX_RANK)?;
     let mut dims = Vec::with_capacity(rank);
     let mut len = 1usize;

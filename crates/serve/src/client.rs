@@ -95,6 +95,65 @@ impl ServeClient {
         }
     }
 
+    /// [`infer`](ServeClient::infer) that also returns the model-version
+    /// byte the server stamped into the response (`version % 256`) —
+    /// what the reload soak uses to pick which version's local bank to
+    /// verify each response against.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`infer`](ServeClient::infer).
+    pub fn infer_versioned(
+        &mut self,
+        tag: u8,
+        image: &[f32],
+    ) -> Result<(u8, Vec<f32>), ServeError> {
+        let id = self.next_id();
+        self.send(&Frame::infer(id, tag, image))?;
+        let frame = self.recv_for(id)?;
+        match frame.kind {
+            FrameKind::InferOk => Ok((frame.tag, frame.payload_f32s()?)),
+            FrameKind::Error => {
+                let (code, retry_after_us, msg) = frame.error_info()?;
+                Err(ServeError::Rejected {
+                    code,
+                    retry_after_us,
+                    msg,
+                })
+            }
+            other => Err(ServeError::UnexpectedFrame(other)),
+        }
+    }
+
+    /// Asks the server (or a router, which rolls it across every live
+    /// shard) to hot-reload the `QNNF` bank checkpoint at `path` —
+    /// resolved against the *server's* filesystem. Blocks for the
+    /// verdict: the promoted `(version, seed)` on success.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Rejected`] with [`crate::ErrorCode::ReloadRejected`]
+    /// carrying the typed refusal reason (corrupt checkpoint, canary
+    /// divergence, a reload already in flight…) — the previous version
+    /// is still serving whenever this returns `Err`.
+    pub fn reload(&mut self, path: &str) -> Result<(u32, u64), ServeError> {
+        let id = self.next_id();
+        self.send(&Frame::reload(id, path))?;
+        let frame = self.recv_for(id)?;
+        match frame.kind {
+            FrameKind::ReloadOk => Ok(frame.reload_ok_info()?),
+            FrameKind::Error => {
+                let (code, retry_after_us, msg) = frame.error_info()?;
+                Err(ServeError::Rejected {
+                    code,
+                    retry_after_us,
+                    msg,
+                })
+            }
+            other => Err(ServeError::UnexpectedFrame(other)),
+        }
+    }
+
     /// [`infer`](ServeClient::infer), retrying `Busy` rejections after
     /// each one's hinted delay, up to `max_retries` times. Returns the
     /// logits and how many retries it took.

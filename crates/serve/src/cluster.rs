@@ -50,7 +50,9 @@ use qnn_tensor::rng::derive_seed;
 use qnn_trace::Histogram;
 
 use crate::membership::{Membership, ShardId, Transition};
-use crate::proto::{read_frame, ErrorCode, Frame, FrameKind, ProtoError, HEADER_LEN};
+use crate::proto::{
+    clamp_retry_hint_us, read_frame, ErrorCode, Frame, FrameKind, ProtoError, HEADER_LEN,
+};
 use crate::server::{fill, ReadEvent};
 use crate::ServeError;
 
@@ -172,6 +174,8 @@ pub struct RouterStats {
     pub failovers: u64,
     /// Requests rejected `ShardDown` because no candidate answered.
     pub shard_down: u64,
+    /// Rolling reloads fully propagated (every live shard promoted).
+    pub reloads: u64,
     /// Edge connections accepted.
     pub connections: u64,
     /// Shards that went down (membership transitions, not shards).
@@ -187,7 +191,8 @@ impl RouterStats {
     pub fn render(&self) -> String {
         format!(
             "routed {} request(s) over {} connection(s); \
-             {} failover(s), {} shard-down rejection(s), {} shard error(s) relayed\n\
+             {} failover(s), {} shard-down rejection(s), {} shard error(s) relayed; \
+             {} rolling reload(s)\n\
              membership: {} down transition(s), {} up transition(s)\n\
              forward us  mean {:.0}  p50 {:.0}  p99 {:.0}  max {:.0}\n",
             self.requests,
@@ -195,6 +200,7 @@ impl RouterStats {
             self.failovers,
             self.shard_down,
             self.relayed_errors,
+            self.reloads,
             self.went_down,
             self.came_up,
             self.forward_us.mean(),
@@ -223,6 +229,7 @@ struct RCtl {
     relayed_errors: AtomicU64,
     failovers: AtomicU64,
     shard_down: AtomicU64,
+    reloads: AtomicU64,
     connections: AtomicU64,
     went_down: AtomicU64,
     came_up: AtomicU64,
@@ -275,9 +282,9 @@ impl Router {
         }
         let listener = TcpListener::bind(&cfg.addr).map_err(|e| ServeError::io(&e))?;
         let addr = listener.local_addr().map_err(|e| ServeError::io(&e))?;
-        let hint_us = (cfg.heartbeat.as_micros() as u64)
-            .saturating_mul(u64::from(cfg.k_misses.max(1)))
-            .clamp(1_000, 1_000_000) as u32;
+        let hint_us = clamp_retry_hint_us(
+            (cfg.heartbeat.as_micros() as u64).saturating_mul(u64::from(cfg.k_misses.max(1))),
+        );
         let ctl = Arc::new(RCtl {
             ring: HashRing::new(cfg.shards.len(), cfg.vnodes),
             membership: Mutex::new(Membership::new(cfg.shards.len(), cfg.k_misses)),
@@ -289,6 +296,7 @@ impl Router {
             relayed_errors: AtomicU64::new(0),
             failovers: AtomicU64::new(0),
             shard_down: AtomicU64::new(0),
+            reloads: AtomicU64::new(0),
             connections: AtomicU64::new(0),
             went_down: AtomicU64::new(0),
             came_up: AtomicU64::new(0),
@@ -365,6 +373,7 @@ impl Router {
             relayed_errors: self.ctl.relayed_errors.load(Ordering::Relaxed),
             failovers: self.ctl.failovers.load(Ordering::Relaxed),
             shard_down: self.ctl.shard_down.load(Ordering::Relaxed),
+            reloads: self.ctl.reloads.load(Ordering::Relaxed),
             connections: self.ctl.connections.load(Ordering::Relaxed),
             went_down: self.ctl.went_down.load(Ordering::Relaxed),
             came_up: self.ctl.came_up.load(Ordering::Relaxed),
@@ -560,10 +569,17 @@ fn handle_connection(stream: TcpStream, router_addr: SocketAddr, ctl: &Arc<RCtl>
                     let _ = TcpStream::connect(router_addr); // wake accept
                     break;
                 }
+                FrameKind::Reload => {
+                    let reply = reload_cluster(ctl, &frame);
+                    if !send(&mut write_half, &reply) {
+                        break;
+                    }
+                }
                 FrameKind::InferOk
                 | FrameKind::Error
                 | FrameKind::ShutdownAck
-                | FrameKind::Pong => {
+                | FrameKind::Pong
+                | FrameKind::ReloadOk => {
                     let _ = send(
                         &mut write_half,
                         &Frame::error(
@@ -686,6 +702,91 @@ fn forward_once(
     }
 }
 
+/// Rolling reload: propagate the client's `Reload` frame to every live
+/// shard in index order, waiting for each shard's verdict before
+/// touching the next — a shard that refuses (or dies mid-exchange)
+/// stops the roll there, so at most a prefix of the cluster moves to
+/// the new version and every shard still serves *some* complete
+/// version bit-faithfully. The relayed reply is the last shard's
+/// `ReloadOk` when the roll completes, else the stopping shard's error
+/// annotated with its index.
+///
+/// The checkpoint path inside the frame is resolved by each shard
+/// against its own filesystem — with co-located shards (the CI
+/// topology) they all read the same file.
+fn reload_cluster(ctl: &RCtl, frame: &Frame) -> Frame {
+    qnn_trace::counter!("router.reload", 1);
+    let mut last_ok: Option<Frame> = None;
+    for shard in 0..ctl.shards.len() {
+        if !ctl.membership.lock().unwrap().is_up(shard) {
+            continue;
+        }
+        let reply = match forward_control(ctl, shard, frame, FrameKind::ReloadOk) {
+            Some(r) => r,
+            None => {
+                qnn_trace::counter!("router.reload.stopped", 1);
+                return Frame::error(
+                    frame.req_id,
+                    ErrorCode::ReloadRejected,
+                    0,
+                    &format!("shard {shard} unreachable mid-roll; roll stopped there"),
+                );
+            }
+        };
+        if reply.kind != FrameKind::ReloadOk {
+            qnn_trace::counter!("router.reload.stopped", 1);
+            let detail = String::from_utf8_lossy(&reply.payload).into_owned();
+            return Frame::error(
+                frame.req_id,
+                ErrorCode::ReloadRejected,
+                0,
+                &format!("shard {shard} refused: {detail}; roll stopped there"),
+            );
+        }
+        last_ok = Some(reply);
+    }
+    match last_ok {
+        Some(ok) => {
+            ctl.reloads.fetch_add(1, Ordering::Relaxed);
+            qnn_trace::counter!("router.reload.completed", 1);
+            Frame {
+                req_id: frame.req_id,
+                ..ok
+            }
+        }
+        None => Frame::error(
+            frame.req_id,
+            ErrorCode::ReloadRejected,
+            0,
+            "no live shard to reload",
+        ),
+    }
+}
+
+/// One control-frame exchange with `shard` over a fresh connection:
+/// write `frame`, read until a frame with the matching request id and
+/// either `expect` or `Error` arrives. `None` means the transport died
+/// or the shard answered nonsense.
+fn forward_control(ctl: &RCtl, shard: ShardId, frame: &Frame, expect: FrameKind) -> Option<Frame> {
+    let mut conn = TcpStream::connect(&ctl.shards[shard]).ok()?;
+    conn.set_read_timeout(Some(ctl.forward_timeout)).ok()?;
+    let _ = conn.set_nodelay(true);
+    conn.write_all(&frame.encode())
+        .and_then(|()| conn.flush())
+        .ok()?;
+    for _ in 0..FORWARD_STRAY_BUDGET {
+        let reply = read_frame(&mut conn).ok()?;
+        if reply.req_id != frame.req_id {
+            continue;
+        }
+        if reply.kind == expect || reply.kind == FrameKind::Error {
+            return Some(reply);
+        }
+        return None;
+    }
+    None
+}
+
 /// Whole-cluster drain: propagate `Shutdown` to every live shard and
 /// wait for each post-drain ack (dead shards are skipped; a shard that
 /// dies mid-drain is ignored — it has nothing left to drain).
@@ -798,6 +899,7 @@ mod tests {
             relayed_errors: 1,
             failovers: 2,
             shard_down: 1,
+            reloads: 4,
             connections: 3,
             went_down: 1,
             came_up: 1,
@@ -807,6 +909,7 @@ mod tests {
         let text = s.render();
         assert!(text.contains("routed 5 request(s)"), "{text}");
         assert!(text.contains("2 failover(s)"), "{text}");
+        assert!(text.contains("4 rolling reload(s)"), "{text}");
         assert!(text.contains("membership"), "{text}");
         assert!(text.contains("forward us"), "{text}");
     }

@@ -20,6 +20,10 @@
 //!   per request (the `serve.alloc.bytes` counter goes flat).
 //! * [`model`] — the [`ModelBank`]: one calibrated network per Table III
 //!   precision, shared by server and load generator via [`MODEL_SEED`].
+//! * [`lifecycle`] — versioned hot-reload: [`BankCheckpoint`] (a `QNNF`
+//!   snapshot of the seed + base weights, `.bak`-rotated on save), the
+//!   [`canary_gate`] that probes a candidate bank before promotion, and
+//!   the typed [`ReloadError`] reasons a reload can be refused for.
 //! * [`queue`] — the bounded dynamic-batching queue: flush on
 //!   `max_batch` or `max_wait`, whichever first; reject when full
 //!   (backpressure, surfaced to clients as a `Busy` error frame with a
@@ -60,6 +64,7 @@
 pub mod arena;
 pub mod client;
 pub mod cluster;
+pub mod lifecycle;
 pub mod membership;
 pub mod model;
 pub mod proto;
@@ -69,6 +74,7 @@ pub mod server;
 pub use arena::{Arena, Slab};
 pub use client::ServeClient;
 pub use cluster::{HashRing, Router, RouterConfig, RouterStats};
+pub use lifecycle::{canary_gate, BankCheckpoint, CanaryReport, ReloadError};
 pub use membership::{DownReason, Membership, ProbeError, ShardState, Transition};
 pub use model::{ModelBank, MODEL_SEED, NUM_PRECISIONS};
 pub use proto::{ErrorCode, Frame, FrameKind, ProtoError};

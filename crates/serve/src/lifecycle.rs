@@ -1,0 +1,488 @@
+//! Versioned model lifecycle: checkpointed banks, the canary gate, and
+//! typed reload failures.
+//!
+//! A serving bank is reproducible from `(seed, base weights)`: every
+//! precision variant is calibrated from the same float32 base network,
+//! so snapshotting that one `state_dict` (plus the seed that drives
+//! calibration batches) captures the whole seven-precision bank. The
+//! [`BankCheckpoint`] rides in a `QNNF` container
+//! (`KIND_MODEL_BANK`) with the crate-wide guarantees: CRC32 trailer,
+//! atomic writes, `.bak` rotation on save, and fallback to the rotation
+//! on a corrupt primary.
+//!
+//! The reload state machine (DESIGN.md §14) is
+//! `Load → Canary → Persist → Swap → Drain → Reclaim`, with every
+//! failure edge folding back to "keep serving the previous version
+//! bit-identically":
+//!
+//! * **Load** — decode the candidate checkpoint; CRC mismatch,
+//!   truncation and shape mismatch are typed [`ReloadError`]s.
+//! * **Canary** — [`canary_gate`] forwards a seeded probe batch through
+//!   the candidate under every precision tag and demands (a) finite
+//!   logits, (b) batched ≡ single-shot bit-identity, (c) repeat-forward
+//!   reproducibility, and (d) top-1 agreement with the live bank at or
+//!   above a configured floor. Any miss is a typed rejection and the
+//!   candidate is dropped.
+//! * **Persist** then **Swap** — the promoted checkpoint is written to
+//!   disk (rotating the previous one to `.bak`) *before* the in-memory
+//!   swap, so a SIGKILL at any instant leaves the checkpoint path
+//!   holding either the complete old bank or the complete new one —
+//!   never a torn file — and a restart recovers whichever was durable.
+
+use std::path::Path;
+
+use qnn_faults::store::{self, wire, KIND_MODEL_BANK};
+use qnn_faults::StoreError;
+use qnn_nn::checkpoint::{bak_path, put_tensor, read_tensor};
+use qnn_nn::NnError;
+use qnn_tensor::Tensor;
+
+use crate::model::{base_network, test_image, ModelBank, NUM_PRECISIONS};
+
+/// Seed for the canary probe batch — shared by every server so a gate
+/// decision is reproducible offline.
+pub const CANARY_SEED: u64 = 0x00CA_9A11;
+
+/// Probe images per precision tag in the canary gate.
+pub const CANARY_PROBES: usize = 4;
+
+/// A frozen serving bank: the seed that drives calibration plus the
+/// float32 base weights every precision variant is derived from.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BankCheckpoint {
+    /// Bank seed: drives the calibration batch and base-network build.
+    pub seed: u64,
+    /// `state_dict` of the float32 base network, in layer order.
+    pub state: Vec<Tensor>,
+}
+
+impl BankCheckpoint {
+    /// Snapshots the bank a fresh `ModelBank::build(seed)` would serve:
+    /// the seed plus the seed-derived base weights.
+    ///
+    /// # Errors
+    ///
+    /// Propagates network construction errors.
+    pub fn capture(seed: u64) -> Result<BankCheckpoint, NnError> {
+        let net = base_network(seed)?;
+        Ok(BankCheckpoint {
+            seed,
+            state: net.state_dict(),
+        })
+    }
+
+    /// Builds the ready-to-serve bank this checkpoint describes.
+    ///
+    /// # Errors
+    ///
+    /// Typed shape/count mismatches via `Network::load_state`;
+    /// construction and calibration errors.
+    pub fn to_bank(&self) -> Result<ModelBank, NnError> {
+        ModelBank::build_from(self.seed, Some(&self.state))
+    }
+
+    /// Serializes to the `QNNF` payload encoding.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::new();
+        wire::put_u64(&mut buf, self.seed);
+        wire::put_u64(&mut buf, self.state.len() as u64);
+        for t in &self.state {
+            put_tensor(&mut buf, t);
+        }
+        buf
+    }
+
+    /// Decodes a payload produced by [`encode`](Self::encode).
+    ///
+    /// # Errors
+    ///
+    /// [`NnError::Store`] (`StoreError::Malformed`) on any structural
+    /// inconsistency.
+    pub fn decode(payload: &[u8]) -> Result<BankCheckpoint, NnError> {
+        let mut r = wire::Reader::new(payload);
+        let seed = r.u64()?;
+        let n = r.count(1 << 16)?;
+        let mut state = Vec::with_capacity(n);
+        for _ in 0..n {
+            state.push(read_tensor(&mut r)?);
+        }
+        r.expect_end()?;
+        Ok(BankCheckpoint { seed, state })
+    }
+
+    /// Writes the checkpoint to `path` atomically, first rotating any
+    /// existing file to `<path>.bak` — the same crash-safety contract as
+    /// trainer checkpoints: a kill mid-save costs the rotation, never
+    /// the previous bank.
+    ///
+    /// # Errors
+    ///
+    /// [`NnError::Store`] on I/O failure.
+    pub fn save(&self, path: &Path) -> Result<(), NnError> {
+        if path.exists() {
+            std::fs::rename(path, bak_path(path))
+                .map_err(|e| StoreError::io("rotate", path, &e))?;
+        }
+        store::write_atomic(path, KIND_MODEL_BANK, &self.encode())?;
+        Ok(())
+    }
+
+    /// Loads and validates the checkpoint at `path`.
+    ///
+    /// # Errors
+    ///
+    /// [`NnError::Store`] on missing, truncated or corrupted files.
+    pub fn load(path: &Path) -> Result<BankCheckpoint, NnError> {
+        Self::decode(&store::read(path, KIND_MODEL_BANK)?)
+    }
+
+    /// Loads `path`, falling back to its `.bak` rotation when the
+    /// primary is corrupt or missing. Returns the checkpoint and whether
+    /// the fallback was used — the caller surfaces the latter as the
+    /// `serve.checkpoint.fallback` warning counter.
+    ///
+    /// # Errors
+    ///
+    /// The *primary* file's error when no fallback rescues the load.
+    pub fn load_latest(path: &Path) -> Result<(BankCheckpoint, bool), NnError> {
+        match Self::load(path) {
+            Ok(cp) => Ok((cp, false)),
+            Err(primary) => {
+                if let Ok(cp) = Self::load(&bak_path(path)) {
+                    return Ok((cp, true));
+                }
+                Err(primary)
+            }
+        }
+    }
+}
+
+/// Every way a hot-reload can be refused. All variants are non-fatal:
+/// the server answers `ErrorCode::ReloadRejected` with
+/// [`reason`](ReloadError::reason) and keeps serving the previous
+/// version bit-identically.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ReloadError {
+    /// The checkpoint file failed to load or decode (missing, CRC
+    /// mismatch, truncation, malformed payload).
+    Load {
+        /// The underlying store/decode failure, rendered.
+        detail: String,
+    },
+    /// The checkpoint decoded but does not fit the serving architecture
+    /// (tensor count or shape mismatch), or bank construction failed.
+    Build {
+        /// The underlying build failure, rendered.
+        detail: String,
+    },
+    /// The candidate bank failed the canary gate.
+    Canary {
+        /// Which probe check failed and how.
+        detail: String,
+    },
+    /// Another reload is already in flight; reloads are single-file.
+    InFlight,
+    /// The promoted checkpoint could not be persisted; the swap is
+    /// aborted so disk and memory never disagree.
+    Persist {
+        /// The underlying I/O failure, rendered.
+        detail: String,
+    },
+}
+
+impl ReloadError {
+    /// The human-readable reason carried in the rejection frame.
+    pub fn reason(&self) -> String {
+        match self {
+            ReloadError::Load { detail } => format!("checkpoint load failed: {detail}"),
+            ReloadError::Build { detail } => format!("bank build failed: {detail}"),
+            ReloadError::Canary { detail } => format!("canary gate failed: {detail}"),
+            ReloadError::InFlight => "another reload is already in flight".to_string(),
+            ReloadError::Persist { detail } => format!("checkpoint persist failed: {detail}"),
+        }
+    }
+}
+
+impl std::fmt::Display for ReloadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.reason())
+    }
+}
+
+impl std::error::Error for ReloadError {}
+
+/// What the canary gate measured before its verdict.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CanaryReport {
+    /// Probe forwards compared (tags × probes).
+    pub probes: usize,
+    /// Fraction of probes whose top-1 class matched the live bank.
+    pub agreement: f32,
+}
+
+/// Runs the canary gate: seeded probe images through every precision of
+/// the candidate bank, checked for finiteness, batched ≡ single-shot
+/// bit-identity, repeat-forward reproducibility, and top-1 agreement
+/// with the live bank at or above `min_agree` (a fraction in `0..=1`).
+///
+/// `min_agree = 0.0` keeps the integrity checks but accepts any
+/// accuracy drift — the right floor when legitimately deploying
+/// different weights; `1.0` demands bit-level behavioural equivalence
+/// on the probe set.
+///
+/// # Errors
+///
+/// [`ReloadError::Canary`] naming the first failed check, or
+/// [`ReloadError::Build`] if a probe forward itself errors.
+pub fn canary_gate(
+    candidate: &mut ModelBank,
+    live: &mut ModelBank,
+    min_agree: f32,
+) -> Result<CanaryReport, ReloadError> {
+    let build = |e: NnError| ReloadError::Build {
+        detail: e.to_string(),
+    };
+    let per = candidate.input_len();
+    let images: Vec<Vec<f32>> = (0..CANARY_PROBES)
+        .map(|i| test_image(CANARY_SEED, i as u64, per))
+        .collect();
+    let refs: Vec<&[f32]> = images.iter().map(Vec::as_slice).collect();
+
+    let mut probes = 0usize;
+    let mut agreed = 0usize;
+    for tag in 0..NUM_PRECISIONS {
+        let batched = candidate.forward_batch(tag, &refs).map_err(build)?;
+        let again = candidate.forward_batch(tag, &refs).map_err(build)?;
+        for (i, (row, row2)) in batched.iter().zip(&again).enumerate() {
+            if row.iter().any(|x| !x.is_finite()) {
+                return Err(ReloadError::Canary {
+                    detail: format!("non-finite logits (tag {tag} probe {i})"),
+                });
+            }
+            if bits(row) != bits(row2) {
+                return Err(ReloadError::Canary {
+                    detail: format!("forward not reproducible (tag {tag} probe {i})"),
+                });
+            }
+            let single = candidate.forward_single(tag, &images[i]).map_err(build)?;
+            if bits(row) != bits(&single) {
+                return Err(ReloadError::Canary {
+                    detail: format!("batched != single-shot (tag {tag} probe {i})"),
+                });
+            }
+            let reference = live.forward_single(tag, &images[i]).map_err(build)?;
+            probes += 1;
+            if argmax(row) == argmax(&reference) {
+                agreed += 1;
+            }
+        }
+    }
+    let agreement = agreed as f32 / probes.max(1) as f32;
+    if agreement < min_agree {
+        return Err(ReloadError::Canary {
+            detail: format!(
+                "top-1 agreement {agreement:.3} below floor {min_agree:.3} \
+                 ({agreed}/{probes} probes)"
+            ),
+        });
+    }
+    Ok(CanaryReport { probes, agreement })
+}
+
+fn bits(xs: &[f32]) -> Vec<u32> {
+    xs.iter().map(|x| x.to_bits()).collect()
+}
+
+fn argmax(xs: &[f32]) -> usize {
+    let mut best = 0usize;
+    for (i, &x) in xs.iter().enumerate() {
+        if x > xs[best] {
+            best = i;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qnn_faults::store::KIND_TRAIN_CHECKPOINT;
+
+    fn tmp_dir(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("qnn-serve-lifecycle").join(name);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn checkpoint_encode_decode_round_trips() {
+        let cp = BankCheckpoint::capture(0xA5).unwrap();
+        let back = BankCheckpoint::decode(&cp.encode()).unwrap();
+        assert_eq!(back, cp);
+    }
+
+    #[test]
+    fn restored_checkpoint_serves_bit_identically_to_fresh_build() {
+        // The load-bearing invariant: a bank rebuilt from a captured
+        // checkpoint answers every probe with the same bits as a bank
+        // built from the seed directly — which is what lets the soak
+        // verify responses without any weight exchange.
+        let seed = 0x7E57;
+        let cp = BankCheckpoint::capture(seed).unwrap();
+        let mut from_cp = cp.to_bank().unwrap();
+        let mut fresh = ModelBank::build(seed).unwrap();
+        let img = test_image(seed, 9, fresh.input_len());
+        for tag in 0..NUM_PRECISIONS {
+            assert_eq!(
+                from_cp.forward_single(tag, &img).unwrap(),
+                fresh.forward_single(tag, &img).unwrap(),
+                "tag {tag}"
+            );
+        }
+    }
+
+    #[test]
+    fn wrong_architecture_checkpoint_is_typed_build_error() {
+        let mut cp = BankCheckpoint::capture(1).unwrap();
+        cp.state.pop(); // drop a tensor: count mismatch
+        assert!(matches!(cp.to_bank(), Err(NnError::InvalidSpec { .. })));
+    }
+
+    #[test]
+    fn wrong_container_kind_is_reported() {
+        let dir = tmp_dir("wrong-kind");
+        let path = dir.join("bank.qnnf");
+        store::write_atomic(&path, KIND_TRAIN_CHECKPOINT, b"nope").unwrap();
+        assert!(matches!(
+            BankCheckpoint::load(&path),
+            Err(NnError::Store(StoreError::WrongKind { .. }))
+        ));
+    }
+
+    #[test]
+    fn canary_accepts_same_weights_at_full_agreement_floor() {
+        let cp = BankCheckpoint::capture(3).unwrap();
+        let mut candidate = cp.to_bank().unwrap();
+        let mut live = ModelBank::build(3).unwrap();
+        let report = canary_gate(&mut candidate, &mut live, 1.0).unwrap();
+        assert_eq!(report.agreement, 1.0);
+        assert_eq!(report.probes, CANARY_PROBES * NUM_PRECISIONS as usize);
+    }
+
+    #[test]
+    fn canary_rejects_non_finite_weights() {
+        let mut cp = BankCheckpoint::capture(3).unwrap();
+        for t in &mut cp.state {
+            for v in t.as_mut_slice() {
+                *v = f32::NAN;
+            }
+        }
+        let mut candidate = cp.to_bank().unwrap();
+        let mut live = ModelBank::build(3).unwrap();
+        match canary_gate(&mut candidate, &mut live, 0.0) {
+            Err(ReloadError::Canary { detail }) => {
+                assert!(detail.contains("non-finite"), "{detail}")
+            }
+            other => panic!("expected canary rejection, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn canary_rejects_divergence_under_strict_floor() {
+        // Zeroed weights push every logit to the same value, so top-1
+        // collapses to class 0 while the live bank's varies — the
+        // agreement floor at 1.0 must reject the candidate.
+        let mut cp = BankCheckpoint::capture(3).unwrap();
+        for t in &mut cp.state {
+            for v in t.as_mut_slice() {
+                *v = 0.0;
+            }
+        }
+        let mut candidate = cp.to_bank().unwrap();
+        let mut live = ModelBank::build(3).unwrap();
+        match canary_gate(&mut candidate, &mut live, 1.0) {
+            Err(ReloadError::Canary { detail }) => {
+                assert!(detail.contains("agreement"), "{detail}")
+            }
+            other => panic!("expected divergence rejection, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bak_rotation_falls_back_bit_identically_on_crc_corruption() {
+        // Satellite: save A, save B (rotating A to .bak), corrupt the
+        // primary's CRC — load_latest must recover A's *exact* bytes.
+        let dir = tmp_dir("bak-crc");
+        let path = dir.join("bank.qnnf");
+        let a = BankCheckpoint::capture(11).unwrap();
+        a.save(&path).unwrap();
+        let b = BankCheckpoint::capture(22).unwrap();
+        b.save(&path).unwrap(); // primary = B, .bak = A
+
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        std::fs::write(&path, &bytes).unwrap();
+
+        let (got, used_fallback) = BankCheckpoint::load_latest(&path).unwrap();
+        assert!(used_fallback, "corrupt primary must engage the fallback");
+        assert_eq!(got, a, "fallback must be the rotated checkpoint, exact");
+        // And the direct load error is the typed corruption, not a panic.
+        assert!(matches!(
+            BankCheckpoint::load(&path),
+            Err(NnError::Store(StoreError::CrcMismatch { .. }))
+        ));
+    }
+
+    #[test]
+    fn bak_rotation_falls_back_bit_identically_on_truncation() {
+        let dir = tmp_dir("bak-trunc");
+        let path = dir.join("bank.qnnf");
+        let a = BankCheckpoint::capture(33).unwrap();
+        a.save(&path).unwrap();
+        let b = BankCheckpoint::capture(44).unwrap();
+        b.save(&path).unwrap();
+
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() / 3]).unwrap();
+
+        let (got, used_fallback) = BankCheckpoint::load_latest(&path).unwrap();
+        assert!(used_fallback);
+        assert_eq!(got, a);
+        assert!(matches!(
+            BankCheckpoint::load(&path),
+            Err(NnError::Store(StoreError::Truncated { .. }))
+        ));
+    }
+
+    #[test]
+    fn missing_primary_with_bak_recovers_the_rotation() {
+        // save() rotates before writing; a crash in that window leaves
+        // only the .bak behind. load_latest must rescue it.
+        let dir = tmp_dir("bak-missing");
+        let path = dir.join("bank.qnnf");
+        let a = BankCheckpoint::capture(55).unwrap();
+        a.save(&path).unwrap();
+        std::fs::rename(&path, bak_path(&path)).unwrap();
+
+        let (got, used_fallback) = BankCheckpoint::load_latest(&path).unwrap();
+        assert!(used_fallback);
+        assert_eq!(got, a);
+    }
+
+    #[test]
+    fn unrecoverable_corruption_surfaces_the_primary_error() {
+        let dir = tmp_dir("bak-none");
+        let path = dir.join("bank.qnnf");
+        let a = BankCheckpoint::capture(66).unwrap();
+        a.save(&path).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..10]).unwrap();
+        // No .bak exists (first save never rotates), so the primary's
+        // truncation error must surface.
+        assert!(matches!(
+            BankCheckpoint::load_latest(&path),
+            Err(NnError::Store(StoreError::Truncated { .. }))
+        ));
+    }
+}

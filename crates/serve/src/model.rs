@@ -52,6 +52,19 @@ pub fn test_image(seed: u64, i: u64, len: usize) -> Vec<f32> {
     (0..len).map(|_| r.gen_range(-1.0f32..1.0)).collect()
 }
 
+/// The float32 base network every precision variant of a `seed` bank is
+/// derived from — the thing a [`crate::lifecycle::BankCheckpoint`]
+/// snapshots. Uses the same derived build seed as
+/// [`ModelBank::build`], so a captured-then-restored state is
+/// bit-identical to a fresh build.
+///
+/// # Errors
+///
+/// Propagates network construction errors.
+pub fn base_network(seed: u64) -> Result<Network, NnError> {
+    Network::build(&serve_spec(), derive_seed(seed, 0x9e7))
+}
+
 /// One network per Table III precision, all sharing the same base
 /// weights, calibrated once at construction.
 pub struct ModelBank {
@@ -86,12 +99,34 @@ impl ModelBank {
     ///
     /// Propagates network construction and calibration errors.
     pub fn build(seed: u64) -> Result<ModelBank, NnError> {
+        Self::build_from(seed, None)
+    }
+
+    /// Builds the bank from `seed`, optionally replacing the seed-derived
+    /// base weights with a checkpointed `state_dict` before calibration.
+    ///
+    /// `build_from(seed, None)` and `build_from(seed, Some(state))` with
+    /// `state` captured from the same seed's freshly built base network
+    /// are bit-identical — per-precision quantization always calibrates
+    /// from whatever base weights are in place, so a hot-reloaded
+    /// checkpoint and a from-scratch build of the same weights serve the
+    /// same bits.
+    ///
+    /// # Errors
+    ///
+    /// Propagates network construction and calibration errors; a `state`
+    /// whose tensor count or shapes disagree with the serving
+    /// architecture fails typed via [`Network::load_state`].
+    pub fn build_from(seed: u64, state: Option<&[Tensor]>) -> Result<ModelBank, NnError> {
         let spec = serve_spec();
         let input = spec.input();
         let calib = Self::calib_batch(seed, input);
         let mut nets = Vec::with_capacity(NUM_PRECISIONS as usize);
         for precision in Precision::paper_sweep() {
-            let mut net = Network::build(&spec, derive_seed(seed, 0x9e7))?;
+            let mut net = base_network(seed)?;
+            if let Some(state) = state {
+                net.load_state(state)?;
+            }
             net.set_precision(
                 precision,
                 Method::MaxAbs,

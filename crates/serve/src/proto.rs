@@ -8,7 +8,9 @@
 //!      0     4  magic        "QSRV"
 //!      4     2  version      1
 //!      6     1  kind         Infer | InferOk | Error | Shutdown | ShutdownAck
-//!      7     1  tag          precision tag (Infer) / error code (Error) / 0
+//!                            | Ping | Pong | Reload | ReloadOk
+//!      7     1  tag          precision tag (Infer) / error code (Error)
+//!                            / model version mod 256 (InferOk) / 0
 //!      8     8  req_id       echoed verbatim in the response
 //!     16     4  payload_len  bytes to follow, ≤ MAX_PAYLOAD
 //!     20     n  payload      f32 LE image (Infer) / f32 LE logits (InferOk)
@@ -40,6 +42,24 @@ pub const HEADER_LEN: usize = 20;
 /// before any payload allocation happens.
 pub const MAX_PAYLOAD: u32 = 1 << 20;
 
+/// Smallest retry hint a server or router ever sends (1 ms). A shorter
+/// hint just makes clients spin against a condition that cannot clear
+/// that fast.
+pub const RETRY_HINT_MIN_US: u64 = 1_000;
+
+/// Largest retry hint ever sent (1 s) — even a deeply backed-up queue or
+/// a full membership round-trip clears within this.
+pub const RETRY_HINT_MAX_US: u64 = 1_000_000;
+
+/// Clamps a retry-hint estimate into the protocol-wide 1ms..1s band.
+///
+/// This is the single clamp shared by the engine's adaptive Busy EWMA
+/// hint and the router's ShardDown hint — previously duplicated (with
+/// drifting bounds) in both places.
+pub fn clamp_retry_hint_us(estimate_us: u64) -> u32 {
+    estimate_us.clamp(RETRY_HINT_MIN_US, RETRY_HINT_MAX_US) as u32
+}
+
 /// What a frame is.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 #[repr(u8)]
@@ -61,6 +81,15 @@ pub enum FrameKind {
     /// Server → peer: the answer to a [`FrameKind::Ping`], echoing its
     /// request id.
     Pong = 7,
+    /// Client → server: hot-reload the model bank from the QNNF
+    /// checkpoint whose filesystem path rides in the payload. Handled on
+    /// the connection thread (never the engine thread); the canary gate
+    /// and swap happen before the [`FrameKind::ReloadOk`] is sent.
+    Reload = 8,
+    /// Server → client: the reload was canary-approved and promoted.
+    /// Payload carries the new version (`u32`) and its bank seed
+    /// (`u64`), both little-endian.
+    ReloadOk = 9,
 }
 
 impl FrameKind {
@@ -74,6 +103,8 @@ impl FrameKind {
             5 => FrameKind::ShutdownAck,
             6 => FrameKind::Ping,
             7 => FrameKind::Pong,
+            8 => FrameKind::Reload,
+            9 => FrameKind::ReloadOk,
             _ => return None,
         })
     }
@@ -113,6 +144,12 @@ pub enum ErrorCode {
     /// ring candidates. Retryable: membership converges within
     /// `k_misses` heartbeats, so retry after the hinted delay.
     ShardDown = 12,
+    /// A hot-reload request was refused — corrupt/mismatched checkpoint,
+    /// canary divergence, or another reload already in flight. The
+    /// previous model version keeps serving bit-identically; the message
+    /// carries the typed reason. Not retryable: the same checkpoint will
+    /// fail the same way.
+    ReloadRejected = 13,
 }
 
 impl ErrorCode {
@@ -131,6 +168,7 @@ impl ErrorCode {
             10 => ErrorCode::Internal,
             11 => ErrorCode::Truncated,
             12 => ErrorCode::ShardDown,
+            13 => ErrorCode::ReloadRejected,
             _ => return None,
         })
     }
@@ -282,12 +320,81 @@ impl Frame {
 
     /// The logits response to request `req_id`.
     pub fn infer_ok(req_id: u64, logits: &[f32]) -> Frame {
+        Frame::infer_ok_v(req_id, 0, logits)
+    }
+
+    /// The logits response to request `req_id`, stamped with the model
+    /// version (mod 256) that computed it in the `tag` byte — how a
+    /// client knows which bank answered during a hot-reload window.
+    pub fn infer_ok_v(req_id: u64, version: u8, logits: &[f32]) -> Frame {
         Frame {
             kind: FrameKind::InferOk,
-            tag: 0,
+            tag: version,
             req_id,
             payload: f32s_to_bytes(logits),
         }
+    }
+
+    /// A hot-reload request naming the QNNF checkpoint to load. The path
+    /// is resolved on the *server's* filesystem — weights never ride the
+    /// wire.
+    pub fn reload(req_id: u64, checkpoint_path: &str) -> Frame {
+        Frame {
+            kind: FrameKind::Reload,
+            tag: 0,
+            req_id,
+            payload: checkpoint_path.as_bytes().to_vec(),
+        }
+    }
+
+    /// The promotion acknowledgement for a [`Frame::reload`]: the new
+    /// live version and the bank seed it was built from.
+    pub fn reload_ok(req_id: u64, version: u32, seed: u64) -> Frame {
+        let mut payload = version.to_le_bytes().to_vec();
+        payload.extend_from_slice(&seed.to_le_bytes());
+        Frame {
+            kind: FrameKind::ReloadOk,
+            tag: 0,
+            req_id,
+            payload,
+        }
+    }
+
+    /// Decodes a [`FrameKind::Reload`] payload into the checkpoint path.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtoError::BadPayload`] on the wrong kind or non-UTF-8 bytes.
+    pub fn reload_path(&self) -> Result<String, ProtoError> {
+        if self.kind != FrameKind::Reload {
+            return Err(ProtoError::BadPayload {
+                reason: format!("{:?} is not a reload frame", self.kind),
+            });
+        }
+        String::from_utf8(self.payload.clone()).map_err(|_| ProtoError::BadPayload {
+            reason: "checkpoint path is not UTF-8".to_string(),
+        })
+    }
+
+    /// Decodes a [`FrameKind::ReloadOk`] payload into
+    /// `(version, bank_seed)`.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtoError::BadPayload`] on the wrong kind or a short payload.
+    pub fn reload_ok_info(&self) -> Result<(u32, u64), ProtoError> {
+        if self.kind != FrameKind::ReloadOk || self.payload.len() < 12 {
+            return Err(ProtoError::BadPayload {
+                reason: format!(
+                    "{:?} with {} payload bytes is not a reload ack",
+                    self.kind,
+                    self.payload.len()
+                ),
+            });
+        }
+        let version = u32::from_le_bytes(self.payload[0..4].try_into().unwrap());
+        let seed = u64::from_le_bytes(self.payload[4..12].try_into().unwrap());
+        Ok((version, seed))
     }
 
     /// A typed rejection of request `req_id`.
@@ -575,6 +682,10 @@ mod tests {
             Frame::ping(13),
             Frame::pong(13),
             Frame::error(15, ErrorCode::ShardDown, 9000, "no live replica"),
+            Frame::infer_ok_v(17, 42, &[0.3, 0.7]),
+            Frame::reload(19, "/tmp/model.qnnf"),
+            Frame::reload_ok(19, 3, 0x51AB),
+            Frame::error(21, ErrorCode::ReloadRejected, 0, "canary diverged"),
         ];
         for f in frames {
             let bytes = f.encode();
@@ -658,7 +769,7 @@ mod tests {
 
     #[test]
     fn only_backpressure_and_failover_are_retryable() {
-        for code in 1..=12u8 {
+        for code in 1..=13u8 {
             let code = ErrorCode::from_u8(code).unwrap();
             assert_eq!(
                 code.is_retryable(),
@@ -666,7 +777,26 @@ mod tests {
                 "{code:?}"
             );
         }
-        assert_eq!(ErrorCode::from_u8(13), None);
+        assert_eq!(ErrorCode::from_u8(14), None);
+    }
+
+    #[test]
+    fn reload_payload_codecs_round_trip() {
+        let r = Frame::reload(5, "/ckpt/bank.qnnf");
+        assert_eq!(r.reload_path().unwrap(), "/ckpt/bank.qnnf");
+        let ack = Frame::reload_ok(5, 7, 0xDEAD_BEEF);
+        assert_eq!(ack.reload_ok_info().unwrap(), (7, 0xDEAD_BEEF));
+        // Kind confusion is a typed error, not a bogus decode.
+        assert!(ack.reload_path().is_err());
+        assert!(r.reload_ok_info().is_err());
+    }
+
+    #[test]
+    fn retry_hint_clamp_is_one_ms_to_one_s() {
+        assert_eq!(clamp_retry_hint_us(0), RETRY_HINT_MIN_US as u32);
+        assert_eq!(clamp_retry_hint_us(999), 1_000);
+        assert_eq!(clamp_retry_hint_us(250_000), 250_000);
+        assert_eq!(clamp_retry_hint_us(u64::MAX), RETRY_HINT_MAX_US as u32);
     }
 
     #[test]

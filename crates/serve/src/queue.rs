@@ -16,11 +16,12 @@
 
 use std::collections::VecDeque;
 use std::sync::mpsc;
-use std::sync::{Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 use crate::arena::Slab;
-use crate::proto::Frame;
+use crate::proto::{self, Frame};
+use crate::server::BankSet;
 
 /// One queued inference request, carrying everything the engine needs to
 /// compute and route the response.
@@ -34,6 +35,12 @@ pub struct Request {
     /// slab returns to its pool when this request is dropped after its
     /// response is sent.
     pub image: Slab,
+    /// The model version pinned at admission time: whatever
+    /// [`BankSet`] was live when the handler accepted the request
+    /// answers it, even if a hot-reload promotes a newer version while
+    /// it waits in the queue. The old version's banks are reclaimed
+    /// when the last pinned request drops this `Arc`.
+    pub bank: Arc<BankSet>,
     /// The owning connection's writer channel.
     pub reply: mpsc::Sender<Frame>,
     /// When the request entered the queue (for the latency histogram).
@@ -45,17 +52,17 @@ pub struct Request {
 /// recently observed per-request drain time.
 ///
 /// The hint estimates how long the engine needs to work through the
-/// backlog (`depth · drain_ns_per_req`), clamped below by `floor_us`
+/// backlog (`depth · drain_ns_per_req`), raised to at least `floor_us`
 /// (so an idle or freshly started server still spreads retries out) and
-/// above by one second (so a measurement glitch cannot park clients
-/// indefinitely). **Contract:** for a fixed drain rate the hint grows
-/// monotonically with depth — a deeper queue never shortens the
-/// suggested backoff. Pinned by `retry_hint_grows_with_depth`.
+/// then clamped into the protocol-wide 1ms..1s band by
+/// [`proto::clamp_retry_hint_us`] — the same clamp the router's
+/// `ShardDown` hint rides, so the two paths can never drift apart.
+/// **Contract:** for a fixed drain rate the hint grows monotonically
+/// with depth — a deeper queue never shortens the suggested backoff.
+/// Pinned by `retry_hint_grows_with_depth`.
 pub fn retry_hint_us(depth: usize, drain_ns_per_req: u64, floor_us: u32) -> u32 {
-    const MAX_US: u64 = 1_000_000;
     let est_us = (depth as u64).saturating_mul(drain_ns_per_req) / 1_000;
-    let hi = MAX_US.max(u64::from(floor_us));
-    est_us.clamp(u64::from(floor_us), hi) as u32
+    proto::clamp_retry_hint_us(est_us.max(u64::from(floor_us)))
 }
 
 /// Why a push was refused.
@@ -197,6 +204,7 @@ mod tests {
                 id,
                 tag: 0,
                 image,
+                bank: BankSet::test_stub(),
                 reply: tx,
                 enqueued: Instant::now(),
             },
@@ -207,7 +215,8 @@ mod tests {
     #[test]
     fn retry_hint_grows_with_depth() {
         // The adaptive-backpressure contract: for a fixed drain rate the
-        // hint is monotone non-decreasing in depth.
+        // hint is monotone non-decreasing in depth, and never escapes
+        // the protocol-wide 1ms..1s band.
         for &drain_ns in &[0u64, 10_000, 150_000, 2_000_000] {
             let mut last = 0;
             for depth in 0..512 {
@@ -216,7 +225,10 @@ mod tests {
                     hint >= last,
                     "hint shrank: depth {depth} drain {drain_ns} {hint} < {last}"
                 );
-                assert!(hint >= 100, "floor violated at depth {depth}");
+                assert!(
+                    u64::from(hint) >= proto::RETRY_HINT_MIN_US,
+                    "band floor violated at depth {depth}"
+                );
                 last = hint;
             }
         }
@@ -224,12 +236,17 @@ mod tests {
 
     #[test]
     fn retry_hint_floor_and_ceiling() {
-        // Empty queue: the floor applies whatever the drain rate says.
-        assert_eq!(retry_hint_us(0, 1_000_000, 250), 250);
+        // Empty queue with a sub-band floor: the shared 1 ms minimum
+        // applies (a shorter hint would just make clients spin).
+        assert_eq!(retry_hint_us(0, 1_000_000, 250), 1_000);
+        // A floor inside the band is respected as-is.
+        assert_eq!(retry_hint_us(0, 1_000_000, 2_500), 2_500);
         // Backlog estimate dominates once it exceeds the floor.
         assert_eq!(retry_hint_us(8, 500_000, 100), 4_000);
-        // A pathological estimate is capped at one second.
+        // A pathological estimate is capped at one second...
         assert_eq!(retry_hint_us(10_000, u64::MAX, 100), 1_000_000);
+        // ...and so is a pathological floor.
+        assert_eq!(retry_hint_us(0, 0, u32::MAX), 1_000_000);
     }
 
     #[test]

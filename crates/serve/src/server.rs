@@ -41,15 +41,18 @@
 use std::collections::BTreeMap;
 use std::io::Write;
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Mutex, MutexGuard};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use qnn_tensor::par;
+use qnn_tensor::Tensor;
 use qnn_trace::Histogram;
 
 use crate::arena::{Arena, Slab};
+use crate::lifecycle::{canary_gate, BankCheckpoint, ReloadError};
 use crate::model::{ModelBank, MODEL_SEED, NUM_PRECISIONS};
 use crate::proto::{self, ErrorCode, Frame, FrameKind, ProtoError, HEADER_LEN};
 use crate::queue::{self, BatchQueue, PushError, Request};
@@ -73,6 +76,21 @@ pub struct ServeConfig {
     /// Responses are bit-identical at any setting; 1 restores the
     /// sequential engine.
     pub engine_threads: usize,
+    /// Durable model-bank checkpoint path. When set, startup loads the
+    /// bank from this file (falling back to its `.bak` rotation if the
+    /// primary is corrupt — surfaced as the `serve.checkpoint.fallback`
+    /// counter), writing an initial seed-derived checkpoint if neither
+    /// exists; every promoted hot-reload is persisted here *before* the
+    /// in-memory swap, so a SIGKILL mid-swap always restarts into a
+    /// complete old or new bank. `None` serves the seed bank with no
+    /// durability.
+    pub checkpoint: Option<PathBuf>,
+    /// Canary floor: minimum fraction of seeded probe forwards whose
+    /// top-1 class must agree with the live bank before a reload is
+    /// promoted. `0.0` (the default) keeps the integrity checks —
+    /// finite logits, batched ≡ single-shot, reproducibility — but
+    /// accepts any accuracy drift; `1.0` demands full probe agreement.
+    pub canary_min_agree: f32,
 }
 
 impl Default for ServeConfig {
@@ -84,6 +102,8 @@ impl Default for ServeConfig {
             queue_cap: 256,
             seed: MODEL_SEED,
             engine_threads: 1,
+            checkpoint: None,
+            canary_min_agree: 0.0,
         }
     }
 }
@@ -99,6 +119,14 @@ pub struct ServeStats {
     pub rejected_busy: u64,
     /// Connections accepted.
     pub connections: u64,
+    /// Hot-reloads canary-approved and promoted.
+    pub reloads_promoted: u64,
+    /// Hot-reloads refused (`ReloadRejected`) — the previous version
+    /// kept serving through every one of these.
+    pub reloads_rejected: u64,
+    /// 1 when startup recovered the bank from the checkpoint's `.bak`
+    /// rotation because the primary was corrupt or missing.
+    pub checkpoint_fallback: u64,
     /// Per-request queue→response latency, microseconds.
     pub latency_us: Histogram,
     /// Requests per flushed batch.
@@ -110,13 +138,15 @@ impl ServeStats {
     pub fn render(&self) -> String {
         format!(
             "served {} request(s) in {} batch(es) over {} connection(s); \
-             {} busy rejection(s)\n\
+             {} busy rejection(s); {} reload(s) promoted, {} rejected\n\
              batch size  mean {:.2}  p50 {:.0}  p99 {:.0}  max {:.0}\n\
              latency us  mean {:.0}  p50 {:.0}  p99 {:.0}  max {:.0}\n",
             self.requests,
             self.batches,
             self.connections,
             self.rejected_busy,
+            self.reloads_promoted,
+            self.reloads_rejected,
             self.batch_size.mean(),
             self.batch_size.quantile(0.5),
             self.batch_size.quantile(0.99),
@@ -137,9 +167,97 @@ impl ServeStats {
     }
 }
 
+/// A version-tagged set of identical [`ModelBank`] replicas — what one
+/// epoch of the model lifecycle serves.
+///
+/// The live set lives behind `Ctl::live`; every accepted request pins
+/// its own `Arc` clone, so a hot-reload swap is a pointer replacement:
+/// queued and in-flight requests keep computing on the set that
+/// admitted them, new requests pick up the new set, and the old set's
+/// replicas drop (emitting `serve.bank.reclaimed`) exactly when the
+/// last pinned request finishes.
+pub struct BankSet {
+    /// Monotonically increasing model version; 1 at startup. Responses
+    /// stamp `version % 256` into the `InferOk` tag byte.
+    pub version: u32,
+    /// The seed this bank was built and calibrated from.
+    pub seed: u64,
+    /// Identical replicas, one per engine thread.
+    pub(crate) banks: Vec<Mutex<ModelBank>>,
+}
+
+impl std::fmt::Debug for BankSet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BankSet")
+            .field("version", &self.version)
+            .field("seed", &self.seed)
+            .field("replicas", &self.banks.len())
+            .finish()
+    }
+}
+
+impl BankSet {
+    fn build(
+        version: u32,
+        seed: u64,
+        state: Option<&[Tensor]>,
+        replicas: usize,
+    ) -> Result<BankSet, ReloadError> {
+        let mut banks = Vec::with_capacity(replicas.max(1));
+        for _ in 0..replicas.max(1) {
+            banks.push(Mutex::new(ModelBank::build_from(seed, state).map_err(
+                |e| ReloadError::Build {
+                    detail: e.to_string(),
+                },
+            )?));
+        }
+        Ok(BankSet {
+            version,
+            seed,
+            banks,
+        })
+    }
+
+    #[cfg(test)]
+    pub(crate) fn test_stub() -> Arc<BankSet> {
+        Arc::new(BankSet {
+            version: 1,
+            seed: 0,
+            banks: Vec::new(),
+        })
+    }
+}
+
+impl Drop for BankSet {
+    fn drop(&mut self) {
+        // The last pinned request just drained: this version's replicas
+        // are reclaimed here, never mid-flight.
+        qnn_trace::counter!("serve.bank.reclaimed", 1);
+    }
+}
+
 /// Shared control state.
 struct Ctl {
     queue: BatchQueue,
+    /// The live model epoch. Handlers pin a clone per accepted request;
+    /// [`try_reload`] replaces it under the lock after the canary gate
+    /// and the durable persist.
+    live: Mutex<Arc<BankSet>>,
+    /// Single-flight reload guard: a second `Reload` while one is in
+    /// progress is refused with [`ReloadError::InFlight`].
+    reload: Mutex<()>,
+    /// Replica count for newly promoted bank sets (= engine threads).
+    replicas: usize,
+    /// Canary agreement floor (see `ServeConfig::canary_min_agree`).
+    canary_min_agree: f32,
+    /// Durable checkpoint path promoted reloads persist to.
+    checkpoint: Option<PathBuf>,
+    /// Reloads promoted (engine folds into stats at exit).
+    reloads_promoted: AtomicU64,
+    /// Reloads refused.
+    reloads_rejected: AtomicU64,
+    /// 1 when startup used the `.bak` rotation.
+    checkpoint_fallback: AtomicU64,
     /// Everything exits when this rises (set by the engine after drain).
     stop: AtomicBool,
     /// Raised only by [`Server::kill`]: handlers abandon their peers
@@ -191,23 +309,57 @@ impl Server {
     /// [`ServeError::Io`] on bind failure, and model-bank construction
     /// errors flattened into [`ServeError::Io`].
     pub fn start(cfg: ServeConfig) -> Result<Server, ServeError> {
+        // Resolve the startup bank: a durable checkpoint when configured
+        // (with `.bak` rescue for a corrupt primary), else the seed.
+        let mut checkpoint_fallback = 0u64;
+        let (seed, state) = match &cfg.checkpoint {
+            Some(path) => {
+                let bak = qnn_nn::checkpoint::bak_path(path);
+                if path.exists() || bak.exists() {
+                    let (cp, used_fallback) = BankCheckpoint::load_latest(path)
+                        .map_err(|e| ServeError::Io(format!("checkpoint {path:?}: {e}")))?;
+                    if used_fallback {
+                        checkpoint_fallback = 1;
+                        qnn_trace::counter!("serve.checkpoint.fallback", 1);
+                        eprintln!(
+                            "warning: checkpoint {path:?} corrupt or missing; \
+                             recovered from {bak:?}"
+                        );
+                    }
+                    (cp.seed, Some(cp.state))
+                } else {
+                    // First boot: make the seed bank durable so later
+                    // reloads have something to rotate.
+                    let cp = BankCheckpoint::capture(cfg.seed)
+                        .map_err(|e| ServeError::Io(format!("model bank: {e}")))?;
+                    cp.save(path)
+                        .map_err(|e| ServeError::Io(format!("checkpoint {path:?}: {e}")))?;
+                    (cp.seed, Some(cp.state))
+                }
+            }
+            None => (cfg.seed, None),
+        };
         // One identical bank replica per engine thread — all built from
-        // the same seed, so any replica answers any request with the
-        // same bits.
+        // the same seed + weights, so any replica answers any request
+        // with the same bits.
         let replicas = cfg.engine_threads.max(1);
-        let mut banks = Vec::with_capacity(replicas);
-        for _ in 0..replicas {
-            banks.push(Mutex::new(
-                ModelBank::build(cfg.seed)
-                    .map_err(|e| ServeError::Io(format!("model bank: {e}")))?,
-            ));
-        }
-        let input_len = banks[0].lock().unwrap().input_len();
+        let bank_set = BankSet::build(1, seed, state.as_deref(), replicas)
+            .map_err(|e| ServeError::Io(format!("model bank: {e}")))?;
+        let input_len = bank_set.banks[0].lock().unwrap().input_len();
+        qnn_trace::gauge!("serve.model.version", 1.0);
         let listener = TcpListener::bind(&cfg.addr).map_err(|e| ServeError::io(&e))?;
         let addr = listener.local_addr().map_err(|e| ServeError::io(&e))?;
         let hint_floor_us = (cfg.max_wait.as_micros() as u32).max(100);
         let ctl = Arc::new(Ctl {
             queue: BatchQueue::new(cfg.queue_cap),
+            live: Mutex::new(Arc::new(bank_set)),
+            reload: Mutex::new(()),
+            replicas,
+            canary_min_agree: cfg.canary_min_agree,
+            checkpoint: cfg.checkpoint.clone(),
+            reloads_promoted: AtomicU64::new(0),
+            reloads_rejected: AtomicU64::new(0),
+            checkpoint_fallback: AtomicU64::new(checkpoint_fallback),
             stop: AtomicBool::new(false),
             killed: AtomicBool::new(false),
             shutdown_waiters: Mutex::new(Vec::new()),
@@ -224,7 +376,7 @@ impl Server {
             let cfg = cfg.clone();
             std::thread::Builder::new()
                 .name("qnn-serve-engine".to_string())
-                .spawn(move || engine_loop(banks, &ctl, &cfg, addr))
+                .spawn(move || engine_loop(&ctl, &cfg, addr))
                 .map_err(|e| ServeError::io(&e))?
         };
 
@@ -250,6 +402,17 @@ impl Server {
     /// The actually-bound address (resolves a port-0 bind).
     pub fn local_addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// The live model version (1 at startup, +1 per promoted reload).
+    pub fn model_version(&self) -> u32 {
+        self.ctl.live.lock().unwrap().version
+    }
+
+    /// The live bank's seed — after a reload, the seed of whatever
+    /// checkpoint was promoted last.
+    pub fn model_seed(&self) -> u64 {
+        self.ctl.live.lock().unwrap().seed
     }
 
     /// Bytes the request arena has genuinely allocated so far. Flat
@@ -293,6 +456,9 @@ impl Server {
                 batches: 0,
                 rejected_busy: 0,
                 connections: 0,
+                reloads_promoted: 0,
+                reloads_rejected: 0,
+                checkpoint_fallback: 0,
                 latency_us: Histogram::new(),
                 batch_size: Histogram::new(),
             });
@@ -536,6 +702,19 @@ fn handle_connection(stream: TcpStream, ctl: &Arc<Ctl>) {
                 FrameKind::Ping => {
                     let _ = tx.send(Frame::pong(frame.req_id));
                 }
+                // Reloads run right here on the connection thread —
+                // loading, building and canarying the candidate never
+                // touches the engine thread, so inference keeps flowing
+                // on the old version until the instant of the swap.
+                FrameKind::Reload => {
+                    let resp = match frame.reload_path() {
+                        Ok(path) => do_reload(ctl, frame.req_id, Path::new(&path)),
+                        Err(e) => {
+                            Frame::error(frame.req_id, ErrorCode::BadPayload, 0, &e.to_string())
+                        }
+                    };
+                    let _ = tx.send(resp);
+                }
                 // Server-bound streams carry requests only; a response
                 // kind here is protocol misuse, answered but survivable.
                 // (Infer never reaches this arm — the reader decodes it
@@ -544,7 +723,8 @@ fn handle_connection(stream: TcpStream, ctl: &Arc<Ctl>) {
                 | FrameKind::InferOk
                 | FrameKind::Error
                 | FrameKind::ShutdownAck
-                | FrameKind::Pong => {
+                | FrameKind::Pong
+                | FrameKind::ReloadOk => {
                     let _ = tx.send(Frame::error(
                         frame.req_id,
                         ErrorCode::BadKind,
@@ -562,6 +742,96 @@ fn handle_connection(stream: TcpStream, ctl: &Arc<Ctl>) {
     if let Ok(w) = writer {
         let _ = w.join();
     }
+}
+
+/// Handles one `Reload` frame end to end, translating the typed outcome
+/// into its wire frame and recording the `serve.reload.*` telemetry.
+fn do_reload(ctl: &Ctl, req_id: u64, path: &Path) -> Frame {
+    qnn_trace::counter!("serve.reload.attempted", 1);
+    let started = Instant::now();
+    match try_reload(ctl, path) {
+        Ok((version, seed)) => {
+            ctl.reloads_promoted.fetch_add(1, Ordering::Relaxed);
+            qnn_trace::counter!("serve.reload.promoted", 1);
+            qnn_trace::observe!(
+                "serve.reload.promote_us",
+                started.elapsed().as_micros() as f64
+            );
+            Frame::reload_ok(req_id, version, seed)
+        }
+        Err(e) => {
+            ctl.reloads_rejected.fetch_add(1, Ordering::Relaxed);
+            qnn_trace::counter!("serve.reload.rejected", 1);
+            Frame::error(req_id, ErrorCode::ReloadRejected, 0, &e.reason())
+        }
+    }
+}
+
+/// The lifecycle state machine: Load → Canary → Persist → Swap. Every
+/// `Err` leaves the live set untouched — rollback is "do nothing", which
+/// is why it cannot fail.
+fn try_reload(ctl: &Ctl, path: &Path) -> Result<(u32, u64), ReloadError> {
+    // Single-flight: concurrent reloads would race the persist/swap
+    // ordering, so the second one is refused typed rather than queued.
+    let _guard = ctl.reload.try_lock().map_err(|_| ReloadError::InFlight)?;
+
+    // Load: CRC mismatch, truncation, wrong kind, malformed payload.
+    let cp = BankCheckpoint::load(path).map_err(|e| ReloadError::Load {
+        detail: e.to_string(),
+    })?;
+    // Build: tensor count/shape mismatch against the serving spec.
+    let mut candidate = cp.to_bank().map_err(|e| ReloadError::Build {
+        detail: e.to_string(),
+    })?;
+
+    // Canary: probe the candidate against the live bank. Borrows one
+    // live replica; with multiple replicas the engine keeps serving on
+    // the others, and even single-replica servers only pause for the
+    // probe forwards, not the bank build.
+    let live_set = Arc::clone(&*ctl.live.lock().unwrap());
+    {
+        let mut live_bank = live_set.banks[0].lock().unwrap();
+        canary_gate(&mut candidate, &mut live_bank, ctl.canary_min_agree)?;
+    }
+
+    // The canary-validated bank becomes replica 0; clone-by-rebuild for
+    // the rest (identical bits by construction).
+    let version = live_set.version.wrapping_add(1);
+    let mut banks = Vec::with_capacity(ctl.replicas.max(1));
+    banks.push(Mutex::new(candidate));
+    while banks.len() < ctl.replicas.max(1) {
+        banks.push(Mutex::new(cp.to_bank().map_err(|e| {
+            ReloadError::Build {
+                detail: e.to_string(),
+            }
+        })?));
+    }
+    let next = BankSet {
+        version,
+        seed: cp.seed,
+        banks,
+    };
+
+    // Persist *before* swap: once clients can observe the new version,
+    // a crash must restart into it (or, killed earlier, into the old
+    // one) — the checkpoint file is always a complete bank, old or new,
+    // with the previous one rotated to `.bak`.
+    if let Some(primary) = &ctl.checkpoint {
+        // Reloading from the durable path itself means the new bank is
+        // already on disk; re-saving would rotate the *new* weights
+        // into `.bak` and lose the old ones.
+        if primary.as_path() != path {
+            cp.save(primary).map_err(|e| ReloadError::Persist {
+                detail: e.to_string(),
+            })?;
+        }
+    }
+
+    // Swap: a pointer replacement under the lock. In-flight and queued
+    // requests hold their own pins; nothing blocks on this.
+    *ctl.live.lock().unwrap() = Arc::new(next);
+    qnn_trace::gauge!("serve.model.version", f64::from(version));
+    Ok((version, cp.seed))
 }
 
 fn handle_infer(req_id: u64, tag: u8, image: Slab, tx: &mpsc::Sender<Frame>, ctl: &Ctl) {
@@ -593,6 +863,9 @@ fn handle_infer(req_id: u64, tag: u8, image: Slab, tx: &mpsc::Sender<Frame>, ctl
         image,
         reply: tx.clone(),
         enqueued: Instant::now(),
+        // Pin the live epoch at admission: however long this request
+        // queues, it computes on the model version that accepted it.
+        bank: Arc::clone(&*ctl.live.lock().unwrap()),
     };
     match ctl.queue.try_push(req) {
         Ok(()) => {}
@@ -652,18 +925,16 @@ fn checkout(banks: &[Mutex<ModelBank>], unit: usize) -> MutexGuard<'_, ModelBank
     banks[unit % banks.len()].lock().unwrap()
 }
 
-fn engine_loop(
-    banks: Vec<Mutex<ModelBank>>,
-    ctl: &Arc<Ctl>,
-    cfg: &ServeConfig,
-    addr: SocketAddr,
-) -> ServeStats {
-    let engine_threads = banks.len();
+fn engine_loop(ctl: &Arc<Ctl>, cfg: &ServeConfig, addr: SocketAddr) -> ServeStats {
+    let engine_threads = ctl.replicas;
     let mut stats = ServeStats {
         requests: 0,
         batches: 0,
         rejected_busy: 0,
         connections: 0,
+        reloads_promoted: 0,
+        reloads_rejected: 0,
+        checkpoint_fallback: 0,
         latency_us: Histogram::new(),
         batch_size: Histogram::new(),
     };
@@ -680,16 +951,23 @@ fn engine_loop(
         stats.batch_size.observe(batch.len() as f64);
         let drain_start = Instant::now();
 
-        // Group by precision tag, then split each group into at most
-        // `engine_threads` contiguous sub-batches — the work units the
-        // fan-out schedules. Unit boundaries depend only on the batch
-        // composition and the thread count, never on timing.
-        let mut groups: BTreeMap<u8, Vec<usize>> = BTreeMap::new();
+        // Group by (pinned model version, precision tag) — a batch that
+        // straddles a hot-reload swap splits into one group per epoch,
+        // each computed on the bank set that admitted its requests —
+        // then split each group into at most `engine_threads` contiguous
+        // sub-batches, the work units the fan-out schedules. Unit
+        // boundaries depend only on the batch composition and the
+        // thread count, never on timing.
+        let mut groups: BTreeMap<(u32, u8), Vec<usize>> = BTreeMap::new();
         for (i, req) in batch.iter().enumerate() {
-            groups.entry(req.tag).or_default().push(i);
+            groups
+                .entry((req.bank.version, req.tag))
+                .or_default()
+                .push(i);
         }
         let mut units: Vec<(u8, Vec<usize>)> = Vec::new();
-        for (tag, idxs) in groups {
+        for ((version, tag), idxs) in groups {
+            qnn_trace::counter!(format!("serve.requests.v{version}"), idxs.len() as u64);
             for range in par::partition(idxs.len(), engine_threads.min(idxs.len()).max(1)) {
                 if !range.is_empty() {
                     units.push((tag, idxs[range].to_vec()));
@@ -698,13 +976,17 @@ fn engine_loop(
         }
 
         // Fan the units out over at most `engine_threads` workers. Each
-        // worker checks a bank replica out, runs the stacked forward,
-        // and sends its responses directly — per-request latencies come
-        // back for the stats fold. Workers are pool workers, so kernels
-        // inside them run serial instead of nesting.
+        // worker checks a replica out of its unit's *pinned* bank set
+        // (all requests in a unit share one set by construction), runs
+        // the stacked forward, and sends its responses directly —
+        // per-request latencies come back for the stats fold. Workers
+        // are pool workers, so kernels inside them run serial instead
+        // of nesting.
         let unit_latencies = par::map_capped(units.len(), engine_threads, |u| {
             let (tag, idxs) = &units[u];
-            let mut bank = checkout(&banks, u);
+            let set = &batch[idxs[0]].bank;
+            let version_byte = (set.version & 0xFF) as u8;
+            let mut bank = checkout(&set.banks, u);
             qnn_trace::span!("serve.infer:{}", tag);
             let images: Vec<&[f32]> = idxs.iter().map(|&i| &*batch[i].image).collect();
             match bank.forward_batch_flat(*tag, &images) {
@@ -716,7 +998,7 @@ fn engine_loop(
                         let us = req.enqueued.elapsed().as_micros() as f64;
                         qnn_trace::observe!("serve.latency.us", us);
                         latencies.push(us);
-                        let _ = req.reply.send(Frame::infer_ok(req.id, row));
+                        let _ = req.reply.send(Frame::infer_ok_v(req.id, version_byte, row));
                     }
                     latencies
                 }
@@ -760,6 +1042,9 @@ fn engine_loop(
     let _ = TcpStream::connect(addr); // wake the accept loop
     stats.rejected_busy = ctl.rejected_busy.load(Ordering::Relaxed);
     stats.connections = ctl.connections.load(Ordering::Relaxed);
+    stats.reloads_promoted = ctl.reloads_promoted.load(Ordering::Relaxed);
+    stats.reloads_rejected = ctl.reloads_rejected.load(Ordering::Relaxed);
+    stats.checkpoint_fallback = ctl.checkpoint_fallback.load(Ordering::Relaxed);
     qnn_trace::gauge!("serve.queue.depth", 0.0);
     stats
 }
@@ -775,6 +1060,9 @@ mod tests {
             batches: 2,
             rejected_busy: 1,
             connections: 4,
+            reloads_promoted: 5,
+            reloads_rejected: 6,
+            checkpoint_fallback: 0,
             latency_us: Histogram::new(),
             batch_size: Histogram::new(),
         };
@@ -782,6 +1070,7 @@ mod tests {
         s.batch_size.observe(2.0);
         let text = s.render();
         assert!(text.contains("served 3 request(s)"), "{text}");
+        assert!(text.contains("5 reload(s) promoted, 6 rejected"), "{text}");
         assert!(text.contains("batch size"), "{text}");
         assert!(text.contains("latency us"), "{text}");
     }

@@ -155,3 +155,82 @@ fn router_rejects_typed_and_retryable_when_every_shard_is_dead() {
     let stats = router.join();
     assert!(stats.shard_down >= 1, "{stats:?}");
 }
+
+#[test]
+fn rolling_reload_promotes_every_shard_and_a_bad_path_stops_the_roll() {
+    let dir = std::env::temp_dir()
+        .join("qnn-serve-rolling-reload")
+        .join(std::process::id().to_string());
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+
+    let shards: Vec<Server> = (0..2).map(|_| start_shard()).collect();
+    let shard_addrs: Vec<String> = shards.iter().map(|s| s.local_addr().to_string()).collect();
+    let router = Router::start(RouterConfig {
+        shards: shard_addrs,
+        heartbeat: Duration::from_millis(20),
+        k_misses: 2,
+        probe_timeout: Duration::from_millis(200),
+        forward_timeout: Duration::from_secs(5),
+        ..RouterConfig::default()
+    })
+    .expect("router start");
+
+    // A checkpoint path every shard can read (same filesystem here).
+    let new_seed = 0x0F17u64;
+    let path = dir.join("roll.qnnf");
+    qnn_serve::BankCheckpoint::capture(new_seed)
+        .unwrap()
+        .save(&path)
+        .unwrap();
+
+    let mut c = ServeClient::connect(&router.local_addr().to_string()).expect("connect");
+    c.set_read_timeout(Duration::from_secs(30)).unwrap();
+
+    // One Reload at the edge rolls shard by shard: both shards end up
+    // on version 2 with the new seed.
+    let (version, seed) = c.reload(path.to_str().unwrap()).expect("rolling reload");
+    assert_eq!((version, seed), (2, new_seed));
+    for s in &shards {
+        assert_eq!(s.model_version(), 2, "every shard must be promoted");
+        assert_eq!(s.model_seed(), new_seed);
+    }
+
+    // Routed answers now carry the new bank's exact bits.
+    let mut bank = ModelBank::build(new_seed).unwrap();
+    let img = model::test_image(MODEL_SEED, 9, bank.input_len());
+    let (logits, _busy, _down) = c.infer_retry_routed(2, &img, 64).unwrap();
+    assert_eq!(logits, bank.forward_single(2, &img).unwrap());
+
+    // A path no shard can load refuses typed at the first shard and the
+    // roll stops there — the cluster stays on the promoted version.
+    let err = c
+        .reload(dir.join("missing.qnnf").to_str().unwrap())
+        .unwrap_err();
+    assert!(
+        matches!(
+            err,
+            qnn_serve::ServeError::Rejected {
+                code: qnn_serve::ErrorCode::ReloadRejected,
+                ..
+            }
+        ),
+        "bad rolling reload must be typed, got {err:?}"
+    );
+    for s in &shards {
+        assert_eq!(
+            s.model_version(),
+            2,
+            "a refused roll must not regress shards"
+        );
+    }
+
+    router.shutdown();
+    let stats = router.join();
+    assert_eq!(stats.reloads, 1, "only the good roll completes");
+    for s in shards {
+        s.shutdown();
+        s.join();
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}

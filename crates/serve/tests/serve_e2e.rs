@@ -327,3 +327,239 @@ fn response_kind_sent_to_server_is_protocol_misuse_not_a_crash() {
     c.shutdown_server().unwrap();
     server.join();
 }
+
+// ---------------------------------------------------------------------------
+// Hot-reload lifecycle: promote, reject, persist, recover.
+// ---------------------------------------------------------------------------
+
+fn reload_tmp_dir(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir()
+        .join("qnn-serve-reload-e2e")
+        .join(format!("{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// One versioned round trip asserting the logits are bit-identical to a
+/// local forward on `bank` and that the version byte matches.
+fn assert_serves_bank(c: &mut ServeClient, bank: &mut ModelBank, version_byte: u8, salt: u64) {
+    let img = qnn_serve::model::test_image(MODEL_SEED, salt, bank.input_len());
+    let tag = (salt % u64::from(NUM_PRECISIONS)) as u8;
+    let (v, logits) = c.infer_versioned(tag, &img).unwrap();
+    assert_eq!(v, version_byte, "version byte drifted");
+    let got: Vec<u32> = logits.iter().map(|x| x.to_bits()).collect();
+    let want: Vec<u32> = bank
+        .forward_single(tag, &img)
+        .unwrap()
+        .iter()
+        .map(|x| x.to_bits())
+        .collect();
+    assert_eq!(got, want, "served logits are not the pinned version's bits");
+}
+
+#[test]
+fn hot_reload_promotes_and_serves_the_new_version_bit_identically() {
+    let dir = reload_tmp_dir("promote");
+    let (server, addr) = start(ServeConfig::default());
+    let mut c = ServeClient::connect(&addr).unwrap();
+    c.set_read_timeout(Duration::from_secs(30)).unwrap();
+
+    let mut old_bank = ModelBank::default_bank().unwrap();
+    assert_serves_bank(&mut c, &mut old_bank, 1, 0);
+    assert_eq!(server.model_version(), 1);
+    assert_eq!(server.model_seed(), MODEL_SEED);
+
+    // Checkpoint a different seed's weights and hot-swap to them.
+    let new_seed = 0xB0B5u64;
+    let path = dir.join("next.qnnf");
+    qnn_serve::BankCheckpoint::capture(new_seed)
+        .unwrap()
+        .save(&path)
+        .unwrap();
+    let (version, seed) = c.reload(path.to_str().unwrap()).unwrap();
+    assert_eq!((version, seed), (2, new_seed));
+    assert_eq!(server.model_version(), 2);
+    assert_eq!(server.model_seed(), new_seed);
+
+    // Every post-swap response carries the new version byte and the new
+    // bank's exact bits.
+    let mut new_bank = ModelBank::build(new_seed).unwrap();
+    for salt in 1..8 {
+        assert_serves_bank(&mut c, &mut new_bank, 2, salt);
+    }
+    server.shutdown();
+    let stats = server.join();
+    assert_eq!(stats.reloads_promoted, 1);
+    assert_eq!(stats.reloads_rejected, 0);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn corrupt_checkpoint_is_rejected_typed_and_the_old_version_keeps_serving() {
+    let dir = reload_tmp_dir("reject");
+    let (server, addr) = start(ServeConfig::default());
+    let mut c = ServeClient::connect(&addr).unwrap();
+    c.set_read_timeout(Duration::from_secs(30)).unwrap();
+
+    // Missing file, then garbage bytes: both must be typed refusals,
+    // never a crash or a partial swap.
+    let missing = dir.join("nope.qnnf");
+    let err = c.reload(missing.to_str().unwrap()).unwrap_err();
+    match err {
+        ServeError::Rejected { code, .. } => assert_eq!(code, ErrorCode::ReloadRejected),
+        other => panic!("expected typed ReloadRejected, got {other:?}"),
+    }
+
+    let garbage = dir.join("garbage.qnnf");
+    std::fs::write(&garbage, b"not a checkpoint at all").unwrap();
+    let err = c.reload(garbage.to_str().unwrap()).unwrap_err();
+    assert!(
+        matches!(
+            err,
+            ServeError::Rejected {
+                code: ErrorCode::ReloadRejected,
+                ..
+            }
+        ),
+        "garbage checkpoint must reject typed, got {err:?}"
+    );
+
+    // The rejection left version 1 serving its exact bits.
+    assert_eq!(server.model_version(), 1);
+    let mut bank = ModelBank::default_bank().unwrap();
+    for salt in 0..4 {
+        assert_serves_bank(&mut c, &mut bank, 1, salt);
+    }
+    server.shutdown();
+    let stats = server.join();
+    assert_eq!(stats.reloads_promoted, 0);
+    assert_eq!(stats.reloads_rejected, 2);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn strict_canary_rejects_zeroed_weights_and_rolls_back() {
+    let dir = reload_tmp_dir("canary");
+    let (server, addr) = start(ServeConfig {
+        canary_min_agree: 1.0,
+        ..ServeConfig::default()
+    });
+    let mut c = ServeClient::connect(&addr).unwrap();
+    c.set_read_timeout(Duration::from_secs(30)).unwrap();
+
+    // A structurally valid checkpoint whose weights are all zero: it
+    // loads and builds fine, but its top-1 predictions diverge from the
+    // live bank, so a strict canary floor must refuse it.
+    let mut cp = qnn_serve::BankCheckpoint::capture(MODEL_SEED).unwrap();
+    for t in &mut cp.state {
+        for w in t.as_mut_slice() {
+            *w = 0.0;
+        }
+    }
+    let path = dir.join("zeroed.qnnf");
+    cp.save(&path).unwrap();
+
+    let err = c.reload(path.to_str().unwrap()).unwrap_err();
+    match err {
+        ServeError::Rejected { code, msg, .. } => {
+            assert_eq!(code, ErrorCode::ReloadRejected);
+            assert!(
+                msg.contains("canary"),
+                "reason should name the canary: {msg}"
+            );
+        }
+        other => panic!("expected canary rejection, got {other:?}"),
+    }
+
+    // Rollback is the no-op path: version 1 never stopped serving.
+    assert_eq!(server.model_version(), 1);
+    let mut bank = ModelBank::default_bank().unwrap();
+    assert_serves_bank(&mut c, &mut bank, 1, 3);
+    server.shutdown();
+    let stats = server.join();
+    assert_eq!(stats.reloads_rejected, 1);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn promoted_reload_is_durable_and_bak_rotation_survives_primary_corruption() {
+    let dir = reload_tmp_dir("durable");
+    let cp_path = dir.join("bank.qnnf");
+
+    // First boot with a checkpoint path persists the seed bank.
+    let (server, addr) = start(ServeConfig {
+        checkpoint: Some(cp_path.clone()),
+        ..ServeConfig::default()
+    });
+    let mut c = ServeClient::connect(&addr).unwrap();
+    c.set_read_timeout(Duration::from_secs(30)).unwrap();
+    assert!(cp_path.exists(), "first boot must persist the seed bank");
+
+    // Promote seed B; the persist-before-swap rotates the seed-A bank
+    // into `bank.qnnf.bak` and writes seed B as the new primary.
+    let new_seed = 0xD00Du64;
+    let next = dir.join("next.qnnf");
+    qnn_serve::BankCheckpoint::capture(new_seed)
+        .unwrap()
+        .save(&next)
+        .unwrap();
+    assert_eq!(c.reload(next.to_str().unwrap()).unwrap(), (2, new_seed));
+    server.shutdown();
+    server.join();
+
+    // Restart on the primary: the promoted version is what boots.
+    let (server, addr) = start(ServeConfig {
+        checkpoint: Some(cp_path.clone()),
+        ..ServeConfig::default()
+    });
+    assert_eq!(server.model_seed(), new_seed);
+    let mut c = ServeClient::connect(&addr).unwrap();
+    c.set_read_timeout(Duration::from_secs(30)).unwrap();
+    let mut new_bank = ModelBank::build(new_seed).unwrap();
+    assert_serves_bank(&mut c, &mut new_bank, 1, 5);
+    server.shutdown();
+    server.join();
+
+    // Corrupt the primary in place: restart must fall back to the
+    // `.bak` rotation (the pre-reload seed bank) and say so in stats.
+    std::fs::write(&cp_path, b"torn by a crash").unwrap();
+    let (server, addr) = start(ServeConfig {
+        checkpoint: Some(cp_path.clone()),
+        ..ServeConfig::default()
+    });
+    assert_eq!(
+        server.model_seed(),
+        MODEL_SEED,
+        "fallback is the rotated bank"
+    );
+    let mut c = ServeClient::connect(&addr).unwrap();
+    c.set_read_timeout(Duration::from_secs(30)).unwrap();
+    let mut old_bank = ModelBank::default_bank().unwrap();
+    assert_serves_bank(&mut c, &mut old_bank, 1, 6);
+    server.shutdown();
+    let stats = server.join();
+    assert_eq!(stats.checkpoint_fallback, 1);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn non_utf8_reload_payload_is_bad_payload_not_a_crash() {
+    let (server, addr) = start(ServeConfig::default());
+    let mut c = ServeClient::connect(&addr).unwrap();
+    c.set_read_timeout(Duration::from_secs(10)).unwrap();
+
+    let mut f = Frame::reload(77, "x");
+    f.payload = vec![0xFF, 0xFE, 0xFD];
+    c.send_raw(&f.encode()).unwrap();
+    let reply = c.recv_frame().unwrap();
+    assert_eq!(reply.kind, FrameKind::Error);
+    let (code, _, _) = reply.error_info().unwrap();
+    assert_eq!(code, ErrorCode::BadPayload);
+
+    // Still serving.
+    let mut bank = ModelBank::default_bank().unwrap();
+    assert_serves_bank(&mut c, &mut bank, 1, 2);
+    server.shutdown();
+    server.join();
+}

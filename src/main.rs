@@ -15,6 +15,8 @@
 //! qnn serve [flags]           # batched inference server (qnn-serve)
 //! qnn shard [flags]           # a cluster shard worker (= serve)
 //! qnn router [flags]          # consistent-hash router over N shards
+//! qnn checkpoint [flags]      # write a QNNF model-bank checkpoint
+//! qnn reload ADDR PATH        # hot-reload a running server's bank
 //! ```
 //!
 //! `scale` ∈ `smoke` (seconds) | `reduced` (default, minutes) | `full`
@@ -43,6 +45,13 @@
 //! hashing, heartbeat-driven membership, and replica failover (see
 //! [`run_router`]); a `Shutdown` frame at the router drains the whole
 //! cluster.
+//!
+//! `checkpoint` writes a `QNNF` model-bank checkpoint ([`run_checkpoint`])
+//! and `reload` asks a running server — or a router, which rolls the
+//! reload across every live shard — to hot-swap to one ([`run_reload`]):
+//! the server canary-gates the candidate and either promotes it (new
+//! version, old one drains out) or refuses typed, still serving the
+//! previous version bit-identically.
 
 use std::path::PathBuf;
 
@@ -114,14 +123,35 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
 ///   rejected with a `Busy` error frame carrying a retry-after hint.
 /// * `--engine-threads N` — parallel engine forwards per batch (default
 ///   1). Responses are bit-identical at any setting.
+/// * `--seed N` — model-bank seed (default the shared `MODEL_SEED`;
+///   both ends of a soak run must agree).
+/// * `--checkpoint PATH` — durable bank checkpoint: load from it at
+///   startup (`.bak`-rescued if corrupt), write it on first boot, and
+///   persist every promoted hot-reload to it before the swap.
+/// * `--canary-min-agree F` — reload canary floor in `0.0..=1.0`:
+///   minimum fraction of probe forwards whose top-1 class must agree
+///   with the live bank before promotion (default 0.0 =
+///   integrity-checks only).
 /// * `--trace PATH` — record a `qnn-trace` JSONL of the run (per-batch
 ///   spans, queue-depth gauge, batch-size and latency histograms).
+///
+/// Every flag takes a value, may appear at most once, and is validated
+/// into a typed error (exit 2) — `--engine-threads 0`, `--queue-cap 0`,
+/// a duplicate flag, or a queue smaller than a batch all refuse to
+/// start rather than panicking or serving with nonsense knobs.
 fn run_serve(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     let mut cfg = qnn_serve::ServeConfig::default();
     let mut port_file: Option<PathBuf> = None;
     let mut trace_path: Option<PathBuf> = None;
+    let mut seen = std::collections::BTreeSet::new();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
+        if arg.starts_with("--") && !seen.insert(arg.clone()) {
+            return Err(format!(
+                "serve: duplicate flag `{arg}` — each flag may appear at most once"
+            )
+            .into());
+        }
         let mut next = |flag: &str| -> Result<String, String> {
             it.next()
                 .cloned()
@@ -131,11 +161,14 @@ fn run_serve(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
             "--addr" => cfg.addr = next("--addr")?,
             "--port-file" => port_file = Some(PathBuf::from(next("--port-file")?)),
             "--trace" => trace_path = Some(PathBuf::from(next("--trace")?)),
+            "--checkpoint" => cfg.checkpoint = Some(PathBuf::from(next("--checkpoint")?)),
             "--max-batch" => {
                 let v = next("--max-batch")?;
                 cfg.max_batch = v
-                    .parse()
-                    .map_err(|_| format!("--max-batch: `{v}` is not a count"))?;
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .ok_or_else(|| format!("--max-batch: `{v}` is not a positive count"))?;
             }
             "--max-wait-us" => {
                 let v = next("--max-wait-us")?;
@@ -147,8 +180,10 @@ fn run_serve(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
             "--queue-cap" => {
                 let v = next("--queue-cap")?;
                 cfg.queue_cap = v
-                    .parse()
-                    .map_err(|_| format!("--queue-cap: `{v}` is not a count"))?;
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .ok_or_else(|| format!("--queue-cap: `{v}` is not a positive count"))?;
             }
             "--engine-threads" => {
                 let v = next("--engine-threads")?;
@@ -158,8 +193,30 @@ fn run_serve(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
                     .filter(|&n| n >= 1)
                     .ok_or_else(|| format!("--engine-threads: `{v}` is not a thread count"))?;
             }
+            "--seed" => {
+                let v = next("--seed")?;
+                cfg.seed = parse_seed(&v).ok_or_else(|| format!("--seed: `{v}` is not a seed"))?;
+            }
+            "--canary-min-agree" => {
+                let v = next("--canary-min-agree")?;
+                cfg.canary_min_agree = v
+                    .parse::<f32>()
+                    .ok()
+                    .filter(|f| (0.0..=1.0).contains(f))
+                    .ok_or_else(|| {
+                        format!("--canary-min-agree: `{v}` is not a fraction in 0.0..=1.0")
+                    })?;
+            }
             other => return Err(format!("serve: unknown argument `{other}`").into()),
         }
+    }
+    if cfg.queue_cap < cfg.max_batch {
+        return Err(format!(
+            "serve: --queue-cap {} is smaller than --max-batch {} — \
+             no batch could ever fill",
+            cfg.queue_cap, cfg.max_batch
+        )
+        .into());
     }
     if trace_path.is_some() {
         qnn_trace::start();
@@ -280,6 +337,90 @@ fn run_router(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     Ok(())
 }
 
+/// Parses a seed as decimal or `0x`-prefixed hex.
+fn parse_seed(v: &str) -> Option<u64> {
+    if let Some(hex) = v.strip_prefix("0x").or_else(|| v.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16).ok()
+    } else {
+        v.parse().ok()
+    }
+}
+
+/// Writes a `QNNF` model-bank checkpoint — what `qnn reload` and the
+/// server's `--checkpoint` flag consume.
+///
+/// Flags:
+///
+/// * `--out PATH` — where to write (required). An existing file is
+///   rotated to `PATH.bak` first.
+/// * `--seed N` — bank seed, decimal or `0x` hex (default the shared
+///   `MODEL_SEED`).
+/// * `--zero-weights` — zero the captured base weights. The result is a
+///   structurally valid checkpoint whose logits collapse to a constant —
+///   the deterministic fixture CI uses to prove a strict canary refuses
+///   a diverging candidate.
+fn run_checkpoint(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    let mut seed: u64 = qnn_serve::MODEL_SEED;
+    let mut out: Option<PathBuf> = None;
+    let mut zero = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut next = |flag: &str| -> Result<String, String> {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match arg.as_str() {
+            "--out" => out = Some(PathBuf::from(next("--out")?)),
+            "--seed" => {
+                let v = next("--seed")?;
+                seed = parse_seed(&v).ok_or_else(|| format!("--seed: `{v}` is not a seed"))?;
+            }
+            "--zero-weights" => zero = true,
+            other => return Err(format!("checkpoint: unknown argument `{other}`").into()),
+        }
+    }
+    let out = out.ok_or("checkpoint: --out PATH is required")?;
+    let mut cp = qnn_serve::BankCheckpoint::capture(seed).map_err(|e| e.to_string())?;
+    if zero {
+        for t in &mut cp.state {
+            for v in t.as_mut_slice() {
+                *v = 0.0;
+            }
+        }
+    }
+    cp.save(&out).map_err(|e| e.to_string())?;
+    println!(
+        "wrote bank checkpoint (seed {seed:#x}{}) to {}",
+        if zero { ", weights zeroed" } else { "" },
+        out.display()
+    );
+    Ok(())
+}
+
+/// Asks a running server (or router) to hot-reload its model bank:
+/// `qnn reload HOST:PORT CHECKPOINT`. The path is resolved against the
+/// *server's* filesystem. Prints the promoted version on success; a
+/// typed refusal (corrupt checkpoint, canary divergence, reload already
+/// in flight) prints the reason and exits 1 — the server is still
+/// serving its previous version.
+fn run_reload(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    let [addr, path] = args else {
+        return Err("reload: usage `qnn reload HOST:PORT CHECKPOINT`".into());
+    };
+    let mut client = qnn_serve::ServeClient::connect(addr)?;
+    match client.reload(path) {
+        Ok((version, seed)) => {
+            println!("promoted: model version {version} (seed {seed:#x})");
+            Ok(())
+        }
+        Err(e) => {
+            eprintln!("reload rejected: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
 /// Reports a still-partial resumable sweep and exits with code 3.
 fn partial_exit(progress: &SweepProgress) -> ! {
     println!(
@@ -373,10 +514,13 @@ fn usage() {
         "usage: qnn <table3|fig3|table4|table5|fig4|energy|faultcurve|memory|minifloat|tiles|all> \
          [smoke|reduced|full] [--resume DIR [--max-cells N]]\n\
          \x20      qnn serve|shard [--addr HOST:PORT] [--port-file PATH] [--max-batch N] \
-         [--max-wait-us N] [--queue-cap N] [--engine-threads N] [--trace PATH]\n\
+         [--max-wait-us N] [--queue-cap N] [--engine-threads N] [--seed N] \
+         [--checkpoint PATH] [--canary-min-agree F] [--trace PATH]\n\
          \x20      qnn router --shards A:P[,B:P...] [--addr HOST:PORT] [--port-file PATH] \
          [--heartbeat-ms N] [--k-misses N] [--probe-timeout-ms N] [--forward-timeout-ms N] \
-         [--vnodes N] [--trace PATH]"
+         [--vnodes N] [--trace PATH]\n\
+         \x20      qnn checkpoint --out PATH [--seed N] [--zero-weights]\n\
+         \x20      qnn reload HOST:PORT CHECKPOINT"
     );
 }
 
@@ -394,6 +538,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     if cmd == "router" {
         return run_router(&args[2..]).map_err(|e| {
+            eprintln!("{e}");
+            usage();
+            std::process::exit(2);
+        });
+    }
+    if cmd == "checkpoint" {
+        return run_checkpoint(&args[2..]).map_err(|e| {
+            eprintln!("{e}");
+            usage();
+            std::process::exit(2);
+        });
+    }
+    if cmd == "reload" {
+        return run_reload(&args[2..]).map_err(|e| {
             eprintln!("{e}");
             usage();
             std::process::exit(2);
