@@ -392,6 +392,7 @@ stage build               cargo build --workspace --release --offline
 stage test                cargo test --workspace -q --offline
 stage bench-check         cargo run -p qnn-bench --release --offline -- bench-check
 stage qkernels            cargo run -p qnn-bench --release --offline -- --quick qkernels
+stage kernels-bench       cargo run -p qnn-bench --release --offline -- kernels-bench
 stage kill-resume         kill_and_resume
 stage thread-determinism  thread_determinism
 stage serve-soak          serve_soak

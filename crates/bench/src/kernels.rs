@@ -49,76 +49,19 @@ fn entry(m: &Measurement, flops_per_op: Option<f64>) -> Json {
     Json::obj(pairs)
 }
 
-/// Runs the full kernel suite and returns the report as JSON.
+/// The quantized-GEMM microkernel suite (single-threaded 256³): the f32
+/// reference, each native kernel through the exact dispatch entry the
+/// layers call, and the derived `speedup_*_vs_f32_1t` ratios that the
+/// bench-check / kernels-bench gates judge (a ratio below 1.0 fails).
 ///
-/// Printed progress goes to stdout; the caller decides whether to also
-/// write the artifact file.
-pub fn run() -> Json {
-    run_with(false)
-}
-
-/// Runs the kernel suite; `quick` trades precision for speed (shorter
-/// repetitions, the end-to-end mini-sweep skipped) for CI gating, where
-/// the regression tolerance absorbs the extra timing noise.
-pub fn run_with(quick: bool) -> Json {
-    let b = if quick {
-        Bencher {
-            warmup_reps: 1,
-            reps: 3,
-            target_rep_ns: 20_000_000,
-        }
-    } else {
-        Bencher::default()
-    };
-    let mut entries: Vec<Json> = Vec::new();
-    let mut push = |e: Json| {
-        println!(
-            "  {}",
-            e.render()
-                .lines()
-                .collect::<Vec<_>>()
-                .join(" ")
-                .replace("  ", " ")
-        );
-        entries.push(e);
-    };
-
-    println!("== matmul 256x256x256 (naive vs blocked vs threaded) ==");
-    let a = random(Shape::d2(256, 256), 1);
-    let bm = random(Shape::d2(256, 256), 2);
-    let flops_256 = 2.0 * 256f64.powi(3);
-    par::set_threads(Some(1));
-    let m = b.run("matmul_256/naive_1t", || {
-        black_box(a.matmul_naive(black_box(&bm)).unwrap());
-    });
-    let naive_ns = m.ns_per_op;
-    push(entry(&m, Some(flops_256)));
-    let m = b.run("matmul_256/blocked_1t", || {
-        black_box(a.matmul(black_box(&bm)).unwrap());
-    });
-    let blocked_ns = m.ns_per_op;
-    push(entry(&m, Some(flops_256)));
-    par::set_threads(None);
-    let m = b.run(
-        &format!("matmul_256/blocked_pool_{}t", par::threads()),
-        || {
-            black_box(a.matmul(black_box(&bm)).unwrap());
-        },
-    );
-    push(entry(&m, Some(flops_256)));
-    push(Json::obj(vec![
-        ("name", Json::str("matmul_256/speedup_blocked_vs_naive_1t")),
-        ("ratio", Json::Num(naive_ns / blocked_ns)),
-    ]));
-
+/// Every operand sits on its format's grid with raw magnitudes inside
+/// the exactness certificate, so the native kernels produce bit-identical
+/// output to the f32 baseline — the sanity asserts pin that before
+/// anything is timed. Timings include the per-batch work a real forward
+/// pays (activation packing, certificate check, requantize); weight
+/// packing is excluded, matching the per-layer plan cache.
+fn qgemm_suite(b: &Bencher, push: &mut dyn FnMut(Json)) {
     println!("== quantized GEMM 256x256x256 (native kernels vs simulated f32, 1 thread) ==");
-    // Every operand below sits on its format's grid with raw magnitudes
-    // inside the exactness certificate, so the native kernels produce
-    // bit-identical output to the f32 baseline — the sanity asserts pin
-    // that before anything is timed. Timings include the per-batch work a
-    // real forward pays (activation packing, certificate check,
-    // requantize); weight packing is excluded, matching the per-layer
-    // plan cache.
     par::set_threads(Some(1));
     let q = 256usize;
     let flops_q = 2.0 * (q as f64).powi(3);
@@ -239,9 +182,9 @@ pub fn run_with(quick: bool) -> Json {
     push(entry(&m, Some(flops_q)));
 
     // A 15-exponent span (codes 1..=16) is past the i16 view (spans ≤ 14)
-    // and lands on the i32 wide kernel. Certification at 256³ then
-    // requires unit activation raws: 2·2^15·256 = 2^24, the certificate's
-    // edge.
+    // and lands on the two-panel shift-add microkernel. Certification at
+    // 256³ then requires unit activation raws: 2·2^15·256 = 2^24, the
+    // certificate's edge.
     let mut r = rng::seeded(18);
     let ww: Vec<f32> = (0..q * q)
         .map(|_| p2.decode(r.gen_bool(0.5), r.gen_range(1u32..17)))
@@ -254,8 +197,8 @@ pub fn run_with(quick: bool) -> Json {
     let wplan = PackedWeights::pack(&BitCodec::PowerOfTwo(p2), q, q, &ww).expect("pow2 wide pack");
     if let PackedWeights::Pow2(p) = &wplan {
         assert!(
-            p.words16().is_none() && p.words32().is_some(),
-            "span 15 must use the i32 wide kernel"
+            p.words16().is_none() && p.shift_add_panels().is_some(),
+            "span 15 must use the shift-add panel microkernel"
         );
     }
     assert!(
@@ -289,6 +232,105 @@ pub fn run_with(quick: bool) -> Json {
         ]));
     }
     par::set_threads(None);
+}
+
+/// Runs the full kernel suite and returns the report as JSON.
+///
+/// Printed progress goes to stdout; the caller decides whether to also
+/// write the artifact file.
+pub fn run() -> Json {
+    run_with(false)
+}
+
+/// Runs only the quantized-GEMM microkernel suite at full repetitions —
+/// the `kernels-bench` CI leg re-checks the microkernel numbers and
+/// their speedup ratios against the committed baseline without paying
+/// for the rest of the suite.
+pub fn run_qgemm() -> Json {
+    let b = Bencher::default();
+    let mut entries: Vec<Json> = Vec::new();
+    let mut push = |e: Json| {
+        println!(
+            "  {}",
+            e.render()
+                .lines()
+                .collect::<Vec<_>>()
+                .join(" ")
+                .replace("  ", " ")
+        );
+        entries.push(e);
+    };
+    qgemm_suite(&b, &mut push);
+    Json::obj(vec![
+        ("schema", Json::str("qnn-bench/kernels/v1")),
+        ("threads_default", Json::Num(par::threads() as f64)),
+        (
+            "profile",
+            Json::str(if cfg!(debug_assertions) {
+                "debug"
+            } else {
+                "release"
+            }),
+        ),
+        ("benchmarks", Json::Arr(entries)),
+    ])
+}
+
+/// Runs the kernel suite; `quick` trades precision for speed (shorter
+/// repetitions, the end-to-end mini-sweep skipped) for CI gating, where
+/// the regression tolerance absorbs the extra timing noise.
+pub fn run_with(quick: bool) -> Json {
+    let b = if quick {
+        Bencher {
+            warmup_reps: 1,
+            reps: 3,
+            target_rep_ns: 20_000_000,
+        }
+    } else {
+        Bencher::default()
+    };
+    let mut entries: Vec<Json> = Vec::new();
+    let mut push = |e: Json| {
+        println!(
+            "  {}",
+            e.render()
+                .lines()
+                .collect::<Vec<_>>()
+                .join(" ")
+                .replace("  ", " ")
+        );
+        entries.push(e);
+    };
+
+    println!("== matmul 256x256x256 (naive vs blocked vs threaded) ==");
+    let a = random(Shape::d2(256, 256), 1);
+    let bm = random(Shape::d2(256, 256), 2);
+    let flops_256 = 2.0 * 256f64.powi(3);
+    par::set_threads(Some(1));
+    let m = b.run("matmul_256/naive_1t", || {
+        black_box(a.matmul_naive(black_box(&bm)).unwrap());
+    });
+    let naive_ns = m.ns_per_op;
+    push(entry(&m, Some(flops_256)));
+    let m = b.run("matmul_256/blocked_1t", || {
+        black_box(a.matmul(black_box(&bm)).unwrap());
+    });
+    let blocked_ns = m.ns_per_op;
+    push(entry(&m, Some(flops_256)));
+    par::set_threads(None);
+    let m = b.run(
+        &format!("matmul_256/blocked_pool_{}t", par::threads()),
+        || {
+            black_box(a.matmul(black_box(&bm)).unwrap());
+        },
+    );
+    push(entry(&m, Some(flops_256)));
+    push(Json::obj(vec![
+        ("name", Json::str("matmul_256/speedup_blocked_vs_naive_1t")),
+        ("ratio", Json::Num(naive_ns / blocked_ns)),
+    ]));
+
+    qgemm_suite(&b, &mut push);
 
     println!("== conv2d LeNet conv2 (50x(20,5,5) over (20,12,12), batch 4) ==");
     let x = random(Shape::d4(4, 20, 12, 12), 3);

@@ -18,6 +18,12 @@
 //! and render as `allowed` rather than `MISSING`. Entries only in the
 //! current run stay informational. The rendered report ends with a
 //! one-line verdict per suite (the name segment before the first `/`).
+//!
+//! Native-kernel speedup ratios (`speedup_*_vs_f32*` entries) are
+//! additionally gated in the *current* run: a ratio below 1.0 means a
+//! "fast path" that is slower than the f32 reference, which is a
+//! failure with its own `NATIVE-SLOWDOWN` verdict — not a silently
+//! committed number.
 
 use crate::json::Json;
 
@@ -58,22 +64,29 @@ pub struct CheckOutcome {
     pub missing_gated: Vec<String>,
     /// Names with timings only in the current report.
     pub only_current: Vec<String>,
+    /// `speedup_*_vs_f32*` ratios from the current run that fell below
+    /// 1.0 — native kernels slower than the f32 reference. Any entry
+    /// here fails the check.
+    pub native_slowdowns: Vec<(String, f64)>,
     /// The slowdown factor the check ran with.
     pub tolerance: f64,
 }
 
 impl CheckOutcome {
-    /// Whether the gate passes: no benchmark regressed past tolerance
-    /// AND every gated baseline entry was produced by the fresh run.
+    /// Whether the gate passes: no benchmark regressed past tolerance,
+    /// every gated baseline entry was produced by the fresh run, AND no
+    /// native kernel ran slower than its f32 reference.
     pub fn passed(&self) -> bool {
-        self.regressions.is_empty() && self.missing_gated.is_empty()
+        self.regressions.is_empty()
+            && self.missing_gated.is_empty()
+            && self.native_slowdowns.is_empty()
     }
 
     /// One verdict line per suite (the name segment before the first
     /// `/`): `REGRESSED` beats `MISSING` beats `ok` beats `allowed`.
     fn suite_verdicts(&self) -> Vec<String> {
-        // suite -> (compared, regressed, missing, allowed)
-        let mut suites: std::collections::BTreeMap<&str, (u64, u64, u64, u64)> =
+        // suite -> (compared, regressed, slowdowns, missing, allowed)
+        let mut suites: std::collections::BTreeMap<&str, (u64, u64, u64, u64, u64)> =
             std::collections::BTreeMap::new();
         fn suite_of(name: &str) -> &str {
             name.split('/').next().unwrap_or(name)
@@ -84,28 +97,35 @@ impl CheckOutcome {
         for c in &self.regressions {
             suites.entry(suite_of(&c.name)).or_default().1 += 1;
         }
-        for n in &self.missing_gated {
+        for (n, _) in &self.native_slowdowns {
             suites.entry(suite_of(n)).or_default().2 += 1;
+        }
+        for n in &self.missing_gated {
+            suites.entry(suite_of(n)).or_default().3 += 1;
         }
         for n in &self.only_baseline {
             if !self.missing_gated.contains(n) {
-                suites.entry(suite_of(n)).or_default().3 += 1;
+                suites.entry(suite_of(n)).or_default().4 += 1;
             }
         }
         suites
             .iter()
-            .map(|(suite, &(compared, regressed, missing, allowed))| {
-                let verdict = if regressed > 0 {
-                    format!("REGRESSED ({regressed} of {compared})")
-                } else if missing > 0 {
-                    format!("MISSING ({missing} gated entr{} absent)", plural_y(missing))
-                } else if compared > 0 {
-                    format!("ok ({compared} compared)")
-                } else {
-                    format!("allowed-skip ({allowed} baseline-only)")
-                };
-                format!("  {suite:<24} {verdict}\n")
-            })
+            .map(
+                |(suite, &(compared, regressed, slowdowns, missing, allowed))| {
+                    let verdict = if regressed > 0 {
+                        format!("REGRESSED ({regressed} of {compared})")
+                    } else if slowdowns > 0 {
+                        format!("NATIVE-SLOWDOWN ({slowdowns} kernel(s) below 1.0x vs f32)")
+                    } else if missing > 0 {
+                        format!("MISSING ({missing} gated entr{} absent)", plural_y(missing))
+                    } else if compared > 0 {
+                        format!("ok ({compared} compared)")
+                    } else {
+                        format!("allowed-skip ({allowed} baseline-only)")
+                    };
+                    format!("  {suite:<24} {verdict}\n")
+                },
+            )
             .collect()
     }
 
@@ -144,6 +164,11 @@ impl CheckOutcome {
         for n in &self.only_current {
             out.push_str(&format!("  skipped   {n:44} (current only)\n"));
         }
+        for (n, ratio) in &self.native_slowdowns {
+            out.push_str(&format!(
+                "  SLOWDOWN  {n:44} native kernel at {ratio:.2}x vs f32 (must be >= 1.0)\n"
+            ));
+        }
         out.push_str("suite verdicts:\n");
         for line in self.suite_verdicts() {
             out.push_str(&line);
@@ -157,11 +182,13 @@ impl CheckOutcome {
         } else {
             out.push_str(&format!(
                 "bench-check FAILED: {} of {} benchmarks regressed more than {:.0}%, \
-                 {} gated benchmark(s) missing from this run:\n",
+                 {} gated benchmark(s) missing from this run, \
+                 {} native kernel(s) slower than f32:\n",
                 self.regressions.len(),
                 self.compared.len(),
                 pct(self.tolerance),
-                self.missing_gated.len()
+                self.missing_gated.len(),
+                self.native_slowdowns.len()
             ));
             for c in &self.regressions {
                 out.push_str(&format!(
@@ -173,6 +200,11 @@ impl CheckOutcome {
             for n in &self.missing_gated {
                 out.push_str(&format!(
                     "  {n} is in the committed baseline but this run did not produce it\n"
+                ));
+            }
+            for (n, ratio) in &self.native_slowdowns {
+                out.push_str(&format!(
+                    "  {n} reports a native kernel at {ratio:.2}x vs f32 — a slowdown, not a speedup\n"
                 ));
             }
         }
@@ -221,6 +253,29 @@ fn timings(report: &Json) -> Result<Vec<(String, f64)>, String> {
         }
     }
     Ok(out)
+}
+
+/// Extracts `speedup_*_vs_f32*` ratio entries — the native-kernel
+/// speedups each kernel suite derives from its own f32 reference. Other
+/// ratio entries (e.g. blocked-vs-naive) are not native-vs-f32 claims
+/// and are left alone.
+fn native_speedups(report: &Json) -> Vec<(String, f64)> {
+    let Some(benches) = report.get("benchmarks").and_then(Json::as_arr) else {
+        return Vec::new();
+    };
+    benches
+        .iter()
+        .filter_map(|b| {
+            let name = b.get("name").and_then(Json::as_str)?;
+            let case = name.split('/').next_back().unwrap_or(name);
+            if !(wildcard_match("speedup_*_vs_f32", case)
+                || wildcard_match("speedup_*_vs_f32_1t", case))
+            {
+                return None;
+            }
+            Some((name.to_string(), b.get("ratio").and_then(Json::as_f64)?))
+        })
+        .collect()
 }
 
 /// [`check_with`] and an empty allowlist: every baseline entry the
@@ -288,12 +343,17 @@ pub fn check_with(
         .filter(|n| !allowed_missing.iter().any(|p| wildcard_match(p, n)))
         .cloned()
         .collect();
+    let native_slowdowns = native_speedups(current)
+        .into_iter()
+        .filter(|(_, ratio)| *ratio < 1.0)
+        .collect();
     Ok(CheckOutcome {
         compared,
         regressions,
         only_baseline,
         missing_gated,
         only_current,
+        native_slowdowns,
         tolerance,
     })
 }
@@ -301,11 +361,19 @@ pub fn check_with(
 /// The tolerance to run with: `QNN_BENCH_TOLERANCE` (a slowdown factor,
 /// e.g. `1.5`) or [`DEFAULT_TOLERANCE`].
 pub fn tolerance_from_env() -> f64 {
+    tolerance_from_env_or(DEFAULT_TOLERANCE)
+}
+
+/// Like [`tolerance_from_env`] but with a caller-chosen fallback, for
+/// gates whose binding contract is same-run ratios rather than absolute
+/// ns/op (absolute timings on shared CI hosts spike; ratios divide out
+/// machine speed).
+pub fn tolerance_from_env_or(default: f64) -> f64 {
     std::env::var("QNN_BENCH_TOLERANCE")
         .ok()
         .and_then(|s| s.parse::<f64>().ok())
         .filter(|t| t.is_finite() && *t > 0.0)
-        .unwrap_or(DEFAULT_TOLERANCE)
+        .unwrap_or(default)
 }
 
 #[cfg(test)]
@@ -439,6 +507,87 @@ mod tests {
         let text = out.render();
         assert!(text.contains("bench-check FAILED"));
         assert!(text.contains("gemm/blocked is 100.0% slower"));
+    }
+
+    fn with_ratio(name: &str, ratio: f64) -> Json {
+        Json::obj(vec![("name", Json::str(name)), ("ratio", Json::Num(ratio))])
+    }
+
+    fn report_plus(entries: &[(&str, Option<f64>)], extra: Vec<Json>) -> Json {
+        let r = report(entries);
+        let mut benches: Vec<Json> = r.get("benchmarks").and_then(Json::as_arr).unwrap().to_vec();
+        benches.extend(extra);
+        Json::obj(vec![
+            ("schema", Json::str("qnn-bench/kernels/v1")),
+            ("benchmarks", Json::Arr(benches)),
+        ])
+    }
+
+    #[test]
+    fn native_speedup_below_one_fails_with_named_verdict() {
+        // The bug this pins: wide-span pow2 shipped a 0.38x "speedup" and
+        // the gate let it through because ratio entries were skipped. A
+        // sub-1.0 native-vs-f32 ratio in the fresh run must now fail.
+        let base = report(&[("qgemm_256/f32_nt_1t", Some(100.0))]);
+        let cur = report_plus(
+            &[("qgemm_256/f32_nt_1t", Some(100.0))],
+            vec![with_ratio("qgemm_256/speedup_pow2_wide_vs_f32_1t", 0.38)],
+        );
+        let out = check(&base, &cur, 1.25).unwrap();
+        assert!(!out.passed());
+        assert_eq!(out.native_slowdowns.len(), 1);
+        assert_eq!(
+            out.native_slowdowns[0].0,
+            "qgemm_256/speedup_pow2_wide_vs_f32_1t"
+        );
+        let text = out.render();
+        assert!(text.contains("NATIVE-SLOWDOWN"), "{text}");
+        assert!(text.contains("0.38x vs f32"), "{text}");
+        assert!(text.contains("a slowdown, not a speedup"), "{text}");
+    }
+
+    #[test]
+    fn native_speedup_at_or_above_one_passes() {
+        let base = report(&[("qgemm_256/f32_nt_1t", Some(100.0))]);
+        let cur = report_plus(
+            &[("qgemm_256/f32_nt_1t", Some(100.0))],
+            vec![
+                with_ratio("qgemm_256/speedup_fixed8_vs_f32_1t", 3.3),
+                with_ratio("qgemm_256/speedup_pow2_wide_vs_f32_1t", 1.0),
+            ],
+        );
+        let out = check(&base, &cur, 1.25).unwrap();
+        assert!(out.passed(), "{}", out.render());
+        assert!(out.native_slowdowns.is_empty());
+    }
+
+    #[test]
+    fn non_f32_ratio_entries_are_not_slowdown_gated() {
+        // blocked-vs-naive compares two of our own kernels; it makes no
+        // native-vs-reference claim and stays informational.
+        let base = report(&[("matmul_256/naive_1t", Some(100.0))]);
+        let cur = report_plus(
+            &[("matmul_256/naive_1t", Some(100.0))],
+            vec![with_ratio("matmul_256/speedup_blocked_vs_naive_1t", 0.5)],
+        );
+        let out = check(&base, &cur, 1.25).unwrap();
+        assert!(out.passed(), "{}", out.render());
+    }
+
+    #[test]
+    fn baseline_slowdown_does_not_fail_only_current_run_is_gated() {
+        // The committed history may contain pre-overhaul sub-1.0 ratios;
+        // the gate judges what this run produced, not the archive.
+        let base = report_plus(
+            &[("qgemm_256/f32_nt_1t", Some(100.0))],
+            vec![with_ratio("qgemm_256/speedup_pow2_vs_f32_1t", 0.91)],
+        );
+        let cur = report_plus(
+            &[("qgemm_256/f32_nt_1t", Some(100.0))],
+            vec![with_ratio("qgemm_256/speedup_pow2_vs_f32_1t", 1.4)],
+        );
+        let out = check(&base, &cur, 1.25).unwrap();
+        assert!(out.passed(), "{}", out.render());
     }
 
     #[test]

@@ -29,6 +29,13 @@ pub struct Conv2d {
     out_channels: usize,
     weight_q: Option<QuantizerHandle>,
     input_q: Option<QuantizerHandle>,
+    /// The network's quantizer for this layer's *output* activations,
+    /// fused into the native kernel epilogue when possible.
+    output_q: Option<QuantizerHandle>,
+    /// Whether the last forward applied `output_q` through the fused
+    /// epilogue for *every* sample (so the network skips its separate
+    /// quantize pass).
+    fused_out_q: bool,
     cache: Option<ConvCache>,
     /// Eval-mode quantized-weight cache. Shadow weights only change
     /// through [`Layer::params_mut`] (optimizer, state load, fault
@@ -79,6 +86,8 @@ impl Conv2d {
             out_channels,
             weight_q: None,
             input_q: None,
+            output_q: None,
+            fused_out_q: false,
             cache: None,
             frozen_qw: None,
             plan: PlanCache::default(),
@@ -114,8 +123,17 @@ impl Conv2d {
     ///
     /// Both branches replicate the reference computation exactly — the
     /// same im2col, the same GEMM semantics, the same per-channel bias add
-    /// in the same order — so the output is bit-identical to
-    /// [`conv2d_with`] regardless of which samples went native.
+    /// (fused into the kernel epilogue on the native branch, which is the
+    /// same f32 additions in a different traversal order — elementwise, so
+    /// bit-identical) — so the output matches [`conv2d_with`] bit-for-bit
+    /// regardless of which samples went native.
+    ///
+    /// The output activation quantizer is additionally fused per native
+    /// sample (when tracing is off). If any sample falls back, the layer
+    /// reports the fusion as *not* applied and the network re-quantizes
+    /// the whole tensor: quantizers are idempotent (`q(q(x)) == q(x)`, a
+    /// documented [`qnn_quant::Quantizer`] contract), so the already-fused
+    /// samples come through that pass unchanged.
     fn forward_native(&mut self, input: &Tensor, qw: &Tensor) -> Option<Tensor> {
         let iq = self.input_q.as_ref()?;
         let wq = self.weight_q.as_ref()?;
@@ -137,13 +155,27 @@ impl Conv2d {
         let mut tmp = vec![0.0f32; px * o];
         let mut out = vec![0.0f32; n * o * px];
         let bias = self.bias.value.as_slice();
+        let out_q = if qnn_trace::enabled() {
+            None
+        } else {
+            self.output_q.as_deref()
+        };
+        // `tmp` is px×o, so its columns are output channels: the epilogue's
+        // per-column bias lines up with the per-channel bias here.
+        let epi = qnn_quant::packed::Epilogue {
+            bias: Some(bias),
+            out_quant: out_q,
+        };
         let in_stride = c * h * w;
         let (mut native_flops, mut simulated_flops) = (0u64, 0u64);
         for s in 0..n {
             let image = &input.as_slice()[s * in_stride..(s + 1) * in_stride];
             im2col_into(image, c, h, w, self.geom, &mut cols).ok()?;
             let dst = &mut out[s * o * px..(s + 1) * o * px];
-            if qnn_quant::packed::matmul_on_grid(&codec, &cols, px, kdim, true, plan, &mut tmp) {
+            let fused = qnn_quant::packed::matmul_on_grid_fused(
+                &codec, &cols, px, kdim, true, plan, &epi, &mut tmp,
+            );
+            if fused {
                 for (oi, row) in dst.chunks_exact_mut(px).enumerate() {
                     for (p, v) in row.iter_mut().enumerate() {
                         *v = tmp[p * o + oi];
@@ -152,13 +184,13 @@ impl Conv2d {
                 native_flops += sample_flops;
             } else {
                 gemm_nn(o, kdim, px, qw.as_slice(), &cols, dst);
-                simulated_flops += sample_flops;
-            }
-            for (oi, row) in dst.chunks_exact_mut(px).enumerate() {
-                let b = bias[oi];
-                for v in row {
-                    *v += b;
+                for (oi, row) in dst.chunks_exact_mut(px).enumerate() {
+                    let b = bias[oi];
+                    for v in row {
+                        *v += b;
+                    }
                 }
+                simulated_flops += sample_flops;
             }
         }
         if native_flops > 0 {
@@ -167,6 +199,7 @@ impl Conv2d {
         if simulated_flops > 0 {
             qnn_trace::counter!(native::CTR_FLOPS_SIMULATED, simulated_flops);
         }
+        self.fused_out_q = out_q.is_some() && simulated_flops == 0;
         Tensor::from_vec(Shape::d4(n, o, oh, ow), out).ok()
     }
 }
@@ -183,6 +216,7 @@ impl Layer for Conv2d {
             (Mode::Eval, Some(w)) => w,
             _ => self.effective_weight(),
         };
+        self.fused_out_q = false;
         let native_out = if mode == Mode::Eval && native::native_enabled() {
             self.forward_native(input, &qw)
         } else {
@@ -191,6 +225,7 @@ impl Layer for Conv2d {
         let out = match native_out {
             Some(out) => out,
             None => {
+                self.fused_out_q = false;
                 let out = conv2d_with(&mut self.scratch, input, &qw, &self.bias.value, self.geom)?;
                 let s = out.shape();
                 let px = s.dim(2) * s.dim(3);
@@ -269,6 +304,15 @@ impl Layer for Conv2d {
 
     fn set_input_quantizer(&mut self, q: Option<QuantizerHandle>) {
         self.input_q = q;
+    }
+
+    fn set_output_quantizer(&mut self, q: Option<QuantizerHandle>) {
+        self.output_q = q;
+        self.fused_out_q = false;
+    }
+
+    fn output_quant_applied(&self) -> bool {
+        self.fused_out_q
     }
 }
 

@@ -22,6 +22,12 @@ pub struct Dense {
     out_features: usize,
     weight_q: Option<QuantizerHandle>,
     input_q: Option<QuantizerHandle>,
+    /// The network's quantizer for this layer's *output* activations,
+    /// fused into the native kernel epilogue when possible.
+    output_q: Option<QuantizerHandle>,
+    /// Whether the last forward applied `output_q` through the fused
+    /// epilogue (so the network skips its separate quantize pass).
+    fused_out_q: bool,
     cache: Option<DenseCache>,
     /// Eval-mode quantized-weight cache; see the field of the same name on
     /// [`Conv2d`](crate::layers::Conv2d) for the invalidation contract.
@@ -53,6 +59,8 @@ impl Dense {
             out_features,
             weight_q: None,
             input_q: None,
+            output_q: None,
+            fused_out_q: false,
             cache: None,
             frozen_qw: None,
             plan: PlanCache::default(),
@@ -110,7 +118,16 @@ impl Layer for Dense {
         let flops = (2 * n * self.in_features * self.out_features) as u64;
         // Native quantized fast path (Eval only): runs the integer kernels
         // when the exactness certificate guarantees bit-identity with the
-        // simulated GEMM below.
+        // simulated GEMM below. The bias add is fused into the kernel
+        // epilogue, and so is the output activation quantizer — except
+        // under tracing, where the network's separate quantize pass must
+        // keep running so its per-pass telemetry is observed.
+        self.fused_out_q = false;
+        let out_q = if qnn_trace::enabled() {
+            None
+        } else {
+            self.output_q.as_deref()
+        };
         let went_native = mode == Mode::Eval
             && native::native_enabled()
             && match (&self.input_q, &self.weight_q) {
@@ -123,15 +140,22 @@ impl Layer for Dense {
                         qw.as_slice(),
                     );
                     match (codec, plan) {
-                        (Some(codec), Some(plan)) => qnn_quant::packed::matmul_on_grid(
-                            &codec,
-                            x.as_slice(),
-                            n,
-                            self.in_features,
-                            false,
-                            plan,
-                            &mut out,
-                        ),
+                        (Some(codec), Some(plan)) => {
+                            let epi = qnn_quant::packed::Epilogue {
+                                bias: Some(self.bias.value.as_slice()),
+                                out_quant: out_q,
+                            };
+                            qnn_quant::packed::matmul_on_grid_fused(
+                                &codec,
+                                x.as_slice(),
+                                n,
+                                self.in_features,
+                                false,
+                                plan,
+                                &epi,
+                                &mut out,
+                            )
+                        }
                         _ => false,
                     }
                 }
@@ -139,6 +163,7 @@ impl Layer for Dense {
             };
         if went_native {
             qnn_trace::counter!(native::CTR_FLOPS_NATIVE, flops);
+            self.fused_out_q = out_q.is_some();
         } else {
             qnn_trace::counter!(native::CTR_FLOPS_SIMULATED, flops);
             gemm_nt_with(
@@ -150,11 +175,11 @@ impl Layer for Dense {
                 qw.as_slice(),
                 &mut out,
             );
-        }
-        let b = self.bias.value.as_slice();
-        for i in 0..n {
-            for j in 0..self.out_features {
-                out[i * self.out_features + j] += b[j];
+            let b = self.bias.value.as_slice();
+            for i in 0..n {
+                for j in 0..self.out_features {
+                    out[i * self.out_features + j] += b[j];
+                }
             }
         }
         let out = Tensor::from_vec(Shape::d2(n, self.out_features), out)?;
@@ -248,6 +273,15 @@ impl Layer for Dense {
 
     fn set_input_quantizer(&mut self, q: Option<QuantizerHandle>) {
         self.input_q = q;
+    }
+
+    fn set_output_quantizer(&mut self, q: Option<QuantizerHandle>) {
+        self.output_q = q;
+        self.fused_out_q = false;
+    }
+
+    fn output_quant_applied(&self) -> bool {
+        self.fused_out_q
     }
 }
 

@@ -84,6 +84,21 @@ pub trait Layer: std::fmt::Debug + Send {
     /// input grid and can dispatch to the native quantized kernels. No-op
     /// for layers without a fast path.
     fn set_input_quantizer(&mut self, _q: Option<QuantizerHandle>) {}
+
+    /// Installs (or clears) the quantizer the network applies to this
+    /// layer's *output* activations, so the native path can fuse that snap
+    /// into the kernel epilogue instead of a separate whole-tensor pass.
+    /// No-op for layers without a fast path.
+    fn set_output_quantizer(&mut self, _q: Option<QuantizerHandle>) {}
+
+    /// True when this layer's most recent forward already applied the
+    /// installed output quantizer through the fused kernel epilogue —
+    /// [`Network`](crate::Network) then skips its separate activation
+    /// quantize pass for that slot. Layers that don't fuse always return
+    /// `false`; the network pass is the (bit-identical) fallback.
+    fn output_quant_applied(&self) -> bool {
+        false
+    }
 }
 
 /// Flattens a batch `(N, C, H, W)` (or passes through `(N, D)`) into

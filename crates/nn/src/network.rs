@@ -167,8 +167,12 @@ impl Network {
             x = layer.forward(&x, mode)?;
             if let Some(q) = &self.act_q[i + 1] {
                 // Feature maps are the largest tensors in the pass; snap
-                // them across the worker pool (bit-identical to serial).
-                qnn_quant::quantize_inplace_par(q.as_ref(), &mut x);
+                // them across the worker pool (bit-identical to serial) —
+                // unless the layer already applied this quantizer through
+                // its fused kernel epilogue.
+                if !layer.output_quant_applied() {
+                    qnn_quant::quantize_inplace_par(q.as_ref(), &mut x);
+                }
             }
             corrupt_activations(&mut self.act_faults, &self.act_q[i + 1], &mut x);
         }
@@ -193,7 +197,9 @@ impl Network {
         for (i, layer) in self.layers.iter_mut().enumerate() {
             x = layer.forward(&x, Mode::Eval)?;
             if let Some(q) = &self.act_q[i + 1] {
-                qnn_quant::quantize_inplace_par(q.as_ref(), &mut x);
+                if !layer.output_quant_applied() {
+                    qnn_quant::quantize_inplace_par(q.as_ref(), &mut x);
+                }
             }
             trace.push(x.clone());
         }
@@ -358,9 +364,12 @@ impl Network {
         }
         // Tell each layer which quantizer produced its input (`act_q[i]`
         // quantizes layer `i`'s input), so Dense/Conv2d can dispatch to the
-        // native integer kernels when the format and certificate allow.
+        // native integer kernels when the format and certificate allow —
+        // and which quantizer snaps its output (`act_q[i + 1]`), so the
+        // native path can fuse that snap into the kernel epilogue.
         for (i, layer) in self.layers.iter_mut().enumerate() {
             layer.set_input_quantizer(self.act_q[i].clone());
+            layer.set_output_quantizer(self.act_q[i + 1].clone());
         }
         self.precision = Some(precision);
         Ok(())
@@ -372,6 +381,7 @@ impl Network {
         for layer in &mut self.layers {
             layer.set_weight_quantizer(None);
             layer.set_input_quantizer(None);
+            layer.set_output_quantizer(None);
         }
         for slot in &mut self.act_q {
             *slot = None;

@@ -118,6 +118,75 @@ fn narrow_fixed_formats_actually_dispatch_native() {
 }
 
 #[test]
+fn fused_output_quantizer_engages_and_matches_separate_pass() {
+    // The fused epilogue (bias + output-activation snap inside the kernel
+    // tail) must actually engage — `output_quant_applied` reports it — and
+    // produce exactly what the unfused route produces: simulated GEMM,
+    // bias loop, then a separate whole-tensor quantize.
+    use qnn_nn::layers::{Dense, Layer, QuantizerHandle};
+    use qnn_quant::{quantize_inplace_par, Fixed};
+    use std::sync::Arc;
+
+    let _restore = Restore;
+    par::set_threads(Some(1));
+    let f = Fixed::new(8, 6).unwrap();
+    let q: QuantizerHandle = Arc::new(f);
+    let mut l = Dense::new(16, 8, 42);
+    l.set_weight_quantizer(Some(q.clone()));
+    l.set_input_quantizer(Some(q.clone()));
+    l.set_output_quantizer(Some(q.clone()));
+    let mut r = seeded(51);
+    let data: Vec<f32> = (0..4 * 16).map(|_| r.gen_range(-0.9f32..0.9)).collect();
+    let x = q.quantize(&Tensor::from_vec(Shape::d2(4, 16), data).unwrap());
+
+    set_native(Some(true));
+    let fused = l.forward(&x, Mode::Eval).unwrap();
+    assert!(
+        l.output_quant_applied(),
+        "fixed(8,6) dense must fuse the output quantizer"
+    );
+    set_native(Some(false));
+    let mut reference = l.forward(&x, Mode::Eval).unwrap();
+    assert!(!l.output_quant_applied());
+    quantize_inplace_par(q.as_ref(), &mut reference);
+    for (i, (a, b)) in fused
+        .as_slice()
+        .iter()
+        .zip(reference.as_slice().iter())
+        .enumerate()
+    {
+        assert_eq!(a.to_bits(), b.to_bits(), "out[{i}] fused {a} != ref {b}");
+    }
+}
+
+#[test]
+fn tracing_disables_quant_fusion_but_not_dispatch() {
+    // Under an active trace the layers must keep the separate quantize
+    // pass (it carries per-pass telemetry) while still running natively.
+    let _restore = Restore;
+    par::set_threads(Some(1));
+    let mut net = Network::build(&lenet_spec(), 19).unwrap();
+    let calib = batch(8, 29);
+    net.set_precision(
+        Precision::fixed(4, 4),
+        Method::MaxAbs,
+        &calib,
+        ActivationCalibration::PerLayer,
+    )
+    .unwrap();
+    let x = batch(4, 39);
+    set_native(Some(true));
+    let untraced = net.forward(&x, Mode::Eval).unwrap();
+    qnn_trace::start();
+    let traced = net.forward(&x, Mode::Eval).unwrap();
+    let trace = qnn_trace::stop();
+    assert!(trace.counters.get("nn.fwd.flops.native").copied() > Some(0));
+    for (a, b) in untraced.as_slice().iter().zip(traced.as_slice().iter()) {
+        assert_eq!(a.to_bits(), b.to_bits(), "traced forward must not drift");
+    }
+}
+
+#[test]
 fn train_mode_and_cleared_precision_stay_simulated() {
     let _restore = Restore;
     let mut net = Network::build(&lenet_spec(), 13).unwrap();

@@ -25,7 +25,7 @@
 //! All packed layouts are row-major with `k` (the reduction dimension)
 //! contiguous, matching the NT kernels in `qnn_tensor::qgemm`.
 
-use crate::{Binary, BitCodec, Fixed, PowerOfTwo, RoundMode};
+use crate::{Binary, BitCodec, Fixed, PowerOfTwo, Quantizer, RoundMode};
 use qnn_tensor::qgemm;
 
 /// Trace counter: requantize (integer accumulator → f32) passes.
@@ -124,6 +124,36 @@ pub fn dot_exact(max_a_raw: i64, max_w_raw: i64, k: usize, lsb_exp: i32) -> bool
         .is_some_and(|total| total <= 1 << 24)
 }
 
+/// [`dot_exact`] extended to the two-panel shift-add pow2 path: the same
+/// dot computed as `lo + (hi << base_shift)` over two i16 residual panels.
+/// Beyond the base certificate it demands that the hi residuals fit i16
+/// (`max_w_raw >> base_shift <= i16::MAX`) and that the base shift cannot
+/// push a certified partial past i32 (`base_shift < 31`). Under
+/// [`dot_exact`]'s `Σ|a·w| <= 2^24` bound, both panel products and the
+/// shifted combine are partial sums of that same Σ, so no step can
+/// overflow and the reassembled accumulator equals the direct integer dot
+/// — which the base certificate already ties, bit for bit, to the
+/// simulated f32 reference.
+///
+/// The fused requantize epilogue adds **no further obligations**: the
+/// requantize multiply is the same exact power-of-two scaling
+/// [`requantize_i32`] performs (exact under the `lsb_exp` bounds above),
+/// and the bias add and output-precision snap that follow are the
+/// identical elementwise f32 operations the layer and network would
+/// otherwise run as separate whole-tensor passes — same values in, same
+/// ops, same bits out (see [`Epilogue`]).
+pub fn dot_exact_shift_add(
+    max_a_raw: i64,
+    max_w_raw: i64,
+    k: usize,
+    lsb_exp: i32,
+    base_shift: u32,
+) -> bool {
+    dot_exact(max_a_raw, max_w_raw, k, lsb_exp)
+        && base_shift < 31
+        && (max_w_raw >> base_shift) <= i16::MAX as i64
+}
+
 /// Converts i32 accumulators to f32 by scaling with `2^lsb_exp`. Exact
 /// under the [`dot_exact`] certificate: the product is computed in f64
 /// (24-bit significand × exact power of two) and narrowed to an f32 that
@@ -175,6 +205,11 @@ pub struct PackedFixed {
     frac_bits: i32,
     max_abs_raw: i64,
     words16: Vec<i16>,
+    /// Register-blocked microkernel panels of [`Self::words16`] — built
+    /// only for weight tensors (see [`Self::build_panel`]); activations are
+    /// packed fresh every call and read row-major, so a panel would be pure
+    /// overhead on their side.
+    panel: Option<qgemm::PanelB>,
 }
 
 impl PackedFixed {
@@ -220,34 +255,38 @@ impl PackedFixed {
         // a switch inside the loop body is the one control-flow shape the
         // auto-vectorizer rejects outright (see `Fixed::encode_f64_mode`).
         let scale = format.scale_f64();
-        let off_grid = match format.round_mode() {
-            RoundMode::NearestAway => run_pack::<{ RoundMode::AWAY }>(
-                format,
-                scale,
-                cols,
-                pcols,
-                data,
-                &mut words16,
-                transpose,
-            ),
-            RoundMode::NearestEven => run_pack::<{ RoundMode::EVEN }>(
-                format,
-                scale,
-                cols,
-                pcols,
-                data,
-                &mut words16,
-                transpose,
-            ),
-            RoundMode::Floor => run_pack::<{ RoundMode::FLOOR }>(
-                format,
-                scale,
-                cols,
-                pcols,
-                data,
-                &mut words16,
-                transpose,
-            ),
+        let off_grid = if let Some(flag) = fast_pack(format, data, &mut words16, transpose) {
+            flag
+        } else {
+            match format.round_mode() {
+                RoundMode::NearestAway => run_pack::<{ RoundMode::AWAY }>(
+                    format,
+                    scale,
+                    cols,
+                    pcols,
+                    data,
+                    &mut words16,
+                    transpose,
+                ),
+                RoundMode::NearestEven => run_pack::<{ RoundMode::EVEN }>(
+                    format,
+                    scale,
+                    cols,
+                    pcols,
+                    data,
+                    &mut words16,
+                    transpose,
+                ),
+                RoundMode::Floor => run_pack::<{ RoundMode::FLOOR }>(
+                    format,
+                    scale,
+                    cols,
+                    pcols,
+                    data,
+                    &mut words16,
+                    transpose,
+                ),
+            }
         };
         if off_grid {
             return None;
@@ -263,7 +302,21 @@ impl PackedFixed {
             frac_bits: format.frac_bits(),
             max_abs_raw,
             words16,
+            panel: None,
         })
+    }
+
+    /// Packs [`Self::words16`] into register-blocked microkernel panels
+    /// (see `qnn_tensor::qgemm::PanelB`). Called once per *weight* tensor
+    /// by [`PackedWeights::pack`] — the panel then lives as long as the
+    /// plan, amortizing over every batched forward and serve request.
+    pub fn build_panel(&mut self) {
+        self.panel = Some(qgemm::PanelB::pack(self.rows, self.cols, &self.words16));
+    }
+
+    /// The microkernel panel, when [`Self::build_panel`] has run.
+    pub fn panel(&self) -> Option<&qgemm::PanelB> {
+        self.panel.as_ref()
     }
 
     /// Builds the ±1 fixed-point view of a sign tensor: raw `+1` or `-1`
@@ -277,6 +330,7 @@ impl PackedFixed {
             frac_bits: -scale_exp,
             max_abs_raw: 1,
             words16,
+            panel: None,
         }
     }
 
@@ -392,6 +446,112 @@ unsafe fn pack_avx2<const M: u8>(
     pack_body::<M>(format, scale, cols, pcols, data, words, transpose)
 }
 
+/// The wide f32 fast path for the row-major pack, when applicable (AVX2
+/// CPU, no transpose, `|frac_bits| <= 32`): `Some(off_grid)` with the words
+/// filled in, `None` to run the general f64 loop instead.
+///
+/// Why the fast path is **exactly** the slow path despite using a
+/// different rounding pipeline: the pack's contract is *verify and
+/// transcribe*, not *round*. For any input `x`,
+///
+/// * if `x = r·2^-frac` for an integer `r` in the format's raw range
+///   (`x` is representable), then `x·2^frac` is exactly `r` in f32
+///   (product of an on-grid f32 by a power of two, `|r| <= 2^15`, no
+///   rounding), every rounding mode maps it to `r`, and both decode
+///   checks pass — both paths store `r` with the flag clear;
+/// * otherwise no raw in range decodes to `x` — decode (`raw·2^-frac`
+///   under the gates above) is an exact product, hence injective — so
+///   *whatever* candidate raw either path rounds to, its decode-compare
+///   fails and both paths raise the flag. NaN, ±infinity, `-0.0` and
+///   overflowing magnitudes (where `vcvtps2dq` returns the `i32::MIN`
+///   sentinel) all land here.
+///
+/// The flag agrees in every case and the stored words agree whenever the
+/// flag is clear (when set, `pack_with` discards the words entirely), so
+/// the two paths are interchangeable bit for bit.
+#[cfg(target_arch = "x86_64")]
+fn fast_pack(format: &Fixed, data: &[f32], words: &mut [i16], transpose: bool) -> Option<bool> {
+    if transpose || !simd_ok() || !(-32..=32).contains(&format.frac_bits()) {
+        return None;
+    }
+    // SAFETY: `simd_ok` verified AVX2 on this CPU.
+    Some(unsafe { pack_grid_avx2(format, data, words) })
+}
+
+#[cfg(not(target_arch = "x86_64"))]
+fn fast_pack(_format: &Fixed, _data: &[f32], _words: &mut [i16], _transpose: bool) -> Option<bool> {
+    None
+}
+
+/// One 8-lane step of [`pack_grid_avx2`]: returns the candidate raws and a
+/// lane mask of round-trip/range failures.
+#[cfg(target_arch = "x86_64")]
+#[inline(always)]
+unsafe fn pack_grid_step8(
+    p: *const f32,
+    scale: std::arch::x86_64::__m256,
+    inv: std::arch::x86_64::__m256,
+    min_raw: std::arch::x86_64::__m256i,
+    max_raw: std::arch::x86_64::__m256i,
+) -> (std::arch::x86_64::__m256i, std::arch::x86_64::__m256i) {
+    use std::arch::x86_64::*;
+    let v = _mm256_loadu_ps(p);
+    // Round-to-nearest-even via the default MXCSR mode; out-of-range
+    // products become the i32::MIN sentinel, which the range check flags.
+    let raw = _mm256_cvtps_epi32(_mm256_mul_ps(v, scale));
+    let dec = _mm256_mul_ps(_mm256_cvtepi32_ps(raw), inv);
+    // Bitwise compare (not float ==): -0.0 and NaN must fail.
+    let eq = _mm256_cmpeq_epi32(_mm256_castps_si256(dec), _mm256_castps_si256(v));
+    let out_rng = _mm256_or_si256(
+        _mm256_cmpgt_epi32(raw, max_raw),
+        _mm256_cmpgt_epi32(min_raw, raw),
+    );
+    let bad = _mm256_or_si256(_mm256_andnot_si256(eq, _mm256_set1_epi32(-1)), out_rng);
+    (raw, bad)
+}
+
+/// The vectorized verify-and-transcribe loop behind [`fast_pack`].
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn pack_grid_avx2(format: &Fixed, data: &[f32], words: &mut [i16]) -> bool {
+    use std::arch::x86_64::*;
+    let rail = 1i32 << (format.word_bits() - 1);
+    let scale = _mm256_set1_ps((format.frac_bits() as f32).exp2());
+    let inv = _mm256_set1_ps((-format.frac_bits() as f32).exp2());
+    let min_raw = _mm256_set1_epi32(-rail);
+    let max_raw = _mm256_set1_epi32(rail - 1);
+    let mut bad = _mm256_setzero_si256();
+    let n = data.len();
+    let mut i = 0;
+    while i + 16 <= n {
+        // SAFETY: lanes i..i+16 are in bounds for both slices.
+        let (r0, b0) = pack_grid_step8(data.as_ptr().add(i), scale, inv, min_raw, max_raw);
+        let (r1, b1) = pack_grid_step8(data.as_ptr().add(i + 8), scale, inv, min_raw, max_raw);
+        bad = _mm256_or_si256(bad, _mm256_or_si256(b0, b1));
+        // packs interleaves the two sources per 128-bit half; the permute
+        // restores element order. Saturation can only fire on raws the
+        // range check already flagged, whose words are discarded anyway.
+        let w = _mm256_permute4x64_epi64(_mm256_packs_epi32(r0, r1), 0b11011000);
+        _mm256_storeu_si256(words.as_mut_ptr().add(i) as *mut __m256i, w);
+        i += 16;
+    }
+    if i < n {
+        // Ragged tail through the same 16-lane body over a zero-padded
+        // buffer: a 0.0 pad lane encodes to raw 0, decodes back to +0.0,
+        // stays in range — never a spurious flag.
+        let mut buf = [0.0f32; 16];
+        buf[..n - i].copy_from_slice(&data[i..]);
+        let (r0, b0) = pack_grid_step8(buf.as_ptr(), scale, inv, min_raw, max_raw);
+        let (r1, b1) = pack_grid_step8(buf.as_ptr().add(8), scale, inv, min_raw, max_raw);
+        bad = _mm256_or_si256(bad, _mm256_or_si256(b0, b1));
+        let w = _mm256_permute4x64_epi64(_mm256_packs_epi32(r0, r1), 0b11011000);
+        let mut tmp = [0i16; 16];
+        _mm256_storeu_si256(tmp.as_mut_ptr() as *mut __m256i, w);
+        words[i..].copy_from_slice(&tmp[..n - i]);
+    }
+    _mm256_movemask_epi8(bad) != 0
+}
+
 /// A binary (±scale) tensor packed both as XNOR sign planes and as ±1
 /// fixed-point words, so it can meet either a binary or a fixed-point
 /// opposite operand. Only power-of-two scales pack (see [`pow2_scale_exp`]).
@@ -437,7 +597,10 @@ impl PackedBinary {
                 &mut planes[r * words_per_row..(r + 1) * words_per_row],
             );
         }
-        let as_fixed = PackedFixed::from_signs(rows, cols, &signs, scale_exp);
+        let mut as_fixed = PackedFixed::from_signs(rows, cols, &signs, scale_exp);
+        // Binary tensors only pack as weights (activations go through
+        // `pack_act_planes`), so the ±1 fixed view always gets a panel.
+        as_fixed.build_panel();
         Some(PackedBinary {
             rows,
             cols,
@@ -479,6 +642,14 @@ impl PackedBinary {
     }
 }
 
+/// Base shift of the two-panel shift-add decomposition for wide-span pow2
+/// weights: a relative exponent `e` lands in the **lo** residual table as
+/// `±2^e` when `e < 15`, else in the **hi** table as `±2^(e-15)`, and the
+/// kernel reassembles `acc = lo + (hi << 15)`. Both residuals fit i16
+/// (`2^14` max), so the inner loops are pure `vpmaddwd` adds over small
+/// residuals — the only shift is the one per-accumulator base shift.
+pub const POW2_PANEL_SHIFT: u32 = 15;
+
 /// A power-of-two weight tensor packed as relative exponent codes for the
 /// shift-add kernel: code `0` is a zero weight, `±q` is `±2^(q-1)` in units
 /// of `2^emin_used`.
@@ -491,6 +662,12 @@ pub struct PackedPow2 {
     codes: Vec<i8>,
     words16: Option<Vec<i16>>,
     words32: Option<Vec<i32>>,
+    /// Microkernel panel of `words16` (span ≤ 14).
+    panel16: Option<qgemm::PanelB>,
+    /// Shift-add residual panels `(lo, hi)` for spans 15..=29 (see
+    /// [`POW2_PANEL_SHIFT`]). Spans 30 keep the one-multiply i32 kernel,
+    /// span 31 the shift-add-chain codes kernel.
+    panels_sa: Option<Box<(qgemm::PanelB, qgemm::PanelB)>>,
 }
 
 impl PackedPow2 {
@@ -553,7 +730,7 @@ impl PackedPow2 {
         // eligible for the far faster `vpmaddwd` i16 kernel. The 2^24
         // certificate caps `acts·2^span·k`, so realistic dispatches satisfy
         // this and the shift-add kernel serves only the wide-span tail.
-        let words16 = (span <= 14).then(|| {
+        let words16: Option<Vec<i16>> = (span <= 14).then(|| {
             codes
                 .iter()
                 .map(|&q| {
@@ -586,6 +763,30 @@ impl PackedPow2 {
                 })
                 .collect()
         });
+        let panel16 = words16.as_ref().map(|w| qgemm::PanelB::pack(rows, cols, w));
+        let panels_sa = (words16.is_none() && span <= 29).then(|| {
+            // Decompose each weight into exactly one residual bucket:
+            // `w = lo + hi·2^15` with the other bucket zero, so the two
+            // panel products sum (after the base shift) to the exact dot.
+            let mut lo = vec![0i16; codes.len()];
+            let mut hi = vec![0i16; codes.len()];
+            for (i, &q) in codes.iter().enumerate() {
+                if q != 0 {
+                    let e = q.unsigned_abs() as u32 - 1;
+                    let (dst, er) = if e < POW2_PANEL_SHIFT {
+                        (&mut lo, e)
+                    } else {
+                        (&mut hi, e - POW2_PANEL_SHIFT)
+                    };
+                    let mag = 1i16 << er;
+                    dst[i] = if q < 0 { -mag } else { mag };
+                }
+            }
+            Box::new((
+                qgemm::PanelB::pack(rows, cols, &lo),
+                qgemm::PanelB::pack(rows, cols, &hi),
+            ))
+        });
         Some(PackedPow2 {
             rows,
             cols,
@@ -594,6 +795,8 @@ impl PackedPow2 {
             codes,
             words16,
             words32,
+            panel16,
+            panels_sa,
         })
     }
 
@@ -635,6 +838,16 @@ impl PackedPow2 {
     pub fn words32(&self) -> Option<&[i32]> {
         self.words32.as_deref()
     }
+
+    /// Microkernel panel of [`Self::words16`] (span ≤ 14).
+    pub fn panel16(&self) -> Option<&qgemm::PanelB> {
+        self.panel16.as_ref()
+    }
+
+    /// The shift-add residual panels `(lo, hi)` for spans 15..=29.
+    pub fn shift_add_panels(&self) -> Option<(&qgemm::PanelB, &qgemm::PanelB)> {
+        self.panels_sa.as_ref().map(|b| (&b.0, &b.1))
+    }
 }
 
 /// A weight tensor packed for the native kernels in one of the three
@@ -655,7 +868,10 @@ impl PackedWeights {
     /// fails the on-grid round trip.
     pub fn pack(codec: &BitCodec, rows: usize, cols: usize, data: &[f32]) -> Option<Self> {
         match codec {
-            BitCodec::Fixed(f) => PackedFixed::pack(f, rows, cols, data).map(PackedWeights::Fixed),
+            BitCodec::Fixed(f) => PackedFixed::pack(f, rows, cols, data).map(|mut p| {
+                p.build_panel();
+                PackedWeights::Fixed(p)
+            }),
             BitCodec::Binary(b) => {
                 PackedBinary::pack(b, rows, cols, data).map(PackedWeights::Binary)
             }
@@ -729,6 +945,77 @@ fn pack_fixed_acts(
     }
 }
 
+/// The operations the fused microkernel tail applies to each output row
+/// after the exact integer→f32 requantize: an optional per-output-column
+/// bias add and an optional output-precision snap.
+///
+/// Both are the *same* elementwise f32 operations the dense/conv layer and
+/// the network's activation-quantize pass would otherwise run as separate
+/// whole-tensor passes. Elementwise f32 ops on identical inputs produce
+/// identical bits wherever they run, so fusing them into the kernel tail
+/// (while the tile is still cache-hot) changes when and where they
+/// execute — never the result. The exactness burden stays entirely on
+/// [`dot_exact`] / [`dot_exact_shift_add`].
+#[derive(Clone, Copy, Default)]
+pub struct Epilogue<'a> {
+    /// Per-output-column bias (length `n`), added after requantize.
+    pub bias: Option<&'a [f32]>,
+    /// Output activation quantizer, applied last through the raw
+    /// elementwise [`Quantizer::quantize_slice`] (no tracing side
+    /// effects — callers that need quantization-error telemetry must keep
+    /// the separate traced pass instead of fusing). `Send + Sync` because
+    /// the fused tail runs inside the kernel's parallel row chunks (and it
+    /// matches the layers' shared quantizer handles).
+    pub out_quant: Option<&'a (dyn Quantizer + Send + Sync)>,
+}
+
+impl Epilogue<'_> {
+    /// The empty epilogue: plain requantized GEMM output.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    fn is_empty(&self) -> bool {
+        self.bias.is_none() && self.out_quant.is_none()
+    }
+
+    /// Applies the epilogue to one already-requantized output row.
+    #[inline]
+    fn apply_row(&self, row: &mut [f32]) {
+        if let Some(b) = self.bias {
+            for (o, &bv) in row.iter_mut().zip(b) {
+                *o += bv;
+            }
+        }
+        if let Some(q) = self.out_quant {
+            q.quantize_slice(row);
+        }
+    }
+
+    /// Applies the epilogue to a full `m×n` buffer — the tail pass the
+    /// non-panel fallback kernels use; bit-identical to the fused form.
+    fn apply_all(&self, n: usize, out: &mut [f32]) {
+        if self.is_empty() {
+            return;
+        }
+        for row in out.chunks_mut(n.max(1)) {
+            self.apply_row(row);
+        }
+    }
+}
+
+/// Requantize one accumulator row into `out` (exact power-of-two scaling,
+/// same arithmetic as [`requantize_i32`]) and run the epilogue on it — the
+/// closure body of every fused panel-kernel call.
+#[inline]
+fn emit_row(step: f64, epi: &Epilogue, acc: &[i32], out: &mut [f32]) {
+    for (o, &s) in out.iter_mut().zip(acc.iter()) {
+        *o = (s as f64 * step) as f32;
+    }
+    epi.apply_row(out);
+}
+
+#[allow(clippy::too_many_arguments)]
 fn fixed_times_fixed(
     f: &Fixed,
     acts: &[f32],
@@ -736,6 +1023,7 @@ fn fixed_times_fixed(
     k: usize,
     transposed: bool,
     pw: &PackedFixed,
+    epi: &Epilogue,
     out: &mut [f32],
 ) -> bool {
     let n = pw.rows();
@@ -746,13 +1034,25 @@ fn fixed_times_fixed(
     let Some(pa) = pack_fixed_acts(f, acts, m, k, transposed) else {
         return false;
     };
-    let mut acc = vec![0i32; m * n];
-    // The i16 kernel is the faster of the two on x86-64 (its widening dot
-    // compiles to `vpmaddwd`, 16 MACs per instruction, which the i8 kernel's
-    // sign-extension-heavy codegen never reaches), so it serves both widths;
-    // integer arithmetic makes the choice invisible to results.
-    qgemm::gemm_nt_i16(m, k, n, pa.words16(), pw.words16(), &mut acc);
-    requantize_i32(&acc, lsb, out);
+    // The i16 kernel serves both widths (its widening dot compiles to
+    // `vpmaddwd`, which the i8 kernel's sign-extension-heavy codegen never
+    // reaches); integer arithmetic makes the choice invisible to results.
+    // Weight tensors carry a register-blocked panel (built once per plan),
+    // which takes the microkernel path with the epilogue fused into the
+    // tile tail; panel-less weights fall back to the row-at-a-time kernel
+    // plus separate passes — same bits either way.
+    if let Some(panel) = pw.panel() {
+        let step = (lsb as f64).exp2();
+        qgemm::gemm_nt_i16_panel_emit(m, k, n, pa.words16(), panel, out, |_r, acc, orow| {
+            emit_row(step, epi, acc, orow)
+        });
+        qnn_trace::counter!(CTR_REQUANT, 1);
+    } else {
+        let mut acc = vec![0i32; m * n];
+        qgemm::gemm_nt_i16(m, k, n, pa.words16(), pw.words16(), &mut acc);
+        requantize_i32(&acc, lsb, out);
+        epi.apply_all(n, out);
+    }
     true
 }
 
@@ -799,16 +1099,47 @@ pub fn matmul_on_grid(
     plan: &PackedWeights,
     out: &mut [f32],
 ) -> bool {
+    matmul_on_grid_fused(
+        act_codec,
+        acts,
+        m,
+        k,
+        acts_transposed,
+        plan,
+        &Epilogue::none(),
+        out,
+    )
+}
+
+/// [`matmul_on_grid`] with a fused [`Epilogue`]: the requantize, bias add
+/// and output-precision snap run in the microkernel tail per row chunk
+/// instead of as whole-tensor passes, so the layers stop round-tripping
+/// activations through intermediate f32 tensors. `out` holds the final
+/// epilogue-applied activations on `true`; unspecified on `false`.
+#[allow(clippy::too_many_arguments)]
+pub fn matmul_on_grid_fused(
+    act_codec: &BitCodec,
+    acts: &[f32],
+    m: usize,
+    k: usize,
+    acts_transposed: bool,
+    plan: &PackedWeights,
+    epi: &Epilogue,
+    out: &mut [f32],
+) -> bool {
     let n = plan.rows();
     if plan.cols() != k || out.len() != m * n || acts.len() != m * k {
         return false;
     }
+    if epi.bias.is_some_and(|b| b.len() != n) {
+        return false;
+    }
     match (act_codec, plan) {
         (BitCodec::Fixed(f), PackedWeights::Fixed(pw)) => {
-            fixed_times_fixed(f, acts, m, k, acts_transposed, pw, out)
+            fixed_times_fixed(f, acts, m, k, acts_transposed, pw, epi, out)
         }
         (BitCodec::Fixed(f), PackedWeights::Binary(pb)) => {
-            fixed_times_fixed(f, acts, m, k, acts_transposed, pb.as_fixed(), out)
+            fixed_times_fixed(f, acts, m, k, acts_transposed, pb.as_fixed(), epi, out)
         }
         (BitCodec::Fixed(f), PackedWeights::Pow2(pp)) => {
             let lsb = pp.emin_used() - f.frac_bits();
@@ -818,20 +1149,55 @@ pub fn matmul_on_grid(
             let Some(pa) = pack_fixed_acts(f, acts, m, k, acts_transposed) else {
                 return false;
             };
-            let mut acc = vec![0i32; m * n];
-            // Same integers every way (both word views are the shift-add
-            // result precomputed per weight), so the choice is purely a
-            // throughput one: `vpmaddwd` when the span fits i16, one
-            // i32 multiply per element when it fits i32, and the
-            // shift-add chain only for the span-31 edge.
-            match (pp.words16(), pp.words32()) {
-                (Some(w16), _) => qgemm::gemm_nt_i16(m, k, n, pa.words16(), w16, &mut acc),
-                (None, Some(w32)) => {
-                    qgemm::gemm_nt_pow2_wide(m, k, n, pa.words16(), w32, &mut acc);
+            let step = (lsb as f64).exp2();
+            // Same integers every way (every view is the shift-add result
+            // precomputed per weight), so the choice is purely a throughput
+            // one: the `vpmaddwd` microkernel when the span fits i16, the
+            // two-panel shift-add microkernel for spans 15..=29, one i32
+            // multiply per element at span 30, and the shift-add chain
+            // only for the span-31 edge.
+            if let Some(panel) = pp.panel16() {
+                qgemm::gemm_nt_i16_panel_emit(
+                    m,
+                    k,
+                    n,
+                    pa.words16(),
+                    panel,
+                    out,
+                    |_r, acc, orow| emit_row(step, epi, acc, orow),
+                );
+                qnn_trace::counter!(CTR_REQUANT, 1);
+            } else if let Some((lo, hi)) = pp.shift_add_panels() {
+                if !dot_exact_shift_add(
+                    acts_raw_bound(f, acts),
+                    pp.max_w_raw(),
+                    k,
+                    lsb,
+                    POW2_PANEL_SHIFT,
+                ) {
+                    return false;
                 }
-                (None, None) => qgemm::gemm_nt_pow2(m, k, n, pa.words16(), pp.codes(), &mut acc),
+                qgemm::gemm_nt_i16_panel2_emit(
+                    m,
+                    k,
+                    n,
+                    pa.words16(),
+                    lo,
+                    hi,
+                    POW2_PANEL_SHIFT,
+                    out,
+                    |_r, acc, orow| emit_row(step, epi, acc, orow),
+                );
+                qnn_trace::counter!(CTR_REQUANT, 1);
+            } else {
+                let mut acc = vec![0i32; m * n];
+                match pp.words32() {
+                    Some(w32) => qgemm::gemm_nt_pow2_wide(m, k, n, pa.words16(), w32, &mut acc),
+                    None => qgemm::gemm_nt_pow2(m, k, n, pa.words16(), pp.codes(), &mut acc),
+                }
+                requantize_i32(&acc, lsb, out);
+                epi.apply_all(n, out);
             }
-            requantize_i32(&acc, lsb, out);
             true
         }
         (BitCodec::Binary(ab), PackedWeights::Binary(pb)) => {
@@ -854,6 +1220,7 @@ pub fn matmul_on_grid(
             let mut acc = vec![0i32; m * n];
             qgemm::gemm_nt_xnor(m, k, n, &planes, pb.planes(), &mut acc);
             requantize_i32(&acc, lsb, out);
+            epi.apply_all(n, out);
             true
         }
         _ => false,

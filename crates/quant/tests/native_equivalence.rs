@@ -14,7 +14,9 @@
 //! must be declined — `matmul_on_grid` returns `false` / `pack` returns
 //! `None` — rather than computed approximately.
 
-use qnn_quant::packed::{matmul_on_grid, PackedWeights};
+use qnn_quant::packed::{
+    dot_exact, dot_exact_shift_add, matmul_on_grid, matmul_on_grid_fused, Epilogue, PackedWeights,
+};
 use qnn_quant::{Binary, BitCodec, Fixed, PowerOfTwo, Quantizer};
 use qnn_tensor::par;
 use qnn_tensor::rng::{derive_seed, seeded, Rng};
@@ -310,6 +312,206 @@ fn negative_zero_activation_falls_back() {
         run_native(&codec, &acts, 2, 4, false, &plan).is_none(),
         "-0.0 activation is off-grid and must force the simulated path"
     );
+}
+
+/// Drives the fused entry against the unfused one plus explicit bias-add
+/// and quantize passes — the exact computation the layers used to run as
+/// three separate loops. Bit equality is required whenever the plan
+/// certifies; when it declines, both entries must decline together.
+#[allow(clippy::too_many_arguments)]
+fn assert_fused_matches_separate(
+    codec: &BitCodec,
+    acts: &[f32],
+    m: usize,
+    k: usize,
+    transposed: bool,
+    plan: &PackedWeights,
+    rng: &mut Rng,
+    ctx: &str,
+) {
+    let n = plan.rows();
+    let oq = Fixed::new(8, rng.gen_range(1i32..5)).unwrap();
+    let bias: Vec<f32> = (0..n)
+        .map(|_| oq.decode(rng.gen_range(-64i64..65)))
+        .collect();
+    let epi = Epilogue {
+        bias: Some(&bias),
+        out_quant: Some(&oq),
+    };
+    let mut base = vec![f32::NAN; m * n];
+    let certified = matmul_on_grid(codec, acts, m, k, transposed, plan, &mut base);
+    let mut fused = vec![f32::NAN; m * n];
+    let fused_ok = matmul_on_grid_fused(codec, acts, m, k, transposed, plan, &epi, &mut fused);
+    assert_eq!(
+        certified, fused_ok,
+        "{ctx}: fused and unfused entries must certify identically"
+    );
+    if !certified {
+        return;
+    }
+    for i in 0..m {
+        for (j, b) in bias.iter().enumerate() {
+            base[i * n + j] += b;
+        }
+    }
+    oq.quantize_slice(&mut base);
+    assert_bits_eq(&fused, &base, ctx);
+}
+
+#[test]
+fn fused_epilogue_matches_separate_passes_across_codecs() {
+    // Every packable weight family through the fused entry: the in-kernel
+    // bias + output-quantize tail must equal the historical three-pass
+    // pipeline bit for bit.
+    cases(0x4e8, |rng| {
+        let (m, k, n) = small_dims(rng);
+        let transposed = rng.gen_bool(0.5);
+        match rng.gen_range(0u32..3) {
+            0 => {
+                let f = Fixed::new(8, rng.gen_range(-1i32..6)).unwrap();
+                let codec = BitCodec::Fixed(f);
+                let acts = fixed_values(rng, &f, m * k, i64::MAX);
+                let weights = fixed_values(rng, &f, n * k, i64::MAX);
+                let plan = PackedWeights::pack(&codec, n, k, &weights).unwrap();
+                assert_fused_matches_separate(
+                    &codec,
+                    &acts,
+                    m,
+                    k,
+                    transposed,
+                    &plan,
+                    rng,
+                    "fused fixed8",
+                );
+            }
+            1 => {
+                let p = PowerOfTwo::new(6, rng.gen_range(-4i32..5)).unwrap();
+                let wcodec = BitCodec::PowerOfTwo(p);
+                let fa = Fixed::new(8, rng.gen_range(0i32..6)).unwrap();
+                let acodec = BitCodec::Fixed(fa);
+                let hi_code = (p.max_exp() - p.min_exp()) as u32 + 1;
+                let weights: Vec<f32> = (0..n * k)
+                    .map(|_| p.decode(rng.gen_bool(0.5), rng.gen_range(0..hi_code + 1)))
+                    .collect();
+                let acts = fixed_values(rng, &fa, m * k, 64);
+                let plan = PackedWeights::pack(&wcodec, n, k, &weights).unwrap();
+                assert_fused_matches_separate(
+                    &acodec,
+                    &acts,
+                    m,
+                    k,
+                    transposed,
+                    &plan,
+                    rng,
+                    "fused pow2",
+                );
+            }
+            _ => {
+                let b = Binary::with_scale((rng.gen_range(-3i32..4) as f32).exp2()).unwrap();
+                let wcodec = BitCodec::Binary(b);
+                let acodec = BitCodec::Binary(b);
+                let acts: Vec<f32> = (0..m * k).map(|_| b.decode(rng.gen_bool(0.5))).collect();
+                let weights: Vec<f32> = (0..n * k).map(|_| b.decode(rng.gen_bool(0.5))).collect();
+                let plan = PackedWeights::pack(&wcodec, n, k, &weights).unwrap();
+                assert_fused_matches_separate(
+                    &acodec,
+                    &acts,
+                    m,
+                    k,
+                    transposed,
+                    &plan,
+                    rng,
+                    "fused xnor",
+                );
+            }
+        }
+    });
+}
+
+#[test]
+fn wide_span_pow2_uses_shift_add_panels_bit_identically() {
+    // Spans 15..=29 have no i16 view; they must take the two-panel
+    // shift-add microkernel (asserted non-vacuously) and still match the
+    // f32 reference bit for bit under the extended certificate.
+    cases(0x4e9, |rng| {
+        let p = PowerOfTwo::new(6, rng.gen_range(-2i32..3)).unwrap();
+        let wcodec = BitCodec::PowerOfTwo(p);
+        let fa = Fixed::new(8, rng.gen_range(2i32..6)).unwrap();
+        let acodec = BitCodec::Fixed(fa);
+        let m = rng.gen_range(1usize..6);
+        let k = rng.gen_range(2usize..8);
+        let n = rng.gen_range(1usize..6);
+        // Force the used-exponent span into the shift-add band; |a|raw ≤ 2
+        // and k ≤ 7 keep `dot_exact` satisfied through its conservative
+        // activation bound ((2+1) · 2^19 · 7 < 2^24).
+        let span = rng.gen_range(15u32..20);
+        let hi_code = (p.max_exp() - p.min_exp()) as u32 + 1;
+        let lo_code = hi_code - span;
+        let mut weights: Vec<f32> = (0..n * k)
+            .map(|_| {
+                let code = rng.gen_range(lo_code..hi_code + 1);
+                p.decode(rng.gen_bool(0.5), code)
+            })
+            .collect();
+        weights[0] = p.decode(false, lo_code);
+        weights[n * k - 1] = p.decode(true, hi_code);
+        let acts = fixed_values(rng, &fa, m * k, 1);
+        let plan = PackedWeights::pack(&wcodec, n, k, &weights).expect("wide pow2 must pack");
+        match &plan {
+            PackedWeights::Pow2(pp) => {
+                assert!(pp.words16().is_none(), "span {span} must not fit i16");
+                assert!(
+                    pp.shift_add_panels().is_some(),
+                    "span {span} must build shift-add panels"
+                );
+            }
+            _ => panic!("pow2 weights must pack as Pow2"),
+        }
+        let native = run_native(&acodec, &acts, m, k, false, &plan)
+            .expect("|a|raw ≤ 1 keeps the wide-span certificate");
+        let reference = reference_nt(m, k, n, &acts, false, &weights);
+        assert_bits_eq(&native, &reference, &format!("shift-add span {span}"));
+    });
+}
+
+#[test]
+fn fused_epilogue_rejects_mismatched_bias() {
+    // A bias whose length disagrees with the output width must make the
+    // fused entry decline (the layers treat `false` as "run simulated").
+    let f = Fixed::new(8, 4).unwrap();
+    let codec = BitCodec::Fixed(f);
+    let weights: Vec<f32> = (0..8).map(|i| f.decode(i as i64 - 4)).collect();
+    let plan = PackedWeights::pack(&codec, 2, 4, &weights).unwrap();
+    let acts: Vec<f32> = (0..8).map(|i| f.decode(i as i64)).collect();
+    let bias = vec![0.5f32; 3]; // n is 2
+    let epi = Epilogue {
+        bias: Some(&bias),
+        out_quant: None,
+    };
+    let mut out = vec![0.0f32; 4];
+    assert!(!matmul_on_grid_fused(
+        &codec, &acts, 2, 4, false, &plan, &epi, &mut out
+    ));
+}
+
+#[test]
+fn shift_add_certificate_extends_dot_exact() {
+    // `dot_exact_shift_add` must imply `dot_exact` and additionally bound
+    // the base shift and the down-shifted residual magnitude.
+    assert!(dot_exact(1, 1 << 20, 8, -10));
+    assert!(dot_exact_shift_add(1, 1 << 20, 8, -10, 15));
+    // Rejections unique to the shift-add form:
+    assert!(
+        !dot_exact_shift_add(1, 1 << 20, 8, -10, 31),
+        "a 31-bit base shift overflows the i32 accumulator recombination"
+    );
+    assert!(
+        !dot_exact_shift_add(1, 1 << 20, 8, -10, 4),
+        "residual 2^16 after a 4-bit shift exceeds the i16 panel word"
+    );
+    // The base certificate still gates: same operands, k too large.
+    assert!(!dot_exact(1 << 8, 1 << 20, 8, -10));
+    assert!(!dot_exact_shift_add(1 << 8, 1 << 20, 8, -10, 15));
 }
 
 #[test]

@@ -353,6 +353,336 @@ pub fn gemm_nt_pow2_wide(m: usize, k: usize, n: usize, a: &[i16], w: &[i32], c: 
     });
 }
 
+// ---------------------------------------------------------------------------
+// Register-blocked panel microkernel (MR×NR tiles over packed B)
+// ---------------------------------------------------------------------------
+
+/// Columns per packed-B panel: one microkernel tile covers `MR_I16` rows of
+/// A against `PANEL_NR` rows of B, held in ymm accumulator banks.
+pub const PANEL_NR: usize = 16;
+
+/// Rows of A per microkernel tile.
+pub const MR_I16: usize = 4;
+
+/// B packed for the register-blocked i16 microkernel: `PANEL_NR`-column
+/// panels with the reduction dimension interleaved in adjacent-`k` pairs,
+/// which is exactly the operand shape `vpmaddwd` consumes (each 32-bit
+/// lane holds one column's `(b[2g], b[2g+1])` pair).
+///
+/// Layout: `ceil(n/NR)` panels, each `ceil(k/2)` groups of `2·NR` words;
+/// group `g` of panel `p` stores `[b(j,2g), b(j,2g+1)]` for the `NR`
+/// columns `j = p·NR ..`, zero-padded past `n` columns and past `k` for
+/// odd `k`. Packing is cheap (one pass over B) and done **once per weight
+/// tensor** — plans live in the layers' bit-compare-validated PlanCache,
+/// so the cost amortizes across every batched forward and serve request.
+#[derive(Debug, Clone)]
+pub struct PanelB {
+    n: usize,
+    k: usize,
+    data: Vec<i16>,
+}
+
+impl PanelB {
+    /// Packs `b` (`n×k` row-major, i.e. Bᵀ — the NT kernels' B operand)
+    /// into microkernel panels.
+    pub fn pack(n: usize, k: usize, b: &[i16]) -> PanelB {
+        assert_eq!(b.len(), n * k, "B must be n*k (row-major transposed)");
+        let kg = k.div_ceil(2);
+        let panels = n.div_ceil(PANEL_NR);
+        let mut data = vec![0i16; panels * kg * 2 * PANEL_NR];
+        for p in 0..panels {
+            let j0 = p * PANEL_NR;
+            let ncols = (n - j0).min(PANEL_NR);
+            let base = p * kg * 2 * PANEL_NR;
+            for c in 0..ncols {
+                let row = &b[(j0 + c) * k..(j0 + c + 1) * k];
+                for (g, pair) in row.chunks(2).enumerate() {
+                    let off = base + g * 2 * PANEL_NR + 2 * c;
+                    data[off] = pair[0];
+                    if let Some(&b1) = pair.get(1) {
+                        data[off + 1] = b1;
+                    }
+                }
+            }
+        }
+        PanelB { n, k, data }
+    }
+
+    /// Output-column count (`n`).
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Reduction length (`k`).
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// The packed panel words (layout documented on the type).
+    pub fn words(&self) -> &[i16] {
+        &self.data
+    }
+
+    /// Reads element `(j, kk)` back out of the panel layout — the
+    /// round-trip inverse of [`PanelB::pack`], used by the layout
+    /// property tests and the benches' self-checks. Indices may extend to
+    /// the *physical* panel footprint (`n`/`k` rounded up to the 16-wide /
+    /// pair-of-k tile), where the packer guarantees zeros — the microkernel
+    /// multiplies those lanes unconditionally.
+    pub fn read(&self, j: usize, kk: usize) -> i16 {
+        assert!(
+            j < self.n.div_ceil(PANEL_NR) * PANEL_NR && kk < self.k.div_ceil(2) * 2,
+            "panel read out of bounds"
+        );
+        let kg = self.k.div_ceil(2);
+        let base = (j / PANEL_NR) * kg * 2 * PANEL_NR;
+        self.data[base + (kk / 2) * 2 * PANEL_NR + 2 * (j % PANEL_NR) + (kk % 2)]
+    }
+}
+
+/// Scalar instantiation of the panel microkernel: same tile walk, same
+/// panel reads, plain integer arithmetic. Integer accumulation is exact in
+/// any order, so this agrees bit-for-bit with the AVX2 tile kernel.
+#[inline(always)]
+fn panel_rows_i16(k: usize, n: usize, a_rows: &[i16], panel: &[i16], c: &mut [i32]) {
+    let rows = a_rows.len().checked_div(k).unwrap_or(0);
+    let kg = k.div_ceil(2);
+    let pstride = (kg * 2 * PANEL_NR).max(1);
+    for (pi, pan) in panel.chunks(pstride).enumerate() {
+        let j0 = pi * PANEL_NR;
+        let ncols = (n - j0).min(PANEL_NR);
+        for r in 0..rows {
+            let ar = &a_rows[r * k..(r + 1) * k];
+            let mut acc = [0i32; PANEL_NR];
+            for g in 0..kg {
+                let grp = &pan[g * 2 * PANEL_NR..(g + 1) * 2 * PANEL_NR];
+                let a0 = ar[2 * g] as i32;
+                let a1 = if 2 * g + 1 < k {
+                    ar[2 * g + 1] as i32
+                } else {
+                    0
+                };
+                for (cc, av) in acc.iter_mut().enumerate() {
+                    *av += a0 * grp[2 * cc] as i32 + a1 * grp[2 * cc + 1] as i32;
+                }
+            }
+            c[r * n + j0..r * n + j0 + ncols].copy_from_slice(&acc[..ncols]);
+        }
+    }
+}
+
+/// The register-blocked AVX2 microkernel: `MR_I16×PANEL_NR` output tiles
+/// held in eight ymm accumulators, fed by `vpbroadcastd` pair-broadcasts
+/// of A and two panel loads per k-pair, multiplied with `vpmaddwd`
+/// (16 MACs/instruction) and accumulated with `vpaddd`.
+///
+/// Under the caller contract (`Σ_k |A[i][k]·B[j][k]| <= i32::MAX` per
+/// output) no `vpmaddwd` pair-sum or `vpaddd` partial can overflow — every
+/// partial is bounded by the sum of absolute products — so the result is
+/// bit-identical to [`panel_rows_i16`] and to the row-at-a-time kernels.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn panel_rows_i16_avx2(k: usize, n: usize, a_rows: &[i16], panel: &[i16], c: &mut [i32]) {
+    use std::arch::x86_64::*;
+    let rows = a_rows.len().checked_div(k).unwrap_or(0);
+    let kfull = k / 2;
+    let kg = k.div_ceil(2);
+    let pstride = (kg * 2 * PANEL_NR).max(1);
+    for (pi, pan) in panel.chunks(pstride).enumerate() {
+        let j0 = pi * PANEL_NR;
+        let ncols = (n - j0).min(PANEL_NR);
+        let pbase = pan.as_ptr();
+        let mut r = 0;
+        while r < rows {
+            let mr = (rows - r).min(MR_I16);
+            // Row indices clamped to the tile: a short tail tile recomputes
+            // its last row in the spare accumulators (never reading outside
+            // A) and simply doesn't store the duplicates.
+            let ap = [
+                a_rows.as_ptr().add(r * k),
+                a_rows.as_ptr().add((r + 1.min(mr - 1)) * k),
+                a_rows.as_ptr().add((r + 2.min(mr - 1)) * k),
+                a_rows.as_ptr().add((r + 3.min(mr - 1)) * k),
+            ];
+            let mut acc = [[_mm256_setzero_si256(); 2]; MR_I16];
+            for g in 0..kfull {
+                // SAFETY: group g of this panel spans `pbase + 32g ..+32`,
+                // in bounds by the panel layout; the A pair reads cover
+                // elements 2g and 2g+1 < k of rows < `rows`.
+                let b0 = _mm256_loadu_si256(pbase.add(g * 2 * PANEL_NR) as *const __m256i);
+                let b1 =
+                    _mm256_loadu_si256(pbase.add(g * 2 * PANEL_NR + PANEL_NR) as *const __m256i);
+                for (i, acc_i) in acc.iter_mut().enumerate() {
+                    let pair = (ap[i].add(2 * g) as *const i32).read_unaligned();
+                    let av = _mm256_set1_epi32(pair);
+                    acc_i[0] = _mm256_add_epi32(acc_i[0], _mm256_madd_epi16(av, b0));
+                    acc_i[1] = _mm256_add_epi32(acc_i[1], _mm256_madd_epi16(av, b1));
+                }
+            }
+            if k % 2 == 1 {
+                // Odd-k tail: the panel pads the pair partner with zero;
+                // build the matching `(a[k-1], 0)` broadcast from the lone
+                // element so no read ever crosses the end of an A row.
+                let g = kfull;
+                let b0 = _mm256_loadu_si256(pbase.add(g * 2 * PANEL_NR) as *const __m256i);
+                let b1 =
+                    _mm256_loadu_si256(pbase.add(g * 2 * PANEL_NR + PANEL_NR) as *const __m256i);
+                for (i, acc_i) in acc.iter_mut().enumerate() {
+                    let lone = ap[i].add(k - 1).read() as u16 as u32;
+                    let av = _mm256_set1_epi32(lone as i32);
+                    acc_i[0] = _mm256_add_epi32(acc_i[0], _mm256_madd_epi16(av, b0));
+                    acc_i[1] = _mm256_add_epi32(acc_i[1], _mm256_madd_epi16(av, b1));
+                }
+            }
+            for (i, acc_i) in acc.iter().enumerate().take(mr) {
+                let crow = &mut c[(r + i) * n + j0..(r + i) * n + j0 + ncols];
+                if ncols == PANEL_NR {
+                    // SAFETY: crow spans 16 i32s, checked by the slice above.
+                    _mm256_storeu_si256(crow.as_mut_ptr() as *mut __m256i, acc_i[0]);
+                    _mm256_storeu_si256(crow.as_mut_ptr().add(8) as *mut __m256i, acc_i[1]);
+                } else {
+                    let mut tmp = [0i32; PANEL_NR];
+                    _mm256_storeu_si256(tmp.as_mut_ptr() as *mut __m256i, acc_i[0]);
+                    _mm256_storeu_si256(tmp.as_mut_ptr().add(8) as *mut __m256i, acc_i[1]);
+                    crow.copy_from_slice(&tmp[..ncols]);
+                }
+            }
+            r += mr;
+        }
+    }
+}
+
+/// Runs the panel microkernel over one row chunk (AVX2 when available,
+/// scalar instantiation otherwise — bit-identical either way).
+fn panel_chunk_i16(k: usize, n: usize, a_rows: &[i16], panel: &PanelB, c: &mut [i32]) {
+    debug_assert_eq!(panel.k, k);
+    debug_assert_eq!(panel.n, n);
+    dispatch!(
+        panel_rows_i16,
+        panel_rows_i16_avx2,
+        (k, n, a_rows, &panel.data, c)
+    );
+}
+
+/// `C[i][j] = Σ_k A[i][k]·B[j][k]` through the register-blocked microkernel
+/// over a pre-packed B panel. Same layout and caller contract as
+/// [`gemm_nt_i16`]; bit-identical output, substantially faster when the
+/// panel is reused across calls (the plan-cache case).
+pub fn gemm_nt_i16_panel(m: usize, k: usize, n: usize, a: &[i16], panel: &PanelB, c: &mut [i32]) {
+    assert_eq!(a.len(), m * k, "A must be m*k");
+    assert_eq!((panel.n, panel.k), (n, k), "panel shape mismatch");
+    assert_eq!(c.len(), m * n, "C must be m*n");
+    qnn_trace::counter!(CTR_CALLS, 1);
+    qnn_trace::counter!(CTR_PACKED_OPS, (m * k * n) as u64);
+    if k == 0 {
+        c.fill(0);
+        return;
+    }
+    par::for_each_chunk_mut(c, ROWS_PER_TASK * n, |ci, chunk| {
+        let rows = chunk.len() / n;
+        let start = ci * ROWS_PER_TASK;
+        panel_chunk_i16(k, n, &a[start * k..(start + rows) * k], panel, chunk);
+    });
+}
+
+/// [`gemm_nt_i16_panel`] with a **fused epilogue**: instead of
+/// materialising the whole `m×n` i32 accumulator tensor, each row chunk's
+/// accumulators stay in a chunk-local scratch and `emit(row, acc_row,
+/// out_row)` converts them to the caller's output (requantize + bias +
+/// output-precision snap in `qnn-quant`) while the tile is still hot in
+/// cache. `emit` must be elementwise-deterministic; it runs exactly once
+/// per output row, in any order across chunks.
+pub fn gemm_nt_i16_panel_emit<F>(
+    m: usize,
+    k: usize,
+    n: usize,
+    a: &[i16],
+    panel: &PanelB,
+    out: &mut [f32],
+    emit: F,
+) where
+    F: Fn(usize, &[i32], &mut [f32]) + Sync,
+{
+    assert_eq!(a.len(), m * k, "A must be m*k");
+    assert_eq!((panel.n, panel.k), (n, k), "panel shape mismatch");
+    assert_eq!(out.len(), m * n, "out must be m*n");
+    qnn_trace::counter!(CTR_CALLS, 1);
+    qnn_trace::counter!(CTR_PACKED_OPS, (m * k * n) as u64);
+    par::for_each_chunk_mut(out, ROWS_PER_TASK * n, |ci, chunk| {
+        let rows = chunk.len() / n;
+        let start = ci * ROWS_PER_TASK;
+        let mut acc = vec![0i32; rows * n];
+        if k > 0 {
+            panel_chunk_i16(k, n, &a[start * k..(start + rows) * k], panel, &mut acc);
+        }
+        for (i, (arow, orow)) in acc
+            .chunks_exact(n)
+            .zip(chunk.chunks_exact_mut(n))
+            .enumerate()
+        {
+            emit(start + i, arow, orow);
+        }
+    });
+}
+
+/// Two-panel shift-add variant for wide-span power-of-two weights:
+/// `acc[i][j] = lo[i][j] + (hi[i][j] << shift)` where `lo`/`hi` are panel
+/// microkernel products over the residual tables (see
+/// `qnn_quant::packed::PackedPow2`). The shared base shift is applied once
+/// per accumulator — the inner loops are pure `vpmaddwd` adds over small
+/// residuals, no per-element multiplies by wide constants.
+///
+/// Caller contract: `Σ_k |A[i][k]| · (|lo| + |hi|·2^shift) <= i32::MAX`
+/// per output (the dispatch certificate bounds it by `2^24`), which also
+/// bounds both partial products, so every step is exact.
+#[allow(clippy::too_many_arguments)]
+pub fn gemm_nt_i16_panel2_emit<F>(
+    m: usize,
+    k: usize,
+    n: usize,
+    a: &[i16],
+    lo: &PanelB,
+    hi: &PanelB,
+    shift: u32,
+    out: &mut [f32],
+    emit: F,
+) where
+    F: Fn(usize, &[i32], &mut [f32]) + Sync,
+{
+    assert_eq!(a.len(), m * k, "A must be m*k");
+    assert_eq!((lo.n, lo.k), (n, k), "lo panel shape mismatch");
+    assert_eq!((hi.n, hi.k), (n, k), "hi panel shape mismatch");
+    assert_eq!(out.len(), m * n, "out must be m*n");
+    assert!(shift < 32, "base shift must fit an i32");
+    qnn_trace::counter!(CTR_CALLS, 1);
+    qnn_trace::counter!(CTR_PACKED_OPS, 2 * (m * k * n) as u64);
+    par::for_each_chunk_mut(out, ROWS_PER_TASK * n, |ci, chunk| {
+        let rows = chunk.len() / n;
+        let start = ci * ROWS_PER_TASK;
+        let a_rows = if k > 0 {
+            &a[start * k..(start + rows) * k]
+        } else {
+            &[][..]
+        };
+        let mut acc = vec![0i32; rows * n];
+        let mut acc_hi = vec![0i32; rows * n];
+        if k > 0 {
+            panel_chunk_i16(k, n, a_rows, lo, &mut acc);
+            panel_chunk_i16(k, n, a_rows, hi, &mut acc_hi);
+        }
+        for (lo_v, hi_v) in acc.iter_mut().zip(acc_hi.iter()) {
+            *lo_v += hi_v << shift;
+        }
+        for (i, (arow, orow)) in acc
+            .chunks_exact(n)
+            .zip(chunk.chunks_exact_mut(n))
+            .enumerate()
+        {
+            emit(start + i, arow, orow);
+        }
+    });
+}
+
 /// Packs one row of `±1` signs (`true` = negative) into little-endian
 /// `u64` plane words, zero-padding the tail. Shared by the weight/act
 /// packers in `qnn-quant` and the benches.
