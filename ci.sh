@@ -10,6 +10,7 @@
 #
 # Usage:
 #   ./ci.sh                 run every stage, in order
+#   ./ci.sh --list          print the stage names, in order, and exit
 #   ./ci.sh --stage NAME    reproduce a single stage locally (e.g.
 #                           `./ci.sh --stage cluster-soak`); stages that
 #                           run ./target/release binaries assume a prior
@@ -21,16 +22,25 @@ set -eu
 
 cd "$(dirname "$0")"
 
+# The stage names, in run order, parsed out of this very script — the
+# single source both `--list` and the unknown-`--stage` error print.
+list_stages() {
+    grep '^stage ' "$0" | awk '{print $2}'
+}
+
 SELECT=""
 SELECT_FOUND=0
-if [ "${1:-}" = "--stage" ]; then
+if [ "${1:-}" = "--list" ]; then
+    list_stages
+    exit 0
+elif [ "${1:-}" = "--stage" ]; then
     if [ -z "${2:-}" ]; then
         echo "--stage needs a stage name" >&2
         exit 2
     fi
     SELECT="$2"
 elif [ -n "${1:-}" ]; then
-    echo "unknown argument: $1 (only --stage NAME is supported)" >&2
+    echo "unknown argument: $1 (only --list and --stage NAME are supported)" >&2
     exit 2
 fi
 
@@ -43,7 +53,7 @@ on_exit() {
     echo ""
     if [ "$code" -eq 0 ] && [ -n "$SELECT" ] && [ "$SELECT_FOUND" -eq 0 ]; then
         echo "no stage named '$SELECT'; stages are:" >&2
-        grep '^stage ' "$0" | awk '{print "  " $2}' >&2
+        list_stages | sed 's/^/  /' >&2
         exit 2
     fi
     if [ "$code" -eq 0 ]; then
@@ -100,6 +110,48 @@ thread_determinism() {
     QNN_THREADS=1 ./target/release/qnn table4 smoke > "$dir/t1.txt"
     QNN_THREADS=4 ./target/release/qnn table4 smoke > "$dir/t4.txt"
     cmp "$dir/t1.txt" "$dir/t4.txt"
+    rm -rf "$dir"
+}
+
+# Tune-smoke gate: run a cell-bounded smoke-scale mixed-precision
+# autotune to completion (32 cells bounds the 7-uniform + coordinate
+# -descent sweep from above) and gate the committed PARETO_tune.json
+# against the fresh front: a committed point no fresh point matches
+# within tolerance is PARETO-DOMINATED, as are a frontier that fails to
+# parse and an empty fresh front.
+tune_smoke() {
+    dir=$(mktemp -d)
+    ./target/release/qnn tune smoke --resume "$dir/ckpt" --max-cells 32 \
+        --out "$dir/PARETO_fresh.json"
+    ./target/release/qnn-bench bench-check --pareto "$dir/PARETO_fresh.json" \
+        --baseline PARETO_tune.json
+    rm -rf "$dir"
+}
+
+# Tune kill-and-resume gate: SIGKILL an autotune mid-sweep at a
+# seed-derived cell (the CLI self-kills after recording that cell, so
+# the ledger has committed it; exit 137 by contract), resume it to
+# completion from the same checkpoint directory, and demand the Pareto
+# artifact be byte-identical to an uninterrupted run's.
+tune_resume() {
+    dir=$(mktemp -d)
+    seed=42
+    kill_cell=$((seed % 5 + 2))
+    set +e
+    ./target/release/qnn tune smoke --seed "$seed" --resume "$dir/ckpt" \
+        --kill-cell "$kill_cell" --out "$dir/PARETO_killed.json" \
+        > "$dir/killed.txt" 2>&1
+    code=$?
+    set -e
+    if [ "$code" -ne 137 ]; then
+        echo "killed tune should exit 137 (SIGKILL), got $code" >&2
+        cat "$dir/killed.txt" >&2
+        return 1
+    fi
+    ./target/release/qnn tune smoke --seed "$seed" --resume "$dir/ckpt" \
+        --out "$dir/PARETO_resumed.json"
+    ./target/release/qnn tune smoke --seed "$seed" --out "$dir/PARETO_plain.json"
+    cmp "$dir/PARETO_resumed.json" "$dir/PARETO_plain.json"
     rm -rf "$dir"
 }
 
@@ -395,6 +447,8 @@ stage qkernels            cargo run -p qnn-bench --release --offline -- --quick 
 stage kernels-bench       cargo run -p qnn-bench --release --offline -- kernels-bench
 stage kill-resume         kill_and_resume
 stage thread-determinism  thread_determinism
+stage tune-smoke          tune_smoke
+stage tune-resume         tune_resume
 stage serve-soak          serve_soak
 stage serve-bench         cargo run -p qnn-bench --release --offline -- --quick serve-bench
 stage cluster-soak        cluster_soak

@@ -36,6 +36,10 @@ pub struct DesignMetrics {
 pub struct AcceleratorDesign {
     config: AcceleratorConfig,
     precision: Precision,
+    /// Explicit accumulator width, overriding the guard-bit formula of
+    /// [`accumulator_bits`](Self::accumulator_bits). `None` keeps the
+    /// conservative full-product width.
+    acc_override: Option<u32>,
 }
 
 impl AcceleratorDesign {
@@ -52,7 +56,28 @@ impl AcceleratorDesign {
     /// [`AcceleratorConfig::validate`]).
     pub fn with_config(precision: Precision, config: AcceleratorConfig) -> Self {
         config.validate();
-        AcceleratorDesign { config, precision }
+        AcceleratorDesign {
+            config,
+            precision,
+            acc_override: None,
+        }
+    }
+
+    /// Narrows (or widens) the accumulator datapath to an explicit
+    /// width. The adder trees, per-stage accumulator registers, and the
+    /// clock tree over them all scale with this width, so a certified
+    /// narrow accumulator (see
+    /// `qnn_quant::packed::dot_exact_narrow_acc`) buys real area and
+    /// power — the third knob the tuner trades alongside weight and
+    /// input precision.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits < 2` — one bit cannot hold a signed sum.
+    pub fn with_accumulator_bits(mut self, bits: u32) -> Self {
+        assert!(bits >= 2, "accumulator width must be at least 2 bits");
+        self.acc_override = Some(bits);
+        self
     }
 
     /// The structural configuration.
@@ -86,8 +111,12 @@ impl AcceleratorDesign {
 
     /// Accumulator width: full product width plus `log2(Tn·Ti)` guard bits
     /// so the adder tree never overflows (the wide accumulation that lets
-    /// biases stay unquantized).
+    /// biases stay unquantized) — unless narrowed through
+    /// [`with_accumulator_bits`](Self::with_accumulator_bits).
     pub fn accumulator_bits(&self) -> u32 {
+        if let Some(bits) = self.acc_override {
+            return bits;
+        }
         let w = self.precision.weight_bits();
         let i = self.precision.input_bits();
         w + i + (self.config.macs_per_cycle() as f64).log2().ceil() as u32
@@ -233,6 +262,23 @@ mod tests {
     fn accumulator_is_wider_than_product() {
         let d = AcceleratorDesign::new(Precision::fixed(16, 16));
         assert_eq!(d.accumulator_bits(), 16 + 16 + 8);
+    }
+
+    #[test]
+    fn accumulator_override_shrinks_power_and_area() {
+        let full = AcceleratorDesign::new(Precision::fixed(8, 8));
+        let narrow = AcceleratorDesign::new(Precision::fixed(8, 8)).with_accumulator_bits(16);
+        assert_eq!(full.accumulator_bits(), 8 + 8 + 8);
+        assert_eq!(narrow.accumulator_bits(), 16);
+        let (f, n) = (full.synthesize(), narrow.synthesize());
+        assert!(n.power_mw() < f.power_mw(), "narrow acc must cut power");
+        assert!(n.area_mm2() < f.area_mm2(), "narrow acc must cut area");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2 bits")]
+    fn one_bit_accumulator_is_rejected() {
+        let _ = AcceleratorDesign::new(Precision::binary()).with_accumulator_bits(1);
     }
 
     #[test]

@@ -130,6 +130,9 @@ pub struct TileSimulator {
     config: AcceleratorConfig,
     precision: SimPrecision,
     faults: Option<SimFaults>,
+    /// Modelled accumulator register width; [`ACC_BITS`] unless narrowed
+    /// through [`with_acc_bits`](Self::with_acc_bits).
+    acc_bits: u32,
     /// Layer calls simulated so far — the stream index for per-call
     /// fault-seed derivation. `Cell` because simulation methods take
     /// `&self` and only this bookkeeping mutates.
@@ -149,8 +152,36 @@ impl TileSimulator {
             config,
             precision,
             faults: None,
+            acc_bits: ACC_BITS,
             fault_calls: Cell::new(0),
         }
+    }
+
+    /// Narrows the modelled accumulator registers to `bits`. Every
+    /// partial sum saturates to the `bits`-bit two's-complement range
+    /// after each multiply-accumulate — the saturating adder a narrow
+    /// accumulator datapath implements — so a layer whose dot products
+    /// are certified by `qnn_quant::packed::dot_exact_narrow_acc` runs
+    /// bit-identical to the full-width engine, while an uncertified
+    /// layer degrades deterministically (clamped, never wrapped). Fault
+    /// injection addresses the narrowed registers: accumulator flip
+    /// sites land within `bits`, not [`ACC_BITS`].
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `2 <= bits <= ACC_BITS`.
+    pub fn with_acc_bits(mut self, bits: u32) -> Self {
+        assert!(
+            (2..=ACC_BITS).contains(&bits),
+            "accumulator width must be in [2, {ACC_BITS}], got {bits}"
+        );
+        self.acc_bits = bits;
+        self
+    }
+
+    /// The modelled accumulator register width in bits.
+    pub fn acc_bits(&self) -> u32 {
+        self.acc_bits
     }
 
     /// Simulator with the paper's default 16×16 tile.
@@ -260,14 +291,15 @@ impl TileSimulator {
     }
 
     /// Flips partial-sum bits across one tile's accumulator registers,
-    /// modelled as [`ACC_BITS`]-bit two's-complement words.
-    fn corrupt_acc(inj: &mut FaultInjector, acc: &mut [i128]) -> u64 {
-        let width = ACC_BITS as u64;
+    /// modelled as [`acc_bits`](Self::acc_bits)-bit two's-complement
+    /// words.
+    fn corrupt_acc(&self, inj: &mut FaultInjector, acc: &mut [i128]) -> u64 {
+        let width = self.acc_bits as u64;
         let sites: Vec<u64> = inj.sites(acc.len() as u64 * width).collect();
         let flips = sites.len() as u64;
         for site in sites {
             let elem = (site / width) as usize;
-            acc[elem] = flip_acc_word(acc[elem], (site % width) as u32);
+            acc[elem] = flip_acc_word(acc[elem], (site % width) as u32, self.acc_bits);
         }
         qnn_trace::counter!(BufferKind::Acc.counter(), flips);
         flips
@@ -373,6 +405,7 @@ impl TileSimulator {
         };
 
         let scale = self.acc_scale();
+        let narrow = self.acc_bits < ACC_BITS;
         let mut outputs = vec![0.0f32; neurons];
         let mut cycles = 0u64;
         let mut sb_reads = 0u64;
@@ -395,13 +428,16 @@ impl TileSimulator {
                         let x = bin[chunk_base + k];
                         let w = sb[row + chunk_base + k];
                         *a += self.multiply(w, x);
+                        if narrow {
+                            *a = saturate_acc(*a, self.acc_bits);
+                        }
                     }
                 }
             }
             // Soft errors strike the partial sums after the last chunk
             // folds in, before NFU-3 consumes them.
             if let Some(inj) = acc_inj.as_mut() {
-                fault_flips += Self::corrupt_acc(inj, &mut acc);
+                fault_flips += self.corrupt_acc(inj, &mut acc);
             }
             // NFU-3: bias add (accumulator precision), nonlinearity,
             // requantize to the feature-map format, write Bout.
@@ -627,13 +663,20 @@ fn flip_fixed_code(code: i64, bit: u32, width: u32) -> i64 {
     (raw ^ sign).wrapping_sub(sign) as i64
 }
 
-/// Flips bit `bit` of an [`ACC_BITS`]-bit two's-complement accumulator
+/// Flips bit `bit` of a `width`-bit two's-complement accumulator
 /// register. The struck register is re-read modulo the register width —
 /// bits a fault-free run never populates cannot hold damage.
-fn flip_acc_word(acc: i128, bit: u32) -> i128 {
-    let raw = (acc as u128 ^ (1u128 << bit)) & ((1u128 << ACC_BITS) - 1);
-    let sign = 1u128 << (ACC_BITS - 1);
+fn flip_acc_word(acc: i128, bit: u32, width: u32) -> i128 {
+    let raw = (acc as u128 ^ (1u128 << bit)) & ((1u128 << width) - 1);
+    let sign = 1u128 << (width - 1);
     (raw ^ sign).wrapping_sub(sign) as i128
+}
+
+/// Clamps a partial sum to the `bits`-bit two's-complement range — the
+/// saturating adder of a narrow accumulator datapath.
+fn saturate_acc(acc: i128, bits: u32) -> i128 {
+    let hi = (1i128 << (bits - 1)) - 1;
+    acc.clamp(-hi - 1, hi)
 }
 
 #[cfg(test)]
@@ -887,7 +930,109 @@ mod tests {
         // Sign bit makes large negatives: flipping bit 7 of 0 in 8 bits
         // lands on -128, the two's-complement extreme.
         assert_eq!(flip_fixed_code(0, 7, 8), -128);
-        assert_eq!(flip_acc_word(0, ACC_BITS - 1), -(1i128 << (ACC_BITS - 1)));
+        assert_eq!(
+            flip_acc_word(0, ACC_BITS - 1, ACC_BITS),
+            -(1i128 << (ACC_BITS - 1))
+        );
+        // Narrowed registers: the sign bit of a 16-bit accumulator.
+        assert_eq!(flip_acc_word(0, 15, 16), -(1i128 << 15));
+        assert_eq!(flip_acc_word(-(1i128 << 15), 15, 16), 0);
+    }
+
+    #[test]
+    fn certified_narrow_accumulator_matches_full_width() {
+        // Q8.4 inputs (|raw| ≤ 127) × Q4.2 weights (|raw| ≤ 7), fan-in 16:
+        // Σ|a·w| ≤ 127·7·16 = 14224 ≤ 2^15 − 1, so the 16-bit narrow
+        // certificate holds and the saturating engine must agree bit for
+        // bit with the full-width one.
+        assert!(qnn_quant::packed::dot_exact_narrow_acc(127, 7, 16, -6, 16));
+        let precision = SimPrecision::Fixed {
+            weights: Fixed::new(4, 2).unwrap(),
+            inputs: Fixed::new(8, 4).unwrap(),
+        };
+        let inputs = data(16, 70);
+        let weights = data(16 * 10, 71);
+        let bias = data(10, 72);
+        let full =
+            TileSimulator::with_default_tile(precision).run_dense(&inputs, &weights, &bias, false);
+        let narrow = TileSimulator::with_default_tile(precision)
+            .with_acc_bits(16)
+            .run_dense(&inputs, &weights, &bias, false);
+        assert_eq!(full, narrow, "certified width must be exact");
+    }
+
+    #[test]
+    fn uncertified_narrow_accumulator_saturates_deterministically() {
+        // Same formats, but an 8-bit accumulator (limit 127) cannot hold
+        // even one near-maximal product — the certificate refuses and the
+        // engine clamps instead of wrapping.
+        assert!(!qnn_quant::packed::dot_exact_narrow_acc(127, 7, 16, -6, 8));
+        let precision = SimPrecision::Fixed {
+            weights: Fixed::new(4, 2).unwrap(),
+            inputs: Fixed::new(8, 4).unwrap(),
+        };
+        let inputs = vec![6.0f32; 16];
+        let weights = vec![1.5f32; 16 * 4];
+        let bias = vec![0.0f32; 4];
+        let full =
+            TileSimulator::with_default_tile(precision).run_dense(&inputs, &weights, &bias, false);
+        let run = || {
+            TileSimulator::with_default_tile(precision)
+                .with_acc_bits(8)
+                .run_dense(&inputs, &weights, &bias, false)
+        };
+        let a = run();
+        assert_ne!(a.outputs, full.outputs, "saturation must bite");
+        assert_eq!(a, run(), "saturation path must be deterministic");
+        // Clamped, never wrapped: the positive sum saturates at the
+        // 8-bit ceiling (127 LSBs · 2^-6 = 1.984375), not a wrapped
+        // negative.
+        assert!(a.outputs.iter().all(|&y| y > 0.0));
+        // The schedule is data-independent.
+        assert_eq!(a.cycles, full.cycles);
+    }
+
+    #[test]
+    fn narrow_accumulator_faults_land_within_the_narrow_width() {
+        let precision = SimPrecision::Fixed {
+            weights: Fixed::new(4, 2).unwrap(),
+            inputs: Fixed::new(8, 4).unwrap(),
+        };
+        let inputs = data(16, 80);
+        let weights = data(16 * 8, 81);
+        let bias = data(8, 82);
+        let run = || {
+            TileSimulator::with_faults(
+                AcceleratorConfig::default(),
+                precision,
+                SimFaults {
+                    weight_rate: 0.0,
+                    act_rate: 0.0,
+                    acc_rate: 0.05,
+                    seed: 17,
+                },
+            )
+            .unwrap()
+            .with_acc_bits(16)
+            .run_dense(&inputs, &weights, &bias, false)
+        };
+        let a = run();
+        assert_eq!(a, run(), "seeded narrow-width faults must replay");
+        // A flip confined to 16 bits moves an output by at most the full
+        // 16-bit span in accumulator LSBs (2^16 · 2^-6 = 1024.0) — it can
+        // never fabricate the astronomical magnitudes a 48-bit flip can.
+        let clean = TileSimulator::with_default_tile(precision)
+            .with_acc_bits(16)
+            .run_dense(&inputs, &weights, &bias, false);
+        for (y, c) in a.outputs.iter().zip(&clean.outputs) {
+            assert!((y - c).abs() <= 1024.0, "flip escaped the 16-bit register");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "accumulator width")]
+    fn acc_width_beyond_register_is_rejected() {
+        let _ = fixed_sim().with_acc_bits(ACC_BITS + 1);
     }
 
     #[test]

@@ -7,7 +7,10 @@
 //! hot paths (blocked vs naive GEMM, convolution, quantization, a full
 //! training step) and emits the committed `BENCH_kernels.json` artifact,
 //! [`regression`] gates CI against that committed baseline
-//! (`bench-check`), [`tracereport`] summarizes `qnn-trace` JSONL files,
+//! (`bench-check`), [`pareto`] gates the committed autotuner frontier
+//! `PARETO_tune.json` against a fresh `qnn tune` run
+//! (`bench-check --pareto`), [`tracereport`] summarizes `qnn-trace`
+//! JSONL files,
 //! [`soak`] is the `serve-soak` load generator that proves every
 //! `qnn-serve` response bit-identical to a single-shot forward,
 //! [`clustersoak`] is its cluster-level sibling (`cluster-soak`): the
@@ -27,6 +30,7 @@ pub mod artifacts;
 pub mod clustersoak;
 pub mod json;
 pub mod kernels;
+pub mod pareto;
 pub mod qcheck;
 pub mod regression;
 pub mod reloadsoak;

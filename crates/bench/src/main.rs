@@ -8,23 +8,33 @@
 
 use qnn_bench::json::Json;
 use qnn_bench::{
-    artifacts, clustersoak, kernels, qcheck, regression, reloadsoak, servebench, soak, sync,
-    tracereport,
+    artifacts, clustersoak, kernels, pareto, qcheck, regression, reloadsoak, servebench, soak,
+    sync, tracereport,
 };
 
 const USAGE: &str = "\
 usage: qnn-bench [--quick] [--trace <path>] [SUBCOMMAND]
 
   kernels        kernel benchmarks; writes BENCH_kernels.json (default)
-  bench-check [--baseline <path>]
+  bench-check [--baseline <path>] [--pareto <fresh>]
                  quick kernel run compared against the committed
                  BENCH_kernels.json; exits 1 on any >25% regression
-                 (tolerance factor via QNN_BENCH_TOLERANCE, e.g. 1.25)
+                 (tolerance factor via QNN_BENCH_TOLERANCE, e.g. 1.25).
+                 With --pareto FRESH it instead gates the committed
+                 autotuner frontier (--baseline, default
+                 PARETO_tune.json) against the freshly tuned front in
+                 FRESH: a committed point no fresh point matches within
+                 QNN_PARETO_ACC_TOL accuracy pct-pt (default 0.5) and
+                 QNN_PARETO_ENERGY_TOL relative energy (default 0.05)
+                 fails with a PARETO-DOMINATED verdict, as do parse
+                 failures and an empty fresh front
   kernels-bench [--baseline <path>]
                  full-repetition re-run of the qgemm_256 microkernel
                  suite compared against the committed BENCH_kernels.json
-                 with per-kernel verdicts; exits 1 on any >25% regression
-                 or any native speedup_*_vs_f32 ratio below 1.0
+                 with per-kernel verdicts; exits 1 on any >75% regression
+                 or any native speedup_*_vs_f32 ratio below 1.0; a
+                 failure on the absolute ns/op backstop alone gets one
+                 clean re-run (recorded in the verdict) before it gates
   qkernels       native-vs-simulated bit-identity self-check of the
                  quantized fast path on this host's CPU; exits 1 on any
                  mismatch or never-dispatched packable precision
@@ -139,7 +149,6 @@ fn kernels_bench(baseline_path: &str) -> i32 {
         }
     };
     println!("kernels-bench: full qgemm_256 microkernel re-run vs {baseline_path}");
-    let current = kernels::run_qgemm();
     // The binding contract for this leg is the same-run
     // speedup_*_vs_f32 ratios (NATIVE-SLOWDOWN verdicts), which divide
     // out machine speed; the absolute ns/op comparison is only a
@@ -159,13 +168,78 @@ fn kernels_bench(baseline_path: &str) -> i32 {
         "lenet_small/*",
         "table4/*",
     ];
-    match regression::check_with(&baseline, &current, tolerance, OUT_OF_SCOPE) {
+    let mut current = kernels::run_qgemm();
+    let mut retried = false;
+    loop {
+        let outcome = match regression::check_with(&baseline, &current, tolerance, OUT_OF_SCOPE) {
+            Ok(o) => o,
+            Err(e) => {
+                eprintln!("kernels-bench: {e}");
+                return 1;
+            }
+        };
+        // Because the absolute comparison is only a backstop, a failure
+        // on it *alone* — REGRESSED verdicts with no NATIVE-SLOWDOWN
+        // and nothing MISSING — gets one clean re-run of the suite
+        // before it gates: a scheduler spike on a shared runner is not
+        // reproducible, a real regression is.
+        let backstop_only = !outcome.passed()
+            && outcome.missing_gated.is_empty()
+            && outcome.native_slowdowns.is_empty();
+        if backstop_only && !retried {
+            retried = true;
+            println!(
+                "\nabsolute ns/op backstop exceeded ({} REGRESSED, nothing missing or \
+                 slowed down natively); re-running the qgemm_256 suite once",
+                outcome.regressions.len()
+            );
+            current = kernels::run_qgemm();
+            continue;
+        }
+        print!("\n{}", outcome.render());
+        if retried {
+            println!(
+                "verdict above is from retry 1 of 1: the first run failed only the \
+                 absolute ns/op backstop"
+            );
+        }
+        return i32::from(!outcome.passed());
+    }
+}
+
+fn pareto_check(committed_path: &str, fresh_path: &str) -> i32 {
+    let read = |role: &str, path: &str| -> Result<Json, String> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read {role} front {path}: {e}"))?;
+        Json::parse(&text).map_err(|e| format!("{role} front {path} is not valid JSON: {e}"))
+    };
+    let committed = match read("committed", committed_path) {
+        Ok(j) => j,
+        Err(e) => {
+            eprintln!("pareto-check: {e}");
+            return 1;
+        }
+    };
+    let fresh = match read("fresh", fresh_path) {
+        Ok(j) => j,
+        Err(e) => {
+            eprintln!("pareto-check: {e}");
+            return 1;
+        }
+    };
+    println!("pareto-check: fresh front {fresh_path} vs committed {committed_path}");
+    match pareto::check(
+        &committed,
+        &fresh,
+        pareto::acc_tol_from_env(),
+        pareto::energy_tol_from_env(),
+    ) {
         Ok(outcome) => {
             print!("\n{}", outcome.render());
             i32::from(!outcome.passed())
         }
         Err(e) => {
-            eprintln!("kernels-bench: {e}");
+            eprintln!("pareto-check: {e}");
             1
         }
     }
@@ -487,21 +561,33 @@ fn main() {
             0
         }
         Some("bench-check") => {
-            let baseline = match rest.get(1).map(String::as_str) {
-                None => "BENCH_kernels.json",
-                Some("--baseline") => match rest.get(2) {
-                    Some(p) => p.as_str(),
-                    None => {
-                        eprintln!("bench-check --baseline needs a path\n\n{USAGE}");
+            let mut baseline: Option<&str> = None;
+            let mut pareto_fresh: Option<&str> = None;
+            let mut i = 1;
+            while i < rest.len() {
+                match rest[i].as_str() {
+                    flag @ ("--baseline" | "--pareto") => {
+                        let Some(value) = rest.get(i + 1) else {
+                            eprintln!("bench-check {flag} needs a path\n\n{USAGE}");
+                            std::process::exit(2);
+                        };
+                        if flag == "--baseline" {
+                            baseline = Some(value.as_str());
+                        } else {
+                            pareto_fresh = Some(value.as_str());
+                        }
+                        i += 2;
+                    }
+                    other => {
+                        eprintln!("unknown bench-check argument: {other}\n\n{USAGE}");
                         std::process::exit(2);
                     }
-                },
-                Some(other) => {
-                    eprintln!("unknown bench-check argument: {other}\n\n{USAGE}");
-                    std::process::exit(2);
                 }
-            };
-            bench_check(baseline)
+            }
+            match pareto_fresh {
+                Some(fresh) => pareto_check(baseline.unwrap_or("PARETO_tune.json"), fresh),
+                None => bench_check(baseline.unwrap_or("BENCH_kernels.json")),
+            }
         }
         Some("kernels-bench") => {
             let baseline = match rest.get(1).map(String::as_str) {

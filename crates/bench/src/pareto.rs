@@ -1,0 +1,428 @@
+//! `bench-check --pareto` — gates the committed autotuner Pareto front.
+//!
+//! `qnn tune` commits its energy/accuracy frontier as `PARETO_tune.json`
+//! (schema `qnn-tune-pareto/v1`). This module makes that artifact a
+//! regression gate: every committed frontier point must still be
+//! *attainable* by a freshly tuned front. A committed point `c` is
+//! covered when some fresh point `f` satisfies
+//!
+//! ```text
+//! f.accuracy_pct >= c.accuracy_pct - acc_tol
+//! f.energy_uj    <= c.energy_uj * (1 + energy_tol)
+//! ```
+//!
+//! i.e. the fresh front reaches at least the committed accuracy at no
+//! more than the committed energy, within small tolerances. A committed
+//! point with no such witness fails with its own `PARETO-DOMINATED`
+//! verdict — the code change pushed the frontier backwards (or the
+//! artifact is stale and must be regenerated). An artifact that fails to
+//! parse, or a fresh front with zero points, is likewise a failure: a
+//! gate that silently accepts an empty frontier is not a gate.
+//!
+//! The tune pipeline is bit-deterministic at a fixed seed, so at head
+//! the fresh and committed fronts are identical and the tolerances only
+//! absorb deliberate, reviewed movement.
+
+use crate::json::Json;
+
+/// Default accuracy slack, in percentage points: a fresh point may sit
+/// this far below a committed point's accuracy and still cover it.
+pub const DEFAULT_ACC_TOL_PCT: f64 = 0.5;
+
+/// Default energy slack, as a fraction: a fresh point may cost this much
+/// more than a committed point and still cover it.
+pub const DEFAULT_ENERGY_TOL: f64 = 0.05;
+
+/// One frontier point read back from a `qnn-tune-pareto/v1` artifact.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParetoPoint {
+    /// The assignment label (unique within a front).
+    pub label: String,
+    /// Test accuracy, percent.
+    pub accuracy_pct: f64,
+    /// Energy per image, microjoules.
+    pub energy_uj: f64,
+}
+
+/// A committed point and the fresh point that covers it, if any.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Coverage {
+    /// The committed frontier point being gated.
+    pub point: ParetoPoint,
+    /// Label of the first fresh point within tolerance; `None` means the
+    /// committed point is no longer attainable (`PARETO-DOMINATED`).
+    pub covered_by: Option<String>,
+}
+
+/// The result of one committed-vs-fresh frontier comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParetoOutcome {
+    /// One entry per committed frontier point, in artifact order.
+    pub coverage: Vec<Coverage>,
+    /// Size of the fresh front the committed points were matched against.
+    pub fresh_count: usize,
+    /// Accuracy slack the check ran with, percentage points.
+    pub acc_tol: f64,
+    /// Energy slack the check ran with, a fraction.
+    pub energy_tol: f64,
+}
+
+impl ParetoOutcome {
+    /// Whether the gate passes: every committed point is covered.
+    pub fn passed(&self) -> bool {
+        self.coverage.iter().all(|c| c.covered_by.is_some())
+    }
+
+    /// The committed points no fresh point covers.
+    pub fn dominated(&self) -> Vec<&Coverage> {
+        self.coverage
+            .iter()
+            .filter(|c| c.covered_by.is_none())
+            .collect()
+    }
+
+    /// Human-readable report: one line per committed point, a suite
+    /// verdict, and a pass/fail summary naming each lost point.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for c in &self.coverage {
+            match &c.covered_by {
+                Some(f) => out.push_str(&format!(
+                    "  ok        {:48} {:6.2} % {:9.3} uJ  covered by {f}\n",
+                    c.point.label, c.point.accuracy_pct, c.point.energy_uj
+                )),
+                None => out.push_str(&format!(
+                    "  DOMINATED {:48} {:6.2} % {:9.3} uJ  no fresh point within \
+                     {:.2} pct-pt / +{:.0}% energy\n",
+                    c.point.label,
+                    c.point.accuracy_pct,
+                    c.point.energy_uj,
+                    self.acc_tol,
+                    self.energy_tol * 100.0
+                )),
+            }
+        }
+        let lost = self.dominated();
+        out.push_str("suite verdicts:\n");
+        if lost.is_empty() {
+            out.push_str(&format!(
+                "  tune-pareto              ok ({} committed point(s) covered)\n",
+                self.coverage.len()
+            ));
+            out.push_str(&format!(
+                "pareto-check passed: {} committed frontier point(s) covered by a \
+                 {}-point fresh front\n",
+                self.coverage.len(),
+                self.fresh_count
+            ));
+        } else {
+            out.push_str(&format!(
+                "  tune-pareto              PARETO-DOMINATED ({} of {} committed \
+                 points uncovered)\n",
+                lost.len(),
+                self.coverage.len()
+            ));
+            out.push_str(&format!(
+                "pareto-check FAILED: {} of {} committed frontier points have no \
+                 fresh point within {:.2} accuracy pct-pt and +{:.0}% energy:\n",
+                lost.len(),
+                self.coverage.len(),
+                self.acc_tol,
+                self.energy_tol * 100.0
+            ));
+            for c in &lost {
+                out.push_str(&format!(
+                    "  {} ({:.2} % / {:.3} uJ) is no longer attainable — \
+                     regenerate PARETO_tune.json or fix the regression\n",
+                    c.point.label, c.point.accuracy_pct, c.point.energy_uj
+                ));
+            }
+        }
+        out
+    }
+}
+
+/// Reads the frontier out of a parsed `qnn-tune-pareto/v1` artifact.
+///
+/// # Errors
+///
+/// Returns a message when the schema tag is wrong, the `frontier` array
+/// is missing, or any point lacks a label / finite accuracy / positive
+/// finite energy — a corrupt artifact must not silently pass the gate.
+pub fn parse_front(doc: &Json) -> Result<Vec<ParetoPoint>, String> {
+    let schema = doc
+        .get("schema")
+        .and_then(Json::as_str)
+        .ok_or("artifact has no \"schema\" string")?;
+    if schema != "qnn-tune-pareto/v1" {
+        return Err(format!(
+            "unexpected schema \"{schema}\" (want qnn-tune-pareto/v1)"
+        ));
+    }
+    let frontier = doc
+        .get("frontier")
+        .and_then(Json::as_arr)
+        .ok_or("artifact has no \"frontier\" array")?;
+    let mut out = Vec::new();
+    for p in frontier {
+        let label = p
+            .get("label")
+            .and_then(Json::as_str)
+            .ok_or("frontier entry without a \"label\"")?;
+        let accuracy_pct = p
+            .get("accuracy_pct")
+            .and_then(Json::as_f64)
+            .ok_or_else(|| format!("frontier point {label} has no numeric \"accuracy_pct\""))?;
+        let energy_uj = p
+            .get("energy_uj")
+            .and_then(Json::as_f64)
+            .ok_or_else(|| format!("frontier point {label} has no numeric \"energy_uj\""))?;
+        if !(accuracy_pct.is_finite() && energy_uj.is_finite() && energy_uj > 0.0) {
+            return Err(format!(
+                "frontier point {label} has unusable numbers \
+                 (accuracy {accuracy_pct}, energy {energy_uj})"
+            ));
+        }
+        out.push(ParetoPoint {
+            label: label.to_string(),
+            accuracy_pct,
+            energy_uj,
+        });
+    }
+    Ok(out)
+}
+
+/// Gates a committed front against a freshly tuned one.
+///
+/// # Errors
+///
+/// Returns a message when either artifact is structurally not a tune
+/// front, when either frontier is empty (an empty fresh front means the
+/// tune produced no converged points — a failure, not a vacuous pass),
+/// or when a tolerance is negative or non-finite.
+pub fn check(
+    committed: &Json,
+    fresh: &Json,
+    acc_tol: f64,
+    energy_tol: f64,
+) -> Result<ParetoOutcome, String> {
+    if !(acc_tol.is_finite() && acc_tol >= 0.0 && energy_tol.is_finite() && energy_tol >= 0.0) {
+        return Err(format!(
+            "tolerances must be non-negative and finite, got {acc_tol} pct-pt / {energy_tol}"
+        ));
+    }
+    let commit = parse_front(committed).map_err(|e| format!("committed: {e}"))?;
+    let fresh_pts = parse_front(fresh).map_err(|e| format!("fresh: {e}"))?;
+    if commit.is_empty() {
+        return Err("committed: frontier is empty — regenerate PARETO_tune.json".into());
+    }
+    if fresh_pts.is_empty() {
+        return Err("fresh: frontier is empty — the tune run produced no converged points".into());
+    }
+    let coverage = commit
+        .iter()
+        .map(|c| {
+            let covered_by = fresh_pts
+                .iter()
+                .find(|f| {
+                    f.accuracy_pct >= c.accuracy_pct - acc_tol
+                        && f.energy_uj <= c.energy_uj * (1.0 + energy_tol)
+                })
+                .map(|f| f.label.clone());
+            Coverage {
+                point: c.clone(),
+                covered_by,
+            }
+        })
+        .collect();
+    Ok(ParetoOutcome {
+        coverage,
+        fresh_count: fresh_pts.len(),
+        acc_tol,
+        energy_tol,
+    })
+}
+
+/// The accuracy slack to run with: `QNN_PARETO_ACC_TOL` (percentage
+/// points) or [`DEFAULT_ACC_TOL_PCT`].
+pub fn acc_tol_from_env() -> f64 {
+    tol_env("QNN_PARETO_ACC_TOL", DEFAULT_ACC_TOL_PCT)
+}
+
+/// The energy slack to run with: `QNN_PARETO_ENERGY_TOL` (a fraction,
+/// e.g. `0.05`) or [`DEFAULT_ENERGY_TOL`].
+pub fn energy_tol_from_env() -> f64 {
+    tol_env("QNN_PARETO_ENERGY_TOL", DEFAULT_ENERGY_TOL)
+}
+
+fn tol_env(var: &str, default: f64) -> f64 {
+    std::env::var(var)
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+        .filter(|t| t.is_finite() && *t >= 0.0)
+        .unwrap_or(default)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn front(points: &[(&str, f64, f64)]) -> Json {
+        Json::obj(vec![
+            ("schema", Json::str("qnn-tune-pareto/v1")),
+            (
+                "frontier",
+                Json::Arr(
+                    points
+                        .iter()
+                        .map(|(label, acc, uj)| {
+                            Json::obj(vec![
+                                ("label", Json::str(*label)),
+                                ("accuracy_pct", Json::Num(*acc)),
+                                ("energy_uj", Json::Num(*uj)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    #[test]
+    fn identical_fronts_pass_even_at_zero_tolerance() {
+        let f = front(&[("a", 95.0, 10.0), ("b", 80.0, 5.0)]);
+        let out = check(&f, &f, 0.0, 0.0).unwrap();
+        assert!(out.passed(), "{}", out.render());
+        assert_eq!(out.coverage.len(), 2);
+        assert!(out.render().contains("pareto-check passed"));
+    }
+
+    #[test]
+    fn a_strictly_better_fresh_front_covers_the_committed_one() {
+        let committed = front(&[("a", 95.0, 10.0)]);
+        let fresh = front(&[("better", 96.0, 9.0)]);
+        let out = check(&committed, &fresh, 0.0, 0.0).unwrap();
+        assert!(out.passed());
+        assert_eq!(out.coverage[0].covered_by.as_deref(), Some("better"));
+        assert!(out.render().contains("covered by better"));
+    }
+
+    #[test]
+    fn an_uncovered_committed_point_fails_with_the_dominated_verdict() {
+        // Fresh accuracy dropped 2 pct-pt at the committed energy: the
+        // committed point is no longer attainable.
+        let committed = front(&[("good", 95.0, 10.0), ("cheap", 80.0, 5.0)]);
+        let fresh = front(&[("worse", 93.0, 10.0), ("cheap", 80.0, 5.0)]);
+        let out = check(&committed, &fresh, 0.5, 0.05).unwrap();
+        assert!(!out.passed());
+        assert_eq!(out.dominated().len(), 1);
+        assert_eq!(out.dominated()[0].point.label, "good");
+        let text = out.render();
+        assert!(text.contains("PARETO-DOMINATED (1 of 2"), "{text}");
+        assert!(text.contains("good"), "{text}");
+        assert!(text.contains("no longer attainable"), "{text}");
+    }
+
+    #[test]
+    fn coverage_is_inclusive_at_the_tolerance_boundary() {
+        let committed = front(&[("a", 95.0, 10.0)]);
+        // Exactly acc_tol below and exactly (1 + energy_tol) above.
+        let fresh = front(&[("edge", 94.5, 10.5)]);
+        let out = check(&committed, &fresh, 0.5, 0.05).unwrap();
+        assert!(out.passed(), "{}", out.render());
+        // One hair past either bound fails.
+        let fresh = front(&[("past", 94.4, 10.5)]);
+        assert!(!check(&committed, &fresh, 0.5, 0.05).unwrap().passed());
+        let fresh = front(&[("past", 94.5, 10.6)]);
+        assert!(!check(&committed, &fresh, 0.5, 0.05).unwrap().passed());
+    }
+
+    #[test]
+    fn energy_tolerance_is_relative_not_absolute() {
+        let committed = front(&[("a", 95.0, 100.0)]);
+        // +5 uJ on a 100 uJ point is within +5%; on a 10 uJ point it
+        // would not be.
+        let fresh = front(&[("a5", 95.0, 105.0)]);
+        assert!(check(&committed, &fresh, 0.0, 0.05).unwrap().passed());
+        let committed = front(&[("b", 95.0, 10.0)]);
+        let fresh = front(&[("b5", 95.0, 15.0)]);
+        assert!(!check(&committed, &fresh, 0.0, 0.05).unwrap().passed());
+    }
+
+    #[test]
+    fn empty_fresh_front_is_an_error_not_a_vacuous_pass() {
+        let committed = front(&[("a", 95.0, 10.0)]);
+        let fresh = front(&[]);
+        let e = check(&committed, &fresh, 0.5, 0.05).unwrap_err();
+        assert!(e.contains("no converged points"), "{e}");
+        let e = check(&fresh, &committed, 0.5, 0.05).unwrap_err();
+        assert!(e.contains("committed"), "{e}");
+    }
+
+    #[test]
+    fn structural_errors_name_the_side_and_the_defect() {
+        let good = front(&[("a", 95.0, 10.0)]);
+        let wrong_schema = Json::obj(vec![
+            ("schema", Json::str("qnn-bench/kernels/v1")),
+            ("frontier", Json::Arr(vec![])),
+        ]);
+        let e = check(&wrong_schema, &good, 0.5, 0.05).unwrap_err();
+        assert!(
+            e.contains("committed") && e.contains("unexpected schema"),
+            "{e}"
+        );
+
+        let no_energy = Json::obj(vec![
+            ("schema", Json::str("qnn-tune-pareto/v1")),
+            (
+                "frontier",
+                Json::Arr(vec![Json::obj(vec![
+                    ("label", Json::str("x")),
+                    ("accuracy_pct", Json::Num(90.0)),
+                ])]),
+            ),
+        ]);
+        let e = check(&good, &no_energy, 0.5, 0.05).unwrap_err();
+        assert!(e.contains("fresh") && e.contains("energy_uj"), "{e}");
+
+        let zero_energy = front(&[("x", 90.0, 0.0)]);
+        assert!(check(&good, &zero_energy, 0.5, 0.05)
+            .unwrap_err()
+            .contains("unusable"));
+
+        assert!(check(&good, &good, -1.0, 0.05).is_err());
+        assert!(check(&good, &good, 0.5, f64::NAN).is_err());
+    }
+
+    #[test]
+    fn parses_the_artifact_qnn_tune_actually_writes() {
+        // Cross-crate contract: render_json from the tune driver must
+        // stay readable by this gate.
+        use qnn_core::experiments::{ExperimentScale, TunePoint, TuneResult};
+        let point = |label: &str, acc: f32, uj: f64| TunePoint {
+            label: label.to_string(),
+            assignment: vec![qnn_quant::Precision::fixed(8, 8); 4],
+            acc_bits: vec![20, 24, 24, 24],
+            accuracy_pct: acc,
+            energy_uj: uj,
+        };
+        let result = TuneResult {
+            benchmark: "lenet".to_string(),
+            scale: ExperimentScale::Smoke,
+            seed: 42,
+            evaluated: 23,
+            points: vec![point("uniform/fixed<8,8>", 96.0, 8.0)],
+            frontier: vec![
+                point("mix/binary|binary|binary|binary", 72.0, 4.7),
+                point("uniform/fixed<8,8>", 96.0, 8.0),
+            ],
+        };
+        let doc = Json::parse(&result.render_json()).unwrap();
+        let pts = parse_front(&doc).unwrap();
+        assert_eq!(pts.len(), 2);
+        assert_eq!(pts[1].label, "uniform/fixed<8,8>");
+        assert!((pts[1].accuracy_pct - 96.0).abs() < 1e-6);
+        let out = check(&doc, &doc, 0.0, 0.0).unwrap();
+        assert!(out.passed(), "{}", out.render());
+    }
+}

@@ -11,6 +11,7 @@ mod resume;
 mod table4;
 mod table5;
 mod tile_scaling;
+mod tune;
 
 pub use breakdown::{breakdown, BreakdownRow};
 pub use cell::{run_cell, CellOutcome};
@@ -23,6 +24,7 @@ pub use resume::{CellRecord, SweepProgress, SweepState};
 pub use table4::{table4, table4_resumable, Table4, Table4Row};
 pub use table5::{table5, table5_resumable, Table5Row};
 pub use tile_scaling::{tile_scaling, TileRow};
+pub use tune::{tune, tune_resumable, tune_resumable_with_hook, TunePoint, TuneResult};
 
 use std::path::Path;
 

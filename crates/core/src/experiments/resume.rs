@@ -95,14 +95,23 @@ impl SweepState {
     ///
     /// # Errors
     ///
-    /// A present-but-corrupt file is a typed [`NnError::Store`]; a valid
-    /// ledger recorded by a different sweep (label or seed mismatch) is
-    /// [`NnError::CheckpointMismatch`].
+    /// A present-but-corrupt file is a typed [`NnError::Store`]. A valid
+    /// ledger from a different *kind* of sweep (the label segment before
+    /// the first `/`, e.g. `table4` vs `tune`) is
+    /// [`NnError::SweepKindMismatch`]; one from the same kind but a
+    /// different label or seed is [`NnError::CheckpointMismatch`].
     pub fn load_or_new(path: &Path, label: &str, seed: u64) -> Result<Self, NnError> {
         if !path.exists() {
             return Ok(SweepState::new(label, seed));
         }
         let state = Self::decode(&store::read(path, KIND_SWEEP_STATE)?)?;
+        let (found_kind, expected_kind) = (sweep_kind(&state.label), sweep_kind(label));
+        if found_kind != expected_kind {
+            return Err(NnError::SweepKindMismatch {
+                found: found_kind.to_string(),
+                expected: expected_kind.to_string(),
+            });
+        }
         if state.label != label || state.seed != seed {
             return Err(NnError::CheckpointMismatch {
                 reason: format!(
@@ -185,6 +194,13 @@ impl SweepState {
         r.expect_end()?;
         Ok(SweepState { label, seed, cells })
     }
+}
+
+/// The *kind* of a sweep label: the segment before the first `/`
+/// (`"table4/Smoke"` → `"table4"`). Labels without a `/` are their own
+/// kind, so pre-existing single-segment ledgers keep resuming.
+fn sweep_kind(label: &str) -> &str {
+    label.split('/').next().unwrap_or(label)
 }
 
 /// Persists a phase-1 pre-training result: the learning rate the backoff
@@ -294,14 +310,49 @@ mod tests {
         let mut s = SweepState::new("table5/smoke", 1);
         s.record(&path, "alex/float32", CellRecord::Ok(70.0))
             .unwrap();
+        // A different *kind* of sweep is the harder failure.
         assert!(matches!(
             SweepState::load_or_new(&path, "table4/smoke", 1),
-            Err(NnError::CheckpointMismatch { .. })
+            Err(NnError::SweepKindMismatch { .. })
         ));
+        // Same kind, different seed or scale: ordinary drift.
         assert!(matches!(
             SweepState::load_or_new(&path, "table5/smoke", 2),
             Err(NnError::CheckpointMismatch { .. })
         ));
+        assert!(matches!(
+            SweepState::load_or_new(&path, "table5/full", 1),
+            Err(NnError::CheckpointMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn cross_kind_ledgers_are_rejected_typed_both_ways() {
+        let dir = tmpdir("cross-kind");
+        // A tune ledger fed to a table4 resume...
+        let tune_path = dir.join("tune.qnnf");
+        let mut tune = SweepState::new("tune/Smoke", 42);
+        tune.record(&tune_path, "x8|x8|x8|x8", CellRecord::Ok(90.0))
+            .unwrap();
+        match SweepState::load_or_new(&tune_path, "table4/Smoke", 42) {
+            Err(NnError::SweepKindMismatch { found, expected }) => {
+                assert_eq!(found, "tune");
+                assert_eq!(expected, "table4");
+            }
+            other => panic!("expected kind mismatch, got {other:?}"),
+        }
+        // ...and vice versa.
+        let t4_path = dir.join("table4.qnnf");
+        let mut t4 = SweepState::new("table4/Smoke", 42);
+        t4.record(&t4_path, "mnist/float32", CellRecord::Ok(95.0))
+            .unwrap();
+        match SweepState::load_or_new(&t4_path, "tune/Smoke", 42) {
+            Err(NnError::SweepKindMismatch { found, expected }) => {
+                assert_eq!(found, "table4");
+                assert_eq!(expected, "tune");
+            }
+            other => panic!("expected kind mismatch, got {other:?}"),
+        }
     }
 
     #[test]

@@ -1,0 +1,842 @@
+//! `qnn tune` — mixed-precision autotuning on the energy/accuracy
+//! Pareto frontier.
+//!
+//! The paper sweeps *uniform* precisions (every layer shares one format,
+//! Table IV). The tuner explores the larger per-layer space with a
+//! deterministic two-stage search:
+//!
+//! 1. **Uniform stage** — the seven [`Precision::paper_sweep`] rows,
+//!    trained through the same two-phase QAT methodology as Table IV.
+//! 2. **Coordinate stage** — starting from the best uniform row (the
+//!    *incumbent*: highest accuracy, ties broken by lower energy, then
+//!    sweep order), each weighted layer in turn is swapped to every
+//!    other Table III format while the rest keep the incumbent's. One
+//!    swap per cell — a single coordinate-descent pass, not an
+//!    exhaustive grid (5 formats over 4 layers would be 625 cells; the
+//!    pass costs at most 20).
+//!
+//! Every candidate is costed on the accelerator model with a per-layer
+//! energy composition ([`mixed energy`](self)): each weighted layer (and
+//! the pooling/activation layers riding behind it) is scheduled on the
+//! design synthesized for *its* format, and the accumulator width is
+//! narrowed wherever `qnn_quant::packed::dot_exact_narrow_acc` certifies
+//! the reduction exact — the third knob, traded alongside weight and
+//! input precision. Dominated points are pruned with
+//! [`crate::pareto::pareto_frontier`] and the survivors serialize to a
+//! deterministic `PARETO_tune.json`.
+//!
+//! [`tune_resumable`] persists every evaluated cell to a
+//! [`SweepState`] ledger, so a SIGKILLed sweep resumed from the same
+//! directory produces an artifact **byte-identical** to an uninterrupted
+//! run — the contract the `tune-resume` CI stage enforces.
+
+use std::path::Path;
+
+use qnn_accel::{layer_cycles, AcceleratorDesign};
+use qnn_data::{standard_splits, DatasetKind, Splits};
+use qnn_faults::StoreError;
+use qnn_nn::arch::NetworkSpec;
+use qnn_nn::workload::{WorkKind, Workload};
+use qnn_nn::{zoo, Network, NnError, TrainOutcome, Trainer};
+use qnn_quant::calibrate::Method;
+use qnn_quant::{packed, Precision, Scheme};
+use qnn_tensor::{par, Tensor};
+
+use super::cell::run_cell;
+use super::resume::{CellRecord, SweepProgress, SweepState};
+use crate::pareto::{pareto_frontier, DesignPoint};
+
+use super::{pretrain_fp, pretrain_resumable, qat_point, ExperimentScale};
+
+/// Accumulator widths the tuner tries, narrowest first. Only widths the
+/// certificate proves exact *below the design default* are ever used.
+const ACC_WIDTH_MENU: [u32; 6] = [8, 12, 16, 20, 24, 28];
+
+/// Scale exponent stand-in for the width certificate. The exactness of
+/// the f32 bound holds for any in-range exponent, so a fixed
+/// representative keeps the search independent of calibration.
+const TUNE_LSB_EXP: i32 = -24;
+
+/// The formats the coordinate stage may install per layer: the Table III
+/// rows that synthesize to distinct datapaths. Float32 and fixed(32,32)
+/// are omitted — both are energy-dominated by fixed(16,16) at
+/// indistinguishable accuracy, so swapping *to* them never helps.
+fn coordinate_menu() -> [Precision; 5] {
+    [
+        Precision::fixed(16, 16),
+        Precision::fixed(8, 8),
+        Precision::fixed(4, 4),
+        Precision::power_of_two(),
+        Precision::binary(),
+    ]
+}
+
+/// One surviving design point of the tuned frontier.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TunePoint {
+    /// Unique display label (the assignment signature, plus the narrowed
+    /// accumulator widths when they differ from the defaults).
+    pub label: String,
+    /// Per-weighted-layer precision assignment.
+    pub assignment: Vec<Precision>,
+    /// Per-weighted-layer accumulator width the energy was costed at.
+    pub acc_bits: Vec<u32>,
+    /// Measured test accuracy, percent.
+    pub accuracy_pct: f32,
+    /// Per-image energy on the full benchmark workload, µJ.
+    pub energy_uj: f64,
+}
+
+/// The assembled result of one tuning sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TuneResult {
+    /// Benchmark network the energy model used (always the full-scale
+    /// architecture, like Table IV's energy column).
+    pub benchmark: String,
+    /// Training scale accuracies were measured at.
+    pub scale: ExperimentScale,
+    /// The sweep seed.
+    pub seed: u64,
+    /// Number of candidate assignments trained and evaluated (including
+    /// diverged/NA cells that produced no point).
+    pub evaluated: usize,
+    /// Every costed design point, dominated or not.
+    pub points: Vec<TunePoint>,
+    /// The Pareto-optimal subset, sorted by increasing energy.
+    pub frontier: Vec<TunePoint>,
+}
+
+impl TuneResult {
+    /// Serializes the frontier as the `PARETO_tune.json` artifact.
+    ///
+    /// The writer is deterministic: fixed key order, `Display`-formatted
+    /// numbers (shortest round-trip form), no timestamps — two runs that
+    /// measured the same points emit byte-identical files.
+    pub fn render_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str("  \"schema\": \"qnn-tune-pareto/v1\",\n");
+        out.push_str(&format!("  \"benchmark\": \"{}\",\n", self.benchmark));
+        out.push_str(&format!("  \"scale\": \"{:?}\",\n", self.scale));
+        out.push_str(&format!("  \"seed\": {},\n", self.seed));
+        out.push_str(&format!("  \"evaluated\": {},\n", self.evaluated));
+        out.push_str("  \"frontier\": [\n");
+        for (i, p) in self.frontier.iter().enumerate() {
+            let formats: Vec<String> = p
+                .assignment
+                .iter()
+                .map(|a| format!("\"{}\"", a.weights()))
+                .collect();
+            let widths: Vec<String> = p.acc_bits.iter().map(u32::to_string).collect();
+            out.push_str("    {\n");
+            out.push_str(&format!("      \"label\": \"{}\",\n", p.label));
+            out.push_str(&format!(
+                "      \"assignment\": [{}],\n",
+                formats.join(", ")
+            ));
+            out.push_str(&format!("      \"acc_bits\": [{}],\n", widths.join(", ")));
+            out.push_str(&format!("      \"accuracy_pct\": {},\n", p.accuracy_pct));
+            out.push_str(&format!("      \"energy_uj\": {}\n", p.energy_uj));
+            out.push_str(if i + 1 < self.frontier.len() {
+                "    },\n"
+            } else {
+                "    }\n"
+            });
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
+/// Compact signature of an assignment, e.g. `"fixed8|fixed8|pow2-6|binary"`.
+/// Doubles as the ledger cell key (prefixed) and the point label.
+fn signature(assignment: &[Precision]) -> String {
+    assignment
+        .iter()
+        .map(|p| p.weights().to_string())
+        .collect::<Vec<_>>()
+        .join("|")
+}
+
+fn uniform_key(p: Precision) -> String {
+    format!("uniform/{}", p.label())
+}
+
+fn mix_key(assignment: &[Precision]) -> String {
+    format!("mix/{}", signature(assignment))
+}
+
+/// Everything the sweep needs besides training state: the training spec
+/// and data at `scale`, and the full-architecture energy workload.
+struct TuneSetting {
+    spec: NetworkSpec,
+    splits: Splits,
+    wl: Workload,
+    /// Fan-in (synapses per neuron) of each weighted layer, in order.
+    fan_ins: Vec<u64>,
+    /// Weighted (parameterized) layer count — the assignment length.
+    n_layers: usize,
+    /// Energy of each uniform paper-sweep assignment, for incumbent
+    /// tie-breaking.
+    uniform_energies: Vec<f64>,
+}
+
+impl TuneSetting {
+    fn new(scale: ExperimentScale, seed: u64) -> Result<Self, NnError> {
+        let (n_train, n_test) = scale.samples();
+        let splits = standard_splits(DatasetKind::Glyphs28, n_train, n_test, seed);
+        let spec = match scale {
+            ExperimentScale::Full => zoo::lenet(),
+            _ => zoo::lenet_small(),
+        };
+        let wl = zoo::lenet().workload()?;
+        let fan_ins: Vec<u64> = wl
+            .layers
+            .iter()
+            .filter(|l| matches!(l.kind, WorkKind::Conv | WorkKind::Dense))
+            .map(|l| l.synapses_per_neuron)
+            .collect();
+        let n_layers = fan_ins.len();
+        // The reduced training stand-in must mirror the full topology, or
+        // per-layer assignments would not carry across.
+        let train_weighted = spec
+            .workload()?
+            .layers
+            .iter()
+            .filter(|l| matches!(l.kind, WorkKind::Conv | WorkKind::Dense))
+            .count();
+        assert_eq!(
+            train_weighted, n_layers,
+            "training stand-in and energy benchmark disagree on weighted layers"
+        );
+        let uniform_energies = Precision::paper_sweep()
+            .iter()
+            .map(|&p| mixed_energy(&wl, &vec![p; n_layers], None))
+            .collect();
+        Ok(TuneSetting {
+            spec,
+            splits,
+            wl,
+            fan_ins,
+            n_layers,
+            uniform_energies,
+        })
+    }
+
+    /// Upper bound on coordinate-stage cells, for progress totals while
+    /// the uniform stage (which decides the incumbent) is still partial.
+    fn stage2_upper(&self) -> usize {
+        coordinate_menu().len() * self.n_layers
+    }
+}
+
+/// Per-layer energy composition: every workload layer is scheduled on
+/// the design synthesized for its owning weighted layer's precision
+/// (pooling/activation layers ride with the weighted layer that feeds
+/// them), and each design's power is charged for exactly the cycles its
+/// layers occupy. A uniform assignment reproduces
+/// [`AcceleratorDesign::energy_per_image`] up to float rounding.
+///
+/// `widths` optionally overrides each weighted layer's accumulator
+/// width; an entry at or above the design default is ignored.
+fn mixed_energy(wl: &Workload, assignment: &[Precision], widths: Option<&[u32]>) -> f64 {
+    let designs: Vec<AcceleratorDesign> = assignment
+        .iter()
+        .enumerate()
+        .map(|(i, &p)| {
+            let d = AcceleratorDesign::new(p);
+            match widths {
+                Some(ws) if ws[i] < d.accumulator_bits() => d.with_accumulator_bits(ws[i]),
+                _ => d,
+            }
+        })
+        .collect();
+    let mut group = vec![0u64; assignment.len()];
+    let mut owner = 0usize;
+    let mut seen_weighted = false;
+    for l in &wl.layers {
+        if matches!(l.kind, WorkKind::Conv | WorkKind::Dense) {
+            owner = if seen_weighted { owner + 1 } else { 0 };
+            seen_weighted = true;
+        }
+        let d = &designs[owner.min(assignment.len() - 1)];
+        group[owner.min(assignment.len() - 1)] +=
+            layer_cycles(l, d.config(), d.pipeline_stages()).total();
+    }
+    group
+        .iter()
+        .zip(&designs)
+        .map(|(&cycles, d)| {
+            let power_mw = d.synthesize().power_mw();
+            power_mw * (cycles as f64 / d.config().clock_hz) * 1e3
+        })
+        .sum()
+}
+
+/// The narrowest accumulator width the exactness certificate admits for
+/// this precision at this fan-in, if any beats the design default.
+/// Formats without a bounded integer raw range (float32, powers of two —
+/// the shift span blows the bound) never certify.
+fn certified_acc_width(p: Precision, fan_in: u64, default: u32) -> Option<u32> {
+    let max_raw = |s: Scheme| match s {
+        Scheme::Fixed { bits } => Some((1i64 << (bits - 1)) - 1),
+        Scheme::Binary => Some(1i64),
+        _ => None,
+    };
+    let (max_w, max_a) = (max_raw(p.weights())?, max_raw(p.activations())?);
+    let k = usize::try_from(fan_in).ok()?;
+    ACC_WIDTH_MENU
+        .iter()
+        .copied()
+        .find(|&b| b < default && packed::dot_exact_narrow_acc(max_a, max_w, k, TUNE_LSB_EXP, b))
+}
+
+/// Per-layer certified widths for an assignment (`default` where nothing
+/// narrower certifies); `None` when no layer improves on its default.
+fn certified_widths(assignment: &[Precision], fan_ins: &[u64]) -> Option<Vec<u32>> {
+    let mut any = false;
+    let widths: Vec<u32> = assignment
+        .iter()
+        .zip(fan_ins)
+        .map(|(&p, &k)| {
+            let default = AcceleratorDesign::new(p).accumulator_bits();
+            match certified_acc_width(p, k, default) {
+                Some(w) => {
+                    any = true;
+                    w
+                }
+                None => default,
+            }
+        })
+        .collect();
+    any.then_some(widths)
+}
+
+/// The best uniform row: highest accuracy, ties broken by lower energy,
+/// then earlier sweep position. Falls back to fixed(8,8) — the paper's
+/// robust row — should no uniform cell converge.
+fn pick_incumbent(uniforms: &[Precision], accs: &[Option<f32>], energies: &[f64]) -> Precision {
+    let mut best: Option<usize> = None;
+    for (i, acc) in accs.iter().enumerate() {
+        let Some(a) = acc else { continue };
+        match best {
+            None => best = Some(i),
+            Some(b) => {
+                let ba = accs[b].expect("incumbent converged");
+                if *a > ba || (*a == ba && energies[i] < energies[b]) {
+                    best = Some(i);
+                }
+            }
+        }
+    }
+    best.map_or_else(|| Precision::fixed(8, 8), |i| uniforms[i])
+}
+
+/// The coordinate-stage candidate list: for each weighted layer, the
+/// incumbent assignment with that one layer swapped to each other menu
+/// format. Deterministic in the incumbent; all signatures distinct.
+fn stage2_plan(incumbent: Precision, n_layers: usize) -> Vec<Vec<Precision>> {
+    let mut plan = Vec::new();
+    for layer in 0..n_layers {
+        for alt in coordinate_menu() {
+            if alt == incumbent {
+                continue;
+            }
+            let mut a = vec![incumbent; n_layers];
+            a[layer] = alt;
+            plan.push(a);
+        }
+    }
+    plan
+}
+
+/// QAT-evaluates one mixed assignment: load the shared pre-trained
+/// weights, install the per-layer formats, fine-tune, evaluate —
+/// exactly the [`qat_point`] flow with the per-layer calibration path.
+fn mixed_point(
+    spec: &NetworkSpec,
+    splits: &Splits,
+    trainer: &Trainer,
+    fp_state: &[Tensor],
+    assignment: &[Precision],
+    seed: u64,
+) -> Result<Option<f32>, NnError> {
+    qnn_trace::span!("qat:mix");
+    let mut net = Network::build(spec, seed)?;
+    net.load_state(fp_state)?;
+    let report = trainer.train_qat_per_layer(
+        &mut net,
+        assignment,
+        Method::MaxAbs,
+        splits.train.images(),
+        splits.train.labels(),
+        64,
+    )?;
+    let acc = trainer.evaluate(&mut net, splits.test.images(), splits.test.labels())?;
+    Ok((report.outcome == TrainOutcome::Converged).then_some(acc * 100.0))
+}
+
+/// Builds the costed design points and prunes the frontier.
+fn assemble(
+    scale: ExperimentScale,
+    seed: u64,
+    entries: &[(Vec<Precision>, Option<f32>)],
+    setting: &TuneSetting,
+) -> TuneResult {
+    let mut points = Vec::new();
+    for (assignment, acc) in entries {
+        let Some(a) = acc else { continue };
+        let sig = signature(assignment);
+        let defaults: Vec<u32> = assignment
+            .iter()
+            .map(|&p| AcceleratorDesign::new(p).accumulator_bits())
+            .collect();
+        points.push(TunePoint {
+            label: sig.clone(),
+            assignment: assignment.clone(),
+            acc_bits: defaults,
+            accuracy_pct: *a,
+            energy_uj: mixed_energy(&setting.wl, assignment, None),
+        });
+        // Second point with certified-narrow accumulators: identical
+        // accuracy by the exactness proof, strictly lower energy.
+        if let Some(w) = certified_widths(assignment, &setting.fan_ins) {
+            let widths: Vec<String> = w.iter().map(u32::to_string).collect();
+            points.push(TunePoint {
+                label: format!("{sig} @acc {}", widths.join("|")),
+                assignment: assignment.clone(),
+                acc_bits: w.clone(),
+                accuracy_pct: *a,
+                energy_uj: mixed_energy(&setting.wl, assignment, Some(&w)),
+            });
+        }
+    }
+    let dps: Vec<DesignPoint> = points
+        .iter()
+        .map(|t| DesignPoint::new(t.label.clone(), t.accuracy_pct, t.energy_uj))
+        .collect();
+    let frontier = pareto_frontier(&dps)
+        .iter()
+        .filter_map(|d| points.iter().find(|t| t.label == d.label).cloned())
+        .collect();
+    TuneResult {
+        benchmark: setting.wl.network.clone(),
+        scale,
+        seed,
+        evaluated: entries.len(),
+        points,
+        frontier,
+    }
+}
+
+/// Runs the full tuning sweep in parallel on the `qnn_tensor::par` pool.
+///
+/// Each cell is seeded and internally deterministic, so the result does
+/// not depend on the worker count — and it is bit-identical to a
+/// [`tune_resumable`] run over the same `(scale, seed)`, interrupted or
+/// not.
+///
+/// # Errors
+///
+/// Propagates network construction and training errors (not divergence,
+/// which drops the candidate the way Table IV reports NA).
+pub fn tune(scale: ExperimentScale, seed: u64) -> Result<TuneResult, NnError> {
+    qnn_trace::span!("tune");
+    let setting = TuneSetting::new(scale, seed)?;
+    let (trainer, fp_state) = pretrain_fp(&setting.spec, &setting.splits, scale, seed)?;
+    let uniforms = Precision::paper_sweep();
+    let s1: Vec<Option<f32>> = par::map(uniforms.len(), |i| {
+        qat_point(
+            &setting.spec,
+            &setting.splits,
+            &trainer,
+            &fp_state,
+            uniforms[i],
+            seed,
+        )
+        .map(|pt| pt.accuracy_pct)
+    })
+    .into_iter()
+    .collect::<Result<_, _>>()?;
+    let incumbent = pick_incumbent(&uniforms, &s1, &setting.uniform_energies);
+    let plan = stage2_plan(incumbent, setting.n_layers);
+    let s2: Vec<Option<f32>> = par::map(plan.len(), |i| {
+        mixed_point(
+            &setting.spec,
+            &setting.splits,
+            &trainer,
+            &fp_state,
+            &plan[i],
+            seed,
+        )
+    })
+    .into_iter()
+    .collect::<Result<_, _>>()?;
+    let mut entries: Vec<(Vec<Precision>, Option<f32>)> = uniforms
+        .iter()
+        .zip(&s1)
+        .map(|(&p, &a)| (vec![p; setting.n_layers], a))
+        .collect();
+    entries.extend(plan.into_iter().zip(s2));
+    Ok(assemble(scale, seed, &entries, &setting))
+}
+
+/// Crash-safe [`tune`]: every evaluated cell is persisted to a
+/// [`SweepState`] ledger (`tune.state.qnnf` under `dir`) before the next
+/// one starts, and phase-1 pre-training is snapshotted, so a sweep
+/// killed at any point and resumed from the same directory produces a
+/// [`TuneResult`] — and a `PARETO_tune.json` — **bit-identical** to an
+/// uninterrupted run.
+///
+/// `max_cells` bounds how many *new* cells this invocation computes
+/// (`None` = no bound). While the uniform stage is still partial the
+/// reported [`SweepProgress::total`] is an upper bound (the coordinate
+/// stage's exact cell list depends on which uniform row wins); it
+/// settles to the exact total once the incumbent is known.
+///
+/// # Errors
+///
+/// Propagates dataset/workload errors and typed store errors (corrupt
+/// ledger or snapshot, ledger from a different sweep kind, label or
+/// seed).
+pub fn tune_resumable(
+    scale: ExperimentScale,
+    seed: u64,
+    dir: &Path,
+    max_cells: Option<usize>,
+) -> Result<(Option<TuneResult>, SweepProgress), NnError> {
+    tune_resumable_with_hook(scale, seed, dir, max_cells, |_| {})
+}
+
+/// [`tune_resumable`] with a callback fired after each newly computed
+/// cell is durably recorded, receiving the count of new cells so far in
+/// this invocation. The CLI's `--kill-cell` harness uses it to die at a
+/// deterministic point; tests use it to observe progress.
+///
+/// # Errors
+///
+/// See [`tune_resumable`].
+pub fn tune_resumable_with_hook(
+    scale: ExperimentScale,
+    seed: u64,
+    dir: &Path,
+    max_cells: Option<usize>,
+    mut hook: impl FnMut(usize),
+) -> Result<(Option<TuneResult>, SweepProgress), NnError> {
+    qnn_trace::span!("tune:resumable");
+    std::fs::create_dir_all(dir).map_err(|e| StoreError::io("mkdir", dir, &e))?;
+    let state_path = dir.join("tune.state.qnnf");
+    let label = format!("tune/{scale:?}");
+    let mut state = SweepState::load_or_new(&state_path, &label, seed)?;
+
+    let setting = TuneSetting::new(scale, seed)?;
+    let uniforms = Precision::paper_sweep();
+    let mut pre: Option<(Trainer, Vec<Tensor>)> = None;
+    let mut budget = max_cells.unwrap_or(usize::MAX);
+    let mut new_cells = 0usize;
+    let snapshot = dir.join("tune.pre.qnnf");
+
+    for &p in &uniforms {
+        let key = uniform_key(p);
+        if state.get(&key).is_some() || budget == 0 {
+            continue;
+        }
+        budget -= 1;
+        if pre.is_none() {
+            pre = Some(pretrain_resumable(
+                &setting.spec,
+                &setting.splits,
+                scale,
+                seed,
+                &snapshot,
+            )?);
+        }
+        let (trainer, fp_state) = pre.as_ref().expect("just populated");
+        let outcome = run_cell(
+            &key,
+            seed,
+            |acc: &Option<f32>| acc.is_none(),
+            |cell_seed| {
+                qat_point(
+                    &setting.spec,
+                    &setting.splits,
+                    trainer,
+                    fp_state,
+                    p,
+                    cell_seed,
+                )
+                .map(|pt| pt.accuracy_pct)
+            },
+        );
+        state.record(&state_path, &key, CellRecord::from_outcome(&outcome))?;
+        new_cells += 1;
+        hook(new_cells);
+    }
+
+    let s1_done = uniforms
+        .iter()
+        .all(|&p| state.get(&uniform_key(p)).is_some());
+    let mut plan: Vec<Vec<Precision>> = Vec::new();
+    if s1_done {
+        let s1: Vec<Option<f32>> = uniforms
+            .iter()
+            .map(|&p| {
+                state
+                    .get(&uniform_key(p))
+                    .expect("stage 1 recorded")
+                    .accuracy_pct()
+            })
+            .collect();
+        let incumbent = pick_incumbent(&uniforms, &s1, &setting.uniform_energies);
+        plan = stage2_plan(incumbent, setting.n_layers);
+        for a in &plan {
+            let key = mix_key(a);
+            if state.get(&key).is_some() || budget == 0 {
+                continue;
+            }
+            budget -= 1;
+            if pre.is_none() {
+                pre = Some(pretrain_resumable(
+                    &setting.spec,
+                    &setting.splits,
+                    scale,
+                    seed,
+                    &snapshot,
+                )?);
+            }
+            let (trainer, fp_state) = pre.as_ref().expect("just populated");
+            let outcome = run_cell(
+                &key,
+                seed,
+                |acc: &Option<f32>| acc.is_none(),
+                |cell_seed| {
+                    mixed_point(
+                        &setting.spec,
+                        &setting.splits,
+                        trainer,
+                        fp_state,
+                        a,
+                        cell_seed,
+                    )
+                },
+            );
+            state.record(&state_path, &key, CellRecord::from_outcome(&outcome))?;
+            new_cells += 1;
+            hook(new_cells);
+        }
+    }
+
+    let total = uniforms.len()
+        + if s1_done {
+            plan.len()
+        } else {
+            setting.stage2_upper()
+        };
+    let completed = uniforms
+        .iter()
+        .map(|&p| uniform_key(p))
+        .chain(plan.iter().map(|a| mix_key(a)))
+        .filter(|key| state.get(key).is_some())
+        .count();
+    let progress = SweepProgress { completed, total };
+    if !progress.is_complete() {
+        return Ok((None, progress));
+    }
+
+    let mut entries: Vec<(Vec<Precision>, Option<f32>)> = uniforms
+        .iter()
+        .map(|&p| {
+            let acc = state
+                .get(&uniform_key(p))
+                .expect("complete sweep")
+                .accuracy_pct();
+            (vec![p; setting.n_layers], acc)
+        })
+        .collect();
+    entries.extend(plan.into_iter().map(|a| {
+        let acc = state
+            .get(&mix_key(&a))
+            .expect("complete sweep")
+            .accuracy_pct();
+        (a, acc)
+    }));
+    Ok((Some(assemble(scale, seed, &entries, &setting)), progress))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_energy_composition_matches_energy_per_image() {
+        let wl = zoo::lenet().workload().unwrap();
+        for p in Precision::paper_sweep() {
+            let composed = mixed_energy(&wl, &[p; 4], None);
+            let direct = AcceleratorDesign::new(p).energy_per_image(&wl).total_uj();
+            let rel = (composed - direct).abs() / direct;
+            assert!(rel < 1e-9, "{}: {composed} vs {direct}", p.label());
+        }
+    }
+
+    #[test]
+    fn mixed_energy_sits_between_its_uniform_extremes() {
+        let wl = zoo::lenet().workload().unwrap();
+        let lo = mixed_energy(&wl, &[Precision::binary(); 4], None);
+        let hi = mixed_energy(&wl, &[Precision::fixed(16, 16); 4], None);
+        let mut mix = vec![Precision::fixed(16, 16); 4];
+        mix[3] = Precision::binary();
+        let m = mixed_energy(&wl, &mix, None);
+        assert!(lo < m && m < hi, "{lo} < {m} < {hi}");
+    }
+
+    #[test]
+    fn narrow_widths_certify_only_below_default_and_cut_energy() {
+        let wl = zoo::lenet().workload().unwrap();
+        let fan_ins: Vec<u64> = wl
+            .layers
+            .iter()
+            .filter(|l| matches!(l.kind, WorkKind::Conv | WorkKind::Dense))
+            .map(|l| l.synapses_per_neuron)
+            .collect();
+        assert_eq!(fan_ins, [25, 500, 800, 500]);
+
+        let a8 = vec![Precision::fixed(8, 8); 4];
+        let w = certified_widths(&a8, &fan_ins).expect("conv1 certifies narrow");
+        // conv1: 127·127·25 = 403 225 fits 20 signed bits (< default 24);
+        // the deeper fan-ins exceed every sub-default menu width.
+        assert_eq!(w, [20, 24, 24, 24]);
+        let full = mixed_energy(&wl, &a8, None);
+        let narrow = mixed_energy(&wl, &a8, Some(&w));
+        assert!(narrow < full, "{narrow} vs {full}");
+
+        // Unbounded raw ranges never certify.
+        assert!(certified_widths(&[Precision::float32(); 4], &fan_ins).is_none());
+        assert!(certified_widths(&[Precision::power_of_two(); 4], &fan_ins).is_none());
+        // fixed(16,16) products blow the base certificate entirely.
+        assert!(certified_widths(&[Precision::fixed(16, 16); 4], &fan_ins).is_none());
+    }
+
+    #[test]
+    fn stage2_plan_is_one_swap_per_layer() {
+        let plan = stage2_plan(Precision::fixed(8, 8), 4);
+        assert_eq!(plan.len(), 16); // 4 layers × (5 menu − incumbent)
+        let mut sigs: Vec<String> = plan.iter().map(|a| signature(a)).collect();
+        sigs.sort();
+        sigs.dedup();
+        assert_eq!(sigs.len(), 16, "signatures must be distinct");
+        for a in &plan {
+            let swaps = a.iter().filter(|&&p| p != Precision::fixed(8, 8)).count();
+            assert_eq!(swaps, 1);
+        }
+        // An incumbent outside the menu swaps every slot.
+        assert_eq!(stage2_plan(Precision::float32(), 4).len(), 20);
+    }
+
+    #[test]
+    fn incumbent_prefers_accuracy_then_energy_then_order() {
+        let u = [
+            Precision::float32(),
+            Precision::fixed(8, 8),
+            Precision::binary(),
+        ];
+        let e = [100.0, 40.0, 10.0];
+        let pick = |accs: &[Option<f32>]| pick_incumbent(&u, accs, &e);
+        assert_eq!(pick(&[Some(90.0), Some(91.0), Some(80.0)]), u[1]);
+        // Accuracy tie → lower energy wins.
+        assert_eq!(pick(&[Some(91.0), Some(91.0), Some(80.0)]), u[1]);
+        // Full tie → earlier sweep position.
+        assert_eq!(pick(&[Some(91.0), Some(91.0), Some(91.0)]), u[2]);
+        // Nothing converged → the robust fallback.
+        assert_eq!(pick(&[None, None, None]), Precision::fixed(8, 8));
+    }
+
+    #[test]
+    fn assembled_artifact_is_wellformed_and_pruned() {
+        let setting = TuneSetting::new(ExperimentScale::Smoke, 1).unwrap();
+        let entries = vec![
+            (vec![Precision::float32(); 4], Some(91.0)),
+            (vec![Precision::fixed(8, 8); 4], Some(90.5)),
+            (vec![Precision::binary(); 4], Some(70.0)),
+            // Dominated: float32 energy at worse accuracy.
+            (vec![Precision::fixed(32, 32); 4], Some(60.0)),
+            // NA rows produce no point at all.
+            (vec![Precision::fixed(4, 4); 4], None),
+        ];
+        let r = assemble(ExperimentScale::Smoke, 1, &entries, &setting);
+        assert_eq!(r.evaluated, 5);
+        assert!(r.points.len() >= 4, "fixed8 also spawns a narrow-acc point");
+        assert!(!r.frontier.is_empty());
+        assert!(!r.frontier.iter().any(|p| p.label.contains("fixed32")));
+        let energies: Vec<f64> = r.frontier.iter().map(|p| p.energy_uj).collect();
+        assert!(
+            energies.windows(2).all(|w| w[0] <= w[1]),
+            "sorted by energy"
+        );
+
+        let json = r.render_json();
+        assert!(json.contains("\"schema\": \"qnn-tune-pareto/v1\""));
+        assert!(json.contains("\"benchmark\": \"lenet\""));
+        assert!(json.contains("\"frontier\": ["));
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "balanced braces"
+        );
+        // Two identical assemblies serialize byte-identically.
+        let again = assemble(ExperimentScale::Smoke, 1, &entries, &setting);
+        assert_eq!(json, again.render_json());
+    }
+
+    #[test]
+    fn hook_fires_once_per_new_cell() {
+        let dir = std::env::temp_dir().join("qnn-core-tune-hook-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut seen = Vec::new();
+        let (none, p) =
+            tune_resumable_with_hook(ExperimentScale::Smoke, 23, &dir, Some(2), |n| seen.push(n))
+                .unwrap();
+        assert!(none.is_none());
+        assert_eq!(seen, [1, 2]);
+        assert_eq!(p.completed, 2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn interrupted_resumable_tune_matches_plain_tune_bit_identically() {
+        let dir = std::env::temp_dir().join("qnn-core-tune-resume-test");
+        let _ = std::fs::remove_dir_all(&dir);
+
+        // Interrupt after three cells: partial, upper-bound total.
+        let (none, p1) = tune_resumable(ExperimentScale::Smoke, 11, &dir, Some(3)).unwrap();
+        assert!(none.is_none());
+        assert_eq!(p1.completed, 3);
+        assert_eq!(p1.total, 27, "upper bound until the incumbent is known");
+        assert!(!p1.is_complete());
+
+        // Resume to completion ("the crash" is the dropped state above).
+        let (resumed, p2) = tune_resumable(ExperimentScale::Smoke, 11, &dir, None).unwrap();
+        assert!(p2.is_complete());
+        assert!(p2.total >= 7 + 16 && p2.total <= 7 + 20);
+        let resumed = resumed.unwrap();
+
+        // Bit-identical to the uninterrupted parallel runner.
+        let plain = tune(ExperimentScale::Smoke, 11).unwrap();
+        assert_eq!(resumed, plain);
+        assert_eq!(resumed.render_json(), plain.render_json());
+        assert!(!resumed.frontier.is_empty());
+
+        // A foreign ledger (different seed) is rejected, not mixed in.
+        assert!(matches!(
+            tune_resumable(ExperimentScale::Smoke, 12, &dir, None),
+            Err(NnError::CheckpointMismatch { .. })
+        ));
+
+        // A tune ledger masquerading as a table4 ledger is a typed kind
+        // mismatch, end to end.
+        std::fs::copy(dir.join("tune.state.qnnf"), dir.join("table4.state.qnnf")).unwrap();
+        assert!(matches!(
+            super::super::table4_resumable(ExperimentScale::Smoke, 11, &dir, Some(0)),
+            Err(NnError::SweepKindMismatch { .. })
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

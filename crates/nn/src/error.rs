@@ -52,6 +52,16 @@ pub enum NnError {
         /// Human-readable description of the mismatch.
         reason: String,
     },
+    /// A sweep ledger decoded cleanly but belongs to a different *kind*
+    /// of sweep altogether (e.g. a `tune` ledger fed to a `table4`
+    /// resume) — a caller bug, kept distinct from the same-kind
+    /// label/seed drift [`NnError::CheckpointMismatch`] reports.
+    SweepKindMismatch {
+        /// The kind recorded in the ledger.
+        found: String,
+        /// The kind this run expected.
+        expected: String,
+    },
 }
 
 impl fmt::Display for NnError {
@@ -76,6 +86,11 @@ impl fmt::Display for NnError {
             NnError::CheckpointMismatch { reason } => {
                 write!(f, "checkpoint does not match: {reason}")
             }
+            NnError::SweepKindMismatch { found, expected } => write!(
+                f,
+                "sweep ledger kind mismatch: ledger was written by a `{found}` sweep, \
+                 this run is `{expected}`"
+            ),
         }
     }
 }

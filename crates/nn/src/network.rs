@@ -46,6 +46,10 @@ pub struct Network {
     /// layer `i`. All `None` when running full precision.
     act_q: Vec<Option<QuantizerHandle>>,
     precision: Option<Precision>,
+    /// One precision per weighted layer when a mixed assignment is
+    /// installed ([`set_precision_per_layer`](Self::set_precision_per_layer));
+    /// mutually exclusive with `precision`.
+    per_layer: Option<Vec<Precision>>,
     /// When set, every forward pass corrupts each activation tensor after
     /// its quantization step — the `Bin` buffer fault model.
     act_faults: Option<FaultInjector>,
@@ -110,6 +114,7 @@ impl Network {
             layers,
             act_q: vec![None; n + 1],
             precision: None,
+            per_layer: None,
             act_faults: None,
         })
     }
@@ -119,9 +124,22 @@ impl Network {
         &self.spec
     }
 
-    /// The installed precision, if quantized.
+    /// The installed precision, if uniformly quantized. `None` both for
+    /// full-precision networks and for mixed per-layer assignments (see
+    /// [`precision_per_layer`](Self::precision_per_layer)).
     pub fn precision(&self) -> Option<Precision> {
         self.precision
+    }
+
+    /// The installed per-layer assignment (one precision per weighted
+    /// layer), if a mixed assignment is active.
+    pub fn precision_per_layer(&self) -> Option<&[Precision]> {
+        self.per_layer.as_deref()
+    }
+
+    /// Whether any quantizers are installed — uniform or per-layer.
+    pub fn is_quantized(&self) -> bool {
+        self.precision.is_some() || self.per_layer.is_some()
     }
 
     /// Total trainable parameter count.
@@ -375,6 +393,90 @@ impl Network {
         Ok(())
     }
 
+    /// Installs a **mixed** precision assignment: one [`Precision`] per
+    /// weighted layer, calibrated exactly like
+    /// [`set_precision`](Self::set_precision) but with every weighted
+    /// layer carrying its own weight and activation formats — the search
+    /// space of `qnn tune`. Each activation slot (network input and
+    /// every layer output) is calibrated per layer with the activation
+    /// scheme of the weighted layer that *consumes* it; slots after the
+    /// last weighted layer use that layer's scheme. A `Float32`
+    /// activation scheme leaves its slot unquantized.
+    ///
+    /// # Errors
+    ///
+    /// [`NnError::InvalidConfig`] when `assignment` does not have
+    /// exactly one entry per weighted layer; otherwise propagates
+    /// calibration and forward-pass errors.
+    pub fn set_precision_per_layer(
+        &mut self,
+        assignment: &[Precision],
+        method: calibrate::Method,
+        calib_batch: &Tensor,
+    ) -> Result<(), NnError> {
+        let weighted: Vec<usize> = self
+            .layers
+            .iter()
+            .enumerate()
+            .filter(|(_, l)| !l.params().is_empty())
+            .map(|(i, _)| i)
+            .collect();
+        if assignment.len() != weighted.len() {
+            return Err(NnError::InvalidConfig {
+                reason: format!(
+                    "per-layer assignment has {} precisions, network `{}` has {} weighted layers",
+                    assignment.len(),
+                    self.spec.name(),
+                    weighted.len()
+                ),
+            });
+        }
+        // Calibrate against unquantized behaviour.
+        self.clear_precision();
+        let trace = self.forward_trace(calib_batch)?;
+
+        // Weight quantizers: each weighted layer from its own assigned
+        // format.
+        let mut next = 0usize;
+        for layer in &mut self.layers {
+            if layer.params().is_empty() {
+                continue;
+            }
+            let p = assignment[next];
+            next += 1;
+            let params = layer.params();
+            let weight = &params[0].value;
+            let q = calibrate::scheme_for(p.weights(), &[weight], method)?;
+            let handle: QuantizerHandle = Arc::from(q);
+            layer.set_weight_quantizer(Some(handle));
+        }
+
+        // Activation slots: slot `i` feeds layer `i`, so it takes the
+        // activation scheme of the next weighted layer at or after `i` —
+        // the format of the buffer that value would actually occupy.
+        let slot_precision = |i: usize| -> Precision {
+            match weighted.iter().position(|&li| li >= i) {
+                Some(w) => assignment[w],
+                None => assignment[assignment.len() - 1],
+            }
+        };
+        for (i, t) in trace.iter().enumerate() {
+            match slot_precision(i).activations() {
+                Scheme::Float32 => { /* leave the slot as None */ }
+                scheme => {
+                    let q = calibrate::scheme_for(scheme, &[t], method)?;
+                    self.act_q[i] = Some(Arc::from(q));
+                }
+            }
+        }
+        for (i, layer) in self.layers.iter_mut().enumerate() {
+            layer.set_input_quantizer(self.act_q[i].clone());
+            layer.set_output_quantizer(self.act_q[i + 1].clone());
+        }
+        self.per_layer = Some(assignment.to_vec());
+        Ok(())
+    }
+
     /// Removes all quantizers, returning the network to full precision
     /// (shadow weights are untouched).
     pub fn clear_precision(&mut self) {
@@ -387,6 +489,7 @@ impl Network {
             *slot = None;
         }
         self.precision = None;
+        self.per_layer = None;
     }
 
     /// Applies the clipped straight-through estimator to every weighted
@@ -573,6 +676,58 @@ mod tests {
         // And clearing restores the FP path exactly.
         net.clear_precision();
         assert_eq!(net.forward(&x, Mode::Eval).unwrap(), y_fp);
+    }
+
+    #[test]
+    fn per_layer_assignment_installs_mixed_quantizers() {
+        let mut net = Network::build(&tiny_spec(), 1).unwrap();
+        let x = batch(2);
+        let y_fp = net.forward(&x, Mode::Eval).unwrap();
+        let weighted = net.layers.iter().filter(|l| !l.params().is_empty()).count();
+        let assignment: Vec<Precision> = (0..weighted)
+            .map(|i| {
+                if i == 0 {
+                    Precision::fixed(4, 4)
+                } else {
+                    Precision::fixed(16, 16)
+                }
+            })
+            .collect();
+        net.set_precision_per_layer(&assignment, Method::MaxAbs, &x)
+            .unwrap();
+        assert_eq!(net.precision(), None, "mixed is not a uniform precision");
+        assert_eq!(net.precision_per_layer(), Some(assignment.as_slice()));
+        assert!(net.is_quantized());
+        let y_mixed = net.forward(&x, Mode::Eval).unwrap();
+        assert_ne!(y_fp, y_mixed, "a 4-bit layer must perturb the output");
+        // A uniform assignment through the per-layer path matches the
+        // uniform installer bit for bit: same calibration, same slots.
+        let uniform = vec![Precision::fixed(8, 8); weighted];
+        net.set_precision_per_layer(&uniform, Method::MaxAbs, &x)
+            .unwrap();
+        let y_via_per_layer = net.forward(&x, Mode::Eval).unwrap();
+        net.set_precision(
+            Precision::fixed(8, 8),
+            Method::MaxAbs,
+            &x,
+            ActivationCalibration::PerLayer,
+        )
+        .unwrap();
+        assert_eq!(net.forward(&x, Mode::Eval).unwrap(), y_via_per_layer);
+        // Clearing restores the FP path exactly.
+        net.clear_precision();
+        assert!(!net.is_quantized());
+        assert_eq!(net.forward(&x, Mode::Eval).unwrap(), y_fp);
+    }
+
+    #[test]
+    fn per_layer_assignment_length_is_validated() {
+        let mut net = Network::build(&tiny_spec(), 1).unwrap();
+        let x = batch(2);
+        assert!(matches!(
+            net.set_precision_per_layer(&[Precision::fixed(8, 8)], Method::MaxAbs, &x),
+            Err(NnError::InvalidConfig { .. })
+        ));
     }
 
     #[test]

@@ -249,7 +249,7 @@ impl Trainer {
                 reason: format!("{} labels for {} images", labels.len(), n),
             });
         }
-        let quantized = net.precision().is_some();
+        let quantized = net.is_quantized();
         let mut order: Vec<usize> = (0..n).collect();
         let (start_epoch, mut opt, mut shuffle_rng, mut epoch_losses, mut last_accuracy) =
             match resume {
@@ -472,6 +472,39 @@ impl Trainer {
             &calib_batch,
             qat.activation_calibration,
         )?;
+        let fine_tune = Trainer {
+            config: TrainerConfig {
+                lr: self.config.lr * self.config.qat_lr_factor,
+                ..self.config
+            },
+        };
+        fine_tune.train(net, images, labels)
+    }
+
+    /// [`train_qat`](Trainer::train_qat) for a **mixed** per-layer
+    /// assignment: installs one precision per weighted layer
+    /// ([`Network::set_precision_per_layer`], calibrated on the first
+    /// `calib` images), then fine-tunes with shadow weights at the same
+    /// reduced learning rate the uniform path uses — so a mixed cell and
+    /// a uniform cell of a tuning sweep see identical training budgets.
+    ///
+    /// # Errors
+    ///
+    /// Propagates calibration and training errors.
+    pub fn train_qat_per_layer(
+        &self,
+        net: &mut Network,
+        assignment: &[Precision],
+        method: Method,
+        images: &Tensor,
+        labels: &[usize],
+        calib: usize,
+    ) -> Result<TrainReport, NnError> {
+        let n = images.shape().dim(0);
+        let calib_n = calib.clamp(1, n);
+        let idx: Vec<usize> = (0..calib_n).collect();
+        let (calib_batch, _) = gather_batch(images, labels, &idx)?;
+        net.set_precision_per_layer(assignment, method, &calib_batch)?;
         let fine_tune = Trainer {
             config: TrainerConfig {
                 lr: self.config.lr * self.config.qat_lr_factor,

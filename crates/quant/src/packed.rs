@@ -154,6 +154,47 @@ pub fn dot_exact_shift_add(
         && (max_w_raw >> base_shift) <= i16::MAX as i64
 }
 
+/// [`dot_exact`] tightened to an accumulator of only `acc_bits` bits
+/// (two's complement, so the representable range is
+/// `[-2^(acc_bits-1), 2^(acc_bits-1) - 1]`).
+///
+/// The base certificate bounds every partial sum of the dot by
+/// `Σ|a·w| <= max_a_raw · max_w_raw · k`, so it suffices to additionally
+/// demand `max_a_raw · max_w_raw · k <= 2^(acc_bits-1) - 1`: then no
+/// partial sum — in either association order — can leave the narrow
+/// two's-complement range, the accumulator never saturates, and the
+/// narrow-accumulator engine computes the same integer dot as the full
+/// width. (The asymmetric negative endpoint `-2^(acc_bits-1)` is still
+/// reachable but deliberately left out of the bound; keeping the
+/// certificate symmetric keeps the argument one line.)
+///
+/// `acc_bits` outside `[2, 63]` returns `false`: one bit cannot hold a
+/// signed sum, and 64 would overflow the i64 bound computation itself
+/// (widths ≥ 26 are no stricter than [`dot_exact`]'s own `2^24` bound,
+/// so the practical range is small). A dot *not* certified here must run
+/// through the saturation-aware simulated path
+/// (`TileSimulator::with_acc_bits`), which is the semantic reference for
+/// narrow-accumulator designs.
+pub fn dot_exact_narrow_acc(
+    max_a_raw: i64,
+    max_w_raw: i64,
+    k: usize,
+    lsb_exp: i32,
+    acc_bits: u32,
+) -> bool {
+    if !(2..=63).contains(&acc_bits) || !dot_exact(max_a_raw, max_w_raw, k, lsb_exp) {
+        return false;
+    }
+    let Ok(k) = i64::try_from(k) else {
+        return false;
+    };
+    let limit = (1i64 << (acc_bits - 1)) - 1;
+    max_a_raw
+        .checked_mul(max_w_raw)
+        .and_then(|p| p.checked_mul(k))
+        .is_some_and(|total| total <= limit)
+}
+
 /// Converts i32 accumulators to f32 by scaling with `2^lsb_exp`. Exact
 /// under the [`dot_exact`] certificate: the product is computed in f64
 /// (24-bit significand × exact power of two) and narrowed to an f32 that
@@ -1251,6 +1292,74 @@ mod tests {
         assert!(dot_exact(0, 0, 1 << 40, 0)); // zero operands, huge k
         assert!(dot_exact(1 << 12, 1 << 12, 1, 0)); // exactly 2^24
         assert!(!dot_exact((1 << 12) + 1, 1 << 12, 1, 0));
+    }
+
+    #[test]
+    fn narrow_acc_certificate_bounds() {
+        // At 26+ bits the narrow bound (2^25 − 1) is looser than the base
+        // certificate's 2^24, so narrow == base.
+        assert!(dot_exact_narrow_acc(1 << 12, 1 << 12, 1, 0, 26));
+        assert!(!dot_exact_narrow_acc((1 << 12) + 1, 1 << 12, 1, 0, 26));
+        // 16-bit accumulator: limit is 2^15 − 1 = 32767.
+        assert!(dot_exact_narrow_acc(127, 128, 2, -8, 16)); // 32512
+        assert!(!dot_exact_narrow_acc(128, 129, 2, -8, 16)); // 33024 > 32767
+        assert!(dot_exact_narrow_acc(1, 32767, 1, 0, 16)); // exactly the limit
+        assert!(!dot_exact_narrow_acc(1, 32768, 1, 0, 16)); // one past
+                                                            // Degenerate widths refuse.
+        assert!(!dot_exact_narrow_acc(1, 1, 1, 0, 1));
+        assert!(!dot_exact_narrow_acc(1, 1, 1, 0, 0));
+        assert!(!dot_exact_narrow_acc(1, 1, 1, 0, 64));
+        // Base-certificate failures still refuse regardless of width.
+        assert!(!dot_exact_narrow_acc(127, 127, 100, -150, 32));
+    }
+
+    /// ≥256-case property check: for seeded (raw, raw, k, width) tuples at
+    /// the exact representable boundary, the certificate must equal the
+    /// i128 ground truth `dot_exact && Σ|a·w| <= 2^(bits−1) − 1`, and the
+    /// verdict vector must be identical whether evaluated on 1 worker or 4.
+    #[test]
+    fn narrow_acc_certificate_boundary_property() {
+        const CASES: usize = 288;
+        fn case(i: usize) -> (i64, i64, usize, i32, u32) {
+            // Deterministic splitmix-style expansion of the index.
+            let mut z = (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0x5EED_7074;
+            let mut next = move || {
+                z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut x = z;
+                x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                x ^ (x >> 31)
+            };
+            let acc_bits = 2 + (next() % 62) as u32; // 2..=63
+            let limit = (1i64 << (acc_bits - 1)) - 1;
+            let max_a = 1 + (next() as i64).rem_euclid(1 << 12);
+            let max_w = 1 + (next() as i64).rem_euclid(1 << 12);
+            // k chosen so the product lands on, just under, or just past
+            // the narrow limit — the boundary widths the tuner trades on.
+            let k_exact = (limit / (max_a * max_w)).max(1) as usize;
+            let k = match next() % 3 {
+                0 => k_exact,
+                1 => k_exact.saturating_sub(1).max(1),
+                _ => k_exact + 1,
+            };
+            let lsb_exp = -140 + (next() % 240) as i32; // −140..=99, in range
+            (max_a, max_w, k, lsb_exp, acc_bits)
+        }
+        let truth = |i: usize| {
+            let (a, w, k, e, bits) = case(i);
+            let total = a as i128 * w as i128 * k as i128;
+            let expect = dot_exact(a, w, k, e)
+                && total <= ((1i128 << (bits - 1)) - 1)
+                && (2..=63).contains(&bits);
+            let got = dot_exact_narrow_acc(a, w, k, e, bits);
+            assert_eq!(got, expect, "case {i}: ({a},{w},{k},{e},{bits})");
+            got
+        };
+        let one = qnn_tensor::par::map_capped(CASES, 1, truth);
+        let four = qnn_tensor::par::map_capped(CASES, 4, truth);
+        assert_eq!(one, four, "certificate must not depend on worker count");
+        // The boundary sampler must exercise both verdicts.
+        assert!(one.iter().any(|&b| b) && one.iter().any(|&b| !b));
     }
 
     #[test]

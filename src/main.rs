@@ -11,6 +11,7 @@
 //! qnn memory                  # §V-B parameter-memory report
 //! qnn minifloat               # future-work custom-float sweep
 //! qnn tiles                   # tile-size design-space extension
+//! qnn tune [scale] [flags]    # mixed-precision autotuner (PARETO_tune.json)
 //! qnn all [scale]             # everything, in paper order
 //! qnn serve [flags]           # batched inference server (qnn-serve)
 //! qnn shard [flags]           # a cluster shard worker (= serve)
@@ -57,9 +58,9 @@ use std::path::PathBuf;
 
 use qnn_core::experiments::{
     breakdown, design_metrics, energy_stages, fault_curve, memory_report, minifloat_sweep,
-    standard_fault_rates, table4, table4_resumable, table5, table5_resumable, tile_scaling,
-    BreakdownRow, DesignRow, EnergyStageRow, ExperimentScale, FaultCurveRow, MemoryRow,
-    MinifloatRow, SweepProgress, Table5Row, TileRow,
+    standard_fault_rates, table4, table4_resumable, table5, table5_resumable, tile_scaling, tune,
+    tune_resumable_with_hook, BreakdownRow, DesignRow, EnergyStageRow, ExperimentScale,
+    FaultCurveRow, MemoryRow, MinifloatRow, SweepProgress, Table5Row, TileRow,
 };
 use qnn_core::pareto::pareto_frontier;
 use qnn_nn::zoo;
@@ -421,6 +422,104 @@ fn run_reload(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     }
 }
 
+/// Runs the mixed-precision autotuner and writes the Pareto-front
+/// artifact.
+///
+/// `qnn tune [smoke|reduced|full] [flags]`:
+///
+/// * `--out PATH` — artifact path (default `PARETO_tune.json`). The
+///   writer is deterministic: two complete runs at the same
+///   `(scale, seed)` emit byte-identical files, at any `QNN_THREADS`.
+/// * `--seed N` — sweep seed, decimal or `0x` hex (default 42).
+/// * `--resume DIR` — run crash-safe: every evaluated candidate is a
+///   ledger cell under `DIR`, and a rerun with the same `DIR` skips
+///   finished cells. A SIGKILLed-and-resumed tune produces the same
+///   artifact byte for byte.
+/// * `--max-cells N` — compute at most `N` new cells this invocation
+///   (requires `--resume`); a partial sweep prints progress and exits 3.
+/// * `--kill-cell N` — crash harness for the `tune-resume` CI stage
+///   (requires `--resume`): SIGKILL this process right after the `N`-th
+///   *new* cell is durably recorded.
+fn run_tune(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    let mut scale = ExperimentScale::Reduced;
+    let mut resume: Option<PathBuf> = None;
+    let mut max_cells: Option<usize> = None;
+    let mut kill_cell: Option<usize> = None;
+    let mut out = PathBuf::from("PARETO_tune.json");
+    let mut seed: u64 = 42;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut next = |flag: &str| -> Result<String, String> {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        let parse_count = |flag: &str, v: String| -> Result<usize, String> {
+            v.parse()
+                .map_err(|_| format!("{flag}: `{v}` is not a count"))
+        };
+        match arg.as_str() {
+            "smoke" => scale = ExperimentScale::Smoke,
+            "reduced" => scale = ExperimentScale::Reduced,
+            "full" => scale = ExperimentScale::Full,
+            "--resume" => resume = Some(PathBuf::from(next("--resume")?)),
+            "--out" => out = PathBuf::from(next("--out")?),
+            "--max-cells" => max_cells = Some(parse_count("--max-cells", next("--max-cells")?)?),
+            "--kill-cell" => {
+                let n = parse_count("--kill-cell", next("--kill-cell")?)?;
+                if n == 0 {
+                    return Err("--kill-cell: cell numbers start at 1".into());
+                }
+                kill_cell = Some(n);
+            }
+            "--seed" => {
+                let v = next("--seed")?;
+                seed = parse_seed(&v).ok_or_else(|| format!("--seed: `{v}` is not a seed"))?;
+            }
+            other => return Err(format!("tune: unknown argument `{other}`").into()),
+        }
+    }
+    if (max_cells.is_some() || kill_cell.is_some()) && resume.is_none() {
+        return Err("tune: --max-cells/--kill-cell only make sense with --resume".into());
+    }
+    let result = match &resume {
+        None => tune(scale, seed)?,
+        Some(dir) => {
+            let (result, progress) = tune_resumable_with_hook(scale, seed, dir, max_cells, |n| {
+                if kill_cell == Some(n) {
+                    // Deterministic crash for the tune-resume CI stage:
+                    // die by real SIGKILL (no destructors, no atexit)
+                    // the moment the n-th new cell is on disk.
+                    let pid = std::process::id();
+                    let _ = std::process::Command::new("sh")
+                        .arg("-c")
+                        .arg(format!("kill -9 {pid}"))
+                        .status();
+                    std::process::exit(137); // unreachable when the kill lands
+                }
+            })?;
+            match result {
+                Some(r) => r,
+                None => partial_exit(&progress),
+            }
+        }
+    };
+    std::fs::write(&out, result.render_json())?;
+    println!(
+        "tune: evaluated {} assignments; {} points on the Pareto frontier; wrote {}",
+        result.evaluated,
+        result.frontier.len(),
+        out.display()
+    );
+    for p in &result.frontier {
+        println!(
+            "  {:48} {:6.2} %  {:9.3} uJ",
+            p.label, p.accuracy_pct, p.energy_uj
+        );
+    }
+    Ok(())
+}
+
 /// Reports a still-partial resumable sweep and exits with code 3.
 fn partial_exit(progress: &SweepProgress) -> ! {
     println!(
@@ -520,7 +619,9 @@ fn usage() {
          [--heartbeat-ms N] [--k-misses N] [--probe-timeout-ms N] [--forward-timeout-ms N] \
          [--vnodes N] [--trace PATH]\n\
          \x20      qnn checkpoint --out PATH [--seed N] [--zero-weights]\n\
-         \x20      qnn reload HOST:PORT CHECKPOINT"
+         \x20      qnn reload HOST:PORT CHECKPOINT\n\
+         \x20      qnn tune [smoke|reduced|full] [--out PATH] [--seed N] \
+         [--resume DIR [--max-cells N] [--kill-cell N]]"
     );
 }
 
@@ -552,6 +653,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     if cmd == "reload" {
         return run_reload(&args[2..]).map_err(|e| {
+            eprintln!("{e}");
+            usage();
+            std::process::exit(2);
+        });
+    }
+    if cmd == "tune" {
+        // tune has its own flag set (--out, --kill-cell, --seed).
+        return run_tune(&args[2..]).map_err(|e| {
             eprintln!("{e}");
             usage();
             std::process::exit(2);
